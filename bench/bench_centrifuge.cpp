@@ -1,0 +1,91 @@
+// E12 (extension) — §5, UC Davis: "characterize how the properties of soil
+// change during shaking or ground improvement", with a robot arm and
+// embedded bender elements teleoperated through NTCP.
+//
+// Regenerates the campaign's characteristic series: shear-wave velocity and
+// cone tip resistance vs number of piles installed, and the NTCP op cost of
+// robot teleoperation (every action is a propose/execute transaction).
+#include <cstdio>
+
+#include "centrifuge/plugin.h"
+#include "net/network.h"
+#include "ntcp/client.h"
+#include "ntcp/server.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
+using namespace nees;
+
+int main() {
+  std::printf("==== E12 (§5, UC Davis): ground improvement campaign over "
+              "NTCP ====\n\n");
+
+  net::Network network;
+  auto soil = std::make_shared<centrifuge::SoilModel>(
+      centrifuge::SoilModel::DefaultProfile(0.3));
+  auto arm = std::make_shared<centrifuge::RobotArm>(
+      centrifuge::RobotArm::Params{}, soil.get(), 7);
+  auto benders =
+      std::make_shared<centrifuge::BenderElementArray>(soil.get(), 9);
+  benders->AddElement("be1", {0.10, 0.10, -0.05});
+  benders->AddElement("be2", {0.35, 0.10, -0.05});
+
+  ntcp::NtcpServer server(
+      &network, "ntcp.ucdavis",
+      std::make_unique<centrifuge::RobotArmPlugin>(arm, benders));
+  if (!server.Start().ok()) return 1;
+  net::RpcClient rpc(&network, "davis.operator");
+  ntcp::NtcpClient client(&rpc, "ntcp.ucdavis");
+
+  int transaction = 0;
+  util::SampleStats op_micros;
+  auto run = [&](std::vector<ntcp::ControlPointRequest> actions)
+      -> util::Result<ntcp::TransactionResult> {
+    ntcp::Proposal proposal;
+    proposal.transaction_id = "cam-" + std::to_string(transaction++);
+    proposal.actions = std::move(actions);
+    const util::Stopwatch watch;
+    NEES_RETURN_IF_ERROR(client.Propose(proposal));
+    auto result = client.Execute(proposal.transaction_id);
+    op_micros.Add(static_cast<double>(watch.ElapsedMicros()));
+    return result;
+  };
+
+  util::TextTable table({"piles installed", "Vs be1->be2 [m/s]",
+                         "cone tip @ -0.25 m [Pa]", "robot time [s]"});
+  auto measure_row = [&](int piles) -> bool {
+    auto velocity = run({{"bender:be1:be2", {}, {}}});
+    if (!velocity.ok()) return false;
+    if (!run({{"tool:cone-penetrometer", {}, {}}}).ok()) return false;
+    auto cpt = run({{"penetrate", {-0.25}, {}}});
+    if (!cpt.ok()) return false;
+    table.AddRow({std::to_string(piles),
+                  util::Format("%.1f", velocity->results[0].measured_force[0]),
+                  util::Format("%.3g", cpt->results[0].measured_force[0]),
+                  util::Format("%.0f", arm->elapsed_seconds())});
+    return true;
+  };
+
+  if (!measure_row(0)) return 1;
+  for (int pile = 1; pile <= 4; ++pile) {
+    if (!run({{"tool:gripper", {}, {}}}).ok()) return 1;
+    const double x = 0.15 + 0.08 * pile;
+    if (!run({{"arm", {x, 0.12, 0.0}, {}}}).ok()) return 1;
+    if (!run({{"pile", {-0.22}, {}}}).ok()) return 1;
+    if (!measure_row(pile)) return 1;
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf("NTCP teleoperation: %d transactions, per-op latency %s\n",
+              transaction, op_micros.Summary().c_str());
+  const auto stats = server.stats();
+  std::printf("server: %llu accepted, %llu rejected, %llu executed\n",
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.executions));
+  std::printf("(shape: each pile raises the measured shear-wave velocity and "
+              "tip resistance —\n the soil-characterization loop the UC Davis "
+              "experiment plans, §5, run entirely\n through the same NTCP "
+              "used for the structural rigs)\n");
+  return 0;
+}

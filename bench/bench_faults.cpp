@@ -1,0 +1,198 @@
+// E6 — §3.4: the fault-tolerance result.
+//
+// Part 1 regenerates the deterministic July 30 narrative at full scale:
+// several transient bursts recovered during the day, then a longer outage
+// at step 1493 that kills the partially-hardened coordinator while the
+// fully fault-tolerant one completes all 1500 steps.
+//
+// Part 2 sweeps random per-message loss rates for both coordinator
+// policies and reports steps completed — the paper-shaped claim is that
+// naive completion collapses with any loss while NTCP retries hold the
+// line until loss rates get extreme.
+#include <cstdio>
+
+#include "most/most.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
+using namespace nees;
+
+namespace {
+
+psd::RunReport RunWithSchedule(std::size_t steps, psd::FaultPolicy policy,
+                               int rpc_attempts,
+                               const std::vector<std::pair<std::size_t, int>>&
+                                   bursts) {
+  net::Network network;
+  most::MostOptions options;
+  options.steps = steps;
+  options.hybrid = false;
+  options.with_repository = false;  // isolate the control path
+  options.with_streaming = false;
+  most::MostExperiment experiment(&network, &util::SystemClock::Instance(),
+                                  options);
+  if (!experiment.Start().ok()) return {};
+  net::RpcClient rpc(&network, "coordinator");
+  auto config = experiment.MakeCoordinatorConfig(policy, "fault-run");
+  config.retry.max_attempts = rpc_attempts;
+  config.retry.initial_backoff_micros = 1000;
+  psd::SimulationCoordinator coordinator(config, &rpc,
+                                         &util::SystemClock::Instance());
+  most::MostFaultSchedule schedule(&network, "coordinator",
+                                   most::MostExperiment::kNtcpCu);
+  for (const auto& [step, messages] : bursts) {
+    schedule.AddTransientBurst(step, messages);
+  }
+  coordinator.SetStepObserver(
+      [&schedule](std::size_t step, const structural::Vector&,
+                  const std::vector<ntcp::TransactionResult>&) {
+        schedule.OnStep(step);
+      });
+  return coordinator.Run();
+}
+
+psd::RunReport RunWithRandomLoss(std::size_t steps, psd::FaultPolicy policy,
+                                 double drop_probability,
+                                 std::uint64_t seed) {
+  net::Network network(net::DeliveryMode::kImmediate, seed);
+  most::MostOptions options;
+  options.steps = steps;
+  options.hybrid = false;
+  options.with_repository = false;
+  options.with_streaming = false;
+  most::MostExperiment experiment(&network, &util::SystemClock::Instance(),
+                                  options);
+  if (!experiment.Start().ok()) return {};
+  // Loss applies to all coordinator <-> site traffic, both directions.
+  net::LinkModel lossy;
+  lossy.drop_probability = drop_probability;
+  for (const char* site :
+       {most::MostExperiment::kNtcpUiuc, most::MostExperiment::kNtcpNcsa,
+        most::MostExperiment::kNtcpCu}) {
+    network.SetLink("coordinator", site, lossy);
+    network.SetLink(site, "coordinator", lossy);
+  }
+  net::RpcClient rpc(&network, "coordinator");
+  auto config = experiment.MakeCoordinatorConfig(policy, "loss-run");
+  config.retry.initial_backoff_micros = 1000;
+  psd::SimulationCoordinator coordinator(config, &rpc,
+                                         &util::SystemClock::Instance());
+  return coordinator.Run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t full_steps =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 1500;
+
+  std::printf("==== E6 (§3.4): fault tolerance — the step-1493 narrative "
+              "====\n\n");
+  // Transients at steps 300/700/1100 (1–2 lost messages each: within the
+  // public coordinator's RPC retry budget), fatal 4-message burst at 1493
+  // (exhausts 3 RPC attempts; only step-level re-proposal survives it).
+  const std::vector<std::pair<std::size_t, int>> schedule = {
+      {full_steps / 5, 1},
+      {full_steps * 7 / 15, 2},
+      {full_steps * 11 / 15, 1},
+      {full_steps * 1493 / 1500, 4},
+  };
+
+  util::TextTable narrative({"coordinator", "rpc retries", "step re-propose",
+                             "outcome", "steps", "faults recovered"});
+  {
+    // The 2003 public coordinator: NTCP-level retries but "had not been
+    // coded to take advantage of all the fault-tolerance features".
+    const psd::RunReport report = RunWithSchedule(
+        full_steps, psd::FaultPolicy::kNaive, /*rpc_attempts=*/1, schedule);
+    narrative.AddRow({"naive (no retries)", "no", "no",
+                      report.completed ? "completed" : "TERMINATED",
+                      util::Format("%zu/%zu", report.steps_completed,
+                                   report.total_steps),
+                      std::to_string(report.transient_faults_recovered)});
+  }
+  {
+    // Partially hardened: RPC retries only (max 3 attempts) — survives the
+    // transients, dies at the long burst near step 1493.
+    net::Network network;
+    most::MostOptions options;
+    options.steps = full_steps;
+    options.hybrid = false;
+    options.with_repository = false;
+    options.with_streaming = false;
+    most::MostExperiment experiment(&network,
+                                    &util::SystemClock::Instance(), options);
+    (void)experiment.Start();
+    net::RpcClient rpc(&network, "coordinator");
+    auto config = experiment.MakeCoordinatorConfig(
+        psd::FaultPolicy::kFaultTolerant, "partial");
+    config.retry.max_attempts = 3;
+    config.retry.initial_backoff_micros = 1000;
+    config.max_step_attempts = 1;  // no step-level re-proposal
+    psd::SimulationCoordinator coordinator(config, &rpc,
+                                           &util::SystemClock::Instance());
+    most::MostFaultSchedule faults(&network, "coordinator",
+                                   most::MostExperiment::kNtcpCu);
+    for (const auto& [step, messages] : schedule) {
+      faults.AddTransientBurst(step, messages);
+    }
+    coordinator.SetStepObserver(
+        [&faults](std::size_t step, const structural::Vector&,
+                  const std::vector<ntcp::TransactionResult>&) {
+          faults.OnStep(step);
+        });
+    const psd::RunReport report = coordinator.Run();
+    narrative.AddRow({"public run (2003)", "yes (3)", "no",
+                      report.completed ? "completed" : "TERMINATED",
+                      util::Format("%zu/%zu", report.steps_completed,
+                                   report.total_steps),
+                      std::to_string(report.transient_faults_recovered)});
+  }
+  {
+    const psd::RunReport report =
+        RunWithSchedule(full_steps, psd::FaultPolicy::kFaultTolerant,
+                        /*rpc_attempts=*/5, schedule);
+    narrative.AddRow({"fully fault-tolerant", "yes (5)", "yes (3)",
+                      report.completed ? "completed" : "TERMINATED",
+                      util::Format("%zu/%zu", report.steps_completed,
+                                   report.total_steps),
+                      std::to_string(report.transient_faults_recovered)});
+  }
+  std::printf("%s", narrative.ToString().c_str());
+  std::printf("(paper: dry run completed; public run terminated at step 1493 "
+              "of 1500)\n\n");
+
+  // ---- Part 2: completion vs random loss rate ----------------------------
+  std::printf("==== E6 sweep: steps completed vs per-message loss rate "
+              "====\n\n");
+  const std::size_t sweep_steps = 400;
+  util::TextTable sweep({"loss rate", "naive steps", "naive done",
+                         "FT steps", "FT done", "FT faults recovered"});
+  for (double loss : {0.0, 0.001, 0.01, 0.05, 0.10}) {
+    util::SampleStats naive_steps, ft_steps, ft_recovered;
+    int naive_done = 0, ft_done = 0;
+    const int trials = 3;
+    for (int trial = 0; trial < trials; ++trial) {
+      const psd::RunReport naive = RunWithRandomLoss(
+          sweep_steps, psd::FaultPolicy::kNaive, loss, 100 + trial);
+      naive_steps.Add(static_cast<double>(naive.steps_completed));
+      naive_done += naive.completed ? 1 : 0;
+      const psd::RunReport ft = RunWithRandomLoss(
+          sweep_steps, psd::FaultPolicy::kFaultTolerant, loss, 200 + trial);
+      ft_steps.Add(static_cast<double>(ft.steps_completed));
+      ft_done += ft.completed ? 1 : 0;
+      ft_recovered.Add(static_cast<double>(ft.transient_faults_recovered));
+    }
+    sweep.AddRow({util::Format("%.3f", loss),
+                  util::Format("%.0f/%zu", naive_steps.mean(),
+                               sweep_steps - 1),
+                  util::Format("%d/%d", naive_done, trials),
+                  util::Format("%.0f/%zu", ft_steps.mean(), sweep_steps - 1),
+                  util::Format("%d/%d", ft_done, trials),
+                  util::Format("%.0f", ft_recovered.mean())});
+  }
+  std::printf("%s", sweep.ToString().c_str());
+  std::printf("(shape: naive completion collapses at any loss; NTCP retries "
+              "hold until loss\n rates far beyond WAN reality)\n");
+  return 0;
+}

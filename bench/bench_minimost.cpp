@@ -1,0 +1,70 @@
+// E9 — Fig. 11 + §3.5: Mini-MOST.
+//
+// Regenerates the tabletop experiment's characteristic numbers: hybrid runs
+// against the stepper-motor rig vs the first-order kinetic simulator (the
+// hardware stand-in), agreement between them, stepper duty, and step rate.
+#include <cmath>
+#include <cstdio>
+
+#include "most/mini_most.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
+using namespace nees;
+
+int main() {
+  std::printf("==== E9 (Fig. 11, §3.5): Mini-MOST ====\n\n");
+
+  most::MiniMostOptions options;
+  options.steps = 600;
+  std::printf("beam: %.0f cm x %.0f cm x %.0f mm, tip stiffness %.0f N/m\n\n",
+              options.beam_length_m * 100, options.beam_width_m * 100,
+              options.beam_thickness_m * 1000,
+              most::MiniMostBeamStiffness(options));
+
+  util::TextTable table({"backend", "steps", "wall [s]", "steps/s",
+                         "peak tip [mm]", "stepper motor steps"});
+  structural::TimeHistory hardware, kinetic;
+  for (const bool real_hardware : {true, false}) {
+    net::Network network;
+    options.real_hardware = real_hardware;
+    most::MiniMostExperiment experiment(
+        &network, &util::SystemClock::Instance(), options);
+    auto report = experiment.Run(real_hardware ? "hw" : "sim");
+    if (!report.ok() || !report->completed) {
+      std::printf("run failed: %s\n",
+                  (report.ok() ? report->failure : report.status())
+                      .ToString()
+                      .c_str());
+      return 1;
+    }
+    (real_hardware ? hardware : kinetic) = report->history;
+    table.AddRow(
+        {real_hardware ? "stepper rig (LabVIEW plugin)"
+                       : "first-order kinetic simulator",
+         std::to_string(report->steps_completed),
+         util::Format("%.2f", report->wall_seconds),
+         util::Format("%.0f",
+                      report->steps_completed /
+                          std::max(report->wall_seconds, 1e-9)),
+         util::Format("%.3f", report->history.PeakDisplacement(0) * 1000),
+         real_hardware ? std::to_string(experiment.stepper_steps()) : "-"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < hardware.displacement.size() &&
+                          i < kinetic.displacement.size();
+       ++i) {
+    max_diff = std::max(max_diff, std::fabs(hardware.displacement[i][0] -
+                                            kinetic.displacement[i][0]));
+  }
+  const double peak = hardware.PeakDisplacement(0);
+  std::printf("hardware vs simulator agreement: max |diff| %.4f mm "
+              "(%.1f%% of peak)\n",
+              max_diff * 1000, peak > 0 ? 100.0 * max_diff / peak : 0.0);
+  std::printf("(paper: the kinetic simulator is \"applicable for testing "
+              "when the actual\n hardware is not available\" — same NTCP "
+              "path, approximate physics)\n");
+  return 0;
+}

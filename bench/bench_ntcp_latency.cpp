@@ -1,0 +1,145 @@
+// E11 — §5: "MOST and most follow-on experiments have lax performance
+// requirements; even long delays can be tolerated ... We are working on
+// improving NTCP performance" for near-real-time experiments.
+//
+// Measures per-step NTCP cost vs simulated WAN RTT over the *scheduled*
+// (real-latency) network, and the ablation DESIGN.md calls out: the
+// two-phase propose/execute protocol costs two round trips per site per
+// step; a single-shot variant (execute-with-implicit-propose) would halve
+// that but gives up the negotiate-before-moving safety property.
+#include <cstdio>
+
+#include "net/network.h"
+#include "ntcp/client.h"
+#include "ntcp/server.h"
+#include "plugins/simulation_plugin.h"
+#include "psd/coordinator.h"
+#include "structural/substructure.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
+using namespace nees;
+
+namespace {
+
+std::unique_ptr<plugins::SimulationPlugin> ElasticPlugin() {
+  auto plugin = std::make_unique<plugins::SimulationPlugin>();
+  structural::Matrix k(1, 1);
+  k(0, 0) = 1e6;
+  plugin->AddControlPoint(
+      "cp", std::make_unique<structural::ElasticSubstructure>(k));
+  return plugin;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== E11 (§5): NTCP step latency vs WAN round-trip time "
+              "====\n\n");
+  util::TextTable table({"one-way delay [ms]", "two-phase step [ms]",
+                         "single-shot step [ms]", "speedup",
+                         "1500-step two-phase [min]"});
+
+  for (const int delay_ms : {0, 5, 15, 30, 50}) {
+    net::Network network(net::DeliveryMode::kScheduled);
+    net::LinkModel wan;
+    wan.latency_micros = delay_ms * 1000;
+    network.SetDefaultLink(wan);
+
+    ntcp::NtcpServer server(&network, "ntcp.site", ElasticPlugin());
+    if (!server.Start().ok()) return 1;
+    net::RpcClient rpc(&network, "coordinator");
+    ntcp::RetryPolicy policy;
+    policy.rpc_timeout_micros = 2'000'000;
+    ntcp::NtcpClient client(&rpc, "ntcp.site", policy);
+
+    const int steps = delay_ms == 0 ? 200 : 20;
+
+    // Two-phase (the real protocol): propose, then execute.
+    util::SampleStats two_phase;
+    for (int i = 0; i < steps; ++i) {
+      ntcp::Proposal proposal;
+      proposal.transaction_id = "tp-" + std::to_string(i);
+      proposal.actions.push_back({"cp", {0.001}, {}});
+      const util::Stopwatch watch;
+      if (!client.Propose(proposal).ok()) return 1;
+      if (!client.Execute(proposal.transaction_id).ok()) return 1;
+      two_phase.Add(watch.ElapsedMicros() / 1000.0);
+    }
+
+    // Single-shot ablation: one RPC that proposes AND executes. Emulated by
+    // measuring a lone execute after pre-proposing out of band.
+    util::SampleStats single_shot;
+    for (int i = 0; i < steps; ++i) {
+      ntcp::Proposal proposal;
+      proposal.transaction_id = "ss-" + std::to_string(i);
+      proposal.actions.push_back({"cp", {0.001}, {}});
+      if (!client.Propose(proposal).ok()) return 1;  // out-of-band
+      const util::Stopwatch watch;
+      if (!client.Execute(proposal.transaction_id).ok()) return 1;
+      single_shot.Add(watch.ElapsedMicros() / 1000.0);
+    }
+
+    const double steps1500_minutes = two_phase.mean() * 1500.0 / 60000.0;
+    table.AddRow({std::to_string(delay_ms),
+                  util::Format("%.2f", two_phase.mean()),
+                  util::Format("%.2f", single_shot.mean()),
+                  util::Format("%.2fx",
+                               two_phase.mean() /
+                                   std::max(single_shot.mean(), 1e-9)),
+                  util::Format("%.1f", steps1500_minutes)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // ---- parallel-site ablation: the implemented §5 optimization ----------
+  std::printf("==== E11b: 3-site step cost, sequential vs parallel rounds "
+              "====\n\n");
+  util::TextTable parallel_table({"one-way delay [ms]", "sequential [ms]",
+                                  "parallel sites [ms]", "speedup"});
+  for (const int delay_ms : {5, 15, 30}) {
+    net::Network network(net::DeliveryMode::kScheduled);
+    net::LinkModel wan;
+    wan.latency_micros = delay_ms * 1000;
+    network.SetDefaultLink(wan);
+    std::vector<std::unique_ptr<ntcp::NtcpServer>> servers;
+    for (const std::string endpoint : {"s1", "s2", "s3"}) {
+      auto server = std::make_unique<ntcp::NtcpServer>(&network, endpoint,
+                                                       ElasticPlugin());
+      if (!server->Start().ok()) return 1;
+      servers.push_back(std::move(server));
+    }
+    auto run = [&](bool parallel, const std::string& name) {
+      psd::CoordinatorConfig config;
+      config.run_id = name;
+      config.mass = structural::Matrix::Identity(1) * 5e4;
+      config.damping = structural::Matrix::Identity(1) * 1e4;
+      config.iota = {1.0};
+      config.motion = structural::SinePulse(0.02, 9, 1.0, 1.0);
+      config.sites = {{"S1", "s1", "cp", {0}},
+                      {"S2", "s2", "cp", {0}},
+                      {"S3", "s3", "cp", {0}}};
+      config.parallel_sites = parallel;
+      net::RpcClient rpc(&network, name + ".coordinator");
+      psd::SimulationCoordinator coordinator(config, &rpc);
+      const psd::RunReport report = coordinator.Run();
+      return report.completed
+                 ? report.wall_seconds * 1000.0 / report.steps_completed
+                 : -1.0;
+    };
+    const double sequential_ms = run(false, "seq" + std::to_string(delay_ms));
+    const double parallel_ms = run(true, "par" + std::to_string(delay_ms));
+    parallel_table.AddRow(
+        {std::to_string(delay_ms), util::Format("%.1f", sequential_ms),
+         util::Format("%.1f", parallel_ms),
+         util::Format("%.2fx", sequential_ms / std::max(parallel_ms, 1e-9))});
+  }
+  std::printf("%s\n", parallel_table.ToString().c_str());
+
+  std::printf(
+      "shape: step cost is ~2 RTT for the two-phase protocol and ~1 RTT\n"
+      "single-shot. At transcontinental delays (30-50 ms) a 1500-step\n"
+      "experiment spends minutes in protocol — tolerable for PSD testing\n"
+      "(the real MOST took ~5 h because rigs settle in real time), but the\n"
+      "motivation for the near-real-time NTCP work of §5.\n");
+  return 0;
+}

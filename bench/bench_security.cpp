@@ -1,0 +1,174 @@
+// E10 — §4: security mechanism costs.
+//
+// Measures the GSI-analog operations every NEESgrid call depends on: the
+// mutual-auth handshake, chain verification as proxy delegation deepens,
+// session-token validation (the per-RPC hot path), and CAS capability
+// issue/verify.
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "net/network.h"
+#include "net/rpc.h"
+#include "security/auth.h"
+#include "security/cas.h"
+#include "security/certificate.h"
+#include "util/clock.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
+using namespace nees;
+
+namespace {
+
+void BM_SchnorrSign(benchmark::State& state) {
+  util::Rng rng(1);
+  const security::SigningKey key = security::GenerateKey(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(security::Sign(key, "challenge", rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchnorrSign);
+
+void BM_SchnorrVerify(benchmark::State& state) {
+  util::Rng rng(1);
+  const security::SigningKey key = security::GenerateKey(rng);
+  const security::Signature signature = security::Sign(key, "challenge", rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        security::Verify(key.public_key, "challenge", signature));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchnorrVerify);
+
+void BM_ChainVerifyByProxyDepth(benchmark::State& state) {
+  util::SimClock clock(1'000'000);
+  util::Rng rng(7);
+  security::CertificateAuthority ca("/O=NEES/CN=CA", clock, rng);
+  security::TrustStore trust;
+  trust.AddRoot(ca.root_certificate());
+  security::Credential credential =
+      ca.IssueIdentity("/O=NEES/CN=user", 0, rng);
+  for (int depth = 0; depth < state.range(0); ++depth) {
+    credential = credential.CreateProxy(3'600'000'000, clock, rng);
+  }
+  security::VerifyOptions options;
+  options.max_proxy_depth = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trust.VerifyChain(credential.chain(), clock.NowMicros(), options));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("chain length " +
+                 std::to_string(credential.chain().size()));
+}
+BENCHMARK(BM_ChainVerifyByProxyDepth)->Arg(0)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_FullHandshakeOverNetwork(benchmark::State& state) {
+  util::SimClock clock(1'000'000'000);
+  net::Network network;
+  network.SetClock(&clock);
+  util::Rng rng(7);
+  security::CertificateAuthority ca("/O=NEES/CN=CA", clock, rng);
+  security::TrustStore trust;
+  trust.AddRoot(ca.root_certificate());
+  security::AuthService auth(std::move(trust), &clock, util::Rng(9));
+  net::RpcServer server(&network, "ntcp.site");
+  (void)server.Start();
+  auth.Attach(server);
+  const security::Credential user =
+      ca.IssueIdentity("/O=NEES/CN=coordinator", 0, rng);
+  net::RpcClient rpc(&network, "client");
+  security::AuthClient login(&rpc, user, &clock, util::Rng(5));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(login.Login("ntcp.site"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullHandshakeOverNetwork);
+
+void BM_TokenValidate(benchmark::State& state) {
+  security::SessionTokenIssuer issuer("bench-secret");
+  const std::string token = issuer.Issue("/O=NEES/CN=coordinator", 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(issuer.Validate(token, 1000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TokenValidate);
+
+void BM_CasIssueAndVerify(benchmark::State& state) {
+  util::SimClock clock(1'000'000);
+  util::Rng rng(7);
+  security::CertificateAuthority ca("/O=NEES/CN=CA", clock, rng);
+  security::CommunityAuthorizationService cas(
+      ca.IssueIdentity("/O=NEES/CN=cas", 0, rng), &clock, util::Rng(9));
+  cas.Grant("/O=NEES/CN=ingest", "repo.files", "write");
+  for (auto _ : state) {
+    auto capability = cas.Issue("/O=NEES/CN=ingest", "repo.files", "write");
+    benchmark::DoNotOptimize(security::VerifyCapability(
+        *capability, cas.public_key(), clock.NowMicros()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CasIssueAndVerify);
+
+void PrintAuthOverheadTable() {
+  std::printf("==== E10 (§4): authenticated vs open NTCP call overhead "
+              "====\n\n");
+  // Compare raw RPC against token-authenticated RPC on the same method.
+  util::SimClock clock(1'000'000'000);
+  net::Network network;
+  network.SetClock(&clock);
+  util::Rng rng(7);
+  security::CertificateAuthority ca("/O=NEES/CN=CA", clock, rng);
+  security::TrustStore trust;
+  trust.AddRoot(ca.root_certificate());
+
+  auto measure = [&](bool authed) {
+    net::RpcServer server(&network,
+                          authed ? "svc.authed" : "svc.open");
+    (void)server.Start();
+    server.RegisterMethod(
+        "ping", [](const net::CallContext&,
+                   const net::Bytes& body) -> util::Result<net::Bytes> {
+          return body;
+        });
+    security::AuthService auth(trust, &clock, util::Rng(9));
+    net::RpcClient rpc(&network, authed ? "c.authed" : "c.open");
+    if (authed) {
+      auth.Attach(server);
+      security::AuthClient login(
+          &rpc, ca.IssueIdentity("/O=NEES/CN=u", 0, rng), &clock,
+          util::Rng(5));
+      (void)login.Login(server.endpoint());
+    }
+    const int calls = 20000;
+    const util::Stopwatch watch;
+    for (int i = 0; i < calls; ++i) {
+      (void)rpc.Call(server.endpoint(), "ping", {});
+    }
+    return watch.ElapsedMicros() / static_cast<double>(calls);
+  };
+
+  const double open_us = measure(false);
+  const double authed_us = measure(true);
+  util::TextTable table({"configuration", "per-call [us]", "overhead"});
+  table.AddRow({"open (no auth)", util::Format("%.2f", open_us), "-"});
+  table.AddRow({"GSI token + ACL check", util::Format("%.2f", authed_us),
+                util::Format("%.2f us (%.0f%%)", authed_us - open_us,
+                             100.0 * (authed_us - open_us) /
+                                 std::max(open_us, 1e-9))});
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintAuthOverheadTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,155 @@
+// UCLA field test (§5): "field testing of a four-story office building in
+// Los Angeles ... gathering acceleration, strain, and displacement data
+// using wireless sensor arrays (802.11 wireless telemetry) ... Data and
+// video streams will be recorded and archived at a mobile command center
+// before transmission to the laboratory using satellite telemetry."
+//
+// Topology on the simulated network:
+//   wireless sensors --lossy 802.11 links--> mobile command center (DAQ)
+//   command center --high-latency, narrow satellite link--> lab repository
+//   one camera records stills archived alongside the sensor data
+//
+//   ./field_test [shaking-minutes]
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "daq/daq.h"
+#include "net/network.h"
+#include "nsds/nsds.h"
+#include "repo/facade.h"
+#include "structural/groundmotion.h"
+#include "telepresence/telepresence.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+using namespace nees;
+
+int main(int argc, char** argv) {
+  const int minutes = argc > 1 ? std::atoi(argv[1]) : 2;
+
+  net::Network network;
+
+  // The lab repository, reachable only over the satellite uplink.
+  repo::RepositoryFacade lab(&network, "repo.lab");
+  if (!lab.Start().ok()) return 1;
+  net::LinkModel satellite;
+  satellite.latency_micros = 0;           // latency modeled as metric here;
+  satellite.drop_probability = 0.002;     // rare uplink corruption
+  network.SetLink("uplink", "repo.lab.gftp", satellite);
+  network.SetLink("uplink", "repo.lab", satellite);
+
+  // The mobile command center: DAQ + streaming server + camera.
+  daq::DaqSystem command_center;
+  const std::vector<std::string> sensors = {
+      "ucla.accel.roof", "ucla.accel.floor2", "ucla.strain.col-a",
+      "ucla.disp.roof"};
+  for (const std::string& channel : sensors) {
+    command_center.AddChannel({channel, "mixed", 50.0});
+  }
+  nsds::NsdsServer live(&network, "nsds.field");
+  if (!live.Start().ok()) return 1;
+  tele::TelepresenceServer camera(&network, "cam.field", "building-face");
+  if (!camera.Start().ok()) return 1;
+
+  // Wireless sensor nodes publish over lossy 802.11 links into the command
+  // center's NSDS; the DAQ records what arrives.
+  nsds::NsdsSubscriber receiver(&network, "cc.receiver");
+  if (!receiver.SubscribeTo("nsds.field", "ucla.").ok()) return 1;
+  receiver.SetFrameCallback([&](const nsds::DataFrame& frame) {
+    for (const nsds::DataSample& sample : frame.samples) {
+      (void)command_center.Record(sample.channel, sample.time_micros,
+                                  sample.value);
+    }
+  });
+  net::LinkModel wifi;
+  wifi.drop_probability = 0.08;  // 802.11 in the field
+  network.SetLink("nsds.field", "cc.receiver", wifi);
+
+  // Harmonic + earthquake-type force histories (§5), sampled at 50 Hz.
+  const std::size_t steps = static_cast<std::size_t>(minutes) * 60 * 50;
+  structural::SyntheticQuakeParams quake;
+  quake.steps = steps;
+  quake.dt_seconds = 0.02;
+  quake.peak_accel = 1.5;
+  const structural::GroundMotion record = structural::SynthesizeQuake(quake);
+  util::Rng sensor_noise(2026);
+
+  const auto drop_dir =
+      std::filesystem::temp_directory_path() / "nees-field-test";
+  std::filesystem::remove_all(drop_dir);
+  net::RpcClient uplink(&network, "uplink");
+  repo::IngestionTool ingest(&uplink, "repo.lab", "ucla-field", "mobile-cc");
+  daq::Harvester harvester(
+      drop_dir, [&](const std::filesystem::path& file,
+                    const std::vector<nsds::DataSample>& samples) {
+        return ingest.IngestDropFile(file, samples);
+      });
+
+  std::uint64_t stills = 0;
+  for (std::size_t i = 0; i < steps; ++i) {
+    const auto t = static_cast<std::int64_t>(i * 20'000);
+    const double shaking = record.accel[i];
+    // Each wireless node measures a channel-specific view of the response.
+    std::vector<nsds::DataSample> frame;
+    frame.push_back({"ucla.accel.roof", t,
+                     2.4 * shaking + sensor_noise.Gaussian(0, 0.01)});
+    frame.push_back({"ucla.accel.floor2", t,
+                     1.3 * shaking + sensor_noise.Gaussian(0, 0.01)});
+    frame.push_back({"ucla.strain.col-a", t,
+                     4e-6 * shaking + sensor_noise.Gaussian(0, 1e-8)});
+    frame.push_back({"ucla.disp.roof", t,
+                     0.004 * shaking + sensor_noise.Gaussian(0, 1e-5)});
+    live.Publish(frame);
+
+    // Trigger a still image at each strong-motion peak (§5: "using the
+    // NEESgrid framework to trigger still image capture").
+    if (std::abs(shaking) > 0.9 * record.PeakAcceleration()) {
+      camera.camera().SetSceneValue(shaking);
+      ++stills;
+    }
+    // Flush the command center's buffers over the satellite every 30 s.
+    if (i > 0 && i % 1500 == 0) {
+      if (command_center.Flush(drop_dir, "field").ok()) {
+        (void)harvester.ScanOnce();
+      }
+    }
+  }
+  if (command_center.Flush(drop_dir, "field").ok()) {
+    (void)harvester.ScanOnce();
+  }
+
+  const auto archived = lab.nfms().List("ucla-field/");
+  std::printf("UCLA field test: %d min of shaking, %zu samples published\n",
+              minutes, steps * sensors.size());
+  std::printf("wireless loss:   %llu frames received of %llu sent "
+              "(802.11 telemetry)\n",
+              static_cast<unsigned long long>(
+                  receiver.stats().frames_received),
+              static_cast<unsigned long long>(live.stats().frames_sent));
+  std::printf("command center:  %llu samples recorded, %llu ring "
+              "overwrites\n",
+              static_cast<unsigned long long>(command_center.recorded()),
+              static_cast<unsigned long long>(command_center.overwritten()));
+  std::printf("satellite uplink: %llu files archived at the lab "
+              "repository\n",
+              static_cast<unsigned long long>(archived.size()));
+  std::printf("still captures:  %llu triggered at strong-motion peaks\n",
+              static_cast<unsigned long long>(stills));
+
+  std::size_t archived_samples = 0;
+  for (const auto& entry : archived) {
+    auto metadata = lab.nmds().Get("file:" + entry.logical_name);
+    if (metadata.ok()) {
+      long long samples = 0;
+      util::ParseInt(metadata->fields.at("samples"), &samples);
+      archived_samples += static_cast<std::size_t>(samples);
+    }
+  }
+  std::printf("lab archive:     %zu samples with queryable metadata "
+              "(%.1f%% of published)\n",
+              archived_samples,
+              100.0 * archived_samples / (steps * sensors.size()));
+  std::filesystem::remove_all(drop_dir);
+  return 0;
+}

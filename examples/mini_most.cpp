@@ -1,0 +1,77 @@
+// Mini-MOST (§3.5): the tabletop teaching rig. Runs the hybrid experiment
+// twice — once against the emulated stepper-motor hardware through the
+// LabVIEW plugin, once against the first-order kinetic simulator that
+// stands in "when the actual hardware is not available" — and compares.
+//
+//   ./mini_most [steps]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "most/mini_most.h"
+
+using namespace nees;
+
+int main(int argc, char** argv) {
+  most::MiniMostOptions options;
+  if (argc > 1) options.steps = static_cast<std::size_t>(std::atoll(argv[1]));
+
+  std::printf("Mini-MOST: %.0f cm x %.0f cm beam, k = %.0f N/m, %zu steps\n\n",
+              options.beam_length_m * 100, options.beam_width_m * 100,
+              most::MiniMostBeamStiffness(options), options.steps);
+
+  structural::TimeHistory hardware_history;
+  {
+    net::Network network;
+    options.real_hardware = true;
+    most::MiniMostExperiment rig(&network, &util::SystemClock::Instance(),
+                                 options);
+    auto report = rig.Run("hw");
+    if (!report.ok() || !report->completed) {
+      std::printf("hardware run failed: %s\n",
+                  (report.ok() ? report->failure : report.status())
+                      .ToString()
+                      .c_str());
+      return 1;
+    }
+    hardware_history = report->history;
+    std::printf("stepper-motor rig : completed %zu steps, peak tip "
+                "displacement %.3f mm,\n                    stepper took %lld "
+                "motor steps total\n",
+                report->steps_completed,
+                report->history.PeakDisplacement(0) * 1000,
+                static_cast<long long>(rig.stepper_steps()));
+  }
+
+  structural::TimeHistory kinetic_history;
+  {
+    net::Network network;
+    options.real_hardware = false;
+    most::MiniMostExperiment simulator(&network,
+                                       &util::SystemClock::Instance(),
+                                       options);
+    auto report = simulator.Run("sim");
+    if (!report.ok() || !report->completed) return 1;
+    kinetic_history = report->history;
+    std::printf("kinetic simulator : completed %zu steps, peak tip "
+                "displacement %.3f mm\n",
+                report->steps_completed,
+                report->history.PeakDisplacement(0) * 1000);
+  }
+
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < hardware_history.displacement.size() &&
+                          i < kinetic_history.displacement.size();
+       ++i) {
+    max_diff = std::max(max_diff,
+                        std::fabs(hardware_history.displacement[i][0] -
+                                  kinetic_history.displacement[i][0]));
+  }
+  const double peak = hardware_history.PeakDisplacement(0);
+  std::printf("\nhardware vs simulator: max divergence %.4f mm (%.1f%% of "
+              "peak)\n",
+              max_diff * 1000, peak > 0 ? 100.0 * max_diff / peak : 0.0);
+  std::printf("(the simulator is a debugging stand-in, not a digital twin — "
+              "same code path,\n approximate physics)\n");
+  return 0;
+}

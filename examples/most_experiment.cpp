@@ -1,0 +1,124 @@
+// The MOST experiment, end to end (§3): dry run (all-simulation), hybrid
+// run (emulated rigs at UIUC and CU), and the §3.4 fault narrative — a
+// naive coordinator dying at step 1493/1500 while the fault-tolerant one
+// completes.
+//
+//   ./most_experiment          # 1500 steps, as on July 30, 2003
+//   ./most_experiment 300      # shorter record for a quick look
+#include <cstdio>
+#include <cstdlib>
+
+#include "most/most.h"
+#include "util/stats.h"
+
+using namespace nees;
+
+namespace {
+
+void PrintReport(const char* label, const psd::RunReport& report) {
+  std::printf("%-22s %s at step %zu/%zu", label,
+              report.completed ? "COMPLETED" : "TERMINATED",
+              report.steps_completed, report.total_steps);
+  if (!report.completed) {
+    std::printf("  (%s)", report.failure.ToString().c_str());
+  }
+  std::printf("  [%.2f s wall, %llu transient faults recovered]\n",
+              report.wall_seconds,
+              static_cast<unsigned long long>(
+                  report.transient_faults_recovered));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t steps =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 1500;
+
+  most::MostOptions options;
+  options.steps = steps;
+  std::printf("MOST reproduction: two-bay single-story frame, %zu PSD "
+              "steps at dt=%.0f ms\n",
+              steps, options.dt_seconds * 1000);
+  const most::StiffnessBreakdown stiffness =
+      most::ComputeStiffnessBreakdown(options);
+  std::printf("substructure stiffness: UIUC %.3g N/m, NCSA %.3g N/m, "
+              "CU %.3g N/m\n\n",
+              stiffness.left_n_per_m, stiffness.middle_n_per_m,
+              stiffness.right_n_per_m);
+
+  // ---- Phase 1: distributed simulation-only dry run ----------------------
+  {
+    net::Network network;
+    options.hybrid = false;
+    most::MostExperiment dry(&network, &util::SystemClock::Instance(),
+                             options);
+    auto report = dry.Run(psd::FaultPolicy::kFaultTolerant, "dry");
+    if (!report.ok()) {
+      std::printf("dry run failed to start: %s\n",
+                  report.status().ToString().c_str());
+      return 1;
+    }
+    PrintReport("dry run (all-sim):", *report);
+    std::printf("  peak story drift: %.2f mm\n\n",
+                report->history.PeakDisplacement(0) * 1000);
+  }
+
+  // ---- Phase 2: hybrid run (physical rigs swapped in transparently) ------
+  psd::RunReport hybrid_report;
+  {
+    net::Network network;
+    options.hybrid = true;
+    most::MostExperiment hybrid(&network, &util::SystemClock::Instance(),
+                                options);
+    auto report = hybrid.Run(psd::FaultPolicy::kFaultTolerant, "hybrid");
+    if (!report.ok()) return 1;
+    hybrid_report = *report;
+    PrintReport("hybrid run:", *report);
+    std::printf("  peak story drift: %.2f mm\n",
+                report->history.PeakDisplacement(0) * 1000);
+    for (const psd::SiteStats& site : report->site_stats) {
+      std::printf("  site %-5s per-op latency: %s\n", site.name.c_str(),
+                  site.step_micros.Summary().c_str());
+    }
+    std::printf("\n");
+  }
+
+  // ---- Phase 3: the public-run fault narrative ----------------------------
+  // Transient bursts early in the day are survivable; a long burst near the
+  // end (at ~99.5% of the record, i.e. step 1493 of 1500) kills the naive
+  // coordinator. The fault-tolerant coordinator finishes.
+  const std::size_t fatal_step = steps * 1493 / 1500;
+  for (const auto policy :
+       {psd::FaultPolicy::kNaive, psd::FaultPolicy::kFaultTolerant}) {
+    net::Network network;
+    options.hybrid = false;
+    most::MostExperiment experiment(&network,
+                                    &util::SystemClock::Instance(), options);
+    if (!experiment.Start().ok()) return 1;
+    net::RpcClient rpc(&network, "public.coordinator");
+    auto config = experiment.MakeCoordinatorConfig(policy, "public");
+    config.retry.initial_backoff_micros = 10'000;
+    psd::SimulationCoordinator coordinator(config, &rpc,
+                                           &util::SystemClock::Instance());
+    most::MostFaultSchedule faults(&network, "public.coordinator",
+                                   most::MostExperiment::kNtcpCu);
+    faults.AddTransientBurst(steps / 5, 1);
+    faults.AddTransientBurst(steps / 2, 2);
+    faults.SetFatalOutage(fatal_step, 4);
+    coordinator.SetStepObserver(
+        [&faults](std::size_t step, const structural::Vector&,
+                  const std::vector<ntcp::TransactionResult>&) {
+          faults.OnStep(step);
+        });
+    const psd::RunReport report = coordinator.Run();
+    PrintReport(policy == psd::FaultPolicy::kNaive
+                    ? "public run (naive):"
+                    : "public run (FT):",
+                report);
+  }
+
+  std::printf("\n(The 2003 public run terminated at step 1493 of 1500 after "
+              "a final network\n error; its dry run completed. Both outcomes "
+              "reproduce above.)\n");
+  return 0;
+}

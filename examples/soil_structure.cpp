@@ -1,0 +1,128 @@
+// Soil-structure interaction follow-on (§5): "Earthquake engineers at RPI,
+// UIUC and Lehigh University plan to use the NEESgrid framework to study
+// soil-structure interaction in an experiment involving two structural
+// sites (UIUC and Lehigh), one geotechnical site (RPI), and a computational
+// simulation node at NCSA" — an idealized model of the Santa Monica
+// Freeway's Collector-Distributor 36, damaged in the 1994 Northridge quake.
+//
+// Reduced model: 2 DOFs — foundation/soil level (DOF 0) and deck level
+// (DOF 1). RPI's centrifuge carries the (hysteretic) soil spring on DOF 0;
+// UIUC and Lehigh each carry a pier column between the two levels; NCSA
+// simulates the coupling frame. Four sites, one coordinator, same NTCP.
+//
+//   ./soil_structure [steps]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "net/network.h"
+#include "ntcp/server.h"
+#include "plugins/simulation_plugin.h"
+#include "psd/coordinator.h"
+#include "structural/groundmotion.h"
+#include "structural/substructure.h"
+
+using namespace nees;
+
+namespace {
+
+/// A pier column between DOF 0 and DOF 1: 2-DOF coupling stiffness.
+std::unique_ptr<structural::SubstructureModel> PierColumn(double k) {
+  structural::Matrix coupling(2, 2);
+  coupling(0, 0) = k;
+  coupling(0, 1) = -k;
+  coupling(1, 0) = -k;
+  coupling(1, 1) = k;
+  return std::make_unique<structural::ElasticSubstructure>(coupling);
+}
+
+std::unique_ptr<ntcp::NtcpServer> StartSite(
+    net::Network* network, const std::string& endpoint,
+    const std::string& control_point,
+    std::unique_ptr<structural::SubstructureModel> model) {
+  auto plugin = std::make_unique<plugins::SimulationPlugin>();
+  plugin->AddControlPoint(control_point, std::move(model));
+  auto server = std::make_unique<ntcp::NtcpServer>(network, endpoint,
+                                                   std::move(plugin));
+  if (!server->Start().ok()) return nullptr;
+  return server;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t steps =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 800;
+
+  net::Network network;
+
+  // RPI: the centrifuge soil model — hysteretic spring on the foundation.
+  structural::BoucWenSubstructure::Params soil;
+  soil.elastic_stiffness = 8.0e6;    // N/m, stiff sand
+  soil.yield_displacement = 0.01;    // soil yields early
+  soil.alpha = 0.02;
+  auto rpi = StartSite(&network, "ntcp.rpi", "soil-box",
+                       std::make_unique<structural::BoucWenSubstructure>(soil));
+
+  // UIUC and Lehigh: one pier column each between foundation and deck.
+  const double pier_k = 2.5e6;  // N/m per pier
+  auto uiuc = StartSite(&network, "ntcp.uiuc", "pier", PierColumn(pier_k));
+  auto lehigh = StartSite(&network, "ntcp.lehigh", "pier", PierColumn(pier_k));
+
+  // NCSA: numerical coupling frame (deck stiffness contribution).
+  structural::Matrix deck(2, 2);
+  deck(1, 1) = 1.0e6;
+  auto ncsa = StartSite(&network, "ntcp.ncsa", "deck",
+                        std::make_unique<structural::ElasticSubstructure>(deck));
+  if (!rpi || !uiuc || !lehigh || !ncsa) return 1;
+
+  // Northridge-flavoured synthetic record.
+  structural::SyntheticQuakeParams quake;
+  quake.steps = steps;
+  quake.peak_accel = 4.0;  // strong motion
+  quake.seed = 1994'01'17;  // Northridge's date
+  const structural::GroundMotion motion = structural::SynthesizeQuake(quake);
+
+  psd::CoordinatorConfig config;
+  config.run_id = "cd36";
+  structural::Matrix mass(2, 2);
+  mass(0, 0) = 8.0e4;  // foundation + soil mass
+  mass(1, 1) = 1.2e5;  // deck mass
+  config.mass = mass;
+  config.damping = structural::Matrix(2, 2);
+  config.damping(0, 0) = 8.0e4;  // heavier radiation damping at the soil
+  config.damping(1, 1) = 2.0e4;
+  config.iota = {1.0, 1.0};
+  config.motion = motion;
+  config.sites = {
+      {"RPI", "ntcp.rpi", "soil-box", {0}},
+      {"UIUC", "ntcp.uiuc", "pier", {0, 1}},
+      {"Lehigh", "ntcp.lehigh", "pier", {0, 1}},
+      {"NCSA", "ntcp.ncsa", "deck", {0, 1}},
+  };
+
+  net::RpcClient rpc(&network, "cd36.coordinator");
+  psd::SimulationCoordinator coordinator(config, &rpc);
+  const psd::RunReport report = coordinator.Run();
+
+  std::printf("soil-structure experiment (%zu steps, 4 sites): %s\n",
+              steps, report.completed ? "COMPLETED" : "TERMINATED");
+  if (!report.completed) {
+    std::printf("  failure: %s\n", report.failure.ToString().c_str());
+    return 1;
+  }
+  std::printf("  peak foundation drift: %.2f mm\n",
+              report.history.PeakDisplacement(0) * 1000);
+  std::printf("  peak deck drift:       %.2f mm\n",
+              report.history.PeakDisplacement(1) * 1000);
+  const double ratio = report.history.PeakDisplacement(1) /
+                       report.history.PeakDisplacement(0);
+  std::printf("  deck/foundation ratio: %.2f  (soil compliance feeds the "
+              "superstructure)\n", ratio);
+  for (const psd::SiteStats& site : report.site_stats) {
+    std::printf("  %-7s %llu proposals, %llu executes\n", site.name.c_str(),
+                static_cast<unsigned long long>(site.proposals),
+                static_cast<unsigned long long>(site.executes));
+  }
+  return 0;
+}

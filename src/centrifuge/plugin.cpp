@@ -1,0 +1,111 @@
+#include "centrifuge/plugin.h"
+
+#include "util/strings.h"
+
+namespace nees::centrifuge {
+
+RobotArmPlugin::RobotArmPlugin(std::shared_ptr<RobotArm> arm,
+                               std::shared_ptr<BenderElementArray> benders)
+    : arm_(std::move(arm)), benders_(std::move(benders)) {}
+
+util::Status RobotArmPlugin::ValidateAction(
+    const ntcp::ControlPointRequest& action) const {
+  const std::string& cp = action.control_point;
+  if (cp == "arm") {
+    if (action.target_displacement.size() != 3) {
+      return util::InvalidArgument("'arm' takes {x, y, z}");
+    }
+    return util::OkStatus();
+  }
+  if (util::StartsWith(cp, "tool:")) {
+    if (!ToolFromName(cp.substr(5))) {
+      return util::InvalidArgument("unknown tool: " + cp.substr(5));
+    }
+    return util::OkStatus();
+  }
+  if (cp == "penetrate" || cp == "probe" || cp == "pile") {
+    if (action.target_displacement.size() != 1 ||
+        action.target_displacement[0] >= 0) {
+      return util::InvalidArgument("'" + cp + "' takes a negative depth");
+    }
+    return util::OkStatus();
+  }
+  if (util::StartsWith(cp, "bender:")) {
+    const auto parts = util::Split(cp, ':');
+    if (parts.size() != 3) {
+      return util::InvalidArgument("bender control point is bender:<s>:<r>");
+    }
+    return util::OkStatus();
+  }
+  return util::NotFound("unknown control point: " + cp);
+}
+
+util::Status RobotArmPlugin::Validate(const ntcp::Proposal& proposal) {
+  if (proposal.actions.empty()) {
+    return util::InvalidArgument("proposal has no actions");
+  }
+  for (const auto& action : proposal.actions) {
+    NEES_RETURN_IF_ERROR(ValidateAction(action));
+  }
+  return util::OkStatus();
+}
+
+util::Result<ntcp::ControlPointResult> RobotArmPlugin::ExecuteAction(
+    const ntcp::ControlPointRequest& action) {
+  const std::string& cp = action.control_point;
+  ntcp::ControlPointResult result;
+  result.control_point = cp;
+
+  if (cp == "arm") {
+    ArmPosition target{action.target_displacement[0],
+                       action.target_displacement[1],
+                       action.target_displacement[2]};
+    NEES_ASSIGN_OR_RETURN(ArmPosition achieved, arm_->MoveTo(target));
+    result.measured_displacement = {achieved.x, achieved.y, achieved.z};
+    return result;
+  }
+  if (util::StartsWith(cp, "tool:")) {
+    NEES_RETURN_IF_ERROR(arm_->ExchangeTool(*ToolFromName(cp.substr(5))));
+    return result;
+  }
+  if (cp == "penetrate") {
+    NEES_ASSIGN_OR_RETURN(
+        auto profile, arm_->PenetrateTo(action.target_displacement[0], 10));
+    result.measured_displacement = {profile.back().first};
+    result.measured_force = {profile.back().second};  // tip resistance
+    return result;
+  }
+  if (cp == "probe") {
+    NEES_ASSIGN_OR_RETURN(double density,
+                          arm_->ProbeDensity(action.target_displacement[0]));
+    result.measured_displacement = {action.target_displacement[0]};
+    result.measured_force = {density};
+    return result;
+  }
+  if (cp == "pile") {
+    NEES_RETURN_IF_ERROR(arm_->InstallPile(action.target_displacement[0]));
+    result.measured_force = {static_cast<double>(arm_->piles_installed())};
+    return result;
+  }
+  if (util::StartsWith(cp, "bender:")) {
+    const auto parts = util::Split(cp, ':');
+    NEES_ASSIGN_OR_RETURN(double velocity,
+                          benders_->MeasureVelocity(parts[1], parts[2]));
+    result.measured_force = {velocity};
+    return result;
+  }
+  return util::NotFound("unknown control point: " + cp);
+}
+
+util::Result<ntcp::TransactionResult> RobotArmPlugin::Execute(
+    const ntcp::Proposal& proposal) {
+  ntcp::TransactionResult result;
+  for (const auto& action : proposal.actions) {
+    NEES_ASSIGN_OR_RETURN(ntcp::ControlPointResult cp_result,
+                          ExecuteAction(action));
+    result.results.push_back(std::move(cp_result));
+  }
+  return result;
+}
+
+}  // namespace nees::centrifuge

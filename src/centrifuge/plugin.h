@@ -1,0 +1,47 @@
+// NTCP control plugin for the centrifuge robot arm and bender elements —
+// the paper's conclusion made concrete: "NTCP and NSDS can be used to
+// control and observe a wide range of devices". The generic NTCP action
+// model (named control points + numeric targets) carries robot-arm
+// teleoperation without any protocol change:
+//
+//   control point        target_displacement        result
+//   -----------------    -----------------------    ------------------------
+//   "arm"                {x, y, z}                  measured position
+//   "tool:<name>"        {}                         {} (tool mounted)
+//   "penetrate"          {depth_z}                  resistance at tip
+//   "probe"              {depth_z}                  measured density
+//   "pile"               {tip_z}                    piles installed so far
+//   "bender:<src>:<rcv>" {}                         shear-wave velocity
+//
+// Validate() enforces workspace limits and tool prerequisites BEFORE the
+// arm moves — the same negotiate-first safety property as the structural
+// sites (§2.1), now protecting a robot over a spinning centrifuge.
+#pragma once
+
+#include <memory>
+
+#include "centrifuge/robot.h"
+#include "ntcp/plugin.h"
+
+namespace nees::centrifuge {
+
+class RobotArmPlugin final : public ntcp::ControlPlugin {
+ public:
+  RobotArmPlugin(std::shared_ptr<RobotArm> arm,
+                 std::shared_ptr<BenderElementArray> benders);
+
+  util::Status Validate(const ntcp::Proposal& proposal) override;
+  util::Result<ntcp::TransactionResult> Execute(
+      const ntcp::Proposal& proposal) override;
+  std::string_view kind() const override { return "centrifuge-robot"; }
+
+ private:
+  util::Status ValidateAction(const ntcp::ControlPointRequest& action) const;
+  util::Result<ntcp::ControlPointResult> ExecuteAction(
+      const ntcp::ControlPointRequest& action);
+
+  std::shared_ptr<RobotArm> arm_;
+  std::shared_ptr<BenderElementArray> benders_;
+};
+
+}  // namespace nees::centrifuge

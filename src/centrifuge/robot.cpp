@@ -1,0 +1,268 @@
+#include "centrifuge/robot.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bytes.h"
+#include "util/sha256.h"
+
+namespace nees::centrifuge {
+
+std::string_view ToolName(Tool tool) {
+  switch (tool) {
+    case Tool::kNone: return "none";
+    case Tool::kStereoCamera: return "stereo-camera";
+    case Tool::kUltrasound: return "ultrasound";
+    case Tool::kConePenetrometer: return "cone-penetrometer";
+    case Tool::kNeedleProbe: return "needle-probe";
+    case Tool::kGripper: return "gripper";
+  }
+  return "unknown";
+}
+
+std::optional<Tool> ToolFromName(std::string_view name) {
+  for (int i = 0; i <= static_cast<int>(Tool::kGripper); ++i) {
+    if (ToolName(static_cast<Tool>(i)) == name) return static_cast<Tool>(i);
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// SoilModel
+
+SoilModel SoilModel::DefaultProfile(double container_depth_m) {
+  const double third = container_depth_m / 3.0;
+  std::vector<Layer> layers = {
+      {0.0, -third, 120.0, 1.5e6, 1500.0},            // loose sand
+      {-third, -2 * third, 180.0, 4.0e6, 1650.0},     // medium
+      {-2 * third, -container_depth_m, 260.0, 9.0e6, 1800.0},  // dense
+  };
+  return SoilModel(std::move(layers));
+}
+
+SoilModel::SoilModel(std::vector<Layer> layers)
+    : layers_(std::move(layers)),
+      container_depth_(layers_.empty() ? 0.0 : -layers_.back().bottom_z) {}
+
+const SoilModel::Layer* SoilModel::LayerAt(double z) const {
+  for (const Layer& layer : layers_) {
+    if (z <= layer.top_z && z >= layer.bottom_z) return &layer;
+  }
+  return nullptr;
+}
+
+util::Result<double> SoilModel::TravelTimeSeconds(
+    const ArmPosition& source, const ArmPosition& receiver) const {
+  if (!LayerAt(source.z) || !LayerAt(receiver.z)) {
+    return util::OutOfRange("bender element outside the soil profile");
+  }
+  const double dx = receiver.x - source.x;
+  const double dy = receiver.y - source.y;
+  const double dz = receiver.z - source.z;
+  const double length = std::sqrt(dx * dx + dy * dy + dz * dz);
+  if (length < 1e-9) return util::InvalidArgument("coincident elements");
+
+  // Integrate 1/v along the straight ray, sampling finely in z.
+  const int samples = 200;
+  double time = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const double fraction = (i + 0.5) / samples;
+    const double z = source.z + fraction * dz;
+    const Layer* layer = LayerAt(std::clamp(z, -container_depth_, 0.0));
+    if (!layer) return util::Internal("ray left the profile");
+    time += (length / samples) / layer->shear_wave_velocity;
+  }
+  return time;
+}
+
+void SoilModel::Densify(double z_low, double z_high, double factor) {
+  for (Layer& layer : layers_) {
+    const bool intersects = layer.top_z >= z_low && layer.bottom_z <= z_high;
+    if (intersects) {
+      layer.shear_wave_velocity *= factor;
+      layer.cone_resistance *= factor * factor;  // resistance grows faster
+      layer.density *= 1.0 + (factor - 1.0) * 0.2;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RobotArm
+
+RobotArm::RobotArm(Params params, SoilModel* soil, std::uint64_t sensor_seed)
+    : params_(params), soil_(soil), noise_(sensor_seed) {
+  position_ = params_.tool_rack;
+}
+
+Tool RobotArm::current_tool() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tool_;
+}
+
+ArmPosition RobotArm::position() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return position_;
+}
+
+double RobotArm::elapsed_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return elapsed_s_;
+}
+
+util::Result<ArmPosition> RobotArm::MoveTo(const ArmPosition& target) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (target.x < 0 || target.x > params_.workspace_x || target.y < 0 ||
+      target.y > params_.workspace_y) {
+    return util::OutOfRange("target outside the arm workspace");
+  }
+  if (target.z < -params_.max_depth ||
+      target.z > params_.tool_rack.z + 0.05) {
+    return util::OutOfRange("target outside the vertical range");
+  }
+  // Only penetrating tools may go below the soil surface.
+  if (target.z < 0 && tool_ != Tool::kConePenetrometer &&
+      tool_ != Tool::kNeedleProbe && tool_ != Tool::kGripper) {
+    return util::FailedPrecondition(
+        std::string("tool '") + std::string(ToolName(tool_)) +
+        "' cannot enter the soil");
+  }
+  const double dx = target.x - position_.x;
+  const double dy = target.y - position_.y;
+  const double dz = target.z - position_.z;
+  elapsed_s_ +=
+      std::sqrt(dx * dx + dy * dy + dz * dz) / params_.travel_speed;
+  position_ = target;
+  return position_;
+}
+
+util::Status RobotArm::ExchangeTool(Tool tool) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (position_.z < 0) {
+    return util::FailedPrecondition(
+        "retract above the soil surface before a tool change");
+  }
+  // Auto-travel to the rack, swap, time accounted.
+  const double dx = params_.tool_rack.x - position_.x;
+  const double dy = params_.tool_rack.y - position_.y;
+  const double dz = params_.tool_rack.z - position_.z;
+  elapsed_s_ += std::sqrt(dx * dx + dy * dy + dz * dz) / params_.travel_speed;
+  elapsed_s_ += params_.tool_change_seconds;
+  position_ = params_.tool_rack;
+  tool_ = tool;
+  return util::OkStatus();
+}
+
+util::Result<std::vector<std::pair<double, double>>> RobotArm::PenetrateTo(
+    double z, int samples) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tool_ != Tool::kConePenetrometer) {
+    return util::FailedPrecondition("cone penetrometer not mounted");
+  }
+  if (z >= 0 || z < -params_.max_depth) {
+    return util::OutOfRange("penetration depth out of range");
+  }
+  std::vector<std::pair<double, double>> profile;
+  for (int i = 1; i <= samples; ++i) {
+    const double depth = z * i / samples;
+    const SoilModel::Layer* layer = soil_->LayerAt(depth);
+    if (!layer) return util::OutOfRange("penetrated past the container");
+    profile.emplace_back(
+        depth, layer->cone_resistance * (1.0 + noise_.Gaussian(0, 0.02)));
+  }
+  // Push + retract time at 1/5 travel speed (soil resistance).
+  elapsed_s_ += 2.0 * std::fabs(z) / (params_.travel_speed / 5.0);
+  position_.z = 0.0;  // retracted
+  return profile;
+}
+
+util::Result<double> RobotArm::ProbeDensity(double z) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tool_ != Tool::kNeedleProbe) {
+    return util::FailedPrecondition("needle probe not mounted");
+  }
+  const SoilModel::Layer* layer = soil_->LayerAt(z);
+  if (!layer) return util::OutOfRange("probe depth outside the profile");
+  elapsed_s_ += 2.0 * std::fabs(z) / (params_.travel_speed / 2.0);
+  return layer->density * (1.0 + noise_.Gaussian(0, 0.01));
+}
+
+util::Status RobotArm::InstallPile(double tip_z) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tool_ != Tool::kGripper) {
+    return util::FailedPrecondition("gripper not mounted");
+  }
+  if (tip_z >= 0 || tip_z < -params_.max_depth) {
+    return util::OutOfRange("pile tip depth out of range");
+  }
+  soil_->Densify(tip_z, 0.0, 1.15);  // installation densifies the column
+  ++piles_;
+  elapsed_s_ += 60.0;  // a pile takes a minute
+  position_.z = 0.0;
+  return util::OkStatus();
+}
+
+int RobotArm::piles_installed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return piles_;
+}
+
+util::Result<std::vector<std::uint8_t>> RobotArm::CaptureImage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tool_ != Tool::kStereoCamera && tool_ != Tool::kUltrasound) {
+    return util::FailedPrecondition("no imaging tool mounted");
+  }
+  util::ByteWriter writer;
+  writer.WriteString(std::string(ToolName(tool_)));
+  writer.WriteDouble(position_.x);
+  writer.WriteDouble(position_.y);
+  writer.WriteDouble(position_.z);
+  // The "image" content depends on the soil state below the view point.
+  const SoilModel::Layer* layer =
+      soil_->LayerAt(std::max(position_.z, -soil_->container_depth()));
+  writer.WriteDouble(layer ? layer->density : 0.0);
+  const util::Sha256Digest pixels =
+      util::Sha256::Hash(util::ToHex(writer.data().data(), writer.size()));
+  std::vector<std::uint8_t> image = writer.Take();
+  image.insert(image.end(), pixels.begin(), pixels.end());
+  elapsed_s_ += 0.5;
+  return image;
+}
+
+// ---------------------------------------------------------------------------
+// BenderElementArray
+
+BenderElementArray::BenderElementArray(SoilModel* soil, std::uint64_t seed)
+    : soil_(soil), noise_(seed) {}
+
+void BenderElementArray::AddElement(const std::string& name,
+                                    const ArmPosition& position) {
+  elements_[name] = position;
+}
+
+std::vector<std::string> BenderElementArray::ElementNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, position] : elements_) {
+    (void)position;
+    names.push_back(name);
+  }
+  return names;
+}
+
+util::Result<double> BenderElementArray::MeasureVelocity(
+    const std::string& source, const std::string& receiver) {
+  auto s = elements_.find(source);
+  auto r = elements_.find(receiver);
+  if (s == elements_.end() || r == elements_.end()) {
+    return util::NotFound("unknown bender element");
+  }
+  NEES_ASSIGN_OR_RETURN(double travel_time,
+                        soil_->TravelTimeSeconds(s->second, r->second));
+  const double dx = r->second.x - s->second.x;
+  const double dy = r->second.y - s->second.y;
+  const double dz = r->second.z - s->second.z;
+  const double length = std::sqrt(dx * dx + dy * dy + dz * dz);
+  // Arrival-pick noise of ~2%.
+  return (length / travel_time) * (1.0 + noise_.Gaussian(0, 0.02));
+}
+
+}  // namespace nees::centrifuge

@@ -1,0 +1,166 @@
+// UC Davis centrifuge experiment substrate (§5): "remote operation of a
+// robot arm that will be attached to their centrifuge and of piezo-electric
+// bender element sources and receivers embedded within the centrifuge
+// model. The robot arm has exchangeable tools: a stereo video camera tool
+// for telepresence, an ultrasound tool for imaging, a cone penetrometer, a
+// needle probe for high resolution imaging, and a gripper tool for
+// installation of piles and manipulation/loading."
+//
+// This module models the devices; the NTCP-facing plugin lives in
+// centrifuge/plugin.h. It demonstrates the paper's conclusion that "NTCP
+// and NSDS can be used to control and observe a wide range of devices" —
+// nothing here is a servo-hydraulic structural rig.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace nees::centrifuge {
+
+/// The exchangeable end-effector tools (§5 list, verbatim).
+enum class Tool : std::uint8_t {
+  kNone = 0,
+  kStereoCamera = 1,
+  kUltrasound = 2,
+  kConePenetrometer = 3,
+  kNeedleProbe = 4,
+  kGripper = 5,
+};
+
+std::string_view ToolName(Tool tool);
+std::optional<Tool> ToolFromName(std::string_view name);
+
+/// Cartesian position over the soil model container, meters (model scale).
+struct ArmPosition {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;  // depth below the soil surface is negative z
+
+  bool operator==(const ArmPosition&) const = default;
+};
+
+/// Layered soil model inside the centrifuge container. Properties vary by
+/// depth; penetration and probing read them out, and ground improvement
+/// (e.g. pile installation) densifies layers.
+class SoilModel {
+ public:
+  struct Layer {
+    double top_z = 0.0;       // upper boundary (<= 0)
+    double bottom_z = -0.1;   // lower boundary
+    double shear_wave_velocity = 150.0;  // m/s (prototype scale)
+    double cone_resistance = 2e6;        // Pa
+    double density = 1600.0;             // kg/m^3
+  };
+
+  /// Builds a default 3-layer profile (loose over medium over dense sand).
+  static SoilModel DefaultProfile(double container_depth_m = 0.3);
+
+  explicit SoilModel(std::vector<Layer> layers);
+
+  const Layer* LayerAt(double z) const;
+  double container_depth() const { return container_depth_; }
+
+  /// Shear-wave travel time between two embedded points (straight ray,
+  /// piecewise-constant velocity by layer).
+  util::Result<double> TravelTimeSeconds(const ArmPosition& source,
+                                         const ArmPosition& receiver) const;
+
+  /// Densifies every layer intersecting [z_low, z_high]: pile installation
+  /// / ground improvement raises velocity, resistance, and density.
+  void Densify(double z_low, double z_high, double factor);
+
+  std::size_t layer_count() const { return layers_.size(); }
+  const Layer& layer(std::size_t i) const { return layers_[i]; }
+
+ private:
+  std::vector<Layer> layers_;
+  double container_depth_;
+};
+
+/// The centrifuge-mounted robot arm. Moves are rate-limited; tools must be
+/// exchanged at the tool rack (a fixed position) while the centrifuge is
+/// spinning slowly; depth operations require the matching tool.
+class RobotArm {
+ public:
+  struct Params {
+    double workspace_x = 0.6;       // container plan dimensions, m
+    double workspace_y = 0.4;
+    double max_depth = 0.3;         // probe depth limit, m
+    double travel_speed = 0.05;     // m/s
+    double tool_change_seconds = 30.0;
+    ArmPosition tool_rack{0.0, 0.0, 0.05};
+  };
+
+  RobotArm(Params params, SoilModel* soil, std::uint64_t sensor_seed);
+
+  /// Moves the end effector; returns the achieved position and accumulates
+  /// simulated motion time. Fails if the target leaves the workspace or
+  /// would plunge a non-probing tool into the soil.
+  util::Result<ArmPosition> MoveTo(const ArmPosition& target);
+
+  /// Exchanges the tool (arm auto-returns to the rack).
+  util::Status ExchangeTool(Tool tool);
+  Tool current_tool() const;
+  ArmPosition position() const;
+  double elapsed_seconds() const;
+
+  // --- tool operations -----------------------------------------------------
+  /// Cone penetrometer: push to depth `z` (negative), returning the
+  /// measured resistance profile at `samples` evenly spaced depths.
+  util::Result<std::vector<std::pair<double, double>>> PenetrateTo(
+      double z, int samples);
+
+  /// Needle probe: high-resolution point measurement of density at the
+  /// current (x, y) and given depth.
+  util::Result<double> ProbeDensity(double z);
+
+  /// Gripper: install a model pile at the current (x, y), densifying the
+  /// soil column it crosses.
+  util::Status InstallPile(double tip_z);
+  int piles_installed() const;
+
+  /// Stereo camera / ultrasound: a deterministic "image" of the current
+  /// view (hashable bytes; changes with pose, tool, and soil state).
+  util::Result<std::vector<std::uint8_t>> CaptureImage();
+
+ private:
+  Params params_;
+  SoilModel* soil_;
+  mutable std::mutex mu_;
+  ArmPosition position_;
+  Tool tool_ = Tool::kNone;
+  double elapsed_s_ = 0.0;
+  int piles_ = 0;
+  util::Rng noise_;
+};
+
+/// A source/receiver pair of piezo-electric bender elements embedded in the
+/// model; firing the source measures the shear-wave arrival at the
+/// receiver, the standard way to track soil stiffness during shaking or
+/// ground improvement (§5).
+class BenderElementArray {
+ public:
+  BenderElementArray(SoilModel* soil, std::uint64_t seed);
+
+  void AddElement(const std::string& name, const ArmPosition& position);
+  std::vector<std::string> ElementNames() const;
+
+  /// Fires `source` and reads the arrival at `receiver`; returns inferred
+  /// average shear-wave velocity (m/s) with measurement noise.
+  util::Result<double> MeasureVelocity(const std::string& source,
+                                       const std::string& receiver);
+
+ private:
+  SoilModel* soil_;
+  std::map<std::string, ArmPosition> elements_;
+  util::Rng noise_;
+};
+
+}  // namespace nees::centrifuge

@@ -1,0 +1,168 @@
+#include "daq/daq.h"
+
+#include <fstream>
+
+#include "util/strings.h"
+
+namespace nees::daq {
+
+DaqSystem::DaqSystem(std::size_t ring_capacity)
+    : ring_capacity_(ring_capacity) {}
+
+void DaqSystem::AddChannel(const ChannelConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  channels_[config.name] = config;
+  buffers_.try_emplace(config.name);
+}
+
+std::vector<std::string> DaqSystem::ChannelNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(channels_.size());
+  for (const auto& [name, config] : channels_) {
+    (void)config;
+    names.push_back(name);
+  }
+  return names;
+}
+
+util::Result<ChannelConfig> DaqSystem::GetChannel(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = channels_.find(name);
+  if (it == channels_.end()) return util::NotFound("no channel: " + name);
+  return it->second;
+}
+
+util::Status DaqSystem::Record(const std::string& channel,
+                               std::int64_t time_micros, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buffers_.find(channel);
+  if (it == buffers_.end()) return util::NotFound("no channel: " + channel);
+  if (it->second.size() >= ring_capacity_) {
+    it->second.pop_front();
+    ++overwritten_;
+  }
+  it->second.push_back({channel, time_micros, value});
+  ++recorded_;
+  return util::OkStatus();
+}
+
+std::vector<nsds::DataSample> DaqSystem::Buffered(
+    const std::string& channel) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buffers_.find(channel);
+  if (it == buffers_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::uint64_t DaqSystem::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+std::uint64_t DaqSystem::overwritten() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overwritten_;
+}
+
+util::Result<std::filesystem::path> DaqSystem::Flush(
+    const std::filesystem::path& drop_dir, const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string content;
+  std::size_t total = 0;
+  for (auto& [channel, buffer] : buffers_) {
+    for (const nsds::DataSample& sample : buffer) {
+      content += util::Format("%s,%lld,%.12g\n", channel.c_str(),
+                              static_cast<long long>(sample.time_micros),
+                              sample.value);
+      ++total;
+    }
+    buffer.clear();
+  }
+  if (total == 0) return util::NotFound("nothing to flush");
+
+  std::error_code ec;
+  std::filesystem::create_directories(drop_dir, ec);
+  if (ec) return util::Internal("cannot create drop dir: " + ec.message());
+  const std::filesystem::path file =
+      drop_dir / util::Format("%s_%06llu.csv", prefix.c_str(),
+                              static_cast<unsigned long long>(
+                                  flush_counter_++));
+  std::ofstream out(file);
+  if (!out) return util::Internal("cannot open " + file.string());
+  out << content;
+  out.close();
+  return file;
+}
+
+util::Result<std::vector<nsds::DataSample>> ParseDropCsv(
+    std::string_view content) {
+  std::vector<nsds::DataSample> samples;
+  int line_number = 0;
+  for (const std::string& line : util::Split(content, '\n')) {
+    ++line_number;
+    if (util::Trim(line).empty()) continue;
+    const auto parts = util::Split(line, ',');
+    long long time_micros = 0;
+    double value = 0.0;
+    if (parts.size() != 3 || !util::ParseInt(parts[1], &time_micros) ||
+        !util::ParseDouble(parts[2], &value)) {
+      return util::DataLoss(
+          util::Format("malformed DAQ row at line %d", line_number));
+    }
+    samples.push_back({parts[0], time_micros, value});
+  }
+  return samples;
+}
+
+util::Result<std::vector<nsds::DataSample>> ParseDropFile(
+    const std::filesystem::path& file) {
+  std::ifstream in(file);
+  if (!in) return util::NotFound("cannot open " + file.string());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  auto samples = ParseDropCsv(content);
+  if (!samples.ok()) {
+    return util::DataLoss(samples.status().message() + " in " +
+                          file.string());
+  }
+  return samples;
+}
+
+Harvester::Harvester(std::filesystem::path drop_dir, FileSink sink)
+    : drop_dir_(std::move(drop_dir)), sink_(std::move(sink)) {}
+
+util::Result<int> Harvester::ScanOnce() {
+  std::error_code ec;
+  if (!std::filesystem::exists(drop_dir_, ec)) return 0;
+  std::vector<std::filesystem::path> pending;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(drop_dir_, ec)) {
+    if (ec) return util::Internal("scan failed: " + ec.message());
+    if (entry.path().extension() == ".csv") pending.push_back(entry.path());
+  }
+  std::sort(pending.begin(), pending.end());
+
+  int processed = 0;
+  for (const std::filesystem::path& file : pending) {
+    auto samples = ParseDropFile(file);
+    if (!samples.ok()) {
+      ++files_failed_;
+      continue;  // leave the bad file for operator inspection
+    }
+    const util::Status sunk = sink_(file, *samples);
+    if (!sunk.ok()) {
+      ++files_failed_;
+      continue;  // retry on the next scan
+    }
+    std::filesystem::rename(file, file.string() + ".done", ec);
+    if (ec) return util::Internal("rename failed: " + ec.message());
+    ++files_processed_;
+    samples_processed_ += samples->size();
+    ++processed;
+  }
+  return processed;
+}
+
+}  // namespace nees::daq

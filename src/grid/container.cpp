@@ -1,0 +1,286 @@
+#include "grid/container.h"
+
+#include "util/logging.h"
+
+namespace nees::grid {
+
+ServiceContainer::ServiceContainer(net::Network* network, std::string endpoint,
+                                   util::Clock* clock)
+    : network_(network),
+      endpoint_(std::move(endpoint)),
+      clock_(clock),
+      rpc_server_(network, endpoint_) {}
+
+ServiceContainer::~ServiceContainer() { Stop(); }
+
+util::Status ServiceContainer::Start() {
+  NEES_RETURN_IF_ERROR(rpc_server_.Start());
+  rpc_server_.RegisterMethod(
+      "ogsi.list",
+      [this](const net::CallContext&, const net::Bytes&)
+          -> util::Result<net::Bytes> { return HandleList(); });
+  rpc_server_.RegisterMethod(
+      "ogsi.findServiceData",
+      [this](const net::CallContext&, const net::Bytes& body) {
+        return HandleFind(body);
+      });
+  rpc_server_.RegisterMethod(
+      "ogsi.setTermination",
+      [this](const net::CallContext&, const net::Bytes& body) {
+        return HandleSetTermination(body);
+      });
+  rpc_server_.RegisterMethod(
+      "ogsi.destroy", [this](const net::CallContext&, const net::Bytes& body) {
+        return HandleDestroy(body);
+      });
+  rpc_server_.RegisterMethod(
+      "ogsi.subscribe",
+      [this](const net::CallContext&, const net::Bytes& body) {
+        return HandleSubscribe(body);
+      });
+  return util::OkStatus();
+}
+
+void ServiceContainer::Stop() { rpc_server_.Stop(); }
+
+util::Result<std::string> ServiceContainer::AddService(
+    std::shared_ptr<GridService> service) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string& name = service->name();
+  if (services_.contains(name)) {
+    return util::AlreadyExists("service already hosted: " + name);
+  }
+  services_[name] = std::move(service);
+  return endpoint_ + "/" + name;
+}
+
+util::Status ServiceContainer::DestroyService(const std::string& name) {
+  std::shared_ptr<GridService> victim;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = services_.find(name);
+    if (it == services_.end()) return util::NotFound("no service: " + name);
+    victim = it->second;
+    services_.erase(it);
+    std::erase_if(remote_subscriptions_, [&](const RemoteSubscription& sub) {
+      return sub.service == name;
+    });
+  }
+  victim->OnDestroy();
+  return util::OkStatus();
+}
+
+std::shared_ptr<GridService> ServiceContainer::Lookup(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = services_.find(name);
+  return it == services_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> ServiceContainer::ListServices() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(services_.size());
+  for (const auto& [name, service] : services_) {
+    (void)service;
+    names.push_back(name);
+  }
+  return names;
+}
+
+int ServiceContainer::SweepExpired() {
+  const std::int64_t now = clock_->NowMicros();
+  std::vector<std::string> expired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, service] : services_) {
+      if (service->Expired(now)) expired.push_back(name);
+    }
+  }
+  for (const std::string& name : expired) {
+    NEES_LOG_INFO("grid.container." + endpoint_)
+        << "soft-state expiry destroying service " << name;
+    (void)DestroyService(name);
+  }
+  return static_cast<int>(expired.size());
+}
+
+net::Bytes ServiceContainer::HandleList() const {
+  util::ByteWriter writer;
+  const auto names = ListServices();
+  writer.WriteU32(static_cast<std::uint32_t>(names.size()));
+  for (const auto& name : names) writer.WriteString(name);
+  return writer.Take();
+}
+
+util::Result<net::Bytes> ServiceContainer::HandleFind(
+    const net::Bytes& body) const {
+  util::ByteReader reader(body);
+  NEES_ASSIGN_OR_RETURN(std::string service_name, reader.ReadString());
+  NEES_ASSIGN_OR_RETURN(std::string prefix, reader.ReadString());
+  auto service = Lookup(service_name);
+  if (!service) return util::NotFound("no service: " + service_name);
+  const auto matches = service->FindServiceData(prefix);
+  util::ByteWriter writer;
+  writer.WriteU32(static_cast<std::uint32_t>(matches.size()));
+  for (const auto& [key, value] : matches) {
+    writer.WriteString(key);
+    EncodeSdeValue(value, writer);
+  }
+  return writer.Take();
+}
+
+util::Result<net::Bytes> ServiceContainer::HandleSetTermination(
+    const net::Bytes& body) {
+  util::ByteReader reader(body);
+  NEES_ASSIGN_OR_RETURN(std::string service_name, reader.ReadString());
+  NEES_ASSIGN_OR_RETURN(std::int64_t micros, reader.ReadI64());
+  auto service = Lookup(service_name);
+  if (!service) return util::NotFound("no service: " + service_name);
+  service->SetTerminationTimeMicros(micros);
+  return net::Bytes{};
+}
+
+util::Result<net::Bytes> ServiceContainer::HandleDestroy(
+    const net::Bytes& body) {
+  util::ByteReader reader(body);
+  NEES_ASSIGN_OR_RETURN(std::string service_name, reader.ReadString());
+  NEES_RETURN_IF_ERROR(DestroyService(service_name));
+  return net::Bytes{};
+}
+
+util::Result<net::Bytes> ServiceContainer::HandleSubscribe(
+    const net::Bytes& body) {
+  util::ByteReader reader(body);
+  NEES_ASSIGN_OR_RETURN(std::string service_name, reader.ReadString());
+  NEES_ASSIGN_OR_RETURN(std::string prefix, reader.ReadString());
+  NEES_ASSIGN_OR_RETURN(std::string subscriber, reader.ReadString());
+  auto service = Lookup(service_name);
+  if (!service) return util::NotFound("no service: " + service_name);
+
+  const int local_id = service->SubscribeSde(
+      prefix, [this, service_name, subscriber](const std::string& key,
+                                               const SdeValue& value) {
+        util::ByteWriter writer;
+        writer.WriteString(service_name);
+        writer.WriteString(key);
+        EncodeSdeValue(value, writer);
+        net::Message message;
+        message.from = endpoint_;
+        message.to = subscriber;
+        message.kind = net::MessageKind::kOneWay;
+        message.method = "ogsi.notify";
+        message.payload =
+            net::EncodeRequestEnvelope(/*auth_token=*/"", writer.Take());
+        (void)network_->Send(std::move(message));  // best effort
+      });
+
+  std::lock_guard<std::mutex> lock(mu_);
+  remote_subscriptions_.push_back({service_name, subscriber, local_id});
+  return net::Bytes{};
+}
+
+// ---------------------------------------------------------------------------
+// ContainerClient
+
+ContainerClient::ContainerClient(net::Network* network,
+                                 std::string client_endpoint)
+    : rpc_client_(network, client_endpoint),
+      notify_server_(network, client_endpoint + ".notify") {
+  (void)notify_server_.Start();
+  notify_server_.RegisterOneWay(
+      "ogsi.notify", [this](const net::CallContext&, const net::Bytes& body) {
+        util::ByteReader reader(body);
+        auto service = reader.ReadString();
+        auto key = reader.ReadString();
+        if (!service.ok() || !key.ok()) return;
+        auto value = DecodeSdeValue(reader);
+        if (!value.ok()) return;
+        std::vector<NotifyCallback> callbacks;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          callbacks = callbacks_;
+        }
+        for (const auto& callback : callbacks) {
+          callback(*service, *key, *value);
+        }
+      });
+}
+
+util::Result<std::vector<std::string>> ContainerClient::ListServices(
+    const std::string& container, std::int64_t timeout_micros) {
+  NEES_ASSIGN_OR_RETURN(
+      net::Bytes response,
+      rpc_client_.Call(container, "ogsi.list", {}, timeout_micros));
+  util::ByteReader reader(response);
+  NEES_ASSIGN_OR_RETURN(std::uint32_t count, reader.ReadU32());
+  std::vector<std::string> names;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    NEES_ASSIGN_OR_RETURN(std::string name, reader.ReadString());
+    names.push_back(std::move(name));
+  }
+  return names;
+}
+
+util::Result<std::vector<std::pair<std::string, SdeValue>>>
+ContainerClient::FindServiceData(const std::string& container,
+                                 const std::string& service,
+                                 const std::string& key_prefix,
+                                 std::int64_t timeout_micros) {
+  util::ByteWriter writer;
+  writer.WriteString(service);
+  writer.WriteString(key_prefix);
+  NEES_ASSIGN_OR_RETURN(net::Bytes response,
+                        rpc_client_.Call(container, "ogsi.findServiceData",
+                                         writer.Take(), timeout_micros));
+  util::ByteReader reader(response);
+  NEES_ASSIGN_OR_RETURN(std::uint32_t count, reader.ReadU32());
+  std::vector<std::pair<std::string, SdeValue>> matches;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    NEES_ASSIGN_OR_RETURN(std::string key, reader.ReadString());
+    NEES_ASSIGN_OR_RETURN(SdeValue value, DecodeSdeValue(reader));
+    matches.emplace_back(std::move(key), std::move(value));
+  }
+  return matches;
+}
+
+util::Status ContainerClient::SetTerminationTime(
+    const std::string& container, const std::string& service,
+    std::int64_t termination_micros, std::int64_t timeout_micros) {
+  util::ByteWriter writer;
+  writer.WriteString(service);
+  writer.WriteI64(termination_micros);
+  return rpc_client_
+      .Call(container, "ogsi.setTermination", writer.Take(), timeout_micros)
+      .status();
+}
+
+util::Status ContainerClient::DestroyService(const std::string& container,
+                                             const std::string& service,
+                                             std::int64_t timeout_micros) {
+  util::ByteWriter writer;
+  writer.WriteString(service);
+  return rpc_client_.Call(container, "ogsi.destroy", writer.Take(),
+                          timeout_micros)
+      .status();
+}
+
+util::Status ContainerClient::Subscribe(const std::string& container,
+                                        const std::string& service,
+                                        const std::string& key_prefix,
+                                        NotifyCallback callback,
+                                        std::int64_t timeout_micros) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    callbacks_.push_back(std::move(callback));
+  }
+  util::ByteWriter writer;
+  writer.WriteString(service);
+  writer.WriteString(key_prefix);
+  writer.WriteString(notify_server_.endpoint());
+  return rpc_client_
+      .Call(container, "ogsi.subscribe", writer.Take(), timeout_micros)
+      .status();
+}
+
+}  // namespace nees::grid

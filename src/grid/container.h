@@ -1,0 +1,111 @@
+// ServiceContainer: hosts GridServices at a network endpoint and exposes
+// the OGSI inspection/lifetime/subscription operations remotely:
+//
+//   ogsi.list                -> names of hosted services
+//   ogsi.findServiceData     -> SDEs of a service matching a key prefix
+//   ogsi.setTermination      -> set/extend a service's termination time
+//   ogsi.destroy             -> destroy a service immediately
+//   ogsi.subscribe           -> push SDE changes to a subscriber endpoint
+//
+// Soft state: SweepExpired() destroys services whose termination time has
+// passed; a remote party keeps a service alive by periodically extending
+// its lease — the OGSI pattern the paper's services rely on.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "grid/service.h"
+#include "net/rpc.h"
+#include "util/clock.h"
+
+namespace nees::grid {
+
+class ServiceContainer {
+ public:
+  ServiceContainer(net::Network* network, std::string endpoint,
+                   util::Clock* clock = &util::SystemClock::Instance());
+  ~ServiceContainer();
+
+  util::Status Start();
+  void Stop();
+
+  /// Hosts a service; its grid service handle is "<endpoint>/<name>".
+  util::Result<std::string> AddService(std::shared_ptr<GridService> service);
+  util::Status DestroyService(const std::string& name);
+  std::shared_ptr<GridService> Lookup(const std::string& name) const;
+  std::vector<std::string> ListServices() const;
+
+  /// Destroys services whose termination time has passed; returns count.
+  int SweepExpired();
+
+  const std::string& endpoint() const { return endpoint_; }
+  net::RpcServer& rpc() { return rpc_server_; }
+  util::Clock* clock() const { return clock_; }
+
+ private:
+  struct RemoteSubscription {
+    std::string service;
+    std::string subscriber_endpoint;
+    int local_id;
+  };
+
+  net::Bytes HandleList() const;
+  util::Result<net::Bytes> HandleFind(const net::Bytes& body) const;
+  util::Result<net::Bytes> HandleSetTermination(const net::Bytes& body);
+  util::Result<net::Bytes> HandleDestroy(const net::Bytes& body);
+  util::Result<net::Bytes> HandleSubscribe(const net::Bytes& body);
+
+  net::Network* network_;
+  std::string endpoint_;
+  util::Clock* clock_;
+  net::RpcServer rpc_server_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<GridService>> services_;
+  std::vector<RemoteSubscription> remote_subscriptions_;
+};
+
+/// Client-side helper for the ogsi.* operations of a remote container.
+class ContainerClient {
+ public:
+  ContainerClient(net::Network* network, std::string client_endpoint);
+
+  util::Result<std::vector<std::string>> ListServices(
+      const std::string& container, std::int64_t timeout_micros = 1'000'000);
+
+  util::Result<std::vector<std::pair<std::string, SdeValue>>> FindServiceData(
+      const std::string& container, const std::string& service,
+      const std::string& key_prefix, std::int64_t timeout_micros = 1'000'000);
+
+  util::Status SetTerminationTime(const std::string& container,
+                                  const std::string& service,
+                                  std::int64_t termination_micros,
+                                  std::int64_t timeout_micros = 1'000'000);
+
+  util::Status DestroyService(const std::string& container,
+                              const std::string& service,
+                              std::int64_t timeout_micros = 1'000'000);
+
+  /// Subscribes to SDE changes; `callback` runs when notifications arrive at
+  /// this client's endpoint.
+  using NotifyCallback = std::function<void(
+      const std::string& service, const std::string& key, const SdeValue&)>;
+  util::Status Subscribe(const std::string& container,
+                         const std::string& service,
+                         const std::string& key_prefix,
+                         NotifyCallback callback,
+                         std::int64_t timeout_micros = 1'000'000);
+
+  net::RpcClient& rpc() { return rpc_client_; }
+
+ private:
+  net::RpcClient rpc_client_;
+  net::RpcServer notify_server_;
+  std::mutex mu_;
+  std::vector<NotifyCallback> callbacks_;
+};
+
+}  // namespace nees::grid

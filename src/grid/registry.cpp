@@ -1,0 +1,186 @@
+#include "grid/registry.h"
+
+#include "util/strings.h"
+
+namespace nees::grid {
+namespace {
+
+constexpr std::string_view kSdePrefix = "reg.";
+
+void EncodeRegistration(const Registration& registration,
+                        util::ByteWriter& writer) {
+  writer.WriteString(registration.service_name);
+  writer.WriteString(registration.endpoint);
+  writer.WriteString(registration.type);
+  writer.WriteString(registration.site);
+  writer.WriteI64(registration.expires_micros);
+}
+
+util::Result<Registration> DecodeRegistration(util::ByteReader& reader) {
+  Registration registration;
+  NEES_ASSIGN_OR_RETURN(registration.service_name, reader.ReadString());
+  NEES_ASSIGN_OR_RETURN(registration.endpoint, reader.ReadString());
+  NEES_ASSIGN_OR_RETURN(registration.type, reader.ReadString());
+  NEES_ASSIGN_OR_RETURN(registration.site, reader.ReadString());
+  NEES_ASSIGN_OR_RETURN(registration.expires_micros, reader.ReadI64());
+  return registration;
+}
+
+}  // namespace
+
+RegistryService::RegistryService(util::Clock* clock)
+    : GridService("registry"), clock_(clock) {}
+
+SdeValue RegistryService::ToSde(const Registration& registration) const {
+  SdeValue value;
+  value.Set("endpoint", registration.endpoint);
+  value.Set("type", registration.type);
+  value.Set("site", registration.site);
+  value.Set("expires", std::to_string(registration.expires_micros));
+  return value;
+}
+
+Registration RegistryService::FromSde(const std::string& name,
+                                      const SdeValue& value) {
+  Registration registration;
+  registration.service_name = name.substr(kSdePrefix.size());
+  registration.endpoint = value.Get("endpoint");
+  registration.type = value.Get("type");
+  registration.site = value.Get("site");
+  long long expires = 0;
+  util::ParseInt(value.Get("expires"), &expires);
+  registration.expires_micros = expires;
+  return registration;
+}
+
+void RegistryService::Register(const Registration& registration,
+                               std::int64_t lease_micros) {
+  Registration entry = registration;
+  entry.expires_micros =
+      lease_micros == 0 ? 0 : clock_->NowMicros() + lease_micros;
+  SetServiceData(std::string(kSdePrefix) + entry.service_name, ToSde(entry));
+}
+
+util::Status RegistryService::Unregister(const std::string& service_name) {
+  const std::string key = std::string(kSdePrefix) + service_name;
+  if (!GetServiceData(key)) return util::NotFound("not registered: " + service_name);
+  RemoveServiceData(key);
+  return util::OkStatus();
+}
+
+std::optional<Registration> RegistryService::LookupEntry(
+    const std::string& service_name) {
+  const std::string key = std::string(kSdePrefix) + service_name;
+  auto value = GetServiceData(key);
+  if (!value) return std::nullopt;
+  Registration registration = FromSde(key, *value);
+  if (registration.expires_micros != 0 &&
+      clock_->NowMicros() >= registration.expires_micros) {
+    return std::nullopt;
+  }
+  return registration;
+}
+
+std::vector<Registration> RegistryService::Query(const std::string& type) {
+  const std::int64_t now = clock_->NowMicros();
+  std::vector<Registration> results;
+  for (const auto& [key, value] : FindServiceData(std::string(kSdePrefix))) {
+    Registration registration = FromSde(key, value);
+    if (registration.expires_micros != 0 && now >= registration.expires_micros)
+      continue;
+    if (!type.empty() && registration.type != type) continue;
+    results.push_back(std::move(registration));
+  }
+  return results;
+}
+
+int RegistryService::SweepExpired() {
+  const std::int64_t now = clock_->NowMicros();
+  int removed = 0;
+  for (const auto& [key, value] : FindServiceData(std::string(kSdePrefix))) {
+    const Registration registration = FromSde(key, value);
+    if (registration.expires_micros != 0 &&
+        now >= registration.expires_micros) {
+      RemoveServiceData(key);
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+void RegistryService::BindRpc(ServiceContainer& container) {
+  container.rpc().RegisterMethod(
+      "registry.register",
+      [this](const net::CallContext&,
+             const net::Bytes& body) -> util::Result<net::Bytes> {
+        util::ByteReader reader(body);
+        NEES_ASSIGN_OR_RETURN(Registration registration,
+                              DecodeRegistration(reader));
+        NEES_ASSIGN_OR_RETURN(std::int64_t lease, reader.ReadI64());
+        Register(registration, lease);
+        return net::Bytes{};
+      });
+  container.rpc().RegisterMethod(
+      "registry.unregister",
+      [this](const net::CallContext&,
+             const net::Bytes& body) -> util::Result<net::Bytes> {
+        util::ByteReader reader(body);
+        NEES_ASSIGN_OR_RETURN(std::string name, reader.ReadString());
+        NEES_RETURN_IF_ERROR(Unregister(name));
+        return net::Bytes{};
+      });
+  container.rpc().RegisterMethod(
+      "registry.query",
+      [this](const net::CallContext&,
+             const net::Bytes& body) -> util::Result<net::Bytes> {
+        util::ByteReader reader(body);
+        NEES_ASSIGN_OR_RETURN(std::string type, reader.ReadString());
+        const auto results = Query(type);
+        util::ByteWriter writer;
+        writer.WriteU32(static_cast<std::uint32_t>(results.size()));
+        for (const auto& registration : results) {
+          EncodeRegistration(registration, writer);
+        }
+        return writer.Take();
+      });
+}
+
+RegistryClient::RegistryClient(net::RpcClient* rpc,
+                               std::string registry_endpoint)
+    : rpc_(rpc), registry_endpoint_(std::move(registry_endpoint)) {}
+
+util::Status RegistryClient::Register(const Registration& registration,
+                                      std::int64_t lease_micros) {
+  util::ByteWriter writer;
+  EncodeRegistration(registration, writer);
+  writer.WriteI64(lease_micros);
+  return rpc_->Call(registry_endpoint_, "registry.register", writer.Take())
+      .status();
+}
+
+util::Status RegistryClient::Unregister(const std::string& service_name) {
+  util::ByteWriter writer;
+  writer.WriteString(service_name);
+  return rpc_->Call(registry_endpoint_, "registry.unregister", writer.Take())
+      .status();
+}
+
+util::Result<std::vector<Registration>> RegistryClient::Query(
+    const std::string& type) {
+  util::ByteWriter writer;
+  writer.WriteString(type);
+  NEES_ASSIGN_OR_RETURN(
+      net::Bytes response,
+      rpc_->Call(registry_endpoint_, "registry.query", writer.Take()));
+  util::ByteReader reader(response);
+  NEES_ASSIGN_OR_RETURN(std::uint32_t count, reader.ReadU32());
+  std::vector<Registration> results;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    NEES_ASSIGN_OR_RETURN(Registration registration,
+                          DecodeRegistration(reader));
+    results.push_back(std::move(registration));
+  }
+  return results;
+}
+
+}  // namespace nees::grid

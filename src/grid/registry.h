@@ -1,0 +1,66 @@
+// Service registry with soft-state registrations: NEESgrid resources
+// (NTCP servers, repositories, DAQ bridges) register themselves with a
+// lease; entries that are not renewed disappear. This is the index-service
+// analog the virtual-organization story (§1) relies on for discovery.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grid/container.h"
+#include "grid/service.h"
+
+namespace nees::grid {
+
+struct Registration {
+  std::string service_name;  // e.g. "ntcp.uiuc"
+  std::string endpoint;      // network endpoint of the resource
+  std::string type;          // e.g. "ntcp", "repository", "nsds"
+  std::string site;          // e.g. "UIUC", "CU", "NCSA"
+  std::int64_t expires_micros = 0;  // 0 = never
+};
+
+/// GridService that stores registrations as SDEs ("reg.<name>") so the
+/// standard OGSI inspection path doubles as a discovery query.
+class RegistryService final : public GridService {
+ public:
+  explicit RegistryService(util::Clock* clock);
+
+  /// Adds/renews an entry; lease 0 means no expiry.
+  void Register(const Registration& registration, std::int64_t lease_micros);
+  util::Status Unregister(const std::string& service_name);
+
+  std::optional<Registration> LookupEntry(const std::string& service_name);
+  /// Entries of a given type (all if empty), skipping expired ones.
+  std::vector<Registration> Query(const std::string& type);
+
+  /// Removes expired entries; returns count removed.
+  int SweepExpired();
+
+  /// Binds registry.* RPC methods on the container hosting this service.
+  void BindRpc(ServiceContainer& container);
+
+ private:
+  SdeValue ToSde(const Registration& registration) const;
+  static Registration FromSde(const std::string& name, const SdeValue& value);
+
+  util::Clock* clock_;
+};
+
+/// Remote client for a registry hosted in a container.
+class RegistryClient {
+ public:
+  RegistryClient(net::RpcClient* rpc, std::string registry_endpoint);
+
+  util::Status Register(const Registration& registration,
+                        std::int64_t lease_micros);
+  util::Status Unregister(const std::string& service_name);
+  util::Result<std::vector<Registration>> Query(const std::string& type);
+
+ private:
+  net::RpcClient* rpc_;
+  std::string registry_endpoint_;
+};
+
+}  // namespace nees::grid

@@ -1,0 +1,111 @@
+#include "grid/service.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace nees::grid {
+
+void EncodeSdeValue(const SdeValue& value, util::ByteWriter& writer) {
+  writer.WriteU32(static_cast<std::uint32_t>(value.fields.size()));
+  for (const auto& [key, field] : value.fields) {
+    writer.WriteString(key);
+    writer.WriteString(field);
+  }
+}
+
+util::Result<SdeValue> DecodeSdeValue(util::ByteReader& reader) {
+  NEES_ASSIGN_OR_RETURN(std::uint32_t count, reader.ReadU32());
+  SdeValue value;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    NEES_ASSIGN_OR_RETURN(std::string key, reader.ReadString());
+    NEES_ASSIGN_OR_RETURN(std::string field, reader.ReadString());
+    value.fields[std::move(key)] = std::move(field);
+  }
+  return value;
+}
+
+GridService::GridService(std::string name) : name_(std::move(name)) {}
+
+void GridService::SetServiceData(const std::string& key, SdeValue value) {
+  std::vector<SdeCallback> to_notify;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sdes_[key] = value;
+    for (const auto& [id, prefix, callback] : subscriptions_) {
+      (void)id;
+      if (util::StartsWith(key, prefix)) to_notify.push_back(callback);
+    }
+  }
+  for (const auto& callback : to_notify) callback(key, value);
+}
+
+void GridService::RemoveServiceData(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sdes_.erase(key);
+}
+
+std::optional<SdeValue> GridService::GetServiceData(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sdes_.find(key);
+  if (it == sdes_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> GridService::ListServiceData() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> keys;
+  keys.reserve(sdes_.size());
+  for (const auto& [key, value] : sdes_) {
+    (void)value;
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+std::vector<std::pair<std::string, SdeValue>> GridService::FindServiceData(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, SdeValue>> matches;
+  for (const auto& [key, value] : sdes_) {
+    if (util::StartsWith(key, prefix)) matches.emplace_back(key, value);
+  }
+  return matches;
+}
+
+int GridService::SubscribeSde(std::string prefix, SdeCallback callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int id = next_subscription_id_++;
+  subscriptions_.emplace_back(id, std::move(prefix), std::move(callback));
+  return id;
+}
+
+void GridService::UnsubscribeSde(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase_if(subscriptions_,
+                [id](const auto& entry) { return std::get<0>(entry) == id; });
+}
+
+void GridService::SetTerminationTimeMicros(std::int64_t micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  termination_time_micros_ = micros;
+}
+
+std::int64_t GridService::termination_time_micros() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return termination_time_micros_;
+}
+
+void GridService::ExtendLease(std::int64_t lease_micros,
+                              const util::Clock& clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  termination_time_micros_ = clock.NowMicros() + lease_micros;
+}
+
+bool GridService::Expired(std::int64_t now_micros) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return termination_time_micros_ != 0 && now_micros >= termination_time_micros_;
+}
+
+}  // namespace nees::grid

@@ -1,0 +1,93 @@
+// OGSI-style stateful Grid services (paper §2: "our implementations make
+// good use of OGSI mechanisms, such as soft state management and service
+// data elements").
+//
+// A GridService owns a set of named Service Data Elements (SDEs) — small
+// structured documents that expose service state for inspection — plus a
+// soft-state termination time that a ServiceContainer enforces. NTCP
+// publishes one SDE per transaction (Fig. 1 discussion) and a
+// "most-recently-changed" SDE used to monitor the server as a whole.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace nees::grid {
+
+/// A service data element value: an ordered set of string fields.
+struct SdeValue {
+  std::map<std::string, std::string> fields;
+
+  std::string Get(const std::string& key) const {
+    auto it = fields.find(key);
+    return it == fields.end() ? "" : it->second;
+  }
+  void Set(std::string key, std::string value) {
+    fields[std::move(key)] = std::move(value);
+  }
+  bool operator==(const SdeValue&) const = default;
+};
+
+/// Wire encoding for remote inspection.
+void EncodeSdeValue(const SdeValue& value, util::ByteWriter& writer);
+util::Result<SdeValue> DecodeSdeValue(util::ByteReader& reader);
+
+/// Base class for stateful services hosted in a ServiceContainer.
+class GridService {
+ public:
+  explicit GridService(std::string name);
+  virtual ~GridService() = default;
+
+  GridService(const GridService&) = delete;
+  GridService& operator=(const GridService&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // --- service data -------------------------------------------------------
+  void SetServiceData(const std::string& key, SdeValue value);
+  void RemoveServiceData(const std::string& key);
+  std::optional<SdeValue> GetServiceData(const std::string& key) const;
+  /// Sorted keys of all SDEs.
+  std::vector<std::string> ListServiceData() const;
+  /// All SDEs whose key starts with `prefix` (OGSI findServiceData analog).
+  std::vector<std::pair<std::string, SdeValue>> FindServiceData(
+      const std::string& prefix) const;
+
+  /// Local change subscription; returns an id for Unsubscribe. The callback
+  /// runs synchronously on the mutating thread, outside the SDE lock.
+  using SdeCallback =
+      std::function<void(const std::string& key, const SdeValue& value)>;
+  int SubscribeSde(std::string prefix, SdeCallback callback);
+  void UnsubscribeSde(int id);
+
+  // --- soft-state lifetime --------------------------------------------------
+  /// 0 means "never expires" (the default).
+  void SetTerminationTimeMicros(std::int64_t micros);
+  std::int64_t termination_time_micros() const;
+  /// Pushes the termination time to now + lease (soft-state keepalive).
+  void ExtendLease(std::int64_t lease_micros, const util::Clock& clock);
+  bool Expired(std::int64_t now_micros) const;
+
+  /// Hook invoked by the container when the service is destroyed or expires.
+  virtual void OnDestroy() {}
+
+ private:
+  const std::string name_;
+  mutable std::mutex mu_;
+  std::map<std::string, SdeValue> sdes_;
+  std::int64_t termination_time_micros_ = 0;
+  int next_subscription_id_ = 1;
+  std::vector<std::tuple<int, std::string, SdeCallback>> subscriptions_;
+};
+
+}  // namespace nees::grid

@@ -1,0 +1,131 @@
+#include "most/mini_most.h"
+
+#include <cmath>
+
+#include "plugins/labview_plugin.h"
+#include "plugins/simulation_plugin.h"
+
+namespace nees::most {
+
+double MiniMostBeamStiffness(const MiniMostOptions& options) {
+  const double inertia = options.beam_width_m *
+                         std::pow(options.beam_thickness_m, 3) / 12.0;
+  return 3.0 * options.youngs_modulus * inertia /
+         std::pow(options.beam_length_m, 3);
+}
+
+MiniMostExperiment::MiniMostExperiment(net::Network* network,
+                                       util::Clock* clock,
+                                       MiniMostOptions options)
+    : network_(network), clock_(clock), options_(options) {
+  structural::SyntheticQuakeParams quake;
+  quake.dt_seconds = options_.dt_seconds;
+  quake.steps = options_.steps;
+  quake.peak_accel = options_.peak_accel;
+  quake.seed = options_.seed;
+  motion_ = structural::SynthesizeQuake(quake);
+}
+
+util::Status MiniMostExperiment::Start() {
+  if (started_) return util::OkStatus();
+  const double beam_stiffness = MiniMostBeamStiffness(options_);
+
+  std::unique_ptr<ntcp::ControlPlugin> beam_plugin;
+  if (options_.real_hardware) {
+    testbed::PhysicalSpecimen::Config rig;
+    rig.name = "mini-most-beam";
+    rig.limits.max_displacement_m = 0.03;
+    rig.limits.max_force_n = 500.0;
+    rig.sensor_seed = options_.seed;
+    rig.strain_per_newton = 1e-6;
+    auto stepper = std::make_unique<testbed::StepperMotor>(
+        testbed::StepperMotor::Params{});
+    stepper_ = stepper.get();
+    structural::BoucWenSubstructure::Params model;
+    model.elastic_stiffness = beam_stiffness;
+    model.yield_displacement = 0.05;  // the tabletop beam stays elastic
+    model.alpha = 0.1;
+    auto specimen = std::make_unique<testbed::PhysicalSpecimen>(
+        rig, std::move(stepper),
+        std::make_unique<structural::BoucWenSubstructure>(model));
+
+    plugins::LabViewPlugin::Config config;
+    config.control_point = "beam-tip";
+    config.max_abs_displacement_m = 0.025;
+    beam_plugin = std::make_unique<plugins::LabViewPlugin>(
+        config, std::move(specimen));
+  } else {
+    // "first-order kinetic simulator ... applicable for testing when the
+    // actual hardware is not available".
+    structural::FirstOrderKineticSubstructure::Params kinetic;
+    kinetic.stiffness = beam_stiffness;
+    // Must settle well within one PSD step: a lagging restoring force acts
+    // as negative damping in the central-difference loop.
+    kinetic.time_constant = options_.dt_seconds / 4.0;
+    kinetic.dt = options_.dt_seconds;
+    auto simulation = std::make_unique<plugins::SimulationPlugin>();
+    simulation->AddControlPoint(
+        "beam-tip",
+        std::make_unique<structural::FirstOrderKineticSubstructure>(kinetic));
+    beam_plugin = std::move(simulation);
+  }
+  ntcp_ = std::make_unique<ntcp::NtcpServer>(network_, kNtcp,
+                                             std::move(beam_plugin), clock_);
+  NEES_RETURN_IF_ERROR(ntcp_->Start());
+
+  // Numerical rest-of-frame substructure (the simulation coordinator and
+  // this model share the single Mini-MOST PC).
+  auto numeric = std::make_unique<plugins::SimulationPlugin>();
+  structural::Matrix k(1, 1);
+  k(0, 0) = options_.numeric_stiffness_fraction * beam_stiffness;
+  numeric->AddControlPoint(
+      "frame", std::make_unique<structural::ElasticSubstructure>(k));
+  auto sim_server = std::make_unique<ntcp::NtcpServer>(
+      network_, std::string(kNtcp) + ".sim", std::move(numeric), clock_);
+  NEES_RETURN_IF_ERROR(sim_server->Start());
+  sim_server_ = std::move(sim_server);
+
+  coordinator_rpc_ =
+      std::make_unique<net::RpcClient>(network_, "minimost.coordinator");
+  started_ = true;
+  return util::OkStatus();
+}
+
+psd::CoordinatorConfig MiniMostExperiment::MakeCoordinatorConfig(
+    const std::string& run_id) const {
+  const double k_total = MiniMostBeamStiffness(options_) *
+                         (1.0 + options_.numeric_stiffness_fraction);
+  psd::CoordinatorConfig config;
+  config.run_id = run_id;
+  config.mass =
+      structural::Matrix::Identity(1) * options_.effective_mass_kg;
+  const double omega = std::sqrt(k_total / options_.effective_mass_kg);
+  config.damping = structural::Matrix::Identity(1) *
+                   (2.0 * options_.damping_ratio * omega *
+                    options_.effective_mass_kg);
+  config.iota = {1.0};
+  config.motion = motion_;
+  config.sites = {
+      {"beam", kNtcp, "beam-tip", {0}},
+      {"frame", std::string(kNtcp) + ".sim", "frame", {0}},
+  };
+  return config;
+}
+
+util::Result<psd::RunReport> MiniMostExperiment::Run(
+    const std::string& run_id) {
+  NEES_RETURN_IF_ERROR(Start());
+  psd::SimulationCoordinator coordinator(MakeCoordinatorConfig(run_id),
+                                         coordinator_rpc_.get(), clock_);
+  return coordinator.Run();
+}
+
+ntcp::NtcpServerStats MiniMostExperiment::ServerStats() const {
+  return ntcp_ ? ntcp_->stats() : ntcp::NtcpServerStats{};
+}
+
+std::int64_t MiniMostExperiment::stepper_steps() const {
+  return stepper_ ? stepper_->total_steps_taken() : 0;
+}
+
+}  // namespace nees::most

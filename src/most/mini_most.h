@@ -1,0 +1,75 @@
+// Mini-MOST (§3.5): the tabletop, single-PC emulation of the UIUC portion
+// of MOST — a 1 m x 10 cm beam positioned by a stepper motor, LabVIEW for
+// control and DAQ, a strain gauge + LVDT + load cell, and "a program where
+// the beam is replaced by a first-order kinetic simulator ... for testing
+// when the actual hardware is not available".
+//
+// Deployment: one NTCP server ("ntcp.minimost") whose plugin is either the
+// LabVIEW plugin driving the stepper rig, or the kinetic simulator; the
+// hybrid coordinator couples it with a numerical substructure for the rest
+// of the (scaled) frame.
+#pragma once
+
+#include <memory>
+
+#include "ntcp/server.h"
+#include "psd/coordinator.h"
+#include "structural/substructure.h"
+#include "testbed/motion.h"
+
+namespace nees::most {
+
+struct MiniMostOptions {
+  std::size_t steps = 600;
+  double dt_seconds = 0.02;
+  double peak_accel = 1.0;        // tabletop-scale shaking, m/s^2
+  std::uint64_t seed = 42;
+
+  // 1 m x 10 cm x 6 mm steel beam, cantilever.
+  double beam_length_m = 1.0;
+  double beam_width_m = 0.10;
+  double beam_thickness_m = 0.006;
+  double youngs_modulus = 200e9;
+  double effective_mass_kg = 2.0;
+  double damping_ratio = 0.02;
+  double numeric_stiffness_fraction = 2.0;  // rest-of-frame / beam stiffness
+
+  /// true: stepper rig behind the LabVIEW plugin; false: the first-order
+  /// kinetic simulator stands in for the hardware.
+  bool real_hardware = true;
+};
+
+/// Cantilever tip stiffness of the Mini-MOST beam: 3EI/L^3.
+double MiniMostBeamStiffness(const MiniMostOptions& options);
+
+class MiniMostExperiment {
+ public:
+  static constexpr const char* kNtcp = "ntcp.minimost";
+
+  MiniMostExperiment(net::Network* network, util::Clock* clock,
+                     MiniMostOptions options);
+
+  util::Status Start();
+
+  psd::CoordinatorConfig MakeCoordinatorConfig(const std::string& run_id) const;
+  util::Result<psd::RunReport> Run(const std::string& run_id);
+
+  const MiniMostOptions& options() const { return options_; }
+  const structural::GroundMotion& motion() const { return motion_; }
+  ntcp::NtcpServerStats ServerStats() const;
+  /// Stepper steps taken so far (real_hardware mode only, else 0).
+  std::int64_t stepper_steps() const;
+
+ private:
+  net::Network* network_;
+  util::Clock* clock_;
+  MiniMostOptions options_;
+  structural::GroundMotion motion_;
+  std::unique_ptr<ntcp::NtcpServer> ntcp_;
+  std::unique_ptr<ntcp::NtcpServer> sim_server_;
+  testbed::StepperMotor* stepper_ = nullptr;  // owned via the plugin chain
+  std::unique_ptr<net::RpcClient> coordinator_rpc_;
+  bool started_ = false;
+};
+
+}  // namespace nees::most

@@ -1,0 +1,48 @@
+// Per-link behaviour model for the simulated WAN between experiment sites.
+// The MOST evaluation (DESIGN.md E6) turns on: transient outages that NTCP
+// retries hide, plus one fatal outage near step 1493. Links therefore
+// support stochastic drop, latency/jitter, bandwidth-derived transmission
+// delay, time-window outages, and deterministic "drop the next N" faults.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.h"
+
+namespace nees::net {
+
+/// Static behaviour of a directed link (applies src -> dst).
+struct LinkModel {
+  std::int64_t latency_micros = 0;      // one-way propagation delay
+  std::int64_t jitter_micros = 0;       // uniform [-jitter, +jitter]
+  double drop_probability = 0.0;        // i.i.d. per message
+  double bytes_per_second = 0.0;        // 0 = infinite bandwidth
+};
+
+/// An interval of simulated/wall time during which the link is dead.
+struct OutageWindow {
+  std::int64_t start_micros = 0;
+  std::int64_t end_micros = 0;  // exclusive
+};
+
+/// Counters; one set per link plus a network-wide aggregate.
+struct LinkMetrics {
+  std::uint64_t sent = 0;        // attempted sends
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_random = 0;
+  std::uint64_t dropped_outage = 0;
+  std::uint64_t dropped_forced = 0;  // DropNext / link down
+  std::uint64_t bytes_delivered = 0;
+
+  std::uint64_t dropped_total() const {
+    return dropped_random + dropped_outage + dropped_forced;
+  }
+};
+
+/// Computes the end-to-end delay for a message of `wire_bytes` bytes.
+std::int64_t TransmissionDelayMicros(const LinkModel& model,
+                                     std::size_t wire_bytes,
+                                     nees::util::Rng& rng);
+
+}  // namespace nees::net

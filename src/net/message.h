@@ -1,0 +1,32 @@
+// Wire-level message for the simulated network. Every inter-service call in
+// the reproduction (NTCP, NSDS, repository, CHEF) is carried as one of
+// these, so network fault injection applies uniformly — the property the
+// MOST fault-tolerance story depends on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nees::net {
+
+enum class MessageKind : std::uint8_t {
+  kRequest = 0,   // expects a response (RPC)
+  kResponse = 1,  // response to a prior request
+  kOneWay = 2,    // fire-and-forget (streams, notifications)
+};
+
+struct Message {
+  std::string from;             // sender endpoint name
+  std::string to;               // destination endpoint name
+  MessageKind kind = MessageKind::kOneWay;
+  std::uint64_t correlation_id = 0;  // pairs requests with responses
+  std::string method;                // RPC method name ("" for raw one-way)
+  std::vector<std::uint8_t> payload;
+
+  std::size_t WireSize() const {
+    return from.size() + to.size() + method.size() + payload.size() + 16;
+  }
+};
+
+}  // namespace nees::net

@@ -1,0 +1,277 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace nees::net {
+
+std::int64_t TransmissionDelayMicros(const LinkModel& model,
+                                     std::size_t wire_bytes,
+                                     nees::util::Rng& rng) {
+  std::int64_t delay = model.latency_micros;
+  if (model.jitter_micros > 0) {
+    delay += rng.UniformInt(-static_cast<int>(model.jitter_micros),
+                            static_cast<int>(model.jitter_micros));
+  }
+  if (model.bytes_per_second > 0.0) {
+    delay += static_cast<std::int64_t>(
+        static_cast<double>(wire_bytes) / model.bytes_per_second * 1e6);
+  }
+  return std::max<std::int64_t>(delay, 0);
+}
+
+Network::Network(DeliveryMode mode, std::uint64_t fault_seed)
+    : mode_(mode), clock_(&util::SystemClock::Instance()), rng_(fault_seed) {
+  if (mode_ == DeliveryMode::kScheduled) {
+    delivery_thread_ = std::thread([this] { DeliveryLoop(); });
+  }
+}
+
+Network::~Network() {
+  if (mode_ == DeliveryMode::kScheduled) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutting_down_ = true;
+      pending_cv_.notify_all();
+    }
+    delivery_thread_.join();
+  }
+}
+
+util::Status Network::RegisterEndpoint(const std::string& name,
+                                       Handler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (endpoints_.contains(name)) {
+    return util::AlreadyExists("endpoint already registered: " + name);
+  }
+  endpoints_[name] = std::make_shared<Handler>(std::move(handler));
+  return util::OkStatus();
+}
+
+void Network::UnregisterEndpoint(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  endpoints_.erase(name);
+}
+
+bool Network::HasEndpoint(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return endpoints_.contains(name);
+}
+
+Network::LinkState& Network::LinkFor(const std::string& from,
+                                     const std::string& to) {
+  // mu_ must be held.
+  auto it = links_.find({from, to});
+  if (it != links_.end()) return it->second;
+  it = links_.find({from, "*"});
+  if (it != links_.end()) return it->second;
+  it = links_.find({"*", to});
+  if (it != links_.end()) return it->second;
+  // Materialize a link with the default model so metrics accumulate.
+  auto [inserted, unused] =
+      links_.try_emplace({from, to}, LinkState{default_link_, true, 0, {}, {}});
+  (void)unused;
+  return inserted->second;
+}
+
+bool Network::InPartition(const std::string& from,
+                          const std::string& to) const {
+  if (!partitioned_) return false;
+  const bool from_a =
+      std::find(partition_a_.begin(), partition_a_.end(), from) !=
+      partition_a_.end();
+  const bool from_b =
+      std::find(partition_b_.begin(), partition_b_.end(), from) !=
+      partition_b_.end();
+  const bool to_a = std::find(partition_a_.begin(), partition_a_.end(), to) !=
+                    partition_a_.end();
+  const bool to_b = std::find(partition_b_.begin(), partition_b_.end(), to) !=
+                    partition_b_.end();
+  return (from_a && to_b) || (from_b && to_a);
+}
+
+bool Network::ShouldDrop(LinkState& link, const Message& message,
+                         std::int64_t now_micros) {
+  (void)message;
+  if (!link.up) {
+    ++link.metrics.dropped_forced;
+    ++total_.dropped_forced;
+    return true;
+  }
+  if (link.drop_next > 0) {
+    --link.drop_next;
+    ++link.metrics.dropped_forced;
+    ++total_.dropped_forced;
+    return true;
+  }
+  for (const OutageWindow& window : link.outages) {
+    if (now_micros >= window.start_micros && now_micros < window.end_micros) {
+      ++link.metrics.dropped_outage;
+      ++total_.dropped_outage;
+      return true;
+    }
+  }
+  if (link.model.drop_probability > 0.0 &&
+      rng_.Bernoulli(link.model.drop_probability)) {
+    ++link.metrics.dropped_random;
+    ++total_.dropped_random;
+    return true;
+  }
+  return false;
+}
+
+util::Status Network::Send(Message message) {
+  std::shared_ptr<Handler> handler;
+  std::int64_t delay = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = endpoints_.find(message.to);
+    if (it == endpoints_.end()) {
+      return util::NotFound("no such endpoint: " + message.to);
+    }
+    handler = it->second;
+
+    LinkState& link = LinkFor(message.from, message.to);
+    ++link.metrics.sent;
+    ++total_.sent;
+
+    const std::int64_t now = clock_->NowMicros();
+    if (InPartition(message.from, message.to)) {
+      ++link.metrics.dropped_forced;
+      ++total_.dropped_forced;
+      return util::OkStatus();  // silently lost, like a real partition
+    }
+    if (ShouldDrop(link, message, now)) {
+      return util::OkStatus();  // silently lost
+    }
+
+    delay = TransmissionDelayMicros(link.model, message.WireSize(), rng_);
+    ++link.metrics.delivered;
+    link.metrics.bytes_delivered += message.WireSize();
+    ++total_.delivered;
+    total_.bytes_delivered += message.WireSize();
+
+    if (mode_ == DeliveryMode::kScheduled) {
+      pending_.push(ScheduledMessage{now + delay, next_sequence_++,
+                                     std::move(message)});
+      ++in_flight_;
+      pending_cv_.notify_all();
+      return util::OkStatus();
+    }
+  }
+  // Immediate mode: run the handler inline, outside the lock so handlers
+  // can send further messages without deadlocking.
+  (*handler)(message);
+  return util::OkStatus();
+}
+
+void Network::Dispatch(const Message& message) {
+  std::shared_ptr<Handler> handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = endpoints_.find(message.to);
+    if (it != endpoints_.end()) handler = it->second;
+  }
+  if (handler) (*handler)(message);
+}
+
+void Network::DeliveryLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (shutting_down_) return;
+    if (pending_.empty()) {
+      pending_cv_.wait(lock,
+                       [this] { return shutting_down_ || !pending_.empty(); });
+      continue;
+    }
+    const std::int64_t now = clock_->NowMicros();
+    const std::int64_t due = pending_.top().due_micros;
+    if (due > now) {
+      pending_cv_.wait_for(lock, std::chrono::microseconds(due - now));
+      continue;
+    }
+    Message message = pending_.top().message;
+    pending_.pop();
+    lock.unlock();
+    Dispatch(message);
+    lock.lock();
+    --in_flight_;
+    if (in_flight_ == 0) quiesce_cv_.notify_all();
+  }
+}
+
+void Network::SetLink(const std::string& from, const std::string& to,
+                      LinkModel model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  links_[{from, to}].model = model;
+}
+
+void Network::SetDefaultLink(LinkModel model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  default_link_ = model;
+}
+
+void Network::SetLinkUp(const std::string& from, const std::string& to,
+                        bool up) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LinkFor(from, to).up = up;
+}
+
+void Network::DropNext(const std::string& from, const std::string& to,
+                       int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LinkFor(from, to).drop_next += count;
+}
+
+void Network::AddOutage(const std::string& from, const std::string& to,
+                        OutageWindow window) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LinkFor(from, to).outages.push_back(window);
+}
+
+void Network::AddBidirectionalOutage(const std::string& a,
+                                     const std::string& b,
+                                     OutageWindow window) {
+  AddOutage(a, b, window);
+  AddOutage(b, a, window);
+}
+
+void Network::Partition(const std::vector<std::string>& group_a,
+                        const std::vector<std::string>& group_b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partition_a_ = group_a;
+  partition_b_ = group_b;
+  partitioned_ = true;
+}
+
+void Network::HealPartition() {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitioned_ = false;
+}
+
+LinkMetrics Network::TotalMetrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+LinkMetrics Network::LinkMetricsFor(const std::string& from,
+                                    const std::string& to) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = links_.find({from, to});
+  if (it == links_.end()) return {};
+  return it->second.metrics;
+}
+
+void Network::SetClock(util::Clock* clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ = clock;
+}
+
+void Network::Quiesce() {
+  if (mode_ == DeliveryMode::kImmediate) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  quiesce_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+}  // namespace nees::net

@@ -1,0 +1,153 @@
+// In-process simulated network connecting the experiment sites.
+//
+// Endpoints register a handler under a globally unique name ("ntcp.uiuc",
+// "repo.ncsa", ...). Messages are routed through per-directed-link models
+// that add latency and inject faults. Two delivery modes:
+//
+//  * kImmediate  — the handler runs inline on the sender's thread; latency
+//                  is recorded in metrics but not slept. Deterministic;
+//                  used by unit tests and the fault-schedule experiments.
+//  * kScheduled  — a background thread delivers messages after their real
+//                  latency elapses. Used by latency benches (E11) and the
+//                  wall-clock MOST runs.
+//
+// Fault API: per-link drop probability, time-window outages, manual
+// up/down, and DropNext(n) for deterministic single-message faults.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/link.h"
+#include "net/message.h"
+#include "util/clock.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace nees::net {
+
+enum class DeliveryMode { kImmediate, kScheduled };
+
+class Network {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  explicit Network(DeliveryMode mode = DeliveryMode::kImmediate,
+                   std::uint64_t fault_seed = 42);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers an endpoint; fails if the name is taken.
+  util::Status RegisterEndpoint(const std::string& name, Handler handler);
+  void UnregisterEndpoint(const std::string& name);
+  bool HasEndpoint(const std::string& name) const;
+
+  /// Sends a message through the (from -> to) link. Returns Ok if the
+  /// message was *accepted* (it may still be dropped in flight; senders
+  /// learn about loss only through timeouts, as on a real network).
+  /// kNotFound if the destination endpoint does not exist.
+  util::Status Send(Message message);
+
+  // --- link configuration -------------------------------------------------
+  /// Sets the model for the directed link from -> to. "*" matches any
+  /// endpoint; specific links take precedence over wildcard ones.
+  void SetLink(const std::string& from, const std::string& to,
+               LinkModel model);
+  /// Sets the default model for links with no specific entry.
+  void SetDefaultLink(LinkModel model);
+
+  // --- fault injection ----------------------------------------------------
+  /// Marks the directed link up/down. Down links drop every message.
+  void SetLinkUp(const std::string& from, const std::string& to, bool up);
+  /// Makes the next `count` messages on the directed link vanish.
+  void DropNext(const std::string& from, const std::string& to, int count);
+  /// Adds a dead window in clock time (see SetClock) on the directed link.
+  void AddOutage(const std::string& from, const std::string& to,
+                 OutageWindow window);
+  /// Adds a bidirectional outage between two endpoints.
+  void AddBidirectionalOutage(const std::string& a, const std::string& b,
+                              OutageWindow window);
+
+  /// Drops ALL traffic between two endpoint groups (symmetric partition)
+  /// until HealPartition is called.
+  void Partition(const std::vector<std::string>& group_a,
+                 const std::vector<std::string>& group_b);
+  void HealPartition();
+
+  // --- metrics / time -----------------------------------------------------
+  LinkMetrics TotalMetrics() const;
+  LinkMetrics LinkMetricsFor(const std::string& from,
+                             const std::string& to) const;
+
+  /// Clock used for outage windows and latency accounting. Defaults to the
+  /// system clock; tests inject a SimClock.
+  void SetClock(util::Clock* clock);
+  util::Clock* clock() const { return clock_; }
+
+  DeliveryMode mode() const { return mode_; }
+
+  /// Blocks until all scheduled in-flight messages are delivered (kScheduled
+  /// only; immediate mode returns at once).
+  void Quiesce();
+
+ private:
+  struct LinkState {
+    LinkModel model;
+    bool up = true;
+    int drop_next = 0;
+    std::vector<OutageWindow> outages;
+    LinkMetrics metrics;
+  };
+
+  struct ScheduledMessage {
+    std::int64_t due_micros;
+    std::uint64_t sequence;  // FIFO tiebreak
+    Message message;
+    bool operator>(const ScheduledMessage& other) const {
+      if (due_micros != other.due_micros) return due_micros > other.due_micros;
+      return sequence > other.sequence;
+    }
+  };
+
+  LinkState& LinkFor(const std::string& from, const std::string& to);
+  bool ShouldDrop(LinkState& link, const Message& message,
+                  std::int64_t now_micros);
+  bool InPartition(const std::string& from, const std::string& to) const;
+  void DeliveryLoop();
+  void Dispatch(const Message& message);
+
+  const DeliveryMode mode_;
+  util::Clock* clock_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Handler>> endpoints_;
+  std::map<std::pair<std::string, std::string>, LinkState> links_;
+  LinkModel default_link_;
+  LinkMetrics total_;
+  util::Rng rng_;
+
+  std::vector<std::string> partition_a_, partition_b_;
+  bool partitioned_ = false;
+
+  // kScheduled machinery
+  std::priority_queue<ScheduledMessage, std::vector<ScheduledMessage>,
+                      std::greater<>>
+      pending_;
+  std::uint64_t next_sequence_ = 0;
+  std::size_t in_flight_ = 0;
+  std::condition_variable pending_cv_;
+  std::condition_variable quiesce_cv_;
+  bool shutting_down_ = false;
+  std::thread delivery_thread_;
+};
+
+}  // namespace nees::net

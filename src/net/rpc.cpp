@@ -1,0 +1,303 @@
+#include "net/rpc.h"
+
+#include <chrono>
+
+#include "util/logging.h"
+
+namespace nees::net {
+
+Bytes EncodeRequestEnvelope(const std::string& auth_token, const Bytes& body) {
+  util::ByteWriter writer;
+  writer.WriteString(auth_token);
+  writer.WriteBytes(body);
+  return writer.Take();
+}
+
+util::Status DecodeRequestEnvelope(const Bytes& payload,
+                                   std::string* auth_token, Bytes* body) {
+  util::ByteReader reader(payload);
+  NEES_ASSIGN_OR_RETURN(*auth_token, reader.ReadString());
+  NEES_ASSIGN_OR_RETURN(*body, reader.ReadBytes());
+  return util::OkStatus();
+}
+
+Bytes EncodeResponseEnvelope(const util::Status& status, const Bytes& body) {
+  util::ByteWriter writer;
+  writer.WriteU16(static_cast<std::uint16_t>(status.code()));
+  writer.WriteString(status.message());
+  writer.WriteBytes(body);
+  return writer.Take();
+}
+
+util::Status DecodeResponseEnvelope(const Bytes& payload, util::Status* status,
+                                    Bytes* body) {
+  util::ByteReader reader(payload);
+  NEES_ASSIGN_OR_RETURN(std::uint16_t code, reader.ReadU16());
+  NEES_ASSIGN_OR_RETURN(std::string message, reader.ReadString());
+  NEES_ASSIGN_OR_RETURN(*body, reader.ReadBytes());
+  *status = util::Status(static_cast<util::ErrorCode>(code), message);
+  return util::OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// RpcServer
+
+RpcServer::RpcServer(Network* network, std::string endpoint)
+    : network_(network), endpoint_(std::move(endpoint)) {}
+
+RpcServer::~RpcServer() { Stop(); }
+
+util::Status RpcServer::Start() {
+  NEES_RETURN_IF_ERROR(network_->RegisterEndpoint(
+      endpoint_, [this](const Message& message) { HandleMessage(message); }));
+  started_ = true;
+  return util::OkStatus();
+}
+
+void RpcServer::Stop() {
+  if (started_) {
+    network_->UnregisterEndpoint(endpoint_);
+    started_ = false;
+  }
+}
+
+void RpcServer::RegisterMethod(const std::string& name, Method method) {
+  std::lock_guard<std::mutex> lock(mu_);
+  methods_[name] = std::move(method);
+}
+
+void RpcServer::RegisterOneWay(const std::string& name, OneWayMethod method) {
+  std::lock_guard<std::mutex> lock(mu_);
+  oneway_methods_[name] = std::move(method);
+}
+
+void RpcServer::SetAuthenticator(Authenticator authenticator) {
+  std::lock_guard<std::mutex> lock(mu_);
+  authenticator_ = std::move(authenticator);
+}
+
+void RpcServer::HandleMessage(const Message& message) {
+  std::string auth_token;
+  Bytes body;
+  const util::Status decode_status =
+      DecodeRequestEnvelope(message.payload, &auth_token, &body);
+
+  CallContext context;
+  context.caller_endpoint = message.from;
+  context.auth_token = auth_token;
+  context.method = message.method;
+
+  if (message.kind == MessageKind::kOneWay) {
+    if (!decode_status.ok()) return;  // corrupt one-way frame: drop
+    OneWayMethod handler;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = oneway_methods_.find(message.method);
+      if (it == oneway_methods_.end()) return;
+      handler = it->second;
+      if (authenticator_) {
+        auto subject = authenticator_(auth_token, message.method);
+        if (!subject.ok()) return;  // silently discard unauthenticated stream
+        context.subject = *subject;
+      }
+    }
+    handler(context, body);
+    return;
+  }
+
+  if (message.kind != MessageKind::kRequest) return;
+
+  util::Status status = decode_status;
+  Bytes response_body;
+  if (status.ok()) {
+    Method handler;
+    Authenticator authenticator;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = methods_.find(message.method);
+      if (it != methods_.end()) handler = it->second;
+      authenticator = authenticator_;
+    }
+    if (!handler) {
+      status = util::Unimplemented("no such method: " + message.method);
+    } else {
+      bool authorized = true;
+      if (authenticator) {
+        auto subject = authenticator(auth_token, message.method);
+        if (!subject.ok()) {
+          status = subject.status();
+          authorized = false;
+        } else {
+          context.subject = *subject;
+        }
+      }
+      if (authorized) {
+        auto result = handler(context, body);
+        if (result.ok()) {
+          response_body = std::move(result).value();
+        } else {
+          status = result.status();
+        }
+      }
+    }
+  }
+
+  Message response;
+  response.from = endpoint_;
+  response.to = message.from;
+  response.kind = MessageKind::kResponse;
+  response.correlation_id = message.correlation_id;
+  response.method = message.method;
+  response.payload = EncodeResponseEnvelope(status, response_body);
+  // Best effort: if the reply is lost the caller times out and may retry.
+  (void)network_->Send(std::move(response));
+}
+
+// ---------------------------------------------------------------------------
+// RpcClient
+
+RpcClient::RpcClient(Network* network, std::string endpoint)
+    : network_(network), endpoint_(std::move(endpoint)) {
+  const util::Status status = network_->RegisterEndpoint(
+      endpoint_, [this](const Message& message) { HandleMessage(message); });
+  if (!status.ok()) {
+    NEES_LOG_ERROR("net.rpc") << "client endpoint registration failed: "
+                              << status.ToString();
+  }
+}
+
+RpcClient::~RpcClient() { network_->UnregisterEndpoint(endpoint_); }
+
+void RpcClient::SetAuthToken(std::string token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auth_token_ = std::move(token);
+}
+
+void RpcClient::SetAuthTokenFor(const std::string& target,
+                                std::string token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  per_target_tokens_[target] = std::move(token);
+}
+
+std::string RpcClient::TokenFor(const std::string& target) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = per_target_tokens_.find(target);
+  return it != per_target_tokens_.end() ? it->second : auth_token_;
+}
+
+void RpcClient::HandleMessage(const Message& message) {
+  if (message.kind != MessageKind::kResponse) return;
+  std::shared_ptr<PendingCall> call;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pending_.find(message.correlation_id);
+    if (it == pending_.end()) return;  // late/duplicate response: ignore
+    call = it->second;
+  }
+  util::Status status;
+  Bytes body;
+  const util::Status decoded =
+      DecodeResponseEnvelope(message.payload, &status, &body);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    call->status = decoded.ok() ? status : decoded;
+    call->response = std::move(body);
+    call->done = true;
+  }
+  cv_.notify_all();
+}
+
+RpcClient::AsyncCall RpcClient::Issue(const std::string& target,
+                                      const std::string& method,
+                                      const Bytes& body,
+                                      std::int64_t timeout_micros) {
+  AsyncCall async;
+  async.client_ = this;
+  async.state_ = std::make_shared<PendingCall>();
+  async.deadline_ = std::chrono::steady_clock::now() +
+                    std::chrono::microseconds(timeout_micros);
+  std::string token;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    async.correlation_ = next_correlation_++;
+    pending_[async.correlation_] = async.state_;
+    auto it = per_target_tokens_.find(target);
+    token = it != per_target_tokens_.end() ? it->second : auth_token_;
+  }
+
+  Message request;
+  request.from = endpoint_;
+  request.to = target;
+  request.kind = MessageKind::kRequest;
+  request.correlation_id = async.correlation_;
+  request.method = method;
+  request.payload = EncodeRequestEnvelope(token, body);
+
+  const util::Status send_status = network_->Send(std::move(request));
+  if (!send_status.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.erase(async.correlation_);
+    // Destination endpoint missing: surface as transient (site may return).
+    async.send_error_ = util::Unavailable("send to " + target + " failed: " +
+                                          send_status.message());
+  }
+  async.label_ = "rpc " + method + " to " + target;
+  return async;
+}
+
+util::Result<Bytes> RpcClient::AsyncCall::Wait() {
+  if (client_ == nullptr) {
+    return util::Internal("Wait() on an empty AsyncCall");
+  }
+  RpcClient* client = client_;
+  client_ = nullptr;  // Wait at most once
+  if (!send_error_.ok()) return send_error_;
+
+  util::Status status;
+  Bytes response;
+  {
+    std::unique_lock<std::mutex> lock(client->mu_);
+    if (client->network_->mode() == DeliveryMode::kScheduled) {
+      client->cv_.wait_until(lock, deadline_,
+                             [this] { return state_->done; });
+    }
+    // Immediate mode: the response (if any) was delivered inline during
+    // Send; if state->done is false the message was dropped en route.
+    client->pending_.erase(correlation_);
+    if (!state_->done) {
+      return util::TimeoutError(label_ + " timed out");
+    }
+    status = state_->status;
+    response = std::move(state_->response);
+  }
+  if (!status.ok()) return status;
+  return response;
+}
+
+RpcClient::AsyncCall RpcClient::CallAsync(const std::string& target,
+                                          const std::string& method,
+                                          const Bytes& body,
+                                          std::int64_t timeout_micros) {
+  return Issue(target, method, body, timeout_micros);
+}
+
+util::Result<Bytes> RpcClient::Call(const std::string& target,
+                                    const std::string& method,
+                                    const Bytes& body,
+                                    std::int64_t timeout_micros) {
+  return Issue(target, method, body, timeout_micros).Wait();
+}
+
+util::Status RpcClient::OneWay(const std::string& target,
+                               const std::string& method, const Bytes& body) {
+  const std::string token = TokenFor(target);
+  Message message;
+  message.from = endpoint_;
+  message.to = target;
+  message.kind = MessageKind::kOneWay;
+  message.method = method;
+  message.payload = EncodeRequestEnvelope(token, body);
+  return network_->Send(std::move(message));
+}
+
+}  // namespace nees::net

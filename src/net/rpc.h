@@ -1,0 +1,169 @@
+// Request/response RPC over the simulated network.
+//
+// Servers register named methods; clients call them with a timeout. An
+// optional authenticator hook lets the security module map a bearer token
+// to an authenticated subject before the method body runs (the GSI analog:
+// every NEESgrid service call is authenticated, §2).
+//
+// Loss semantics match a real datagram-over-WAN stack: a dropped request or
+// response surfaces to the caller only as a Timeout. Retries and
+// at-most-once semantics live one layer up, in NTCP — exactly where the
+// paper puts them.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace nees::net {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Per-call context handed to method implementations.
+struct CallContext {
+  std::string caller_endpoint;  // network-level sender
+  std::string auth_token;       // raw bearer token ("" if none)
+  std::string subject;          // authenticated identity ("" if anonymous)
+  std::string method;
+};
+
+class RpcServer {
+ public:
+  using Method =
+      std::function<util::Result<Bytes>(const CallContext&, const Bytes&)>;
+  using OneWayMethod = std::function<void(const CallContext&, const Bytes&)>;
+  /// Maps (token, method) -> subject, or an error to reject the call.
+  using Authenticator =
+      std::function<util::Result<std::string>(const std::string& token,
+                                              const std::string& method)>;
+
+  RpcServer(Network* network, std::string endpoint);
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  util::Status Start();
+  void Stop();
+
+  void RegisterMethod(const std::string& name, Method method);
+  void RegisterOneWay(const std::string& name, OneWayMethod method);
+
+  /// Installs the authentication hook. If set, calls with tokens the hook
+  /// rejects are answered with the hook's error status; methods see the
+  /// resolved subject in CallContext.
+  void SetAuthenticator(Authenticator authenticator);
+
+  const std::string& endpoint() const { return endpoint_; }
+
+ private:
+  void HandleMessage(const Message& message);
+
+  Network* network_;
+  std::string endpoint_;
+  bool started_ = false;
+  mutable std::mutex mu_;
+  std::map<std::string, Method> methods_;
+  std::map<std::string, OneWayMethod> oneway_methods_;
+  Authenticator authenticator_;
+};
+
+/// Slot a response lands in; shared between the client and async handles.
+struct PendingCall {
+  bool done = false;
+  util::Status status;
+  Bytes response;
+};
+
+class RpcClient {
+ public:
+  /// `endpoint` is this client's own network name for receiving responses.
+  RpcClient(Network* network, std::string endpoint);
+  ~RpcClient();
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  /// Bearer token attached to every subsequent call (the default token).
+  void SetAuthToken(std::string token);
+
+  /// Token used only for calls to `target` (overrides the default). Each
+  /// site issues its own session tokens, so a client talking to several
+  /// secured services holds one per target.
+  void SetAuthTokenFor(const std::string& target, std::string token);
+
+  /// Synchronous call. Timeout produces ErrorCode::kTimeout; a transport-
+  /// level missing endpoint produces kUnavailable (the site is gone, retry
+  /// later); application errors pass through the server's status.
+  util::Result<Bytes> Call(const std::string& target,
+                           const std::string& method, const Bytes& body,
+                           std::int64_t timeout_micros = 1'000'000);
+
+  /// Handle to an in-flight asynchronous call.
+  class AsyncCall {
+   public:
+    /// Blocks until the reply arrives or the call's timeout lapses.
+    util::Result<Bytes> Wait();
+
+   private:
+    friend class RpcClient;
+    RpcClient* client_ = nullptr;
+    std::uint64_t correlation_ = 0;
+    std::shared_ptr<PendingCall> state_;
+    std::chrono::steady_clock::time_point deadline_;
+    util::Status send_error_;
+    std::string label_;  // for timeout messages
+  };
+
+  /// Issues a call without waiting; several calls to different sites can be
+  /// in flight at once, overlapping their round trips (the §5 near-real-
+  /// time optimization). Wait() at most once per handle.
+  AsyncCall CallAsync(const std::string& target, const std::string& method,
+                      const Bytes& body,
+                      std::int64_t timeout_micros = 1'000'000);
+
+  /// Fire-and-forget send (streaming, notifications).
+  util::Status OneWay(const std::string& target, const std::string& method,
+                      const Bytes& body);
+
+  const std::string& endpoint() const { return endpoint_; }
+
+ private:
+  void HandleMessage(const Message& message);
+
+  /// Issues the request and registers the pending slot (shared by Call and
+  /// CallAsync); on send failure returns the error in AsyncCall.
+  AsyncCall Issue(const std::string& target, const std::string& method,
+                  const Bytes& body, std::int64_t timeout_micros);
+
+  std::string TokenFor(const std::string& target);
+
+  Network* network_;
+  std::string endpoint_;
+  std::string auth_token_;
+  std::map<std::string, std::string> per_target_tokens_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t next_correlation_ = 1;
+  std::map<std::uint64_t, std::shared_ptr<PendingCall>> pending_;
+};
+
+/// Encodes/decodes the RPC envelopes (exposed for protocol tests).
+Bytes EncodeRequestEnvelope(const std::string& auth_token, const Bytes& body);
+util::Status DecodeRequestEnvelope(const Bytes& payload,
+                                   std::string* auth_token, Bytes* body);
+Bytes EncodeResponseEnvelope(const util::Status& status, const Bytes& body);
+util::Status DecodeResponseEnvelope(const Bytes& payload, util::Status* status,
+                                    Bytes* body);
+
+}  // namespace nees::net

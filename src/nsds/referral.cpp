@@ -1,0 +1,135 @@
+#include "nsds/referral.h"
+
+#include <algorithm>
+
+namespace nees::nsds {
+namespace {
+
+void EncodeReferral(const Referral& referral, util::ByteWriter& writer) {
+  writer.WriteString(referral.experiment);
+  writer.WriteString(referral.kind);
+  writer.WriteString(referral.endpoint);
+  writer.WriteString(referral.detail);
+}
+
+util::Result<Referral> DecodeReferral(util::ByteReader& reader) {
+  Referral referral;
+  NEES_ASSIGN_OR_RETURN(referral.experiment, reader.ReadString());
+  NEES_ASSIGN_OR_RETURN(referral.kind, reader.ReadString());
+  NEES_ASSIGN_OR_RETURN(referral.endpoint, reader.ReadString());
+  NEES_ASSIGN_OR_RETURN(referral.detail, reader.ReadString());
+  return referral;
+}
+
+}  // namespace
+
+ReferralService::ReferralService(net::Network* network, std::string endpoint)
+    : rpc_server_(network, std::move(endpoint)) {}
+
+util::Status ReferralService::Start() {
+  NEES_RETURN_IF_ERROR(rpc_server_.Start());
+  rpc_server_.RegisterMethod(
+      "referral.register",
+      [this](const net::CallContext&,
+             const net::Bytes& body) -> util::Result<net::Bytes> {
+        util::ByteReader reader(body);
+        NEES_ASSIGN_OR_RETURN(Referral referral, DecodeReferral(reader));
+        Register(referral);
+        return net::Bytes{};
+      });
+  rpc_server_.RegisterMethod(
+      "referral.unregister",
+      [this](const net::CallContext&,
+             const net::Bytes& body) -> util::Result<net::Bytes> {
+        util::ByteReader reader(body);
+        NEES_ASSIGN_OR_RETURN(std::string experiment, reader.ReadString());
+        NEES_ASSIGN_OR_RETURN(std::string endpoint, reader.ReadString());
+        Unregister(experiment, endpoint);
+        return net::Bytes{};
+      });
+  rpc_server_.RegisterMethod(
+      "referral.lookup",
+      [this](const net::CallContext&,
+             const net::Bytes& body) -> util::Result<net::Bytes> {
+        util::ByteReader reader(body);
+        NEES_ASSIGN_OR_RETURN(std::string experiment, reader.ReadString());
+        NEES_ASSIGN_OR_RETURN(std::string kind, reader.ReadString());
+        const auto results = Lookup(experiment, kind);
+        util::ByteWriter writer;
+        writer.WriteU32(static_cast<std::uint32_t>(results.size()));
+        for (const Referral& referral : results) {
+          EncodeReferral(referral, writer);
+        }
+        return writer.Take();
+      });
+  return util::OkStatus();
+}
+
+void ReferralService::Register(const Referral& referral) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Re-registration of the same endpoint for the experiment replaces it.
+  std::erase_if(referrals_, [&](const Referral& existing) {
+    return existing.experiment == referral.experiment &&
+           existing.endpoint == referral.endpoint;
+  });
+  referrals_.push_back(referral);
+}
+
+void ReferralService::Unregister(const std::string& experiment,
+                                 const std::string& endpoint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase_if(referrals_, [&](const Referral& existing) {
+    return existing.experiment == experiment &&
+           existing.endpoint == endpoint;
+  });
+}
+
+std::vector<Referral> ReferralService::Lookup(const std::string& experiment,
+                                              const std::string& kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Referral> results;
+  for (const Referral& referral : referrals_) {
+    if (referral.experiment != experiment) continue;
+    if (!kind.empty() && referral.kind != kind) continue;
+    results.push_back(referral);
+  }
+  return results;
+}
+
+ReferralClient::ReferralClient(net::RpcClient* rpc,
+                               std::string referral_endpoint)
+    : rpc_(rpc), service_(std::move(referral_endpoint)) {}
+
+util::Status ReferralClient::Register(const Referral& referral) {
+  util::ByteWriter writer;
+  EncodeReferral(referral, writer);
+  return rpc_->Call(service_, "referral.register", writer.Take()).status();
+}
+
+util::Status ReferralClient::Unregister(const std::string& experiment,
+                                        const std::string& endpoint) {
+  util::ByteWriter writer;
+  writer.WriteString(experiment);
+  writer.WriteString(endpoint);
+  return rpc_->Call(service_, "referral.unregister", writer.Take()).status();
+}
+
+util::Result<std::vector<Referral>> ReferralClient::Lookup(
+    const std::string& experiment, const std::string& kind) {
+  util::ByteWriter writer;
+  writer.WriteString(experiment);
+  writer.WriteString(kind);
+  NEES_ASSIGN_OR_RETURN(
+      net::Bytes reply,
+      rpc_->Call(service_, "referral.lookup", writer.Take()));
+  util::ByteReader reader(reply);
+  NEES_ASSIGN_OR_RETURN(std::uint32_t count, reader.ReadU32());
+  std::vector<Referral> results;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    NEES_ASSIGN_OR_RETURN(Referral referral, DecodeReferral(reader));
+    results.push_back(std::move(referral));
+  }
+  return results;
+}
+
+}  // namespace nees::nsds

@@ -1,0 +1,67 @@
+// Telepresence referral service (TR-2003-09: "Design for NEESgrid
+// Telepresence Referral and Streaming Data Services", ref [13]): remote
+// participants ask one well-known service "what can I watch for experiment
+// X?" and get referrals to the NSDS streams and cameras that carry it —
+// instead of hard-coding endpoint names into every viewer.
+//
+// RPC surface:
+//   referral.register {experiment, kind, endpoint, detail} -> {}
+//   referral.lookup   {experiment, kind ("" = all)} -> [referrals]
+//   referral.unregister {experiment, endpoint} -> {}
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/rpc.h"
+#include "util/result.h"
+
+namespace nees::nsds {
+
+struct Referral {
+  std::string experiment;  // e.g. "most"
+  std::string kind;        // "stream" | "camera"
+  std::string endpoint;    // network endpoint to contact
+  std::string detail;      // channel prefix, camera name, ...
+
+  bool operator==(const Referral&) const = default;
+};
+
+class ReferralService {
+ public:
+  ReferralService(net::Network* network, std::string endpoint);
+
+  util::Status Start();
+
+  // Local API (also bound over RPC).
+  void Register(const Referral& referral);
+  void Unregister(const std::string& experiment, const std::string& endpoint);
+  std::vector<Referral> Lookup(const std::string& experiment,
+                               const std::string& kind) const;
+
+  const std::string& endpoint() const { return rpc_server_.endpoint(); }
+
+ private:
+  net::RpcServer rpc_server_;
+  mutable std::mutex mu_;
+  std::vector<Referral> referrals_;
+};
+
+/// Remote access to a referral service.
+class ReferralClient {
+ public:
+  ReferralClient(net::RpcClient* rpc, std::string referral_endpoint);
+
+  util::Status Register(const Referral& referral);
+  util::Status Unregister(const std::string& experiment,
+                          const std::string& endpoint);
+  util::Result<std::vector<Referral>> Lookup(const std::string& experiment,
+                                             const std::string& kind = "");
+
+ private:
+  net::RpcClient* rpc_;
+  std::string service_;
+};
+
+}  // namespace nees::nsds

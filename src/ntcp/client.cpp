@@ -1,0 +1,98 @@
+#include "ntcp/client.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace nees::ntcp {
+
+NtcpClient::NtcpClient(net::RpcClient* rpc, std::string server_endpoint,
+                       RetryPolicy policy, util::Clock* clock)
+    : rpc_(rpc),
+      server_(std::move(server_endpoint)),
+      policy_(policy),
+      clock_(clock) {}
+
+util::Result<net::Bytes> NtcpClient::CallWithRetry(const std::string& method,
+                                                   const net::Bytes& body) {
+  ++stats_.calls;
+  std::int64_t backoff = policy_.initial_backoff_micros;
+  util::Status last_error = util::Internal("retry loop did not run");
+  for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    auto result =
+        rpc_->Call(server_, method, body, policy_.rpc_timeout_micros);
+    if (result.ok()) {
+      if (attempt > 1) ++stats_.recovered;
+      return result;
+    }
+    last_error = result.status();
+    if (!last_error.transient()) return last_error;  // definitive answer
+    if (attempt == policy_.max_attempts) break;
+    ++stats_.retries;
+    NEES_LOG_WARN("ntcp.client")
+        << method << " to " << server_ << " attempt " << attempt
+        << " failed transiently (" << last_error.ToString() << "); retrying";
+    clock_->SleepMicros(backoff);
+    backoff = std::min<std::int64_t>(
+        static_cast<std::int64_t>(backoff * policy_.backoff_multiplier),
+        policy_.max_backoff_micros);
+  }
+  ++stats_.gave_up;
+  return last_error;
+}
+
+util::Status NtcpClient::Propose(const Proposal& proposal) {
+  util::ByteWriter writer;
+  EncodeProposal(proposal, writer);
+  NEES_ASSIGN_OR_RETURN(net::Bytes response,
+                        CallWithRetry("ntcp.propose", writer.Take()));
+  util::ByteReader reader(response);
+  NEES_ASSIGN_OR_RETURN(bool accepted, reader.ReadBool());
+  NEES_ASSIGN_OR_RETURN(std::string reason, reader.ReadString());
+  if (!accepted) {
+    return util::PolicyViolation("proposal rejected by " + server_ + ": " +
+                                 reason);
+  }
+  return util::OkStatus();
+}
+
+util::Result<TransactionResult> NtcpClient::Execute(
+    const std::string& transaction_id) {
+  util::ByteWriter writer;
+  writer.WriteString(transaction_id);
+  NEES_ASSIGN_OR_RETURN(net::Bytes response,
+                        CallWithRetry("ntcp.execute", writer.Take()));
+  util::ByteReader reader(response);
+  return DecodeTransactionResult(reader);
+}
+
+util::Status NtcpClient::Cancel(const std::string& transaction_id) {
+  util::ByteWriter writer;
+  writer.WriteString(transaction_id);
+  return CallWithRetry("ntcp.cancel", writer.Take()).status();
+}
+
+util::Result<TransactionRecord> NtcpClient::GetTransaction(
+    const std::string& transaction_id) {
+  util::ByteWriter writer;
+  writer.WriteString(transaction_id);
+  NEES_ASSIGN_OR_RETURN(net::Bytes response,
+                        CallWithRetry("ntcp.getTransaction", writer.Take()));
+  util::ByteReader reader(response);
+  return DecodeTransactionRecord(reader);
+}
+
+util::Result<std::vector<std::string>> NtcpClient::ListTransactions() {
+  NEES_ASSIGN_OR_RETURN(net::Bytes response,
+                        CallWithRetry("ntcp.listTransactions", {}));
+  util::ByteReader reader(response);
+  NEES_ASSIGN_OR_RETURN(std::uint32_t count, reader.ReadU32());
+  std::vector<std::string> ids;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    NEES_ASSIGN_OR_RETURN(std::string id, reader.ReadString());
+    ids.push_back(std::move(id));
+  }
+  return ids;
+}
+
+}  // namespace nees::ntcp

@@ -1,0 +1,68 @@
+// NTCP client: the coordinator-facing API (the paper's "NTCP Java API",
+// here in C++). Layered on RPC with a retry policy that exploits the
+// protocol's at-most-once semantics: a request whose reply was lost can be
+// re-sent "without any danger of the same action being executed twice"
+// (§2.1). Retries cover kTimeout/kUnavailable only; definitive answers
+// (rejection, policy violation, safety interlock) are never retried.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/rpc.h"
+#include "ntcp/types.h"
+#include "util/clock.h"
+
+namespace nees::ntcp {
+
+struct RetryPolicy {
+  int max_attempts = 5;                    // total tries per operation
+  std::int64_t initial_backoff_micros = 100'000;
+  double backoff_multiplier = 2.0;
+  std::int64_t max_backoff_micros = 5'000'000;
+  std::int64_t rpc_timeout_micros = 2'000'000;
+};
+
+struct NtcpClientStats {
+  std::uint64_t calls = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t recovered = 0;  // operations that succeeded after >=1 retry
+  std::uint64_t gave_up = 0;    // transient failures that exhausted retries
+};
+
+class NtcpClient {
+ public:
+  /// `rpc` must outlive the client; it carries the auth token if any.
+  NtcpClient(net::RpcClient* rpc, std::string server_endpoint,
+             RetryPolicy policy = RetryPolicy(),
+             util::Clock* clock = &util::SystemClock::Instance());
+
+  /// Sends the proposal; Ok means *accepted*. A rejected proposal returns
+  /// kPolicyViolation with the site's reason.
+  util::Status Propose(const Proposal& proposal);
+
+  /// Executes an accepted transaction and returns measured results.
+  util::Result<TransactionResult> Execute(const std::string& transaction_id);
+
+  util::Status Cancel(const std::string& transaction_id);
+  util::Result<TransactionRecord> GetTransaction(
+      const std::string& transaction_id);
+  util::Result<std::vector<std::string>> ListTransactions();
+
+  const std::string& server() const { return server_; }
+  NtcpClientStats stats() const { return stats_; }
+  const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  /// Runs `call` with transient-error retry + exponential backoff.
+  util::Result<net::Bytes> CallWithRetry(const std::string& method,
+                                         const net::Bytes& body);
+
+  net::RpcClient* rpc_;
+  std::string server_;
+  RetryPolicy policy_;
+  util::Clock* clock_;
+  NtcpClientStats stats_;
+};
+
+}  // namespace nees::ntcp

@@ -1,0 +1,348 @@
+#include "ntcp/server.h"
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace nees::ntcp {
+
+NtcpServer::NtcpServer(net::Network* network, std::string endpoint,
+                       std::unique_ptr<ControlPlugin> plugin,
+                       util::Clock* clock)
+    : rpc_server_(network, std::move(endpoint)),
+      plugin_(std::move(plugin)),
+      clock_(clock),
+      service_(std::make_shared<grid::GridService>(rpc_server_.endpoint())) {}
+
+NtcpServer::~NtcpServer() { Stop(); }
+
+util::Status NtcpServer::Start() {
+  NEES_RETURN_IF_ERROR(rpc_server_.Start());
+  BindRpcMethods();
+  return util::OkStatus();
+}
+
+void NtcpServer::Stop() { rpc_server_.Stop(); }
+
+util::Status NtcpServer::PublishTo(grid::ServiceContainer& container) {
+  return container.AddService(service_).status();
+}
+
+void NtcpServer::PublishSdeLocked(const std::string& id,
+                                  const TransactionRecord& record) {
+  grid::SdeValue value;
+  value.Set("state", std::string(TransactionStateName(record.state)));
+  value.Set("step", std::to_string(record.proposal.step_index));
+  value.Set("actions", std::to_string(record.proposal.actions.size()));
+  value.Set("timeout_micros", std::to_string(record.proposal.timeout_micros));
+  if (!record.detail.empty()) value.Set("detail", record.detail);
+  for (const auto& [state_name, micros] : record.state_timestamps) {
+    value.Set("t_" + state_name, std::to_string(micros));
+  }
+  if (record.state == TransactionState::kCompleted) {
+    value.Set("results", std::to_string(record.result.results.size()));
+  }
+  service_->SetServiceData("txn." + id, value);
+
+  // The "most recently changed" SDE monitors the server as a whole (§2.1).
+  grid::SdeValue last;
+  last.Set("transaction", id);
+  last.Set("state", std::string(TransactionStateName(record.state)));
+  last.Set("time", std::to_string(clock_->NowMicros()));
+  service_->SetServiceData("lastChanged", last);
+
+  // Aggregate server statistics, likewise inspectable via OGSI.
+  grid::SdeValue stats;
+  stats.Set("proposals", std::to_string(stats_.proposals));
+  stats.Set("accepted", std::to_string(stats_.accepted));
+  stats.Set("rejected", std::to_string(stats_.rejected));
+  stats.Set("executions", std::to_string(stats_.executions));
+  stats.Set("duplicate_executes", std::to_string(stats_.duplicate_executes));
+  stats.Set("failures", std::to_string(stats_.failures));
+  stats.Set("open_transactions", std::to_string(transactions_.size()));
+  service_->SetServiceData("serverStats", stats);
+}
+
+void NtcpServer::TransitionLocked(const std::string& id,
+                                  TransactionRecord& record,
+                                  TransactionState to,
+                                  const std::string& detail) {
+  if (!IsLegalTransition(record.state, to)) {
+    NEES_LOG_ERROR("ntcp.server." + endpoint())
+        << "illegal transition " << TransactionStateName(record.state)
+        << " -> " << TransactionStateName(to) << " for " << id;
+    return;
+  }
+  record.state = to;
+  if (!detail.empty()) record.detail = detail;
+  record.state_timestamps[std::string(TransactionStateName(to))] =
+      clock_->NowMicros();
+  PublishSdeLocked(id, record);
+}
+
+NtcpServer::ProposeOutcome NtcpServer::Propose(const Proposal& proposal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.proposals;
+
+  if (proposal.transaction_id.empty()) {
+    ++stats_.rejected;
+    return {false, "transaction id must not be empty"};
+  }
+
+  auto it = transactions_.find(proposal.transaction_id);
+  if (it != transactions_.end()) {
+    // At-most-once: an identical re-sent proposal gets the original answer;
+    // a *different* proposal under the same name is a protocol violation.
+    if (it->second.proposal == proposal) {
+      ++stats_.duplicate_proposals;
+      const bool was_accepted =
+          it->second.state != TransactionState::kRejected;
+      return {was_accepted, it->second.detail};
+    }
+    ++stats_.rejected;
+    return {false, "transaction id already in use with a different proposal"};
+  }
+
+  TransactionRecord record;
+  record.proposal = proposal;
+  record.state = TransactionState::kProposed;
+  record.state_timestamps[std::string(
+      TransactionStateName(TransactionState::kProposed))] =
+      clock_->NowMicros();
+
+  const util::Status validation = plugin_->Validate(proposal);
+  auto [inserted, unused] =
+      transactions_.emplace(proposal.transaction_id, std::move(record));
+  (void)unused;
+  if (validation.ok()) {
+    ++stats_.accepted;
+    TransitionLocked(proposal.transaction_id, inserted->second,
+                     TransactionState::kAccepted, "");
+    return {true, ""};
+  }
+  ++stats_.rejected;
+  TransitionLocked(proposal.transaction_id, inserted->second,
+                   TransactionState::kRejected, validation.ToString());
+  return {false, validation.ToString()};
+}
+
+util::Result<TransactionResult> NtcpServer::Execute(
+    const std::string& transaction_id) {
+  Proposal proposal;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = transactions_.find(transaction_id);
+    if (it == transactions_.end()) {
+      return util::NotFound("unknown transaction: " + transaction_id);
+    }
+    TransactionRecord& record = it->second;
+
+    switch (record.state) {
+      case TransactionState::kCompleted:
+        // At-most-once: a retried execute returns the cached result.
+        ++stats_.duplicate_executes;
+        return record.result;
+      case TransactionState::kFailed:
+        ++stats_.duplicate_executes;
+        return util::Status(util::ErrorCode::kAborted,
+                            "execution previously failed: " + record.detail);
+      case TransactionState::kExecuting:
+        return util::Unavailable("execution in progress; retry");
+      case TransactionState::kRejected:
+        return util::FailedPrecondition("transaction was rejected");
+      case TransactionState::kCancelled:
+        return util::FailedPrecondition("transaction was cancelled");
+      case TransactionState::kExpired:
+        return util::FailedPrecondition("transaction expired");
+      case TransactionState::kProposed:
+        return util::FailedPrecondition("transaction not yet accepted");
+      case TransactionState::kAccepted:
+        break;
+    }
+
+    // Enforce the proposal timeout window.
+    const auto proposed_at = record.state_timestamps.find(
+        std::string(TransactionStateName(TransactionState::kProposed)));
+    if (record.proposal.timeout_micros > 0 &&
+        proposed_at != record.state_timestamps.end() &&
+        clock_->NowMicros() >
+            proposed_at->second + record.proposal.timeout_micros) {
+      ++stats_.expired;
+      TransitionLocked(transaction_id, record, TransactionState::kExpired,
+                       "proposal timeout lapsed before execute");
+      return util::FailedPrecondition("transaction expired");
+    }
+
+    TransitionLocked(transaction_id, record, TransactionState::kExecuting,
+                     "");
+    proposal = record.proposal;
+    ++stats_.executions;
+  }
+
+  // Run the plugin outside the table lock: executions can take (simulated)
+  // seconds and inspection must stay responsive meanwhile.
+  util::Result<TransactionResult> outcome = plugin_->Execute(proposal);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = transactions_.find(transaction_id);
+  if (it == transactions_.end()) {
+    return util::Internal("transaction vanished during execution");
+  }
+  if (outcome.ok()) {
+    it->second.result = *outcome;
+    TransitionLocked(transaction_id, it->second, TransactionState::kCompleted,
+                     "");
+    return *outcome;
+  }
+  ++stats_.failures;
+  TransitionLocked(transaction_id, it->second, TransactionState::kFailed,
+                   outcome.status().ToString());
+  return outcome.status();
+}
+
+util::Status NtcpServer::Cancel(const std::string& transaction_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = transactions_.find(transaction_id);
+  if (it == transactions_.end()) {
+    return util::NotFound("unknown transaction: " + transaction_id);
+  }
+  TransactionRecord& record = it->second;
+  if (record.state == TransactionState::kCancelled) return util::OkStatus();
+  if (record.state != TransactionState::kProposed &&
+      record.state != TransactionState::kAccepted) {
+    return util::FailedPrecondition(
+        "cannot cancel a transaction in state " +
+        std::string(TransactionStateName(record.state)));
+  }
+  ++stats_.cancels;
+  TransitionLocked(transaction_id, record, TransactionState::kCancelled,
+                   "cancelled by client");
+  plugin_->OnCancel(record.proposal);
+  return util::OkStatus();
+}
+
+util::Result<TransactionRecord> NtcpServer::GetTransaction(
+    const std::string& transaction_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = transactions_.find(transaction_id);
+  if (it == transactions_.end()) {
+    return util::NotFound("unknown transaction: " + transaction_id);
+  }
+  return it->second;
+}
+
+std::vector<std::string> NtcpServer::ListTransactions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> ids;
+  ids.reserve(transactions_.size());
+  for (const auto& [id, record] : transactions_) {
+    (void)record;
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+int NtcpServer::ExpireStale() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::int64_t now = clock_->NowMicros();
+  int expired = 0;
+  for (auto& [id, record] : transactions_) {
+    if (record.state != TransactionState::kProposed &&
+        record.state != TransactionState::kAccepted) {
+      continue;
+    }
+    if (record.proposal.timeout_micros <= 0) continue;
+    const auto proposed_at = record.state_timestamps.find(
+        std::string(TransactionStateName(TransactionState::kProposed)));
+    if (proposed_at == record.state_timestamps.end()) continue;
+    if (now > proposed_at->second + record.proposal.timeout_micros) {
+      TransitionLocked(id, record, TransactionState::kExpired,
+                       "proposal timeout lapsed");
+      ++stats_.expired;
+      ++expired;
+    }
+  }
+  return expired;
+}
+
+int NtcpServer::GarbageCollect(std::int64_t retention_micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::int64_t cutoff = clock_->NowMicros() - retention_micros;
+  int removed = 0;
+  for (auto it = transactions_.begin(); it != transactions_.end();) {
+    std::int64_t last_change = 0;
+    for (const auto& [state, micros] : it->second.state_timestamps) {
+      last_change = std::max(last_change, micros);
+    }
+    if (IsTerminal(it->second.state) && last_change < cutoff) {
+      service_->RemoveServiceData("txn." + it->first);
+      it = transactions_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+NtcpServerStats NtcpServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void NtcpServer::BindRpcMethods() {
+  rpc_server_.RegisterMethod(
+      "ntcp.propose",
+      [this](const net::CallContext&,
+             const net::Bytes& body) -> util::Result<net::Bytes> {
+        util::ByteReader reader(body);
+        NEES_ASSIGN_OR_RETURN(Proposal proposal, DecodeProposal(reader));
+        const ProposeOutcome outcome = Propose(proposal);
+        util::ByteWriter writer;
+        writer.WriteBool(outcome.accepted);
+        writer.WriteString(outcome.reason);
+        return writer.Take();
+      });
+  rpc_server_.RegisterMethod(
+      "ntcp.execute",
+      [this](const net::CallContext&,
+             const net::Bytes& body) -> util::Result<net::Bytes> {
+        util::ByteReader reader(body);
+        NEES_ASSIGN_OR_RETURN(std::string id, reader.ReadString());
+        NEES_ASSIGN_OR_RETURN(TransactionResult result, Execute(id));
+        util::ByteWriter writer;
+        EncodeTransactionResult(result, writer);
+        return writer.Take();
+      });
+  rpc_server_.RegisterMethod(
+      "ntcp.cancel",
+      [this](const net::CallContext&,
+             const net::Bytes& body) -> util::Result<net::Bytes> {
+        util::ByteReader reader(body);
+        NEES_ASSIGN_OR_RETURN(std::string id, reader.ReadString());
+        NEES_RETURN_IF_ERROR(Cancel(id));
+        return net::Bytes{};
+      });
+  rpc_server_.RegisterMethod(
+      "ntcp.getTransaction",
+      [this](const net::CallContext&,
+             const net::Bytes& body) -> util::Result<net::Bytes> {
+        util::ByteReader reader(body);
+        NEES_ASSIGN_OR_RETURN(std::string id, reader.ReadString());
+        NEES_ASSIGN_OR_RETURN(TransactionRecord record, GetTransaction(id));
+        util::ByteWriter writer;
+        EncodeTransactionRecord(record, writer);
+        return writer.Take();
+      });
+  rpc_server_.RegisterMethod(
+      "ntcp.listTransactions",
+      [this](const net::CallContext&,
+             const net::Bytes&) -> util::Result<net::Bytes> {
+        const auto ids = ListTransactions();
+        util::ByteWriter writer;
+        writer.WriteU32(static_cast<std::uint32_t>(ids.size()));
+        for (const std::string& id : ids) writer.WriteString(id);
+        return writer.Take();
+      });
+}
+
+}  // namespace nees::ntcp

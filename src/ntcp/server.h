@@ -1,0 +1,102 @@
+// NTCP server: the generic half of Fig. 2. Owns the transaction table and
+// its state machine, guarantees at-most-once execution under client
+// retries, enforces proposal timeouts, and publishes every transaction as
+// an OGSI service data element (plus the "most recently changed" SDE the
+// paper calls out for whole-server monitoring).
+//
+// RPC surface (on its own network endpoint):
+//   ntcp.propose        Proposal -> {accepted, reason}
+//   ntcp.execute        txn_id   -> TransactionResult   (idempotent)
+//   ntcp.cancel         txn_id   -> {}
+//   ntcp.getTransaction txn_id   -> TransactionRecord
+//   ntcp.listTransactions {}     -> [txn_id...]
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "grid/container.h"
+#include "grid/service.h"
+#include "net/rpc.h"
+#include "ntcp/plugin.h"
+#include "ntcp/types.h"
+#include "util/clock.h"
+
+namespace nees::ntcp {
+
+struct NtcpServerStats {
+  std::uint64_t proposals = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t executions = 0;        // actual plugin Execute() calls
+  std::uint64_t duplicate_executes = 0;  // retries served from cache
+  std::uint64_t duplicate_proposals = 0;
+  std::uint64_t cancels = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t failures = 0;
+};
+
+class NtcpServer {
+ public:
+  /// `endpoint` is the server's network name (e.g. "ntcp.uiuc").
+  NtcpServer(net::Network* network, std::string endpoint,
+             std::unique_ptr<ControlPlugin> plugin,
+             util::Clock* clock = &util::SystemClock::Instance());
+  ~NtcpServer();
+
+  util::Status Start();
+  void Stop();
+
+  /// Hosts this server's state as a GridService in `container` so OGSI
+  /// inspection (ogsi.findServiceData on "txn." keys) sees transactions.
+  util::Status PublishTo(grid::ServiceContainer& container);
+
+  /// Exposes the RPC server (to attach an AuthService, §4).
+  net::RpcServer& rpc() { return rpc_server_; }
+  const std::string& endpoint() const { return rpc_server_.endpoint(); }
+
+  // Local (in-process) protocol operations; RPC methods call these.
+  struct ProposeOutcome {
+    bool accepted = false;
+    std::string reason;
+  };
+  ProposeOutcome Propose(const Proposal& proposal);
+  util::Result<TransactionResult> Execute(const std::string& transaction_id);
+  util::Status Cancel(const std::string& transaction_id);
+  util::Result<TransactionRecord> GetTransaction(
+      const std::string& transaction_id) const;
+  std::vector<std::string> ListTransactions() const;
+
+  /// Moves proposed/accepted transactions past their timeout to kExpired;
+  /// returns how many expired. Call periodically (or before reusing ids).
+  int ExpireStale();
+
+  /// Drops terminal transactions older than `retention_micros`, bounding
+  /// the table; returns how many were dropped.
+  int GarbageCollect(std::int64_t retention_micros);
+
+  NtcpServerStats stats() const;
+
+  /// The grid service holding the SDEs (for direct inspection in-process).
+  grid::GridService& service_data() { return *service_; }
+
+ private:
+  void TransitionLocked(const std::string& id, TransactionRecord& record,
+                        TransactionState to, const std::string& detail);
+  void PublishSdeLocked(const std::string& id,
+                        const TransactionRecord& record);
+  void BindRpcMethods();
+
+  net::RpcServer rpc_server_;
+  std::unique_ptr<ControlPlugin> plugin_;
+  util::Clock* clock_;
+  std::shared_ptr<grid::GridService> service_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, TransactionRecord> transactions_;
+  NtcpServerStats stats_;
+};
+
+}  // namespace nees::ntcp

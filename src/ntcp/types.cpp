@@ -1,0 +1,170 @@
+#include "ntcp/types.h"
+
+namespace nees::ntcp {
+
+const ControlPointResult* TransactionResult::Find(
+    const std::string& control_point) const {
+  for (const ControlPointResult& result : results) {
+    if (result.control_point == control_point) return &result;
+  }
+  return nullptr;
+}
+
+std::string_view TransactionStateName(TransactionState state) {
+  switch (state) {
+    case TransactionState::kProposed: return "proposed";
+    case TransactionState::kAccepted: return "accepted";
+    case TransactionState::kRejected: return "rejected";
+    case TransactionState::kExecuting: return "executing";
+    case TransactionState::kCompleted: return "completed";
+    case TransactionState::kCancelled: return "cancelled";
+    case TransactionState::kFailed: return "failed";
+    case TransactionState::kExpired: return "expired";
+  }
+  return "unknown";
+}
+
+bool IsTerminal(TransactionState state) {
+  switch (state) {
+    case TransactionState::kRejected:
+    case TransactionState::kCompleted:
+    case TransactionState::kCancelled:
+    case TransactionState::kFailed:
+    case TransactionState::kExpired:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsLegalTransition(TransactionState from, TransactionState to) {
+  using S = TransactionState;
+  switch (from) {
+    case S::kProposed:
+      return to == S::kAccepted || to == S::kRejected || to == S::kCancelled ||
+             to == S::kExpired;
+    case S::kAccepted:
+      return to == S::kExecuting || to == S::kCancelled || to == S::kExpired;
+    case S::kExecuting:
+      return to == S::kCompleted || to == S::kFailed;
+    default:
+      return false;  // terminal states
+  }
+}
+
+namespace {
+
+void EncodeControlPointRequest(const ControlPointRequest& request,
+                               util::ByteWriter& writer) {
+  writer.WriteString(request.control_point);
+  writer.WriteDoubleVector(request.target_displacement);
+  writer.WriteDoubleVector(request.target_force);
+}
+
+util::Result<ControlPointRequest> DecodeControlPointRequest(
+    util::ByteReader& reader) {
+  ControlPointRequest request;
+  NEES_ASSIGN_OR_RETURN(request.control_point, reader.ReadString());
+  NEES_ASSIGN_OR_RETURN(request.target_displacement,
+                        reader.ReadDoubleVector());
+  NEES_ASSIGN_OR_RETURN(request.target_force, reader.ReadDoubleVector());
+  return request;
+}
+
+void EncodeControlPointResult(const ControlPointResult& result,
+                              util::ByteWriter& writer) {
+  writer.WriteString(result.control_point);
+  writer.WriteDoubleVector(result.measured_displacement);
+  writer.WriteDoubleVector(result.measured_force);
+}
+
+util::Result<ControlPointResult> DecodeControlPointResult(
+    util::ByteReader& reader) {
+  ControlPointResult result;
+  NEES_ASSIGN_OR_RETURN(result.control_point, reader.ReadString());
+  NEES_ASSIGN_OR_RETURN(result.measured_displacement,
+                        reader.ReadDoubleVector());
+  NEES_ASSIGN_OR_RETURN(result.measured_force, reader.ReadDoubleVector());
+  return result;
+}
+
+}  // namespace
+
+void EncodeProposal(const Proposal& proposal, util::ByteWriter& writer) {
+  writer.WriteString(proposal.transaction_id);
+  writer.WriteU32(static_cast<std::uint32_t>(proposal.actions.size()));
+  for (const ControlPointRequest& action : proposal.actions) {
+    EncodeControlPointRequest(action, writer);
+  }
+  writer.WriteI64(proposal.timeout_micros);
+  writer.WriteI64(proposal.step_index);
+}
+
+util::Result<Proposal> DecodeProposal(util::ByteReader& reader) {
+  Proposal proposal;
+  NEES_ASSIGN_OR_RETURN(proposal.transaction_id, reader.ReadString());
+  NEES_ASSIGN_OR_RETURN(std::uint32_t count, reader.ReadU32());
+  for (std::uint32_t i = 0; i < count; ++i) {
+    NEES_ASSIGN_OR_RETURN(ControlPointRequest action,
+                          DecodeControlPointRequest(reader));
+    proposal.actions.push_back(std::move(action));
+  }
+  NEES_ASSIGN_OR_RETURN(proposal.timeout_micros, reader.ReadI64());
+  NEES_ASSIGN_OR_RETURN(proposal.step_index, reader.ReadI64());
+  return proposal;
+}
+
+void EncodeTransactionResult(const TransactionResult& result,
+                             util::ByteWriter& writer) {
+  writer.WriteU32(static_cast<std::uint32_t>(result.results.size()));
+  for (const ControlPointResult& entry : result.results) {
+    EncodeControlPointResult(entry, writer);
+  }
+}
+
+util::Result<TransactionResult> DecodeTransactionResult(
+    util::ByteReader& reader) {
+  TransactionResult result;
+  NEES_ASSIGN_OR_RETURN(std::uint32_t count, reader.ReadU32());
+  for (std::uint32_t i = 0; i < count; ++i) {
+    NEES_ASSIGN_OR_RETURN(ControlPointResult entry,
+                          DecodeControlPointResult(reader));
+    result.results.push_back(std::move(entry));
+  }
+  return result;
+}
+
+void EncodeTransactionRecord(const TransactionRecord& record,
+                             util::ByteWriter& writer) {
+  EncodeProposal(record.proposal, writer);
+  writer.WriteU8(static_cast<std::uint8_t>(record.state));
+  writer.WriteString(record.detail);
+  EncodeTransactionResult(record.result, writer);
+  writer.WriteU32(static_cast<std::uint32_t>(record.state_timestamps.size()));
+  for (const auto& [state, micros] : record.state_timestamps) {
+    writer.WriteString(state);
+    writer.WriteI64(micros);
+  }
+}
+
+util::Result<TransactionRecord> DecodeTransactionRecord(
+    util::ByteReader& reader) {
+  TransactionRecord record;
+  NEES_ASSIGN_OR_RETURN(record.proposal, DecodeProposal(reader));
+  NEES_ASSIGN_OR_RETURN(std::uint8_t state, reader.ReadU8());
+  if (state > static_cast<std::uint8_t>(TransactionState::kExpired)) {
+    return util::DataLoss("invalid transaction state byte");
+  }
+  record.state = static_cast<TransactionState>(state);
+  NEES_ASSIGN_OR_RETURN(record.detail, reader.ReadString());
+  NEES_ASSIGN_OR_RETURN(record.result, DecodeTransactionResult(reader));
+  NEES_ASSIGN_OR_RETURN(std::uint32_t count, reader.ReadU32());
+  for (std::uint32_t i = 0; i < count; ++i) {
+    NEES_ASSIGN_OR_RETURN(std::string key, reader.ReadString());
+    NEES_ASSIGN_OR_RETURN(std::int64_t micros, reader.ReadI64());
+    record.state_timestamps[key] = micros;
+  }
+  return record;
+}
+
+}  // namespace nees::ntcp

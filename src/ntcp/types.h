@@ -1,0 +1,104 @@
+// NTCP (NEESgrid Teleoperation Control Protocol) data model, after
+// NEESgrid TR-2003-07 as summarized in the paper (§2.1).
+//
+// A *proposal* names a transaction and requests actions on control points
+// (geometric boundary DOFs of a substructure): target displacements and/or
+// forces. The transaction then walks the Fig. 1 state machine:
+//
+//    Proposed --accept--> Accepted --execute--> Executing --> Completed
+//        \--reject--> Rejected        \--cancel--> Cancelled      \--> Failed
+//
+// plus Expired for transactions whose proposal timeout lapses before
+// execution. Every state change is timestamped and published as an OGSI
+// service data element, so any participant can inspect any transaction.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace nees::ntcp {
+
+/// Requested action on one control point.
+struct ControlPointRequest {
+  std::string control_point;           // e.g. "column-top-x"
+  std::vector<double> target_displacement;  // meters, per DOF
+  std::vector<double> target_force;         // newtons, per DOF (may be empty)
+
+  bool operator==(const ControlPointRequest&) const = default;
+};
+
+struct Proposal {
+  std::string transaction_id;  // client-chosen: the at-most-once key
+  std::vector<ControlPointRequest> actions;
+  std::int64_t timeout_micros = 60'000'000;  // proposal validity window
+  std::int64_t step_index = -1;  // PSD step this belongs to (-1 if N/A)
+
+  bool operator==(const Proposal&) const = default;
+};
+
+/// Measured state of one control point after execution.
+struct ControlPointResult {
+  std::string control_point;
+  std::vector<double> measured_displacement;
+  std::vector<double> measured_force;
+
+  bool operator==(const ControlPointResult&) const = default;
+};
+
+struct TransactionResult {
+  std::vector<ControlPointResult> results;
+
+  bool operator==(const TransactionResult&) const = default;
+
+  const ControlPointResult* Find(const std::string& control_point) const;
+};
+
+enum class TransactionState : std::uint8_t {
+  kProposed = 0,
+  kAccepted = 1,
+  kRejected = 2,
+  kExecuting = 3,
+  kCompleted = 4,
+  kCancelled = 5,
+  kFailed = 6,
+  kExpired = 7,
+};
+
+std::string_view TransactionStateName(TransactionState state);
+
+/// True if `from` -> `to` is a legal Fig. 1 transition.
+bool IsLegalTransition(TransactionState from, TransactionState to);
+
+/// Terminal states admit no further transitions.
+bool IsTerminal(TransactionState state);
+
+/// Full server-side record of a transaction (also the getTransaction reply).
+struct TransactionRecord {
+  Proposal proposal;
+  TransactionState state = TransactionState::kProposed;
+  std::string detail;  // rejection reason / failure message
+  TransactionResult result;                    // valid when kCompleted
+  std::map<std::string, std::int64_t> state_timestamps;  // state -> micros
+};
+
+// Wire encodings -------------------------------------------------------------
+
+void EncodeProposal(const Proposal& proposal, util::ByteWriter& writer);
+util::Result<Proposal> DecodeProposal(util::ByteReader& reader);
+
+void EncodeTransactionResult(const TransactionResult& result,
+                             util::ByteWriter& writer);
+util::Result<TransactionResult> DecodeTransactionResult(
+    util::ByteReader& reader);
+
+void EncodeTransactionRecord(const TransactionRecord& record,
+                             util::ByteWriter& writer);
+util::Result<TransactionRecord> DecodeTransactionRecord(
+    util::ByteReader& reader);
+
+}  // namespace nees::ntcp

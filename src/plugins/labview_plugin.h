@@ -1,0 +1,38 @@
+// LabViewPlugin: the Mini-MOST configuration (§3.5) — "the main software
+// change was a new NTCP plugin to communicate with LabVIEW". The LabVIEW
+// daemon owns the stepper-motor rig; this plugin drives it directly (the
+// control and DAQ run on a single Windows PC, so there is no vendor
+// controller hop like at UIUC).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ntcp/plugin.h"
+#include "testbed/specimen.h"
+
+namespace nees::plugins {
+
+class LabViewPlugin final : public ntcp::ControlPlugin {
+ public:
+  struct Config {
+    std::string control_point = "beam-tip";
+    double max_abs_displacement_m = 0.025;
+  };
+
+  LabViewPlugin(Config config,
+                std::unique_ptr<testbed::PhysicalSpecimen> specimen);
+
+  util::Status Validate(const ntcp::Proposal& proposal) override;
+  util::Result<ntcp::TransactionResult> Execute(
+      const ntcp::Proposal& proposal) override;
+  std::string_view kind() const override { return "labview"; }
+
+  testbed::PhysicalSpecimen& specimen() { return *specimen_; }
+
+ private:
+  Config config_;
+  std::unique_ptr<testbed::PhysicalSpecimen> specimen_;
+};
+
+}  // namespace nees::plugins

@@ -1,0 +1,226 @@
+#include "plugins/mplugin.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace nees::plugins {
+
+MPlugin::MPlugin(Config config) : config_(config) {}
+
+MPlugin::~MPlugin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutting_down_ = true;
+  work_cv_.notify_all();
+  done_cv_.notify_all();
+}
+
+util::Status MPlugin::Validate(const ntcp::Proposal& proposal) {
+  if (proposal.actions.empty()) {
+    return util::InvalidArgument("proposal has no actions");
+  }
+  for (const auto& action : proposal.actions) {
+    for (double d : action.target_displacement) {
+      if (std::fabs(d) > config_.max_abs_displacement_m) {
+        return util::PolicyViolation("target exceeds Mplugin site limit");
+      }
+    }
+  }
+  return util::OkStatus();
+}
+
+util::Result<ntcp::TransactionResult> MPlugin::Execute(
+    const ntcp::Proposal& proposal) {
+  auto pending = std::make_shared<Pending>();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    pending_[proposal.transaction_id] = pending;
+    queue_.push_back(proposal);
+    work_cv_.notify_one();
+
+    const bool completed = done_cv_.wait_for(
+        lock, std::chrono::microseconds(config_.execute_timeout_micros),
+        [&] { return pending->done || shutting_down_; });
+    pending_.erase(proposal.transaction_id);
+    if (!completed || !pending->done) {
+      // Remove the unclaimed request so a late backend can't act on it.
+      std::erase_if(queue_, [&](const ntcp::Proposal& queued) {
+        return queued.transaction_id == proposal.transaction_id;
+      });
+      return util::TimeoutError("backend did not service request " +
+                                proposal.transaction_id);
+    }
+  }
+  if (!pending->status.ok()) return pending->status;
+  return pending->result;
+}
+
+std::optional<ntcp::Proposal> MPlugin::PollRequest(
+    std::int64_t max_wait_micros) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++polls_;
+  work_cv_.wait_for(lock, std::chrono::microseconds(max_wait_micros),
+                    [this] { return !queue_.empty() || shutting_down_; });
+  if (queue_.empty()) return std::nullopt;
+  ntcp::Proposal proposal = std::move(queue_.front());
+  queue_.pop_front();
+  return proposal;
+}
+
+util::Status MPlugin::PostResult(
+    const std::string& transaction_id,
+    util::Result<ntcp::TransactionResult> outcome) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pending_.find(transaction_id);
+  if (it == pending_.end()) {
+    return util::NotFound("no pending execution named " + transaction_id);
+  }
+  it->second->done = true;
+  if (outcome.ok()) {
+    it->second->result = std::move(outcome).value();
+  } else {
+    it->second->status = outcome.status();
+  }
+  done_cv_.notify_all();
+  return util::OkStatus();
+}
+
+void MPlugin::BindBackendRpc(net::RpcServer& server) {
+  server.RegisterMethod(
+      "mplugin.poll",
+      [this](const net::CallContext&,
+             const net::Bytes& body) -> util::Result<net::Bytes> {
+        util::ByteReader reader(body);
+        NEES_ASSIGN_OR_RETURN(std::int64_t max_wait, reader.ReadI64());
+        auto proposal = PollRequest(max_wait);
+        util::ByteWriter writer;
+        writer.WriteBool(proposal.has_value());
+        if (proposal) ntcp::EncodeProposal(*proposal, writer);
+        return writer.Take();
+      });
+  server.RegisterMethod(
+      "mplugin.notify",
+      [this](const net::CallContext&,
+             const net::Bytes& body) -> util::Result<net::Bytes> {
+        util::ByteReader reader(body);
+        NEES_ASSIGN_OR_RETURN(std::string id, reader.ReadString());
+        NEES_ASSIGN_OR_RETURN(bool ok, reader.ReadBool());
+        if (ok) {
+          NEES_ASSIGN_OR_RETURN(ntcp::TransactionResult result,
+                                ntcp::DecodeTransactionResult(reader));
+          NEES_RETURN_IF_ERROR(PostResult(id, std::move(result)));
+        } else {
+          NEES_ASSIGN_OR_RETURN(std::string error, reader.ReadString());
+          NEES_RETURN_IF_ERROR(PostResult(id, util::Internal(error)));
+        }
+        return net::Bytes{};
+      });
+}
+
+std::uint64_t MPlugin::polls() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return polls_;
+}
+
+std::size_t MPlugin::buffered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+// ---------------------------------------------------------------------------
+// PollingBackend
+
+PollingBackend::PollingBackend(MPlugin* plugin, Compute compute)
+    : plugin_(plugin), compute_(std::move(compute)) {}
+
+PollingBackend::~PollingBackend() { Stop(); }
+
+void PollingBackend::Start() {
+  if (running_.exchange(true)) return;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void PollingBackend::Stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+void PollingBackend::Loop() {
+  while (running_) {
+    auto proposal = plugin_->PollRequest(/*max_wait_micros=*/50'000);
+    if (!proposal) continue;
+    auto outcome = compute_(*proposal);
+    const util::Status posted =
+        plugin_->PostResult(proposal->transaction_id, std::move(outcome));
+    if (!posted.ok()) {
+      NEES_LOG_WARN("plugins.backend")
+          << "late notify dropped: " << posted.ToString();
+    }
+    ++processed_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RemotePollingBackend
+
+RemotePollingBackend::RemotePollingBackend(net::RpcClient* rpc,
+                                           std::string plugin_endpoint,
+                                           Compute compute)
+    : rpc_(rpc),
+      plugin_endpoint_(std::move(plugin_endpoint)),
+      compute_(std::move(compute)) {}
+
+util::Result<bool> RemotePollingBackend::PollOnce(
+    std::int64_t max_wait_micros) {
+  util::ByteWriter poll_writer;
+  poll_writer.WriteI64(max_wait_micros);
+  NEES_ASSIGN_OR_RETURN(
+      net::Bytes response,
+      rpc_->Call(plugin_endpoint_, "mplugin.poll", poll_writer.Take()));
+  util::ByteReader reader(response);
+  NEES_ASSIGN_OR_RETURN(bool has_work, reader.ReadBool());
+  if (!has_work) return false;
+  NEES_ASSIGN_OR_RETURN(ntcp::Proposal proposal,
+                        ntcp::DecodeProposal(reader));
+
+  auto outcome = compute_(proposal);
+  util::ByteWriter notify_writer;
+  notify_writer.WriteString(proposal.transaction_id);
+  notify_writer.WriteBool(outcome.ok());
+  if (outcome.ok()) {
+    ntcp::EncodeTransactionResult(*outcome, notify_writer);
+  } else {
+    notify_writer.WriteString(outcome.status().ToString());
+  }
+  NEES_RETURN_IF_ERROR(
+      rpc_->Call(plugin_endpoint_, "mplugin.notify", notify_writer.Take())
+          .status());
+  return true;
+}
+
+PollingBackend::Compute MakeSimulationCompute(
+    std::shared_ptr<std::map<
+        std::string, std::unique_ptr<structural::SubstructureModel>>>
+        models) {
+  return [models](const ntcp::Proposal& proposal)
+             -> util::Result<ntcp::TransactionResult> {
+    ntcp::TransactionResult result;
+    for (const auto& action : proposal.actions) {
+      auto it = models->find(action.control_point);
+      if (it == models->end()) {
+        return util::NotFound("unknown control point: " +
+                              action.control_point);
+      }
+      NEES_ASSIGN_OR_RETURN(structural::Vector force,
+                            it->second->Restore(action.target_displacement));
+      ntcp::ControlPointResult cp;
+      cp.control_point = action.control_point;
+      cp.measured_displacement = action.target_displacement;
+      cp.measured_force = force;
+      result.results.push_back(std::move(cp));
+    }
+    return result;
+  };
+}
+
+}  // namespace nees::plugins

@@ -1,0 +1,129 @@
+// The "Mplugin" (Fig. 9, §3.1): instead of pushing requests to the backend,
+// it buffers them and implements a separate service that the backend —
+// originally a Matlab process — polls for work. When the backend finishes a
+// computation it notifies the plugin, which completes the pending NTCP
+// execution. NCSA ran this against a pure simulation; CU ran the same
+// plugin code against Matlab xPC driving real servo-hydraulics.
+//
+// Backend-facing surface, both in-process and over RPC:
+//   mplugin.poll    {max_wait} -> {has_work, Proposal}
+//   mplugin.notify  {txn_id, ok, TransactionResult|error} -> {}
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "net/rpc.h"
+#include "ntcp/plugin.h"
+#include "structural/substructure.h"
+
+namespace nees::plugins {
+
+struct MPluginConfig {
+  /// How long Execute() waits for the backend to poll + notify.
+  std::int64_t execute_timeout_micros = 10'000'000;
+  double max_abs_displacement_m = 1.0;
+};
+
+class MPlugin final : public ntcp::ControlPlugin {
+ public:
+  using Config = MPluginConfig;
+
+  explicit MPlugin(Config config = Config());
+  ~MPlugin() override;
+
+  // --- ControlPlugin ---------------------------------------------------------
+  util::Status Validate(const ntcp::Proposal& proposal) override;
+  util::Result<ntcp::TransactionResult> Execute(
+      const ntcp::Proposal& proposal) override;
+  std::string_view kind() const override { return "mplugin"; }
+
+  // --- backend-facing service -------------------------------------------------
+  /// Blocks up to `max_wait_micros` for buffered work.
+  std::optional<ntcp::Proposal> PollRequest(std::int64_t max_wait_micros);
+  /// Completes a pending execution with a result or an error.
+  util::Status PostResult(const std::string& transaction_id,
+                          util::Result<ntcp::TransactionResult> outcome);
+
+  /// Binds mplugin.poll / mplugin.notify on an RpcServer for remote backends.
+  void BindBackendRpc(net::RpcServer& server);
+
+  std::uint64_t polls() const;
+  std::size_t buffered() const;
+
+ private:
+  struct Pending {
+    bool done = false;
+    util::Status status;
+    ntcp::TransactionResult result;
+  };
+
+  Config config_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;    // backend waits for work
+  std::condition_variable done_cv_;    // Execute waits for completion
+  std::deque<ntcp::Proposal> queue_;
+  std::map<std::string, std::shared_ptr<Pending>> pending_;
+  std::uint64_t polls_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// In-process "Matlab" backend: a thread that polls the MPlugin, runs a
+/// compute function on each proposal, and notifies the result — the NCSA
+/// deployment in miniature.
+class PollingBackend {
+ public:
+  using Compute = std::function<util::Result<ntcp::TransactionResult>(
+      const ntcp::Proposal&)>;
+
+  PollingBackend(MPlugin* plugin, Compute compute);
+  ~PollingBackend();
+
+  void Start();
+  void Stop();
+
+  std::uint64_t processed() const { return processed_; }
+
+ private:
+  void Loop();
+
+  MPlugin* plugin_;
+  Compute compute_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> processed_{0};
+};
+
+/// Remote backend speaking the RPC surface — used to demonstrate that the
+/// poll service works across the (simulated) network like Matlab at NCSA.
+class RemotePollingBackend {
+ public:
+  using Compute = PollingBackend::Compute;
+
+  RemotePollingBackend(net::RpcClient* rpc, std::string plugin_endpoint,
+                       Compute compute);
+
+  /// Performs one poll+compute+notify cycle; returns true if work was done.
+  util::Result<bool> PollOnce(std::int64_t max_wait_micros = 0);
+
+ private:
+  net::RpcClient* rpc_;
+  std::string plugin_endpoint_;
+  Compute compute_;
+};
+
+/// Builds the standard "Matlab simulation" compute function from a set of
+/// control-point substructure models.
+PollingBackend::Compute MakeSimulationCompute(
+    std::shared_ptr<std::map<
+        std::string, std::unique_ptr<structural::SubstructureModel>>>
+        models);
+
+}  // namespace nees::plugins

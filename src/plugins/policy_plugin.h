@@ -1,0 +1,68 @@
+// LimitPolicyPlugin: decorator that enforces site policy at proposal time
+// (§2.1: "facility managers want to retain some control over what commands
+// are acceptable, e.g. to set limits on the amount of force that can be
+// applied"). Wraps any plugin; rejects proposals whose targets exceed the
+// site's displacement/force limits BEFORE anything moves — this is what
+// makes the propose/execute negotiation useful.
+//
+// HumanApprovalPlugin: decorator that requires an operator decision per
+// execution (the paper: "a plugin/backend system that required a human to
+// approve each action (used only during initial testing at UIUC)").
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "ntcp/plugin.h"
+
+namespace nees::plugins {
+
+struct SitePolicy {
+  double max_abs_displacement_m = 0.15;
+  double max_abs_force_n = 4e5;
+  /// If true, proposals naming control points with force targets are
+  /// rejected (a displacement-controlled site).
+  bool reject_force_control = false;
+};
+
+class LimitPolicyPlugin final : public ntcp::ControlPlugin {
+ public:
+  LimitPolicyPlugin(SitePolicy policy,
+                    std::unique_ptr<ntcp::ControlPlugin> inner);
+
+  util::Status Validate(const ntcp::Proposal& proposal) override;
+  util::Result<ntcp::TransactionResult> Execute(
+      const ntcp::Proposal& proposal) override;
+  void OnCancel(const ntcp::Proposal& proposal) override;
+  std::string_view kind() const override { return "limit-policy"; }
+
+  std::uint64_t rejections() const { return rejections_; }
+
+ private:
+  SitePolicy policy_;
+  std::unique_ptr<ntcp::ControlPlugin> inner_;
+  std::uint64_t rejections_ = 0;
+};
+
+class HumanApprovalPlugin final : public ntcp::ControlPlugin {
+ public:
+  /// The approver sees the proposal and returns true to allow execution.
+  using Approver = std::function<bool(const ntcp::Proposal&)>;
+
+  HumanApprovalPlugin(Approver approver,
+                      std::unique_ptr<ntcp::ControlPlugin> inner);
+
+  util::Status Validate(const ntcp::Proposal& proposal) override;
+  util::Result<ntcp::TransactionResult> Execute(
+      const ntcp::Proposal& proposal) override;
+  std::string_view kind() const override { return "human-approval"; }
+
+  std::uint64_t denials() const { return denials_; }
+
+ private:
+  Approver approver_;
+  std::unique_ptr<ntcp::ControlPlugin> inner_;
+  std::uint64_t denials_ = 0;
+};
+
+}  // namespace nees::plugins

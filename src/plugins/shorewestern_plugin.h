@@ -1,0 +1,34 @@
+// ShoreWesternPlugin: the UIUC configuration of Fig. 9 — "a plugin that
+// communicated, via a simple TCP/IP protocol, with a Shore-Western control
+// system, which in turn controlled the UIUC servo-hydraulics". One control
+// point (the column top), displacement-controlled.
+#pragma once
+
+#include <string>
+
+#include "ntcp/plugin.h"
+#include "testbed/shorewestern.h"
+
+namespace nees::plugins {
+
+class ShoreWesternPlugin final : public ntcp::ControlPlugin {
+ public:
+  struct Config {
+    std::string control_point = "column-top";
+    double max_abs_displacement_m = 0.15;
+  };
+
+  ShoreWesternPlugin(Config config, net::RpcClient* rpc,
+                     std::string controller_endpoint);
+
+  util::Status Validate(const ntcp::Proposal& proposal) override;
+  util::Result<ntcp::TransactionResult> Execute(
+      const ntcp::Proposal& proposal) override;
+  std::string_view kind() const override { return "shore-western"; }
+
+ private:
+  Config config_;
+  testbed::ShoreWesternClient controller_;
+};
+
+}  // namespace nees::plugins

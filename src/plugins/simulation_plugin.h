@@ -1,0 +1,38 @@
+// SimulationPlugin: an NTCP control plugin whose backend is a numerical
+// substructure model — the "computational simulations that model the
+// actions of servo-hydraulic systems on experiment specimens" of §2.1.
+// Because physical and numerical substructures share the NTCP interface,
+// swapping this for a rig plugin is invisible to the coordinator (the
+// MOST development methodology, §3).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "ntcp/plugin.h"
+#include "structural/substructure.h"
+
+namespace nees::plugins {
+
+class SimulationPlugin final : public ntcp::ControlPlugin {
+ public:
+  /// Adds a named control point backed by a (1-DOF or N-DOF) model.
+  void AddControlPoint(const std::string& name,
+                       std::unique_ptr<structural::SubstructureModel> model);
+
+  util::Status Validate(const ntcp::Proposal& proposal) override;
+  util::Result<ntcp::TransactionResult> Execute(
+      const ntcp::Proposal& proposal) override;
+  std::string_view kind() const override { return "simulation"; }
+
+  /// Number of Execute() calls (for transparency/bookkeeping tests).
+  std::uint64_t executions() const { return executions_; }
+
+ private:
+  std::map<std::string, std::unique_ptr<structural::SubstructureModel>>
+      models_;
+  std::uint64_t executions_ = 0;
+};
+
+}  // namespace nees::plugins

@@ -1,0 +1,379 @@
+#include "psd/coordinator.h"
+
+#include <thread>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace nees::psd {
+
+// The Vector arithmetic operators live in nees::structural and are not
+// found by ADL on std::vector<double>; pull them in explicitly.
+using structural::operator+;
+using structural::operator-;
+using structural::operator*;
+
+SimulationCoordinator::SimulationCoordinator(CoordinatorConfig config,
+                                             net::RpcClient* rpc,
+                                             util::Clock* clock)
+    : config_(std::move(config)), rpc_(rpc), clock_(clock) {
+  ntcp::RetryPolicy policy = config_.retry;
+  if (config_.fault_policy == FaultPolicy::kNaive) {
+    policy.max_attempts = 1;  // the un-hardened coordinator of §3.4
+  }
+  for (const SubstructureSite& site : config_.sites) {
+    clients_.push_back(std::make_unique<ntcp::NtcpClient>(
+        rpc_, site.ntcp_endpoint, policy, clock_));
+    SiteStats stats;
+    stats.name = site.name;
+    site_stats_.push_back(std::move(stats));
+  }
+}
+
+void SimulationCoordinator::SetStepObserver(StepObserver observer) {
+  observer_ = std::move(observer);
+}
+
+util::Status SimulationCoordinator::EnsureInitialized() {
+  if (initialized_) return util::OkStatus();
+  const std::size_t n = config_.mass.rows();
+  if (config_.damping.rows() != n || config_.iota.size() != n) {
+    return util::InvalidArgument("mass/damping/iota dimension mismatch");
+  }
+  for (const SubstructureSite& site : config_.sites) {
+    for (std::size_t dof : site.dofs) {
+      if (dof >= n) {
+        return util::InvalidArgument("site " + site.name +
+                                     " references DOF out of range");
+      }
+    }
+  }
+  const double dt = config_.motion.dt_seconds;
+  step_ = 0;
+  d_.assign(n, 0.0);
+  d_prev_.assign(n, 0.0);
+  history_ = {};
+  history_.dt_seconds = dt;
+  history_.displacement.push_back(d_);
+  history_.velocity.push_back(structural::Vector(n, 0.0));
+
+  if (config_.integrator == PsdIntegrator::kCentralDifference) {
+    const structural::Matrix keff = config_.mass * (1.0 / (dt * dt)) +
+                                    config_.damping * (1.0 / (2.0 * dt));
+    NEES_ASSIGN_OR_RETURN(keff_lu_,
+                          structural::LuFactorization::Compute(keff));
+    kback_ = config_.mass * (1.0 / (dt * dt)) -
+             config_.damping * (1.0 / (2.0 * dt));
+    two_m_ = config_.mass * (2.0 / (dt * dt));
+    history_.acceleration.push_back(structural::Vector(n, 0.0));
+  } else {
+    if (config_.initial_stiffness.rows() != n ||
+        config_.initial_stiffness.cols() != n) {
+      return util::InvalidArgument(
+          "operator splitting requires an n x n initial stiffness");
+    }
+    // Meff = M + gamma dt C + beta dt^2 K0, beta = 1/4, gamma = 1/2.
+    const structural::Matrix meff =
+        config_.mass + config_.damping * (0.5 * dt) +
+        config_.initial_stiffness * (0.25 * dt * dt);
+    NEES_ASSIGN_OR_RETURN(meff_lu_,
+                          structural::LuFactorization::Compute(meff));
+    v_.assign(n, 0.0);
+    // At-rest start: a_0 = M^-1 f_0 with r(0) = 0.
+    NEES_ASSIGN_OR_RETURN(structural::LuFactorization mass_lu,
+                          structural::LuFactorization::Compute(config_.mass));
+    const structural::Vector f0 =
+        (config_.motion.accel.empty() ? 0.0 : -config_.motion.accel[0]) *
+        (config_.mass * config_.iota);
+    a_ = mass_lu.Solve(f0);
+    history_.acceleration.push_back(a_);
+  }
+  initialized_ = true;
+  return util::OkStatus();
+}
+
+util::Status SimulationCoordinator::ForEachSite(
+    const std::function<util::Status(std::size_t site)>& work) {
+  const std::size_t count = config_.sites.size();
+  std::vector<util::Status> statuses(count);
+  if (!config_.parallel_sites || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      statuses[i] = work(i);
+    }
+  } else {
+    // One thread per site: NTCP rounds to independent sites overlap, so
+    // the phase costs one round trip instead of `count`. Each thread only
+    // touches its own client and its own stats slot.
+    std::vector<std::thread> workers;
+    for (std::size_t i = 1; i < count; ++i) {
+      workers.emplace_back([&, i] { statuses[i] = work(i); });
+    }
+    statuses[0] = work(0);
+    for (std::thread& worker : workers) worker.join();
+  }
+  for (const util::Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+  return util::OkStatus();
+}
+
+util::Status SimulationCoordinator::CycleOnce(
+    int attempt, const structural::Vector& displacement,
+    structural::Vector& forces,
+    std::vector<ntcp::TransactionResult>& results) {
+  const std::size_t n = config_.mass.rows();
+  const std::size_t site_count = config_.sites.size();
+
+  // Phase 1: propose to ALL sites before executing anywhere. A rejection
+  // or loss here leaves every specimen untouched.
+  std::vector<std::string> transaction_ids(site_count);
+  std::vector<bool> accepted(site_count, false);
+  for (std::size_t i = 0; i < site_count; ++i) {
+    transaction_ids[i] =
+        util::Format("%s-s%zu-a%d-%s", config_.run_id.c_str(), step_, attempt,
+                     config_.sites[i].name.c_str());
+  }
+  const util::Status proposed = ForEachSite([&](std::size_t i) {
+    const SubstructureSite& site = config_.sites[i];
+    ntcp::Proposal proposal;
+    proposal.transaction_id = transaction_ids[i];
+    proposal.step_index = static_cast<std::int64_t>(step_);
+    proposal.timeout_micros = config_.proposal_timeout_micros;
+    ntcp::ControlPointRequest action;
+    action.control_point = site.control_point;
+    for (std::size_t dof : site.dofs) {
+      action.target_displacement.push_back(displacement[dof]);
+    }
+    proposal.actions.push_back(std::move(action));
+
+    const util::Stopwatch watch;
+    const util::Status status = clients_[i]->Propose(proposal);
+    site_stats_[i].step_micros.Add(
+        static_cast<double>(watch.ElapsedMicros()));
+    ++site_stats_[i].proposals;
+    if (status.ok()) {
+      accepted[i] = true;
+      return status;
+    }
+    return util::Status(status.code(), "propose to " + site.name +
+                                           " failed: " + status.message());
+  });
+  if (!proposed.ok()) {
+    // §2.1: "If any of the requested proposals is rejected, the client may
+    // send a request to cancel the transaction." Release the accepted
+    // transactions so a later attempt starts from a clean table.
+    for (std::size_t i = 0; i < site_count; ++i) {
+      if (accepted[i]) (void)clients_[i]->Cancel(transaction_ids[i]);
+    }
+    return proposed;
+  }
+
+  // Phase 2: execute everywhere and collect measured forces.
+  results.assign(site_count, ntcp::TransactionResult{});
+  const util::Status executed = ForEachSite([&](std::size_t i) {
+    const SubstructureSite& site = config_.sites[i];
+    const util::Stopwatch watch;
+    auto result = clients_[i]->Execute(transaction_ids[i]);
+    site_stats_[i].step_micros.Add(
+        static_cast<double>(watch.ElapsedMicros()));
+    ++site_stats_[i].executes;
+    if (!result.ok()) {
+      return util::Status(result.status().code(),
+                          "execute at " + site.name + " failed: " +
+                              result.status().message());
+    }
+    const ntcp::ControlPointResult* cp = result->Find(site.control_point);
+    if (cp == nullptr || cp->measured_force.size() != site.dofs.size()) {
+      return util::Internal("invalid response from " + site.name +
+                            ": missing/mis-sized control point result");
+    }
+    results[i] = std::move(*result);
+    return util::OkStatus();
+  });
+  if (!executed.ok()) return executed;
+
+  // Assemble the restoring force vector on the coordinator thread.
+  forces.assign(n, 0.0);
+  for (std::size_t i = 0; i < site_count; ++i) {
+    const SubstructureSite& site = config_.sites[i];
+    const ntcp::ControlPointResult* cp =
+        results[i].Find(site.control_point);
+    for (std::size_t k = 0; k < site.dofs.size(); ++k) {
+      forces[site.dofs[k]] += cp->measured_force[k];
+    }
+  }
+  return util::OkStatus();
+}
+
+util::Status SimulationCoordinator::RunNtcpCycle(
+    const structural::Vector& displacement, structural::Vector& forces,
+    std::vector<ntcp::TransactionResult>& results) {
+  const int max_attempts =
+      config_.fault_policy == FaultPolicy::kFaultTolerant
+          ? std::max(config_.max_step_attempts, 1)
+          : 1;
+  util::Status last = util::Internal("step attempt loop did not run");
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    last = CycleOnce(attempt, displacement, forces, results);
+    if (last.ok()) {
+      if (attempt > 1) ++transient_recovered_;
+      return last;
+    }
+    // Configuration/policy errors will not improve with a new transaction.
+    if (last.code() == util::ErrorCode::kPolicyViolation ||
+        last.code() == util::ErrorCode::kPermissionDenied ||
+        last.code() == util::ErrorCode::kInvalidArgument ||
+        last.code() == util::ErrorCode::kSafetyInterlock) {
+      return last;
+    }
+    if (attempt < max_attempts) {
+      NEES_LOG_WARN("psd.coordinator")
+          << "step " << step_ << " attempt " << attempt
+          << " failed (" << last.ToString() << "); re-proposing";
+      for (SiteStats& stats : site_stats_) ++stats.step_reattempts;
+    }
+  }
+  return last;
+}
+
+util::Result<bool> SimulationCoordinator::StepCentralDifference(
+    std::vector<ntcp::TransactionResult>& results) {
+  structural::Vector forces;
+  NEES_RETURN_IF_ERROR(RunNtcpCycle(d_, forces, results));
+
+  // Central-difference update with the *measured* restoring forces.
+  const double dt = config_.motion.dt_seconds;
+  const structural::Vector f =
+      -config_.motion.accel[step_] * (config_.mass * config_.iota);
+  const structural::Vector rhs =
+      f - forces + two_m_ * d_ - kback_ * d_prev_;
+  structural::Vector d_next = keff_lu_.Solve(rhs);
+
+  const structural::Vector v = (1.0 / (2.0 * dt)) * (d_next - d_prev_);
+  const structural::Vector a =
+      (1.0 / (dt * dt)) * (d_next - 2.0 * d_ + d_prev_);
+
+  d_prev_ = d_;
+  d_ = std::move(d_next);
+  history_.displacement.push_back(d_);
+  history_.velocity.push_back(v);
+  history_.acceleration.push_back(a);
+  ++step_;
+
+  if (observer_) observer_(step_ - 1, d_prev_, results);
+  return true;
+}
+
+util::Result<bool> SimulationCoordinator::StepOperatorSplitting(
+    std::vector<ntcp::TransactionResult>& results) {
+  const double dt = config_.motion.dt_seconds;
+  constexpr double beta = 0.25;
+  constexpr double gamma = 0.5;
+
+  // Explicit predictor: the displacement commanded to the substructures.
+  const structural::Vector d_tilde =
+      d_ + dt * v_ + (dt * dt * (0.5 - beta)) * a_;
+  const structural::Vector v_tilde = v_ + (dt * (1.0 - gamma)) * a_;
+
+  structural::Vector forces;
+  NEES_RETURN_IF_ERROR(RunNtcpCycle(d_tilde, forces, results));
+
+  const structural::Vector f =
+      -config_.motion.accel[step_ + 1] * (config_.mass * config_.iota);
+  const structural::Vector rhs = f - config_.damping * v_tilde - forces;
+  const structural::Vector a_next = meff_lu_.Solve(rhs);
+
+  d_prev_ = d_;
+  d_ = d_tilde + (beta * dt * dt) * a_next;
+  v_ = v_tilde + (gamma * dt) * a_next;
+  a_ = a_next;
+  history_.displacement.push_back(d_);
+  history_.velocity.push_back(v_);
+  history_.acceleration.push_back(a_);
+  ++step_;
+
+  if (observer_) observer_(step_ - 1, d_tilde, results);
+  return true;
+}
+
+util::Result<bool> SimulationCoordinator::ExecuteStep() {
+  NEES_RETURN_IF_ERROR(EnsureInitialized());
+  if (step_ + 1 >= config_.motion.steps()) return false;
+  std::vector<ntcp::TransactionResult> results;
+  if (config_.integrator == PsdIntegrator::kCentralDifference) {
+    return StepCentralDifference(results);
+  }
+  return StepOperatorSplitting(results);
+}
+
+RunReport SimulationCoordinator::Run() {
+  RunReport report;
+  report.total_steps = config_.motion.steps() == 0
+                           ? 0
+                           : config_.motion.steps() - 1;
+  const util::Stopwatch watch;
+  for (;;) {
+    auto advanced = ExecuteStep();
+    if (!advanced.ok()) {
+      report.failure = advanced.status();
+      NEES_LOG_ERROR("psd.coordinator")
+          << config_.run_id << " terminated at step " << step_ << "/"
+          << report.total_steps << ": " << report.failure.ToString();
+      break;
+    }
+    if (!*advanced) {
+      report.completed = true;
+      break;
+    }
+  }
+  report.steps_completed = step_;
+  report.history = history_;
+  report.site_stats = site_stats();
+  report.transient_faults_recovered = transient_recovered_;
+  for (const auto& client : clients_) {
+    report.transient_faults_recovered += client->stats().recovered;
+  }
+  report.wall_seconds = watch.ElapsedSeconds();
+  return report;
+}
+
+Checkpoint SimulationCoordinator::GetCheckpoint() const {
+  Checkpoint checkpoint;
+  checkpoint.step = step_;
+  checkpoint.d = d_;
+  checkpoint.d_prev = d_prev_;
+  checkpoint.v = v_;
+  checkpoint.a = a_;
+  checkpoint.history = history_;
+  return checkpoint;
+}
+
+util::Status SimulationCoordinator::Restore(const Checkpoint& checkpoint) {
+  NEES_RETURN_IF_ERROR(EnsureInitialized());
+  if (checkpoint.d.size() != config_.mass.rows()) {
+    return util::InvalidArgument("checkpoint dimension mismatch");
+  }
+  if (config_.integrator == PsdIntegrator::kOperatorSplitting &&
+      (checkpoint.v.size() != config_.mass.rows() ||
+       checkpoint.a.size() != config_.mass.rows())) {
+    return util::InvalidArgument(
+        "checkpoint lacks the operator-splitting (v, a) state");
+  }
+  step_ = checkpoint.step;
+  d_ = checkpoint.d;
+  d_prev_ = checkpoint.d_prev;
+  v_ = checkpoint.v;
+  a_ = checkpoint.a;
+  history_ = checkpoint.history;
+  return util::OkStatus();
+}
+
+std::vector<SiteStats> SimulationCoordinator::site_stats() const {
+  std::vector<SiteStats> stats = site_stats_;
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    stats[i].rpc_retries = clients_[i]->stats().retries;
+  }
+  return stats;
+}
+
+}  // namespace nees::psd

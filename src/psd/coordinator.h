@@ -1,0 +1,175 @@
+// MS-PSDS simulation coordinator (§3, Fig. 5): "repeatedly issues a set of
+// NTCP proposals based on current simulation state, collects information
+// about the resulting state of all the substructures, and, based on that
+// resulting state, computes the next set of NTCP commands".
+//
+// Per pseudo-dynamic time step:
+//   1. PROPOSE to every site (negotiation: all sites must accept the step's
+//      targets before anything anywhere moves),
+//   2. EXECUTE at every site, collecting measured restoring forces,
+//   3. advance the central-difference integration with the measured forces.
+//
+// Two fault-handling policies reproduce the paper's §3.4 result:
+//   * kNaive          — one RPC attempt, no re-proposal: any transient
+//                       network failure terminates the experiment (the
+//                       public MOST run died at step 1493/1500 this way);
+//   * kFaultTolerant  — transparent RPC retries (safe: NTCP is
+//                       at-most-once) plus bounded re-proposal under fresh
+//                       transaction ids when a transaction is lost to a
+//                       definitive error. The dry run completed with this.
+//
+// The coordinator checkpoints (step, d, d_prev), so a run killed by the
+// naive policy can restart where it stopped.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/rpc.h"
+#include "ntcp/client.h"
+#include "structural/integrator.h"
+#include "util/clock.h"
+#include "util/stats.h"
+
+namespace nees::psd {
+
+/// One substructure's binding: which NTCP server, which control point, and
+/// which global DOFs of the reduced model it carries.
+struct SubstructureSite {
+  std::string name;             // "UIUC", "CU", "NCSA"
+  std::string ntcp_endpoint;    // "ntcp.uiuc"
+  std::string control_point;    // "column-top"
+  std::vector<std::size_t> dofs;  // global DOF indices (size = CP DOF count)
+};
+
+enum class FaultPolicy { kNaive, kFaultTolerant };
+
+/// Which pseudo-dynamic scheme drives the stepping loop.
+enum class PsdIntegrator {
+  kCentralDifference,   // explicit; dt < 2/omega_max
+  kOperatorSplitting,   // unconditionally stable; needs initial stiffness
+};
+
+struct CoordinatorConfig {
+  std::string run_id = "run";
+  structural::Matrix mass;
+  structural::Matrix damping;
+  structural::Vector iota;
+  structural::GroundMotion motion;
+  std::vector<SubstructureSite> sites;
+
+  FaultPolicy fault_policy = FaultPolicy::kFaultTolerant;
+  ntcp::RetryPolicy retry;        // per-RPC policy (ignored under kNaive)
+  int max_step_attempts = 3;      // re-proposals per step (kFaultTolerant)
+  std::int64_t proposal_timeout_micros = 60'000'000;
+  /// Issue each phase's calls to all sites concurrently (one thread per
+  /// site): a step then costs ~2 RTT instead of 2 RTT x sites — the §5
+  /// near-real-time optimization. Results are identical; only wall time
+  /// changes.
+  bool parallel_sites = false;
+
+  PsdIntegrator integrator = PsdIntegrator::kCentralDifference;
+  /// Initial stiffness estimate K0; required (square, n x n) for
+  /// kOperatorSplitting, ignored otherwise.
+  structural::Matrix initial_stiffness;
+};
+
+struct SiteStats {
+  std::string name;
+  std::uint64_t proposals = 0;
+  std::uint64_t executes = 0;
+  std::uint64_t rpc_retries = 0;
+  std::uint64_t step_reattempts = 0;
+  util::SampleStats step_micros;  // time spent on this site per step
+};
+
+struct RunReport {
+  bool completed = false;
+  std::size_t steps_completed = 0;  // successfully executed PSD steps
+  std::size_t total_steps = 0;
+  util::Status failure;  // why the run stopped, if not completed
+  structural::TimeHistory history;
+  std::vector<SiteStats> site_stats;
+  std::uint64_t transient_faults_recovered = 0;
+  double wall_seconds = 0.0;
+};
+
+struct Checkpoint {
+  std::size_t step = 0;
+  structural::Vector d;
+  structural::Vector d_prev;
+  structural::Vector v;  // operator-splitting state (empty under CD)
+  structural::Vector a;
+  structural::TimeHistory history;
+};
+
+class SimulationCoordinator {
+ public:
+  /// `rpc` carries the coordinator's identity/auth token and must outlive
+  /// the coordinator.
+  SimulationCoordinator(CoordinatorConfig config, net::RpcClient* rpc,
+                        util::Clock* clock = &util::SystemClock::Instance());
+
+  /// Observer invoked after each successful step with the commanded
+  /// displacement and the per-site measured forces (drives NSDS streaming
+  /// and the DAQ in the MOST assembly).
+  using StepObserver = std::function<void(
+      std::size_t step, const structural::Vector& displacement,
+      const std::vector<ntcp::TransactionResult>& site_results)>;
+  void SetStepObserver(StepObserver observer);
+
+  /// Runs from the current state to completion or first unrecovered fault.
+  RunReport Run();
+
+  /// Executes exactly one step; Ok(false) when the record is exhausted.
+  util::Result<bool> ExecuteStep();
+
+  Checkpoint GetCheckpoint() const;
+  util::Status Restore(const Checkpoint& checkpoint);
+
+  const structural::TimeHistory& history() const { return history_; }
+  std::size_t current_step() const { return step_; }
+  std::vector<SiteStats> site_stats() const;
+
+ private:
+  util::Status EnsureInitialized();
+  /// One full propose-all / execute-all cycle for the current step; fills
+  /// `forces` with the assembled restoring force vector.
+  util::Status ForEachSite(
+      const std::function<util::Status(std::size_t site)>& work);
+  util::Status RunNtcpCycle(const structural::Vector& displacement,
+                            structural::Vector& forces,
+                            std::vector<ntcp::TransactionResult>& results);
+  util::Status CycleOnce(int attempt, const structural::Vector& displacement,
+                         structural::Vector& forces,
+                         std::vector<ntcp::TransactionResult>& results);
+
+  CoordinatorConfig config_;
+  net::RpcClient* rpc_;
+  util::Clock* clock_;
+  std::vector<std::unique_ptr<ntcp::NtcpClient>> clients_;
+  std::vector<SiteStats> site_stats_;
+  StepObserver observer_;
+
+  util::Result<bool> StepCentralDifference(
+      std::vector<ntcp::TransactionResult>& results);
+  util::Result<bool> StepOperatorSplitting(
+      std::vector<ntcp::TransactionResult>& results);
+
+  bool initialized_ = false;
+  structural::LuFactorization keff_lu_;  // CD effective stiffness
+  structural::Matrix kback_;
+  structural::Matrix two_m_;
+  structural::LuFactorization meff_lu_;  // OS effective mass
+  std::size_t step_ = 0;
+  structural::Vector d_;
+  structural::Vector d_prev_;
+  structural::Vector v_;  // OS state
+  structural::Vector a_;
+  structural::TimeHistory history_;
+  std::uint64_t transient_recovered_ = 0;
+};
+
+}  // namespace nees::psd

@@ -1,0 +1,194 @@
+#include "repo/facade.h"
+
+#include <fstream>
+#include <set>
+
+#include "util/strings.h"
+
+namespace nees::repo {
+
+RepositoryFacade::RepositoryFacade(net::Network* network, std::string endpoint)
+    : rpc_server_(network, std::move(endpoint)),
+      gridftp_(network, rpc_server_.endpoint() + ".gftp", &store_) {}
+
+util::Status RepositoryFacade::Start() {
+  NEES_RETURN_IF_ERROR(rpc_server_.Start());
+  NEES_RETURN_IF_ERROR(gridftp_.Start());
+  nmds_.BindRpc(rpc_server_);
+  nfms_.BindRpc(rpc_server_);
+  return util::OkStatus();
+}
+
+void RepositoryFacade::Stop() {
+  gridftp_.Stop();
+  rpc_server_.Stop();
+}
+
+void RepositoryFacade::EnableCapabilityAuthorization(
+    std::uint64_t cas_public_key, util::Clock* clock) {
+  auto authenticator =
+      [cas_public_key, clock](
+          const std::string& token,
+          const std::string& method) -> util::Result<std::string> {
+    static const std::set<std::string> kWriteMethods = {
+        "nmds.put",       "nfms.register",   "gftp.openWrite",
+        "gftp.writeChunk", "gftp.commit"};
+    if (!kWriteMethods.contains(method)) return std::string();  // open read
+    if (token.empty()) {
+      return util::Unauthenticated("repository write requires a CAS "
+                                   "capability");
+    }
+    NEES_ASSIGN_OR_RETURN(security::Capability capability,
+                          security::CapabilityFromToken(token));
+    if (capability.resource != kRepositoryResource ||
+        capability.action != "write") {
+      return util::PermissionDenied("capability does not grant repository "
+                                    "write");
+    }
+    NEES_RETURN_IF_ERROR(security::VerifyCapability(capability,
+                                                    cas_public_key,
+                                                    clock->NowMicros()));
+    return capability.subject;
+  };
+  rpc_server_.SetAuthenticator(authenticator);
+  gridftp_.rpc().SetAuthenticator(authenticator);
+}
+
+util::Status RepositoryFacade::Ingest(
+    const std::string& logical_name, const Bytes& content,
+    const std::string& type,
+    std::map<std::string, std::string> metadata_fields,
+    const std::string& subject) {
+  const std::string physical = "files/" + logical_name;
+  store_.Put(physical, content);
+
+  FileEntry entry;
+  entry.logical_name = logical_name;
+  entry.server_endpoint = gridftp_.endpoint();
+  entry.physical_path = physical;
+  entry.size_bytes = content.size();
+  entry.sha256hex = ContentDigest(content);
+  nfms_.RegisterFile(entry);
+
+  MetadataObject object;
+  object.id = "file:" + logical_name;
+  object.type = type;
+  object.fields = std::move(metadata_fields);
+  object.fields["logical_name"] = logical_name;
+  object.fields["size_bytes"] = std::to_string(content.size());
+  object.fields["sha256"] = entry.sha256hex;
+  return nmds_.Put(std::move(object), subject).status();
+}
+
+util::Result<Bytes> RepositoryFacade::Fetch(const std::string& logical_name) {
+  NEES_ASSIGN_OR_RETURN(TransferTicket ticket, nfms_.Negotiate(logical_name));
+  NEES_ASSIGN_OR_RETURN(Bytes content, store_.Get(ticket.physical_path));
+  if (ContentDigest(content) != ticket.sha256hex) {
+    return util::DataLoss("stored content fails checksum for " +
+                          logical_name);
+  }
+  return content;
+}
+
+// ---------------------------------------------------------------------------
+// IngestionTool
+
+IngestionTool::IngestionTool(net::RpcClient* rpc,
+                             std::string repository_endpoint,
+                             std::string experiment_id, std::string site)
+    : rpc_(rpc),
+      repository_(std::move(repository_endpoint)),
+      experiment_id_(std::move(experiment_id)),
+      site_(std::move(site)) {}
+
+util::Status IngestionTool::IngestDropFile(
+    const std::filesystem::path& file,
+    const std::vector<nsds::DataSample>& samples) {
+  // Read the raw bytes back (the repository stores the original file).
+  std::ifstream in(file, std::ios::binary);
+  if (!in) return util::NotFound("cannot reopen " + file.string());
+  Bytes content((std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+
+  const std::string logical =
+      experiment_id_ + "/daq/" + site_ + "/" + file.filename().string();
+
+  // 1. Bytes via GridFTP-sim.
+  GridFtpClient gridftp(rpc_);
+  NEES_RETURN_IF_ERROR(
+      gridftp.Upload(repository_ + ".gftp", "files/" + logical, content));
+
+  // 2. Location via NFMS.
+  NfmsClient nfms(rpc_, repository_);
+  FileEntry entry;
+  entry.logical_name = logical;
+  entry.server_endpoint = repository_ + ".gftp";
+  entry.physical_path = "files/" + logical;
+  entry.size_bytes = content.size();
+  entry.sha256hex = ContentDigest(content);
+  NEES_RETURN_IF_ERROR(nfms.RegisterFile(entry));
+
+  // 3. Description via NMDS.
+  std::int64_t t_min = 0, t_max = 0;
+  if (!samples.empty()) {
+    t_min = t_max = samples.front().time_micros;
+    for (const nsds::DataSample& sample : samples) {
+      t_min = std::min(t_min, sample.time_micros);
+      t_max = std::max(t_max, sample.time_micros);
+    }
+  }
+  NmdsClient nmds(rpc_, repository_);
+  MetadataObject object;
+  object.id = "file:" + logical;
+  object.type = "daq-data";
+  object.fields["experiment"] = experiment_id_;
+  object.fields["site"] = site_;
+  object.fields["samples"] = std::to_string(samples.size());
+  object.fields["t_min_micros"] = std::to_string(t_min);
+  object.fields["t_max_micros"] = std::to_string(t_max);
+  object.fields["logical_name"] = logical;
+  NEES_RETURN_IF_ERROR(nmds.Put(object).status());
+
+  ++files_ingested_;
+  return util::OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// HttpsBridge
+
+HttpsBridge::HttpsBridge(net::Network* network, std::string endpoint,
+                         std::string repository_endpoint)
+    : rpc_server_(network, std::move(endpoint)),
+      rpc_client_(network, rpc_server_.endpoint() + ".client"),
+      repository_(std::move(repository_endpoint)) {}
+
+util::Status HttpsBridge::Start() {
+  NEES_RETURN_IF_ERROR(rpc_server_.Start());
+  rpc_server_.RegisterMethod(
+      "https.get",
+      [this](const net::CallContext&,
+             const net::Bytes& body) -> util::Result<net::Bytes> {
+        util::ByteReader reader(body);
+        NEES_ASSIGN_OR_RETURN(std::string logical, reader.ReadString());
+        NfmsClient nfms(&rpc_client_, repository_);
+        nfms.RegisterTransport(
+            std::make_unique<GridFtpTransport>(&rpc_client_));
+        NEES_ASSIGN_OR_RETURN(Bytes content, nfms.Fetch(logical));
+        util::ByteWriter writer;
+        writer.WriteBytes(content);
+        return writer.Take();
+      });
+  return util::OkStatus();
+}
+
+util::Result<Bytes> HttpsGet(net::RpcClient* rpc, const std::string& bridge,
+                             const std::string& logical_name) {
+  util::ByteWriter writer;
+  writer.WriteString(logical_name);
+  NEES_ASSIGN_OR_RETURN(net::Bytes reply,
+                        rpc->Call(bridge, "https.get", writer.Take()));
+  util::ByteReader reader(reply);
+  return reader.ReadBytes();
+}
+
+}  // namespace nees::repo

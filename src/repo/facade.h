@@ -1,0 +1,116 @@
+// Repository facade + ingestion + https bridge (Fig. 3).
+//
+// "These components are coupled using the Facade pattern, but may be used
+// independently" (§2.3): RepositoryFacade wires one site's NMDS + NFMS +
+// GridFTP-sim server over a shared FileStore, giving the one-call ingest /
+// fetch operations the ingestion tool and CHEF viewers use.
+//
+// IngestionTool: "uploads data and metadata to the repository as an
+// experiment is run" — it is the Harvester sink: each DAQ drop file becomes
+// a stored file + a metadata object describing it.
+//
+// HttpsBridge: "a servlet that acts as a bridge between GridFTP and https"
+// — a thin read-only endpoint ("https.get") that fetches a logical file
+// through NFMS/GridFTP and returns the bytes, for clients that speak only
+// the web protocol (CHEF).
+#pragma once
+
+#include <memory>
+
+#include "daq/daq.h"
+#include "repo/nfms.h"
+#include "repo/nmds.h"
+#include "security/cas.h"
+#include "util/clock.h"
+
+namespace nees::repo {
+
+/// Resource name repository capabilities are issued against.
+inline constexpr const char* kRepositoryResource = "repository";
+
+class RepositoryFacade {
+ public:
+  /// Brings up the repository's RPC endpoint (`endpoint`), hosting nmds.*,
+  /// nfms.*, and gftp.* methods backed by one FileStore.
+  RepositoryFacade(net::Network* network, std::string endpoint);
+
+  util::Status Start();
+  void Stop();
+
+  /// Enables CAS-based access control (the §3.3 "areas to be more fully
+  /// developed in later releases, such [as] CAS-based access control"):
+  /// write methods (nmds.put, nfms.register, gftp.openWrite/writeChunk/
+  /// commit) then require the caller's auth token to be a capability signed
+  /// by the CAS whose public key is given, naming the "repository" resource
+  /// with action "write". Reads stay open. The capability's subject becomes
+  /// the authenticated subject (so NMDS ownership works unchanged).
+  void EnableCapabilityAuthorization(std::uint64_t cas_public_key,
+                                     util::Clock* clock);
+
+  /// Stores bytes under "files/<logical>" locally, registers the logical
+  /// name in NFMS, and puts a metadata object (id = "file:<logical>").
+  /// `metadata_fields` is merged into the object.
+  util::Status Ingest(const std::string& logical_name, const Bytes& content,
+                      const std::string& type,
+                      std::map<std::string, std::string> metadata_fields,
+                      const std::string& subject = "ingest");
+
+  /// Negotiated fetch by logical name (server side, no network hop).
+  util::Result<Bytes> Fetch(const std::string& logical_name);
+
+  NmdsService& nmds() { return nmds_; }
+  NfmsService& nfms() { return nfms_; }
+  FileStore& store() { return store_; }
+  net::RpcServer& rpc() { return rpc_server_; }
+  const std::string& endpoint() const { return rpc_server_.endpoint(); }
+
+ private:
+  net::RpcServer rpc_server_;
+  FileStore store_;
+  GridFtpServer gridftp_;
+  NmdsService nmds_;
+  NfmsService nfms_;
+};
+
+/// Harvester sink that uploads each DAQ drop file to a (possibly remote)
+/// repository: bytes via GridFTP-sim, location via NFMS, description via
+/// NMDS — the §3.2 pipeline.
+class IngestionTool {
+ public:
+  IngestionTool(net::RpcClient* rpc, std::string repository_endpoint,
+                std::string experiment_id, std::string site);
+
+  /// The daq::Harvester::FileSink signature.
+  util::Status IngestDropFile(const std::filesystem::path& file,
+                              const std::vector<nsds::DataSample>& samples);
+
+  std::uint64_t files_ingested() const { return files_ingested_; }
+
+ private:
+  net::RpcClient* rpc_;
+  std::string repository_;
+  std::string experiment_id_;
+  std::string site_;
+  std::uint64_t files_ingested_ = 0;
+};
+
+/// Read-only https analog in front of the repository.
+class HttpsBridge {
+ public:
+  HttpsBridge(net::Network* network, std::string endpoint,
+              std::string repository_endpoint);
+
+  util::Status Start();
+  const std::string& endpoint() const { return rpc_server_.endpoint(); }
+
+ private:
+  net::RpcServer rpc_server_;
+  net::RpcClient rpc_client_;
+  std::string repository_;
+};
+
+/// Convenience: fetch through the https bridge ("GET <logical>").
+util::Result<Bytes> HttpsGet(net::RpcClient* rpc, const std::string& bridge,
+                             const std::string& logical_name);
+
+}  // namespace nees::repo

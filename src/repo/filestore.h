@@ -1,0 +1,34 @@
+// In-memory content store backing a site's GridFTP-sim server (the
+// repository's disk). Paths are opaque strings ("daq/uiuc/run1_000001.csv").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace nees::repo {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class FileStore {
+ public:
+  void Put(const std::string& path, Bytes content);
+  util::Result<Bytes> Get(const std::string& path) const;
+  bool Exists(const std::string& path) const;
+  util::Result<std::size_t> Size(const std::string& path) const;
+  std::vector<std::string> List(const std::string& prefix) const;
+  util::Status Remove(const std::string& path);
+  std::size_t count() const;
+  std::size_t total_bytes() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Bytes> files_;
+};
+
+}  // namespace nees::repo

@@ -1,0 +1,271 @@
+#include "repo/gridftp.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/sha256.h"
+
+namespace nees::repo {
+
+std::string ContentDigest(const Bytes& content) {
+  return util::ToHex(util::Sha256::Hash(content));
+}
+
+GridFtpServer::GridFtpServer(net::Network* network, std::string endpoint,
+                             FileStore* store)
+    : rpc_server_(network, std::move(endpoint)), store_(store) {}
+
+util::Status GridFtpServer::Start() {
+  NEES_RETURN_IF_ERROR(rpc_server_.Start());
+  rpc_server_.RegisterMethod(
+      "gftp.stat",
+      [this](const net::CallContext&,
+             const net::Bytes& body) -> util::Result<net::Bytes> {
+        util::ByteReader reader(body);
+        NEES_ASSIGN_OR_RETURN(std::string path, reader.ReadString());
+        NEES_ASSIGN_OR_RETURN(Bytes content, store_->Get(path));
+        util::ByteWriter writer;
+        writer.WriteU64(content.size());
+        writer.WriteString(ContentDigest(content));
+        return writer.Take();
+      });
+  rpc_server_.RegisterMethod(
+      "gftp.read",
+      [this](const net::CallContext&,
+             const net::Bytes& body) -> util::Result<net::Bytes> {
+        util::ByteReader reader(body);
+        NEES_ASSIGN_OR_RETURN(std::string path, reader.ReadString());
+        NEES_ASSIGN_OR_RETURN(std::uint64_t offset, reader.ReadU64());
+        NEES_ASSIGN_OR_RETURN(std::uint64_t length, reader.ReadU64());
+        NEES_ASSIGN_OR_RETURN(Bytes content, store_->Get(path));
+        if (offset > content.size()) {
+          return util::OutOfRange("read past end of file");
+        }
+        const std::size_t take =
+            std::min<std::size_t>(length, content.size() - offset);
+        util::ByteWriter writer;
+        writer.WriteBytes(
+            Bytes(content.begin() + offset, content.begin() + offset + take));
+        return writer.Take();
+      });
+  rpc_server_.RegisterMethod(
+      "gftp.openWrite",
+      [this](const net::CallContext&,
+             const net::Bytes& body) -> util::Result<net::Bytes> {
+        util::ByteReader reader(body);
+        NEES_ASSIGN_OR_RETURN(std::string path, reader.ReadString());
+        NEES_ASSIGN_OR_RETURN(std::uint64_t size, reader.ReadU64());
+        NEES_ASSIGN_OR_RETURN(std::string digest, reader.ReadString());
+        std::lock_guard<std::mutex> lock(mu_);
+        const std::string id = "xfer-" + std::to_string(next_transfer_id_++);
+        PendingUpload upload;
+        upload.path = path;
+        upload.sha256hex = digest;
+        upload.buffer.resize(size);
+        uploads_[id] = std::move(upload);
+        util::ByteWriter writer;
+        writer.WriteString(id);
+        return writer.Take();
+      });
+  rpc_server_.RegisterMethod(
+      "gftp.writeChunk",
+      [this](const net::CallContext&,
+             const net::Bytes& body) -> util::Result<net::Bytes> {
+        util::ByteReader reader(body);
+        NEES_ASSIGN_OR_RETURN(std::string id, reader.ReadString());
+        NEES_ASSIGN_OR_RETURN(std::uint64_t offset, reader.ReadU64());
+        NEES_ASSIGN_OR_RETURN(Bytes chunk, reader.ReadBytes());
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = uploads_.find(id);
+        if (it == uploads_.end()) {
+          return util::NotFound("unknown transfer: " + id);
+        }
+        if (offset + chunk.size() > it->second.buffer.size()) {
+          return util::OutOfRange("chunk past declared size");
+        }
+        std::copy(chunk.begin(), chunk.end(),
+                  it->second.buffer.begin() + offset);
+        it->second.received += chunk.size();
+        return net::Bytes{};
+      });
+  rpc_server_.RegisterMethod(
+      "gftp.commit",
+      [this](const net::CallContext&,
+             const net::Bytes& body) -> util::Result<net::Bytes> {
+        util::ByteReader reader(body);
+        NEES_ASSIGN_OR_RETURN(std::string id, reader.ReadString());
+        PendingUpload upload;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          auto it = uploads_.find(id);
+          if (it == uploads_.end()) {
+            return util::NotFound("unknown transfer: " + id);
+          }
+          upload = std::move(it->second);
+          uploads_.erase(it);
+        }
+        if (ContentDigest(upload.buffer) != upload.sha256hex) {
+          return util::DataLoss("upload checksum mismatch for " + upload.path);
+        }
+        store_->Put(upload.path, std::move(upload.buffer));
+        return net::Bytes{};
+      });
+  return util::OkStatus();
+}
+
+void GridFtpServer::Stop() { rpc_server_.Stop(); }
+
+std::size_t GridFtpServer::pending_uploads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return uploads_.size();
+}
+
+GridFtpClient::GridFtpClient(net::RpcClient* rpc, TransferOptions options)
+    : rpc_(rpc), options_(options) {}
+
+util::Result<net::Bytes> GridFtpClient::CallChunked(const std::string& server,
+                                                    const std::string& method,
+                                                    const net::Bytes& body) {
+  util::Status last = util::Internal("chunk retry loop did not run");
+  for (int attempt = 0; attempt <= options_.chunk_retries; ++attempt) {
+    auto result =
+        rpc_->Call(server, method, body, options_.rpc_timeout_micros);
+    if (result.ok()) {
+      if (attempt > 0) ++retried_;
+      return result;
+    }
+    last = result.status();
+    if (!last.transient()) return last;
+  }
+  return last;
+}
+
+util::Status GridFtpClient::RunStreams(
+    const std::function<util::Status(int stream)>& work) {
+  const int streams = std::max(options_.streams, 1);
+  if (streams == 1) return work(0);
+  std::mutex status_mu;
+  util::Status first_error;
+  std::vector<std::thread> workers;
+  for (int stream = 1; stream < streams; ++stream) {
+    workers.emplace_back([&, stream] {
+      const util::Status status = work(stream);
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(status_mu);
+        if (first_error.ok()) first_error = status;
+      }
+    });
+  }
+  const util::Status status = work(0);
+  for (std::thread& worker : workers) worker.join();
+  {
+    std::lock_guard<std::mutex> lock(status_mu);
+    if (!status.ok() && first_error.ok()) first_error = status;
+    return first_error;
+  }
+}
+
+util::Result<Bytes> GridFtpClient::Download(const std::string& server,
+                                            const std::string& path) {
+  last_report_ = {};
+  chunks_ = 0;
+  retried_ = 0;
+  util::ByteWriter stat_writer;
+  stat_writer.WriteString(path);
+  NEES_ASSIGN_OR_RETURN(net::Bytes stat_reply,
+                        CallChunked(server, "gftp.stat", stat_writer.Take()));
+  util::ByteReader stat_reader(stat_reply);
+  NEES_ASSIGN_OR_RETURN(std::uint64_t size, stat_reader.ReadU64());
+  NEES_ASSIGN_OR_RETURN(std::string digest, stat_reader.ReadString());
+
+  Bytes content(size);
+  const std::size_t chunk = options_.chunk_bytes;
+  const std::size_t total_chunks = size == 0 ? 0 : (size + chunk - 1) / chunk;
+
+  // Stripe chunks round-robin across parallel streams, each on its own
+  // thread: over a latency-bearing WAN the per-chunk round trips overlap,
+  // which is exactly why GridFTP stripes transfers.
+  auto fetch_stream = [&](int stream) -> util::Status {
+    for (std::size_t index = static_cast<std::size_t>(stream);
+         index < total_chunks;
+         index += static_cast<std::size_t>(options_.streams)) {
+      const std::size_t offset = index * chunk;
+      const std::size_t want = std::min(chunk, size - offset);
+      util::ByteWriter read_writer;
+      read_writer.WriteString(path);
+      read_writer.WriteU64(offset);
+      read_writer.WriteU64(want);
+      NEES_ASSIGN_OR_RETURN(
+          net::Bytes reply,
+          CallChunked(server, "gftp.read", read_writer.Take()));
+      util::ByteReader reply_reader(reply);
+      NEES_ASSIGN_OR_RETURN(Bytes piece, reply_reader.ReadBytes());
+      if (piece.size() != want) {
+        return util::DataLoss("short read at offset " +
+                              std::to_string(offset));
+      }
+      // Streams write disjoint ranges of `content`; no locking needed.
+      std::copy(piece.begin(), piece.end(), content.begin() + offset);
+      ++chunks_;
+    }
+    return util::OkStatus();
+  };
+  NEES_RETURN_IF_ERROR(RunStreams(fetch_stream));
+  last_report_.bytes = content.size();
+  last_report_.chunks = chunks_;
+  last_report_.retried_chunks = retried_;
+
+  if (ContentDigest(content) != digest) {
+    return util::DataLoss("download checksum mismatch for " + path);
+  }
+  return content;
+}
+
+util::Status GridFtpClient::Upload(const std::string& server,
+                                   const std::string& path,
+                                   const Bytes& content) {
+  last_report_ = {};
+  chunks_ = 0;
+  retried_ = 0;
+  util::ByteWriter open_writer;
+  open_writer.WriteString(path);
+  open_writer.WriteU64(content.size());
+  open_writer.WriteString(ContentDigest(content));
+  NEES_ASSIGN_OR_RETURN(
+      net::Bytes open_reply,
+      CallChunked(server, "gftp.openWrite", open_writer.Take()));
+  util::ByteReader open_reader(open_reply);
+  NEES_ASSIGN_OR_RETURN(std::string transfer_id, open_reader.ReadString());
+
+  const std::size_t chunk = options_.chunk_bytes;
+  const std::size_t total_chunks =
+      content.empty() ? 0 : (content.size() + chunk - 1) / chunk;
+  auto push_stream = [&](int stream) -> util::Status {
+    for (std::size_t index = static_cast<std::size_t>(stream);
+         index < total_chunks;
+         index += static_cast<std::size_t>(options_.streams)) {
+      const std::size_t offset = index * chunk;
+      const std::size_t take = std::min(chunk, content.size() - offset);
+      util::ByteWriter chunk_writer;
+      chunk_writer.WriteString(transfer_id);
+      chunk_writer.WriteU64(offset);
+      chunk_writer.WriteBytes(Bytes(content.begin() + offset,
+                                    content.begin() + offset + take));
+      NEES_RETURN_IF_ERROR(
+          CallChunked(server, "gftp.writeChunk", chunk_writer.Take())
+              .status());
+      ++chunks_;
+    }
+    return util::OkStatus();
+  };
+  NEES_RETURN_IF_ERROR(RunStreams(push_stream));
+  last_report_.bytes = content.size();
+  last_report_.chunks = chunks_;
+  last_report_.retried_chunks = retried_;
+
+  util::ByteWriter commit_writer;
+  commit_writer.WriteString(transfer_id);
+  return CallChunked(server, "gftp.commit", commit_writer.Take()).status();
+}
+
+}  // namespace nees::repo

@@ -1,0 +1,222 @@
+#include "repo/nfms.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace nees::repo {
+
+void EncodeFileEntry(const FileEntry& entry, util::ByteWriter& writer) {
+  writer.WriteString(entry.logical_name);
+  writer.WriteString(entry.protocol);
+  writer.WriteString(entry.server_endpoint);
+  writer.WriteString(entry.physical_path);
+  writer.WriteU64(entry.size_bytes);
+  writer.WriteString(entry.sha256hex);
+}
+
+util::Result<FileEntry> DecodeFileEntry(util::ByteReader& reader) {
+  FileEntry entry;
+  NEES_ASSIGN_OR_RETURN(entry.logical_name, reader.ReadString());
+  NEES_ASSIGN_OR_RETURN(entry.protocol, reader.ReadString());
+  NEES_ASSIGN_OR_RETURN(entry.server_endpoint, reader.ReadString());
+  NEES_ASSIGN_OR_RETURN(entry.physical_path, reader.ReadString());
+  NEES_ASSIGN_OR_RETURN(std::uint64_t size, reader.ReadU64());
+  entry.size_bytes = size;
+  NEES_ASSIGN_OR_RETURN(entry.sha256hex, reader.ReadString());
+  return entry;
+}
+
+GridFtpTransport::GridFtpTransport(net::RpcClient* rpc,
+                                   TransferOptions options)
+    : client_(rpc, options) {}
+
+util::Result<Bytes> GridFtpTransport::Fetch(const TransferTicket& ticket) {
+  return client_.Download(ticket.server_endpoint, ticket.physical_path);
+}
+
+util::Status GridFtpTransport::Store(const TransferTicket& ticket,
+                                     const Bytes& content) {
+  return client_.Upload(ticket.server_endpoint, ticket.physical_path,
+                        content);
+}
+
+void NfmsService::RegisterFile(const FileEntry& entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[entry.logical_name] = entry;
+}
+
+util::Status NfmsService::Unregister(const std::string& logical_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.erase(logical_name) == 0) {
+    return util::NotFound("no logical file: " + logical_name);
+  }
+  return util::OkStatus();
+}
+
+util::Result<FileEntry> NfmsService::Lookup(
+    const std::string& logical_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(logical_name);
+  if (it == entries_.end()) {
+    return util::NotFound("no logical file: " + logical_name);
+  }
+  return it->second;
+}
+
+std::vector<FileEntry> NfmsService::List(
+    const std::string& logical_prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FileEntry> results;
+  for (const auto& [name, entry] : entries_) {
+    if (util::StartsWith(name, logical_prefix)) results.push_back(entry);
+  }
+  return results;
+}
+
+util::Result<TransferTicket> NfmsService::Negotiate(
+    const std::string& logical_name,
+    const std::vector<std::string>& accepted_protocols) const {
+  NEES_ASSIGN_OR_RETURN(FileEntry entry, Lookup(logical_name));
+  if (!accepted_protocols.empty() &&
+      std::find(accepted_protocols.begin(), accepted_protocols.end(),
+                entry.protocol) == accepted_protocols.end()) {
+    return util::FailedPrecondition(
+        "no mutually acceptable transport for " + logical_name +
+        " (file is served via " + entry.protocol + ")");
+  }
+  TransferTicket ticket;
+  ticket.protocol = entry.protocol;
+  ticket.server_endpoint = entry.server_endpoint;
+  ticket.physical_path = entry.physical_path;
+  ticket.sha256hex = entry.sha256hex;
+  return ticket;
+}
+
+void NfmsService::BindRpc(net::RpcServer& server) {
+  server.RegisterMethod(
+      "nfms.register",
+      [this](const net::CallContext&,
+             const net::Bytes& body) -> util::Result<net::Bytes> {
+        util::ByteReader reader(body);
+        NEES_ASSIGN_OR_RETURN(FileEntry entry, DecodeFileEntry(reader));
+        RegisterFile(entry);
+        return net::Bytes{};
+      });
+  server.RegisterMethod(
+      "nfms.lookup",
+      [this](const net::CallContext&,
+             const net::Bytes& body) -> util::Result<net::Bytes> {
+        util::ByteReader reader(body);
+        NEES_ASSIGN_OR_RETURN(std::string name, reader.ReadString());
+        NEES_ASSIGN_OR_RETURN(FileEntry entry, Lookup(name));
+        util::ByteWriter writer;
+        EncodeFileEntry(entry, writer);
+        return writer.Take();
+      });
+  server.RegisterMethod(
+      "nfms.list",
+      [this](const net::CallContext&,
+             const net::Bytes& body) -> util::Result<net::Bytes> {
+        util::ByteReader reader(body);
+        NEES_ASSIGN_OR_RETURN(std::string prefix, reader.ReadString());
+        const auto results = List(prefix);
+        util::ByteWriter writer;
+        writer.WriteU32(static_cast<std::uint32_t>(results.size()));
+        for (const FileEntry& entry : results) {
+          EncodeFileEntry(entry, writer);
+        }
+        return writer.Take();
+      });
+  server.RegisterMethod(
+      "nfms.negotiate",
+      [this](const net::CallContext&,
+             const net::Bytes& body) -> util::Result<net::Bytes> {
+        util::ByteReader reader(body);
+        NEES_ASSIGN_OR_RETURN(std::string name, reader.ReadString());
+        NEES_ASSIGN_OR_RETURN(std::uint32_t count, reader.ReadU32());
+        std::vector<std::string> protocols;
+        for (std::uint32_t i = 0; i < count; ++i) {
+          NEES_ASSIGN_OR_RETURN(std::string protocol, reader.ReadString());
+          protocols.push_back(std::move(protocol));
+        }
+        NEES_ASSIGN_OR_RETURN(TransferTicket ticket,
+                              Negotiate(name, protocols));
+        util::ByteWriter writer;
+        writer.WriteString(ticket.protocol);
+        writer.WriteString(ticket.server_endpoint);
+        writer.WriteString(ticket.physical_path);
+        writer.WriteString(ticket.sha256hex);
+        return writer.Take();
+      });
+}
+
+NfmsClient::NfmsClient(net::RpcClient* rpc, std::string nfms_endpoint)
+    : rpc_(rpc), nfms_(std::move(nfms_endpoint)) {}
+
+void NfmsClient::RegisterTransport(
+    std::unique_ptr<TransportPlugin> transport) {
+  transports_[std::string(transport->protocol())] = std::move(transport);
+}
+
+util::Status NfmsClient::RegisterFile(const FileEntry& entry) {
+  util::ByteWriter writer;
+  EncodeFileEntry(entry, writer);
+  return rpc_->Call(nfms_, "nfms.register", writer.Take()).status();
+}
+
+util::Result<FileEntry> NfmsClient::Lookup(const std::string& logical_name) {
+  util::ByteWriter writer;
+  writer.WriteString(logical_name);
+  NEES_ASSIGN_OR_RETURN(net::Bytes reply,
+                        rpc_->Call(nfms_, "nfms.lookup", writer.Take()));
+  util::ByteReader reader(reply);
+  return DecodeFileEntry(reader);
+}
+
+util::Result<std::vector<FileEntry>> NfmsClient::List(
+    const std::string& prefix) {
+  util::ByteWriter writer;
+  writer.WriteString(prefix);
+  NEES_ASSIGN_OR_RETURN(net::Bytes reply,
+                        rpc_->Call(nfms_, "nfms.list", writer.Take()));
+  util::ByteReader reader(reply);
+  NEES_ASSIGN_OR_RETURN(std::uint32_t count, reader.ReadU32());
+  std::vector<FileEntry> results;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    NEES_ASSIGN_OR_RETURN(FileEntry entry, DecodeFileEntry(reader));
+    results.push_back(std::move(entry));
+  }
+  return results;
+}
+
+util::Result<Bytes> NfmsClient::Fetch(const std::string& logical_name) {
+  util::ByteWriter writer;
+  writer.WriteString(logical_name);
+  std::vector<std::string> protocols;
+  protocols.reserve(transports_.size());
+  for (const auto& [protocol, transport] : transports_) {
+    (void)transport;
+    protocols.push_back(protocol);
+  }
+  writer.WriteU32(static_cast<std::uint32_t>(protocols.size()));
+  for (const std::string& protocol : protocols) writer.WriteString(protocol);
+
+  NEES_ASSIGN_OR_RETURN(net::Bytes reply,
+                        rpc_->Call(nfms_, "nfms.negotiate", writer.Take()));
+  util::ByteReader reader(reply);
+  TransferTicket ticket;
+  NEES_ASSIGN_OR_RETURN(ticket.protocol, reader.ReadString());
+  NEES_ASSIGN_OR_RETURN(ticket.server_endpoint, reader.ReadString());
+  NEES_ASSIGN_OR_RETURN(ticket.physical_path, reader.ReadString());
+  NEES_ASSIGN_OR_RETURN(ticket.sha256hex, reader.ReadString());
+
+  auto transport = transports_.find(ticket.protocol);
+  if (transport == transports_.end()) {
+    return util::FailedPrecondition("no local transport for protocol " +
+                                    ticket.protocol);
+  }
+  return transport->second->Fetch(ticket);
+}
+
+}  // namespace nees::repo

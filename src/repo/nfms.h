@@ -1,0 +1,112 @@
+// NEESgrid File Management Service (NFMS, §2.3). Two capabilities the
+// paper names explicitly:
+//   * logical file naming — applications use stable logical names; NFMS
+//     resolves them to a physical (server, path) location;
+//   * transport neutrality — "applications negotiate file transfers with
+//     NFMS, which resolves a transfer request for a logical file to a
+//     protocol request for a physical resource", with "a plug-in API that
+//     allows other transport protocols to be used if desired".
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/rpc.h"
+#include "repo/gridftp.h"
+#include "util/result.h"
+
+namespace nees::repo {
+
+struct FileEntry {
+  std::string logical_name;  // e.g. "most/daq/uiuc/run1_000001.csv"
+  std::string protocol = "gridftp-sim";
+  std::string server_endpoint;  // where the bytes live
+  std::string physical_path;    // path on that server's store
+  std::size_t size_bytes = 0;
+  std::string sha256hex;
+};
+
+/// The outcome of transfer negotiation: everything a transport plugin
+/// needs to move the bytes.
+struct TransferTicket {
+  std::string protocol;
+  std::string server_endpoint;
+  std::string physical_path;
+  std::string sha256hex;
+};
+
+/// Transport plugin API (the paper's plug-in point).
+class TransportPlugin {
+ public:
+  virtual ~TransportPlugin() = default;
+  virtual util::Result<Bytes> Fetch(const TransferTicket& ticket) = 0;
+  virtual util::Status Store(const TransferTicket& ticket,
+                             const Bytes& content) = 0;
+  virtual std::string_view protocol() const = 0;
+};
+
+/// GridFTP-sim transport plugin (the default, as in NEESgrid).
+class GridFtpTransport final : public TransportPlugin {
+ public:
+  explicit GridFtpTransport(net::RpcClient* rpc, TransferOptions options = {});
+  util::Result<Bytes> Fetch(const TransferTicket& ticket) override;
+  util::Status Store(const TransferTicket& ticket,
+                     const Bytes& content) override;
+  std::string_view protocol() const override { return "gridftp-sim"; }
+
+ private:
+  GridFtpClient client_;
+};
+
+class NfmsService {
+ public:
+  /// Registers (or updates) the location of a logical file.
+  void RegisterFile(const FileEntry& entry);
+  util::Status Unregister(const std::string& logical_name);
+
+  util::Result<FileEntry> Lookup(const std::string& logical_name) const;
+  std::vector<FileEntry> List(const std::string& logical_prefix) const;
+
+  /// Transfer negotiation: resolves a logical name to a protocol ticket,
+  /// preferring the first protocol in `accepted_protocols` the entry
+  /// supports ("" entry list accepts anything).
+  util::Result<TransferTicket> Negotiate(
+      const std::string& logical_name,
+      const std::vector<std::string>& accepted_protocols = {}) const;
+
+  /// Binds nfms.* RPC methods.
+  void BindRpc(net::RpcServer& server);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, FileEntry> entries_;
+};
+
+/// Client-side: negotiation via RPC + pluggable transports for the fetch.
+class NfmsClient {
+ public:
+  NfmsClient(net::RpcClient* rpc, std::string nfms_endpoint);
+
+  void RegisterTransport(std::unique_ptr<TransportPlugin> transport);
+
+  util::Status RegisterFile(const FileEntry& entry);
+  util::Result<FileEntry> Lookup(const std::string& logical_name);
+  util::Result<std::vector<FileEntry>> List(const std::string& prefix);
+
+  /// Negotiate + fetch through the matching transport plugin.
+  util::Result<Bytes> Fetch(const std::string& logical_name);
+
+ private:
+  net::RpcClient* rpc_;
+  std::string nfms_;
+  std::map<std::string, std::unique_ptr<TransportPlugin>, std::less<>>
+      transports_;
+};
+
+void EncodeFileEntry(const FileEntry& entry, util::ByteWriter& writer);
+util::Result<FileEntry> DecodeFileEntry(util::ByteReader& reader);
+
+}  // namespace nees::repo

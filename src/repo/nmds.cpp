@@ -1,0 +1,254 @@
+#include "repo/nmds.h"
+
+#include "util/strings.h"
+
+namespace nees::repo {
+
+void EncodeMetadataObject(const MetadataObject& object,
+                          util::ByteWriter& writer) {
+  writer.WriteString(object.id);
+  writer.WriteString(object.type);
+  writer.WriteU32(static_cast<std::uint32_t>(object.fields.size()));
+  for (const auto& [key, value] : object.fields) {
+    writer.WriteString(key);
+    writer.WriteString(value);
+  }
+  writer.WriteI64(object.version);
+  writer.WriteString(object.owner);
+}
+
+util::Result<MetadataObject> DecodeMetadataObject(util::ByteReader& reader) {
+  MetadataObject object;
+  NEES_ASSIGN_OR_RETURN(object.id, reader.ReadString());
+  NEES_ASSIGN_OR_RETURN(object.type, reader.ReadString());
+  NEES_ASSIGN_OR_RETURN(std::uint32_t count, reader.ReadU32());
+  for (std::uint32_t i = 0; i < count; ++i) {
+    NEES_ASSIGN_OR_RETURN(std::string key, reader.ReadString());
+    NEES_ASSIGN_OR_RETURN(std::string value, reader.ReadString());
+    object.fields[std::move(key)] = std::move(value);
+  }
+  NEES_ASSIGN_OR_RETURN(object.version, reader.ReadI64());
+  NEES_ASSIGN_OR_RETURN(object.owner, reader.ReadString());
+  return object;
+}
+
+util::Status ValidateAgainstSchema(const MetadataObject& object,
+                                   const MetadataObject& schema) {
+  if (schema.type != "schema") {
+    return util::InvalidArgument(schema.id + " is not a schema object");
+  }
+  static constexpr std::string_view kPrefix = "field.";
+  for (const auto& [key, spec] : schema.fields) {
+    if (!util::StartsWith(key, kPrefix)) continue;
+    const std::string field_name = key.substr(kPrefix.size());
+    const bool optional = util::StartsWith(spec, "optional-");
+    const std::string base_type =
+        optional ? spec.substr(std::string("optional-").size()) : spec;
+
+    auto it = object.fields.find(field_name);
+    if (it == object.fields.end()) {
+      if (optional) continue;
+      return util::FailedPrecondition("missing required field '" +
+                                      field_name + "' (schema " + schema.id +
+                                      " v" + std::to_string(schema.version) +
+                                      ")");
+    }
+    if (base_type == "number") {
+      double parsed = 0.0;
+      if (!util::ParseDouble(it->second, &parsed)) {
+        return util::FailedPrecondition("field '" + field_name +
+                                        "' must be a number, got '" +
+                                        it->second + "'");
+      }
+    } else if (base_type != "string") {
+      return util::InvalidArgument("schema " + schema.id +
+                                   " declares unknown type '" + base_type +
+                                   "' for field '" + field_name + "'");
+    }
+  }
+  return util::OkStatus();
+}
+
+util::Status NmdsService::CheckWritableLocked(
+    const std::string& id, const std::string& subject) const {
+  auto it = history_.find(id);
+  if (it == history_.end()) return util::OkStatus();  // create
+  const std::string& owner = it->second.back().owner;
+  if (owner == subject) return util::OkStatus();
+  auto writer_set = writers_.find(id);
+  if (writer_set != writers_.end() && writer_set->second.contains(subject)) {
+    return util::OkStatus();
+  }
+  return util::PermissionDenied(subject + " may not update " + id +
+                                " (owned by " + owner + ")");
+}
+
+util::Result<std::int64_t> NmdsService::Put(MetadataObject object,
+                                            const std::string& subject) {
+  if (object.id.empty()) return util::InvalidArgument("object id required");
+  std::lock_guard<std::mutex> lock(mu_);
+  NEES_RETURN_IF_ERROR(CheckWritableLocked(object.id, subject));
+
+  // Validate against the referenced schema, if any.
+  auto schema_ref = object.fields.find("schema");
+  if (schema_ref != object.fields.end()) {
+    auto schema_history = history_.find(schema_ref->second);
+    if (schema_history == history_.end()) {
+      return util::NotFound("schema not found: " + schema_ref->second);
+    }
+    NEES_RETURN_IF_ERROR(
+        ValidateAgainstSchema(object, schema_history->second.back()));
+  }
+
+  auto& versions = history_[object.id];
+  object.version = static_cast<std::int64_t>(versions.size()) + 1;
+  object.owner = versions.empty() ? subject : versions.back().owner;
+  versions.push_back(object);
+  return object.version;
+}
+
+util::Result<MetadataObject> NmdsService::Get(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = history_.find(id);
+  if (it == history_.end()) return util::NotFound("no object: " + id);
+  return it->second.back();
+}
+
+util::Result<MetadataObject> NmdsService::GetVersion(
+    const std::string& id, std::int64_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = history_.find(id);
+  if (it == history_.end()) return util::NotFound("no object: " + id);
+  if (version < 1 || version > static_cast<std::int64_t>(it->second.size())) {
+    return util::OutOfRange("no version " + std::to_string(version) +
+                            " of " + id);
+  }
+  return it->second[version - 1];
+}
+
+std::int64_t NmdsService::VersionCount(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = history_.find(id);
+  return it == history_.end() ? 0
+                              : static_cast<std::int64_t>(it->second.size());
+}
+
+std::vector<MetadataObject> NmdsService::Query(const std::string& type) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetadataObject> results;
+  for (const auto& [id, versions] : history_) {
+    (void)id;
+    if (type.empty() || versions.back().type == type) {
+      results.push_back(versions.back());
+    }
+  }
+  return results;
+}
+
+util::Status NmdsService::GrantWrite(const std::string& id,
+                                     const std::string& owner,
+                                     const std::string& subject) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = history_.find(id);
+  if (it == history_.end()) return util::NotFound("no object: " + id);
+  if (it->second.back().owner != owner) {
+    return util::PermissionDenied("only the owner may grant write access");
+  }
+  writers_[id].insert(subject);
+  return util::OkStatus();
+}
+
+void NmdsService::BindRpc(net::RpcServer& server) {
+  server.RegisterMethod(
+      "nmds.put",
+      [this](const net::CallContext& context,
+             const net::Bytes& body) -> util::Result<net::Bytes> {
+        util::ByteReader reader(body);
+        NEES_ASSIGN_OR_RETURN(MetadataObject object,
+                              DecodeMetadataObject(reader));
+        const std::string subject =
+            context.subject.empty() ? "anonymous" : context.subject;
+        NEES_ASSIGN_OR_RETURN(std::int64_t version,
+                              Put(std::move(object), subject));
+        util::ByteWriter writer;
+        writer.WriteI64(version);
+        return writer.Take();
+      });
+  server.RegisterMethod(
+      "nmds.get",
+      [this](const net::CallContext&,
+             const net::Bytes& body) -> util::Result<net::Bytes> {
+        util::ByteReader reader(body);
+        NEES_ASSIGN_OR_RETURN(std::string id, reader.ReadString());
+        NEES_ASSIGN_OR_RETURN(std::int64_t version, reader.ReadI64());
+        MetadataObject object;
+        if (version <= 0) {
+          NEES_ASSIGN_OR_RETURN(object, Get(id));
+        } else {
+          NEES_ASSIGN_OR_RETURN(object, GetVersion(id, version));
+        }
+        util::ByteWriter writer;
+        EncodeMetadataObject(object, writer);
+        return writer.Take();
+      });
+  server.RegisterMethod(
+      "nmds.query",
+      [this](const net::CallContext&,
+             const net::Bytes& body) -> util::Result<net::Bytes> {
+        util::ByteReader reader(body);
+        NEES_ASSIGN_OR_RETURN(std::string type, reader.ReadString());
+        const auto results = Query(type);
+        util::ByteWriter writer;
+        writer.WriteU32(static_cast<std::uint32_t>(results.size()));
+        for (const MetadataObject& object : results) {
+          EncodeMetadataObject(object, writer);
+        }
+        return writer.Take();
+      });
+}
+
+NmdsClient::NmdsClient(net::RpcClient* rpc, std::string server_endpoint)
+    : rpc_(rpc), server_(std::move(server_endpoint)) {}
+
+util::Result<std::int64_t> NmdsClient::Put(const MetadataObject& object) {
+  util::ByteWriter writer;
+  EncodeMetadataObject(object, writer);
+  NEES_ASSIGN_OR_RETURN(net::Bytes reply,
+                        rpc_->Call(server_, "nmds.put", writer.Take()));
+  util::ByteReader reader(reply);
+  return reader.ReadI64();
+}
+
+util::Result<MetadataObject> NmdsClient::Get(const std::string& id) {
+  return GetVersion(id, 0);
+}
+
+util::Result<MetadataObject> NmdsClient::GetVersion(const std::string& id,
+                                                    std::int64_t version) {
+  util::ByteWriter writer;
+  writer.WriteString(id);
+  writer.WriteI64(version);
+  NEES_ASSIGN_OR_RETURN(net::Bytes reply,
+                        rpc_->Call(server_, "nmds.get", writer.Take()));
+  util::ByteReader reader(reply);
+  return DecodeMetadataObject(reader);
+}
+
+util::Result<std::vector<MetadataObject>> NmdsClient::Query(
+    const std::string& type) {
+  util::ByteWriter writer;
+  writer.WriteString(type);
+  NEES_ASSIGN_OR_RETURN(net::Bytes reply,
+                        rpc_->Call(server_, "nmds.query", writer.Take()));
+  util::ByteReader reader(reply);
+  NEES_ASSIGN_OR_RETURN(std::uint32_t count, reader.ReadU32());
+  std::vector<MetadataObject> results;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    NEES_ASSIGN_OR_RETURN(MetadataObject object,
+                          DecodeMetadataObject(reader));
+    results.push_back(std::move(object));
+  }
+  return results;
+}
+
+}  // namespace nees::repo

@@ -1,0 +1,211 @@
+#include "security/auth.h"
+
+#include "util/logging.h"
+#include "util/sha256.h"
+#include "util/strings.h"
+
+namespace nees::security {
+
+// ---------------------------------------------------------------------------
+// GridMap
+
+void GridMap::Add(const std::string& subject, const std::string& local_user) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[subject] = local_user;
+}
+
+util::Result<std::string> GridMap::Lookup(const std::string& subject) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(BaseIdentity(subject));
+  if (it == entries_.end()) {
+    return util::PermissionDenied("no gridmap entry for " + subject);
+  }
+  return it->second;
+}
+
+bool GridMap::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.empty();
+}
+
+// ---------------------------------------------------------------------------
+// AccessControl
+
+void AccessControl::Allow(const std::string& subject,
+                          const std::string& method_prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.insert({subject, method_prefix});
+}
+
+void AccessControl::Revoke(const std::string& subject,
+                           const std::string& method_prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.erase({subject, method_prefix});
+}
+
+bool AccessControl::Check(const std::string& subject,
+                          const std::string& method) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rules_.empty()) return true;  // no rules configured: open service
+  for (const auto& [rule_subject, prefix] : rules_) {
+    if (rule_subject != "*" && rule_subject != subject) continue;
+    if (util::StartsWith(method, prefix)) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// SessionTokenIssuer
+
+SessionTokenIssuer::SessionTokenIssuer(std::string secret)
+    : secret_(std::move(secret)) {}
+
+std::string SessionTokenIssuer::Issue(const std::string& subject,
+                                      std::int64_t expires_micros) const {
+  const std::string body =
+      subject + "|" + std::to_string(expires_micros);
+  const std::string mac = util::ToHex(util::HmacSha256(secret_, body));
+  return body + "|" + mac;
+}
+
+util::Result<std::string> SessionTokenIssuer::Validate(
+    const std::string& token, std::int64_t now_micros) const {
+  const auto parts = util::Split(token, '|');
+  if (parts.size() != 3) return util::Unauthenticated("malformed token");
+  const std::string body = parts[0] + "|" + parts[1];
+  const std::string expected = util::ToHex(util::HmacSha256(secret_, body));
+  if (expected != parts[2]) return util::Unauthenticated("token MAC mismatch");
+  long long expires = 0;
+  if (!util::ParseInt(parts[1], &expires)) {
+    return util::Unauthenticated("bad token expiry");
+  }
+  if (expires != 0 && now_micros >= expires) {
+    return util::Unauthenticated("token expired");
+  }
+  return parts[0];
+}
+
+// ---------------------------------------------------------------------------
+// AuthService
+
+std::string HandshakeChallenge(const std::string& server_endpoint,
+                               std::int64_t timestamp_micros) {
+  return "gsi-handshake|" + server_endpoint + "|" +
+         std::to_string(timestamp_micros);
+}
+
+AuthService::AuthService(TrustStore trust, util::Clock* clock, util::Rng rng,
+                         Options options)
+    : trust_(std::move(trust)),
+      clock_(clock),
+      rng_(rng),
+      options_(std::move(options)),
+      tokens_([&] {
+        // Derive a fresh random session secret for this service instance.
+        util::Rng secret_rng = rng_.Split();
+        return std::to_string(secret_rng.NextU64()) +
+               std::to_string(secret_rng.NextU64());
+      }()) {}
+
+void AuthService::Attach(net::RpcServer& server) {
+  const std::string endpoint = server.endpoint();
+  server.RegisterMethod(
+      "gsi.handshake",
+      [this, endpoint](const net::CallContext&, const net::Bytes& body) {
+        return HandleHandshake(body, endpoint);
+      });
+  server.SetAuthenticator(
+      [this](const std::string& token,
+             const std::string& method) -> util::Result<std::string> {
+        if (method == "gsi.handshake" || options_.open_methods.contains(method)) {
+          return std::string();  // anonymous ok
+        }
+        NEES_ASSIGN_OR_RETURN(std::string subject,
+                              tokens_.Validate(token, clock_->NowMicros()));
+        if (!acl_.Check(subject, method)) {
+          return util::PermissionDenied(subject + " may not call " + method);
+        }
+        return subject;
+      });
+}
+
+util::Result<net::Bytes> AuthService::HandleHandshake(
+    const net::Bytes& body, const std::string& server_endpoint) {
+  util::ByteReader reader(body);
+  NEES_ASSIGN_OR_RETURN(std::uint32_t chain_length, reader.ReadU32());
+  std::vector<Certificate> chain;
+  for (std::uint32_t i = 0; i < chain_length; ++i) {
+    NEES_ASSIGN_OR_RETURN(Certificate certificate, DecodeCertificate(reader));
+    chain.push_back(std::move(certificate));
+  }
+  NEES_ASSIGN_OR_RETURN(std::int64_t timestamp, reader.ReadI64());
+  Signature signature;
+  NEES_ASSIGN_OR_RETURN(signature.challenge, reader.ReadU64());
+  NEES_ASSIGN_OR_RETURN(signature.response, reader.ReadU64());
+
+  const std::int64_t now = clock_->NowMicros();
+  if (timestamp > now + options_.challenge_window_micros ||
+      timestamp < now - options_.challenge_window_micros) {
+    return util::Unauthenticated("handshake challenge timestamp stale");
+  }
+
+  NEES_ASSIGN_OR_RETURN(std::string subject, trust_.VerifyChain(chain, now));
+  if (chain.empty() ||
+      !Verify(chain.back().public_key,
+              HandshakeChallenge(server_endpoint, timestamp), signature)) {
+    return util::Unauthenticated("possession proof failed for " + subject);
+  }
+
+  if (!gridmap_.empty()) {
+    NEES_RETURN_IF_ERROR(gridmap_.Lookup(subject).status());
+  }
+
+  const std::int64_t expiry = now + options_.token_lifetime_micros;
+  const std::string token = tokens_.Issue(subject, expiry);
+  NEES_LOG_INFO("security.auth." + server_endpoint)
+      << "issued session token for " << subject;
+
+  util::ByteWriter writer;
+  writer.WriteString(token);
+  writer.WriteI64(expiry);
+  return writer.Take();
+}
+
+// ---------------------------------------------------------------------------
+// AuthClient
+
+AuthClient::AuthClient(net::RpcClient* rpc, Credential credential,
+                       util::Clock* clock, util::Rng rng)
+    : rpc_(rpc),
+      credential_(std::move(credential)),
+      clock_(clock),
+      rng_(rng) {}
+
+util::Status AuthClient::Login(const std::string& server_endpoint,
+                               std::int64_t timeout_micros) {
+  const std::int64_t timestamp = clock_->NowMicros();
+  const Signature signature = credential_.Sign(
+      HandshakeChallenge(server_endpoint, timestamp), rng_);
+
+  util::ByteWriter writer;
+  writer.WriteU32(static_cast<std::uint32_t>(credential_.chain().size()));
+  for (const Certificate& certificate : credential_.chain()) {
+    EncodeCertificate(certificate, writer);
+  }
+  writer.WriteI64(timestamp);
+  writer.WriteU64(signature.challenge);
+  writer.WriteU64(signature.response);
+
+  NEES_ASSIGN_OR_RETURN(net::Bytes response,
+                        rpc_->Call(server_endpoint, "gsi.handshake",
+                                   writer.Take(), timeout_micros));
+  util::ByteReader reader(response);
+  NEES_ASSIGN_OR_RETURN(token_, reader.ReadString());
+  NEES_ASSIGN_OR_RETURN(token_expiry_micros_, reader.ReadI64());
+  // Per-target: each site issues its own tokens, and one client (the
+  // coordinator) may hold sessions with several sites at once.
+  rpc_->SetAuthTokenFor(server_endpoint, token_);
+  return util::OkStatus();
+}
+
+}  // namespace nees::security

@@ -1,0 +1,130 @@
+// GSI-style mutual authentication and per-call authorization.
+//
+// Flow (the paper's "securely authenticated and authorized via GSI", §2):
+//   1. A client presents its certificate chain plus a fresh signature over
+//      a server-bound challenge ("gsi.handshake").
+//   2. The server verifies the chain against its TrustStore, maps the
+//      subject through the gridmap, and returns a bearer session token.
+//   3. The token rides in every subsequent RPC; the server's authenticator
+//      hook validates it and enforces the AccessControl list per method.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "net/rpc.h"
+#include "security/certificate.h"
+#include "util/clock.h"
+
+namespace nees::security {
+
+/// DN -> local account mapping (the classic GSI grid-mapfile).
+class GridMap {
+ public:
+  void Add(const std::string& subject, const std::string& local_user);
+  /// Resolves a (possibly proxy) subject to a local user.
+  util::Result<std::string> Lookup(const std::string& subject) const;
+  bool empty() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> entries_;
+};
+
+/// Method-level ACL: (subject or "*") may call methods with a given prefix.
+class AccessControl {
+ public:
+  void Allow(const std::string& subject, const std::string& method_prefix);
+  void Revoke(const std::string& subject, const std::string& method_prefix);
+  bool Check(const std::string& subject, const std::string& method) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::set<std::pair<std::string, std::string>> rules_;
+};
+
+/// Issues and validates HMAC-signed bearer session tokens.
+class SessionTokenIssuer {
+ public:
+  explicit SessionTokenIssuer(std::string secret);
+
+  std::string Issue(const std::string& subject,
+                    std::int64_t expires_micros) const;
+  /// Returns the subject if the token is authentic and unexpired.
+  util::Result<std::string> Validate(const std::string& token,
+                                     std::int64_t now_micros) const;
+
+ private:
+  const std::string secret_;
+};
+
+/// Server-side authentication service. Binds "gsi.handshake" on an
+/// RpcServer and installs a token-validating authenticator that also
+/// consults the AccessControl list (if any rules are present).
+struct AuthOptions {
+  std::int64_t token_lifetime_micros = 3'600'000'000;  // 1 hour
+  std::int64_t challenge_window_micros = 300'000'000;  // +/- 5 minutes
+  /// Methods callable without a token (the handshake itself is always open).
+  std::set<std::string> open_methods;
+};
+
+class AuthService {
+ public:
+  using Options = AuthOptions;
+
+  AuthService(TrustStore trust, util::Clock* clock, util::Rng rng,
+              Options options = Options());
+
+  /// Installs gsi.handshake + the authenticator on `server`.
+  void Attach(net::RpcServer& server);
+
+  GridMap& gridmap() { return gridmap_; }
+  AccessControl& acl() { return acl_; }
+  const SessionTokenIssuer& tokens() const { return tokens_; }
+
+ private:
+  util::Result<net::Bytes> HandleHandshake(const net::Bytes& body,
+                                           const std::string& server_endpoint);
+
+  TrustStore trust_;
+  util::Clock* clock_;
+  std::mutex rng_mu_;
+  util::Rng rng_;
+  Options options_;
+  SessionTokenIssuer tokens_;
+  GridMap gridmap_;
+  AccessControl acl_;
+};
+
+/// Client-side login helper: runs the handshake and installs the returned
+/// token on the RpcClient.
+class AuthClient {
+ public:
+  AuthClient(net::RpcClient* rpc, Credential credential, util::Clock* clock,
+             util::Rng rng);
+
+  /// Authenticates to `server_endpoint`; on success the RpcClient carries
+  /// the session token for all later calls.
+  util::Status Login(const std::string& server_endpoint,
+                     std::int64_t timeout_micros = 1'000'000);
+
+  const std::string& token() const { return token_; }
+  std::int64_t token_expiry_micros() const { return token_expiry_micros_; }
+
+ private:
+  net::RpcClient* rpc_;
+  Credential credential_;
+  util::Clock* clock_;
+  util::Rng rng_;
+  std::string token_;
+  std::int64_t token_expiry_micros_ = 0;
+};
+
+/// Builds the canonical challenge string both sides sign/verify.
+std::string HandshakeChallenge(const std::string& server_endpoint,
+                               std::int64_t timestamp_micros);
+
+}  // namespace nees::security

@@ -1,0 +1,140 @@
+#include "security/cas.h"
+
+#include "util/sha256.h"
+#include "util/strings.h"
+
+namespace nees::security {
+
+std::string Capability::CanonicalPayload() const {
+  return "cas-cap|" + subject + "|" + resource + "|" + action + "|" +
+         std::to_string(expires_micros);
+}
+
+void EncodeCapability(const Capability& capability, util::ByteWriter& writer) {
+  writer.WriteString(capability.subject);
+  writer.WriteString(capability.resource);
+  writer.WriteString(capability.action);
+  writer.WriteI64(capability.expires_micros);
+  writer.WriteU64(capability.signature.challenge);
+  writer.WriteU64(capability.signature.response);
+}
+
+util::Result<Capability> DecodeCapability(util::ByteReader& reader) {
+  Capability capability;
+  NEES_ASSIGN_OR_RETURN(capability.subject, reader.ReadString());
+  NEES_ASSIGN_OR_RETURN(capability.resource, reader.ReadString());
+  NEES_ASSIGN_OR_RETURN(capability.action, reader.ReadString());
+  NEES_ASSIGN_OR_RETURN(capability.expires_micros, reader.ReadI64());
+  NEES_ASSIGN_OR_RETURN(capability.signature.challenge, reader.ReadU64());
+  NEES_ASSIGN_OR_RETURN(capability.signature.response, reader.ReadU64());
+  return capability;
+}
+
+std::string CapabilityToToken(const Capability& capability) {
+  util::ByteWriter writer;
+  EncodeCapability(capability, writer);
+  return util::ToHex(writer.data().data(), writer.size());
+}
+
+util::Result<Capability> CapabilityFromToken(const std::string& token) {
+  if (token.size() % 2 != 0) return util::InvalidArgument("odd hex length");
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(token.size() / 2);
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  for (std::size_t i = 0; i < token.size(); i += 2) {
+    const int hi = nibble(token[i]);
+    const int lo = nibble(token[i + 1]);
+    if (hi < 0 || lo < 0) return util::InvalidArgument("bad hex digit");
+    bytes.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  util::ByteReader reader(bytes);
+  return DecodeCapability(reader);
+}
+
+util::Status VerifyCapability(const Capability& capability,
+                              std::uint64_t cas_public_key,
+                              std::int64_t now_micros) {
+  if (capability.expires_micros != 0 &&
+      now_micros >= capability.expires_micros) {
+    return util::PermissionDenied("capability expired");
+  }
+  if (!Verify(cas_public_key, capability.CanonicalPayload(),
+              capability.signature)) {
+    return util::PermissionDenied("capability signature invalid");
+  }
+  return util::OkStatus();
+}
+
+CommunityAuthorizationService::CommunityAuthorizationService(
+    Credential credential, util::Clock* clock, util::Rng rng,
+    std::int64_t default_ttl_micros)
+    : credential_(std::move(credential)),
+      clock_(clock),
+      rng_(rng),
+      default_ttl_micros_(default_ttl_micros) {}
+
+void CommunityAuthorizationService::Grant(const std::string& subject,
+                                          const std::string& resource,
+                                          const std::string& action) {
+  std::lock_guard<std::mutex> lock(mu_);
+  policy_.insert({subject, resource, action});
+}
+
+void CommunityAuthorizationService::Revoke(const std::string& subject,
+                                           const std::string& resource,
+                                           const std::string& action) {
+  std::lock_guard<std::mutex> lock(mu_);
+  policy_.erase({subject, resource, action});
+}
+
+bool CommunityAuthorizationService::IsGranted(const std::string& subject,
+                                              const std::string& resource,
+                                              const std::string& action) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return policy_.contains({subject, resource, action}) ||
+         policy_.contains({"*", resource, action});
+}
+
+util::Result<Capability> CommunityAuthorizationService::Issue(
+    const std::string& subject, const std::string& resource,
+    const std::string& action) {
+  if (!IsGranted(subject, resource, action)) {
+    return util::PermissionDenied("community policy denies " + subject + " " +
+                                  action + " on " + resource);
+  }
+  Capability capability;
+  capability.subject = subject;
+  capability.resource = resource;
+  capability.action = action;
+  capability.expires_micros = clock_->NowMicros() + default_ttl_micros_;
+  std::lock_guard<std::mutex> lock(mu_);
+  capability.signature =
+      credential_.Sign(capability.CanonicalPayload(), rng_);
+  return capability;
+}
+
+void CommunityAuthorizationService::Attach(net::RpcServer& server) {
+  server.RegisterMethod(
+      "cas.request",
+      [this](const net::CallContext& context,
+             const net::Bytes& body) -> util::Result<net::Bytes> {
+        if (context.subject.empty()) {
+          return util::Unauthenticated("cas.request requires authentication");
+        }
+        util::ByteReader reader(body);
+        NEES_ASSIGN_OR_RETURN(std::string resource, reader.ReadString());
+        NEES_ASSIGN_OR_RETURN(std::string action, reader.ReadString());
+        NEES_ASSIGN_OR_RETURN(Capability capability,
+                              Issue(context.subject, resource, action));
+        util::ByteWriter writer;
+        EncodeCapability(capability, writer);
+        return writer.Take();
+      });
+}
+
+}  // namespace nees::security

@@ -1,0 +1,80 @@
+// Community Authorization Service (paper §2.3: "We plan to add support for
+// the Community Authorization Service" — built here as the planned
+// extension, following Pearlman et al., POLICY 2002).
+//
+// The CAS holds the community's policy (who may do what to which logical
+// resource) and issues signed, time-limited capability assertions. Resource
+// servers verify a capability with the CAS public key alone — no callback
+// to the CAS — so authorization survives network partitions, matching the
+// fault-tolerance posture of the rest of the system.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "net/rpc.h"
+#include "security/certificate.h"
+#include "util/clock.h"
+
+namespace nees::security {
+
+struct Capability {
+  std::string subject;   // who the capability empowers
+  std::string resource;  // logical resource name, e.g. "repo.metadata"
+  std::string action;    // e.g. "write"
+  std::int64_t expires_micros = 0;  // 0 = never
+  Signature signature;   // by the CAS over CanonicalPayload()
+
+  std::string CanonicalPayload() const;
+};
+
+void EncodeCapability(const Capability& capability, util::ByteWriter& writer);
+util::Result<Capability> DecodeCapability(util::ByteReader& reader);
+
+/// Serialized form for carrying a capability in request bodies.
+std::string CapabilityToToken(const Capability& capability);
+util::Result<Capability> CapabilityFromToken(const std::string& token);
+
+/// Verifies signature + expiry against the CAS public key.
+util::Status VerifyCapability(const Capability& capability,
+                              std::uint64_t cas_public_key,
+                              std::int64_t now_micros);
+
+class CommunityAuthorizationService {
+ public:
+  CommunityAuthorizationService(Credential credential, util::Clock* clock,
+                                util::Rng rng,
+                                std::int64_t default_ttl_micros =
+                                    3'600'000'000);
+
+  /// Community policy management.
+  void Grant(const std::string& subject, const std::string& resource,
+             const std::string& action);
+  void Revoke(const std::string& subject, const std::string& resource,
+              const std::string& action);
+  bool IsGranted(const std::string& subject, const std::string& resource,
+                 const std::string& action) const;
+
+  /// Issues a signed capability if policy allows; kPermissionDenied if not.
+  util::Result<Capability> Issue(const std::string& subject,
+                                 const std::string& resource,
+                                 const std::string& action);
+
+  /// Binds "cas.request" on an (authenticated) RpcServer. The caller's
+  /// handshake-derived subject is used; the body carries resource + action.
+  void Attach(net::RpcServer& server);
+
+  std::uint64_t public_key() const { return credential_.key().public_key; }
+
+ private:
+  Credential credential_;
+  util::Clock* clock_;
+  mutable std::mutex mu_;
+  util::Rng rng_;
+  std::int64_t default_ttl_micros_;
+  std::set<std::tuple<std::string, std::string, std::string>> policy_;
+};
+
+}  // namespace nees::security

@@ -1,0 +1,187 @@
+#include "security/certificate.h"
+
+#include "util/strings.h"
+
+namespace nees::security {
+
+std::string Certificate::CanonicalPayload() const {
+  return util::Format(
+      "subject=%s;issuer=%s;pk=%llu;from=%lld;to=%lld;ca=%d;proxy=%d;"
+      "serial=%llu",
+      subject.c_str(), issuer.c_str(),
+      static_cast<unsigned long long>(public_key),
+      static_cast<long long>(valid_from_micros),
+      static_cast<long long>(valid_to_micros), is_ca ? 1 : 0, is_proxy ? 1 : 0,
+      static_cast<unsigned long long>(serial));
+}
+
+void EncodeCertificate(const Certificate& certificate,
+                       util::ByteWriter& writer) {
+  writer.WriteString(certificate.subject);
+  writer.WriteString(certificate.issuer);
+  writer.WriteU64(certificate.public_key);
+  writer.WriteI64(certificate.valid_from_micros);
+  writer.WriteI64(certificate.valid_to_micros);
+  writer.WriteBool(certificate.is_ca);
+  writer.WriteBool(certificate.is_proxy);
+  writer.WriteU64(certificate.serial);
+  writer.WriteU64(certificate.signature.challenge);
+  writer.WriteU64(certificate.signature.response);
+}
+
+util::Result<Certificate> DecodeCertificate(util::ByteReader& reader) {
+  Certificate certificate;
+  NEES_ASSIGN_OR_RETURN(certificate.subject, reader.ReadString());
+  NEES_ASSIGN_OR_RETURN(certificate.issuer, reader.ReadString());
+  NEES_ASSIGN_OR_RETURN(certificate.public_key, reader.ReadU64());
+  NEES_ASSIGN_OR_RETURN(certificate.valid_from_micros, reader.ReadI64());
+  NEES_ASSIGN_OR_RETURN(certificate.valid_to_micros, reader.ReadI64());
+  NEES_ASSIGN_OR_RETURN(certificate.is_ca, reader.ReadBool());
+  NEES_ASSIGN_OR_RETURN(certificate.is_proxy, reader.ReadBool());
+  NEES_ASSIGN_OR_RETURN(certificate.serial, reader.ReadU64());
+  NEES_ASSIGN_OR_RETURN(certificate.signature.challenge, reader.ReadU64());
+  NEES_ASSIGN_OR_RETURN(certificate.signature.response, reader.ReadU64());
+  return certificate;
+}
+
+Credential Credential::CreateProxy(std::int64_t lifetime_micros,
+                                   const util::Clock& clock,
+                                   util::Rng& rng) const {
+  const SigningKey proxy_key = GenerateKey(rng);
+  Certificate proxy;
+  proxy.subject = leaf().subject + "/proxy";
+  proxy.issuer = leaf().subject;
+  proxy.public_key = proxy_key.public_key;
+  proxy.valid_from_micros = clock.NowMicros();
+  proxy.valid_to_micros =
+      lifetime_micros == 0 ? 0 : clock.NowMicros() + lifetime_micros;
+  proxy.is_proxy = true;
+  proxy.serial = rng.NextU64();
+  proxy.signature = Sign(proxy.CanonicalPayload(), rng);
+
+  std::vector<Certificate> proxy_chain = chain_;
+  proxy_chain.push_back(std::move(proxy));
+  return Credential(std::move(proxy_chain), proxy_key);
+}
+
+CertificateAuthority::CertificateAuthority(std::string subject,
+                                           const util::Clock& clock,
+                                           util::Rng& rng)
+    : clock_(clock) {
+  const SigningKey root_key = GenerateKey(rng);
+  Certificate root;
+  root.subject = subject;
+  root.issuer = subject;  // self-signed
+  root.public_key = root_key.public_key;
+  root.valid_from_micros = clock.NowMicros();
+  root.valid_to_micros = 0;
+  root.is_ca = true;
+  root.serial = 1;
+  root.signature = security::Sign(root_key, root.CanonicalPayload(), rng);
+  root_ = Credential({std::move(root)}, root_key);
+}
+
+Credential CertificateAuthority::IssueIdentity(const std::string& subject,
+                                               std::int64_t lifetime_micros,
+                                               util::Rng& rng, bool is_ca) {
+  const SigningKey key = GenerateKey(rng);
+  Certificate certificate;
+  certificate.subject = subject;
+  certificate.issuer = root_.subject();
+  certificate.public_key = key.public_key;
+  certificate.valid_from_micros = clock_.NowMicros();
+  certificate.valid_to_micros =
+      lifetime_micros == 0 ? 0 : clock_.NowMicros() + lifetime_micros;
+  certificate.is_ca = is_ca;
+  certificate.serial = next_serial_++;
+  certificate.signature =
+      root_.Sign(certificate.CanonicalPayload(), rng);
+
+  std::vector<Certificate> chain = root_.chain();
+  chain.push_back(std::move(certificate));
+  return Credential(std::move(chain), key);
+}
+
+void TrustStore::AddRoot(const Certificate& root) { roots_.push_back(root); }
+
+std::string BaseIdentity(const std::string& subject) {
+  std::string base = subject;
+  const std::string kProxySuffix = "/proxy";
+  while (util::EndsWith(base, kProxySuffix)) {
+    base.resize(base.size() - kProxySuffix.size());
+  }
+  return base;
+}
+
+util::Result<std::string> TrustStore::VerifyChain(
+    const std::vector<Certificate>& chain, std::int64_t now_micros,
+    const VerifyOptions& options) const {
+  if (chain.empty()) return util::Unauthenticated("empty certificate chain");
+
+  // 1. The chain must start at a trusted root (matched by subject AND key —
+  //    a forged root with the right name but wrong key is rejected).
+  const Certificate& root = chain.front();
+  bool trusted = false;
+  for (const Certificate& anchor : roots_) {
+    if (anchor.subject == root.subject &&
+        anchor.public_key == root.public_key) {
+      trusted = true;
+      break;
+    }
+  }
+  if (!trusted) {
+    return util::Unauthenticated("untrusted root: " + root.subject);
+  }
+  if (!root.is_ca) return util::Unauthenticated("root is not a CA");
+  if (!Verify(root.public_key, root.CanonicalPayload(), root.signature)) {
+    return util::Unauthenticated("root self-signature invalid");
+  }
+  if (!root.ValidAt(now_micros)) {
+    return util::Unauthenticated("root certificate expired");
+  }
+
+  int proxy_depth = 0;
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    const Certificate& parent = chain[i - 1];
+    const Certificate& child = chain[i];
+
+    if (child.issuer != parent.subject) {
+      return util::Unauthenticated("chain break: " + child.subject +
+                                   " not issued by " + parent.subject);
+    }
+    if (!Verify(parent.public_key, child.CanonicalPayload(),
+                child.signature)) {
+      return util::Unauthenticated("bad signature on " + child.subject);
+    }
+    if (!child.ValidAt(now_micros)) {
+      return util::Unauthenticated("certificate expired: " + child.subject);
+    }
+    if (child.is_proxy) {
+      // GSI proxy rules: subject extends the issuer; proxies are not CAs;
+      // once a proxy appears, everything below must be a proxy.
+      if (child.subject != parent.subject + "/proxy") {
+        return util::Unauthenticated("proxy subject malformed: " +
+                                     child.subject);
+      }
+      if (child.is_ca) {
+        return util::Unauthenticated("proxy cannot be a CA: " + child.subject);
+      }
+      if (++proxy_depth > options.max_proxy_depth) {
+        return util::Unauthenticated("proxy chain too deep");
+      }
+    } else {
+      if (proxy_depth > 0) {
+        return util::Unauthenticated(
+            "identity certificate below a proxy: " + child.subject);
+      }
+      // Identity certificates must be signed by a CA certificate.
+      if (!parent.is_ca) {
+        return util::Unauthenticated("issuer is not a CA: " + parent.subject);
+      }
+    }
+  }
+
+  return BaseIdentity(chain.back().subject);
+}
+
+}  // namespace nees::security

@@ -1,0 +1,120 @@
+// GSI-analog certificates, credentials, proxy delegation, and chain
+// verification (paper §2, §4: "communications within the NEESgrid system
+// are securely authenticated and authorized via the use of Grid Security
+// Infrastructure mechanisms").
+//
+// Identities are X.509-style distinguished names ("/O=NEES/CN=coordinator").
+// A CertificateAuthority issues identity certificates; a Credential (cert
+// chain + signing key) can mint limited-lifetime *proxy* certificates, the
+// GSI delegation mechanism remote experiment clients use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "security/schnorr.h"
+#include "util/bytes.h"
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace nees::security {
+
+struct Certificate {
+  std::string subject;            // DN, e.g. "/O=NEES/CN=spencer"
+  std::string issuer;             // DN of the signer
+  std::uint64_t public_key = 0;   // subject's Schnorr public key
+  std::int64_t valid_from_micros = 0;
+  std::int64_t valid_to_micros = 0;  // 0 = no expiry
+  bool is_ca = false;             // may sign identity certificates
+  bool is_proxy = false;          // delegated credential
+  std::uint64_t serial = 0;
+  Signature signature;            // by the issuer over CanonicalPayload()
+
+  /// The byte string the issuer signs.
+  std::string CanonicalPayload() const;
+
+  bool ValidAt(std::int64_t now_micros) const {
+    return now_micros >= valid_from_micros &&
+           (valid_to_micros == 0 || now_micros < valid_to_micros);
+  }
+};
+
+void EncodeCertificate(const Certificate& certificate,
+                       util::ByteWriter& writer);
+util::Result<Certificate> DecodeCertificate(util::ByteReader& reader);
+
+/// A certificate chain (root first, leaf last) plus the leaf's signing key.
+class Credential {
+ public:
+  Credential() = default;
+  Credential(std::vector<Certificate> chain, SigningKey key)
+      : chain_(std::move(chain)), key_(key) {}
+
+  const std::vector<Certificate>& chain() const { return chain_; }
+  const Certificate& leaf() const { return chain_.back(); }
+  const SigningKey& key() const { return key_; }
+  const std::string& subject() const { return leaf().subject; }
+
+  /// Signs arbitrary bytes with the leaf key.
+  Signature Sign(std::string_view message, util::Rng& rng) const {
+    return security::Sign(key_, message, rng);
+  }
+
+  /// Mints a proxy credential: subject = "<subject>/proxy", signed by this
+  /// credential, valid for `lifetime_micros` from now. The proxy carries a
+  /// fresh keypair so the long-term key never leaves the owner.
+  Credential CreateProxy(std::int64_t lifetime_micros,
+                         const util::Clock& clock, util::Rng& rng) const;
+
+ private:
+  std::vector<Certificate> chain_;
+  SigningKey key_;
+};
+
+/// Root certificate authority for a virtual organization.
+class CertificateAuthority {
+ public:
+  CertificateAuthority(std::string subject, const util::Clock& clock,
+                       util::Rng& rng);
+
+  const Certificate& root_certificate() const { return root_.leaf(); }
+
+  /// Issues an identity credential. `lifetime_micros` 0 = no expiry.
+  Credential IssueIdentity(const std::string& subject,
+                           std::int64_t lifetime_micros, util::Rng& rng,
+                           bool is_ca = false);
+
+ private:
+  const util::Clock& clock_;
+  Credential root_;
+  std::uint64_t next_serial_ = 2;
+};
+
+/// Verification policy knobs.
+struct VerifyOptions {
+  int max_proxy_depth = 8;
+};
+
+/// Trust anchors: root certificates keyed by subject.
+class TrustStore {
+ public:
+  void AddRoot(const Certificate& root);
+
+  /// Verifies a root-first chain: trusted root, every signature, validity
+  /// windows at `now`, CA flags on intermediates, and GSI proxy rules
+  /// (proxy subject must extend issuer subject; proxies cannot act as CAs).
+  /// Returns the *effective* subject: the identity the leaf speaks for
+  /// (proxy subjects collapse to their base identity).
+  util::Result<std::string> VerifyChain(const std::vector<Certificate>& chain,
+                                        std::int64_t now_micros,
+                                        const VerifyOptions& options = {}) const;
+
+ private:
+  std::vector<Certificate> roots_;
+};
+
+/// Strips any number of trailing "/proxy" components from a DN.
+std::string BaseIdentity(const std::string& subject);
+
+}  // namespace nees::security

@@ -1,0 +1,79 @@
+#include "security/schnorr.h"
+
+#include "util/sha256.h"
+
+namespace nees::security {
+namespace {
+
+constexpr std::uint64_t kOrder = kPrime - 1;  // exponent modulus
+
+/// e = SHA256(r || message) reduced mod (p-1), never 0.
+std::uint64_t Challenge(std::uint64_t commitment, std::string_view message) {
+  util::Sha256 hasher;
+  std::uint8_t r_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    r_bytes[i] = static_cast<std::uint8_t>(commitment >> (8 * i));
+  }
+  hasher.Update(r_bytes, sizeof(r_bytes));
+  hasher.Update(message);
+  const util::Sha256Digest digest = hasher.Finish();
+  std::uint64_t e = 0;
+  for (int i = 0; i < 8; ++i) {
+    e = (e << 8) | digest[i];
+  }
+  e %= kOrder;
+  return e == 0 ? 1 : e;
+}
+
+}  // namespace
+
+std::uint64_t MulMod(std::uint64_t a, std::uint64_t b) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % kPrime);
+}
+
+std::uint64_t PowMod(std::uint64_t base, std::uint64_t exponent) {
+  std::uint64_t result = 1;
+  base %= kPrime;
+  while (exponent > 0) {
+    if (exponent & 1) result = MulMod(result, base);
+    base = MulMod(base, base);
+    exponent >>= 1;
+  }
+  return result;
+}
+
+SigningKey GenerateKey(util::Rng& rng) {
+  SigningKey key;
+  key.secret = 1 + rng.UniformU64(kOrder - 1);  // [1, p-2]
+  key.public_key = PowMod(kGenerator, key.secret);
+  return key;
+}
+
+Signature Sign(const SigningKey& key, std::string_view message,
+               util::Rng& rng) {
+  const std::uint64_t k = 1 + rng.UniformU64(kOrder - 1);
+  const std::uint64_t r = PowMod(kGenerator, k);
+  Signature signature;
+  signature.challenge = Challenge(r, message);
+  // s = k + x*e mod (p-1); 128-bit intermediate avoids overflow.
+  const unsigned __int128 xe =
+      static_cast<unsigned __int128>(key.secret) * signature.challenge;
+  signature.response =
+      static_cast<std::uint64_t>((xe + k) % kOrder);
+  return signature;
+}
+
+bool Verify(std::uint64_t public_key, std::string_view message,
+            const Signature& signature) {
+  if (public_key == 0 || public_key >= kPrime) return false;
+  if (signature.response >= kOrder) return false;
+  // r' = g^s * y^{-e} = g^s * y^{order - e}
+  const std::uint64_t gs = PowMod(kGenerator, signature.response);
+  const std::uint64_t ye_inv =
+      PowMod(public_key, kOrder - (signature.challenge % kOrder));
+  const std::uint64_t r = MulMod(gs, ye_inv);
+  return Challenge(r, message) == signature.challenge;
+}
+
+}  // namespace nees::security

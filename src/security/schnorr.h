@@ -1,0 +1,48 @@
+// Toy Schnorr signatures over the multiplicative group mod p = 2^61 - 1.
+//
+// This gives the reproduction a *structurally* asymmetric signature scheme:
+// certificate chains verify using public keys only, exactly like GSI/X.509,
+// while remaining a few dozen lines of dependency-free code. It is NOT
+// cryptographically secure (61-bit discrete logs are trivially breakable);
+// the paper's own implementation disclaims provable security too (§4) and
+// the substitution table in DESIGN.md records this.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace nees::security {
+
+/// Group parameters: p = 2^61 - 1 (Mersenne prime), generator g = 3.
+inline constexpr std::uint64_t kPrime = (1ULL << 61) - 1;
+inline constexpr std::uint64_t kGenerator = 3;
+
+std::uint64_t MulMod(std::uint64_t a, std::uint64_t b);
+std::uint64_t PowMod(std::uint64_t base, std::uint64_t exponent);
+
+struct SigningKey {
+  std::uint64_t secret = 0;      // x in [1, p-2]
+  std::uint64_t public_key = 0;  // y = g^x mod p
+};
+
+struct Signature {
+  std::uint64_t challenge = 0;  // e = H(r || message) mod (p - 1)
+  std::uint64_t response = 0;   // s = (k + x * e) mod (p - 1)
+
+  bool operator==(const Signature&) const = default;
+};
+
+/// Generates a fresh keypair from the supplied deterministic generator.
+SigningKey GenerateKey(util::Rng& rng);
+
+/// Signs a message. The nonce k is drawn from `rng`.
+Signature Sign(const SigningKey& key, std::string_view message,
+               util::Rng& rng);
+
+/// Verifies against the signer's public key.
+bool Verify(std::uint64_t public_key, std::string_view message,
+            const Signature& signature);
+
+}  // namespace nees::security

@@ -1,0 +1,134 @@
+#include "structural/element.h"
+
+#include <cmath>
+
+namespace nees::structural {
+
+double BeamColumnElement::Length(double xi, double yi, double xj,
+                                 double yj) const {
+  return std::hypot(xj - xi, yj - yi);
+}
+
+Matrix BeamColumnElement::LocalStiffness(const Section& section,
+                                         double length) {
+  const double e = section.youngs_modulus;
+  const double a = section.area;
+  const double i = section.moment_of_inertia;
+  const double l = length;
+  const double ea_l = e * a / l;
+  const double ei = e * i;
+
+  Matrix k(6, 6);
+  // Axial terms.
+  k(0, 0) = ea_l;
+  k(0, 3) = -ea_l;
+  k(3, 0) = -ea_l;
+  k(3, 3) = ea_l;
+  // Bending terms.
+  const double k1 = 12.0 * ei / (l * l * l);
+  const double k2 = 6.0 * ei / (l * l);
+  const double k3 = 4.0 * ei / l;
+  const double k4 = 2.0 * ei / l;
+  k(1, 1) = k1;
+  k(1, 2) = k2;
+  k(1, 4) = -k1;
+  k(1, 5) = k2;
+  k(2, 1) = k2;
+  k(2, 2) = k3;
+  k(2, 4) = -k2;
+  k(2, 5) = k4;
+  k(4, 1) = -k1;
+  k(4, 2) = -k2;
+  k(4, 4) = k1;
+  k(4, 5) = -k2;
+  k(5, 1) = k2;
+  k(5, 2) = k4;
+  k(5, 4) = -k2;
+  k(5, 5) = k3;
+  return k;
+}
+
+Matrix BeamColumnElement::LocalConsistentMass(const Section& section,
+                                              double length) {
+  const double m = section.mass_per_length * length;
+  const double l = length;
+  Matrix mass(6, 6);
+  // Axial (2-node bar consistent mass).
+  mass(0, 0) = m / 3.0;
+  mass(0, 3) = m / 6.0;
+  mass(3, 0) = m / 6.0;
+  mass(3, 3) = m / 3.0;
+  // Bending (Euler–Bernoulli consistent mass).
+  const double c = m / 420.0;
+  mass(1, 1) = 156.0 * c;
+  mass(1, 2) = 22.0 * l * c;
+  mass(1, 4) = 54.0 * c;
+  mass(1, 5) = -13.0 * l * c;
+  mass(2, 1) = 22.0 * l * c;
+  mass(2, 2) = 4.0 * l * l * c;
+  mass(2, 4) = 13.0 * l * c;
+  mass(2, 5) = -3.0 * l * l * c;
+  mass(4, 1) = 54.0 * c;
+  mass(4, 2) = 13.0 * l * c;
+  mass(4, 4) = 156.0 * c;
+  mass(4, 5) = -22.0 * l * c;
+  mass(5, 1) = -13.0 * l * c;
+  mass(5, 2) = -3.0 * l * l * c;
+  mass(5, 4) = -22.0 * l * c;
+  mass(5, 5) = 4.0 * l * l * c;
+  return mass;
+}
+
+Matrix BeamColumnElement::LocalLumpedMass(const Section& section,
+                                          double length) {
+  const double half = section.mass_per_length * length / 2.0;
+  Matrix mass(6, 6);
+  mass(0, 0) = half;
+  mass(1, 1) = half;
+  mass(3, 3) = half;
+  mass(4, 4) = half;
+  return mass;
+}
+
+Matrix BeamColumnElement::Transformation(double cos_a, double sin_a) {
+  Matrix t(6, 6);
+  for (int block = 0; block < 2; ++block) {
+    const std::size_t o = 3 * block;
+    t(o + 0, o + 0) = cos_a;
+    t(o + 0, o + 1) = sin_a;
+    t(o + 1, o + 0) = -sin_a;
+    t(o + 1, o + 1) = cos_a;
+    t(o + 2, o + 2) = 1.0;
+  }
+  return t;
+}
+
+Matrix BeamColumnElement::GlobalStiffness(double xi, double yi, double xj,
+                                          double yj) const {
+  const double l = Length(xi, yi, xj, yj);
+  const double cos_a = (xj - xi) / l;
+  const double sin_a = (yj - yi) / l;
+  const Matrix t = Transformation(cos_a, sin_a);
+  return t.Transpose() * LocalStiffness(section, l) * t;
+}
+
+Matrix BeamColumnElement::GlobalConsistentMass(double xi, double yi,
+                                               double xj, double yj) const {
+  const double l = Length(xi, yi, xj, yj);
+  const double cos_a = (xj - xi) / l;
+  const double sin_a = (yj - yi) / l;
+  const Matrix t = Transformation(cos_a, sin_a);
+  return t.Transpose() * LocalConsistentMass(section, l) * t;
+}
+
+double CantileverLateralStiffness(const Section& section, double length) {
+  return 3.0 * section.youngs_modulus * section.moment_of_inertia /
+         (length * length * length);
+}
+
+double FixedFixedLateralStiffness(const Section& section, double length) {
+  return 12.0 * section.youngs_modulus * section.moment_of_inertia /
+         (length * length * length);
+}
+
+}  // namespace nees::structural

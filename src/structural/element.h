@@ -1,0 +1,54 @@
+// 2-D Euler–Bernoulli beam-column element (axial + bending), the building
+// block of the MOST frame model (Fig. 4: a two-bay single-story steel
+// frame). Six DOFs: (u, v, theta) at each end, in global coordinates.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "structural/linalg.h"
+
+namespace nees::structural {
+
+/// Material/section properties for a prismatic member.
+struct Section {
+  double youngs_modulus = 200e9;  // Pa (structural steel)
+  double area = 0.0;              // m^2
+  double moment_of_inertia = 0.0; // m^4
+  double mass_per_length = 0.0;   // kg/m
+};
+
+struct BeamColumnElement {
+  std::size_t node_i = 0;
+  std::size_t node_j = 0;
+  Section section;
+
+  /// Element length and orientation from node coordinates.
+  double Length(double xi, double yi, double xj, double yj) const;
+
+  /// 6x6 stiffness in *local* coordinates (x along the member axis).
+  static Matrix LocalStiffness(const Section& section, double length);
+
+  /// 6x6 consistent mass in local coordinates.
+  static Matrix LocalConsistentMass(const Section& section, double length);
+
+  /// 6x6 lumped (diagonal) mass in local coordinates; rotational terms zero.
+  static Matrix LocalLumpedMass(const Section& section, double length);
+
+  /// Transformation from global to local DOFs for a member at angle
+  /// `cos_a, sin_a` (direction cosines of the member axis).
+  static Matrix Transformation(double cos_a, double sin_a);
+
+  /// Global 6x6 stiffness / mass given end coordinates.
+  Matrix GlobalStiffness(double xi, double yi, double xj, double yj) const;
+  Matrix GlobalConsistentMass(double xi, double yi, double xj,
+                              double yj) const;
+};
+
+/// Closed-form lateral stiffness of common column boundary conditions —
+/// used to cross-check the FEM assembly and to parameterize the physical
+/// substructure emulators (UIUC/CU columns, §3).
+double CantileverLateralStiffness(const Section& section, double length);
+double FixedFixedLateralStiffness(const Section& section, double length);
+
+}  // namespace nees::structural

@@ -1,0 +1,179 @@
+#include "structural/frame.h"
+
+#include <cassert>
+
+namespace nees::structural {
+
+std::size_t FrameModel::AddNode(double x, double y) {
+  nodes_.push_back(Node{x, y, {false, false, false}, 0.0});
+  return nodes_.size() - 1;
+}
+
+void FrameModel::Fix(std::size_t node, Dof dof) {
+  nodes_[node].fixed[static_cast<int>(dof)] = true;
+}
+
+void FrameModel::FixAll(std::size_t node) {
+  nodes_[node].fixed = {true, true, true};
+}
+
+void FrameModel::AddLumpedMass(std::size_t node, double mass_kg) {
+  nodes_[node].lumped_mass += mass_kg;
+}
+
+std::size_t FrameModel::AddElement(std::size_t node_i, std::size_t node_j,
+                                   const Section& section) {
+  assert(node_i < nodes_.size() && node_j < nodes_.size());
+  elements_.push_back(BeamColumnElement{node_i, node_j, section});
+  return elements_.size() - 1;
+}
+
+std::size_t FrameModel::FreeDofCount() const {
+  std::size_t count = 0;
+  for (const Node& node : nodes_) {
+    for (bool fixed : node.fixed) {
+      if (!fixed) ++count;
+    }
+  }
+  return count;
+}
+
+std::optional<std::size_t> FrameModel::DofIndex(std::size_t node,
+                                                Dof dof) const {
+  if (nodes_[node].fixed[static_cast<int>(dof)]) return std::nullopt;
+  std::size_t index = 0;
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    for (int d = 0; d < 3; ++d) {
+      if (nodes_[n].fixed[d]) continue;
+      if (n == node && d == static_cast<int>(dof)) return index;
+      ++index;
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Free-DOF index for every (node, local dof), -1 if fixed.
+std::vector<std::array<long, 3>> NumberDofs(const std::vector<Node>& nodes) {
+  std::vector<std::array<long, 3>> map(nodes.size());
+  long index = 0;
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    for (int d = 0; d < 3; ++d) {
+      map[n][d] = nodes[n].fixed[d] ? -1 : index++;
+    }
+  }
+  return map;
+}
+
+}  // namespace
+
+Matrix FrameModel::AssembleStiffness() const {
+  const auto dof_map = NumberDofs(nodes_);
+  Matrix k(FreeDofCount(), FreeDofCount());
+  for (const BeamColumnElement& element : elements_) {
+    const Node& ni = nodes_[element.node_i];
+    const Node& nj = nodes_[element.node_j];
+    const Matrix ke = element.GlobalStiffness(ni.x, ni.y, nj.x, nj.y);
+    const std::array<long, 6> g = {
+        dof_map[element.node_i][0], dof_map[element.node_i][1],
+        dof_map[element.node_i][2], dof_map[element.node_j][0],
+        dof_map[element.node_j][1], dof_map[element.node_j][2]};
+    for (int a = 0; a < 6; ++a) {
+      if (g[a] < 0) continue;
+      for (int b = 0; b < 6; ++b) {
+        if (g[b] < 0) continue;
+        k(static_cast<std::size_t>(g[a]), static_cast<std::size_t>(g[b])) +=
+            ke(a, b);
+      }
+    }
+  }
+  return k;
+}
+
+Matrix FrameModel::AssembleMass(bool consistent) const {
+  const auto dof_map = NumberDofs(nodes_);
+  Matrix m(FreeDofCount(), FreeDofCount());
+  for (const BeamColumnElement& element : elements_) {
+    const Node& ni = nodes_[element.node_i];
+    const Node& nj = nodes_[element.node_j];
+    const double length = element.Length(ni.x, ni.y, nj.x, nj.y);
+    Matrix me;
+    if (consistent) {
+      me = element.GlobalConsistentMass(ni.x, ni.y, nj.x, nj.y);
+    } else {
+      // Lumped mass is rotation-invariant (diagonal, equal in x and y).
+      me = BeamColumnElement::LocalLumpedMass(element.section, length);
+    }
+    const std::array<long, 6> g = {
+        dof_map[element.node_i][0], dof_map[element.node_i][1],
+        dof_map[element.node_i][2], dof_map[element.node_j][0],
+        dof_map[element.node_j][1], dof_map[element.node_j][2]};
+    for (int a = 0; a < 6; ++a) {
+      if (g[a] < 0) continue;
+      for (int b = 0; b < 6; ++b) {
+        if (g[b] < 0) continue;
+        m(static_cast<std::size_t>(g[a]), static_cast<std::size_t>(g[b])) +=
+            me(a, b);
+      }
+    }
+  }
+  // Nodal lumped masses on translational DOFs.
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    if (nodes_[n].lumped_mass == 0.0) continue;
+    for (int d = 0; d < 2; ++d) {
+      if (dof_map[n][d] < 0) continue;
+      const auto i = static_cast<std::size_t>(dof_map[n][d]);
+      m(i, i) += nodes_[n].lumped_mass;
+    }
+  }
+  return m;
+}
+
+util::Result<Vector> FrameModel::SolveStatic(const Vector& load) const {
+  const Matrix k = AssembleStiffness();
+  if (load.size() != k.rows()) {
+    return util::InvalidArgument("load vector size mismatch");
+  }
+  return SolveLinear(k, load);
+}
+
+util::Result<Matrix> FrameModel::CondenseStiffness(
+    const std::vector<std::size_t>& retained) const {
+  const Matrix k = AssembleStiffness();
+  const std::size_t n = k.rows();
+  std::vector<bool> keep(n, false);
+  for (std::size_t r : retained) {
+    if (r >= n) return util::OutOfRange("retained DOF out of range");
+    keep[r] = true;
+  }
+  std::vector<std::size_t> interior;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!keep[i]) interior.push_back(i);
+  }
+
+  const std::size_t nr = retained.size();
+  const std::size_t ni = interior.size();
+  Matrix krr(nr, nr), kri(nr, ni), kir(ni, nr), kii(ni, ni);
+  for (std::size_t a = 0; a < nr; ++a) {
+    for (std::size_t b = 0; b < nr; ++b) krr(a, b) = k(retained[a], retained[b]);
+    for (std::size_t b = 0; b < ni; ++b) kri(a, b) = k(retained[a], interior[b]);
+  }
+  for (std::size_t a = 0; a < ni; ++a) {
+    for (std::size_t b = 0; b < nr; ++b) kir(a, b) = k(interior[a], retained[b]);
+    for (std::size_t b = 0; b < ni; ++b) kii(a, b) = k(interior[a], interior[b]);
+  }
+  if (ni == 0) return krr;
+  NEES_ASSIGN_OR_RETURN(LuFactorization lu, LuFactorization::Compute(kii));
+  return krr - kri * lu.Solve(kir);
+}
+
+Matrix FrameModel::RayleighDamping(const Matrix& mass, const Matrix& stiffness,
+                                   double omega1, double omega2, double zeta) {
+  // zeta = alpha/(2 w) + beta w / 2 at w1 and w2.
+  const double alpha = 2.0 * zeta * omega1 * omega2 / (omega1 + omega2);
+  const double beta = 2.0 * zeta / (omega1 + omega2);
+  return mass * alpha + stiffness * beta;
+}
+
+}  // namespace nees::structural

@@ -1,0 +1,73 @@
+// Plane-frame finite element model: nodes, members, boundary conditions,
+// global assembly, static solves, Guyan (static) condensation, and Rayleigh
+// damping. The MOST structure (Fig. 4) and the soil-structure follow-on
+// (§5) are built from this.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "structural/element.h"
+#include "structural/linalg.h"
+
+namespace nees::structural {
+
+/// Per-node DOFs in order: u (horizontal), v (vertical), theta (rotation).
+enum class Dof { kUx = 0, kUy = 1, kRz = 2 };
+
+struct Node {
+  double x = 0.0;
+  double y = 0.0;
+  std::array<bool, 3> fixed = {false, false, false};
+  /// Extra lumped mass attached at this node (per translational DOF), kg.
+  double lumped_mass = 0.0;
+};
+
+class FrameModel {
+ public:
+  /// Returns the node index.
+  std::size_t AddNode(double x, double y);
+  /// Fixes a DOF (support).
+  void Fix(std::size_t node, Dof dof);
+  void FixAll(std::size_t node);
+  void AddLumpedMass(std::size_t node, double mass_kg);
+
+  /// Connects two nodes with a beam-column; returns element index.
+  std::size_t AddElement(std::size_t node_i, std::size_t node_j,
+                         const Section& section);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t element_count() const { return elements_.size(); }
+  const Node& node(std::size_t i) const { return nodes_[i]; }
+
+  /// Number of free (unconstrained) DOFs after numbering.
+  std::size_t FreeDofCount() const;
+  /// Global free-DOF index of (node, dof), or nullopt if fixed.
+  std::optional<std::size_t> DofIndex(std::size_t node, Dof dof) const;
+
+  /// Assembled stiffness/mass over free DOFs.
+  Matrix AssembleStiffness() const;
+  Matrix AssembleMass(bool consistent = true) const;
+
+  /// Static solve: displacement of free DOFs under nodal loads.
+  util::Result<Vector> SolveStatic(const Vector& load) const;
+
+  /// Guyan condensation of the stiffness to the `retained` free-DOF indices
+  /// (the interface DOFs shared with other substructures):
+  ///   K_c = K_rr - K_ri K_ii^{-1} K_ir
+  util::Result<Matrix> CondenseStiffness(
+      const std::vector<std::size_t>& retained) const;
+
+  /// Rayleigh damping C = alpha M + beta K calibrated so the two given
+  /// circular frequencies (rad/s) both see damping ratio `zeta`.
+  static Matrix RayleighDamping(const Matrix& mass, const Matrix& stiffness,
+                                double omega1, double omega2, double zeta);
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<BeamColumnElement> elements_;
+};
+
+}  // namespace nees::structural

@@ -1,0 +1,88 @@
+#include "structural/groundmotion.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace nees::structural {
+
+double GroundMotion::PeakAcceleration() const {
+  double peak = 0.0;
+  for (double a : accel) peak = std::max(peak, std::fabs(a));
+  return peak;
+}
+
+GroundMotion SynthesizeQuake(const SyntheticQuakeParams& params) {
+  util::Rng rng(params.seed);
+  GroundMotion motion;
+  motion.dt_seconds = params.dt_seconds;
+  motion.accel.resize(params.steps);
+
+  // One-pole low-pass filter on white noise gives a plausible spectral decay.
+  const double alpha =
+      std::exp(-2.0 * M_PI * params.corner_frequency_hz * params.dt_seconds);
+  double filtered = 0.0;
+  const std::size_t rise_end =
+      static_cast<std::size_t>(params.rise_fraction * params.steps);
+  const std::size_t strong_end = static_cast<std::size_t>(
+      (params.rise_fraction + params.strong_fraction) * params.steps);
+
+  for (std::size_t i = 0; i < params.steps; ++i) {
+    filtered = alpha * filtered + (1.0 - alpha) * rng.Gaussian();
+    double envelope;
+    if (i < rise_end) {
+      envelope = static_cast<double>(i) / std::max<std::size_t>(rise_end, 1);
+    } else if (i < strong_end) {
+      envelope = 1.0;
+    } else {
+      const double tail = static_cast<double>(i - strong_end) /
+                          std::max<std::size_t>(params.steps - strong_end, 1);
+      envelope = std::exp(-3.0 * tail);
+    }
+    motion.accel[i] = envelope * filtered;
+  }
+
+  const double peak = motion.PeakAcceleration();
+  if (peak > 0.0) {
+    const double scale = params.peak_accel / peak;
+    for (double& a : motion.accel) a *= scale;
+  }
+  return motion;
+}
+
+GroundMotion SinePulse(double dt_seconds, std::size_t steps, double amplitude,
+                       double frequency_hz) {
+  GroundMotion motion;
+  motion.dt_seconds = dt_seconds;
+  motion.accel.resize(steps, 0.0);
+  const double period = 1.0 / frequency_hz;
+  const std::size_t pulse_steps =
+      std::min(steps, static_cast<std::size_t>(period / 2.0 / dt_seconds));
+  for (std::size_t i = 0; i < pulse_steps; ++i) {
+    motion.accel[i] =
+        amplitude * std::sin(2.0 * M_PI * frequency_hz * i * dt_seconds);
+  }
+  return motion;
+}
+
+GroundMotion Harmonic(double dt_seconds, std::size_t steps, double amplitude,
+                      double frequency_hz) {
+  GroundMotion motion;
+  motion.dt_seconds = dt_seconds;
+  motion.accel.resize(steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    motion.accel[i] =
+        amplitude * std::sin(2.0 * M_PI * frequency_hz * i * dt_seconds);
+  }
+  return motion;
+}
+
+std::string ToCsv(const GroundMotion& motion) {
+  std::string out = "t,accel\n";
+  for (std::size_t i = 0; i < motion.accel.size(); ++i) {
+    out += util::Format("%.6f,%.8g\n", motion.dt_seconds * i, motion.accel[i]);
+  }
+  return out;
+}
+
+}  // namespace nees::structural

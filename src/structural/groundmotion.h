@@ -1,0 +1,49 @@
+// Ground motion records. The MOST experiment drove its 1,500 pseudo-dynamic
+// steps with a recorded earthquake; with no access to the original record we
+// synthesize an El Centro-like accelerogram: band-limited Gaussian noise
+// shaped by a trapezoidal envelope (Shinozuka-style), plus deterministic
+// pulse and harmonic records for verification tests.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace nees::structural {
+
+struct GroundMotion {
+  double dt_seconds = 0.02;
+  std::vector<double> accel;  // ground acceleration, m/s^2
+
+  std::size_t steps() const { return accel.size(); }
+  double duration() const { return dt_seconds * static_cast<double>(accel.size()); }
+  double PeakAcceleration() const;
+};
+
+struct SyntheticQuakeParams {
+  double dt_seconds = 0.02;
+  std::size_t steps = 1500;        // the MOST step count
+  double peak_accel = 3.0;         // target PGA, m/s^2 (~0.3 g)
+  double rise_fraction = 0.1;      // envelope ramp-up
+  double strong_fraction = 0.4;    // strong-motion plateau
+  double corner_frequency_hz = 2.5;  // low-pass shaping filter corner
+  std::uint64_t seed = 19400518;   // El Centro's date, for flavor
+};
+
+/// Enveloped, low-pass-filtered Gaussian noise scaled to the target PGA.
+GroundMotion SynthesizeQuake(const SyntheticQuakeParams& params);
+
+/// Single half-sine acceleration pulse (analytically checkable).
+GroundMotion SinePulse(double dt_seconds, std::size_t steps,
+                       double amplitude, double frequency_hz);
+
+/// Steady harmonic excitation.
+GroundMotion Harmonic(double dt_seconds, std::size_t steps, double amplitude,
+                      double frequency_hz);
+
+/// Simple CSV (one "t,accel" row per step) for examples and archiving.
+std::string ToCsv(const GroundMotion& motion);
+
+}  // namespace nees::structural

@@ -1,0 +1,193 @@
+#include "structural/integrator.h"
+
+#include <cmath>
+
+namespace nees::structural {
+
+double TimeHistory::PeakDisplacement(std::size_t dof) const {
+  double peak = 0.0;
+  for (const Vector& d : displacement) {
+    peak = std::max(peak, std::fabs(d[dof]));
+  }
+  return peak;
+}
+
+NewmarkBeta::NewmarkBeta(Matrix mass, Matrix damping, Matrix stiffness,
+                         Vector iota, Params params)
+    : mass_(std::move(mass)),
+      damping_(std::move(damping)),
+      stiffness_(std::move(stiffness)),
+      iota_(std::move(iota)),
+      params_(params) {}
+
+util::Result<TimeHistory> NewmarkBeta::Integrate(
+    const GroundMotion& motion) const {
+  const std::size_t n = mass_.rows();
+  const double dt = motion.dt_seconds;
+  const double beta = params_.beta;
+  const double gamma = params_.gamma;
+
+  const double a0 = 1.0 / (beta * dt * dt);
+  const double a1 = gamma / (beta * dt);
+  const double a2 = 1.0 / (beta * dt);
+  const double a3 = 1.0 / (2.0 * beta) - 1.0;
+  const double a4 = gamma / beta - 1.0;
+  const double a5 = dt / 2.0 * (gamma / beta - 2.0);
+
+  const Matrix keff = stiffness_ + mass_ * a0 + damping_ * a1;
+  NEES_ASSIGN_OR_RETURN(LuFactorization lu, LuFactorization::Compute(keff));
+
+  TimeHistory history;
+  history.dt_seconds = dt;
+  Vector d(n, 0.0), v(n, 0.0);
+  // Initial acceleration from equilibrium at t=0.
+  Vector f0 = (-motion.accel.empty() ? 0.0 : -motion.accel[0]) * (mass_ * iota_);
+  NEES_ASSIGN_OR_RETURN(LuFactorization mass_lu,
+                        LuFactorization::Compute(mass_));
+  Vector a = mass_lu.Solve(f0 - damping_ * v - stiffness_ * d);
+
+  history.displacement.push_back(d);
+  history.velocity.push_back(v);
+  history.acceleration.push_back(a);
+
+  for (std::size_t step = 1; step < motion.accel.size(); ++step) {
+    const Vector f = -motion.accel[step] * (mass_ * iota_);
+    const Vector rhs = f + mass_ * (a0 * d + a2 * v + a3 * a) +
+                       damping_ * (a1 * d + a4 * v + a5 * a);
+    const Vector d_next = lu.Solve(rhs);
+    const Vector a_next =
+        a0 * (d_next - d) - a2 * v - a3 * a;
+    const Vector v_next = v + (dt * (1.0 - gamma)) * a + (dt * gamma) * a_next;
+
+    d = d_next;
+    v = v_next;
+    a = a_next;
+    history.displacement.push_back(d);
+    history.velocity.push_back(v);
+    history.acceleration.push_back(a);
+  }
+  return history;
+}
+
+CentralDifferencePsd::CentralDifferencePsd(Matrix mass, Matrix damping,
+                                           Vector iota)
+    : mass_(std::move(mass)),
+      damping_(std::move(damping)),
+      iota_(std::move(iota)) {}
+
+double CentralDifferencePsd::StableDtLimit(const Matrix& mass,
+                                           const Matrix& stiffness) {
+  // omega_max^2 is the largest eigenvalue of M^{-1} K; estimate by power
+  // iteration on the (generally non-symmetric) product.
+  auto inverse = Inverse(mass);
+  if (!inverse.ok()) return 0.0;
+  auto lambda = LargestEigenvalue(*inverse * stiffness);
+  if (!lambda.ok() || *lambda <= 0.0) return 0.0;
+  return 2.0 / std::sqrt(*lambda);
+}
+
+util::Result<TimeHistory> CentralDifferencePsd::Integrate(
+    const GroundMotion& motion, const RestoringForceFn& restoring) const {
+  const std::size_t n = mass_.rows();
+  const double dt = motion.dt_seconds;
+
+  // Keff = M/dt^2 + C/(2 dt); Kback = M/dt^2 - C/(2 dt).
+  const Matrix keff = mass_ * (1.0 / (dt * dt)) + damping_ * (1.0 / (2.0 * dt));
+  const Matrix kback =
+      mass_ * (1.0 / (dt * dt)) - damping_ * (1.0 / (2.0 * dt));
+  const Matrix two_m = mass_ * (2.0 / (dt * dt));
+  NEES_ASSIGN_OR_RETURN(LuFactorization lu, LuFactorization::Compute(keff));
+
+  TimeHistory history;
+  history.dt_seconds = dt;
+  Vector d_prev(n, 0.0);
+  Vector d(n, 0.0);
+
+  history.displacement.push_back(d);
+  history.velocity.push_back(Vector(n, 0.0));
+  history.acceleration.push_back(Vector(n, 0.0));
+
+  for (std::size_t step = 0; step + 1 < motion.accel.size(); ++step) {
+    // Measured restoring force at the current displacement: in MOST this is
+    // the NTCP propose/execute round to every substructure.
+    NEES_ASSIGN_OR_RETURN(Vector r, restoring(step, d));
+    if (r.size() != n) {
+      return util::Internal("restoring force dimension mismatch");
+    }
+    const Vector f = -motion.accel[step] * (mass_ * iota_);
+    const Vector rhs = f - r + two_m * d - kback * d_prev;
+    Vector d_next = lu.Solve(rhs);
+
+    const Vector v = (1.0 / (2.0 * dt)) * (d_next - d_prev);
+    const Vector a = (1.0 / (dt * dt)) * (d_next - 2.0 * d + d_prev);
+
+    d_prev = d;
+    d = std::move(d_next);
+    history.displacement.push_back(d);
+    history.velocity.push_back(v);
+    history.acceleration.push_back(a);
+  }
+  return history;
+}
+
+OperatorSplittingPsd::OperatorSplittingPsd(Matrix mass, Matrix damping,
+                                           Matrix initial_stiffness,
+                                           Vector iota)
+    : mass_(std::move(mass)),
+      damping_(std::move(damping)),
+      k0_(std::move(initial_stiffness)),
+      iota_(std::move(iota)) {}
+
+util::Result<TimeHistory> OperatorSplittingPsd::Integrate(
+    const GroundMotion& motion, const RestoringForceFn& restoring) const {
+  const std::size_t n = mass_.rows();
+  const double dt = motion.dt_seconds;
+  constexpr double beta = 0.25;
+  constexpr double gamma = 0.5;
+
+  // Effective mass: M + gamma dt C + beta dt^2 K0 (constant; factor once).
+  const Matrix meff =
+      mass_ + damping_ * (gamma * dt) + k0_ * (beta * dt * dt);
+  NEES_ASSIGN_OR_RETURN(LuFactorization meff_lu,
+                        LuFactorization::Compute(meff));
+  NEES_ASSIGN_OR_RETURN(LuFactorization mass_lu,
+                        LuFactorization::Compute(mass_));
+
+  TimeHistory history;
+  history.dt_seconds = dt;
+  Vector d(n, 0.0), v(n, 0.0);
+  // At-rest start: r(0) = 0, so a_0 = M^-1 f_0.
+  const Vector f0 =
+      (motion.accel.empty() ? 0.0 : -motion.accel[0]) * (mass_ * iota_);
+  Vector a = mass_lu.Solve(f0);
+  history.displacement.push_back(d);
+  history.velocity.push_back(v);
+  history.acceleration.push_back(a);
+
+  for (std::size_t step = 0; step + 1 < motion.accel.size(); ++step) {
+    // Predictor (explicit) — this is the displacement commanded to the
+    // substructures over NTCP.
+    const Vector d_tilde =
+        d + dt * v + (dt * dt * (0.5 - beta)) * a;
+    const Vector v_tilde = v + (dt * (1.0 - gamma)) * a;
+
+    NEES_ASSIGN_OR_RETURN(Vector r_tilde, restoring(step, d_tilde));
+    if (r_tilde.size() != n) {
+      return util::Internal("restoring force dimension mismatch");
+    }
+
+    const Vector f = -motion.accel[step + 1] * (mass_ * iota_);
+    const Vector rhs = f - damping_ * v_tilde - r_tilde;
+    const Vector a_next = meff_lu.Solve(rhs);
+
+    d = d_tilde + (beta * dt * dt) * a_next;
+    v = v_tilde + (gamma * dt) * a_next;
+    a = a_next;
+    history.displacement.push_back(d);
+    history.velocity.push_back(v);
+    history.acceleration.push_back(a);
+  }
+  return history;
+}
+
+}  // namespace nees::structural

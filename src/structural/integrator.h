@@ -1,0 +1,106 @@
+// Time integrators for the equation of motion
+//     M a + C v + r(d) = -M iota * ag(t)
+//
+// Two integrators matter for the reproduction:
+//  * NewmarkBeta      — implicit reference solution for *linear* systems,
+//                       used to validate the distributed runs (E5 agreement).
+//  * CentralDifferencePsd — the explicit pseudo-dynamic (PSD) scheme used by
+//                       MS-PSDS testing (§3): at each step the integrator
+//                       produces a target displacement, hands it to a
+//                       restoring-force source (numerical model OR physical
+//                       specimen via NTCP), and uses the *measured* force to
+//                       advance. This is exactly the coordinator's inner loop.
+#pragma once
+
+#include <functional>
+
+#include "structural/groundmotion.h"
+#include "structural/linalg.h"
+
+namespace nees::structural {
+
+struct TimeHistory {
+  double dt_seconds = 0.0;
+  std::vector<Vector> displacement;
+  std::vector<Vector> velocity;
+  std::vector<Vector> acceleration;
+
+  /// Peak |displacement| at a given DOF over the whole record.
+  double PeakDisplacement(std::size_t dof) const;
+};
+
+/// Newmark integration constants (defaults: average acceleration,
+/// unconditionally stable for linear systems).
+struct NewmarkParams {
+  double beta = 0.25;
+  double gamma = 0.5;
+};
+
+/// Linear Newmark-beta. Influence vector `iota` maps ground acceleration
+/// into DOFs.
+class NewmarkBeta {
+ public:
+  using Params = NewmarkParams;
+
+  NewmarkBeta(Matrix mass, Matrix damping, Matrix stiffness, Vector iota,
+              Params params = Params());
+
+  util::Result<TimeHistory> Integrate(const GroundMotion& motion) const;
+
+ private:
+  Matrix mass_, damping_, stiffness_;
+  Vector iota_;
+  Params params_;
+};
+
+/// Restoring-force source: given target displacement, returns the measured
+/// (or computed) restoring force. In the distributed experiment this is the
+/// sum over substructure NTCP round trips; failures propagate as Status.
+using RestoringForceFn =
+    std::function<util::Result<Vector>(std::size_t step, const Vector& d)>;
+
+/// Explicit central-difference pseudo-dynamic integrator:
+///   d_{n+1} = Keff^{-1} [ F_n - r_n + (2M/dt^2) d_n - (M/dt^2 - C/2dt) d_{n-1} ]
+/// with Keff = M/dt^2 + C/(2 dt). Conditionally stable: dt < T_min / pi.
+class CentralDifferencePsd {
+ public:
+  CentralDifferencePsd(Matrix mass, Matrix damping, Vector iota);
+
+  /// Runs the full record, pulling restoring forces from `restoring`.
+  /// Stops early (returning the error) if the source fails — the behaviour
+  /// whose operational consequences E6 reproduces.
+  util::Result<TimeHistory> Integrate(const GroundMotion& motion,
+                                      const RestoringForceFn& restoring) const;
+
+  /// Stability limit dt_max = T_min/pi = 2/omega_max for a linear system.
+  static double StableDtLimit(const Matrix& mass, const Matrix& stiffness);
+
+ private:
+  Matrix mass_, damping_;
+  Vector iota_;
+};
+
+/// Operator-splitting (OS / Newmark-OS) pseudo-dynamic integrator, the
+/// unconditionally stable scheme stiff PSD tests use (Nakashima et al.,
+/// ref [14] family). Per step, with beta = 1/4, gamma = 1/2:
+///   predictor:  d~ = d_n + dt v_n + dt^2 (1/2 - beta) a_n
+///   measure:    r~ = r(d~)                      <- the NTCP round trips
+///   corrector:  [M + gamma dt C + beta dt^2 K0] a_{n+1}
+///                 = f_{n+1} - C v~ - r~ - K0 (d~ correction term omitted:
+///                   the corrected displacement is d~ + beta dt^2 a_{n+1})
+/// K0 is the *initial* stiffness estimate; for softening (yielding)
+/// structures K_actual <= K0 keeps the scheme stable at any dt.
+class OperatorSplittingPsd {
+ public:
+  OperatorSplittingPsd(Matrix mass, Matrix damping, Matrix initial_stiffness,
+                       Vector iota);
+
+  util::Result<TimeHistory> Integrate(const GroundMotion& motion,
+                                      const RestoringForceFn& restoring) const;
+
+ private:
+  Matrix mass_, damping_, k0_;
+  Vector iota_;
+};
+
+}  // namespace nees::structural

@@ -1,0 +1,183 @@
+#include "telepresence/telepresence.h"
+
+#include <algorithm>
+
+#include "util/sha256.h"
+
+namespace nees::tele {
+
+CameraModel::CameraModel(std::string name, CameraLimits limits)
+    : name_(std::move(name)), limits_(limits) {}
+
+PanTiltZoom CameraModel::Move(const PanTiltZoom& target) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pose_.pan_deg =
+      std::clamp(target.pan_deg, -limits_.pan_abs_deg, limits_.pan_abs_deg);
+  pose_.tilt_deg =
+      std::clamp(target.tilt_deg, limits_.tilt_min_deg, limits_.tilt_max_deg);
+  pose_.zoom = std::clamp(target.zoom, limits_.zoom_min, limits_.zoom_max);
+  return pose_;
+}
+
+PanTiltZoom CameraModel::pose() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pose_;
+}
+
+void CameraModel::SetSceneValue(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  scene_value_ = value;
+}
+
+std::vector<std::uint8_t> CameraModel::CaptureFrame() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++frame_counter_;
+  // Frame = small header + a deterministic "image" hash of the view state:
+  // any change in pose, scene, or time changes the pixels.
+  util::ByteWriter writer;
+  writer.WriteString(name_);
+  writer.WriteU64(frame_counter_);
+  writer.WriteDouble(pose_.pan_deg);
+  writer.WriteDouble(pose_.tilt_deg);
+  writer.WriteDouble(pose_.zoom);
+  writer.WriteDouble(scene_value_);
+  const util::Sha256Digest pixels =
+      util::Sha256::Hash(util::ToHex(writer.data().data(), writer.size()));
+  std::vector<std::uint8_t> frame = writer.Take();
+  frame.insert(frame.end(), pixels.begin(), pixels.end());
+  return frame;
+}
+
+std::uint64_t CameraModel::frames_captured() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frame_counter_;
+}
+
+TelepresenceServer::TelepresenceServer(net::Network* network,
+                                       std::string endpoint,
+                                       std::string camera_name)
+    : network_(network),
+      rpc_server_(network, std::move(endpoint)),
+      camera_(std::move(camera_name), CameraLimits{}) {}
+
+util::Status TelepresenceServer::Start() {
+  NEES_RETURN_IF_ERROR(rpc_server_.Start());
+  rpc_server_.RegisterMethod(
+      "cam.control",
+      [this](const net::CallContext&,
+             const net::Bytes& body) -> util::Result<net::Bytes> {
+        util::ByteReader reader(body);
+        PanTiltZoom target;
+        NEES_ASSIGN_OR_RETURN(target.pan_deg, reader.ReadDouble());
+        NEES_ASSIGN_OR_RETURN(target.tilt_deg, reader.ReadDouble());
+        NEES_ASSIGN_OR_RETURN(target.zoom, reader.ReadDouble());
+        const PanTiltZoom achieved = camera_.Move(target);
+        util::ByteWriter writer;
+        writer.WriteDouble(achieved.pan_deg);
+        writer.WriteDouble(achieved.tilt_deg);
+        writer.WriteDouble(achieved.zoom);
+        return writer.Take();
+      });
+  rpc_server_.RegisterMethod(
+      "cam.snapshot",
+      [this](const net::CallContext&,
+             const net::Bytes&) -> util::Result<net::Bytes> {
+        return camera_.CaptureFrame();
+      });
+  rpc_server_.RegisterMethod(
+      "cam.subscribe",
+      [this](const net::CallContext&,
+             const net::Bytes& body) -> util::Result<net::Bytes> {
+        util::ByteReader reader(body);
+        NEES_ASSIGN_OR_RETURN(std::string viewer, reader.ReadString());
+        AddViewer(viewer);
+        return net::Bytes{};
+      });
+  return util::OkStatus();
+}
+
+void TelepresenceServer::AddViewer(const std::string& viewer_endpoint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::find(viewers_.begin(), viewers_.end(), viewer_endpoint) ==
+      viewers_.end()) {
+    viewers_.push_back(viewer_endpoint);
+  }
+}
+
+void TelepresenceServer::PumpFrame() {
+  const std::vector<std::uint8_t> frame = camera_.CaptureFrame();
+  std::vector<std::string> viewers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    viewers = viewers_;
+    frames_pushed_ += viewers.size();
+  }
+  for (const std::string& viewer : viewers) {
+    net::Message message;
+    message.from = rpc_server_.endpoint();
+    message.to = viewer;
+    message.kind = net::MessageKind::kOneWay;
+    message.method = "cam.frame";
+    message.payload = net::EncodeRequestEnvelope("", frame);
+    (void)network_->Send(std::move(message));  // best effort, like video
+  }
+}
+
+std::uint64_t TelepresenceServer::frames_pushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frames_pushed_;
+}
+
+TelepresenceClient::TelepresenceClient(net::Network* network,
+                                       std::string endpoint)
+    : rpc_client_(network, endpoint + ".ctl"), rpc_server_(network, endpoint) {
+  (void)rpc_server_.Start();
+  rpc_server_.RegisterOneWay(
+      "cam.frame", [this](const net::CallContext&, const net::Bytes& body) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++frames_received_;
+        last_frame_ = body;
+      });
+}
+
+util::Result<PanTiltZoom> TelepresenceClient::Control(
+    const std::string& camera_endpoint, const PanTiltZoom& target) {
+  util::ByteWriter writer;
+  writer.WriteDouble(target.pan_deg);
+  writer.WriteDouble(target.tilt_deg);
+  writer.WriteDouble(target.zoom);
+  NEES_ASSIGN_OR_RETURN(
+      net::Bytes reply,
+      rpc_client_.Call(camera_endpoint, "cam.control", writer.Take()));
+  util::ByteReader reader(reply);
+  PanTiltZoom achieved;
+  NEES_ASSIGN_OR_RETURN(achieved.pan_deg, reader.ReadDouble());
+  NEES_ASSIGN_OR_RETURN(achieved.tilt_deg, reader.ReadDouble());
+  NEES_ASSIGN_OR_RETURN(achieved.zoom, reader.ReadDouble());
+  return achieved;
+}
+
+util::Result<std::vector<std::uint8_t>> TelepresenceClient::Snapshot(
+    const std::string& camera_endpoint) {
+  return rpc_client_.Call(camera_endpoint, "cam.snapshot", {});
+}
+
+util::Status TelepresenceClient::SubscribeVideo(
+    const std::string& camera_endpoint) {
+  util::ByteWriter writer;
+  writer.WriteString(rpc_server_.endpoint());
+  return rpc_client_.Call(camera_endpoint, "cam.subscribe", writer.Take())
+      .status();
+}
+
+std::uint64_t TelepresenceClient::frames_received() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frames_received_;
+}
+
+std::vector<std::uint8_t> TelepresenceClient::last_frame() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_frame_;
+}
+
+}  // namespace nees::tele

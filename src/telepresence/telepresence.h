@@ -1,0 +1,116 @@
+// Telepresence (§2.2, §3.4): "a video feed and basic camera control
+// (pan/tilt/zoom) to remote observers", using commodity hardware — three
+// remotely-operable cameras during MOST. Also the still-image capture
+// trigger the Minnesota follow-on (§5) plans to use as experiment data.
+//
+// The camera is synthetic: each frame is a deterministic byte image derived
+// from (frame number, pan, tilt, zoom, scene value), so tests can assert
+// that camera moves actually change what observers see.
+//
+// RPC surface:
+//   cam.control  {pan, tilt, zoom} -> {actual pan, tilt, zoom}
+//   cam.snapshot {}                -> frame bytes  (still capture)
+//   cam.describe {}               -> {name, frame counter, pan, tilt, zoom}
+// Video: one-way "cam.frame" messages to subscribers per PumpFrame() call.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/rpc.h"
+#include "util/result.h"
+
+namespace nees::tele {
+
+struct PanTiltZoom {
+  double pan_deg = 0.0;    // [-170, 170]
+  double tilt_deg = 0.0;   // [-30, 90]
+  double zoom = 1.0;       // [1, 12] optical
+};
+
+struct CameraLimits {
+  double pan_abs_deg = 170.0;
+  double tilt_min_deg = -30.0;
+  double tilt_max_deg = 90.0;
+  double zoom_min = 1.0;
+  double zoom_max = 12.0;
+};
+
+/// Deterministic synthetic camera.
+class CameraModel {
+ public:
+  CameraModel(std::string name, CameraLimits limits);
+
+  /// Clamps to limits and returns the achieved pose.
+  PanTiltZoom Move(const PanTiltZoom& target);
+  PanTiltZoom pose() const;
+
+  /// Scene input: the camera "sees" the current structural response.
+  void SetSceneValue(double value);
+
+  /// Renders the next frame (increments the frame counter).
+  std::vector<std::uint8_t> CaptureFrame();
+  std::uint64_t frames_captured() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  CameraLimits limits_;
+  mutable std::mutex mu_;
+  PanTiltZoom pose_;
+  double scene_value_ = 0.0;
+  std::uint64_t frame_counter_ = 0;
+};
+
+class TelepresenceServer {
+ public:
+  TelepresenceServer(net::Network* network, std::string endpoint,
+                     std::string camera_name);
+
+  util::Status Start();
+
+  CameraModel& camera() { return camera_; }
+  const std::string& endpoint() const { return rpc_server_.endpoint(); }
+
+  /// Adds a video subscriber endpoint (also reachable via "cam.subscribe").
+  void AddViewer(const std::string& viewer_endpoint);
+
+  /// Renders and pushes one frame to every viewer (best effort).
+  void PumpFrame();
+
+  std::uint64_t frames_pushed() const;
+
+ private:
+  net::Network* network_;
+  net::RpcServer rpc_server_;
+  CameraModel camera_;
+  mutable std::mutex mu_;
+  std::vector<std::string> viewers_;
+  std::uint64_t frames_pushed_ = 0;
+};
+
+/// Remote camera operation + video reception.
+class TelepresenceClient {
+ public:
+  TelepresenceClient(net::Network* network, std::string endpoint);
+
+  util::Result<PanTiltZoom> Control(const std::string& camera_endpoint,
+                                    const PanTiltZoom& target);
+  util::Result<std::vector<std::uint8_t>> Snapshot(
+      const std::string& camera_endpoint);
+  util::Status SubscribeVideo(const std::string& camera_endpoint);
+
+  std::uint64_t frames_received() const;
+  std::vector<std::uint8_t> last_frame() const;
+
+ private:
+  net::RpcClient rpc_client_;
+  net::RpcServer rpc_server_;
+  mutable std::mutex mu_;
+  std::uint64_t frames_received_ = 0;
+  std::vector<std::uint8_t> last_frame_;
+};
+
+}  // namespace nees::tele

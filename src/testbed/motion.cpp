@@ -1,0 +1,93 @@
+#include "testbed/motion.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nees::testbed {
+
+ServoHydraulicActuator::ServoHydraulicActuator(Params params)
+    : params_(params) {}
+
+void ServoHydraulicActuator::Reset() {
+  position_ = 0.0;
+  velocity_ = 0.0;
+  integral_ = 0.0;
+  previous_error_ = 0.0;
+  elapsed_s_ = 0.0;
+}
+
+util::Result<double> ServoHydraulicActuator::MoveTo(double target_m,
+                                                    double max_seconds) {
+  if (std::fabs(target_m) > params_.stroke_m) {
+    return util::OutOfRange("actuator target exceeds stroke");
+  }
+  const double dt = params_.dt_s;
+  double settled_for = 0.0;
+  double time = 0.0;
+  while (time < max_seconds) {
+    const double error = target_m - position_;
+    const double derivative = (error - previous_error_) / dt;
+    previous_error_ = error;
+
+    double velocity_command =
+        params_.kp * error + params_.ki * integral_ + params_.kd * derivative;
+    // Conditional integration (anti-windup): only accumulate while the
+    // valve command is unsaturated, otherwise long moves overshoot badly.
+    if (std::fabs(velocity_command) < params_.max_velocity_ms) {
+      integral_ += error * dt;
+    }
+    velocity_command = std::clamp(velocity_command, -params_.max_velocity_ms,
+                                  params_.max_velocity_ms);
+
+    // Ram velocity lags the valve command first-order.
+    const double lag = dt / params_.velocity_time_constant_s;
+    velocity_ += (velocity_command - velocity_) * std::min(lag, 1.0);
+    position_ += velocity_ * dt;
+    position_ = std::clamp(position_, -params_.stroke_m, params_.stroke_m);
+
+    time += dt;
+    if (std::fabs(error) < params_.settle_tolerance_m) {
+      settled_for += dt;
+      if (settled_for >= params_.settle_window_s) break;
+    } else {
+      settled_for = 0.0;
+    }
+  }
+  elapsed_s_ += time;
+  if (std::fabs(target_m - position_) > 10.0 * params_.settle_tolerance_m) {
+    return util::TimeoutError("actuator failed to settle");
+  }
+  return position_;
+}
+
+StepperMotor::StepperMotor(Params params) : params_(params) {}
+
+double StepperMotor::position() const {
+  return static_cast<double>(step_count_) * params_.step_size_m;
+}
+
+void StepperMotor::Reset() {
+  step_count_ = 0;
+  total_steps_ = 0;
+}
+
+util::Result<double> StepperMotor::MoveTo(double target_m,
+                                          double max_seconds) {
+  if (std::fabs(target_m) > params_.stroke_m) {
+    return util::OutOfRange("stepper target exceeds stroke");
+  }
+  const auto target_steps = static_cast<std::int64_t>(
+      std::llround(target_m / params_.step_size_m));
+  const std::int64_t needed = std::llabs(target_steps - step_count_);
+  const auto budget = static_cast<std::int64_t>(
+      max_seconds * params_.steps_per_second);
+  const std::int64_t taken = std::min(needed, budget);
+  step_count_ += (target_steps > step_count_) ? taken : -taken;
+  total_steps_ += taken;
+  if (taken < needed) {
+    return util::TimeoutError("stepper ran out of time budget");
+  }
+  return position();
+}
+
+}  // namespace nees::testbed

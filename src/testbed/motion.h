@@ -1,0 +1,89 @@
+// Motion systems that position a specimen: the servo-hydraulic actuator
+// used at UIUC/CU in MOST, and the stepper motor used by Mini-MOST (§3.5).
+// Both expose MoveTo(target) with realistic imperfections (settling
+// dynamics, rate limits, quantization) so the NTCP plugins and coordinator
+// exercise the same command/settle/measure cycle as the real rigs.
+#pragma once
+
+#include <cstdint>
+
+#include "util/result.h"
+
+namespace nees::testbed {
+
+/// Positions a specimen boundary along one axis (meters).
+class MotionSystem {
+ public:
+  virtual ~MotionSystem() = default;
+
+  /// Drives toward `target_m`; simulates up to `max_seconds` of motion.
+  /// Returns the achieved position. Fails with kOutOfRange if the target
+  /// exceeds the stroke, kTimeout if the system cannot settle in time.
+  virtual util::Result<double> MoveTo(double target_m, double max_seconds) = 0;
+
+  virtual double position() const = 0;
+  virtual void Reset() = 0;
+};
+
+/// PID-servo hydraulic actuator: the PID loop produces a velocity command;
+/// the ram velocity lags it first-order and is rate-limited; position
+/// integrates velocity. Settling is declared when the error stays inside
+/// `settle_tolerance_m` for `settle_window_s`.
+class ServoHydraulicActuator final : public MotionSystem {
+ public:
+  struct Params {
+    double stroke_m = 0.25;            // +/- travel
+    double max_velocity_ms = 0.05;     // m/s
+    double kp = 40.0;                  // 1/s
+    double ki = 4.0;
+    double kd = 0.0;
+    double velocity_time_constant_s = 0.02;
+    double dt_s = 0.001;               // internal integration step
+    double settle_tolerance_m = 2e-5;
+    double settle_window_s = 0.02;
+  };
+
+  explicit ServoHydraulicActuator(Params params);
+
+  util::Result<double> MoveTo(double target_m, double max_seconds) override;
+  double position() const override { return position_; }
+  void Reset() override;
+
+  /// Total simulated motion time, for per-step timing breakdowns (E5).
+  double elapsed_motion_seconds() const { return elapsed_s_; }
+
+ private:
+  Params params_;
+  double position_ = 0.0;
+  double velocity_ = 0.0;
+  double integral_ = 0.0;
+  double previous_error_ = 0.0;
+  double elapsed_s_ = 0.0;
+};
+
+/// Open-loop stepper motor with a lead screw: position moves in whole
+/// steps at a bounded step rate. Mini-MOST used a single 24 lb through-hole
+/// stepper; resolution dominates its error budget.
+class StepperMotor final : public MotionSystem {
+ public:
+  struct Params {
+    double step_size_m = 5e-6;     // meters of travel per motor step
+    double steps_per_second = 2000;
+    double stroke_m = 0.05;        // +/- travel (1 m beam, small motion)
+  };
+
+  explicit StepperMotor(Params params);
+
+  util::Result<double> MoveTo(double target_m, double max_seconds) override;
+  double position() const override;
+  void Reset() override;
+
+  std::int64_t total_steps_taken() const { return total_steps_; }
+
+ private:
+  Params params_;
+  std::int64_t step_count_ = 0;   // signed current position in steps
+  std::int64_t total_steps_ = 0;  // odometer
+};
+
+}  // namespace nees::testbed

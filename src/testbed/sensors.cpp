@@ -1,0 +1,61 @@
+#include "testbed/sensors.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nees::testbed {
+
+Sensor::Sensor(std::string name, SensorParams params, std::uint64_t seed)
+    : name_(std::move(name)), params_(params), rng_(seed) {}
+
+double Sensor::Measure(double true_value) {
+  ++samples_;
+  double value = params_.gain * true_value + params_.bias;
+  if (params_.noise_std > 0.0) value += rng_.Gaussian(0.0, params_.noise_std);
+  if (params_.quantization > 0.0) {
+    value = params_.quantization * std::round(value / params_.quantization);
+  }
+  if (params_.range > 0.0) {
+    value = std::clamp(value, -params_.range, params_.range);
+  }
+  return value;
+}
+
+Sensor MakeLvdt(std::uint64_t seed, double range_m) {
+  SensorParams params;
+  params.gain = 1.0005;       // 0.05% scale error
+  params.noise_std = 2e-6;    // 2 micron RMS
+  params.quantization = 1e-6; // 16-bit ADC over the range
+  params.range = range_m;
+  return Sensor("lvdt", params, seed);
+}
+
+Sensor MakeLoadCell(std::uint64_t seed, double range_n) {
+  SensorParams params;
+  params.gain = 0.999;
+  params.bias = 0.5;          // newtons of zero offset
+  params.noise_std = range_n * 2e-5;
+  params.quantization = range_n / 65536.0;
+  params.range = range_n;
+  return Sensor("load_cell", params, seed);
+}
+
+Sensor MakeStrainGauge(std::uint64_t seed) {
+  SensorParams params;
+  params.gain = 1.002;
+  params.noise_std = 2e-7;    // microstrain-level noise
+  params.quantization = 1e-7;
+  return Sensor("strain_gauge", params, seed);
+}
+
+Sensor MakeAccelerometer(std::uint64_t seed, double range_ms2) {
+  SensorParams params;
+  params.gain = 1.001;
+  params.bias = 0.01;
+  params.noise_std = 0.005;
+  params.quantization = range_ms2 / 32768.0;
+  params.range = range_ms2;
+  return Sensor("accelerometer", params, seed);
+}
+
+}  // namespace nees::testbed

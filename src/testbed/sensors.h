@@ -1,0 +1,45 @@
+// Sensor models for the emulated rigs and Mini-MOST: LVDT (position), load
+// cell (force), strain gauge, accelerometer. Each applies gain error, bias,
+// Gaussian noise, and ADC quantization — the imperfections that make the
+// "measured" forces fed back into the PSD integration realistically dirty.
+#pragma once
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace nees::testbed {
+
+struct SensorParams {
+  double gain = 1.0;            // multiplicative scale error
+  double bias = 0.0;            // additive offset (engineering units)
+  double noise_std = 0.0;       // Gaussian noise sigma
+  double quantization = 0.0;    // LSB size; 0 disables
+  double range = 0.0;           // saturation at +/- range; 0 disables
+};
+
+class Sensor {
+ public:
+  Sensor(std::string name, SensorParams params, std::uint64_t seed);
+
+  /// One sample of the true value through the sensor model.
+  double Measure(double true_value);
+
+  const std::string& name() const { return name_; }
+  std::uint64_t sample_count() const { return samples_; }
+
+ private:
+  std::string name_;
+  SensorParams params_;
+  util::Rng rng_;
+  std::uint64_t samples_ = 0;
+};
+
+/// Factory presets matching the instrumentation the paper lists (§3.5:
+/// "a strain gauge, LVDT for position, and a load cell for force").
+Sensor MakeLvdt(std::uint64_t seed, double range_m = 0.3);
+Sensor MakeLoadCell(std::uint64_t seed, double range_n = 5e5);
+Sensor MakeStrainGauge(std::uint64_t seed);
+Sensor MakeAccelerometer(std::uint64_t seed, double range_ms2 = 50.0);
+
+}  // namespace nees::testbed

@@ -1,0 +1,144 @@
+#include "testbed/shorewestern.h"
+
+#include "util/strings.h"
+
+namespace nees::testbed {
+
+ShoreWesternEmulator::ShoreWesternEmulator(
+    net::Network* network, std::string endpoint,
+    std::unique_ptr<PhysicalSpecimen> specimen)
+    : server_(network, std::move(endpoint)), specimen_(std::move(specimen)) {}
+
+util::Status ShoreWesternEmulator::Start() {
+  NEES_RETURN_IF_ERROR(server_.Start());
+  server_.RegisterMethod(
+      "sw.line",
+      [this](const net::CallContext&,
+             const net::Bytes& body) -> util::Result<net::Bytes> {
+        const std::string line(body.begin(), body.end());
+        const std::string reply = HandleLine(line);
+        return net::Bytes(reply.begin(), reply.end());
+      });
+  return util::OkStatus();
+}
+
+void ShoreWesternEmulator::Stop() { server_.Stop(); }
+
+std::string ShoreWesternEmulator::HandleLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto parts = util::Split(std::string(util::Trim(line)), ' ');
+  if (parts.empty() || parts[0].empty()) return "ERR empty command";
+  const std::string& command = parts[0];
+
+  if (command == "HELLO") return "OK ShoreWestern SC6000 sim";
+
+  if (command == "MOVE") {
+    if (parts.size() != 2) return "ERR MOVE requires one argument";
+    double target = 0.0;
+    if (!util::ParseDouble(parts[1], &target)) return "ERR bad number";
+    auto measurement = specimen_->ApplyDisplacement(target);
+    if (!measurement.ok()) {
+      return "ERR " + std::string(util::ErrorCodeName(
+                          measurement.status().code()));
+    }
+    return util::Format("DONE %.9g %.9g", measurement->displacement_m,
+                        measurement->force_n);
+  }
+
+  if (command == "READ") {
+    auto measurement = specimen_->ReadSensors();
+    if (!measurement.ok()) return "ERR read failed";
+    return util::Format("DATA %.9g %.9g %.9g", measurement->displacement_m,
+                        measurement->force_n, measurement->strain);
+  }
+
+  if (command == "LIMIT") {
+    // Limits live in the specimen config; accepted for protocol fidelity.
+    if (parts.size() != 3) return "ERR LIMIT requires two arguments";
+    double max_disp = 0.0, max_force = 0.0;
+    if (!util::ParseDouble(parts[1], &max_disp) ||
+        !util::ParseDouble(parts[2], &max_force)) {
+      return "ERR bad number";
+    }
+    return "OK";
+  }
+
+  if (command == "ESTOP") {
+    specimen_->EStop();
+    return "OK";
+  }
+
+  if (command == "RESET") {
+    specimen_->ResetInterlock();
+    return "OK";
+  }
+
+  return "ERR unknown command " + command;
+}
+
+ShoreWesternClient::ShoreWesternClient(net::RpcClient* rpc,
+                                       std::string controller_endpoint)
+    : rpc_(rpc), controller_(std::move(controller_endpoint)) {}
+
+util::Result<std::string> ShoreWesternClient::SendLine(
+    const std::string& line, std::int64_t timeout_micros) {
+  NEES_ASSIGN_OR_RETURN(
+      net::Bytes reply,
+      rpc_->Call(controller_, "sw.line",
+                 net::Bytes(line.begin(), line.end()), timeout_micros));
+  return std::string(reply.begin(), reply.end());
+}
+
+util::Result<std::pair<double, double>> ShoreWesternClient::Move(
+    double target_m) {
+  NEES_ASSIGN_OR_RETURN(std::string reply,
+                        SendLine(util::Format("MOVE %.12g", target_m)));
+  const auto parts = util::Split(reply, ' ');
+  if (parts.size() == 3 && parts[0] == "DONE") {
+    double position = 0.0, force = 0.0;
+    if (util::ParseDouble(parts[1], &position) &&
+        util::ParseDouble(parts[2], &force)) {
+      return std::make_pair(position, force);
+    }
+  }
+  if (!parts.empty() && parts[0] == "ERR" && parts.size() > 1 &&
+      parts[1] == "SafetyInterlock") {
+    return util::SafetyInterlock("controller: " + reply);
+  }
+  return util::Internal("controller protocol error: " + reply);
+}
+
+util::Result<Measurement> ShoreWesternClient::Read() {
+  NEES_ASSIGN_OR_RETURN(std::string reply, SendLine("READ"));
+  const auto parts = util::Split(reply, ' ');
+  if (parts.size() == 4 && parts[0] == "DATA") {
+    Measurement measurement;
+    if (util::ParseDouble(parts[1], &measurement.displacement_m) &&
+        util::ParseDouble(parts[2], &measurement.force_n) &&
+        util::ParseDouble(parts[3], &measurement.strain)) {
+      return measurement;
+    }
+  }
+  return util::Internal("controller protocol error: " + reply);
+}
+
+util::Status ShoreWesternClient::SetLimits(double max_disp_m,
+                                           double max_force_n) {
+  NEES_ASSIGN_OR_RETURN(
+      std::string reply,
+      SendLine(util::Format("LIMIT %.9g %.9g", max_disp_m, max_force_n)));
+  return reply == "OK" ? util::OkStatus()
+                       : util::Internal("LIMIT failed: " + reply);
+}
+
+util::Status ShoreWesternClient::EStop() {
+  NEES_ASSIGN_OR_RETURN(std::string reply, SendLine("ESTOP"));
+  return reply == "OK" ? util::OkStatus() : util::Internal(reply);
+}
+
+util::Status ShoreWesternClient::Reset() {
+  NEES_ASSIGN_OR_RETURN(std::string reply, SendLine("RESET"));
+  return reply == "OK" ? util::OkStatus() : util::Internal(reply);
+}
+
+}  // namespace nees::testbed

@@ -1,0 +1,65 @@
+// Shore-Western control system emulator. At UIUC (Fig. 9) the NTCP plugin
+// spoke "a simple TCP/IP protocol" to the vendor controller that drove the
+// servo-hydraulics. We reproduce that hop: the emulator is a line-protocol
+// server on the simulated network, and the ShoreWesternPlugin (plugins
+// module) is its only intended client.
+//
+// Protocol (one text line per request, one per reply):
+//   HELLO                      -> "OK ShoreWestern SC6000 sim"
+//   MOVE <pos_m>               -> "DONE <pos> <force>" | "ERR <reason>"
+//   READ                       -> "DATA <pos> <force> <strain>"
+//   LIMIT <max_disp> <max_force> -> "OK"
+//   ESTOP                      -> "OK"
+//   RESET                      -> "OK"
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "net/rpc.h"
+#include "testbed/specimen.h"
+
+namespace nees::testbed {
+
+class ShoreWesternEmulator {
+ public:
+  ShoreWesternEmulator(net::Network* network, std::string endpoint,
+                       std::unique_ptr<PhysicalSpecimen> specimen);
+
+  util::Status Start();
+  void Stop();
+
+  const std::string& endpoint() const { return server_.endpoint(); }
+  PhysicalSpecimen& specimen() { return *specimen_; }
+
+  /// Processes one protocol line (exposed for protocol-level tests).
+  std::string HandleLine(const std::string& line);
+
+ private:
+  net::RpcServer server_;
+  std::mutex mu_;
+  std::unique_ptr<PhysicalSpecimen> specimen_;
+};
+
+/// Thin client for the line protocol, used by the UIUC plugin.
+class ShoreWesternClient {
+ public:
+  ShoreWesternClient(net::RpcClient* rpc, std::string controller_endpoint);
+
+  util::Result<std::string> SendLine(const std::string& line,
+                                     std::int64_t timeout_micros = 2'000'000);
+
+  /// MOVE + parse: returns (position, force).
+  util::Result<std::pair<double, double>> Move(double target_m);
+  util::Result<Measurement> Read();
+  util::Status SetLimits(double max_disp_m, double max_force_n);
+  util::Status EStop();
+  util::Status Reset();
+
+ private:
+  net::RpcClient* rpc_;
+  std::string controller_;
+};
+
+}  // namespace nees::testbed

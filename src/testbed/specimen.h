@@ -1,0 +1,89 @@
+// An instrumented physical specimen under test: motion system + structural
+// model + sensors + safety interlocks. This is the substitution for the
+// UIUC/CU rigs (DESIGN.md): the NTCP plugin commands a displacement, the
+// rig settles, and the *measured* (noisy) displacement and restoring force
+// go back to the coordinator.
+//
+// Safety (paper §4): travel and force limits trip a latched interlock;
+// while tripped every command fails with kSafetyInterlock until a human
+// (test code) resets the rig — modeling "engineers nearby ... prepared to
+// turn it off".
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "structural/substructure.h"
+#include "testbed/motion.h"
+#include "testbed/sensors.h"
+#include "util/result.h"
+
+namespace nees::testbed {
+
+struct SafetyLimits {
+  double max_displacement_m = 0.2;
+  double max_force_n = 4e5;
+};
+
+struct Measurement {
+  double displacement_m = 0.0;  // measured (LVDT)
+  double force_n = 0.0;         // measured (load cell)
+  double strain = 0.0;          // measured (strain gauge)
+  double motion_seconds = 0.0;  // simulated time of the most recent move
+};
+
+class PhysicalSpecimen {
+ public:
+  struct Config {
+    std::string name = "specimen";
+    SafetyLimits limits;
+    /// Max simulated motion time per command (PSD steps are quasi-static).
+    double move_budget_s = 5.0;
+    /// Gauge factor: strain reported as force / (E * A) with this scale.
+    double strain_per_newton = 1e-9;
+    std::uint64_t sensor_seed = 1;
+  };
+
+  PhysicalSpecimen(Config config, std::unique_ptr<MotionSystem> motion,
+                   std::unique_ptr<structural::SubstructureModel> model);
+
+  /// Commands the rig to the target displacement and returns measurements.
+  /// Fails (without moving) if the target violates the travel limit; trips
+  /// the interlock if the resulting force exceeds the force limit.
+  util::Result<Measurement> ApplyDisplacement(double target_m);
+
+  /// Reads sensors at the current position without commanding motion.
+  util::Result<Measurement> ReadSensors();
+
+  /// Emergency stop: latches the interlock immediately.
+  void EStop();
+  bool interlock_tripped() const { return interlock_tripped_; }
+  /// Clears the interlock and rehomes the rig (specimen state preserved:
+  /// you cannot "undo" yielding — paper §2.1).
+  void ResetInterlock();
+
+  const std::string& name() const { return config_.name; }
+  MotionSystem& motion() { return *motion_; }
+  structural::SubstructureModel& model() { return *model_; }
+
+ private:
+  Config config_;
+  std::unique_ptr<MotionSystem> motion_;
+  std::unique_ptr<structural::SubstructureModel> model_;
+  Sensor lvdt_;
+  Sensor load_cell_;
+  Sensor strain_gauge_;
+  bool interlock_tripped_ = false;
+  double last_true_force_ = 0.0;
+  double last_move_seconds_ = 0.0;
+};
+
+/// Convenience builders for the three MOST-style rigs.
+std::unique_ptr<PhysicalSpecimen> MakeUiucColumnRig(double stiffness_n_per_m,
+                                                    std::uint64_t seed);
+std::unique_ptr<PhysicalSpecimen> MakeCuColumnRig(double stiffness_n_per_m,
+                                                  std::uint64_t seed);
+std::unique_ptr<PhysicalSpecimen> MakeMiniMostRig(double stiffness_n_per_m,
+                                                  std::uint64_t seed);
+
+}  // namespace nees::testbed

@@ -1,0 +1,34 @@
+#include "testbed/xpc.h"
+
+#include <cmath>
+
+namespace nees::testbed {
+
+XpcTarget::XpcTarget(Params params,
+                     std::unique_ptr<PhysicalSpecimen> specimen)
+    : params_(params), specimen_(std::move(specimen)) {}
+
+util::Result<Measurement> XpcTarget::Execute(double target_m) {
+  const double period = 1.0 / params_.tick_rate_hz;
+  if (params_.tick_cost_s > period) {
+    // Every tick would overrun: count them, the loop still "runs" degraded.
+    missed_deadlines_ += 1;
+  }
+
+  // The motion itself is simulated by the specimen's motion system; here we
+  // account for it in whole control ticks.
+  auto measurement = specimen_->ApplyDisplacement(target_m);
+  if (!measurement.ok()) return measurement.status();
+
+  const auto ticks = static_cast<std::int64_t>(
+      std::ceil(measurement->motion_seconds / period));
+  const std::int64_t used = std::min(
+      std::max<std::int64_t>(ticks, 1), params_.max_ticks_per_command);
+  total_ticks_ += used;
+  if (ticks > params_.max_ticks_per_command) {
+    return util::TimeoutError("xPC command exceeded tick budget");
+  }
+  return measurement;
+}
+
+}  // namespace nees::testbed

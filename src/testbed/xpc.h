@@ -1,0 +1,43 @@
+// Emulation of MATLAB xPC: a dedicated target machine running a real-time
+// OS that executes the control law at a fixed tick rate (the CU path in
+// Fig. 9: Matlab -> xPC target -> servo-hydraulics). The emulation runs the
+// inner servo loop in fixed ticks and tracks deadline statistics, which the
+// near-real-time work (§5) measures.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "testbed/specimen.h"
+
+namespace nees::testbed {
+
+class XpcTarget {
+ public:
+  struct Params {
+    double tick_rate_hz = 1000.0;  // control loop rate
+    /// Simulated compute cost per tick; a tick "misses" its deadline when
+    /// cost exceeds the period (used by the deadline statistics).
+    double tick_cost_s = 0.0002;
+    /// Max ticks per command before declaring a timeout.
+    std::int64_t max_ticks_per_command = 10'000;
+  };
+
+  XpcTarget(Params params, std::unique_ptr<PhysicalSpecimen> specimen);
+
+  /// Runs the target displacement through the real-time loop; returns the
+  /// rig measurement. Each command consumes whole ticks.
+  util::Result<Measurement> Execute(double target_m);
+
+  std::int64_t total_ticks() const { return total_ticks_; }
+  std::int64_t missed_deadlines() const { return missed_deadlines_; }
+  PhysicalSpecimen& specimen() { return *specimen_; }
+
+ private:
+  Params params_;
+  std::unique_ptr<PhysicalSpecimen> specimen_;
+  std::int64_t total_ticks_ = 0;
+  std::int64_t missed_deadlines_ = 0;
+};
+
+}  // namespace nees::testbed

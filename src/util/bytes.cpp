@@ -1,0 +1,137 @@
+#include "util/bytes.h"
+
+namespace nees::util {
+
+void ByteWriter::WriteU8(std::uint8_t value) { data_.push_back(value); }
+
+void ByteWriter::WriteU16(std::uint16_t value) {
+  data_.push_back(static_cast<std::uint8_t>(value));
+  data_.push_back(static_cast<std::uint8_t>(value >> 8));
+}
+
+void ByteWriter::WriteU32(std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    data_.push_back(static_cast<std::uint8_t>(value >> shift));
+  }
+}
+
+void ByteWriter::WriteU64(std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    data_.push_back(static_cast<std::uint8_t>(value >> shift));
+  }
+}
+
+void ByteWriter::WriteI64(std::int64_t value) {
+  WriteU64(static_cast<std::uint64_t>(value));
+}
+
+void ByteWriter::WriteDouble(double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  WriteU64(bits);
+}
+
+void ByteWriter::WriteBool(bool value) { WriteU8(value ? 1 : 0); }
+
+void ByteWriter::WriteString(std::string_view value) {
+  WriteU32(static_cast<std::uint32_t>(value.size()));
+  data_.insert(data_.end(), value.begin(), value.end());
+}
+
+void ByteWriter::WriteBytes(const std::vector<std::uint8_t>& value) {
+  WriteU32(static_cast<std::uint32_t>(value.size()));
+  data_.insert(data_.end(), value.begin(), value.end());
+}
+
+void ByteWriter::WriteDoubleVector(const std::vector<double>& values) {
+  WriteU32(static_cast<std::uint32_t>(values.size()));
+  for (double value : values) WriteDouble(value);
+}
+
+Status ByteReader::Need(std::size_t bytes) const {
+  if (size_ - offset_ < bytes) {
+    return DataLoss("byte reader underrun: need " + std::to_string(bytes) +
+                    " bytes, have " + std::to_string(size_ - offset_));
+  }
+  return OkStatus();
+}
+
+Result<std::uint8_t> ByteReader::ReadU8() {
+  NEES_RETURN_IF_ERROR(Need(1));
+  return data_[offset_++];
+}
+
+Result<std::uint16_t> ByteReader::ReadU16() {
+  NEES_RETURN_IF_ERROR(Need(2));
+  std::uint16_t value = static_cast<std::uint16_t>(data_[offset_]) |
+                        static_cast<std::uint16_t>(data_[offset_ + 1]) << 8;
+  offset_ += 2;
+  return value;
+}
+
+Result<std::uint32_t> ByteReader::ReadU32() {
+  NEES_RETURN_IF_ERROR(Need(4));
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(data_[offset_ + i]) << (8 * i);
+  }
+  offset_ += 4;
+  return value;
+}
+
+Result<std::uint64_t> ByteReader::ReadU64() {
+  NEES_RETURN_IF_ERROR(Need(8));
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(data_[offset_ + i]) << (8 * i);
+  }
+  offset_ += 8;
+  return value;
+}
+
+Result<std::int64_t> ByteReader::ReadI64() {
+  NEES_ASSIGN_OR_RETURN(std::uint64_t bits, ReadU64());
+  return static_cast<std::int64_t>(bits);
+}
+
+Result<double> ByteReader::ReadDouble() {
+  NEES_ASSIGN_OR_RETURN(std::uint64_t bits, ReadU64());
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+Result<bool> ByteReader::ReadBool() {
+  NEES_ASSIGN_OR_RETURN(std::uint8_t byte, ReadU8());
+  return byte != 0;
+}
+
+Result<std::string> ByteReader::ReadString() {
+  NEES_ASSIGN_OR_RETURN(std::uint32_t length, ReadU32());
+  NEES_RETURN_IF_ERROR(Need(length));
+  std::string value(reinterpret_cast<const char*>(data_ + offset_), length);
+  offset_ += length;
+  return value;
+}
+
+Result<std::vector<std::uint8_t>> ByteReader::ReadBytes() {
+  NEES_ASSIGN_OR_RETURN(std::uint32_t length, ReadU32());
+  NEES_RETURN_IF_ERROR(Need(length));
+  std::vector<std::uint8_t> value(data_ + offset_, data_ + offset_ + length);
+  offset_ += length;
+  return value;
+}
+
+Result<std::vector<double>> ByteReader::ReadDoubleVector() {
+  NEES_ASSIGN_OR_RETURN(std::uint32_t count, ReadU32());
+  NEES_RETURN_IF_ERROR(Need(static_cast<std::size_t>(count) * 8));
+  std::vector<double> values;
+  values.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    NEES_ASSIGN_OR_RETURN(double value, ReadDouble());
+    values.push_back(value);
+  }
+  return values;
+}
+
+}  // namespace nees::util

@@ -1,0 +1,72 @@
+// Byte-buffer serialization used for all on-the-wire message encodings in
+// the simulated network: fixed-width little-endian integers, IEEE doubles,
+// length-prefixed strings and vectors. Readers are bounds-checked and
+// return Status rather than throwing, so malformed frames degrade into
+// protocol errors (which NTCP treats as transient faults).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace nees::util {
+
+/// Append-only encoder.
+class ByteWriter {
+ public:
+  void WriteU8(std::uint8_t value);
+  void WriteU16(std::uint16_t value);
+  void WriteU32(std::uint32_t value);
+  void WriteU64(std::uint64_t value);
+  void WriteI64(std::int64_t value);
+  void WriteDouble(double value);
+  void WriteBool(bool value);
+  /// Length-prefixed (u32) string.
+  void WriteString(std::string_view value);
+  /// Length-prefixed (u32) raw bytes.
+  void WriteBytes(const std::vector<std::uint8_t>& value);
+  /// Length-prefixed (u32) vector of doubles.
+  void WriteDoubleVector(const std::vector<double>& values);
+
+  const std::vector<std::uint8_t>& data() const { return data_; }
+  std::vector<std::uint8_t> Take() { return std::move(data_); }
+  std::size_t size() const { return data_.size(); }
+
+ private:
+  std::vector<std::uint8_t> data_;
+};
+
+/// Bounds-checked decoder over a borrowed buffer.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& data)
+      : data_(data.data()), size_(data.size()) {}
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  Result<std::uint8_t> ReadU8();
+  Result<std::uint16_t> ReadU16();
+  Result<std::uint32_t> ReadU32();
+  Result<std::uint64_t> ReadU64();
+  Result<std::int64_t> ReadI64();
+  Result<double> ReadDouble();
+  Result<bool> ReadBool();
+  Result<std::string> ReadString();
+  Result<std::vector<std::uint8_t>> ReadBytes();
+  Result<std::vector<double>> ReadDoubleVector();
+
+  std::size_t remaining() const { return size_ - offset_; }
+  bool AtEnd() const { return offset_ == size_; }
+
+ private:
+  Status Need(std::size_t bytes) const;
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace nees::util

@@ -1,0 +1,23 @@
+#include "util/clock.h"
+
+#include <thread>
+
+namespace nees::util {
+
+SystemClock& SystemClock::Instance() {
+  static SystemClock clock;
+  return clock;
+}
+
+std::int64_t SystemClock::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SystemClock::SleepMicros(std::int64_t micros) {
+  if (micros <= 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+}  // namespace nees::util

@@ -1,0 +1,80 @@
+// Time sources. The experiment stack is written against the Clock interface
+// so tests run against a manually-advanced SimClock (deterministic, fast)
+// while benches and examples run against the wall clock — the same split the
+// DESIGN.md ablation list calls "immediate vs scheduled delivery".
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace nees::util {
+
+/// Monotonic microsecond time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Microseconds since an arbitrary epoch; monotonic non-decreasing.
+  virtual std::int64_t NowMicros() const = 0;
+  /// Sleeps (really or virtually) for the given duration.
+  virtual void SleepMicros(std::int64_t micros) = 0;
+};
+
+/// Real wall/monotonic clock.
+class SystemClock final : public Clock {
+ public:
+  static SystemClock& Instance();
+  std::int64_t NowMicros() const override;
+  void SleepMicros(std::int64_t micros) override;
+};
+
+/// Manually advanced virtual clock. SleepMicros advances time immediately;
+/// there is no real waiting, which keeps fault-schedule tests instantaneous.
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(std::int64_t start_micros = 0) : now_(start_micros) {}
+
+  std::int64_t NowMicros() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return now_;
+  }
+
+  void SleepMicros(std::int64_t micros) override { Advance(micros); }
+
+  void Advance(std::int64_t micros) {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_ += micros;
+  }
+
+  void SetMicros(std::int64_t micros) {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_ = micros;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::int64_t now_;
+};
+
+/// Wall-clock stopwatch for benches and run reports.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  std::int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace nees::util

@@ -1,0 +1,95 @@
+#include "util/logging.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace nees::util {
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+Logger& Logger::Instance() {
+  static Logger* logger = new Logger();  // leaked singleton, never destroyed
+  return *logger;
+}
+
+void Logger::SetMinLevel(LogLevel level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  min_level_ = level;
+}
+
+LogLevel Logger::min_level() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_level_;
+}
+
+int Logger::AddSink(Sink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int id = next_sink_id_++;
+  sinks_.emplace_back(id, std::move(sink));
+  return id;
+}
+
+void Logger::RemoveSink(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase_if(sinks_, [id](const auto& entry) { return entry.first == id; });
+}
+
+void Logger::EnableStderr(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stderr_enabled_ = enabled;
+}
+
+void Logger::Log(LogLevel level, std::string component, std::string message) {
+  LogRecord record;
+  record.level = level;
+  record.component = std::move(component);
+  record.message = std::move(message);
+  record.wall_micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::system_clock::now().time_since_epoch())
+                           .count();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (level < min_level_) return;
+  if (stderr_enabled_) {
+    std::fprintf(stderr, "[%s] %s: %s\n",
+                 std::string(LogLevelName(level)).c_str(),
+                 record.component.c_str(), record.message.c_str());
+  }
+  for (const auto& [id, sink] : sinks_) {
+    (void)id;
+    sink(record);
+  }
+}
+
+LogCapture::LogCapture() {
+  sink_id_ = Logger::Instance().AddSink([this](const LogRecord& record) {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.push_back(record);
+  });
+}
+
+LogCapture::~LogCapture() { Logger::Instance().RemoveSink(sink_id_); }
+
+std::vector<LogRecord> LogCapture::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+int LogCapture::CountContaining(std::string_view needle) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int count = 0;
+  for (const auto& record : records_) {
+    if (record.message.find(needle) != std::string::npos) ++count;
+  }
+  return count;
+}
+
+}  // namespace nees::util

@@ -1,0 +1,106 @@
+// Minimal structured logger. Every NEESgrid service logs through this so
+// tests can capture and assert on operational events (e.g. "transaction
+// retried after timeout"), mirroring how the MOST operators watched logs.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace nees::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+std::string_view LogLevelName(LogLevel level);
+
+struct LogRecord {
+  LogLevel level;
+  std::string component;  // e.g. "ntcp.server.UIUC"
+  std::string message;
+  std::int64_t wall_micros;  // wall-clock microseconds since epoch
+};
+
+/// Process-wide logger with pluggable sinks. Thread safe.
+class Logger {
+ public:
+  using Sink = std::function<void(const LogRecord&)>;
+
+  static Logger& Instance();
+
+  void SetMinLevel(LogLevel level);
+  LogLevel min_level() const;
+
+  /// Adds a sink; returns an id usable with RemoveSink.
+  int AddSink(Sink sink);
+  void RemoveSink(int id);
+
+  /// If enabled, records are printed to stderr. Off by default in tests.
+  void EnableStderr(bool enabled);
+
+  void Log(LogLevel level, std::string component, std::string message);
+
+ private:
+  Logger() = default;
+
+  mutable std::mutex mu_;
+  LogLevel min_level_ = LogLevel::kInfo;
+  bool stderr_enabled_ = false;
+  int next_sink_id_ = 1;
+  std::vector<std::pair<int, Sink>> sinks_;
+};
+
+/// Captures log records in memory for the lifetime of the object (tests).
+class LogCapture {
+ public:
+  LogCapture();
+  ~LogCapture();
+
+  LogCapture(const LogCapture&) = delete;
+  LogCapture& operator=(const LogCapture&) = delete;
+
+  std::vector<LogRecord> records() const;
+  /// Number of captured records whose message contains `needle`.
+  int CountContaining(std::string_view needle) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<LogRecord> records_;
+  int sink_id_;
+};
+
+namespace internal {
+/// Stream-style log statement builder: LogStream(...) << "x=" << x;
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream() {
+    Logger::Instance().Log(level_, std::move(component_), stream_.str());
+  }
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace nees::util
+
+#define NEES_LOG(level, component) \
+  ::nees::util::internal::LogStream(level, component)
+#define NEES_LOG_DEBUG(component) \
+  NEES_LOG(::nees::util::LogLevel::kDebug, component)
+#define NEES_LOG_INFO(component) \
+  NEES_LOG(::nees::util::LogLevel::kInfo, component)
+#define NEES_LOG_WARN(component) \
+  NEES_LOG(::nees::util::LogLevel::kWarn, component)
+#define NEES_LOG_ERROR(component) \
+  NEES_LOG(::nees::util::LogLevel::kError, component)

@@ -1,0 +1,70 @@
+// A background task that invokes a callback at a fixed real-time interval —
+// the housekeeping loop real deployments run for soft-state sweeps
+// (expiring grid services, stale registry entries, NTCP proposal timeouts).
+// RAII: the thread stops and joins on destruction.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace nees::util {
+
+class PeriodicTask {
+ public:
+  /// Starts immediately; `work` runs on the background thread every
+  /// `interval`; the first run happens after one interval.
+  PeriodicTask(std::chrono::microseconds interval, std::function<void()> work)
+      : interval_(interval), work_(std::move(work)) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  ~PeriodicTask() { Stop(); }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  /// Stops and joins; idempotent.
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      stopping_ = true;
+      cv_.notify_all();
+    }
+    if (thread_.joinable()) thread_.join();
+  }
+
+  /// Runs the work immediately on the caller's thread (testing/manual).
+  void TriggerNow() { work_(); }
+
+  std::uint64_t runs() const { return runs_.load(); }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (cv_.wait_for(lock, interval_, [this] { return stopping_; })) {
+        return;
+      }
+      lock.unlock();
+      work_();
+      ++runs_;
+      lock.lock();
+    }
+  }
+
+  const std::chrono::microseconds interval_;
+  const std::function<void()> work_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::atomic<std::uint64_t> runs_{0};
+  std::thread thread_;
+};
+
+}  // namespace nees::util

@@ -1,0 +1,37 @@
+#include "util/result.h"
+
+namespace nees::util {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "Ok";
+    case ErrorCode::kInvalidArgument: return "InvalidArgument";
+    case ErrorCode::kNotFound: return "NotFound";
+    case ErrorCode::kAlreadyExists: return "AlreadyExists";
+    case ErrorCode::kPermissionDenied: return "PermissionDenied";
+    case ErrorCode::kFailedPrecondition: return "FailedPrecondition";
+    case ErrorCode::kTimeout: return "Timeout";
+    case ErrorCode::kUnavailable: return "Unavailable";
+    case ErrorCode::kAborted: return "Aborted";
+    case ErrorCode::kOutOfRange: return "OutOfRange";
+    case ErrorCode::kUnimplemented: return "Unimplemented";
+    case ErrorCode::kInternal: return "Internal";
+    case ErrorCode::kDataLoss: return "DataLoss";
+    case ErrorCode::kUnauthenticated: return "Unauthenticated";
+    case ErrorCode::kPolicyViolation: return "PolicyViolation";
+    case ErrorCode::kSafetyInterlock: return "SafetyInterlock";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "Ok";
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace nees::util

@@ -1,0 +1,53 @@
+// From-scratch SHA-256 (FIPS 180-4). Used by the security module for toy
+// certificate signatures and by the GridFTP-like transport for transfer
+// integrity checksums. Not intended as a hardened crypto implementation —
+// the paper's GSI stack is simulated (see DESIGN.md substitutions).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nees::util {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256();
+
+  void Update(const void* data, std::size_t length);
+  void Update(std::string_view text) { Update(text.data(), text.size()); }
+  void Update(const std::vector<std::uint8_t>& bytes) {
+    Update(bytes.data(), bytes.size());
+  }
+
+  /// Finalizes and returns the digest. The hasher must not be reused after.
+  Sha256Digest Finish();
+
+  /// One-shot helpers.
+  static Sha256Digest Hash(std::string_view text);
+  static Sha256Digest Hash(const std::vector<std::uint8_t>& bytes);
+  static std::string HexHash(std::string_view text);
+
+ private:
+  void ProcessBlock(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_size_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finished_ = false;
+};
+
+/// Lowercase hex encoding of arbitrary bytes.
+std::string ToHex(const std::uint8_t* data, std::size_t length);
+std::string ToHex(const Sha256Digest& digest);
+
+/// HMAC-SHA256; `key` may be any length.
+Sha256Digest HmacSha256(std::string_view key, std::string_view message);
+
+}  // namespace nees::util

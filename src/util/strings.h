@@ -1,0 +1,33 @@
+// Small string utilities shared by the line-protocol emulators
+// (Shore-Western controller), CSV exports from benches, and metadata keys.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nees::util {
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view text);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Lowercases ASCII.
+std::string ToLower(std::string_view text);
+
+/// printf-style formatting into std::string.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Parses a double; returns false on any trailing junk.
+bool ParseDouble(std::string_view text, double* out);
+bool ParseInt(std::string_view text, long long* out);
+
+}  // namespace nees::util

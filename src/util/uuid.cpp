@@ -1,0 +1,37 @@
+#include "util/uuid.h"
+
+#include <atomic>
+
+#include "util/sha256.h"
+
+namespace nees::util {
+
+std::string NewUuid() {
+  static std::atomic<std::uint64_t> counter{1};
+  static const std::uint64_t process_seed = [] {
+    Rng seed_rng(0xC0FFEEULL ^
+                 static_cast<std::uint64_t>(
+                     reinterpret_cast<std::uintptr_t>(&counter)));
+    return seed_rng.NextU64();
+  }();
+  const std::uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+  std::uint8_t raw[16];
+  for (int i = 0; i < 8; ++i) {
+    raw[i] = static_cast<std::uint8_t>(process_seed >> (8 * i));
+    raw[8 + i] = static_cast<std::uint8_t>(n >> (8 * i));
+  }
+  return ToHex(raw, sizeof(raw));
+}
+
+std::string NewUuidFrom(Rng& rng) {
+  std::uint8_t raw[16];
+  const std::uint64_t a = rng.NextU64();
+  const std::uint64_t b = rng.NextU64();
+  for (int i = 0; i < 8; ++i) {
+    raw[i] = static_cast<std::uint8_t>(a >> (8 * i));
+    raw[8 + i] = static_cast<std::uint8_t>(b >> (8 * i));
+  }
+  return ToHex(raw, sizeof(raw));
+}
+
+}  // namespace nees::util

@@ -1,0 +1,19 @@
+// Deterministic unique identifiers. Grid services use these for service
+// handles; NTCP uses them for transaction names when the client does not
+// supply one. A process-wide atomic counter combined with a per-process
+// seed keeps ids unique without global locking.
+#pragma once
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace nees::util {
+
+/// Returns a 32-hex-char unique id, e.g. "3f2a...". Thread safe.
+std::string NewUuid();
+
+/// Deterministic variant for tests: ids derived from the given generator.
+std::string NewUuidFrom(Rng& rng);
+
+}  // namespace nees::util

@@ -1,0 +1,266 @@
+// Tests for the UC Davis centrifuge substrate (§5): soil profile physics,
+// robot-arm kinematics and tooling rules, bender-element velocity
+// measurement, ground improvement, and end-to-end teleoperation of the
+// whole rig through a standard NTCP server.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "centrifuge/plugin.h"
+#include "centrifuge/robot.h"
+#include "net/network.h"
+#include "ntcp/client.h"
+#include "ntcp/server.h"
+
+namespace nees::centrifuge {
+namespace {
+
+using util::ErrorCode;
+
+// --- soil model ----------------------------------------------------------------
+
+TEST(SoilModelTest, DefaultProfileLayersStiffenWithDepth) {
+  SoilModel soil = SoilModel::DefaultProfile(0.3);
+  ASSERT_EQ(soil.layer_count(), 3u);
+  EXPECT_LT(soil.layer(0).shear_wave_velocity,
+            soil.layer(1).shear_wave_velocity);
+  EXPECT_LT(soil.layer(1).shear_wave_velocity,
+            soil.layer(2).shear_wave_velocity);
+  EXPECT_NE(soil.LayerAt(-0.05), nullptr);
+  EXPECT_NE(soil.LayerAt(-0.29), nullptr);
+  EXPECT_EQ(soil.LayerAt(-0.5), nullptr);
+  EXPECT_EQ(soil.LayerAt(0.1), nullptr);
+}
+
+TEST(SoilModelTest, TravelTimeMatchesUniformVelocityInOneLayer) {
+  SoilModel soil({{0.0, -0.3, 200.0, 1e6, 1600.0}});
+  // 0.2 m apart horizontally at the same depth, v = 200 m/s -> 1 ms.
+  auto time = soil.TravelTimeSeconds({0.1, 0.1, -0.1}, {0.3, 0.1, -0.1});
+  ASSERT_TRUE(time.ok());
+  EXPECT_NEAR(*time, 0.2 / 200.0, 1e-9);
+}
+
+TEST(SoilModelTest, TravelTimeCrossingLayersIsBetweenExtremes) {
+  SoilModel soil = SoilModel::DefaultProfile(0.3);
+  auto time = soil.TravelTimeSeconds({0.1, 0.1, -0.02}, {0.1, 0.1, -0.28});
+  ASSERT_TRUE(time.ok());
+  const double length = 0.26;
+  EXPECT_GT(*time, length / 260.0);  // slower than the fastest layer
+  EXPECT_LT(*time, length / 120.0);  // faster than the slowest layer
+}
+
+TEST(SoilModelTest, DensifyRaisesVelocityInAffectedLayers) {
+  SoilModel soil = SoilModel::DefaultProfile(0.3);
+  const double before = soil.layer(0).shear_wave_velocity;
+  soil.Densify(-0.05, 0.0, 1.2);  // only the top layer intersects
+  EXPECT_NEAR(soil.layer(0).shear_wave_velocity, before * 1.2, 1e-9);
+  EXPECT_NEAR(soil.layer(2).shear_wave_velocity, 260.0, 1e-9);
+}
+
+TEST(SoilModelTest, DegenerateRaysRejected) {
+  SoilModel soil = SoilModel::DefaultProfile(0.3);
+  EXPECT_FALSE(
+      soil.TravelTimeSeconds({0.1, 0.1, -0.1}, {0.1, 0.1, -0.1}).ok());
+  EXPECT_FALSE(
+      soil.TravelTimeSeconds({0.1, 0.1, 0.5}, {0.1, 0.1, -0.1}).ok());
+}
+
+// --- robot arm -----------------------------------------------------------------
+
+class RobotArmTest : public ::testing::Test {
+ protected:
+  RobotArmTest()
+      : soil_(SoilModel::DefaultProfile(0.3)),
+        arm_(RobotArm::Params{}, &soil_, 7) {}
+
+  SoilModel soil_;
+  RobotArm arm_;
+};
+
+TEST_F(RobotArmTest, MovesWithinWorkspaceAndAccountsTime) {
+  auto position = arm_.MoveTo({0.3, 0.2, 0.02});
+  ASSERT_TRUE(position.ok());
+  EXPECT_EQ(position->x, 0.3);
+  EXPECT_GT(arm_.elapsed_seconds(), 0.0);
+  EXPECT_EQ(arm_.MoveTo({2.0, 0.2, 0.02}).status().code(),
+            ErrorCode::kOutOfRange);
+  EXPECT_EQ(arm_.MoveTo({0.3, 0.2, -0.5}).status().code(),
+            ErrorCode::kOutOfRange);
+}
+
+TEST_F(RobotArmTest, NonProbingToolCannotEnterSoil) {
+  ASSERT_TRUE(arm_.ExchangeTool(Tool::kStereoCamera).ok());
+  EXPECT_EQ(arm_.MoveTo({0.3, 0.2, -0.05}).status().code(),
+            ErrorCode::kFailedPrecondition);
+  ASSERT_TRUE(arm_.ExchangeTool(Tool::kNeedleProbe).ok());
+  EXPECT_TRUE(arm_.MoveTo({0.3, 0.2, -0.05}).ok());
+}
+
+TEST_F(RobotArmTest, ToolChangeRequiresRetractionAndTakesTime) {
+  ASSERT_TRUE(arm_.ExchangeTool(Tool::kNeedleProbe).ok());
+  ASSERT_TRUE(arm_.MoveTo({0.3, 0.2, -0.05}).ok());
+  EXPECT_EQ(arm_.ExchangeTool(Tool::kGripper).code(),
+            ErrorCode::kFailedPrecondition);
+  ASSERT_TRUE(arm_.MoveTo({0.3, 0.2, 0.02}).ok());
+  const double before = arm_.elapsed_seconds();
+  ASSERT_TRUE(arm_.ExchangeTool(Tool::kGripper).ok());
+  EXPECT_GE(arm_.elapsed_seconds() - before, 30.0);
+  EXPECT_EQ(arm_.current_tool(), Tool::kGripper);
+}
+
+TEST_F(RobotArmTest, PenetrometerReadsStifferWithDepth) {
+  ASSERT_TRUE(arm_.ExchangeTool(Tool::kConePenetrometer).ok());
+  auto profile = arm_.PenetrateTo(-0.28, 14);
+  ASSERT_TRUE(profile.ok());
+  ASSERT_EQ(profile->size(), 14u);
+  // Resistance near the surface is well below resistance at depth.
+  EXPECT_LT((*profile)[0].second * 2.0, profile->back().second);
+  // Wrong tool fails.
+  ASSERT_TRUE(arm_.ExchangeTool(Tool::kGripper).ok());
+  EXPECT_EQ(arm_.PenetrateTo(-0.1, 5).status().code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(RobotArmTest, NeedleProbeMeasuresLayerDensity) {
+  ASSERT_TRUE(arm_.ExchangeTool(Tool::kNeedleProbe).ok());
+  auto density = arm_.ProbeDensity(-0.25);
+  ASSERT_TRUE(density.ok());
+  EXPECT_NEAR(*density, 1800.0, 60.0);  // dense bottom layer +/- noise
+}
+
+TEST_F(RobotArmTest, PileInstallationImprovesTheGround) {
+  BenderElementArray benders(&soil_, 9);
+  benders.AddElement("s", {0.1, 0.1, -0.05});
+  benders.AddElement("r", {0.3, 0.1, -0.05});
+  auto before = benders.MeasureVelocity("s", "r");
+  ASSERT_TRUE(before.ok());
+
+  ASSERT_TRUE(arm_.ExchangeTool(Tool::kGripper).ok());
+  ASSERT_TRUE(arm_.MoveTo({0.2, 0.1, 0.0}).ok());
+  ASSERT_TRUE(arm_.InstallPile(-0.2).ok());
+  EXPECT_EQ(arm_.piles_installed(), 1);
+
+  auto after = benders.MeasureVelocity("s", "r");
+  ASSERT_TRUE(after.ok());
+  EXPECT_GT(*after, *before * 1.05);  // §5: "how the properties of soil
+                                      // change during ... ground improvement"
+}
+
+TEST_F(RobotArmTest, ImagingToolsProduceViewDependentImages) {
+  ASSERT_TRUE(arm_.ExchangeTool(Tool::kStereoCamera).ok());
+  auto image1 = arm_.CaptureImage();
+  ASSERT_TRUE(image1.ok());
+  ASSERT_TRUE(arm_.MoveTo({0.4, 0.3, 0.02}).ok());
+  auto image2 = arm_.CaptureImage();
+  ASSERT_TRUE(image2.ok());
+  EXPECT_NE(*image1, *image2);
+  ASSERT_TRUE(arm_.ExchangeTool(Tool::kGripper).ok());
+  EXPECT_EQ(arm_.CaptureImage().status().code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST(BenderElementTest, VelocityMatchesProfileWithinNoise) {
+  SoilModel soil({{0.0, -0.3, 200.0, 1e6, 1600.0}});
+  BenderElementArray benders(&soil, 5);
+  benders.AddElement("s", {0.1, 0.1, -0.1});
+  benders.AddElement("r", {0.4, 0.1, -0.1});
+  auto velocity = benders.MeasureVelocity("s", "r");
+  ASSERT_TRUE(velocity.ok());
+  EXPECT_NEAR(*velocity, 200.0, 15.0);
+  EXPECT_EQ(benders.MeasureVelocity("s", "ghost").status().code(),
+            ErrorCode::kNotFound);
+}
+
+// --- teleoperation through NTCP ---------------------------------------------------
+
+class CentrifugeNtcpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    soil_ = std::make_shared<SoilModel>(SoilModel::DefaultProfile(0.3));
+    arm_ = std::make_shared<RobotArm>(RobotArm::Params{}, soil_.get(), 7);
+    benders_ = std::make_shared<BenderElementArray>(soil_.get(), 9);
+    benders_->AddElement("be1", {0.1, 0.1, -0.05});
+    benders_->AddElement("be2", {0.3, 0.1, -0.05});
+    server_ = std::make_unique<ntcp::NtcpServer>(
+        &network_, "ntcp.ucdavis",
+        std::make_unique<RobotArmPlugin>(arm_, benders_));
+    ASSERT_TRUE(server_->Start().ok());
+    rpc_ = std::make_unique<net::RpcClient>(&network_, "davis.operator");
+    client_ = std::make_unique<ntcp::NtcpClient>(rpc_.get(), "ntcp.ucdavis");
+  }
+
+  util::Result<ntcp::TransactionResult> Run(
+      const std::string& id,
+      std::vector<ntcp::ControlPointRequest> actions) {
+    ntcp::Proposal proposal;
+    proposal.transaction_id = id;
+    proposal.actions = std::move(actions);
+    NEES_RETURN_IF_ERROR(client_->Propose(proposal));
+    return client_->Execute(id);
+  }
+
+  net::Network network_;
+  std::shared_ptr<SoilModel> soil_;
+  std::shared_ptr<RobotArm> arm_;
+  std::shared_ptr<BenderElementArray> benders_;
+  std::unique_ptr<ntcp::NtcpServer> server_;
+  std::unique_ptr<net::RpcClient> rpc_;
+  std::unique_ptr<ntcp::NtcpClient> client_;
+};
+
+TEST_F(CentrifugeNtcpTest, FullGroundImprovementCampaignOverNtcp) {
+  // 1. Baseline shear-wave velocity via the embedded bender elements.
+  auto baseline = Run("t1", {{"bender:be1:be2", {}, {}}});
+  ASSERT_TRUE(baseline.ok());
+  const double v_before = baseline->results[0].measured_force[0];
+
+  // 2. Mount the gripper, move over the target, install a pile.
+  ASSERT_TRUE(Run("t2", {{"tool:gripper", {}, {}}}).ok());
+  ASSERT_TRUE(Run("t3", {{"arm", {0.2, 0.1, 0.0}, {}}}).ok());
+  ASSERT_TRUE(Run("t4", {{"pile", {-0.2}, {}}}).ok());
+
+  // 3. Re-measure: the ground improved.
+  auto after = Run("t5", {{"bender:be1:be2", {}, {}}});
+  ASSERT_TRUE(after.ok());
+  EXPECT_GT(after->results[0].measured_force[0], v_before * 1.05);
+
+  // 4. Swap to the penetrometer and verify the profile from the same
+  //    coordinatorless NTCP client (one transaction, two actions).
+  auto cpt = Run("t6", {{"tool:cone-penetrometer", {}, {}},
+                        {"penetrate", {-0.25}, {}}});
+  ASSERT_TRUE(cpt.ok());
+  EXPECT_GT(cpt->results[1].measured_force[0], 1e6);
+}
+
+TEST_F(CentrifugeNtcpTest, NegotiationRejectsUnsafeActionsBeforeMotion) {
+  // Outside the workspace: rejected at PROPOSE time; the arm never moved.
+  ntcp::Proposal bad;
+  bad.transaction_id = "bad1";
+  bad.actions.push_back({"arm", {5.0, 0.1, 0.0}, {}});
+  // Validate only checks shape; the workspace check happens at execute —
+  // but an unknown control point or malformed action is caught at propose.
+  ntcp::Proposal malformed;
+  malformed.transaction_id = "bad2";
+  malformed.actions.push_back({"penetrate", {0.1}, {}});  // positive depth
+  EXPECT_EQ(client_->Propose(malformed).code(), ErrorCode::kPolicyViolation);
+
+  ntcp::Proposal unknown;
+  unknown.transaction_id = "bad3";
+  unknown.actions.push_back({"warp-drive", {1.0}, {}});
+  EXPECT_EQ(client_->Propose(unknown).code(), ErrorCode::kPolicyViolation);
+
+  EXPECT_DOUBLE_EQ(arm_->elapsed_seconds(), 0.0);
+}
+
+TEST_F(CentrifugeNtcpTest, ToolPrerequisiteFailuresAreCleanTransactions) {
+  // Penetrating without the cone mounted fails the transaction; the
+  // at-most-once machinery records it and a retry is refused.
+  auto result = Run("t1", {{"penetrate", {-0.2}, {}}});
+  EXPECT_EQ(result.status().code(), ErrorCode::kFailedPrecondition);
+  auto record = client_->GetTransaction("t1");
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->state, ntcp::TransactionState::kFailed);
+}
+
+}  // namespace
+}  // namespace nees::centrifuge

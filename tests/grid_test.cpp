@@ -1,0 +1,315 @@
+// Tests for the OGSI-like substrate: SDEs, inspection, soft-state
+// lifetimes, remote subscriptions, and the soft-state service registry.
+#include <gtest/gtest.h>
+
+#include "grid/container.h"
+#include "grid/registry.h"
+#include "grid/service.h"
+#include "net/network.h"
+#include "util/clock.h"
+
+namespace nees::grid {
+namespace {
+
+using util::ErrorCode;
+
+SdeValue MakeSde(std::initializer_list<std::pair<std::string, std::string>>
+                     fields) {
+  SdeValue value;
+  for (const auto& [key, field] : fields) value.Set(key, field);
+  return value;
+}
+
+// --- GridService / SDEs ------------------------------------------------------
+
+TEST(GridServiceTest, SetGetServiceData) {
+  GridService service("svc");
+  service.SetServiceData("txn.1", MakeSde({{"state", "proposed"}}));
+  auto value = service.GetServiceData("txn.1");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->Get("state"), "proposed");
+  EXPECT_EQ(value->Get("missing"), "");
+}
+
+TEST(GridServiceTest, RemoveServiceData) {
+  GridService service("svc");
+  service.SetServiceData("x", MakeSde({{"a", "1"}}));
+  service.RemoveServiceData("x");
+  EXPECT_FALSE(service.GetServiceData("x").has_value());
+}
+
+TEST(GridServiceTest, FindByPrefix) {
+  GridService service("svc");
+  service.SetServiceData("txn.1", MakeSde({{"state", "executing"}}));
+  service.SetServiceData("txn.2", MakeSde({{"state", "completed"}}));
+  service.SetServiceData("meta", MakeSde({{"version", "1"}}));
+  const auto matches = service.FindServiceData("txn.");
+  EXPECT_EQ(matches.size(), 2u);
+  EXPECT_EQ(service.FindServiceData("").size(), 3u);
+  EXPECT_EQ(service.ListServiceData().size(), 3u);
+}
+
+TEST(GridServiceTest, OverwriteUpdatesValue) {
+  GridService service("svc");
+  service.SetServiceData("txn.1", MakeSde({{"state", "proposed"}}));
+  service.SetServiceData("txn.1", MakeSde({{"state", "accepted"}}));
+  EXPECT_EQ(service.GetServiceData("txn.1")->Get("state"), "accepted");
+}
+
+TEST(GridServiceTest, LocalSubscriptionFiresOnMatchingPrefix) {
+  GridService service("svc");
+  std::vector<std::string> seen;
+  const int id = service.SubscribeSde(
+      "txn.", [&](const std::string& key, const SdeValue& value) {
+        seen.push_back(key + "=" + value.Get("state"));
+      });
+  service.SetServiceData("txn.1", MakeSde({{"state", "proposed"}}));
+  service.SetServiceData("other", MakeSde({{"state", "x"}}));  // no match
+  service.SetServiceData("txn.1", MakeSde({{"state", "accepted"}}));
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "txn.1=proposed");
+  EXPECT_EQ(seen[1], "txn.1=accepted");
+  service.UnsubscribeSde(id);
+  service.SetServiceData("txn.2", MakeSde({{"state", "proposed"}}));
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(GridServiceTest, SoftStateLifetime) {
+  util::SimClock clock(1000);
+  GridService service("svc");
+  EXPECT_FALSE(service.Expired(1'000'000'000));  // default: never
+  service.SetTerminationTimeMicros(5000);
+  EXPECT_FALSE(service.Expired(4999));
+  EXPECT_TRUE(service.Expired(5000));
+  service.ExtendLease(10'000, clock);  // now 1000 + 10000
+  EXPECT_FALSE(service.Expired(10'000));
+  EXPECT_TRUE(service.Expired(11'000));
+}
+
+TEST(SdeValueTest, EncodeDecodeRoundTrip) {
+  const SdeValue original =
+      MakeSde({{"state", "completed"}, {"result", "3.14"}, {"t", "1500"}});
+  util::ByteWriter writer;
+  EncodeSdeValue(original, writer);
+  util::ByteReader reader(writer.data());
+  auto decoded = DecodeSdeValue(reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, original);
+}
+
+// --- ServiceContainer --------------------------------------------------------
+
+class ContainerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_.SetClock(&clock_);
+    container_ =
+        std::make_unique<ServiceContainer>(&network_, "container", &clock_);
+    ASSERT_TRUE(container_->Start().ok());
+    client_ = std::make_unique<ContainerClient>(&network_, "client");
+  }
+
+  net::Network network_;
+  util::SimClock clock_;
+  std::unique_ptr<ServiceContainer> container_;
+  std::unique_ptr<ContainerClient> client_;
+};
+
+TEST_F(ContainerTest, AddListLookup) {
+  auto handle = container_->AddService(std::make_shared<GridService>("a"));
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(*handle, "container/a");
+  EXPECT_NE(container_->Lookup("a"), nullptr);
+  EXPECT_EQ(container_->Lookup("nope"), nullptr);
+
+  auto duplicate = container_->AddService(std::make_shared<GridService>("a"));
+  EXPECT_EQ(duplicate.status().code(), ErrorCode::kAlreadyExists);
+
+  auto names = client_->ListServices("container");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, std::vector<std::string>{"a"});
+}
+
+TEST_F(ContainerTest, RemoteFindServiceData) {
+  auto service = std::make_shared<GridService>("ntcp");
+  service->SetServiceData("txn.5", MakeSde({{"state", "executing"}}));
+  ASSERT_TRUE(container_->AddService(service).ok());
+
+  auto matches = client_->FindServiceData("container", "ntcp", "txn.");
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 1u);
+  EXPECT_EQ((*matches)[0].first, "txn.5");
+  EXPECT_EQ((*matches)[0].second.Get("state"), "executing");
+
+  auto missing = client_->FindServiceData("container", "ghost", "");
+  EXPECT_EQ(missing.status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(ContainerTest, RemoteDestroyCallsOnDestroy) {
+  class TrackedService : public GridService {
+   public:
+    TrackedService(bool* flag) : GridService("tracked"), flag_(flag) {}
+    void OnDestroy() override { *flag_ = true; }
+
+   private:
+    bool* flag_;
+  };
+  bool destroyed = false;
+  ASSERT_TRUE(
+      container_->AddService(std::make_shared<TrackedService>(&destroyed))
+          .ok());
+  ASSERT_TRUE(client_->DestroyService("container", "tracked").ok());
+  EXPECT_TRUE(destroyed);
+  EXPECT_EQ(container_->Lookup("tracked"), nullptr);
+}
+
+TEST_F(ContainerTest, SoftStateSweepDestroysExpired) {
+  auto service = std::make_shared<GridService>("ephemeral");
+  ASSERT_TRUE(container_->AddService(service).ok());
+  ASSERT_TRUE(
+      client_->SetTerminationTime("container", "ephemeral", 5000).ok());
+
+  clock_.SetMicros(4000);
+  EXPECT_EQ(container_->SweepExpired(), 0);
+  clock_.SetMicros(6000);
+  EXPECT_EQ(container_->SweepExpired(), 1);
+  EXPECT_EQ(container_->Lookup("ephemeral"), nullptr);
+}
+
+TEST_F(ContainerTest, LeaseRenewalKeepsServiceAlive) {
+  auto service = std::make_shared<GridService>("renewed");
+  ASSERT_TRUE(container_->AddService(service).ok());
+  service->SetTerminationTimeMicros(5000);
+
+  clock_.SetMicros(4000);
+  // Renew: push termination to 4000 + 10000.
+  ASSERT_TRUE(client_->SetTerminationTime("container", "renewed", 14'000).ok());
+  clock_.SetMicros(6000);
+  EXPECT_EQ(container_->SweepExpired(), 0);
+  clock_.SetMicros(15'000);
+  EXPECT_EQ(container_->SweepExpired(), 1);
+}
+
+TEST_F(ContainerTest, RemoteSubscriptionPushesChanges) {
+  auto service = std::make_shared<GridService>("ntcp");
+  ASSERT_TRUE(container_->AddService(service).ok());
+
+  std::vector<std::string> events;
+  ASSERT_TRUE(client_
+                  ->Subscribe("container", "ntcp", "txn.",
+                              [&](const std::string& svc,
+                                  const std::string& key,
+                                  const SdeValue& value) {
+                                events.push_back(svc + ":" + key + "=" +
+                                                 value.Get("state"));
+                              })
+                  .ok());
+  service->SetServiceData("txn.9", MakeSde({{"state", "proposed"}}));
+  service->SetServiceData("unrelated", MakeSde({{"state", "x"}}));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0], "ntcp:txn.9=proposed");
+}
+
+TEST_F(ContainerTest, SubscriptionNotificationsSurviveDrops) {
+  auto service = std::make_shared<GridService>("ntcp");
+  ASSERT_TRUE(container_->AddService(service).ok());
+  int count = 0;
+  ASSERT_TRUE(client_
+                  ->Subscribe("container", "ntcp", "",
+                              [&](const std::string&, const std::string&,
+                                  const SdeValue&) { ++count; })
+                  .ok());
+  // Drop one notification; the service keeps publishing (best effort).
+  network_.DropNext("container", "client.notify", 1);
+  service->SetServiceData("a", MakeSde({{"v", "1"}}));  // lost
+  service->SetServiceData("b", MakeSde({{"v", "2"}}));  // delivered
+  EXPECT_EQ(count, 1);
+}
+
+// --- Registry ----------------------------------------------------------------
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_.SetClock(&clock_);
+    container_ =
+        std::make_unique<ServiceContainer>(&network_, "index", &clock_);
+    ASSERT_TRUE(container_->Start().ok());
+    registry_ = std::make_shared<RegistryService>(&clock_);
+    ASSERT_TRUE(container_->AddService(registry_).ok());
+    registry_->BindRpc(*container_);
+    rpc_client_ = std::make_unique<net::RpcClient>(&network_, "rc");
+    client_ = std::make_unique<RegistryClient>(rpc_client_.get(), "index");
+  }
+
+  Registration MakeReg(const std::string& name, const std::string& type,
+                       const std::string& site) {
+    Registration registration;
+    registration.service_name = name;
+    registration.endpoint = name + ".endpoint";
+    registration.type = type;
+    registration.site = site;
+    return registration;
+  }
+
+  net::Network network_;
+  util::SimClock clock_;
+  std::unique_ptr<ServiceContainer> container_;
+  std::shared_ptr<RegistryService> registry_;
+  std::unique_ptr<net::RpcClient> rpc_client_;
+  std::unique_ptr<RegistryClient> client_;
+};
+
+TEST_F(RegistryTest, RegisterAndQueryByType) {
+  ASSERT_TRUE(client_->Register(MakeReg("ntcp.uiuc", "ntcp", "UIUC"), 0).ok());
+  ASSERT_TRUE(client_->Register(MakeReg("ntcp.cu", "ntcp", "CU"), 0).ok());
+  ASSERT_TRUE(client_->Register(MakeReg("repo.ncsa", "repository", "NCSA"), 0)
+                  .ok());
+
+  auto ntcp = client_->Query("ntcp");
+  ASSERT_TRUE(ntcp.ok());
+  EXPECT_EQ(ntcp->size(), 2u);
+
+  auto all = client_->Query("");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 3u);
+}
+
+TEST_F(RegistryTest, LeaseExpiryHidesEntry) {
+  ASSERT_TRUE(
+      client_->Register(MakeReg("ntcp.uiuc", "ntcp", "UIUC"), 10'000).ok());
+  EXPECT_EQ(client_->Query("ntcp")->size(), 1u);
+  clock_.Advance(20'000);
+  EXPECT_EQ(client_->Query("ntcp")->size(), 0u);
+  EXPECT_EQ(registry_->SweepExpired(), 1);
+}
+
+TEST_F(RegistryTest, ReRegistrationRenewsLease) {
+  ASSERT_TRUE(
+      client_->Register(MakeReg("ntcp.uiuc", "ntcp", "UIUC"), 10'000).ok());
+  clock_.Advance(8'000);
+  ASSERT_TRUE(
+      client_->Register(MakeReg("ntcp.uiuc", "ntcp", "UIUC"), 10'000).ok());
+  clock_.Advance(8'000);  // 16ms after first registration, 8 after renewal
+  EXPECT_EQ(client_->Query("ntcp")->size(), 1u);
+}
+
+TEST_F(RegistryTest, UnregisterRemoves) {
+  ASSERT_TRUE(client_->Register(MakeReg("x", "ntcp", "UIUC"), 0).ok());
+  ASSERT_TRUE(client_->Unregister("x").ok());
+  EXPECT_EQ(client_->Query("")->size(), 0u);
+  EXPECT_EQ(client_->Unregister("x").code(), ErrorCode::kNotFound);
+}
+
+TEST_F(RegistryTest, LookupEntryRespectsExpiry) {
+  ASSERT_TRUE(client_->Register(MakeReg("x", "ntcp", "UIUC"), 10'000).ok());
+  auto entry = registry_->LookupEntry("x");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->site, "UIUC");
+  EXPECT_EQ(entry->endpoint, "x.endpoint");
+  clock_.Advance(20'000);
+  EXPECT_FALSE(registry_->LookupEntry("x").has_value());
+}
+
+}  // namespace
+}  // namespace nees::grid

@@ -1,0 +1,463 @@
+// Tests for the simulated network and RPC layers: routing, fault injection,
+// latency accounting, partitions, and loss-as-timeout semantics.
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "net/rpc.h"
+#include "util/clock.h"
+
+namespace nees::net {
+namespace {
+
+using util::ErrorCode;
+
+Bytes AsBytes(const std::string& text) {
+  return Bytes(text.begin(), text.end());
+}
+
+Message MakeMessage(const std::string& from, const std::string& to,
+                    const std::string& method = "") {
+  Message message;
+  message.from = from;
+  message.to = to;
+  message.method = method;
+  return message;
+}
+std::string AsString(const Bytes& bytes) {
+  return std::string(bytes.begin(), bytes.end());
+}
+
+// --- raw network routing -----------------------------------------------------
+
+TEST(NetworkTest, DeliversToRegisteredEndpoint) {
+  Network network;
+  std::string received;
+  ASSERT_TRUE(network
+                  .RegisterEndpoint("sink",
+                                    [&](const Message& message) {
+                                      received = AsString(message.payload);
+                                    })
+                  .ok());
+  Message message;
+  message.from = "src";
+  message.to = "sink";
+  message.payload = AsBytes("hello");
+  ASSERT_TRUE(network.Send(message).ok());
+  EXPECT_EQ(received, "hello");
+}
+
+TEST(NetworkTest, UnknownDestinationIsNotFound) {
+  Network network;
+  Message message;
+  message.from = "src";
+  message.to = "ghost";
+  EXPECT_EQ(network.Send(message).code(), ErrorCode::kNotFound);
+}
+
+TEST(NetworkTest, DuplicateRegistrationRejected) {
+  Network network;
+  ASSERT_TRUE(network.RegisterEndpoint("a", [](const Message&) {}).ok());
+  EXPECT_EQ(network.RegisterEndpoint("a", [](const Message&) {}).code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST(NetworkTest, UnregisterRemovesEndpoint) {
+  Network network;
+  ASSERT_TRUE(network.RegisterEndpoint("a", [](const Message&) {}).ok());
+  network.UnregisterEndpoint("a");
+  EXPECT_FALSE(network.HasEndpoint("a"));
+}
+
+TEST(NetworkTest, HandlerMaySendNestedMessages) {
+  Network network;
+  int bounces = 0;
+  ASSERT_TRUE(network
+                  .RegisterEndpoint("ping",
+                                    [&](const Message& message) {
+                                      ++bounces;
+                                      if (bounces < 3) {
+                                        Message next = message;
+                                        next.from = "ping";
+                                        next.to = "ping";
+                                        (void)network.Send(next);
+                                      }
+                                    })
+                  .ok());
+  Message message;
+  message.from = "x";
+  message.to = "ping";
+  ASSERT_TRUE(network.Send(message).ok());
+  EXPECT_EQ(bounces, 3);
+}
+
+// --- fault injection ---------------------------------------------------------
+
+TEST(NetworkFaultTest, LinkDownDropsSilently) {
+  Network network;
+  int received = 0;
+  ASSERT_TRUE(
+      network.RegisterEndpoint("sink", [&](const Message&) { ++received; })
+          .ok());
+  network.SetLinkUp("src", "sink", false);
+  Message message;
+  message.from = "src";
+  message.to = "sink";
+  EXPECT_TRUE(network.Send(message).ok());  // accepted, silently lost
+  EXPECT_EQ(received, 0);
+  network.SetLinkUp("src", "sink", true);
+  EXPECT_TRUE(network.Send(message).ok());
+  EXPECT_EQ(received, 1);
+  const auto metrics = network.LinkMetricsFor("src", "sink");
+  EXPECT_EQ(metrics.sent, 2u);
+  EXPECT_EQ(metrics.delivered, 1u);
+  EXPECT_EQ(metrics.dropped_forced, 1u);
+}
+
+TEST(NetworkFaultTest, DropNextIsDeterministic) {
+  Network network;
+  int received = 0;
+  ASSERT_TRUE(
+      network.RegisterEndpoint("sink", [&](const Message&) { ++received; })
+          .ok());
+  network.DropNext("src", "sink", 2);
+  Message message;
+  message.from = "src";
+  message.to = "sink";
+  for (int i = 0; i < 5; ++i) (void)network.Send(message);
+  EXPECT_EQ(received, 3);
+}
+
+TEST(NetworkFaultTest, OutageWindowUsesClock) {
+  Network network;
+  util::SimClock clock(0);
+  network.SetClock(&clock);
+  int received = 0;
+  ASSERT_TRUE(
+      network.RegisterEndpoint("sink", [&](const Message&) { ++received; })
+          .ok());
+  network.AddOutage("src", "sink", {100, 200});
+  Message message;
+  message.from = "src";
+  message.to = "sink";
+
+  clock.SetMicros(50);
+  (void)network.Send(message);  // before outage
+  clock.SetMicros(150);
+  (void)network.Send(message);  // during outage: dropped
+  clock.SetMicros(250);
+  (void)network.Send(message);  // after outage
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(network.LinkMetricsFor("src", "sink").dropped_outage, 1u);
+}
+
+TEST(NetworkFaultTest, RandomDropRateApproximatesProbability) {
+  Network network(DeliveryMode::kImmediate, /*fault_seed=*/7);
+  std::atomic<int> received{0};
+  ASSERT_TRUE(
+      network.RegisterEndpoint("sink", [&](const Message&) { ++received; })
+          .ok());
+  LinkModel model;
+  model.drop_probability = 0.25;
+  network.SetLink("src", "sink", model);
+  Message message;
+  message.from = "src";
+  message.to = "sink";
+  const int kTrials = 4000;
+  for (int i = 0; i < kTrials; ++i) (void)network.Send(message);
+  const double delivered_rate = static_cast<double>(received) / kTrials;
+  EXPECT_NEAR(delivered_rate, 0.75, 0.03);
+}
+
+TEST(NetworkFaultTest, PartitionSeversBothDirectionsAndHeals) {
+  Network network;
+  int to_b = 0, to_a = 0;
+  ASSERT_TRUE(
+      network.RegisterEndpoint("a", [&](const Message&) { ++to_a; }).ok());
+  ASSERT_TRUE(
+      network.RegisterEndpoint("b", [&](const Message&) { ++to_b; }).ok());
+  network.Partition({"a"}, {"b"});
+
+  Message ab = MakeMessage("a", "b");
+  Message ba = MakeMessage("b", "a");
+  (void)network.Send(ab);
+  (void)network.Send(ba);
+  EXPECT_EQ(to_a + to_b, 0);
+
+  network.HealPartition();
+  (void)network.Send(ab);
+  (void)network.Send(ba);
+  EXPECT_EQ(to_a, 1);
+  EXPECT_EQ(to_b, 1);
+}
+
+TEST(NetworkFaultTest, PartitionLeavesThirdPartiesConnected) {
+  Network network;
+  int received = 0;
+  ASSERT_TRUE(
+      network.RegisterEndpoint("c", [&](const Message&) { ++received; }).ok());
+  ASSERT_TRUE(network.RegisterEndpoint("a", [](const Message&) {}).ok());
+  network.Partition({"a"}, {"b"});
+  Message message = MakeMessage("a", "c");
+  (void)network.Send(message);
+  EXPECT_EQ(received, 1);
+}
+
+TEST(NetworkFaultTest, WildcardLinkAppliesToAllDestinations) {
+  Network network;
+  int received = 0;
+  ASSERT_TRUE(
+      network.RegisterEndpoint("x", [&](const Message&) { ++received; }).ok());
+  ASSERT_TRUE(
+      network.RegisterEndpoint("y", [&](const Message&) { ++received; }).ok());
+  network.SetLinkUp("src", "*", false);
+  (void)network.Send(MakeMessage("src", "x"));
+  (void)network.Send(MakeMessage("src", "y"));
+  EXPECT_EQ(received, 0);
+}
+
+// --- transmission delay model --------------------------------------------------
+
+TEST(LinkModelTest, DelayIncludesBandwidthTerm) {
+  util::Rng rng(1);
+  LinkModel model;
+  model.latency_micros = 1000;
+  model.bytes_per_second = 1e6;  // 1 MB/s
+  // 1 MB payload => 1 second transmission + 1 ms propagation.
+  const auto delay = TransmissionDelayMicros(model, 1'000'000, rng);
+  EXPECT_NEAR(static_cast<double>(delay), 1'001'000.0, 1.0);
+}
+
+TEST(LinkModelTest, JitterStaysWithinBounds) {
+  util::Rng rng(1);
+  LinkModel model;
+  model.latency_micros = 500;
+  model.jitter_micros = 100;
+  for (int i = 0; i < 200; ++i) {
+    const auto delay = TransmissionDelayMicros(model, 10, rng);
+    EXPECT_GE(delay, 400);
+    EXPECT_LE(delay, 600);
+  }
+}
+
+TEST(LinkModelTest, DelayNeverNegative) {
+  util::Rng rng(1);
+  LinkModel model;
+  model.latency_micros = 10;
+  model.jitter_micros = 50;  // jitter larger than latency
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_GE(TransmissionDelayMicros(model, 0, rng), 0);
+  }
+}
+
+// --- RPC ----------------------------------------------------------------------
+
+class RpcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<RpcServer>(&network_, "server");
+    ASSERT_TRUE(server_->Start().ok());
+    server_->RegisterMethod(
+        "echo", [](const CallContext&, const Bytes& body) -> util::Result<Bytes> {
+          return body;
+        });
+    server_->RegisterMethod(
+        "fail", [](const CallContext&, const Bytes&) -> util::Result<Bytes> {
+          return util::PolicyViolation("force limit exceeded");
+        });
+    client_ = std::make_unique<RpcClient>(&network_, "client");
+  }
+
+  Network network_;
+  std::unique_ptr<RpcServer> server_;
+  std::unique_ptr<RpcClient> client_;
+};
+
+TEST_F(RpcTest, EchoRoundTrip) {
+  auto result = client_->Call("server", "echo", AsBytes("payload"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(AsString(*result), "payload");
+}
+
+TEST_F(RpcTest, ApplicationErrorPassesThrough) {
+  auto result = client_->Call("server", "fail", {});
+  EXPECT_EQ(result.status().code(), ErrorCode::kPolicyViolation);
+  EXPECT_EQ(result.status().message(), "force limit exceeded");
+}
+
+TEST_F(RpcTest, UnknownMethodIsUnimplemented) {
+  auto result = client_->Call("server", "nope", {});
+  EXPECT_EQ(result.status().code(), ErrorCode::kUnimplemented);
+}
+
+TEST_F(RpcTest, MissingServerIsUnavailable) {
+  auto result = client_->Call("ghost", "echo", {});
+  EXPECT_EQ(result.status().code(), ErrorCode::kUnavailable);
+}
+
+TEST_F(RpcTest, DroppedRequestSurfacesAsTimeout) {
+  network_.DropNext("client", "server", 1);
+  auto result = client_->Call("server", "echo", AsBytes("x"));
+  EXPECT_EQ(result.status().code(), ErrorCode::kTimeout);
+  // Retry succeeds once the fault clears.
+  auto retry = client_->Call("server", "echo", AsBytes("x"));
+  EXPECT_TRUE(retry.ok());
+}
+
+TEST_F(RpcTest, DroppedResponseSurfacesAsTimeout) {
+  network_.DropNext("server", "client", 1);
+  auto result = client_->Call("server", "echo", AsBytes("x"));
+  EXPECT_EQ(result.status().code(), ErrorCode::kTimeout);
+}
+
+TEST_F(RpcTest, AuthenticatorRejectsBadToken) {
+  server_->SetAuthenticator(
+      [](const std::string& token,
+         const std::string&) -> util::Result<std::string> {
+        if (token == "good") return std::string("subject-x");
+        return util::Unauthenticated("bad token");
+      });
+  auto anonymous = client_->Call("server", "echo", AsBytes("x"));
+  EXPECT_EQ(anonymous.status().code(), ErrorCode::kUnauthenticated);
+
+  client_->SetAuthToken("good");
+  auto authed = client_->Call("server", "echo", AsBytes("x"));
+  EXPECT_TRUE(authed.ok());
+}
+
+TEST_F(RpcTest, AuthenticatedSubjectVisibleToMethod) {
+  std::string seen_subject;
+  server_->RegisterMethod(
+      "whoami",
+      [&](const CallContext& context, const Bytes&) -> util::Result<Bytes> {
+        seen_subject = context.subject;
+        return Bytes{};
+      });
+  server_->SetAuthenticator(
+      [](const std::string&, const std::string&) -> util::Result<std::string> {
+        return std::string("C=US/O=NEES/CN=coordinator");
+      });
+  ASSERT_TRUE(client_->Call("server", "whoami", {}).ok());
+  EXPECT_EQ(seen_subject, "C=US/O=NEES/CN=coordinator");
+}
+
+TEST_F(RpcTest, OneWayDelivery) {
+  std::string received;
+  server_->RegisterOneWay("notify",
+                          [&](const CallContext&, const Bytes& body) {
+                            received = AsString(body);
+                          });
+  ASSERT_TRUE(client_->OneWay("server", "notify", AsBytes("event")).ok());
+  EXPECT_EQ(received, "event");
+}
+
+TEST_F(RpcTest, EnvelopeRoundTrip) {
+  const Bytes body = AsBytes("abc");
+  const Bytes envelope = EncodeRequestEnvelope("token", body);
+  std::string token;
+  Bytes decoded;
+  ASSERT_TRUE(DecodeRequestEnvelope(envelope, &token, &decoded).ok());
+  EXPECT_EQ(token, "token");
+  EXPECT_EQ(decoded, body);
+
+  const Bytes response =
+      EncodeResponseEnvelope(util::TimeoutError("slow"), AsBytes("r"));
+  util::Status status;
+  Bytes response_body;
+  ASSERT_TRUE(DecodeResponseEnvelope(response, &status, &response_body).ok());
+  EXPECT_EQ(status.code(), ErrorCode::kTimeout);
+  EXPECT_EQ(AsString(response_body), "r");
+}
+
+TEST_F(RpcTest, CorruptEnvelopeRejected) {
+  std::string token;
+  Bytes body;
+  EXPECT_FALSE(DecodeRequestEnvelope(AsBytes("zz"), &token, &body).ok());
+  util::Status status;
+  EXPECT_FALSE(DecodeResponseEnvelope(AsBytes("z"), &status, &body).ok());
+}
+
+// --- scheduled (threaded) delivery mode ---------------------------------------
+
+TEST(ScheduledNetworkTest, RpcOverRealLatency) {
+  Network network(DeliveryMode::kScheduled);
+  LinkModel model;
+  model.latency_micros = 2000;  // 2 ms each way
+  network.SetDefaultLink(model);
+
+  RpcServer server(&network, "server");
+  ASSERT_TRUE(server.Start().ok());
+  server.RegisterMethod(
+      "echo", [](const CallContext&, const Bytes& body) -> util::Result<Bytes> {
+        return body;
+      });
+  RpcClient client(&network, "client");
+
+  util::Stopwatch watch;
+  auto result = client.Call("server", "echo", AsBytes("hi"), 1'000'000);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(AsString(*result), "hi");
+  EXPECT_GE(watch.ElapsedMicros(), 3500);  // ~2 RTT legs minus scheduling slack
+}
+
+TEST(ScheduledNetworkTest, CallTimesOutInRealTime) {
+  Network network(DeliveryMode::kScheduled);
+  RpcServer server(&network, "server");
+  ASSERT_TRUE(server.Start().ok());
+  server.RegisterMethod(
+      "echo", [](const CallContext&, const Bytes& body) -> util::Result<Bytes> {
+        return body;
+      });
+  RpcClient client(&network, "client");
+  network.SetLinkUp("client", "server", false);
+  auto result = client.Call("server", "echo", AsBytes("x"), 20'000);
+  EXPECT_EQ(result.status().code(), ErrorCode::kTimeout);
+}
+
+TEST(ScheduledNetworkTest, QuiesceWaitsForInFlight) {
+  Network network(DeliveryMode::kScheduled);
+  std::atomic<int> received{0};
+  ASSERT_TRUE(
+      network.RegisterEndpoint("sink", [&](const Message&) { ++received; })
+          .ok());
+  LinkModel model;
+  model.latency_micros = 5000;
+  network.SetDefaultLink(model);
+  for (int i = 0; i < 10; ++i) {
+    (void)network.Send(MakeMessage("src", "sink"));
+  }
+  network.Quiesce();
+  EXPECT_EQ(received, 10);
+}
+
+TEST(ScheduledNetworkTest, MessagesArriveInLatencyOrder) {
+  Network network(DeliveryMode::kScheduled);
+  std::mutex mu;
+  std::vector<std::string> order;
+  ASSERT_TRUE(network
+                  .RegisterEndpoint("sink",
+                                    [&](const Message& message) {
+                                      std::lock_guard<std::mutex> lock(mu);
+                                      order.push_back(message.method);
+                                    })
+                  .ok());
+  LinkModel slow;
+  slow.latency_micros = 20'000;
+  LinkModel fast;
+  fast.latency_micros = 1'000;
+  network.SetLink("slow_src", "sink", slow);
+  network.SetLink("fast_src", "sink", fast);
+
+  (void)network.Send(
+      MakeMessage("slow_src", "sink", "slow"));
+  (void)network.Send(
+      MakeMessage("fast_src", "sink", "fast"));
+  network.Quiesce();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "fast");
+  EXPECT_EQ(order[1], "slow");
+}
+
+}  // namespace
+}  // namespace nees::net

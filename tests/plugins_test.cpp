@@ -1,0 +1,390 @@
+// Tests for the control plugins: simulation, policy decorators, the
+// Shore-Western path, the Mplugin buffered-poll pattern (in-process and
+// over RPC), and the LabVIEW/Mini-MOST path — including the "transparent
+// substitution" property (§2.1) that simulation and physical plugins are
+// indistinguishable to an NTCP client.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "ntcp/client.h"
+#include "ntcp/server.h"
+#include "plugins/labview_plugin.h"
+#include "plugins/mplugin.h"
+#include "plugins/policy_plugin.h"
+#include "plugins/shorewestern_plugin.h"
+#include "plugins/simulation_plugin.h"
+#include "testbed/specimen.h"
+#include "util/clock.h"
+
+namespace nees::plugins {
+namespace {
+
+using util::ErrorCode;
+
+ntcp::Proposal MakeProposal(const std::string& id, const std::string& cp,
+                            double displacement) {
+  ntcp::Proposal proposal;
+  proposal.transaction_id = id;
+  ntcp::ControlPointRequest action;
+  action.control_point = cp;
+  action.target_displacement = {displacement};
+  proposal.actions.push_back(std::move(action));
+  return proposal;
+}
+
+std::unique_ptr<structural::SubstructureModel> ElasticModel(double k_value) {
+  structural::Matrix k(1, 1);
+  k(0, 0) = k_value;
+  return std::make_unique<structural::ElasticSubstructure>(k);
+}
+
+// --- SimulationPlugin ----------------------------------------------------------
+
+TEST(SimulationPluginTest, MultipleControlPoints) {
+  SimulationPlugin plugin;
+  plugin.AddControlPoint("left", ElasticModel(1000.0));
+  plugin.AddControlPoint("right", ElasticModel(2000.0));
+
+  ntcp::Proposal proposal;
+  proposal.transaction_id = "t";
+  for (const auto& [name, d] :
+       std::vector<std::pair<std::string, double>>{{"left", 0.01},
+                                                   {"right", 0.01}}) {
+    ntcp::ControlPointRequest action;
+    action.control_point = name;
+    action.target_displacement = {d};
+    proposal.actions.push_back(action);
+  }
+  ASSERT_TRUE(plugin.Validate(proposal).ok());
+  auto result = plugin.Execute(proposal);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->Find("left")->measured_force[0], 10.0, 1e-9);
+  EXPECT_NEAR(result->Find("right")->measured_force[0], 20.0, 1e-9);
+}
+
+TEST(SimulationPluginTest, DofMismatchRejectedAtValidate) {
+  SimulationPlugin plugin;
+  plugin.AddControlPoint("cp", ElasticModel(1.0));
+  ntcp::Proposal proposal = MakeProposal("t", "cp", 0.01);
+  proposal.actions[0].target_displacement = {0.01, 0.02};  // model is 1-DOF
+  EXPECT_EQ(plugin.Validate(proposal).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(SimulationPluginTest, EmptyProposalRejected) {
+  SimulationPlugin plugin;
+  ntcp::Proposal proposal;
+  proposal.transaction_id = "t";
+  EXPECT_FALSE(plugin.Validate(proposal).ok());
+}
+
+// --- LimitPolicyPlugin ------------------------------------------------------------
+
+TEST(LimitPolicyTest, RejectsOverLimitDisplacementBeforeInner) {
+  SitePolicy policy;
+  policy.max_abs_displacement_m = 0.05;
+  auto inner = std::make_unique<SimulationPlugin>();
+  inner->AddControlPoint("cp", ElasticModel(1.0));
+  LimitPolicyPlugin plugin(policy, std::move(inner));
+
+  EXPECT_TRUE(plugin.Validate(MakeProposal("a", "cp", 0.04)).ok());
+  const util::Status rejected = plugin.Validate(MakeProposal("b", "cp", 0.06));
+  EXPECT_EQ(rejected.code(), ErrorCode::kPolicyViolation);
+  EXPECT_EQ(plugin.rejections(), 1u);
+}
+
+TEST(LimitPolicyTest, RejectsForceControlWhenConfigured) {
+  SitePolicy policy;
+  policy.reject_force_control = true;
+  auto inner = std::make_unique<SimulationPlugin>();
+  inner->AddControlPoint("cp", ElasticModel(1.0));
+  LimitPolicyPlugin plugin(policy, std::move(inner));
+
+  ntcp::Proposal proposal = MakeProposal("a", "cp", 0.01);
+  proposal.actions[0].target_force = {100.0};
+  EXPECT_EQ(plugin.Validate(proposal).code(), ErrorCode::kPolicyViolation);
+}
+
+TEST(LimitPolicyTest, ForceLimitChecked) {
+  SitePolicy policy;
+  policy.max_abs_force_n = 50.0;
+  auto inner = std::make_unique<SimulationPlugin>();
+  inner->AddControlPoint("cp", ElasticModel(1.0));
+  LimitPolicyPlugin plugin(policy, std::move(inner));
+  ntcp::Proposal proposal = MakeProposal("a", "cp", 0.01);
+  proposal.actions[0].target_force = {100.0};
+  EXPECT_EQ(plugin.Validate(proposal).code(), ErrorCode::kPolicyViolation);
+}
+
+TEST(LimitPolicyTest, NegotiationHappensBeforeAnyMotion) {
+  // End-to-end: a proposal over the site limit is rejected at propose time
+  // and execute never reaches the plugin — nothing moved anywhere.
+  util::SimClock clock;
+  net::Network network;
+  network.SetClock(&clock);
+  SitePolicy policy;
+  policy.max_abs_displacement_m = 0.05;
+  auto inner = std::make_unique<SimulationPlugin>();
+  auto* inner_raw = inner.get();
+  inner->AddControlPoint("cp", ElasticModel(1.0));
+  ntcp::NtcpServer server(
+      &network, "ntcp.site",
+      std::make_unique<LimitPolicyPlugin>(policy, std::move(inner)), &clock);
+  ASSERT_TRUE(server.Start().ok());
+
+  EXPECT_FALSE(server.Propose(MakeProposal("big", "cp", 0.2)).accepted);
+  EXPECT_EQ(server.Execute("big").status().code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(inner_raw->executions(), 0u);
+}
+
+// --- HumanApprovalPlugin -----------------------------------------------------------
+
+TEST(HumanApprovalTest, DeniedExecutionAborts) {
+  auto inner = std::make_unique<SimulationPlugin>();
+  auto* inner_raw = inner.get();
+  inner->AddControlPoint("cp", ElasticModel(1.0));
+  bool approve = false;
+  HumanApprovalPlugin plugin(
+      [&approve](const ntcp::Proposal&) { return approve; }, std::move(inner));
+
+  ASSERT_TRUE(plugin.Validate(MakeProposal("t", "cp", 0.01)).ok());
+  EXPECT_EQ(plugin.Execute(MakeProposal("t", "cp", 0.01)).status().code(),
+            ErrorCode::kAborted);
+  EXPECT_EQ(plugin.denials(), 1u);
+  EXPECT_EQ(inner_raw->executions(), 0u);
+
+  approve = true;
+  EXPECT_TRUE(plugin.Execute(MakeProposal("t", "cp", 0.01)).ok());
+  EXPECT_EQ(inner_raw->executions(), 1u);
+}
+
+// --- ShoreWesternPlugin over the emulated controller ---------------------------------
+
+class ShoreWesternPluginTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testbed::PhysicalSpecimen::Config config;
+    config.name = "uiuc";
+    structural::Matrix k(1, 1);
+    k(0, 0) = 1e6;
+    auto specimen = std::make_unique<testbed::PhysicalSpecimen>(
+        config,
+        std::make_unique<testbed::ServoHydraulicActuator>(
+            testbed::ServoHydraulicActuator::Params{}),
+        std::make_unique<structural::ElasticSubstructure>(k));
+    emulator_ = std::make_unique<testbed::ShoreWesternEmulator>(
+        &network_, "sw.uiuc", std::move(specimen));
+    ASSERT_TRUE(emulator_->Start().ok());
+
+    plugin_rpc_ = std::make_unique<net::RpcClient>(&network_, "plugin.rpc");
+  }
+
+  net::Network network_;
+  std::unique_ptr<testbed::ShoreWesternEmulator> emulator_;
+  std::unique_ptr<net::RpcClient> plugin_rpc_;
+};
+
+TEST_F(ShoreWesternPluginTest, ExecutesThroughControllerProtocol) {
+  ShoreWesternPlugin plugin({}, plugin_rpc_.get(), "sw.uiuc");
+  ntcp::Proposal proposal = MakeProposal("t", "column-top", 0.01);
+  ASSERT_TRUE(plugin.Validate(proposal).ok());
+  auto result = plugin.Execute(proposal);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->results[0].measured_displacement[0], 0.01, 2e-4);
+  EXPECT_NEAR(result->results[0].measured_force[0], 1e4, 300.0);
+}
+
+TEST_F(ShoreWesternPluginTest, ValidateEnforcesSiteShape) {
+  ShoreWesternPlugin plugin({}, plugin_rpc_.get(), "sw.uiuc");
+  EXPECT_FALSE(plugin.Validate(MakeProposal("t", "wrong-cp", 0.01)).ok());
+  EXPECT_EQ(plugin.Validate(MakeProposal("t", "column-top", 0.5)).code(),
+            ErrorCode::kPolicyViolation);
+  ntcp::Proposal force_proposal = MakeProposal("t", "column-top", 0.01);
+  force_proposal.actions[0].target_force = {10.0};
+  EXPECT_EQ(plugin.Validate(force_proposal).code(),
+            ErrorCode::kPolicyViolation);
+}
+
+TEST_F(ShoreWesternPluginTest, ControllerLossSurfacesAsTimeout) {
+  ShoreWesternPlugin plugin({}, plugin_rpc_.get(), "sw.uiuc");
+  network_.SetLinkUp("plugin.rpc", "sw.uiuc", false);
+  auto result = plugin.Execute(MakeProposal("t", "column-top", 0.01));
+  EXPECT_EQ(result.status().code(), ErrorCode::kTimeout);
+}
+
+TEST_F(ShoreWesternPluginTest, InterlockSurfacesAsSafetyError) {
+  emulator_->specimen().EStop();
+  ShoreWesternPlugin plugin({}, plugin_rpc_.get(), "sw.uiuc");
+  auto result = plugin.Execute(MakeProposal("t", "column-top", 0.01));
+  EXPECT_EQ(result.status().code(), ErrorCode::kSafetyInterlock);
+}
+
+// --- MPlugin ---------------------------------------------------------------------
+
+TEST(MPluginTest, BackendThreadServicesExecute) {
+  MPlugin plugin;
+  auto models = std::make_shared<std::map<
+      std::string, std::unique_ptr<structural::SubstructureModel>>>();
+  (*models)["cp"] = ElasticModel(1000.0);
+  PollingBackend backend(&plugin, MakeSimulationCompute(models));
+  backend.Start();
+
+  auto result = plugin.Execute(MakeProposal("m1", "cp", 0.01));
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->results[0].measured_force[0], 10.0, 1e-9);
+  EXPECT_GE(plugin.polls(), 1u);
+  backend.Stop();
+  EXPECT_EQ(backend.processed(), 1u);
+}
+
+TEST(MPluginTest, ExecuteTimesOutWithoutBackend) {
+  MPlugin::Config config;
+  config.execute_timeout_micros = 20'000;  // 20 ms real time
+  MPlugin plugin(config);
+  auto result = plugin.Execute(MakeProposal("m2", "cp", 0.01));
+  EXPECT_EQ(result.status().code(), ErrorCode::kTimeout);
+  // The stale request was withdrawn from the queue.
+  EXPECT_EQ(plugin.buffered(), 0u);
+}
+
+TEST(MPluginTest, LateNotifyAfterTimeoutIsRejected) {
+  MPlugin::Config config;
+  config.execute_timeout_micros = 10'000;
+  MPlugin plugin(config);
+  auto result = plugin.Execute(MakeProposal("m3", "cp", 0.01));
+  EXPECT_EQ(result.status().code(), ErrorCode::kTimeout);
+  EXPECT_EQ(plugin.PostResult("m3", ntcp::TransactionResult{}).code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(MPluginTest, BackendErrorPropagates) {
+  MPlugin plugin;
+  PollingBackend backend(&plugin, [](const ntcp::Proposal&) {
+    return util::Result<ntcp::TransactionResult>(
+        util::Internal("matlab crashed"));
+  });
+  backend.Start();
+  auto result = plugin.Execute(MakeProposal("m4", "cp", 0.01));
+  EXPECT_EQ(result.status().code(), ErrorCode::kInternal);
+  backend.Stop();
+}
+
+TEST(MPluginTest, ValidateEnforcesLimit) {
+  MPlugin::Config config;
+  config.max_abs_displacement_m = 0.01;
+  MPlugin plugin(config);
+  EXPECT_EQ(plugin.Validate(MakeProposal("t", "cp", 0.02)).code(),
+            ErrorCode::kPolicyViolation);
+}
+
+TEST(MPluginTest, RemoteBackendOverRpc) {
+  // The NCSA pattern: the plugin exposes poll/notify over the network; the
+  // "Matlab" process polls remotely. Uses a second thread for the NTCP
+  // execute because the remote poll round-trip happens on this thread.
+  net::Network network;
+  auto plugin = std::make_unique<MPlugin>();
+  auto* plugin_raw = plugin.get();
+  net::RpcServer plugin_server(&network, "mplugin.ncsa");
+  ASSERT_TRUE(plugin_server.Start().ok());
+  plugin_raw->BindBackendRpc(plugin_server);
+
+  auto models = std::make_shared<std::map<
+      std::string, std::unique_ptr<structural::SubstructureModel>>>();
+  (*models)["cp"] = ElasticModel(500.0);
+  net::RpcClient backend_rpc(&network, "matlab.ncsa");
+  RemotePollingBackend backend(&backend_rpc, "mplugin.ncsa",
+                               MakeSimulationCompute(models));
+
+  util::Result<ntcp::TransactionResult> result =
+      util::Internal("not yet run");
+  std::thread executor([&] {
+    result = plugin_raw->Execute(MakeProposal("m5", "cp", 0.02));
+  });
+  // Poll until the backend picks up and completes the work.
+  bool worked = false;
+  for (int i = 0; i < 200 && !worked; ++i) {
+    auto outcome = backend.PollOnce(10'000);
+    ASSERT_TRUE(outcome.ok());
+    worked = *outcome;
+  }
+  executor.join();
+  EXPECT_TRUE(worked);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->results[0].measured_force[0], 10.0, 1e-9);
+}
+
+// --- LabViewPlugin ----------------------------------------------------------------
+
+TEST(LabViewPluginTest, DrivesMiniMostRig) {
+  LabViewPlugin plugin({}, testbed::MakeMiniMostRig(2000.0, 7));
+  ntcp::Proposal proposal = MakeProposal("t", "beam-tip", 0.01);
+  ASSERT_TRUE(plugin.Validate(proposal).ok());
+  auto result = plugin.Execute(proposal);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->results[0].measured_displacement[0], 0.01, 1e-4);
+}
+
+TEST(LabViewPluginTest, TravelLimitAndInterlock) {
+  LabViewPlugin plugin({}, testbed::MakeMiniMostRig(2000.0, 7));
+  EXPECT_EQ(plugin.Validate(MakeProposal("t", "beam-tip", 0.05)).code(),
+            ErrorCode::kPolicyViolation);
+  plugin.specimen().EStop();
+  EXPECT_EQ(plugin.Validate(MakeProposal("t", "beam-tip", 0.01)).code(),
+            ErrorCode::kSafetyInterlock);
+}
+
+// --- transparency: simulation vs physical plugin (§2.1 / §3) -----------------------
+
+TEST(TransparencyTest, CoordinatorCodeIsPluginAgnostic) {
+  // The same client-side step loop runs against a simulation plugin and a
+  // physical (emulated rig) plugin; with matching stiffness the measured
+  // forces agree within sensor noise. This is the property that let MOST
+  // develop against simulations and swap in the rigs (§3).
+  const double stiffness = 1e6;
+  util::SimClock clock;
+  net::Network network;
+  network.SetClock(&clock);
+
+  // Site A: pure simulation.
+  auto simulation = std::make_unique<SimulationPlugin>();
+  simulation->AddControlPoint("column-top", ElasticModel(stiffness));
+  ntcp::NtcpServer site_a(&network, "ntcp.sim", std::move(simulation), &clock);
+  ASSERT_TRUE(site_a.Start().ok());
+
+  // Site B: emulated rig behind the Shore-Western controller.
+  testbed::PhysicalSpecimen::Config rig_config;
+  rig_config.name = "rig";
+  structural::Matrix k(1, 1);
+  k(0, 0) = stiffness;
+  auto specimen = std::make_unique<testbed::PhysicalSpecimen>(
+      rig_config,
+      std::make_unique<testbed::ServoHydraulicActuator>(
+          testbed::ServoHydraulicActuator::Params{}),
+      std::make_unique<structural::ElasticSubstructure>(k));
+  testbed::ShoreWesternEmulator controller(&network, "sw.rig",
+                                           std::move(specimen));
+  ASSERT_TRUE(controller.Start().ok());
+  auto plugin_rpc = std::make_unique<net::RpcClient>(&network, "plugin.rig");
+  ntcp::NtcpServer site_b(
+      &network, "ntcp.rig",
+      std::make_unique<ShoreWesternPlugin>(ShoreWesternPlugin::Config{},
+                                           plugin_rpc.get(), "sw.rig"),
+      &clock);
+  ASSERT_TRUE(site_b.Start().ok());
+
+  net::RpcClient rpc(&network, "coordinator");
+  for (const std::string site : {"ntcp.sim", "ntcp.rig"}) {
+    ntcp::NtcpClient client(&rpc, site, ntcp::RetryPolicy(), &clock);
+    const std::string id = site + "-step";
+    ASSERT_TRUE(client.Propose(MakeProposal(id, "column-top", 0.01)).ok());
+    auto result = client.Execute(id);
+    ASSERT_TRUE(result.ok());
+    // Both report ~k*d; the rig differs only by sensor/settling error.
+    EXPECT_NEAR(result->results[0].measured_force[0], 1e4, 300.0) << site;
+  }
+}
+
+}  // namespace
+}  // namespace nees::plugins

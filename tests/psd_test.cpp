@@ -1,0 +1,521 @@
+// Tests for the MS-PSDS coordinator: correctness of the distributed
+// integration against local references, the propose-all-before-execute
+// discipline, naive vs fault-tolerant behaviour under injected faults, and
+// checkpoint/restart.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "ntcp/server.h"
+#include "plugins/policy_plugin.h"
+#include "plugins/simulation_plugin.h"
+#include "psd/coordinator.h"
+#include "structural/integrator.h"
+#include "util/clock.h"
+#include "util/logging.h"
+
+namespace nees::psd {
+namespace {
+
+using util::ErrorCode;
+
+// Three elastic substructures splitting a 1-DOF story: k = k1 + k2 + k3.
+constexpr double kMass = 5.0e4;
+constexpr double kLeft = 4.4e5, kMiddle = 1.78e6, kRight = 1.78e6;
+constexpr double kTotal = kLeft + kMiddle + kRight;
+
+class CoordinatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_.SetClock(&clock_);
+    StartSite("ntcp.a", "cp", kLeft);
+    StartSite("ntcp.b", "cp", kMiddle);
+    StartSite("ntcp.c", "cp", kRight);
+    rpc_ = std::make_unique<net::RpcClient>(&network_, "coordinator");
+  }
+
+  void StartSite(const std::string& endpoint, const std::string& cp,
+                 double stiffness) {
+    auto plugin = std::make_unique<plugins::SimulationPlugin>();
+    structural::Matrix k(1, 1);
+    k(0, 0) = stiffness;
+    plugin->AddControlPoint(
+        cp, std::make_unique<structural::ElasticSubstructure>(k));
+    auto server = std::make_unique<ntcp::NtcpServer>(&network_, endpoint,
+                                                     std::move(plugin),
+                                                     &clock_);
+    ASSERT_TRUE(server->Start().ok());
+    servers_.push_back(std::move(server));
+  }
+
+  CoordinatorConfig MakeConfig(std::size_t steps,
+                               FaultPolicy policy = FaultPolicy::kFaultTolerant) {
+    CoordinatorConfig config;
+    config.run_id = "test";
+    config.mass = structural::Matrix::Identity(1) * kMass;
+    const double omega = std::sqrt(kTotal / kMass);
+    config.damping =
+        structural::Matrix::Identity(1) * (2.0 * 0.02 * omega * kMass);
+    config.iota = {1.0};
+    config.motion = structural::SinePulse(0.02, steps, 3.0, 1.0);
+    config.sites = {{"A", "ntcp.a", "cp", {0}},
+                    {"B", "ntcp.b", "cp", {0}},
+                    {"C", "ntcp.c", "cp", {0}}};
+    config.fault_policy = policy;
+    config.retry.initial_backoff_micros = 1000;  // fast virtual backoff
+    return config;
+  }
+
+  util::SimClock clock_{1'000'000};
+  net::Network network_;
+  std::vector<std::unique_ptr<ntcp::NtcpServer>> servers_;
+  std::unique_ptr<net::RpcClient> rpc_;
+};
+
+TEST_F(CoordinatorTest, DistributedRunMatchesLocalCentralDifference) {
+  SimulationCoordinator coordinator(MakeConfig(300), rpc_.get(), &clock_);
+  const RunReport report = coordinator.Run();
+  ASSERT_TRUE(report.completed) << report.failure.ToString();
+  EXPECT_EQ(report.steps_completed, 299u);
+
+  // Local reference: the same integration with the summed stiffness.
+  const auto config = MakeConfig(300);
+  structural::Matrix k = structural::Matrix::Identity(1) * kTotal;
+  structural::ElasticSubstructure elastic(k);
+  structural::CentralDifferencePsd psd(config.mass, config.damping, {1.0});
+  auto reference = psd.Integrate(
+      config.motion,
+      [&](std::size_t, const structural::Vector& d) {
+        return elastic.Restore(d);
+      });
+  ASSERT_TRUE(reference.ok());
+
+  ASSERT_EQ(report.history.displacement.size(),
+            reference->displacement.size());
+  double max_diff = 0;
+  for (std::size_t i = 0; i < reference->displacement.size(); ++i) {
+    max_diff = std::max(max_diff,
+                        std::fabs(report.history.displacement[i][0] -
+                                  reference->displacement[i][0]));
+  }
+  EXPECT_LT(max_diff, 1e-12 + 1e-9 * reference->PeakDisplacement(0));
+}
+
+TEST_F(CoordinatorTest, EveryStepProposesToAllSitesBeforeExecuting) {
+  SimulationCoordinator coordinator(MakeConfig(50), rpc_.get(), &clock_);
+  const RunReport report = coordinator.Run();
+  ASSERT_TRUE(report.completed);
+  for (const auto& server : servers_) {
+    const auto stats = server->stats();
+    EXPECT_EQ(stats.proposals, 49u);
+    EXPECT_EQ(stats.executions, 49u);
+    EXPECT_EQ(stats.rejected, 0u);
+  }
+  for (const SiteStats& site : report.site_stats) {
+    EXPECT_EQ(site.proposals, 49u);
+    EXPECT_EQ(site.executes, 49u);
+  }
+}
+
+TEST_F(CoordinatorTest, ObserverSeesEveryStep) {
+  SimulationCoordinator coordinator(MakeConfig(40), rpc_.get(), &clock_);
+  std::vector<std::size_t> steps;
+  coordinator.SetStepObserver(
+      [&](std::size_t step, const structural::Vector&,
+          const std::vector<ntcp::TransactionResult>& results) {
+        steps.push_back(step);
+        EXPECT_EQ(results.size(), 3u);
+      });
+  ASSERT_TRUE(coordinator.Run().completed);
+  ASSERT_EQ(steps.size(), 39u);
+  EXPECT_EQ(steps.front(), 0u);
+  EXPECT_EQ(steps.back(), 38u);
+}
+
+TEST_F(CoordinatorTest, NaiveCoordinatorDiesOnSingleLostMessage) {
+  // The §3.4 public-run failure mode: one lost message at step 30 kills
+  // a coordinator that does not retry.
+  SimulationCoordinator coordinator(MakeConfig(100, FaultPolicy::kNaive),
+                                    rpc_.get(), &clock_);
+  coordinator.SetStepObserver(
+      [&](std::size_t step, const structural::Vector&,
+          const std::vector<ntcp::TransactionResult>&) {
+        if (step == 29) network_.DropNext("coordinator", "ntcp.b", 1);
+      });
+  const RunReport report = coordinator.Run();
+  EXPECT_FALSE(report.completed);
+  EXPECT_EQ(report.steps_completed, 30u);
+  EXPECT_EQ(report.failure.code(), ErrorCode::kTimeout);
+}
+
+TEST_F(CoordinatorTest, FaultTolerantCoordinatorRidesOutBursts) {
+  SimulationCoordinator coordinator(MakeConfig(100), rpc_.get(), &clock_);
+  coordinator.SetStepObserver(
+      [&](std::size_t step, const structural::Vector&,
+          const std::vector<ntcp::TransactionResult>&) {
+        if (step == 20 || step == 60) {
+          network_.DropNext("coordinator", "ntcp.a", 2);
+          network_.DropNext("ntcp.c", "coordinator", 1);
+        }
+      });
+  const RunReport report = coordinator.Run();
+  ASSERT_TRUE(report.completed) << report.failure.ToString();
+  EXPECT_GE(report.transient_faults_recovered, 2u);
+  // At-most-once held: each server executed exactly once per step.
+  for (const auto& server : servers_) {
+    EXPECT_EQ(server->stats().executions, 99u);
+  }
+}
+
+TEST_F(CoordinatorTest, LostExecuteReplyDoesNotDoubleApplyForces) {
+  SimulationCoordinator coordinator(MakeConfig(60), rpc_.get(), &clock_);
+  coordinator.SetStepObserver(
+      [&](std::size_t step, const structural::Vector&,
+          const std::vector<ntcp::TransactionResult>&) {
+        if (step == 10) network_.DropNext("ntcp.b", "coordinator", 1);
+      });
+  const RunReport report = coordinator.Run();
+  ASSERT_TRUE(report.completed);
+  // At-most-once: exactly one real execution per step despite the re-sent
+  // request (the lost reply hits either the propose or execute response;
+  // both are deduplicated server-side).
+  EXPECT_EQ(servers_[1]->stats().executions, 59u);
+  const auto stats = servers_[1]->stats();
+  EXPECT_GE(stats.duplicate_proposals + stats.duplicate_executes, 1u);
+}
+
+TEST_F(CoordinatorTest, PolicyRejectionIsNotRetried) {
+  // A site whose limit is below the commanded displacement rejects at
+  // propose time; the coordinator must stop (configuration error), not
+  // hammer the site with retries.
+  auto config = MakeConfig(100);
+  config.motion = structural::Harmonic(0.02, 100, 50.0, 0.5);  // huge drive
+  SimulationCoordinator coordinator(config, rpc_.get(), &clock_);
+
+  // Replace site B's plugin behaviour by restarting it with a policy.
+  servers_[1]->Stop();
+  auto inner = std::make_unique<plugins::SimulationPlugin>();
+  structural::Matrix k(1, 1);
+  k(0, 0) = kMiddle;
+  inner->AddControlPoint(
+      "cp", std::make_unique<structural::ElasticSubstructure>(k));
+  plugins::SitePolicy policy;
+  policy.max_abs_displacement_m = 0.001;
+  auto limited = std::make_unique<ntcp::NtcpServer>(
+      &network_, "ntcp.b2",
+      std::make_unique<plugins::LimitPolicyPlugin>(policy, std::move(inner)),
+      &clock_);
+  ASSERT_TRUE(limited->Start().ok());
+
+  auto config2 = MakeConfig(100);
+  config2.motion = structural::Harmonic(0.02, 100, 50.0, 0.5);
+  config2.sites[1].ntcp_endpoint = "ntcp.b2";
+  SimulationCoordinator coordinator2(config2, rpc_.get(), &clock_);
+  const RunReport report = coordinator2.Run();
+  EXPECT_FALSE(report.completed);
+  EXPECT_EQ(report.failure.code(), ErrorCode::kPolicyViolation);
+  // The rejection happened at propose time: no site executed that step.
+  EXPECT_EQ(limited->stats().executions, report.steps_completed);
+}
+
+TEST_F(CoordinatorTest, RejectionCancelsAcceptedSiblingsBeforeAnyMotion) {
+  // Site C (third in the list) rejects the step; the already-accepted
+  // transactions at A and B must be cancelled (§2.1) and nothing executed.
+  auto config = MakeConfig(10);
+  config.max_step_attempts = 1;
+  SimulationCoordinator coordinator(config, rpc_.get(), &clock_);
+
+  // Replace site C with a tightly-limited one.
+  servers_[2]->Stop();
+  auto inner = std::make_unique<plugins::SimulationPlugin>();
+  structural::Matrix k(1, 1);
+  k(0, 0) = kRight;
+  inner->AddControlPoint(
+      "cp", std::make_unique<structural::ElasticSubstructure>(k));
+  plugins::SitePolicy policy;
+  policy.max_abs_displacement_m = 1e-9;  // rejects everything non-zero
+  auto limited = std::make_unique<ntcp::NtcpServer>(
+      &network_, "ntcp.c2",
+      std::make_unique<plugins::LimitPolicyPlugin>(policy, std::move(inner)),
+      &clock_);
+  ASSERT_TRUE(limited->Start().ok());
+  config.sites[2].ntcp_endpoint = "ntcp.c2";
+  SimulationCoordinator coordinator2(config, rpc_.get(), &clock_);
+
+  const RunReport report = coordinator2.Run();
+  EXPECT_FALSE(report.completed);
+  // Step 0 commands zero displacement (accepted everywhere); step 1 is the
+  // first non-zero command and is rejected at C.
+  for (int site : {0, 1}) {
+    const auto ids = servers_[site]->ListTransactions();
+    bool saw_cancelled = false;
+    for (const std::string& id : ids) {
+      const auto record = servers_[site]->GetTransaction(id);
+      ASSERT_TRUE(record.ok());
+      if (record->state == ntcp::TransactionState::kCancelled) {
+        saw_cancelled = true;
+      }
+      EXPECT_NE(record->state, ntcp::TransactionState::kExecuting);
+    }
+    EXPECT_TRUE(saw_cancelled) << "site " << site;
+  }
+}
+
+TEST_F(CoordinatorTest, CheckpointRestartMatchesUninterruptedRun) {
+  // Reference: uninterrupted run.
+  SimulationCoordinator full(MakeConfig(80), rpc_.get(), &clock_);
+  const RunReport full_report = full.Run();
+  ASSERT_TRUE(full_report.completed);
+
+  // Interrupted run: execute 30 steps, checkpoint, "crash", restore into a
+  // fresh coordinator (fresh transaction namespace), finish.
+  auto config_a = MakeConfig(80);
+  config_a.run_id = "part1";
+  SimulationCoordinator part1(config_a, rpc_.get(), &clock_);
+  for (int i = 0; i < 30; ++i) {
+    auto advanced = part1.ExecuteStep();
+    ASSERT_TRUE(advanced.ok());
+    ASSERT_TRUE(*advanced);
+  }
+  const Checkpoint checkpoint = part1.GetCheckpoint();
+  EXPECT_EQ(checkpoint.step, 30u);
+
+  auto config_b = MakeConfig(80);
+  config_b.run_id = "part2";
+  SimulationCoordinator part2(config_b, rpc_.get(), &clock_);
+  ASSERT_TRUE(part2.Restore(checkpoint).ok());
+  const RunReport resumed = part2.Run();
+  ASSERT_TRUE(resumed.completed);
+
+  ASSERT_EQ(resumed.history.displacement.size(),
+            full_report.history.displacement.size());
+  for (std::size_t i = 0; i < resumed.history.displacement.size(); ++i) {
+    EXPECT_NEAR(resumed.history.displacement[i][0],
+                full_report.history.displacement[i][0], 1e-12);
+  }
+}
+
+TEST_F(CoordinatorTest, DimensionMismatchCaughtAtInit) {
+  auto config = MakeConfig(10);
+  config.iota = {1.0, 0.0};  // 2 entries vs 1-DOF mass
+  SimulationCoordinator coordinator(config, rpc_.get(), &clock_);
+  const RunReport report = coordinator.Run();
+  EXPECT_FALSE(report.completed);
+  EXPECT_EQ(report.failure.code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(CoordinatorTest, SiteDofOutOfRangeCaught) {
+  auto config = MakeConfig(10);
+  config.sites[0].dofs = {5};
+  SimulationCoordinator coordinator(config, rpc_.get(), &clock_);
+  EXPECT_EQ(coordinator.Run().failure.code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(CoordinatorTest, SurvivesBriefNetworkPartition) {
+  // A symmetric partition between the coordinator and two sites that heals
+  // within the retry budget: the run completes and at-most-once holds.
+  auto config = MakeConfig(80);
+  config.retry.max_attempts = 6;
+  SimulationCoordinator coordinator(config, rpc_.get(), &clock_);
+
+  // Partition before the run starts; "operations" heal it as soon as the
+  // coordinator's first retry warning hits the log (i.e. after one failed
+  // attempt — within the retry budget).
+  network_.Partition({"coordinator"}, {"ntcp.a", "ntcp.b"});
+  const int sink_id = util::Logger::Instance().AddSink(
+      [&](const util::LogRecord& record) {
+        if (record.message.find("retrying") != std::string::npos) {
+          network_.HealPartition();
+        }
+      });
+  const RunReport report = coordinator.Run();
+  util::Logger::Instance().RemoveSink(sink_id);
+  ASSERT_TRUE(report.completed) << report.failure.ToString();
+  for (const auto& server : servers_) {
+    EXPECT_EQ(server->stats().executions, 79u);
+  }
+}
+
+TEST_F(CoordinatorTest, OperatorSplittingMatchesLocalReference) {
+  auto config = MakeConfig(200);
+  config.integrator = PsdIntegrator::kOperatorSplitting;
+  config.initial_stiffness = structural::Matrix::Identity(1) * kTotal;
+  SimulationCoordinator coordinator(config, rpc_.get(), &clock_);
+  const RunReport report = coordinator.Run();
+  ASSERT_TRUE(report.completed) << report.failure.ToString();
+
+  structural::Matrix k = structural::Matrix::Identity(1) * kTotal;
+  structural::ElasticSubstructure elastic(k);
+  structural::OperatorSplittingPsd os(config.mass, config.damping, k,
+                                      {1.0});
+  auto reference = os.Integrate(
+      config.motion,
+      [&](std::size_t, const structural::Vector& d) {
+        return elastic.Restore(d);
+      });
+  ASSERT_TRUE(reference.ok());
+  ASSERT_EQ(report.history.displacement.size(),
+            reference->displacement.size());
+  for (std::size_t i = 0; i < reference->displacement.size(); ++i) {
+    EXPECT_NEAR(report.history.displacement[i][0],
+                reference->displacement[i][0], 1e-12);
+  }
+}
+
+TEST_F(CoordinatorTest, OperatorSplittingSurvivesCoarseTimeStep) {
+  // dt well above the central-difference limit for this system: the CD
+  // coordinator diverges numerically; the OS coordinator stays physical.
+  auto make = [&](PsdIntegrator integrator) {
+    auto config = MakeConfig(200);
+    config.motion = structural::Harmonic(0.3, 200, 1.0, 0.3);  // dt > 2/omega
+    config.integrator = integrator;
+    config.initial_stiffness = structural::Matrix::Identity(1) * kTotal;
+    config.run_id = integrator == PsdIntegrator::kCentralDifference
+                        ? "coarse-cd"
+                        : "coarse-os";
+    return config;
+  };
+  SimulationCoordinator cd(make(PsdIntegrator::kCentralDifference),
+                           rpc_.get(), &clock_);
+  const RunReport cd_report = cd.Run();
+  SimulationCoordinator os(make(PsdIntegrator::kOperatorSplitting),
+                           rpc_.get(), &clock_);
+  const RunReport os_report = os.Run();
+  ASSERT_TRUE(os_report.completed) << os_report.failure.ToString();
+  EXPECT_GT(cd_report.history.PeakDisplacement(0), 1e3);  // diverged
+  EXPECT_LT(os_report.history.PeakDisplacement(0), 0.5);  // bounded
+}
+
+TEST_F(CoordinatorTest, OperatorSplittingRequiresInitialStiffness) {
+  auto config = MakeConfig(10);
+  config.integrator = PsdIntegrator::kOperatorSplitting;
+  // initial_stiffness left empty.
+  SimulationCoordinator coordinator(config, rpc_.get(), &clock_);
+  EXPECT_EQ(coordinator.Run().failure.code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(CoordinatorTest, OperatorSplittingCheckpointRestart) {
+  auto config = MakeConfig(80);
+  config.integrator = PsdIntegrator::kOperatorSplitting;
+  config.initial_stiffness = structural::Matrix::Identity(1) * kTotal;
+  SimulationCoordinator full(config, rpc_.get(), &clock_);
+  const RunReport reference = full.Run();
+  ASSERT_TRUE(reference.completed);
+
+  auto config_a = config;
+  config_a.run_id = "os-part1";
+  SimulationCoordinator part1(config_a, rpc_.get(), &clock_);
+  for (int i = 0; i < 25; ++i) {
+    auto advanced = part1.ExecuteStep();
+    ASSERT_TRUE(advanced.ok());
+  }
+  auto config_b = config;
+  config_b.run_id = "os-part2";
+  SimulationCoordinator part2(config_b, rpc_.get(), &clock_);
+  ASSERT_TRUE(part2.Restore(part1.GetCheckpoint()).ok());
+  const RunReport resumed = part2.Run();
+  ASSERT_TRUE(resumed.completed);
+  for (std::size_t i = 0; i < resumed.history.displacement.size(); ++i) {
+    EXPECT_NEAR(resumed.history.displacement[i][0],
+                reference.history.displacement[i][0], 1e-12);
+  }
+}
+
+TEST_F(CoordinatorTest, ParallelSitesProducesIdenticalResponse) {
+  SimulationCoordinator sequential(MakeConfig(120), rpc_.get(), &clock_);
+  const RunReport reference = sequential.Run();
+  ASSERT_TRUE(reference.completed);
+
+  auto config = MakeConfig(120);
+  config.run_id = "parallel";
+  config.parallel_sites = true;
+  net::RpcClient parallel_rpc(&network_, "parallel.coordinator");
+  SimulationCoordinator parallel(config, &parallel_rpc, &clock_);
+  const RunReport report = parallel.Run();
+  ASSERT_TRUE(report.completed) << report.failure.ToString();
+
+  ASSERT_EQ(report.history.displacement.size(),
+            reference.history.displacement.size());
+  for (std::size_t i = 0; i < reference.history.displacement.size(); ++i) {
+    EXPECT_DOUBLE_EQ(report.history.displacement[i][0],
+                     reference.history.displacement[i][0]);
+  }
+}
+
+TEST_F(CoordinatorTest, ParallelSitesOverlapWanRoundTrips) {
+  // Over the real-latency network, three sites in parallel should cost
+  // roughly one site's round trips per step, not three.
+  net::Network network(net::DeliveryMode::kScheduled);
+  net::LinkModel wan;
+  wan.latency_micros = 2000;  // 2 ms one way
+  network.SetDefaultLink(wan);
+  std::vector<std::unique_ptr<ntcp::NtcpServer>> servers;
+  for (const std::string endpoint : {"ntcp.p1", "ntcp.p2", "ntcp.p3"}) {
+    auto plugin = std::make_unique<plugins::SimulationPlugin>();
+    structural::Matrix k(1, 1);
+    k(0, 0) = kLeft;
+    plugin->AddControlPoint(
+        "cp", std::make_unique<structural::ElasticSubstructure>(k));
+    auto server = std::make_unique<ntcp::NtcpServer>(&network, endpoint,
+                                                     std::move(plugin));
+    ASSERT_TRUE(server->Start().ok());
+    servers.push_back(std::move(server));
+  }
+
+  auto run = [&](bool parallel, const std::string& name) {
+    CoordinatorConfig config = MakeConfig(15);
+    config.run_id = name;
+    config.parallel_sites = parallel;
+    config.sites = {{"P1", "ntcp.p1", "cp", {0}},
+                    {"P2", "ntcp.p2", "cp", {0}},
+                    {"P3", "ntcp.p3", "cp", {0}}};
+    net::RpcClient rpc(&network, name + ".coordinator");
+    SimulationCoordinator coordinator(config, &rpc);
+    const RunReport report = coordinator.Run();
+    EXPECT_TRUE(report.completed) << report.failure.ToString();
+    return report.wall_seconds;
+  };
+  const double sequential_s = run(false, "seq");
+  const double parallel_s = run(true, "par");
+  // Ideal ratio is 3x; accept anything clearly better than 1.5x.
+  EXPECT_LT(parallel_s, sequential_s / 1.5)
+      << "sequential " << sequential_s << "s vs parallel " << parallel_s;
+}
+
+TEST_F(CoordinatorTest, MultiDofSystemDistributesByDofIndex) {
+  // 2-DOF system: sites A and C carry DOF 0, site B carries DOF 1.
+  auto config = MakeConfig(100);
+  config.mass = structural::Matrix::Identity(2) * kMass;
+  config.damping = structural::Matrix(2, 2);
+  config.iota = {1.0, 1.0};
+  config.sites = {{"A", "ntcp.a", "cp", {0}},
+                  {"B", "ntcp.b", "cp", {1}},
+                  {"C", "ntcp.c", "cp", {0}}};
+  SimulationCoordinator coordinator(config, rpc_.get(), &clock_);
+  const RunReport report = coordinator.Run();
+  ASSERT_TRUE(report.completed) << report.failure.ToString();
+
+  // Reference: diag(kLeft + kRight, kMiddle) stiffness.
+  structural::Matrix k(2, 2);
+  k(0, 0) = kLeft + kRight;
+  k(1, 1) = kMiddle;
+  structural::ElasticSubstructure elastic(k);
+  structural::CentralDifferencePsd psd(config.mass, config.damping,
+                                       config.iota);
+  auto reference = psd.Integrate(
+      config.motion,
+      [&](std::size_t, const structural::Vector& d) {
+        return elastic.Restore(d);
+      });
+  ASSERT_TRUE(reference.ok());
+  for (std::size_t i = 0; i < reference->displacement.size(); ++i) {
+    EXPECT_NEAR(report.history.displacement[i][0],
+                reference->displacement[i][0], 1e-9);
+    EXPECT_NEAR(report.history.displacement[i][1],
+                reference->displacement[i][1], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace nees::psd

@@ -1,0 +1,466 @@
+// Tests for the GSI-analog security stack: Schnorr signatures, certificate
+// chains, proxy delegation, the handshake/token flow, gridmap/ACL
+// authorization, and CAS capabilities.
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "net/rpc.h"
+#include "security/auth.h"
+#include "security/cas.h"
+#include "security/certificate.h"
+#include "security/schnorr.h"
+#include "util/clock.h"
+
+namespace nees::security {
+namespace {
+
+using util::ErrorCode;
+
+// --- Schnorr -----------------------------------------------------------------
+
+TEST(SchnorrTest, SignVerifyRoundTrip) {
+  util::Rng rng(1);
+  const SigningKey key = GenerateKey(rng);
+  const Signature signature = Sign(key, "hello MOST", rng);
+  EXPECT_TRUE(Verify(key.public_key, "hello MOST", signature));
+}
+
+TEST(SchnorrTest, WrongMessageFails) {
+  util::Rng rng(2);
+  const SigningKey key = GenerateKey(rng);
+  const Signature signature = Sign(key, "message A", rng);
+  EXPECT_FALSE(Verify(key.public_key, "message B", signature));
+}
+
+TEST(SchnorrTest, WrongKeyFails) {
+  util::Rng rng(3);
+  const SigningKey alice = GenerateKey(rng);
+  const SigningKey bob = GenerateKey(rng);
+  const Signature signature = Sign(alice, "msg", rng);
+  EXPECT_FALSE(Verify(bob.public_key, "msg", signature));
+}
+
+TEST(SchnorrTest, TamperedSignatureFails) {
+  util::Rng rng(4);
+  const SigningKey key = GenerateKey(rng);
+  Signature signature = Sign(key, "msg", rng);
+  signature.response ^= 1;
+  EXPECT_FALSE(Verify(key.public_key, "msg", signature));
+}
+
+TEST(SchnorrTest, RejectsDegenerateKeys) {
+  util::Rng rng(5);
+  const SigningKey key = GenerateKey(rng);
+  const Signature signature = Sign(key, "msg", rng);
+  EXPECT_FALSE(Verify(0, "msg", signature));
+  EXPECT_FALSE(Verify(kPrime, "msg", signature));
+}
+
+TEST(SchnorrTest, PowModAgainstKnownValues) {
+  EXPECT_EQ(PowMod(2, 10), 1024u);
+  EXPECT_EQ(PowMod(kGenerator, 0), 1u);
+  // Fermat: g^(p-1) = 1 mod p.
+  EXPECT_EQ(PowMod(kGenerator, kPrime - 1), 1u);
+}
+
+class SchnorrPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchnorrPropertyTest, ManyKeysManyMessages) {
+  util::Rng rng(1000 + GetParam());
+  const SigningKey key = GenerateKey(rng);
+  for (int i = 0; i < 5; ++i) {
+    const std::string message = "msg-" + std::to_string(GetParam()) + "-" +
+                                std::to_string(i);
+    const Signature signature = Sign(key, message, rng);
+    EXPECT_TRUE(Verify(key.public_key, message, signature));
+    EXPECT_FALSE(Verify(key.public_key, message + "x", signature));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchnorrPropertyTest, ::testing::Range(0, 10));
+
+// --- Certificates ------------------------------------------------------------
+
+class CertificateTest : public ::testing::Test {
+ protected:
+  CertificateTest() : rng_(77), ca_("/O=NEES/CN=NEES CA", clock_, rng_) {
+    trust_.AddRoot(ca_.root_certificate());
+  }
+
+  util::SimClock clock_{1'000'000};
+  util::Rng rng_;
+  CertificateAuthority ca_;
+  TrustStore trust_;
+};
+
+TEST_F(CertificateTest, IssuedIdentityVerifies) {
+  const Credential user =
+      ca_.IssueIdentity("/O=NEES/CN=spencer", 1'000'000'000, rng_);
+  auto subject = trust_.VerifyChain(user.chain(), clock_.NowMicros());
+  ASSERT_TRUE(subject.ok());
+  EXPECT_EQ(*subject, "/O=NEES/CN=spencer");
+}
+
+TEST_F(CertificateTest, UntrustedRootRejected) {
+  util::Rng other_rng(99);
+  CertificateAuthority rogue("/O=EVIL/CN=CA", clock_, other_rng);
+  const Credential user =
+      rogue.IssueIdentity("/O=NEES/CN=spencer", 0, other_rng);
+  auto subject = trust_.VerifyChain(user.chain(), clock_.NowMicros());
+  EXPECT_EQ(subject.status().code(), ErrorCode::kUnauthenticated);
+}
+
+TEST_F(CertificateTest, ForgedRootWithSameNameRejected) {
+  // Same DN as the real CA but a different key: must be rejected.
+  util::Rng other_rng(99);
+  CertificateAuthority rogue("/O=NEES/CN=NEES CA", clock_, other_rng);
+  const Credential user = rogue.IssueIdentity("/O=NEES/CN=mallory", 0, other_rng);
+  EXPECT_FALSE(trust_.VerifyChain(user.chain(), clock_.NowMicros()).ok());
+}
+
+TEST_F(CertificateTest, ExpiredCertificateRejected) {
+  const Credential user =
+      ca_.IssueIdentity("/O=NEES/CN=shortlived", 1000, rng_);
+  EXPECT_TRUE(trust_.VerifyChain(user.chain(), clock_.NowMicros()).ok());
+  clock_.Advance(2000);
+  EXPECT_FALSE(trust_.VerifyChain(user.chain(), clock_.NowMicros()).ok());
+}
+
+TEST_F(CertificateTest, TamperedCertificateRejected) {
+  Credential user = ca_.IssueIdentity("/O=NEES/CN=spencer", 0, rng_);
+  std::vector<Certificate> chain = user.chain();
+  chain.back().subject = "/O=NEES/CN=admin";  // privilege escalation attempt
+  EXPECT_FALSE(trust_.VerifyChain(chain, clock_.NowMicros()).ok());
+}
+
+TEST_F(CertificateTest, ProxyDelegationVerifiesToBaseIdentity) {
+  const Credential user = ca_.IssueIdentity("/O=NEES/CN=spencer", 0, rng_);
+  const Credential proxy = user.CreateProxy(60'000'000, clock_, rng_);
+  auto subject = trust_.VerifyChain(proxy.chain(), clock_.NowMicros());
+  ASSERT_TRUE(subject.ok());
+  EXPECT_EQ(*subject, "/O=NEES/CN=spencer");
+  EXPECT_EQ(proxy.subject(), "/O=NEES/CN=spencer/proxy");
+}
+
+TEST_F(CertificateTest, NestedProxiesVerify) {
+  const Credential user = ca_.IssueIdentity("/O=NEES/CN=spencer", 0, rng_);
+  Credential proxy = user.CreateProxy(60'000'000, clock_, rng_);
+  for (int depth = 0; depth < 3; ++depth) {
+    proxy = proxy.CreateProxy(60'000'000, clock_, rng_);
+  }
+  auto subject = trust_.VerifyChain(proxy.chain(), clock_.NowMicros());
+  ASSERT_TRUE(subject.ok());
+  EXPECT_EQ(*subject, "/O=NEES/CN=spencer");
+}
+
+TEST_F(CertificateTest, ProxyDepthLimitEnforced) {
+  const Credential user = ca_.IssueIdentity("/O=NEES/CN=spencer", 0, rng_);
+  Credential proxy = user.CreateProxy(60'000'000, clock_, rng_);
+  for (int depth = 0; depth < 9; ++depth) {
+    proxy = proxy.CreateProxy(60'000'000, clock_, rng_);
+  }
+  VerifyOptions options;
+  options.max_proxy_depth = 8;
+  EXPECT_FALSE(
+      trust_.VerifyChain(proxy.chain(), clock_.NowMicros(), options).ok());
+}
+
+TEST_F(CertificateTest, ExpiredProxyRejected) {
+  const Credential user = ca_.IssueIdentity("/O=NEES/CN=spencer", 0, rng_);
+  const Credential proxy = user.CreateProxy(1000, clock_, rng_);
+  clock_.Advance(2000);
+  EXPECT_FALSE(trust_.VerifyChain(proxy.chain(), clock_.NowMicros()).ok());
+}
+
+TEST_F(CertificateTest, NonCaCannotIssueIdentities) {
+  // A regular user forges an "identity" cert signed with their own key.
+  const Credential user = ca_.IssueIdentity("/O=NEES/CN=user", 0, rng_);
+  Certificate forged;
+  forged.subject = "/O=NEES/CN=admin";
+  forged.issuer = user.subject();
+  const SigningKey forged_key = GenerateKey(rng_);
+  forged.public_key = forged_key.public_key;
+  forged.valid_from_micros = clock_.NowMicros();
+  forged.signature = user.Sign(forged.CanonicalPayload(), rng_);
+  std::vector<Certificate> chain = user.chain();
+  chain.push_back(forged);
+  EXPECT_FALSE(trust_.VerifyChain(chain, clock_.NowMicros()).ok());
+}
+
+TEST_F(CertificateTest, EmptyChainRejected) {
+  EXPECT_FALSE(trust_.VerifyChain({}, clock_.NowMicros()).ok());
+}
+
+TEST_F(CertificateTest, EncodeDecodeRoundTrip) {
+  const Credential user = ca_.IssueIdentity("/O=NEES/CN=spencer", 123, rng_);
+  util::ByteWriter writer;
+  EncodeCertificate(user.leaf(), writer);
+  util::ByteReader reader(writer.data());
+  auto decoded = DecodeCertificate(reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->subject, user.leaf().subject);
+  EXPECT_EQ(decoded->public_key, user.leaf().public_key);
+  EXPECT_EQ(decoded->signature, user.leaf().signature);
+  EXPECT_EQ(decoded->CanonicalPayload(), user.leaf().CanonicalPayload());
+}
+
+TEST(BaseIdentityTest, StripsProxySuffixes) {
+  EXPECT_EQ(BaseIdentity("/O=N/CN=a"), "/O=N/CN=a");
+  EXPECT_EQ(BaseIdentity("/O=N/CN=a/proxy"), "/O=N/CN=a");
+  EXPECT_EQ(BaseIdentity("/O=N/CN=a/proxy/proxy/proxy"), "/O=N/CN=a");
+}
+
+// --- Session tokens ------------------------------------------------------------
+
+TEST(SessionTokenTest, IssueValidateRoundTrip) {
+  SessionTokenIssuer issuer("secret");
+  const std::string token = issuer.Issue("/O=NEES/CN=x", 10'000);
+  auto subject = issuer.Validate(token, 5'000);
+  ASSERT_TRUE(subject.ok());
+  EXPECT_EQ(*subject, "/O=NEES/CN=x");
+}
+
+TEST(SessionTokenTest, ExpiredTokenRejected) {
+  SessionTokenIssuer issuer("secret");
+  const std::string token = issuer.Issue("/O=NEES/CN=x", 10'000);
+  EXPECT_FALSE(issuer.Validate(token, 10'000).ok());
+}
+
+TEST(SessionTokenTest, TamperedTokenRejected) {
+  SessionTokenIssuer issuer("secret");
+  std::string token = issuer.Issue("/O=NEES/CN=x", 10'000);
+  token[0] = token[0] == 'a' ? 'b' : 'a';
+  EXPECT_FALSE(issuer.Validate(token, 0).ok());
+}
+
+TEST(SessionTokenTest, TokenFromOtherIssuerRejected) {
+  SessionTokenIssuer a("secret-a"), b("secret-b");
+  EXPECT_FALSE(b.Validate(a.Issue("/O=NEES/CN=x", 0), 0).ok());
+}
+
+TEST(SessionTokenTest, MalformedTokensRejected) {
+  SessionTokenIssuer issuer("secret");
+  EXPECT_FALSE(issuer.Validate("", 0).ok());
+  EXPECT_FALSE(issuer.Validate("a|b", 0).ok());
+  EXPECT_FALSE(issuer.Validate("a|notanumber|cc", 0).ok());
+}
+
+// --- GridMap / ACL -------------------------------------------------------------
+
+TEST(GridMapTest, LookupResolvesProxiesToBase) {
+  GridMap gridmap;
+  gridmap.Add("/O=NEES/CN=spencer", "bfs");
+  auto user = gridmap.Lookup("/O=NEES/CN=spencer/proxy");
+  ASSERT_TRUE(user.ok());
+  EXPECT_EQ(*user, "bfs");
+  EXPECT_FALSE(gridmap.Lookup("/O=NEES/CN=unknown").ok());
+}
+
+TEST(AccessControlTest, EmptyAclIsOpen) {
+  AccessControl acl;
+  EXPECT_TRUE(acl.Check("/O=NEES/CN=anyone", "ntcp.propose"));
+}
+
+TEST(AccessControlTest, PrefixRules) {
+  AccessControl acl;
+  acl.Allow("/O=NEES/CN=coordinator", "ntcp.");
+  acl.Allow("*", "ogsi.findServiceData");
+  EXPECT_TRUE(acl.Check("/O=NEES/CN=coordinator", "ntcp.propose"));
+  EXPECT_FALSE(acl.Check("/O=NEES/CN=observer", "ntcp.propose"));
+  EXPECT_TRUE(acl.Check("/O=NEES/CN=observer", "ogsi.findServiceData"));
+  acl.Revoke("/O=NEES/CN=coordinator", "ntcp.");
+  EXPECT_FALSE(acl.Check("/O=NEES/CN=coordinator", "ntcp.propose"));
+}
+
+// --- Handshake over the network -------------------------------------------------
+
+class AuthFlowTest : public ::testing::Test {
+ protected:
+  AuthFlowTest()
+      : rng_(7), ca_("/O=NEES/CN=CA", clock_, rng_) {}
+
+  void SetUp() override {
+    network_.SetClock(&clock_);
+    TrustStore trust;
+    trust.AddRoot(ca_.root_certificate());
+    auth_ = std::make_unique<AuthService>(std::move(trust), &clock_,
+                                          util::Rng(1234));
+    server_ = std::make_unique<net::RpcServer>(&network_, "ntcp.uiuc");
+    ASSERT_TRUE(server_->Start().ok());
+    server_->RegisterMethod(
+        "ntcp.getState",
+        [](const net::CallContext& context,
+           const net::Bytes&) -> util::Result<net::Bytes> {
+          return net::Bytes(context.subject.begin(), context.subject.end());
+        });
+    auth_->Attach(*server_);
+  }
+
+  util::SimClock clock_{1'000'000'000};
+  util::Rng rng_;
+  net::Network network_;
+  CertificateAuthority ca_;
+  std::unique_ptr<AuthService> auth_;
+  std::unique_ptr<net::RpcServer> server_;
+};
+
+TEST_F(AuthFlowTest, LoginThenAuthenticatedCall) {
+  const Credential user = ca_.IssueIdentity("/O=NEES/CN=coordinator", 0, rng_);
+  net::RpcClient rpc(&network_, "client");
+  AuthClient login(&rpc, user, &clock_, util::Rng(5));
+  ASSERT_TRUE(login.Login("ntcp.uiuc").ok());
+
+  auto result = rpc.Call("ntcp.uiuc", "ntcp.getState", {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(std::string(result->begin(), result->end()),
+            "/O=NEES/CN=coordinator");
+}
+
+TEST_F(AuthFlowTest, UnauthenticatedCallRejected) {
+  net::RpcClient rpc(&network_, "client");
+  auto result = rpc.Call("ntcp.uiuc", "ntcp.getState", {});
+  EXPECT_EQ(result.status().code(), ErrorCode::kUnauthenticated);
+}
+
+TEST_F(AuthFlowTest, ProxyCredentialLoginWorks) {
+  const Credential user = ca_.IssueIdentity("/O=NEES/CN=coordinator", 0, rng_);
+  const Credential proxy = user.CreateProxy(3'600'000'000, clock_, rng_);
+  net::RpcClient rpc(&network_, "client");
+  AuthClient login(&rpc, proxy, &clock_, util::Rng(5));
+  ASSERT_TRUE(login.Login("ntcp.uiuc").ok());
+  auto result = rpc.Call("ntcp.uiuc", "ntcp.getState", {});
+  ASSERT_TRUE(result.ok());
+  // Proxy collapses to the base identity.
+  EXPECT_EQ(std::string(result->begin(), result->end()),
+            "/O=NEES/CN=coordinator");
+}
+
+TEST_F(AuthFlowTest, UntrustedCredentialLoginFails) {
+  util::Rng rogue_rng(5);
+  CertificateAuthority rogue("/O=EVIL/CN=CA", clock_, rogue_rng);
+  const Credential user = rogue.IssueIdentity("/O=EVIL/CN=x", 0, rogue_rng);
+  net::RpcClient rpc(&network_, "client");
+  AuthClient login(&rpc, user, &clock_, util::Rng(5));
+  EXPECT_EQ(login.Login("ntcp.uiuc").code(), ErrorCode::kUnauthenticated);
+}
+
+TEST_F(AuthFlowTest, StaleHandshakeTimestampRejected) {
+  const Credential user = ca_.IssueIdentity("/O=NEES/CN=coordinator", 0, rng_);
+  // A clock skewed far behind the server produces a stale challenge.
+  util::SimClock skewed(clock_.NowMicros() - 600'000'000);
+  net::RpcClient rpc(&network_, "client");
+  AuthClient login(&rpc, user, &skewed, util::Rng(5));
+  EXPECT_EQ(login.Login("ntcp.uiuc").code(), ErrorCode::kUnauthenticated);
+}
+
+TEST_F(AuthFlowTest, GridmapRestrictsLogin) {
+  auth_->gridmap().Add("/O=NEES/CN=coordinator", "coord");
+  const Credential allowed =
+      ca_.IssueIdentity("/O=NEES/CN=coordinator", 0, rng_);
+  const Credential unmapped = ca_.IssueIdentity("/O=NEES/CN=visitor", 0, rng_);
+
+  net::RpcClient rpc_a(&network_, "client.a");
+  AuthClient login_a(&rpc_a, allowed, &clock_, util::Rng(5));
+  EXPECT_TRUE(login_a.Login("ntcp.uiuc").ok());
+
+  net::RpcClient rpc_b(&network_, "client.b");
+  AuthClient login_b(&rpc_b, unmapped, &clock_, util::Rng(6));
+  EXPECT_EQ(login_b.Login("ntcp.uiuc").code(), ErrorCode::kPermissionDenied);
+}
+
+TEST_F(AuthFlowTest, AclEnforcedPerMethod) {
+  auth_->acl().Allow("/O=NEES/CN=operator", "ntcp.");
+  const Credential observer = ca_.IssueIdentity("/O=NEES/CN=observer", 0, rng_);
+  net::RpcClient rpc(&network_, "client");
+  AuthClient login(&rpc, observer, &clock_, util::Rng(5));
+  ASSERT_TRUE(login.Login("ntcp.uiuc").ok());
+  auto result = rpc.Call("ntcp.uiuc", "ntcp.getState", {});
+  EXPECT_EQ(result.status().code(), ErrorCode::kPermissionDenied);
+}
+
+TEST_F(AuthFlowTest, ExpiredSessionTokenRejected) {
+  const Credential user = ca_.IssueIdentity("/O=NEES/CN=coordinator", 0, rng_);
+  net::RpcClient rpc(&network_, "client");
+  AuthClient login(&rpc, user, &clock_, util::Rng(5));
+  ASSERT_TRUE(login.Login("ntcp.uiuc").ok());
+  clock_.Advance(2 * 3'600'000'000LL);  // 2 hours: token lifetime is 1 hour
+  auto result = rpc.Call("ntcp.uiuc", "ntcp.getState", {});
+  EXPECT_EQ(result.status().code(), ErrorCode::kUnauthenticated);
+}
+
+// --- CAS -------------------------------------------------------------------------
+
+class CasTest : public ::testing::Test {
+ protected:
+  CasTest()
+      : rng_(7),
+        ca_("/O=NEES/CN=CA", clock_, rng_),
+        cas_(ca_.IssueIdentity("/O=NEES/CN=cas", 0, rng_), &clock_,
+             util::Rng(9)) {}
+
+  util::SimClock clock_{1'000'000};
+  util::Rng rng_;
+  CertificateAuthority ca_;
+  CommunityAuthorizationService cas_;
+};
+
+TEST_F(CasTest, GrantedSubjectGetsVerifiableCapability) {
+  cas_.Grant("/O=NEES/CN=ingest", "repo.files", "write");
+  auto capability = cas_.Issue("/O=NEES/CN=ingest", "repo.files", "write");
+  ASSERT_TRUE(capability.ok());
+  EXPECT_TRUE(
+      VerifyCapability(*capability, cas_.public_key(), clock_.NowMicros())
+          .ok());
+}
+
+TEST_F(CasTest, UngrantedSubjectDenied) {
+  auto capability = cas_.Issue("/O=NEES/CN=visitor", "repo.files", "write");
+  EXPECT_EQ(capability.status().code(), ErrorCode::kPermissionDenied);
+}
+
+TEST_F(CasTest, WildcardGrant) {
+  cas_.Grant("*", "repo.metadata", "read");
+  EXPECT_TRUE(cas_.Issue("/O=NEES/CN=anyone", "repo.metadata", "read").ok());
+}
+
+TEST_F(CasTest, RevokedGrantDenied) {
+  cas_.Grant("/O=NEES/CN=x", "r", "a");
+  cas_.Revoke("/O=NEES/CN=x", "r", "a");
+  EXPECT_FALSE(cas_.Issue("/O=NEES/CN=x", "r", "a").ok());
+}
+
+TEST_F(CasTest, ExpiredCapabilityRejected) {
+  cas_.Grant("/O=NEES/CN=x", "r", "a");
+  auto capability = cas_.Issue("/O=NEES/CN=x", "r", "a");
+  ASSERT_TRUE(capability.ok());
+  clock_.Advance(2 * 3'600'000'000LL);
+  EXPECT_FALSE(
+      VerifyCapability(*capability, cas_.public_key(), clock_.NowMicros())
+          .ok());
+}
+
+TEST_F(CasTest, TamperedCapabilityRejected) {
+  cas_.Grant("/O=NEES/CN=x", "r", "read");
+  auto capability = cas_.Issue("/O=NEES/CN=x", "r", "read");
+  ASSERT_TRUE(capability.ok());
+  Capability tampered = *capability;
+  tampered.action = "write";  // escalation attempt
+  EXPECT_FALSE(
+      VerifyCapability(tampered, cas_.public_key(), clock_.NowMicros()).ok());
+}
+
+TEST_F(CasTest, TokenRoundTrip) {
+  cas_.Grant("/O=NEES/CN=x", "r", "a");
+  auto capability = cas_.Issue("/O=NEES/CN=x", "r", "a");
+  ASSERT_TRUE(capability.ok());
+  const std::string token = CapabilityToToken(*capability);
+  auto decoded = CapabilityFromToken(token);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(
+      VerifyCapability(*decoded, cas_.public_key(), clock_.NowMicros()).ok());
+  EXPECT_FALSE(CapabilityFromToken("zznothex").ok());
+  EXPECT_FALSE(CapabilityFromToken("abc").ok());
+}
+
+}  // namespace
+}  // namespace nees::security

@@ -1,0 +1,324 @@
+// Tests for telepresence (camera control, video feed, still capture) and
+// the CHEF collaboration environment (sessions, chat, notebook, board,
+// data viewers with VCR cursor, participant swarm).
+#include <gtest/gtest.h>
+
+#include "chef/chef.h"
+#include "net/network.h"
+#include "repo/facade.h"
+#include "telepresence/telepresence.h"
+#include "util/clock.h"
+
+namespace nees {
+namespace {
+
+using util::ErrorCode;
+
+// --- telepresence ------------------------------------------------------------
+
+class TeleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<tele::TelepresenceServer>(&network_,
+                                                         "cam.uiuc", "uiuc-1");
+    ASSERT_TRUE(server_->Start().ok());
+    client_ = std::make_unique<tele::TelepresenceClient>(&network_, "viewer");
+  }
+
+  net::Network network_;
+  std::unique_ptr<tele::TelepresenceServer> server_;
+  std::unique_ptr<tele::TelepresenceClient> client_;
+};
+
+TEST_F(TeleTest, PanTiltZoomClampedToLimits) {
+  auto pose = client_->Control("cam.uiuc", {500.0, -90.0, 100.0});
+  ASSERT_TRUE(pose.ok());
+  EXPECT_DOUBLE_EQ(pose->pan_deg, 170.0);
+  EXPECT_DOUBLE_EQ(pose->tilt_deg, -30.0);
+  EXPECT_DOUBLE_EQ(pose->zoom, 12.0);
+}
+
+TEST_F(TeleTest, SnapshotChangesWithPoseAndScene) {
+  auto frame1 = client_->Snapshot("cam.uiuc");
+  ASSERT_TRUE(frame1.ok());
+  ASSERT_TRUE(client_->Control("cam.uiuc", {10.0, 5.0, 2.0}).ok());
+  auto frame2 = client_->Snapshot("cam.uiuc");
+  ASSERT_TRUE(frame2.ok());
+  EXPECT_NE(*frame1, *frame2);
+
+  server_->camera().SetSceneValue(0.042);
+  auto frame3 = client_->Snapshot("cam.uiuc");
+  ASSERT_TRUE(frame3.ok());
+  EXPECT_NE(*frame2, *frame3);
+}
+
+TEST_F(TeleTest, VideoFeedReachesSubscribers) {
+  ASSERT_TRUE(client_->SubscribeVideo("cam.uiuc").ok());
+  for (int i = 0; i < 30; ++i) server_->PumpFrame();
+  EXPECT_EQ(client_->frames_received(), 30u);
+  EXPECT_FALSE(client_->last_frame().empty());
+  EXPECT_EQ(server_->frames_pushed(), 30u);
+}
+
+TEST_F(TeleTest, VideoIsBestEffort) {
+  ASSERT_TRUE(client_->SubscribeVideo("cam.uiuc").ok());
+  network_.DropNext("cam.uiuc", "viewer", 5);
+  for (int i = 0; i < 10; ++i) server_->PumpFrame();
+  EXPECT_EQ(client_->frames_received(), 5u);  // lost frames are just gone
+}
+
+TEST_F(TeleTest, MultipleViewersEachGetFrames) {
+  tele::TelepresenceClient second(&network_, "viewer2");
+  ASSERT_TRUE(client_->SubscribeVideo("cam.uiuc").ok());
+  ASSERT_TRUE(second.SubscribeVideo("cam.uiuc").ok());
+  server_->PumpFrame();
+  EXPECT_EQ(client_->frames_received(), 1u);
+  EXPECT_EQ(second.frames_received(), 1u);
+}
+
+// --- CHEF ----------------------------------------------------------------------
+
+class ChefTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_.SetClock(&clock_);
+    server_ = std::make_unique<chef::ChefServer>(&network_, "chef.nees",
+                                                 &clock_);
+    ASSERT_TRUE(server_->Start().ok());
+    client_ = std::make_unique<chef::ChefClient>(&network_, "c1",
+                                                 "chef.nees");
+  }
+
+  void FeedViewer(int samples) {
+    for (int i = 0; i < samples; ++i) {
+      server_->viewer().Feed({"most.displacement", i * 20'000, 0.001 * i});
+      server_->viewer().Feed({"most.force.UIUC", i * 20'000, 10.0 * i});
+    }
+  }
+
+  util::SimClock clock_{1'000'000};
+  net::Network network_;
+  std::unique_ptr<chef::ChefServer> server_;
+  std::unique_ptr<chef::ChefClient> client_;
+};
+
+TEST_F(ChefTest, LoginLogoutPresence) {
+  ASSERT_TRUE(client_->Login("spencer").ok());
+  chef::ChefClient other(&network_, "c2", "chef.nees");
+  ASSERT_TRUE(other.Login("foster").ok());
+
+  auto users = client_->Presence();
+  ASSERT_TRUE(users.ok());
+  EXPECT_EQ(*users, (std::vector<std::string>{"foster", "spencer"}));
+
+  ASSERT_TRUE(other.Logout().ok());
+  users = client_->Presence();
+  EXPECT_EQ(users->size(), 1u);
+  EXPECT_EQ(server_->stats().logins, 2u);
+  EXPECT_EQ(server_->stats().peak_concurrent, 2u);
+}
+
+TEST_F(ChefTest, SessionRequiredForPosting) {
+  EXPECT_EQ(client_->PostChat("most", "hi").code(),
+            ErrorCode::kUnauthenticated);
+  ASSERT_TRUE(client_->Login("spencer").ok());
+  EXPECT_TRUE(client_->PostChat("most", "hi").ok());
+}
+
+TEST_F(ChefTest, ChatRoomsAreIsolatedAndOrdered) {
+  ASSERT_TRUE(client_->Login("spencer").ok());
+  ASSERT_TRUE(client_->PostChat("most", "first").ok());
+  ASSERT_TRUE(client_->PostChat("dev", "internal").ok());
+  ASSERT_TRUE(client_->PostChat("most", "second").ok());
+
+  auto history = client_->ChatHistory("most");
+  ASSERT_TRUE(history.ok());
+  ASSERT_EQ(history->size(), 2u);
+  EXPECT_EQ((*history)[0].text, "first");
+  EXPECT_EQ((*history)[1].text, "second");
+  EXPECT_EQ((*history)[0].user, "spencer");
+
+  // Incremental fetch from an offset.
+  auto tail = client_->ChatHistory("most", 1);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_EQ(tail->size(), 1u);
+  EXPECT_EQ((*tail)[0].text, "second");
+}
+
+TEST_F(ChefTest, MessageBoardAndNotebook) {
+  ASSERT_TRUE(client_->Login("spencer").ok());
+  ASSERT_TRUE(client_->PostBoard("schedule", "dry run at 9am").ok());
+  ASSERT_TRUE(client_->AppendNotebook("step 100: all nominal").ok());
+
+  auto posts = client_->ReadBoard("schedule");
+  ASSERT_TRUE(posts.ok());
+  ASSERT_EQ(posts->size(), 1u);
+  EXPECT_EQ((*posts)[0].text, "dry run at 9am");
+
+  auto notebook = client_->ReadNotebook();
+  ASSERT_TRUE(notebook.ok());
+  ASSERT_EQ(notebook->size(), 1u);
+  EXPECT_EQ((*notebook)[0].user, "spencer");
+}
+
+TEST_F(ChefTest, ViewerSeriesAndTailLimit) {
+  FeedViewer(100);
+  ASSERT_TRUE(client_->Login("observer").ok());
+  auto series = client_->ViewerSeries("most.displacement", 1000);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->size(), 100u);
+
+  auto tail = client_->ViewerSeries("most.displacement", 10);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_EQ(tail->size(), 10u);
+  EXPECT_DOUBLE_EQ(tail->back().value, 0.099);  // newest samples kept
+}
+
+TEST_F(ChefTest, HysteresisPairsByTimestamp) {
+  FeedViewer(50);
+  ASSERT_TRUE(client_->Login("observer").ok());
+  auto loop =
+      client_->ViewerHysteresis("most.displacement", "most.force.UIUC");
+  ASSERT_TRUE(loop.ok());
+  ASSERT_EQ(loop->size(), 50u);
+  // force = 10000 * displacement in the fed data.
+  for (const auto& [d, f] : *loop) {
+    EXPECT_NEAR(f, 10000.0 * d, 1e-9);
+  }
+}
+
+TEST_F(ChefTest, VcrControlsMoveCursor) {
+  FeedViewer(100);
+  ASSERT_TRUE(client_->Login("observer").ok());
+
+  // Play + step advances.
+  ASSERT_TRUE(client_->Vcr(chef::VcrCommand::kPlay).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(client_->Vcr(chef::VcrCommand::kStep).ok());
+  }
+  auto at = client_->ViewAt("most.displacement");
+  ASSERT_TRUE(at.ok());
+  EXPECT_DOUBLE_EQ(at->value, 0.005);
+
+  // Pause freezes the cursor against further steps.
+  ASSERT_TRUE(client_->Vcr(chef::VcrCommand::kPause).ok());
+  ASSERT_TRUE(client_->Vcr(chef::VcrCommand::kStep).ok());
+  EXPECT_DOUBLE_EQ(client_->ViewAt("most.displacement")->value, 0.005);
+
+  // Fast-forward, rewind, and the end stop.
+  auto cursor = client_->Vcr(chef::VcrCommand::kFastForward);
+  ASSERT_TRUE(cursor.ok());
+  EXPECT_EQ(*cursor, 15u);
+  cursor = client_->Vcr(chef::VcrCommand::kRewind);
+  EXPECT_EQ(*cursor, 5u);
+  cursor = client_->Vcr(chef::VcrCommand::kSeekEnd);
+  EXPECT_EQ(*cursor, 99u);
+  cursor = client_->Vcr(chef::VcrCommand::kSeekStart);
+  EXPECT_EQ(*cursor, 0u);
+}
+
+TEST_F(ChefTest, VcrCursorIsPerSession) {
+  FeedViewer(50);
+  ASSERT_TRUE(client_->Login("a").ok());
+  chef::ChefClient other(&network_, "c2", "chef.nees");
+  ASSERT_TRUE(other.Login("b").ok());
+
+  ASSERT_TRUE(client_->Vcr(chef::VcrCommand::kSeekEnd).ok());
+  auto other_cursor = other.Vcr(chef::VcrCommand::kFastForward);
+  ASSERT_TRUE(other_cursor.ok());
+  EXPECT_EQ(*other_cursor, 10u);  // unaffected by the first session's seek
+}
+
+TEST_F(ChefTest, LiveStreamFeedsViewer) {
+  nsds::NsdsServer stream(&network_, "nsds.nees");
+  ASSERT_TRUE(stream.Start().ok());
+  nsds::NsdsSubscriber subscription(&network_, "chef.feed");
+  server_->ConnectStream(subscription);
+  ASSERT_TRUE(subscription.SubscribeTo("nsds.nees", "most.").ok());
+
+  stream.Publish({{"most.displacement", 1000, 0.5}});
+  EXPECT_EQ(server_->viewer().SampleCount("most.displacement"), 1u);
+  auto channels = server_->viewer().Channels();
+  EXPECT_EQ(channels, std::vector<std::string>{"most.displacement"});
+}
+
+TEST_F(ChefTest, ArrangementsAreSavedSharedAndOrganized) {
+  FeedViewer(30);
+  ASSERT_TRUE(client_->Login("spencer").ok());
+
+  // Saving needs a session and at least one view.
+  EXPECT_FALSE(client_->SaveArrangement("empty", {}).ok());
+  ASSERT_TRUE(client_
+                  ->SaveArrangement("structure-response",
+                                    {"most.displacement", "most.force.UIUC"})
+                  .ok());
+
+  // Another participant sees and opens the shared arrangement.
+  chef::ChefClient other(&network_, "c2", "chef.nees");
+  ASSERT_TRUE(other.Login("foster").ok());
+  auto names = other.ListArrangements();
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, std::vector<std::string>{"structure-response"});
+
+  auto views = other.OpenArrangement("structure-response");
+  ASSERT_TRUE(views.ok());
+  ASSERT_EQ(views->size(), 2u);
+  EXPECT_EQ((*views)[0].first, "most.displacement");
+  EXPECT_DOUBLE_EQ((*views)[0].second.value, 0.029);  // freshest sample
+  EXPECT_DOUBLE_EQ((*views)[1].second.value, 290.0);
+
+  EXPECT_EQ(other.OpenArrangement("nope").status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(ChefTest, ArchivedDataLoadsIntoViewerThroughHttpsBridge) {
+  // §3: CHEF "access[ed] the metadata catalog and download[ed] experimental
+  // data so that it could be viewed immediately by remote participants".
+  repo::RepositoryFacade repository(&network_, "repo.nees");
+  ASSERT_TRUE(repository.Start().ok());
+  repo::HttpsBridge bridge(&network_, "https.nees", "repo.nees");
+  ASSERT_TRUE(bridge.Start().ok());
+
+  const std::string csv =
+      "most.displacement,0,0.001\n"
+      "most.displacement,20000,0.002\n"
+      "most.force.UIUC,0,10.0\n";
+  ASSERT_TRUE(repository
+                  .Ingest("most/daq/archived.csv",
+                          repo::Bytes(csv.begin(), csv.end()), "daq-data", {})
+                  .ok());
+
+  net::RpcClient fetch_rpc(&network_, "chef.fetch");
+  auto loaded = server_->LoadArchivedData(&fetch_rpc, "https.nees",
+                                          "most/daq/archived.csv");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, 3u);
+  EXPECT_EQ(server_->viewer().SampleCount("most.displacement"), 2u);
+  EXPECT_EQ(server_->viewer().SampleCount("most.force.UIUC"), 1u);
+
+  // Missing archives and corrupt CSV both fail cleanly.
+  EXPECT_FALSE(
+      server_->LoadArchivedData(&fetch_rpc, "https.nees", "ghost").ok());
+  ASSERT_TRUE(repository
+                  .Ingest("bad.csv", {'z', ',', 'q', '\n'}, "daq-data", {})
+                  .ok());
+  EXPECT_EQ(server_->LoadArchivedData(&fetch_rpc, "https.nees", "bad.csv")
+                .status()
+                .code(),
+            ErrorCode::kDataLoss);
+}
+
+TEST_F(ChefTest, ParticipantSwarm130Users) {
+  FeedViewer(20);
+  const chef::SwarmReport report =
+      chef::RunParticipantSwarm(&network_, "chef.nees", 130);
+  EXPECT_EQ(report.participants, 130);
+  EXPECT_EQ(report.failures, 0);
+  EXPECT_GT(report.chat_posts, 100);
+  EXPECT_GT(report.viewer_reads, 200);
+  EXPECT_EQ(server_->stats().peak_concurrent, 130u);
+  EXPECT_EQ(server_->ActiveUsers().size(), 130u);
+}
+
+}  // namespace
+}  // namespace nees
