@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_centrifuge"
+  "../bench/bench_centrifuge.pdb"
+  "CMakeFiles/bench_centrifuge.dir/bench_centrifuge.cpp.o"
+  "CMakeFiles/bench_centrifuge.dir/bench_centrifuge.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_centrifuge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

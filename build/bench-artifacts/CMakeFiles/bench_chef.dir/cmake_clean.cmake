@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_chef"
+  "../bench/bench_chef.pdb"
+  "CMakeFiles/bench_chef.dir/bench_chef.cpp.o"
+  "CMakeFiles/bench_chef.dir/bench_chef.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chef.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

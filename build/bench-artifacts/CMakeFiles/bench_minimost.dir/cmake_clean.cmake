@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_minimost"
+  "../bench/bench_minimost.pdb"
+  "CMakeFiles/bench_minimost.dir/bench_minimost.cpp.o"
+  "CMakeFiles/bench_minimost.dir/bench_minimost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_minimost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

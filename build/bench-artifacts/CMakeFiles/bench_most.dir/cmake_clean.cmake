@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_most"
+  "../bench/bench_most.pdb"
+  "CMakeFiles/bench_most.dir/bench_most.cpp.o"
+  "CMakeFiles/bench_most.dir/bench_most.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_most.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_nsds"
+  "../bench/bench_nsds.pdb"
+  "CMakeFiles/bench_nsds.dir/bench_nsds.cpp.o"
+  "CMakeFiles/bench_nsds.dir/bench_nsds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nsds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ntcp"
+  "../bench/bench_ntcp.pdb"
+  "CMakeFiles/bench_ntcp.dir/bench_ntcp.cpp.o"
+  "CMakeFiles/bench_ntcp.dir/bench_ntcp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ntcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ntcp_latency"
+  "../bench/bench_ntcp_latency.pdb"
+  "CMakeFiles/bench_ntcp_latency.dir/bench_ntcp_latency.cpp.o"
+  "CMakeFiles/bench_ntcp_latency.dir/bench_ntcp_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ntcp_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_repo"
+  "../bench/bench_repo.pdb"
+  "CMakeFiles/bench_repo.dir/bench_repo.cpp.o"
+  "CMakeFiles/bench_repo.dir/bench_repo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_repo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_structural"
+  "../bench/bench_structural.pdb"
+  "CMakeFiles/bench_structural.dir/bench_structural.cpp.o"
+  "CMakeFiles/bench_structural.dir/bench_structural.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_structural.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mini_most.dir/mini_most.cpp.o"
+  "CMakeFiles/mini_most.dir/mini_most.cpp.o.d"
+  "mini_most"
+  "mini_most.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mini_most.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

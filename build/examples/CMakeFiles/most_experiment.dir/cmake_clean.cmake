@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/most_experiment.dir/most_experiment.cpp.o"
+  "CMakeFiles/most_experiment.dir/most_experiment.cpp.o.d"
+  "most_experiment"
+  "most_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/most_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

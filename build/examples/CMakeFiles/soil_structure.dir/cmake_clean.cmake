@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soil_structure.dir/soil_structure.cpp.o"
+  "CMakeFiles/soil_structure.dir/soil_structure.cpp.o.d"
+  "soil_structure"
+  "soil_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soil_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telepresence_demo.dir/telepresence_demo.cpp.o"
+  "CMakeFiles/telepresence_demo.dir/telepresence_demo.cpp.o.d"
+  "telepresence_demo"
+  "telepresence_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telepresence_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

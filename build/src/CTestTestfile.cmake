@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("net")
+subdirs("grid")
+subdirs("security")
+subdirs("structural")
+subdirs("testbed")
+subdirs("ntcp")
+subdirs("plugins")
+subdirs("daq")
+subdirs("nsds")
+subdirs("repo")
+subdirs("psd")
+subdirs("telepresence")
+subdirs("chef")
+subdirs("centrifuge")
+subdirs("most")

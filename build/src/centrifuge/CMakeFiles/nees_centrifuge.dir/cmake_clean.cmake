@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nees_centrifuge.dir/plugin.cpp.o"
+  "CMakeFiles/nees_centrifuge.dir/plugin.cpp.o.d"
+  "CMakeFiles/nees_centrifuge.dir/robot.cpp.o"
+  "CMakeFiles/nees_centrifuge.dir/robot.cpp.o.d"
+  "libnees_centrifuge.a"
+  "libnees_centrifuge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nees_centrifuge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nees_centrifuge.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chef/chef.cpp" "src/chef/CMakeFiles/nees_chef.dir/chef.cpp.o" "gcc" "src/chef/CMakeFiles/nees_chef.dir/chef.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nsds/CMakeFiles/nees_nsds.dir/DependInfo.cmake"
+  "/root/repo/build/src/repo/CMakeFiles/nees_repo.dir/DependInfo.cmake"
+  "/root/repo/build/src/daq/CMakeFiles/nees_daq.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nees_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nees_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/nees_security.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nees_chef.dir/chef.cpp.o"
+  "CMakeFiles/nees_chef.dir/chef.cpp.o.d"
+  "libnees_chef.a"
+  "libnees_chef.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nees_chef.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

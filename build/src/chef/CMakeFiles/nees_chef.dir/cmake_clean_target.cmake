@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnees_chef.a"
+)

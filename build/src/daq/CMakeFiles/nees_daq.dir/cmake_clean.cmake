@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nees_daq.dir/daq.cpp.o"
+  "CMakeFiles/nees_daq.dir/daq.cpp.o.d"
+  "libnees_daq.a"
+  "libnees_daq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nees_daq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

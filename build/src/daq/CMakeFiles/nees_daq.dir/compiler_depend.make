@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nees_daq.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/container.cpp" "src/grid/CMakeFiles/nees_grid.dir/container.cpp.o" "gcc" "src/grid/CMakeFiles/nees_grid.dir/container.cpp.o.d"
+  "/root/repo/src/grid/registry.cpp" "src/grid/CMakeFiles/nees_grid.dir/registry.cpp.o" "gcc" "src/grid/CMakeFiles/nees_grid.dir/registry.cpp.o.d"
+  "/root/repo/src/grid/service.cpp" "src/grid/CMakeFiles/nees_grid.dir/service.cpp.o" "gcc" "src/grid/CMakeFiles/nees_grid.dir/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/nees_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nees_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nees_grid.dir/container.cpp.o"
+  "CMakeFiles/nees_grid.dir/container.cpp.o.d"
+  "CMakeFiles/nees_grid.dir/registry.cpp.o"
+  "CMakeFiles/nees_grid.dir/registry.cpp.o.d"
+  "CMakeFiles/nees_grid.dir/service.cpp.o"
+  "CMakeFiles/nees_grid.dir/service.cpp.o.d"
+  "libnees_grid.a"
+  "libnees_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nees_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

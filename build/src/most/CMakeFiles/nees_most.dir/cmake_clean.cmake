@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nees_most.dir/mini_most.cpp.o"
+  "CMakeFiles/nees_most.dir/mini_most.cpp.o.d"
+  "CMakeFiles/nees_most.dir/most.cpp.o"
+  "CMakeFiles/nees_most.dir/most.cpp.o.d"
+  "libnees_most.a"
+  "libnees_most.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nees_most.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nees_net.dir/network.cpp.o"
+  "CMakeFiles/nees_net.dir/network.cpp.o.d"
+  "CMakeFiles/nees_net.dir/rpc.cpp.o"
+  "CMakeFiles/nees_net.dir/rpc.cpp.o.d"
+  "libnees_net.a"
+  "libnees_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nees_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nsds/nsds.cpp" "src/nsds/CMakeFiles/nees_nsds.dir/nsds.cpp.o" "gcc" "src/nsds/CMakeFiles/nees_nsds.dir/nsds.cpp.o.d"
+  "/root/repo/src/nsds/referral.cpp" "src/nsds/CMakeFiles/nees_nsds.dir/referral.cpp.o" "gcc" "src/nsds/CMakeFiles/nees_nsds.dir/referral.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/nees_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nees_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

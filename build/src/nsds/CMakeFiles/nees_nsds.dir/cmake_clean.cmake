@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nees_nsds.dir/nsds.cpp.o"
+  "CMakeFiles/nees_nsds.dir/nsds.cpp.o.d"
+  "CMakeFiles/nees_nsds.dir/referral.cpp.o"
+  "CMakeFiles/nees_nsds.dir/referral.cpp.o.d"
+  "libnees_nsds.a"
+  "libnees_nsds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nees_nsds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

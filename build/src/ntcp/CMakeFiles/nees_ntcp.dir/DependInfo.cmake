@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ntcp/client.cpp" "src/ntcp/CMakeFiles/nees_ntcp.dir/client.cpp.o" "gcc" "src/ntcp/CMakeFiles/nees_ntcp.dir/client.cpp.o.d"
+  "/root/repo/src/ntcp/server.cpp" "src/ntcp/CMakeFiles/nees_ntcp.dir/server.cpp.o" "gcc" "src/ntcp/CMakeFiles/nees_ntcp.dir/server.cpp.o.d"
+  "/root/repo/src/ntcp/types.cpp" "src/ntcp/CMakeFiles/nees_ntcp.dir/types.cpp.o" "gcc" "src/ntcp/CMakeFiles/nees_ntcp.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/nees_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nees_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nees_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nees_ntcp.dir/client.cpp.o"
+  "CMakeFiles/nees_ntcp.dir/client.cpp.o.d"
+  "CMakeFiles/nees_ntcp.dir/server.cpp.o"
+  "CMakeFiles/nees_ntcp.dir/server.cpp.o.d"
+  "CMakeFiles/nees_ntcp.dir/types.cpp.o"
+  "CMakeFiles/nees_ntcp.dir/types.cpp.o.d"
+  "libnees_ntcp.a"
+  "libnees_ntcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nees_ntcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

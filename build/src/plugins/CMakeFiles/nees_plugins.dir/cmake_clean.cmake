@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nees_plugins.dir/labview_plugin.cpp.o"
+  "CMakeFiles/nees_plugins.dir/labview_plugin.cpp.o.d"
+  "CMakeFiles/nees_plugins.dir/mplugin.cpp.o"
+  "CMakeFiles/nees_plugins.dir/mplugin.cpp.o.d"
+  "CMakeFiles/nees_plugins.dir/policy_plugin.cpp.o"
+  "CMakeFiles/nees_plugins.dir/policy_plugin.cpp.o.d"
+  "CMakeFiles/nees_plugins.dir/shorewestern_plugin.cpp.o"
+  "CMakeFiles/nees_plugins.dir/shorewestern_plugin.cpp.o.d"
+  "CMakeFiles/nees_plugins.dir/simulation_plugin.cpp.o"
+  "CMakeFiles/nees_plugins.dir/simulation_plugin.cpp.o.d"
+  "libnees_plugins.a"
+  "libnees_plugins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nees_plugins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nees_psd.dir/coordinator.cpp.o"
+  "CMakeFiles/nees_psd.dir/coordinator.cpp.o.d"
+  "libnees_psd.a"
+  "libnees_psd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nees_psd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

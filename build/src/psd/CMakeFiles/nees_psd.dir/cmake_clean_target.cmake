@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnees_psd.a"
+)

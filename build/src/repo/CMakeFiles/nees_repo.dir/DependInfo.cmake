@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/repo/facade.cpp" "src/repo/CMakeFiles/nees_repo.dir/facade.cpp.o" "gcc" "src/repo/CMakeFiles/nees_repo.dir/facade.cpp.o.d"
+  "/root/repo/src/repo/filestore.cpp" "src/repo/CMakeFiles/nees_repo.dir/filestore.cpp.o" "gcc" "src/repo/CMakeFiles/nees_repo.dir/filestore.cpp.o.d"
+  "/root/repo/src/repo/gridftp.cpp" "src/repo/CMakeFiles/nees_repo.dir/gridftp.cpp.o" "gcc" "src/repo/CMakeFiles/nees_repo.dir/gridftp.cpp.o.d"
+  "/root/repo/src/repo/nfms.cpp" "src/repo/CMakeFiles/nees_repo.dir/nfms.cpp.o" "gcc" "src/repo/CMakeFiles/nees_repo.dir/nfms.cpp.o.d"
+  "/root/repo/src/repo/nmds.cpp" "src/repo/CMakeFiles/nees_repo.dir/nmds.cpp.o" "gcc" "src/repo/CMakeFiles/nees_repo.dir/nmds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/daq/CMakeFiles/nees_daq.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/nees_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nees_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nees_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nsds/CMakeFiles/nees_nsds.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nees_repo.dir/facade.cpp.o"
+  "CMakeFiles/nees_repo.dir/facade.cpp.o.d"
+  "CMakeFiles/nees_repo.dir/filestore.cpp.o"
+  "CMakeFiles/nees_repo.dir/filestore.cpp.o.d"
+  "CMakeFiles/nees_repo.dir/gridftp.cpp.o"
+  "CMakeFiles/nees_repo.dir/gridftp.cpp.o.d"
+  "CMakeFiles/nees_repo.dir/nfms.cpp.o"
+  "CMakeFiles/nees_repo.dir/nfms.cpp.o.d"
+  "CMakeFiles/nees_repo.dir/nmds.cpp.o"
+  "CMakeFiles/nees_repo.dir/nmds.cpp.o.d"
+  "libnees_repo.a"
+  "libnees_repo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nees_repo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/security/auth.cpp" "src/security/CMakeFiles/nees_security.dir/auth.cpp.o" "gcc" "src/security/CMakeFiles/nees_security.dir/auth.cpp.o.d"
+  "/root/repo/src/security/cas.cpp" "src/security/CMakeFiles/nees_security.dir/cas.cpp.o" "gcc" "src/security/CMakeFiles/nees_security.dir/cas.cpp.o.d"
+  "/root/repo/src/security/certificate.cpp" "src/security/CMakeFiles/nees_security.dir/certificate.cpp.o" "gcc" "src/security/CMakeFiles/nees_security.dir/certificate.cpp.o.d"
+  "/root/repo/src/security/schnorr.cpp" "src/security/CMakeFiles/nees_security.dir/schnorr.cpp.o" "gcc" "src/security/CMakeFiles/nees_security.dir/schnorr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/nees_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nees_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nees_security.dir/auth.cpp.o"
+  "CMakeFiles/nees_security.dir/auth.cpp.o.d"
+  "CMakeFiles/nees_security.dir/cas.cpp.o"
+  "CMakeFiles/nees_security.dir/cas.cpp.o.d"
+  "CMakeFiles/nees_security.dir/certificate.cpp.o"
+  "CMakeFiles/nees_security.dir/certificate.cpp.o.d"
+  "CMakeFiles/nees_security.dir/schnorr.cpp.o"
+  "CMakeFiles/nees_security.dir/schnorr.cpp.o.d"
+  "libnees_security.a"
+  "libnees_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nees_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/structural/element.cpp" "src/structural/CMakeFiles/nees_structural.dir/element.cpp.o" "gcc" "src/structural/CMakeFiles/nees_structural.dir/element.cpp.o.d"
+  "/root/repo/src/structural/frame.cpp" "src/structural/CMakeFiles/nees_structural.dir/frame.cpp.o" "gcc" "src/structural/CMakeFiles/nees_structural.dir/frame.cpp.o.d"
+  "/root/repo/src/structural/groundmotion.cpp" "src/structural/CMakeFiles/nees_structural.dir/groundmotion.cpp.o" "gcc" "src/structural/CMakeFiles/nees_structural.dir/groundmotion.cpp.o.d"
+  "/root/repo/src/structural/integrator.cpp" "src/structural/CMakeFiles/nees_structural.dir/integrator.cpp.o" "gcc" "src/structural/CMakeFiles/nees_structural.dir/integrator.cpp.o.d"
+  "/root/repo/src/structural/linalg.cpp" "src/structural/CMakeFiles/nees_structural.dir/linalg.cpp.o" "gcc" "src/structural/CMakeFiles/nees_structural.dir/linalg.cpp.o.d"
+  "/root/repo/src/structural/substructure.cpp" "src/structural/CMakeFiles/nees_structural.dir/substructure.cpp.o" "gcc" "src/structural/CMakeFiles/nees_structural.dir/substructure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nees_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

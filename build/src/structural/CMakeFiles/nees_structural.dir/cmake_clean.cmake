@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nees_structural.dir/element.cpp.o"
+  "CMakeFiles/nees_structural.dir/element.cpp.o.d"
+  "CMakeFiles/nees_structural.dir/frame.cpp.o"
+  "CMakeFiles/nees_structural.dir/frame.cpp.o.d"
+  "CMakeFiles/nees_structural.dir/groundmotion.cpp.o"
+  "CMakeFiles/nees_structural.dir/groundmotion.cpp.o.d"
+  "CMakeFiles/nees_structural.dir/integrator.cpp.o"
+  "CMakeFiles/nees_structural.dir/integrator.cpp.o.d"
+  "CMakeFiles/nees_structural.dir/linalg.cpp.o"
+  "CMakeFiles/nees_structural.dir/linalg.cpp.o.d"
+  "CMakeFiles/nees_structural.dir/substructure.cpp.o"
+  "CMakeFiles/nees_structural.dir/substructure.cpp.o.d"
+  "libnees_structural.a"
+  "libnees_structural.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nees_structural.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

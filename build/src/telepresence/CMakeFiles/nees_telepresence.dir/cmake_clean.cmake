@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nees_telepresence.dir/telepresence.cpp.o"
+  "CMakeFiles/nees_telepresence.dir/telepresence.cpp.o.d"
+  "libnees_telepresence.a"
+  "libnees_telepresence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nees_telepresence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

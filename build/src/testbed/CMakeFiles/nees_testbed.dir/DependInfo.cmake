@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testbed/motion.cpp" "src/testbed/CMakeFiles/nees_testbed.dir/motion.cpp.o" "gcc" "src/testbed/CMakeFiles/nees_testbed.dir/motion.cpp.o.d"
+  "/root/repo/src/testbed/sensors.cpp" "src/testbed/CMakeFiles/nees_testbed.dir/sensors.cpp.o" "gcc" "src/testbed/CMakeFiles/nees_testbed.dir/sensors.cpp.o.d"
+  "/root/repo/src/testbed/shorewestern.cpp" "src/testbed/CMakeFiles/nees_testbed.dir/shorewestern.cpp.o" "gcc" "src/testbed/CMakeFiles/nees_testbed.dir/shorewestern.cpp.o.d"
+  "/root/repo/src/testbed/specimen.cpp" "src/testbed/CMakeFiles/nees_testbed.dir/specimen.cpp.o" "gcc" "src/testbed/CMakeFiles/nees_testbed.dir/specimen.cpp.o.d"
+  "/root/repo/src/testbed/xpc.cpp" "src/testbed/CMakeFiles/nees_testbed.dir/xpc.cpp.o" "gcc" "src/testbed/CMakeFiles/nees_testbed.dir/xpc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/structural/CMakeFiles/nees_structural.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nees_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nees_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nees_testbed.dir/motion.cpp.o"
+  "CMakeFiles/nees_testbed.dir/motion.cpp.o.d"
+  "CMakeFiles/nees_testbed.dir/sensors.cpp.o"
+  "CMakeFiles/nees_testbed.dir/sensors.cpp.o.d"
+  "CMakeFiles/nees_testbed.dir/shorewestern.cpp.o"
+  "CMakeFiles/nees_testbed.dir/shorewestern.cpp.o.d"
+  "CMakeFiles/nees_testbed.dir/specimen.cpp.o"
+  "CMakeFiles/nees_testbed.dir/specimen.cpp.o.d"
+  "CMakeFiles/nees_testbed.dir/xpc.cpp.o"
+  "CMakeFiles/nees_testbed.dir/xpc.cpp.o.d"
+  "libnees_testbed.a"
+  "libnees_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nees_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nees_util.dir/bytes.cpp.o"
+  "CMakeFiles/nees_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/nees_util.dir/clock.cpp.o"
+  "CMakeFiles/nees_util.dir/clock.cpp.o.d"
+  "CMakeFiles/nees_util.dir/logging.cpp.o"
+  "CMakeFiles/nees_util.dir/logging.cpp.o.d"
+  "CMakeFiles/nees_util.dir/result.cpp.o"
+  "CMakeFiles/nees_util.dir/result.cpp.o.d"
+  "CMakeFiles/nees_util.dir/rng.cpp.o"
+  "CMakeFiles/nees_util.dir/rng.cpp.o.d"
+  "CMakeFiles/nees_util.dir/sha256.cpp.o"
+  "CMakeFiles/nees_util.dir/sha256.cpp.o.d"
+  "CMakeFiles/nees_util.dir/stats.cpp.o"
+  "CMakeFiles/nees_util.dir/stats.cpp.o.d"
+  "CMakeFiles/nees_util.dir/strings.cpp.o"
+  "CMakeFiles/nees_util.dir/strings.cpp.o.d"
+  "CMakeFiles/nees_util.dir/uuid.cpp.o"
+  "CMakeFiles/nees_util.dir/uuid.cpp.o.d"
+  "libnees_util.a"
+  "libnees_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nees_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

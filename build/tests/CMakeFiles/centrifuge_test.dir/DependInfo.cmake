@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/centrifuge_test.cpp" "tests/CMakeFiles/centrifuge_test.dir/centrifuge_test.cpp.o" "gcc" "tests/CMakeFiles/centrifuge_test.dir/centrifuge_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/centrifuge/CMakeFiles/nees_centrifuge.dir/DependInfo.cmake"
+  "/root/repo/build/src/ntcp/CMakeFiles/nees_ntcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/nees_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nees_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nees_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centrifuge_test.dir/centrifuge_test.cpp.o"
+  "CMakeFiles/centrifuge_test.dir/centrifuge_test.cpp.o.d"
+  "centrifuge_test"
+  "centrifuge_test.pdb"
+  "centrifuge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centrifuge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/most_test.dir/most_test.cpp.o"
+  "CMakeFiles/most_test.dir/most_test.cpp.o.d"
+  "most_test"
+  "most_test.pdb"
+  "most_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/most_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

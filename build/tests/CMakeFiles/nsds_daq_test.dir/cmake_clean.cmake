@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsds_daq_test.dir/nsds_daq_test.cpp.o"
+  "CMakeFiles/nsds_daq_test.dir/nsds_daq_test.cpp.o.d"
+  "nsds_daq_test"
+  "nsds_daq_test.pdb"
+  "nsds_daq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsds_daq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

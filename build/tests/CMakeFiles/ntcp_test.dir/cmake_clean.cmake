@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntcp_test.dir/ntcp_test.cpp.o"
+  "CMakeFiles/ntcp_test.dir/ntcp_test.cpp.o.d"
+  "ntcp_test"
+  "ntcp_test.pdb"
+  "ntcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plugins_test.dir/plugins_test.cpp.o"
+  "CMakeFiles/plugins_test.dir/plugins_test.cpp.o.d"
+  "plugins_test"
+  "plugins_test.pdb"
+  "plugins_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plugins_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psd_test.dir/psd_test.cpp.o"
+  "CMakeFiles/psd_test.dir/psd_test.cpp.o.d"
+  "psd_test"
+  "psd_test.pdb"
+  "psd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

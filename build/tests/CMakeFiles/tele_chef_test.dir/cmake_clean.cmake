@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tele_chef_test.dir/tele_chef_test.cpp.o"
+  "CMakeFiles/tele_chef_test.dir/tele_chef_test.cpp.o.d"
+  "tele_chef_test"
+  "tele_chef_test.pdb"
+  "tele_chef_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tele_chef_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/grid_test[1]_include.cmake")
+include("/root/repo/build/tests/security_test[1]_include.cmake")
+include("/root/repo/build/tests/structural_test[1]_include.cmake")
+include("/root/repo/build/tests/testbed_test[1]_include.cmake")
+include("/root/repo/build/tests/ntcp_test[1]_include.cmake")
+include("/root/repo/build/tests/plugins_test[1]_include.cmake")
+include("/root/repo/build/tests/nsds_daq_test[1]_include.cmake")
+include("/root/repo/build/tests/repo_test[1]_include.cmake")
+include("/root/repo/build/tests/psd_test[1]_include.cmake")
+include("/root/repo/build/tests/most_test[1]_include.cmake")
+include("/root/repo/build/tests/tele_chef_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/centrifuge_test[1]_include.cmake")
