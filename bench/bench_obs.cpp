@@ -1,0 +1,109 @@
+// E-obs — per-step latency breakdown of a MOST-shaped run (§4, Fig. 9).
+//
+// The paper reconstructed "where does a 12-second step go?" from
+// NTP-synchronized site logs after the fact. Here the obs::Tracer records
+// the same breakdown live: the full hybrid MOST topology runs under one
+// SimClock used as both the span clock and the modeled clock, so network
+// transfer and actuator settling advance simulated time while compute is
+// free — the trace is the modeled wide-area timeline, byte-identical
+// across runs.
+//
+// Regenerates: the per-category exclusive-time breakdown (network / settle
+// / protocol / simulation / ...), the metrics report, the two-run
+// determinism check, and the tracer's wall-clock overhead on a real-time
+// run.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "most/most.h"
+#include "obs/trace.h"
+#include "util/strings.h"
+
+using namespace nees;
+
+namespace {
+
+most::MostOptions ShapedOptions(std::size_t steps, obs::Tracer* tracer) {
+  most::MostOptions options;
+  options.steps = steps;
+  options.hybrid = true;
+  options.tracer = tracer;
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t steps =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 150;
+  std::printf("==== E-obs (§4): per-step latency breakdown, %zu-step hybrid "
+              "MOST run ====\n\n", steps);
+
+  // ---- deterministic modeled-time runs ------------------------------------
+  auto traced_run = [&](std::string* json, std::string* breakdown,
+                        std::string* metrics) {
+    util::SimClock sim;
+    obs::Tracer tracer(&sim, &sim);  // same clock: deterministic trace
+    net::Network network;
+    network.SetClock(&sim);
+    net::LinkModel wan;
+    wan.latency_micros = 20'000;  // one-way site <-> site propagation
+    network.SetDefaultLink(wan);
+    most::MostExperiment experiment(&network, &sim,
+                                    ShapedOptions(steps, &tracer));
+    auto report = experiment.Run(psd::FaultPolicy::kFaultTolerant, "e-obs");
+    if (!report.ok() || !report->completed) return false;
+    *json = tracer.ExportJsonLines();
+    *breakdown = tracer.BreakdownTable();
+    *metrics = tracer.metrics().ReportTable();
+    return true;
+  };
+
+  std::string json_a, json_b, breakdown, metrics;
+  if (!traced_run(&json_a, &breakdown, &metrics)) return 1;
+  {
+    std::string unused_breakdown, unused_metrics;
+    if (!traced_run(&json_b, &unused_breakdown, &unused_metrics)) return 1;
+  }
+
+  std::printf("per-step breakdown (exclusive modeled time per category):\n"
+              "%s\n", breakdown.c_str());
+  std::printf("metrics:\n%s\n", metrics.c_str());
+
+  const std::size_t trace_lines =
+      static_cast<std::size_t>(std::count(json_a.begin(), json_a.end(), '\n'));
+  std::printf("determinism: run A and run B traces (%zu spans, %zu bytes) "
+              "are %s\n\n",
+              trace_lines, json_a.size(),
+              json_a == json_b ? "byte-identical" : "DIFFERENT (BUG)");
+
+  // ---- tracer overhead on a real-time run ---------------------------------
+  // Same topology on the system clock, with and without the tracer; in
+  // kImmediate mode nothing sleeps, so this measures pure tracing cost.
+  auto wall_run = [&](obs::Tracer* tracer) {
+    net::Network network;
+    most::MostExperiment experiment(&network, &util::SystemClock::Instance(),
+                                    ShapedOptions(steps, tracer));
+    auto report = experiment.Run(psd::FaultPolicy::kFaultTolerant,
+                                 tracer ? "walltraced" : "wallbase");
+    return (report.ok() && report->completed) ? report->wall_seconds : -1.0;
+  };
+  const double base_seconds = wall_run(nullptr);
+  obs::Tracer wall_tracer(&util::SystemClock::Instance());
+  const double traced_seconds = wall_run(&wall_tracer);
+  if (base_seconds < 0 || traced_seconds < 0) return 1;
+  std::printf("tracer overhead (real clock, %zu steps): %.1f ms untraced vs "
+              "%.1f ms traced (%+.1f%%, %zu spans)\n\n",
+              steps, base_seconds * 1000, traced_seconds * 1000,
+              100.0 * (traced_seconds - base_seconds) /
+                  std::max(base_seconds, 1e-9),
+              wall_tracer.span_count());
+
+  std::printf(
+      "shape: with ~20 ms one-way links, modeled time is dominated by\n"
+      "network transfer (4 messages x 3 sites x ~20 ms per step) and\n"
+      "actuator settling, exactly the paper's finding that protocol and\n"
+      "computation are negligible next to WAN latency and rig motion.\n");
+  return 0;
+}

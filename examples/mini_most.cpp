@@ -3,27 +3,32 @@
 // LabVIEW plugin, once against the first-order kinetic simulator that
 // stands in "when the actual hardware is not available" — and compares.
 //
-//   ./mini_most [steps]
+//   ./mini_most [steps] [trace.jsonl]   # optionally dump the hardware-run trace
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 #include "most/mini_most.h"
+#include "obs/trace.h"
 
 using namespace nees;
 
 int main(int argc, char** argv) {
   most::MiniMostOptions options;
   if (argc > 1) options.steps = static_cast<std::size_t>(std::atoll(argv[1]));
+  const char* trace_path = argc > 2 ? argv[2] : nullptr;
 
   std::printf("Mini-MOST: %.0f cm x %.0f cm beam, k = %.0f N/m, %zu steps\n\n",
               options.beam_length_m * 100, options.beam_width_m * 100,
               most::MiniMostBeamStiffness(options), options.steps);
 
   structural::TimeHistory hardware_history;
+  obs::Tracer tracer(&util::SystemClock::Instance());
   {
     net::Network network;
     options.real_hardware = true;
+    options.tracer = trace_path != nullptr ? &tracer : nullptr;
     most::MiniMostExperiment rig(&network, &util::SystemClock::Instance(),
                                  options);
     auto report = rig.Run("hw");
@@ -41,6 +46,18 @@ int main(int argc, char** argv) {
                 report->steps_completed,
                 report->history.PeakDisplacement(0) * 1000,
                 static_cast<long long>(rig.stepper_steps()));
+    if (trace_path != nullptr) {
+      std::ofstream out(trace_path);
+      out << tracer.ExportJsonLines();
+      if (!out) {
+        std::printf("error: could not write trace to %s\n", trace_path);
+        return 1;
+      }
+      std::printf("wrote %zu spans to %s; latency breakdown:\n%s\n",
+                  tracer.span_count(), trace_path,
+                  tracer.BreakdownTable().c_str());
+    }
+    options.tracer = nullptr;
   }
 
   structural::TimeHistory kinetic_history;

@@ -3,12 +3,15 @@
 // naive coordinator dying at step 1493/1500 while the fault-tolerant one
 // completes.
 //
-//   ./most_experiment          # 1500 steps, as on July 30, 2003
-//   ./most_experiment 300      # shorter record for a quick look
+//   ./most_experiment                      # 1500 steps, as on July 30, 2003
+//   ./most_experiment 300                  # shorter record for a quick look
+//   ./most_experiment 300 trace.jsonl      # also dump the hybrid-run trace
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 #include "most/most.h"
+#include "obs/trace.h"
 #include "util/stats.h"
 
 using namespace nees;
@@ -33,6 +36,7 @@ void PrintReport(const char* label, const psd::RunReport& report) {
 int main(int argc, char** argv) {
   const std::size_t steps =
       argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 1500;
+  const char* trace_path = argc > 2 ? argv[2] : nullptr;
 
   most::MostOptions options;
   options.steps = steps;
@@ -66,8 +70,10 @@ int main(int argc, char** argv) {
   // ---- Phase 2: hybrid run (physical rigs swapped in transparently) ------
   psd::RunReport hybrid_report;
   {
+    obs::Tracer tracer(&util::SystemClock::Instance());
     net::Network network;
     options.hybrid = true;
+    options.tracer = trace_path != nullptr ? &tracer : nullptr;
     most::MostExperiment hybrid(&network, &util::SystemClock::Instance(),
                                 options);
     auto report = hybrid.Run(psd::FaultPolicy::kFaultTolerant, "hybrid");
@@ -81,6 +87,18 @@ int main(int argc, char** argv) {
                   site.step_micros.Summary().c_str());
     }
     std::printf("\n");
+    if (trace_path != nullptr) {
+      std::ofstream out(trace_path);
+      out << tracer.ExportJsonLines();
+      if (!out) {
+        std::printf("error: could not write trace to %s\n", trace_path);
+        return 1;
+      }
+      std::printf("wrote %zu spans to %s; latency breakdown:\n%s\n",
+                  tracer.span_count(), trace_path,
+                  tracer.BreakdownTable().c_str());
+    }
+    options.tracer = nullptr;
   }
 
   // ---- Phase 3: the public-run fault narrative ----------------------------

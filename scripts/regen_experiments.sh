@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Regenerates every EXPERIMENTS.md number: configures + builds the tree,
+# checks that each bench binary named in EXPERIMENTS.md actually built
+# (so a renamed or dropped bench can't silently rot the doc), then runs
+# them all.
+#
+#   scripts/regen_experiments.sh [build-dir]
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+cmake -B "$build" -S "$repo"
+cmake --build "$build" -j "$(nproc 2>/dev/null || echo 4)"
+
+# Every `bench_*` mentioned in EXPERIMENTS.md must exist as a built binary.
+benches="$(grep -o 'bench_[a-z_]*' "$repo/EXPERIMENTS.md" | sort -u)"
+missing=0
+for bench in $benches; do
+  if [ ! -x "$build/bench/$bench" ]; then
+    echo "ERROR: EXPERIMENTS.md references $bench but $build/bench/$bench" \
+         "was not built" >&2
+    missing=1
+  fi
+done
+[ "$missing" -eq 0 ] || exit 1
+
+for bench in $benches; do
+  echo
+  echo "######## $bench ########"
+  "$build/bench/$bench"
+done

@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace nees::daq {
@@ -45,6 +46,7 @@ util::Status DaqSystem::Record(const std::string& channel,
   }
   it->second.push_back({channel, time_micros, value});
   ++recorded_;
+  if (tracer_ != nullptr) tracer_->metrics().Increment("daq.samples");
   return util::OkStatus();
 }
 
@@ -93,6 +95,14 @@ util::Result<std::filesystem::path> DaqSystem::Flush(
   if (!out) return util::Internal("cannot open " + file.string());
   out << content;
   out.close();
+  if (tracer_ != nullptr) {
+    // filename() only: the drop dir is usually a throwaway temp path whose
+    // name would break byte-identical traces across runs.
+    tracer_->RecordEvent("daq.flush", "ingest", 0,
+                         {{"file", file.filename().string()},
+                          {"samples", std::to_string(total)}});
+    tracer_->metrics().Increment("daq.flushes");
+  }
   return file;
 }
 
@@ -161,6 +171,12 @@ util::Result<int> Harvester::ScanOnce() {
     ++files_processed_;
     samples_processed_ += samples->size();
     ++processed;
+    if (tracer_ != nullptr) {
+      tracer_->RecordEvent("daq.harvest", "ingest", 0,
+                           {{"file", file.filename().string()},
+                            {"samples", std::to_string(samples->size())}});
+      tracer_->metrics().Increment("daq.files_harvested");
+    }
   }
   return processed;
 }

@@ -18,6 +18,10 @@
 #include "nsds/nsds.h"
 #include "util/result.h"
 
+namespace nees::obs {
+class Tracer;
+}  // namespace nees::obs
+
 namespace nees::daq {
 
 struct ChannelConfig {
@@ -52,8 +56,12 @@ class DaqSystem {
   util::Result<std::filesystem::path> Flush(
       const std::filesystem::path& drop_dir, const std::string& prefix);
 
+  /// Optional: records sample counters and one "ingest" event per flush.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   std::size_t ring_capacity_;
+  obs::Tracer* tracer_ = nullptr;
   mutable std::mutex mu_;
   std::map<std::string, ChannelConfig> channels_;
   std::map<std::string, std::deque<nsds::DataSample>> buffers_;
@@ -90,9 +98,13 @@ class Harvester {
   std::uint64_t samples_processed() const { return samples_processed_; }
   std::uint64_t files_failed() const { return files_failed_; }
 
+  /// Optional: records one "ingest" event per harvested file.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   std::filesystem::path drop_dir_;
   FileSink sink_;
+  obs::Tracer* tracer_ = nullptr;
   std::uint64_t files_processed_ = 0;
   std::uint64_t samples_processed_ = 0;
   std::uint64_t files_failed_ = 0;

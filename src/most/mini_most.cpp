@@ -28,6 +28,7 @@ MiniMostExperiment::MiniMostExperiment(net::Network* network,
 
 util::Status MiniMostExperiment::Start() {
   if (started_) return util::OkStatus();
+  network_->set_tracer(options_.tracer);
   const double beam_stiffness = MiniMostBeamStiffness(options_);
 
   std::unique_ptr<ntcp::ControlPlugin> beam_plugin;
@@ -72,6 +73,7 @@ util::Status MiniMostExperiment::Start() {
   ntcp_ = std::make_unique<ntcp::NtcpServer>(network_, kNtcp,
                                              std::move(beam_plugin), clock_);
   NEES_RETURN_IF_ERROR(ntcp_->Start());
+  ntcp_->set_tracer(options_.tracer);
 
   // Numerical rest-of-frame substructure (the simulation coordinator and
   // this model share the single Mini-MOST PC).
@@ -83,6 +85,7 @@ util::Status MiniMostExperiment::Start() {
   auto sim_server = std::make_unique<ntcp::NtcpServer>(
       network_, std::string(kNtcp) + ".sim", std::move(numeric), clock_);
   NEES_RETURN_IF_ERROR(sim_server->Start());
+  sim_server->set_tracer(options_.tracer);
   sim_server_ = std::move(sim_server);
 
   coordinator_rpc_ =
@@ -109,6 +112,7 @@ psd::CoordinatorConfig MiniMostExperiment::MakeCoordinatorConfig(
       {"beam", kNtcp, "beam-tip", {0}},
       {"frame", std::string(kNtcp) + ".sim", "frame", {0}},
   };
+  config.tracer = options_.tracer;
   return config;
 }
 

@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "ntcp/server.h"
+#include "obs/trace.h"
 #include "psd/coordinator.h"
 #include "structural/substructure.h"
 #include "testbed/motion.h"
@@ -37,6 +38,10 @@ struct MiniMostOptions {
   /// true: stepper rig behind the LabVIEW plugin; false: the first-order
   /// kinetic simulator stands in for the hardware.
   bool real_hardware = true;
+
+  /// Optional observability: propagated to the network, both NTCP servers
+  /// and the coordinator at Start(). Must outlive the experiment.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Cantilever tip stiffness of the Mini-MOST beam: 3EI/L^3.

@@ -110,6 +110,8 @@ MostExperiment::~MostExperiment() { Stop(); }
 util::Status MostExperiment::Start() {
   if (started_) return util::OkStatus();
 
+  network_->set_tracer(options_.tracer);
+
   container_ =
       std::make_unique<grid::ServiceContainer>(network_, "container.nees",
                                                clock_);
@@ -123,6 +125,7 @@ util::Status MostExperiment::Start() {
   if (options_.with_streaming) {
     nsds_ = std::make_unique<nsds::NsdsServer>(network_, kNsds);
     NEES_RETURN_IF_ERROR(nsds_->Start());
+    nsds_->set_tracer(options_.tracer);
     registry_->Register({"nsds", kNsds, "nsds", "NCSA", 0}, 0);
   }
   if (options_.with_repository) {
@@ -133,6 +136,7 @@ util::Status MostExperiment::Start() {
                         0);
 
     daq_ = std::make_unique<daq::DaqSystem>();
+    daq_->set_tracer(options_.tracer);
     daq_->AddChannel({"most.displacement", "m", 50.0});
     daq_->AddChannel({"most.force.UIUC", "N", 50.0});
     daq_->AddChannel({"most.force.NCSA", "N", 50.0});
@@ -146,6 +150,7 @@ util::Status MostExperiment::Start() {
                const std::vector<nsds::DataSample>& samples) {
           return ingestion_->IngestDropFile(file, samples);
         });
+    harvester_->set_tracer(options_.tracer);
   }
 
   coordinator_rpc_ =
@@ -186,6 +191,7 @@ util::Status MostExperiment::StartSiteServices() {
       clock_);
   NEES_RETURN_IF_ERROR(ntcp_uiuc_->Start());
   NEES_RETURN_IF_ERROR(ntcp_uiuc_->PublishTo(*container_));
+  ntcp_uiuc_->set_tracer(options_.tracer);
   registry_->Register({"ntcp.uiuc", kNtcpUiuc, "ntcp", "UIUC", 0}, 0);
 
   // ---------------- NCSA: Mplugin + polling simulation backend ------------
@@ -196,6 +202,7 @@ util::Status MostExperiment::StartSiteServices() {
         network_, kNtcpNcsa, std::move(mplugin), clock_);
     NEES_RETURN_IF_ERROR(ntcp_ncsa_->Start());
     NEES_RETURN_IF_ERROR(ntcp_ncsa_->PublishTo(*container_));
+    ntcp_ncsa_->set_tracer(options_.tracer);
     ncsa_mplugin_->BindBackendRpc(ntcp_ncsa_->rpc());
 
     auto models = std::make_shared<std::map<
@@ -216,6 +223,7 @@ util::Status MostExperiment::StartSiteServices() {
                                                   std::move(mplugin), clock_);
     NEES_RETURN_IF_ERROR(ntcp_cu_->Start());
     NEES_RETURN_IF_ERROR(ntcp_cu_->PublishTo(*container_));
+    ntcp_cu_->set_tracer(options_.tracer);
     cu_mplugin_->BindBackendRpc(ntcp_cu_->rpc());
 
     plugins::PollingBackend::Compute compute;
@@ -225,7 +233,8 @@ util::Status MostExperiment::StartSiteServices() {
           MakeColumnRig("cu-right-column", stiffness_.right_n_per_m,
                         options_.hysteretic_columns, options_.seed + 2));
       auto xpc = cu_xpc_;
-      compute = [xpc](const ntcp::Proposal& proposal)
+      obs::Tracer* tracer = options_.tracer;
+      compute = [xpc, tracer](const ntcp::Proposal& proposal)
           -> util::Result<ntcp::TransactionResult> {
         if (proposal.actions.size() != 1 ||
             proposal.actions[0].target_displacement.size() != 1) {
@@ -234,6 +243,14 @@ util::Status MostExperiment::StartSiteServices() {
         NEES_ASSIGN_OR_RETURN(
             testbed::Measurement measurement,
             xpc->Execute(proposal.actions[0].target_displacement[0]));
+        if (tracer != nullptr) {
+          tracer->RecordEvent(
+              "actuator.settle", "settle",
+              static_cast<std::int64_t>(measurement.motion_seconds * 1e6),
+              {{"site", "CU"}});
+          tracer->metrics().Observe(
+              "actuator.settle_micros", measurement.motion_seconds * 1e6);
+        }
         ntcp::TransactionResult result;
         ntcp::ControlPointResult cp;
         cp.control_point = proposal.actions[0].control_point;
@@ -283,6 +300,7 @@ psd::CoordinatorConfig MostExperiment::MakeCoordinatorConfig(
   };
   config.fault_policy = policy;
   config.integrator = options_.integrator;
+  config.tracer = options_.tracer;
   if (options_.integrator == psd::PsdIntegrator::kOperatorSplitting) {
     config.initial_stiffness =
         structural::Matrix::Identity(1) * stiffness_.total();

@@ -23,6 +23,7 @@
 #include "grid/registry.h"
 #include "nsds/nsds.h"
 #include "ntcp/server.h"
+#include "obs/trace.h"
 #include "plugins/mplugin.h"
 #include "psd/coordinator.h"
 #include "repo/facade.h"
@@ -61,6 +62,10 @@ struct MostOptions {
   /// DAQ flush-and-ingest cadence, in PSD steps (0 disables the pipeline).
   std::size_t daq_flush_every_steps = 100;
   std::filesystem::path daq_drop_dir;  // default: temp dir per instance
+
+  /// Optional observability: propagated to the network, NTCP servers and
+  /// clients, plugins, DAQ and NSDS at Start(). Must outlive the experiment.
+  obs::Tracer* tracer = nullptr;
 
   MostOptions();
 };

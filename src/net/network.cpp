@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace nees::net {
@@ -124,6 +125,13 @@ bool Network::ShouldDrop(LinkState& link, const Message& message,
 util::Status Network::Send(Message message) {
   std::shared_ptr<Handler> handler;
   std::int64_t delay = 0;
+  bool dropped = false;
+  bool scheduled = false;
+  std::string from, to;
+  if (tracer_ != nullptr) {  // copied here: survives the scheduled-path move
+    from = message.from;
+    to = message.to;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = endpoints_.find(message.to);
@@ -140,26 +148,39 @@ util::Status Network::Send(Message message) {
     if (InPartition(message.from, message.to)) {
       ++link.metrics.dropped_forced;
       ++total_.dropped_forced;
-      return util::OkStatus();  // silently lost, like a real partition
-    }
-    if (ShouldDrop(link, message, now)) {
-      return util::OkStatus();  // silently lost
-    }
+      dropped = true;  // silently lost, like a real partition
+    } else if (ShouldDrop(link, message, now)) {
+      dropped = true;  // silently lost
+    } else {
+      delay = TransmissionDelayMicros(link.model, message.WireSize(), rng_);
+      ++link.metrics.delivered;
+      link.metrics.bytes_delivered += message.WireSize();
+      ++total_.delivered;
+      total_.bytes_delivered += message.WireSize();
 
-    delay = TransmissionDelayMicros(link.model, message.WireSize(), rng_);
-    ++link.metrics.delivered;
-    link.metrics.bytes_delivered += message.WireSize();
-    ++total_.delivered;
-    total_.bytes_delivered += message.WireSize();
-
-    if (mode_ == DeliveryMode::kScheduled) {
-      pending_.push(ScheduledMessage{now + delay, next_sequence_++,
-                                     std::move(message)});
-      ++in_flight_;
-      pending_cv_.notify_all();
-      return util::OkStatus();
+      if (mode_ == DeliveryMode::kScheduled) {
+        pending_.push(ScheduledMessage{now + delay, next_sequence_++,
+                                       std::move(message)});
+        ++in_flight_;
+        pending_cv_.notify_all();
+        scheduled = true;
+      }
     }
   }
+  if (dropped) {
+    if (tracer_ != nullptr) tracer_->metrics().Increment("net.dropped");
+    return util::OkStatus();
+  }
+  // Tracing happens outside mu_ (the tracer lock is a leaf). The transfer
+  // event charges the modeled link delay, which advances a modeled SimClock
+  // before an inline handler observes the arrival time.
+  if (tracer_ != nullptr) {
+    tracer_->RecordEvent("net.deliver", "network", delay,
+                         {{"from", from}, {"to", to}});
+    tracer_->metrics().Observe("net.delay_micros",
+                               static_cast<double>(delay));
+  }
+  if (scheduled) return util::OkStatus();
   // Immediate mode: run the handler inline, outside the lock so handlers
   // can send further messages without deadlocking.
   (*handler)(message);

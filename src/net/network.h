@@ -32,6 +32,10 @@
 #include "util/result.h"
 #include "util/rng.h"
 
+namespace nees::obs {
+class Tracer;
+}  // namespace nees::obs
+
 namespace nees::net {
 
 enum class DeliveryMode { kImmediate, kScheduled };
@@ -94,6 +98,10 @@ class Network {
   void SetClock(util::Clock* clock);
   util::Clock* clock() const { return clock_; }
 
+  /// Optional: records a "network" transfer event (with the modeled link
+  /// delay) for every delivered message, and drop/delivery counters.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   DeliveryMode mode() const { return mode_; }
 
   /// Blocks until all scheduled in-flight messages are delivered (kScheduled
@@ -128,6 +136,7 @@ class Network {
 
   const DeliveryMode mode_;
   util::Clock* clock_;
+  obs::Tracer* tracer_ = nullptr;
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<Handler>> endpoints_;
   std::map<std::pair<std::string, std::string>, LinkState> links_;

@@ -1,5 +1,6 @@
 #include "nsds/nsds.h"
 
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace nees::nsds {
@@ -117,6 +118,15 @@ void NsdsServer::Publish(const std::vector<DataSample>& samples) {
       ++stats_.frames_sent;
       deliveries.push_back({subscriber.endpoint, std::move(frame)});
     }
+  }
+  if (tracer_ != nullptr) {
+    tracer_->RecordEvent(
+        "nsds.publish", "stream", 0,
+        {{"samples", std::to_string(samples.size())},
+         {"deliveries", std::to_string(deliveries.size())}});
+    tracer_->metrics().Increment("nsds.frames_published");
+    tracer_->metrics().Increment(
+        "nsds.frames_sent", static_cast<std::int64_t>(deliveries.size()));
   }
   // Best effort: send outside the lock; losses are invisible to the server.
   for (const Delivery& delivery : deliveries) {

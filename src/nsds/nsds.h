@@ -18,6 +18,10 @@
 #include "net/rpc.h"
 #include "util/result.h"
 
+namespace nees::obs {
+class Tracer;
+}  // namespace nees::obs
+
 namespace nees::nsds {
 
 struct DataSample {
@@ -63,6 +67,9 @@ class NsdsServer {
   PublisherStats stats() const;
   const std::string& endpoint() const { return rpc_server_.endpoint(); }
 
+  /// Optional: records one "stream" event per published frame.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct Subscriber {
     std::string endpoint;
@@ -74,6 +81,7 @@ class NsdsServer {
 
   net::Network* network_;
   net::RpcServer rpc_server_;
+  obs::Tracer* tracer_ = nullptr;
   mutable std::mutex mu_;
   std::vector<Subscriber> subscribers_;
   PublisherStats stats_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace nees::ntcp {
@@ -16,6 +17,13 @@ NtcpClient::NtcpClient(net::RpcClient* rpc, std::string server_endpoint,
 util::Result<net::Bytes> NtcpClient::CallWithRetry(const std::string& method,
                                                    const net::Bytes& body) {
   ++stats_.calls;
+  obs::Span span;
+  std::int64_t t0 = 0;
+  if (tracer_ != nullptr) {
+    span = tracer_->StartSpan(method, "protocol");
+    span.AddTag("server", server_);
+    t0 = tracer_->NowMicros();
+  }
   std::int64_t backoff = policy_.initial_backoff_micros;
   util::Status last_error = util::Internal("retry loop did not run");
   for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
@@ -23,10 +31,25 @@ util::Result<net::Bytes> NtcpClient::CallWithRetry(const std::string& method,
         rpc_->Call(server_, method, body, policy_.rpc_timeout_micros);
     if (result.ok()) {
       if (attempt > 1) ++stats_.recovered;
+      if (tracer_ != nullptr) {
+        span.AddTag("attempts", std::to_string(attempt));
+        tracer_->metrics().Observe(
+            "ntcp.client.call_micros",
+            static_cast<double>(tracer_->NowMicros() - t0));
+      }
       return result;
     }
     last_error = result.status();
-    if (!last_error.transient()) return last_error;  // definitive answer
+    if (!last_error.transient()) {  // definitive answer
+      if (tracer_ != nullptr) {
+        span.AddTag("error", std::string(util::ErrorCodeName(
+                                 last_error.code())));
+        tracer_->metrics().Observe(
+            "ntcp.client.call_micros",
+            static_cast<double>(tracer_->NowMicros() - t0));
+      }
+      return last_error;
+    }
     if (attempt == policy_.max_attempts) break;
     ++stats_.retries;
     NEES_LOG_WARN("ntcp.client")
@@ -38,6 +61,12 @@ util::Result<net::Bytes> NtcpClient::CallWithRetry(const std::string& method,
         policy_.max_backoff_micros);
   }
   ++stats_.gave_up;
+  if (tracer_ != nullptr) {
+    span.AddTag("error", "exhausted");
+    tracer_->metrics().Observe(
+        "ntcp.client.call_micros",
+        static_cast<double>(tracer_->NowMicros() - t0));
+  }
   return last_error;
 }
 

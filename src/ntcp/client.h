@@ -13,6 +13,10 @@
 #include "ntcp/types.h"
 #include "util/clock.h"
 
+namespace nees::obs {
+class Tracer;
+}  // namespace nees::obs
+
 namespace nees::ntcp {
 
 struct RetryPolicy {
@@ -53,6 +57,9 @@ class NtcpClient {
   NtcpClientStats stats() const { return stats_; }
   const RetryPolicy& policy() const { return policy_; }
 
+  /// Optional: records one "protocol" span per operation when set.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   /// Runs `call` with transient-error retry + exponential backoff.
   util::Result<net::Bytes> CallWithRetry(const std::string& method,
@@ -63,6 +70,7 @@ class NtcpClient {
   RetryPolicy policy_;
   util::Clock* clock_;
   NtcpClientStats stats_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace nees::ntcp

@@ -9,11 +9,19 @@
 #include "ntcp/types.h"
 #include "util/result.h"
 
+namespace nees::obs {
+class Tracer;
+}  // namespace nees::obs
+
 namespace nees::ntcp {
 
 class ControlPlugin {
  public:
   virtual ~ControlPlugin() = default;
+
+  /// Attaches a tracer so backends can record compute/settle/queue spans.
+  /// Wrapper plugins override this to forward to the wrapped plugin.
+  virtual void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   /// Policy/feasibility check at proposal time. Must have NO side effects
   /// on the specimen. Returning non-OK rejects the proposal.
@@ -28,6 +36,9 @@ class ControlPlugin {
 
   /// Short human-readable type tag for SDEs/logs ("simulation", "mplugin"...)
   virtual std::string_view kind() const = 0;
+
+ protected:
+  obs::Tracer* tracer_ = nullptr;  // optional; null means no tracing
 };
 
 }  // namespace nees::ntcp

@@ -1,5 +1,6 @@
 #include "ntcp/server.h"
 
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -22,6 +23,11 @@ util::Status NtcpServer::Start() {
 }
 
 void NtcpServer::Stop() { rpc_server_.Stop(); }
+
+void NtcpServer::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  plugin_->set_tracer(tracer);
+}
 
 util::Status NtcpServer::PublishTo(grid::ServiceContainer& container) {
   return container.AddService(service_).status();
@@ -80,6 +86,13 @@ void NtcpServer::TransitionLocked(const std::string& id,
 }
 
 NtcpServer::ProposeOutcome NtcpServer::Propose(const Proposal& proposal) {
+  // Declared before the lock so the span closes after mu_ is released.
+  obs::Span span;
+  if (tracer_ != nullptr) {
+    span = tracer_->StartSpan("server.propose", "protocol");
+    span.AddTag("endpoint", endpoint());
+    tracer_->metrics().Increment("ntcp.server.proposals");
+  }
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.proposals;
 
@@ -127,6 +140,12 @@ NtcpServer::ProposeOutcome NtcpServer::Propose(const Proposal& proposal) {
 
 util::Result<TransactionResult> NtcpServer::Execute(
     const std::string& transaction_id) {
+  obs::Span span;
+  if (tracer_ != nullptr) {
+    span = tracer_->StartSpan("server.execute", "protocol");
+    span.AddTag("endpoint", endpoint());
+    tracer_->metrics().Increment("ntcp.server.executes");
+  }
   Proposal proposal;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -222,6 +241,11 @@ util::Status NtcpServer::Cancel(const std::string& transaction_id) {
 
 util::Result<TransactionRecord> NtcpServer::GetTransaction(
     const std::string& transaction_id) const {
+  obs::Span span;
+  if (tracer_ != nullptr) {
+    span = tracer_->StartSpan("server.getTransaction", "protocol");
+    span.AddTag("endpoint", endpoint());
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto it = transactions_.find(transaction_id);
   if (it == transactions_.end()) {

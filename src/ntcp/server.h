@@ -79,6 +79,10 @@ class NtcpServer {
 
   NtcpServerStats stats() const;
 
+  /// Attaches a tracer to the server AND its plugin: protocol-phase spans
+  /// here, compute/settle/queue spans in the backend.
+  void set_tracer(obs::Tracer* tracer);
+
   /// The grid service holding the SDEs (for direct inspection in-process).
   grid::GridService& service_data() { return *service_; }
 
@@ -92,6 +96,7 @@ class NtcpServer {
   net::RpcServer rpc_server_;
   std::unique_ptr<ControlPlugin> plugin_;
   util::Clock* clock_;
+  obs::Tracer* tracer_ = nullptr;
   std::shared_ptr<grid::GridService> service_;
 
   mutable std::mutex mu_;

@@ -1,0 +1,81 @@
+#include "obs/metrics.h"
+
+#include "util/strings.h"
+
+namespace nees::obs {
+
+void MetricsRegistry::Increment(const std::string& name, std::int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+std::int64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+double MetricsRegistry::GaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+void MetricsRegistry::Observe(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_[name].Add(value);
+}
+
+util::SampleStats MetricsRegistry::HistogramValue(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? util::SampleStats{} : it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {counters_, gauges_, histograms_};
+}
+
+std::string MetricsRegistry::ReportTable() const {
+  const MetricsSnapshot snapshot = Snapshot();
+  std::string out;
+  if (!snapshot.counters.empty() || !snapshot.gauges.empty()) {
+    util::TextTable table({"metric", "value"});
+    for (const auto& [name, value] : snapshot.counters) {
+      table.AddRow({name, std::to_string(value)});
+    }
+    for (const auto& [name, value] : snapshot.gauges) {
+      table.AddRow({name, util::Format("%.6g", value)});
+    }
+    out += table.ToString();
+  }
+  if (!snapshot.histograms.empty()) {
+    util::TextTable table({"histogram", "n", "mean", "p50", "p95", "max"});
+    for (const auto& [name, stats] : snapshot.histograms) {
+      table.AddRow({name, std::to_string(stats.count()),
+                    util::Format("%.4g", stats.mean()),
+                    util::Format("%.4g", stats.Percentile(50)),
+                    util::Format("%.4g", stats.Percentile(95)),
+                    util::Format("%.4g", stats.max())});
+    }
+    if (!out.empty()) out += "\n";
+    out += table.ToString();
+  }
+  return out;
+}
+
+void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace nees::obs

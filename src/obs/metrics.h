@@ -1,0 +1,50 @@
+// Metrics registry for the observability layer: named counters, gauges, and
+// latency histograms (backed by util::SampleStats). Instrumented components
+// share one registry — usually the one owned by obs::Tracer — so a run's
+// numbers land in a single place that benches and EXPERIMENTS.md tables can
+// print uniformly. All maps are ordered, so reports are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/stats.h"
+
+namespace nees::obs {
+
+struct MetricsSnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, util::SampleStats> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  void Increment(const std::string& name, std::int64_t delta = 1);
+  std::int64_t CounterValue(const std::string& name) const;
+
+  void SetGauge(const std::string& name, double value);
+  double GaugeValue(const std::string& name) const;
+
+  /// Adds one observation to the named histogram (created on first use).
+  void Observe(const std::string& name, double value);
+  util::SampleStats HistogramValue(const std::string& name) const;
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Text report (util::TextTable): counters and gauges first, then one row
+  /// per histogram with count/mean/p50/p95/max.
+  std::string ReportTable() const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, util::SampleStats> histograms_;
+};
+
+}  // namespace nees::obs

@@ -1,0 +1,449 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace nees::obs {
+
+// ---------------------------------------------------------------------------
+// Span
+
+Span::Span(Span&& other) noexcept
+    : tracer_(other.tracer_), id_(other.id_) {
+  other.tracer_ = nullptr;
+  other.id_ = 0;
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    tracer_ = other.tracer_;
+    id_ = other.id_;
+    other.tracer_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+Span::~Span() { End(); }
+
+void Span::End() {
+  if (tracer_ == nullptr) return;
+  tracer_->EndSpanId(id_);
+  tracer_ = nullptr;
+}
+
+void Span::AddTag(const std::string& key, const std::string& value) {
+  if (tracer_ != nullptr) tracer_->AddTagById(id_, key, value);
+}
+
+void Span::AddModeledMicros(std::int64_t micros) {
+  if (tracer_ != nullptr) tracer_->AddModeledMicrosById(id_, micros);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+Tracer::Tracer(util::Clock* clock, util::SimClock* modeled)
+    : clock_(clock), modeled_(modeled) {}
+
+std::uint64_t Tracer::StartLocked(const std::string& name,
+                                  const std::string& category,
+                                  std::uint64_t parent_id,
+                                  bool implicit_parent, bool push_stack) {
+  // mu_ must be held.
+  std::vector<std::uint64_t>& stack = stacks_[std::this_thread::get_id()];
+  if (implicit_parent) parent_id = stack.empty() ? 0 : stack.back();
+  SpanRecord record;
+  record.id = spans_.size() + 1;
+  record.parent_id = parent_id;
+  record.name = name;
+  record.category = category;
+  record.start_micros = clock_->NowMicros();
+  spans_.push_back(std::move(record));
+  if (push_stack) stack.push_back(spans_.back().id);
+  return spans_.back().id;
+}
+
+void Tracer::EndLocked(std::uint64_t id) {
+  // mu_ must be held.
+  if (id == 0 || id > spans_.size()) return;
+  SpanRecord& record = spans_[id - 1];
+  if (record.end_micros < 0) record.end_micros = clock_->NowMicros();
+  // Unwind the starting thread's stack; tolerate cross-thread End.
+  auto self = stacks_.find(std::this_thread::get_id());
+  bool found = false;
+  if (self != stacks_.end()) {
+    auto it = std::find(self->second.rbegin(), self->second.rend(), id);
+    if (it != self->second.rend()) {
+      self->second.erase(std::next(it).base());
+      found = true;
+    }
+  }
+  if (!found) {
+    for (auto& [thread, stack] : stacks_) {
+      auto it = std::find(stack.rbegin(), stack.rend(), id);
+      if (it != stack.rend()) {
+        stack.erase(std::next(it).base());
+        break;
+      }
+    }
+  }
+}
+
+Span Tracer::StartSpan(const std::string& name, const std::string& category) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Span(this, StartLocked(name, category, 0, /*implicit_parent=*/true,
+                                /*push_stack=*/true));
+}
+
+Span Tracer::StartSpanWithParent(const std::string& name,
+                                 const std::string& category,
+                                 std::uint64_t parent_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Span(this, StartLocked(name, category, parent_id,
+                                /*implicit_parent=*/false,
+                                /*push_stack=*/true));
+}
+
+std::uint64_t Tracer::BeginSpanId(const std::string& name,
+                                  const std::string& category,
+                                  std::uint64_t parent_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return StartLocked(name, category, parent_id, /*implicit_parent=*/false,
+                     /*push_stack=*/true);
+}
+
+void Tracer::EndSpanId(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EndLocked(id);
+}
+
+void Tracer::AddTagById(std::uint64_t id, const std::string& key,
+                        const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == 0 || id > spans_.size()) return;
+  spans_[id - 1].tags.emplace_back(key, value);
+}
+
+void Tracer::AddModeledMicrosById(std::uint64_t id, std::int64_t micros) {
+  if (micros > 0 && modeled_ != nullptr) modeled_->Advance(micros);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == 0 || id > spans_.size()) return;
+  spans_[id - 1].modeled_micros += micros;
+}
+
+void Tracer::RecordEvent(const std::string& name, const std::string& category,
+                         std::int64_t modeled_micros, Tags tags) {
+  RecordEventUnder(CurrentSpanId(), name, category, modeled_micros,
+                   std::move(tags));
+}
+
+void Tracer::RecordEventUnder(std::uint64_t parent_id, const std::string& name,
+                              const std::string& category,
+                              std::int64_t modeled_micros, Tags tags) {
+  const std::int64_t start = clock_->NowMicros();
+  if (modeled_micros > 0 && modeled_ != nullptr) {
+    modeled_->Advance(modeled_micros);
+  }
+  const std::int64_t end = clock_->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = StartLocked(name, category, parent_id,
+                                       /*implicit_parent=*/false,
+                                       /*push_stack=*/false);
+  SpanRecord& record = spans_[id - 1];
+  record.start_micros = start;
+  record.end_micros = end;
+  record.modeled_micros = modeled_micros;
+  record.tags = std::move(tags);
+}
+
+void Tracer::RecordInterval(std::uint64_t parent_id, const std::string& name,
+                            const std::string& category,
+                            std::int64_t start_micros,
+                            std::int64_t end_micros, Tags tags) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = StartLocked(name, category, parent_id,
+                                       /*implicit_parent=*/false,
+                                       /*push_stack=*/false);
+  SpanRecord& record = spans_[id - 1];
+  record.start_micros = start_micros;
+  record.end_micros = std::max(start_micros, end_micros);
+  record.tags = std::move(tags);
+}
+
+std::uint64_t Tracer::CurrentSpanId() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stacks_.find(std::this_thread::get_id());
+  if (it == stacks_.end() || it->second.empty()) return 0;
+  return it->second.back();
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+void Tracer::Clear() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans_.clear();
+    stacks_.clear();
+  }
+  metrics_.Clear();
+}
+
+// ---------------------------------------------------------------------------
+// JSON-lines export / parse
+
+namespace {
+
+void AppendJsonString(const std::string& text, std::string& out) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Strict cursor parser for the fixed shape ExportJsonLines emits.
+class LineParser {
+ public:
+  explicit LineParser(std::string_view line) : line_(line) {}
+
+  bool Literal(std::string_view expected) {
+    if (line_.substr(pos_, expected.size()) != expected) return false;
+    pos_ += expected.size();
+    return true;
+  }
+
+  bool Integer(std::int64_t* value) {
+    std::size_t start = pos_;
+    if (pos_ < line_.size() && line_[pos_] == '-') ++pos_;
+    while (pos_ < line_.size() && line_[pos_] >= '0' && line_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    long long parsed = 0;
+    if (!util::ParseInt(std::string(line_.substr(start, pos_ - start)),
+                        &parsed)) {
+      return false;
+    }
+    *value = parsed;
+    return true;
+  }
+
+  bool String(std::string* value) {
+    value->clear();
+    if (!Literal("\"")) return false;
+    while (pos_ < line_.size() && line_[pos_] != '"') {
+      char c = line_[pos_++];
+      if (c != '\\') {
+        *value += c;
+        continue;
+      }
+      if (pos_ >= line_.size()) return false;
+      const char escape = line_[pos_++];
+      switch (escape) {
+        case '"': *value += '"'; break;
+        case '\\': *value += '\\'; break;
+        case 'n': *value += '\n'; break;
+        case 'r': *value += '\r'; break;
+        case 't': *value += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > line_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = line_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          if (code > 0xff) return false;  // exporter only emits control chars
+          *value += static_cast<char>(code);
+          break;
+        }
+        default: return false;
+      }
+    }
+    return Literal("\"");
+  }
+
+  bool Peek(char c) const { return pos_ < line_.size() && line_[pos_] == c; }
+  bool AtEnd() const { return pos_ == line_.size(); }
+
+ private:
+  std::string_view line_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Tracer::ExportJsonLines() const {
+  const std::vector<SpanRecord> spans = Snapshot();
+  std::string out;
+  out.reserve(spans.size() * 128);
+  for (const SpanRecord& span : spans) {
+    out += util::Format("{\"id\":%llu,\"parent\":%llu,\"name\":",
+                        static_cast<unsigned long long>(span.id),
+                        static_cast<unsigned long long>(span.parent_id));
+    AppendJsonString(span.name, out);
+    out += ",\"cat\":";
+    AppendJsonString(span.category, out);
+    // Open spans export as zero-length at their start time.
+    const std::int64_t end = std::max(span.start_micros, span.end_micros);
+    out += util::Format(",\"start\":%lld,\"end\":%lld,\"modeled\":%lld",
+                        static_cast<long long>(span.start_micros),
+                        static_cast<long long>(end),
+                        static_cast<long long>(span.modeled_micros));
+    out += ",\"tags\":{";
+    bool first = true;
+    for (const auto& [key, value] : span.tags) {
+      if (!first) out += ',';
+      first = false;
+      AppendJsonString(key, out);
+      out += ':';
+      AppendJsonString(value, out);
+    }
+    out += "}}\n";
+  }
+  return out;
+}
+
+util::Result<std::vector<SpanRecord>> ParseJsonLines(const std::string& text) {
+  std::vector<SpanRecord> spans;
+  int line_number = 0;
+  for (const std::string& line : util::Split(text, '\n')) {
+    ++line_number;
+    if (util::Trim(line).empty()) continue;
+    LineParser parser(line);
+    SpanRecord record;
+    std::int64_t id = 0, parent = 0;
+    const bool ok =
+        parser.Literal("{\"id\":") && parser.Integer(&id) &&
+        parser.Literal(",\"parent\":") && parser.Integer(&parent) &&
+        parser.Literal(",\"name\":") && parser.String(&record.name) &&
+        parser.Literal(",\"cat\":") && parser.String(&record.category) &&
+        parser.Literal(",\"start\":") && parser.Integer(&record.start_micros) &&
+        parser.Literal(",\"end\":") && parser.Integer(&record.end_micros) &&
+        parser.Literal(",\"modeled\":") &&
+        parser.Integer(&record.modeled_micros) &&
+        parser.Literal(",\"tags\":{");
+    if (!ok) {
+      return util::DataLoss(
+          util::Format("malformed trace line %d", line_number));
+    }
+    while (!parser.Peek('}')) {
+      std::string key, value;
+      if (!record.tags.empty() && !parser.Literal(",")) {
+        return util::DataLoss(
+            util::Format("malformed trace tags at line %d", line_number));
+      }
+      if (!parser.String(&key) || !parser.Literal(":") ||
+          !parser.String(&value)) {
+        return util::DataLoss(
+            util::Format("malformed trace tags at line %d", line_number));
+      }
+      record.tags.emplace_back(std::move(key), std::move(value));
+    }
+    if (!parser.Literal("}}") || !parser.AtEnd()) {
+      return util::DataLoss(
+          util::Format("trailing garbage at line %d", line_number));
+    }
+    record.id = static_cast<std::uint64_t>(id);
+    record.parent_id = static_cast<std::uint64_t>(parent);
+    spans.push_back(std::move(record));
+  }
+  return spans;
+}
+
+// ---------------------------------------------------------------------------
+// Breakdown report
+
+std::string Tracer::BreakdownTable() const {
+  const std::vector<SpanRecord> spans = Snapshot();
+
+  // Exclusive time: each span's duration minus the time covered by its
+  // children, so "protocol" is not billed for the "network" transfer nested
+  // inside it, and "step" only keeps what no child explains.
+  std::map<std::uint64_t, std::int64_t> child_micros;
+  for (const SpanRecord& span : spans) {
+    if (span.parent_id != 0) {
+      child_micros[span.parent_id] += span.DurationMicros();
+    }
+  }
+
+  struct CategoryTotals {
+    std::uint64_t spans = 0;
+    std::int64_t inclusive_micros = 0;
+    util::SampleStats exclusive;
+  };
+  std::map<std::string, CategoryTotals> categories;
+  std::int64_t total_exclusive = 0;
+  for (const SpanRecord& span : spans) {
+    const std::int64_t inclusive = span.DurationMicros();
+    auto it = child_micros.find(span.id);
+    const std::int64_t children = it == child_micros.end() ? 0 : it->second;
+    const std::int64_t exclusive = std::max<std::int64_t>(
+        0, inclusive - children);
+    CategoryTotals& totals = categories[span.category];
+    ++totals.spans;
+    totals.inclusive_micros += inclusive;
+    totals.exclusive.Add(static_cast<double>(exclusive));
+    total_exclusive += exclusive;
+  }
+
+  std::vector<std::pair<std::string, const CategoryTotals*>> ordered;
+  ordered.reserve(categories.size());
+  for (const auto& [name, totals] : categories) {
+    ordered.emplace_back(name, &totals);
+  }
+  std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
+    const double a_sum = a.second->exclusive.sum();
+    const double b_sum = b.second->exclusive.sum();
+    if (a_sum != b_sum) return a_sum > b_sum;
+    return a.first < b.first;
+  });
+
+  util::TextTable table({"category", "spans", "excl total [ms]",
+                         "mean [us]", "p95 [us]", "max [us]", "share"});
+  for (const auto& [name, totals] : ordered) {
+    const double sum = totals->exclusive.sum();
+    table.AddRow(
+        {name, std::to_string(totals->spans),
+         util::Format("%.3f", sum / 1000.0),
+         util::Format("%.1f", totals->exclusive.mean()),
+         util::Format("%.1f", totals->exclusive.Percentile(95)),
+         util::Format("%.1f", totals->exclusive.max()),
+         util::Format("%5.1f%%",
+                      total_exclusive > 0 ? 100.0 * sum / total_exclusive
+                                          : 0.0)});
+  }
+  return table.ToString();
+}
+
+}  // namespace nees::obs

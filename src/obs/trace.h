@@ -1,0 +1,162 @@
+// Span-based tracing for the experiment stack. The paper reconstructed the
+// MOST step timeline from NTP-synchronized site logs; here every layer of
+// the reproduction (coordinator, NTCP client/server, plugins, network, DAQ,
+// NSDS) records spans against a shared clock instead — under a SimClock the
+// resulting trace is fully deterministic and fault-injection-aware.
+//
+// Modeled time: the simulated network and the actuator emulators *compute*
+// delays (transmission micros, settle seconds) without sleeping. When the
+// tracer is given a modeled SimClock, recording such a delay advances it, so
+// span durations reflect the modeled wide-area timeline rather than host
+// scheduling noise. Pass the same SimClock as both `clock` and `modeled`
+// for a deterministic trace; pass a SystemClock and no modeled clock to
+// measure real wall time instead.
+//
+// Parenting: spans nest implicitly per thread (a span started while another
+// is open on the same thread becomes its child). Cross-thread hops — the
+// MPlugin's poll/notify hand-off, parallel per-site phases — pass an
+// explicit parent id instead.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace nees::obs {
+
+struct SpanRecord {
+  std::uint64_t id = 0;         // 1-based; 0 is "no span"
+  std::uint64_t parent_id = 0;  // 0 = root
+  std::string name;             // "psd.step", "ntcp.execute", ...
+  std::string category;         // "step", "protocol", "network", "settle", ...
+  std::int64_t start_micros = 0;
+  std::int64_t end_micros = -1;  // -1 while open
+  std::int64_t modeled_micros = 0;  // modeled delay charged to this span
+  std::vector<std::pair<std::string, std::string>> tags;  // insertion order
+
+  bool operator==(const SpanRecord&) const = default;
+  /// Closed duration; open spans count as zero-length.
+  std::int64_t DurationMicros() const {
+    return end_micros < start_micros ? 0 : end_micros - start_micros;
+  }
+};
+
+class Tracer;
+
+/// RAII handle for an open span. Movable; End() (or destruction) closes it.
+/// A default-constructed Span is inactive and every operation is a no-op.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  void End();
+  void AddTag(const std::string& key, const std::string& value);
+  /// Charges a modeled delay to this span (advances the tracer's modeled
+  /// clock, if any).
+  void AddModeledMicros(std::int64_t micros);
+
+  std::uint64_t id() const { return id_; }
+  bool active() const { return tracer_ != nullptr; }
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, std::uint64_t id) : tracer_(tracer), id_(id) {}
+
+  Tracer* tracer_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+class Tracer {
+ public:
+  using Tags = std::vector<std::pair<std::string, std::string>>;
+
+  /// `clock` stamps span boundaries; both must outlive the tracer. If
+  /// `modeled` is non-null, modeled delays advance it (see file comment).
+  explicit Tracer(util::Clock* clock, util::SimClock* modeled = nullptr);
+
+  // --- spans ----------------------------------------------------------------
+  Span StartSpan(const std::string& name, const std::string& category);
+  /// Explicit parent; the span still joins the calling thread's stack so
+  /// later same-thread spans nest under it.
+  Span StartSpanWithParent(const std::string& name,
+                           const std::string& category,
+                           std::uint64_t parent_id);
+
+  /// Non-RAII surface for producer/consumer hops where the span outlives
+  /// the starting scope (e.g. MPlugin poll -> backend compute -> notify).
+  std::uint64_t BeginSpanId(const std::string& name,
+                            const std::string& category,
+                            std::uint64_t parent_id);
+  void EndSpanId(std::uint64_t id);
+  void AddTagById(std::uint64_t id, const std::string& key,
+                  const std::string& value);
+  void AddModeledMicrosById(std::uint64_t id, std::int64_t micros);
+
+  // --- events ---------------------------------------------------------------
+  /// Records a child of the calling thread's current span whose duration is
+  /// the modeled delay (zero-length when `modeled_micros` is 0).
+  void RecordEvent(const std::string& name, const std::string& category,
+                   std::int64_t modeled_micros = 0, Tags tags = {});
+  void RecordEventUnder(std::uint64_t parent_id, const std::string& name,
+                        const std::string& category,
+                        std::int64_t modeled_micros = 0, Tags tags = {});
+  /// Records an interval measured by the caller (e.g. queue dwell time).
+  void RecordInterval(std::uint64_t parent_id, const std::string& name,
+                      const std::string& category, std::int64_t start_micros,
+                      std::int64_t end_micros, Tags tags = {});
+
+  /// Innermost open span on the calling thread (0 if none).
+  std::uint64_t CurrentSpanId() const;
+  std::int64_t NowMicros() const { return clock_->NowMicros(); }
+
+  MetricsRegistry& metrics() { return metrics_; }
+
+  // --- export ---------------------------------------------------------------
+  std::vector<SpanRecord> Snapshot() const;  // ordered by id
+  std::size_t span_count() const;
+
+  /// One JSON object per line, ids ascending, fixed key order — two runs
+  /// with identical modeled timelines export byte-identical text.
+  std::string ExportJsonLines() const;
+
+  /// Per-category *exclusive* time (span duration minus its children's, so
+  /// nested protocol/network/settle spans are not double-counted), as a
+  /// util::TextTable sorted by total share.
+  std::string BreakdownTable() const;
+
+  void Clear();
+
+ private:
+  std::uint64_t StartLocked(const std::string& name,
+                            const std::string& category,
+                            std::uint64_t parent_id, bool implicit_parent,
+                            bool push_stack);
+  void EndLocked(std::uint64_t id);
+
+  util::Clock* clock_;
+  util::SimClock* modeled_;
+  MetricsRegistry metrics_;
+
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;  // spans_[i].id == i + 1
+  std::map<std::thread::id, std::vector<std::uint64_t>> stacks_;
+};
+
+/// Parses ExportJsonLines output back into records (round-trip tests and
+/// offline trace tooling). Rejects malformed lines with kDataLoss.
+util::Result<std::vector<SpanRecord>> ParseJsonLines(const std::string& text);
+
+}  // namespace nees::obs

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace nees::plugins {
 
 LabViewPlugin::LabViewPlugin(
@@ -33,6 +35,14 @@ util::Result<ntcp::TransactionResult> LabViewPlugin::Execute(
   const double target = proposal.actions[0].target_displacement[0];
   NEES_ASSIGN_OR_RETURN(testbed::Measurement measurement,
                         specimen_->ApplyDisplacement(target));
+  if (tracer_ != nullptr) {
+    tracer_->RecordEvent(
+        "actuator.settle", "settle",
+        static_cast<std::int64_t>(measurement.motion_seconds * 1e6),
+        {{"rig", std::string(specimen_->name())}});
+    tracer_->metrics().Observe("actuator.settle_micros",
+                               measurement.motion_seconds * 1e6);
+  }
   ntcp::TransactionResult result;
   ntcp::ControlPointResult cp;
   cp.control_point = config_.control_point;

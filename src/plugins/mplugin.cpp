@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace nees::plugins {
@@ -32,6 +33,12 @@ util::Status MPlugin::Validate(const ntcp::Proposal& proposal) {
 util::Result<ntcp::TransactionResult> MPlugin::Execute(
     const ntcp::Proposal& proposal) {
   auto pending = std::make_shared<Pending>();
+  if (tracer_ != nullptr) {
+    // The backend thread has no implicit span context; remember ours so the
+    // queue/compute records attach under the server.execute span.
+    pending->parent_span_id = tracer_->CurrentSpanId();
+    pending->enqueued_micros = tracer_->NowMicros();
+  }
   {
     std::unique_lock<std::mutex> lock(mu_);
     pending_[proposal.transaction_id] = pending;
@@ -64,6 +71,22 @@ std::optional<ntcp::Proposal> MPlugin::PollRequest(
   if (queue_.empty()) return std::nullopt;
   ntcp::Proposal proposal = std::move(queue_.front());
   queue_.pop_front();
+  if (tracer_ != nullptr) {
+    // Idle polls record nothing (their count depends on host scheduling);
+    // only a successful dequeue leaves a trace.
+    auto it = pending_.find(proposal.transaction_id);
+    if (it != pending_.end()) {
+      const std::int64_t now = tracer_->NowMicros();
+      tracer_->RecordInterval(it->second->parent_span_id, "mplugin.queue",
+                              "queue", it->second->enqueued_micros, now,
+                              {{"txn", proposal.transaction_id}});
+      tracer_->metrics().Observe(
+          "mplugin.queue_micros",
+          static_cast<double>(now - it->second->enqueued_micros));
+      it->second->compute_span_id = tracer_->BeginSpanId(
+          "backend.compute", "simulation", it->second->parent_span_id);
+    }
+  }
   return proposal;
 }
 
@@ -74,6 +97,10 @@ util::Status MPlugin::PostResult(
   auto it = pending_.find(transaction_id);
   if (it == pending_.end()) {
     return util::NotFound("no pending execution named " + transaction_id);
+  }
+  if (tracer_ != nullptr && it->second->compute_span_id != 0) {
+    tracer_->EndSpanId(it->second->compute_span_id);
+    it->second->compute_span_id = 0;
   }
   it->second->done = true;
   if (outcome.ok()) {

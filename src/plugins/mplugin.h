@@ -63,6 +63,10 @@ class MPlugin final : public ntcp::ControlPlugin {
     bool done = false;
     util::Status status;
     ntcp::TransactionResult result;
+    // Tracing context carried across the Execute -> poll -> notify hop.
+    std::uint64_t parent_span_id = 0;
+    std::int64_t enqueued_micros = 0;
+    std::uint64_t compute_span_id = 0;
   };
 
   Config config_;

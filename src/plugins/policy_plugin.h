@@ -35,6 +35,10 @@ class LimitPolicyPlugin final : public ntcp::ControlPlugin {
       const ntcp::Proposal& proposal) override;
   void OnCancel(const ntcp::Proposal& proposal) override;
   std::string_view kind() const override { return "limit-policy"; }
+  void set_tracer(obs::Tracer* tracer) override {
+    ControlPlugin::set_tracer(tracer);
+    inner_->set_tracer(tracer);
+  }
 
   std::uint64_t rejections() const { return rejections_; }
 
@@ -56,6 +60,10 @@ class HumanApprovalPlugin final : public ntcp::ControlPlugin {
   util::Result<ntcp::TransactionResult> Execute(
       const ntcp::Proposal& proposal) override;
   std::string_view kind() const override { return "human-approval"; }
+  void set_tracer(obs::Tracer* tracer) override {
+    ControlPlugin::set_tracer(tracer);
+    inner_->set_tracer(tracer);
+  }
 
   std::uint64_t denials() const { return denials_; }
 

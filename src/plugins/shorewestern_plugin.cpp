@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
+#include "util/strings.h"
+
 namespace nees::plugins {
 
 ShoreWesternPlugin::ShoreWesternPlugin(Config config, net::RpcClient* rpc,
@@ -31,12 +34,25 @@ util::Status ShoreWesternPlugin::Validate(const ntcp::Proposal& proposal) {
 util::Result<ntcp::TransactionResult> ShoreWesternPlugin::Execute(
     const ntcp::Proposal& proposal) {
   const double target = proposal.actions[0].target_displacement[0];
+  obs::Span span;
+  if (tracer_ != nullptr) {
+    span = tracer_->StartSpan("actuator.move", "settle");
+    span.AddTag("target", util::Format("%.6g", target));
+  }
   NEES_ASSIGN_OR_RETURN(auto move, controller_.Move(target));
+  if (tracer_ != nullptr) {
+    // The settle time is modeled by the rig, not slept; charge it to the
+    // span so the trace shows where a real hybrid step's seconds go.
+    span.AddModeledMicros(
+        static_cast<std::int64_t>(move.motion_seconds * 1e6));
+    tracer_->metrics().Observe("actuator.settle_micros",
+                               move.motion_seconds * 1e6);
+  }
   ntcp::TransactionResult result;
   ntcp::ControlPointResult cp;
   cp.control_point = config_.control_point;
-  cp.measured_displacement = {move.first};
-  cp.measured_force = {move.second};
+  cp.measured_displacement = {move.position_m};
+  cp.measured_force = {move.force_n};
   result.results.push_back(std::move(cp));
   return result;
 }

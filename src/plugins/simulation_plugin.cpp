@@ -1,5 +1,7 @@
 #include "plugins/simulation_plugin.h"
 
+#include "obs/trace.h"
+
 namespace nees::plugins {
 
 void SimulationPlugin::AddControlPoint(
@@ -41,6 +43,10 @@ util::Result<ntcp::TransactionResult> SimulationPlugin::Execute(
     cp.measured_displacement = action.target_displacement;  // ideal tracking
     cp.measured_force = force;
     result.results.push_back(std::move(cp));
+  }
+  if (tracer_ != nullptr) {
+    tracer_->RecordEvent("sim.compute", "simulation", 0,
+                         {{"actions", std::to_string(result.results.size())}});
   }
   return result;
 }

@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -24,6 +25,7 @@ SimulationCoordinator::SimulationCoordinator(CoordinatorConfig config,
   for (const SubstructureSite& site : config_.sites) {
     clients_.push_back(std::make_unique<ntcp::NtcpClient>(
         rpc_, site.ntcp_endpoint, policy, clock_));
+    clients_.back()->set_tracer(config_.tracer);
     SiteStats stats;
     stats.name = site.name;
     site_stats_.push_back(std::move(stats));
@@ -135,6 +137,14 @@ util::Status SimulationCoordinator::CycleOnce(
   }
   const util::Status proposed = ForEachSite([&](std::size_t i) {
     const SubstructureSite& site = config_.sites[i];
+    // Explicit parent: under parallel_sites this lambda runs off-thread,
+    // where the implicit stack would not see the step span.
+    obs::Span site_span;
+    if (config_.tracer != nullptr) {
+      site_span = config_.tracer->StartSpanWithParent(
+          "site.propose", "coordination", step_span_id_);
+      site_span.AddTag("site", site.name);
+    }
     ntcp::Proposal proposal;
     proposal.transaction_id = transaction_ids[i];
     proposal.step_index = static_cast<std::int64_t>(step_);
@@ -172,6 +182,12 @@ util::Status SimulationCoordinator::CycleOnce(
   results.assign(site_count, ntcp::TransactionResult{});
   const util::Status executed = ForEachSite([&](std::size_t i) {
     const SubstructureSite& site = config_.sites[i];
+    obs::Span site_span;
+    if (config_.tracer != nullptr) {
+      site_span = config_.tracer->StartSpanWithParent(
+          "site.execute", "coordination", step_span_id_);
+      site_span.AddTag("site", site.name);
+    }
     const util::Stopwatch watch;
     auto result = clients_[i]->Execute(transaction_ids[i]);
     site_stats_[i].step_micros.Add(
@@ -242,12 +258,19 @@ util::Result<bool> SimulationCoordinator::StepCentralDifference(
   NEES_RETURN_IF_ERROR(RunNtcpCycle(d_, forces, results));
 
   // Central-difference update with the *measured* restoring forces.
+  const std::int64_t integrate_t0 =
+      config_.tracer != nullptr ? clock_->NowMicros() : 0;
   const double dt = config_.motion.dt_seconds;
   const structural::Vector f =
       -config_.motion.accel[step_] * (config_.mass * config_.iota);
   const structural::Vector rhs =
       f - forces + two_m_ * d_ - kback_ * d_prev_;
   structural::Vector d_next = keff_lu_.Solve(rhs);
+  if (config_.tracer != nullptr) {
+    config_.tracer->RecordInterval(step_span_id_, "psd.integrate",
+                                   "integrate", integrate_t0,
+                                   clock_->NowMicros());
+  }
 
   const structural::Vector v = (1.0 / (2.0 * dt)) * (d_next - d_prev_);
   const structural::Vector a =
@@ -278,10 +301,17 @@ util::Result<bool> SimulationCoordinator::StepOperatorSplitting(
   structural::Vector forces;
   NEES_RETURN_IF_ERROR(RunNtcpCycle(d_tilde, forces, results));
 
+  const std::int64_t integrate_t0 =
+      config_.tracer != nullptr ? clock_->NowMicros() : 0;
   const structural::Vector f =
       -config_.motion.accel[step_ + 1] * (config_.mass * config_.iota);
   const structural::Vector rhs = f - config_.damping * v_tilde - forces;
   const structural::Vector a_next = meff_lu_.Solve(rhs);
+  if (config_.tracer != nullptr) {
+    config_.tracer->RecordInterval(step_span_id_, "psd.integrate",
+                                   "integrate", integrate_t0,
+                                   clock_->NowMicros());
+  }
 
   d_prev_ = d_;
   d_ = d_tilde + (beta * dt * dt) * a_next;
@@ -299,11 +329,24 @@ util::Result<bool> SimulationCoordinator::StepOperatorSplitting(
 util::Result<bool> SimulationCoordinator::ExecuteStep() {
   NEES_RETURN_IF_ERROR(EnsureInitialized());
   if (step_ + 1 >= config_.motion.steps()) return false;
-  std::vector<ntcp::TransactionResult> results;
-  if (config_.integrator == PsdIntegrator::kCentralDifference) {
-    return StepCentralDifference(results);
+  obs::Span step_span;
+  step_span_id_ = 0;
+  if (config_.tracer != nullptr) {
+    step_span = config_.tracer->StartSpan("psd.step", "step");
+    step_span.AddTag("step", std::to_string(step_));
+    step_span_id_ = step_span.id();
   }
-  return StepOperatorSplitting(results);
+  std::vector<ntcp::TransactionResult> results;
+  util::Result<bool> advanced =
+      config_.integrator == PsdIntegrator::kCentralDifference
+          ? StepCentralDifference(results)
+          : StepOperatorSplitting(results);
+  if (config_.tracer != nullptr) {
+    config_.tracer->metrics().Increment(advanced.ok() ? "psd.steps"
+                                                      : "psd.step_failures");
+  }
+  step_span_id_ = 0;
+  return advanced;
 }
 
 RunReport SimulationCoordinator::Run() {

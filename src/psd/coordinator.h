@@ -33,6 +33,10 @@
 #include "util/clock.h"
 #include "util/stats.h"
 
+namespace nees::obs {
+class Tracer;
+}  // namespace nees::obs
+
 namespace nees::psd {
 
 /// One substructure's binding: which NTCP server, which control point, and
@@ -74,6 +78,11 @@ struct CoordinatorConfig {
   /// Initial stiffness estimate K0; required (square, n x n) for
   /// kOperatorSplitting, ignored otherwise.
   structural::Matrix initial_stiffness;
+
+  /// Optional observability: one "psd.step" span per time step, with
+  /// per-site propose/execute child spans, propagated to the NTCP clients.
+  /// Must outlive the coordinator.
+  obs::Tracer* tracer = nullptr;
 };
 
 struct SiteStats {
@@ -159,6 +168,7 @@ class SimulationCoordinator {
       std::vector<ntcp::TransactionResult>& results);
 
   bool initialized_ = false;
+  std::uint64_t step_span_id_ = 0;  // open "psd.step" span (0 = none)
   structural::LuFactorization keff_lu_;  // CD effective stiffness
   structural::Matrix kback_;
   structural::Matrix two_m_;

@@ -41,8 +41,8 @@ std::string ShoreWesternEmulator::HandleLine(const std::string& line) {
       return "ERR " + std::string(util::ErrorCodeName(
                           measurement.status().code()));
     }
-    return util::Format("DONE %.9g %.9g", measurement->displacement_m,
-                        measurement->force_n);
+    return util::Format("DONE %.9g %.9g %.9g", measurement->displacement_m,
+                        measurement->force_n, measurement->motion_seconds);
   }
 
   if (command == "READ") {
@@ -89,17 +89,18 @@ util::Result<std::string> ShoreWesternClient::SendLine(
   return std::string(reply.begin(), reply.end());
 }
 
-util::Result<std::pair<double, double>> ShoreWesternClient::Move(
-    double target_m) {
+util::Result<MoveResult> ShoreWesternClient::Move(double target_m) {
   NEES_ASSIGN_OR_RETURN(std::string reply,
                         SendLine(util::Format("MOVE %.12g", target_m)));
   const auto parts = util::Split(reply, ' ');
-  if (parts.size() == 3 && parts[0] == "DONE") {
-    double position = 0.0, force = 0.0;
-    if (util::ParseDouble(parts[1], &position) &&
-        util::ParseDouble(parts[2], &force)) {
-      return std::make_pair(position, force);
+  if ((parts.size() == 3 || parts.size() == 4) && parts[0] == "DONE") {
+    MoveResult move;
+    bool parsed = util::ParseDouble(parts[1], &move.position_m) &&
+                  util::ParseDouble(parts[2], &move.force_n);
+    if (parsed && parts.size() == 4) {
+      parsed = util::ParseDouble(parts[3], &move.motion_seconds);
     }
+    if (parsed) return move;
   }
   if (!parts.empty() && parts[0] == "ERR" && parts.size() > 1 &&
       parts[1] == "SafetyInterlock") {

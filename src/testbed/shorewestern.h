@@ -6,7 +6,8 @@
 //
 // Protocol (one text line per request, one per reply):
 //   HELLO                      -> "OK ShoreWestern SC6000 sim"
-//   MOVE <pos_m>               -> "DONE <pos> <force>" | "ERR <reason>"
+//   MOVE <pos_m>               -> "DONE <pos> <force> <motion_s>"
+//                                 | "ERR <reason>"
 //   READ                       -> "DATA <pos> <force> <strain>"
 //   LIMIT <max_disp> <max_force> -> "OK"
 //   ESTOP                      -> "OK"
@@ -42,6 +43,15 @@ class ShoreWesternEmulator {
   std::unique_ptr<PhysicalSpecimen> specimen_;
 };
 
+/// Parsed "DONE" reply from a MOVE command.
+struct MoveResult {
+  double position_m = 0.0;
+  double force_n = 0.0;
+  /// Simulated actuator settle time; 0 when talking to an older controller
+  /// that omits the third DONE field.
+  double motion_seconds = 0.0;
+};
+
 /// Thin client for the line protocol, used by the UIUC plugin.
 class ShoreWesternClient {
  public:
@@ -50,8 +60,8 @@ class ShoreWesternClient {
   util::Result<std::string> SendLine(const std::string& line,
                                      std::int64_t timeout_micros = 2'000'000);
 
-  /// MOVE + parse: returns (position, force).
-  util::Result<std::pair<double, double>> Move(double target_m);
+  /// MOVE + parse.
+  util::Result<MoveResult> Move(double target_m);
   util::Result<Measurement> Read();
   util::Status SetLimits(double max_disp_m, double max_force_n);
   util::Status EStop();

@@ -1,0 +1,266 @@
+// Tests for the observability layer: metrics registry semantics, span
+// nesting (implicit per-thread and explicit cross-thread parents), modeled
+// clock advancement, JSON-lines export round-trips, the breakdown report,
+// and the coordinator integration (every PSD step span carries per-site
+// child spans, deterministically across runs).
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "most/most.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/clock.h"
+
+namespace nees {
+namespace {
+
+// --- MetricsRegistry -----------------------------------------------------------
+
+TEST(MetricsTest, CountersGaugesAndHistograms) {
+  obs::MetricsRegistry metrics;
+  metrics.Increment("steps");
+  metrics.Increment("steps", 4);
+  EXPECT_EQ(metrics.CounterValue("steps"), 5);
+  EXPECT_EQ(metrics.CounterValue("unknown"), 0);
+
+  metrics.SetGauge("drift_mm", 1.25);
+  EXPECT_DOUBLE_EQ(metrics.GaugeValue("drift_mm"), 1.25);
+
+  for (int i = 1; i <= 100; ++i) metrics.Observe("latency", i);
+  const util::SampleStats latency = metrics.HistogramValue("latency");
+  EXPECT_EQ(latency.count(), 100u);
+  EXPECT_DOUBLE_EQ(latency.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(latency.Percentile(50), 50.5);    // interpolated
+  EXPECT_DOUBLE_EQ(latency.Percentile(95), 95.05);
+  EXPECT_DOUBLE_EQ(latency.max(), 100.0);
+
+  const obs::MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("steps"), 5);
+  EXPECT_EQ(snapshot.histograms.at("latency").count(), 100u);
+  EXPECT_NE(metrics.ReportTable().find("latency"), std::string::npos);
+
+  metrics.Clear();
+  EXPECT_EQ(metrics.CounterValue("steps"), 0);
+  EXPECT_EQ(metrics.HistogramValue("latency").count(), 0u);
+}
+
+// --- span nesting --------------------------------------------------------------
+
+TEST(TracerTest, ImplicitNestingFollowsThreadStack) {
+  util::SimClock sim;
+  obs::Tracer tracer(&sim);
+  {
+    obs::Span outer = tracer.StartSpan("outer", "step");
+    sim.Advance(10);
+    {
+      obs::Span inner = tracer.StartSpan("inner", "protocol");
+      sim.Advance(5);
+      EXPECT_EQ(tracer.CurrentSpanId(), inner.id());
+    }
+    EXPECT_EQ(tracer.CurrentSpanId(), outer.id());
+  }
+  EXPECT_EQ(tracer.CurrentSpanId(), 0u);
+
+  const std::vector<obs::SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].parent_id, 0u);
+  EXPECT_EQ(spans[0].DurationMicros(), 15);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].parent_id, spans[0].id);
+  EXPECT_EQ(spans[1].DurationMicros(), 5);
+}
+
+TEST(TracerTest, ExplicitParentCrossesThreads) {
+  util::SimClock sim;
+  obs::Tracer tracer(&sim);
+  obs::Span root = tracer.StartSpan("root", "step");
+
+  // The MPlugin hand-off shape: the consumer thread opens a span under a
+  // parent it never started itself.
+  std::uint64_t child_id = 0;
+  std::thread backend([&] {
+    child_id = tracer.BeginSpanId("compute", "simulation", root.id());
+    tracer.AddTagById(child_id, "txn", "t-1");
+    tracer.EndSpanId(child_id);
+  });
+  backend.join();
+  root.End();
+
+  const std::vector<obs::SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[1].id, child_id);
+  EXPECT_EQ(spans[1].parent_id, root.id());
+  ASSERT_EQ(spans[1].tags.size(), 1u);
+  EXPECT_EQ(spans[1].tags[0].first, "txn");
+}
+
+TEST(TracerTest, EventsAndIntervalsAttachToParents) {
+  util::SimClock sim;
+  obs::Tracer tracer(&sim);
+  obs::Span root = tracer.StartSpan("root", "step");
+  tracer.RecordEvent("ev", "network");                       // implicit parent
+  tracer.RecordEventUnder(root.id(), "ev2", "network");      // explicit
+  tracer.RecordInterval(root.id(), "dwell", "queue", 3, 9);  // measured
+  root.End();
+
+  const std::vector<obs::SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].parent_id, root.id());
+  }
+  EXPECT_EQ(spans[3].DurationMicros(), 6);
+}
+
+// --- modeled clock -------------------------------------------------------------
+
+TEST(TracerTest, ModeledDelaysAdvanceTheSimClock) {
+  util::SimClock sim;
+  obs::Tracer tracer(&sim, &sim);
+  const std::int64_t t0 = sim.NowMicros();
+
+  obs::Span transfer = tracer.StartSpan("transfer", "network");
+  transfer.AddModeledMicros(20'000);
+  transfer.End();
+  EXPECT_EQ(sim.NowMicros(), t0 + 20'000);
+
+  // A modeled event is a closed span whose duration IS the modeled delay.
+  tracer.RecordEvent("settle", "settle", 5'000);
+  EXPECT_EQ(sim.NowMicros(), t0 + 25'000);
+
+  const std::vector<obs::SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].DurationMicros(), 20'000);
+  EXPECT_EQ(spans[0].modeled_micros, 20'000);
+  EXPECT_EQ(spans[1].DurationMicros(), 5'000);
+}
+
+// --- export / parse ------------------------------------------------------------
+
+TEST(TracerTest, JsonLinesRoundTrip) {
+  util::SimClock sim;
+  obs::Tracer tracer(&sim, &sim);
+  {
+    obs::Span outer = tracer.StartSpan("step", "step");
+    outer.AddTag("site", "UIUC");
+    outer.AddTag("quote\"backslash\\", "line\nbreak\ttab");
+    tracer.RecordEvent("net.deliver", "network", 1'500,
+                       {{"from", "a"}, {"to", "b"}});
+  }
+  obs::Span open = tracer.StartSpan("open", "step");  // exported as zero-length
+
+  const std::string text = tracer.ExportJsonLines();
+  const auto parsed = obs::ParseJsonLines(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+
+  const std::vector<obs::SpanRecord> original = tracer.Snapshot();
+  ASSERT_EQ(parsed->size(), original.size());
+  EXPECT_EQ((*parsed)[0], original[0]);
+  EXPECT_EQ((*parsed)[1], original[1]);
+  // The open span is exported with end == start, not the sentinel -1.
+  EXPECT_EQ((*parsed)[2].end_micros, (*parsed)[2].start_micros);
+  open.End();
+}
+
+TEST(TracerTest, ParseRejectsMalformedLines) {
+  EXPECT_FALSE(obs::ParseJsonLines("{\"id\":}").ok());
+  EXPECT_FALSE(obs::ParseJsonLines("not json at all").ok());
+  EXPECT_FALSE(
+      obs::ParseJsonLines("{\"id\":1,\"parent\":0,\"name\":\"x\"}").ok());
+}
+
+TEST(TracerTest, BreakdownReportsExclusiveTime) {
+  util::SimClock sim;
+  obs::Tracer tracer(&sim, &sim);
+  {
+    obs::Span step = tracer.StartSpan("step", "step");
+    tracer.RecordEvent("transfer", "network", 40'000);
+    tracer.RecordEvent("settle", "settle", 60'000);
+  }
+  const std::string table = tracer.BreakdownTable();
+  // The step span's 100 ms are all accounted to its children: settle 60%,
+  // network 40%, step 0%.
+  EXPECT_NE(table.find("settle"), std::string::npos);
+  EXPECT_NE(table.find("60.0%"), std::string::npos);
+  EXPECT_NE(table.find("40.0%"), std::string::npos);
+  EXPECT_NE(table.find(" 0.0%"), std::string::npos);
+}
+
+// --- coordinator integration ---------------------------------------------------
+
+class ObsMostTest : public ::testing::Test {
+ protected:
+  // Small all-simulation MOST deployment: deterministic and fast, but the
+  // full coordinator -> NTCP -> plugin path.
+  static most::MostOptions Options(obs::Tracer* tracer) {
+    most::MostOptions options;
+    options.steps = 10;
+    options.hybrid = false;
+    options.with_repository = false;
+    options.with_streaming = false;
+    options.tracer = tracer;
+    return options;
+  }
+
+  // Fresh clock, tracer, network and experiment per call: two invocations
+  // share no state, so identical output means the trace is deterministic.
+  static std::string RunTraced(std::size_t* span_count = nullptr) {
+    util::SimClock sim;
+    obs::Tracer tracer(&sim, &sim);
+    net::Network network;
+    network.SetClock(&sim);
+    net::LinkModel wan;
+    wan.latency_micros = 15'000;
+    network.SetDefaultLink(wan);
+    most::MostExperiment experiment(&network, &sim, Options(&tracer));
+    auto report = experiment.Run(psd::FaultPolicy::kFaultTolerant, "obs-run");
+    EXPECT_TRUE(report.ok());
+    if (report.ok()) {
+      EXPECT_TRUE(report->completed);
+    }
+    if (span_count != nullptr) *span_count = tracer.span_count();
+    return tracer.ExportJsonLines();
+  }
+};
+
+TEST_F(ObsMostTest, EveryStepSpanCarriesPerSiteChildren) {
+  util::SimClock sim;
+  obs::Tracer tracer(&sim, &sim);
+  net::Network network;
+  network.SetClock(&sim);
+  most::MostExperiment experiment(&network, &sim, Options(&tracer));
+  auto report = experiment.Run(psd::FaultPolicy::kFaultTolerant, "obs-run");
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->completed);
+
+  const std::vector<obs::SpanRecord> spans = tracer.Snapshot();
+  std::vector<std::uint64_t> step_ids;
+  std::map<std::uint64_t, int> proposes, executes;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.name == "psd.step") step_ids.push_back(span.id);
+    if (span.name == "site.propose") ++proposes[span.parent_id];
+    if (span.name == "site.execute") ++executes[span.parent_id];
+  }
+  ASSERT_EQ(step_ids.size(), report->steps_completed);
+  for (const std::uint64_t id : step_ids) {
+    EXPECT_EQ(proposes[id], 3) << "step span " << id;  // UIUC, NCSA, CU
+    EXPECT_EQ(executes[id], 3) << "step span " << id;
+  }
+  EXPECT_EQ(tracer.metrics().CounterValue("psd.steps"),
+            static_cast<std::int64_t>(report->steps_completed));
+  EXPECT_EQ(tracer.metrics().CounterValue("ntcp.server.proposals"),
+            static_cast<std::int64_t>(3 * report->steps_completed));
+}
+
+TEST_F(ObsMostTest, TwoSeededRunsExportIdenticalTraces) {
+  std::size_t spans_a = 0;
+  const std::string trace_a = RunTraced(&spans_a);
+  const std::string trace_b = RunTraced();
+
+  EXPECT_GT(spans_a, 10u * 7u);  // step + 6 site spans per step at least
+  EXPECT_EQ(trace_a, trace_b);
+}
+
+}  // namespace
+}  // namespace nees

@@ -269,8 +269,9 @@ TEST_F(ShoreWesternTest, Hello) {
 TEST_F(ShoreWesternTest, MoveAndRead) {
   auto move = client_->Move(0.01);
   ASSERT_TRUE(move.ok());
-  EXPECT_NEAR(move->first, 0.01, 2e-4);
-  EXPECT_NEAR(move->second, 1e4, 300.0);
+  EXPECT_NEAR(move->position_m, 0.01, 2e-4);
+  EXPECT_NEAR(move->force_n, 1e4, 300.0);
+  EXPECT_GT(move->motion_seconds, 0.0);
 
   auto read = client_->Read();
   ASSERT_TRUE(read.ok());
