@@ -70,7 +70,7 @@ void BM_ProposeExecuteLifecycle(benchmark::State& state) {
   ntcp::NtcpClient client(&rpc, "ntcp.bench");
   std::size_t i = 0;
   for (auto _ : state) {
-    const std::string id = "t" + std::to_string(i++);
+    const std::string id = util::Format("t%zu", i++);
     benchmark::DoNotOptimize(client.Propose(MakeProposal(id, 0.001)));
     benchmark::DoNotOptimize(client.Execute(id));
     if (i % 4096 == 0) {
@@ -92,7 +92,7 @@ void BM_ProposeOnly(benchmark::State& state) {
   std::size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        client.Propose(MakeProposal("t" + std::to_string(i++), 0.001)));
+        client.Propose(MakeProposal(util::Format("t%zu", i++), 0.001)));
     if (i % 4096 == 0) {
       state.PauseTiming();
       server.GarbageCollect(0);
@@ -126,7 +126,7 @@ void BM_PluginDispatch_Simulation(benchmark::State& state) {
   (void)server.Start();
   std::size_t i = 0;
   for (auto _ : state) {
-    const std::string id = "t" + std::to_string(i++);
+    const std::string id = util::Format("t%zu", i++);
     server.Propose(MakeProposal(id, 0.001));
     benchmark::DoNotOptimize(server.Execute(id));
     if (i % 4096 == 0) {
@@ -148,7 +148,7 @@ void BM_PluginDispatch_PolicyWrapped(benchmark::State& state) {
   (void)server.Start();
   std::size_t i = 0;
   for (auto _ : state) {
-    const std::string id = "t" + std::to_string(i++);
+    const std::string id = util::Format("t%zu", i++);
     server.Propose(MakeProposal(id, 0.001));
     benchmark::DoNotOptimize(server.Execute(id));
     if (i % 4096 == 0) {
@@ -177,7 +177,7 @@ void BM_PluginDispatch_MpluginPollingBackend(benchmark::State& state) {
   backend.Start();
   std::size_t i = 0;
   for (auto _ : state) {
-    const std::string id = "t" + std::to_string(i++);
+    const std::string id = util::Format("t%zu", i++);
     server.Propose(MakeProposal(id, 0.001));
     benchmark::DoNotOptimize(server.Execute(id));
     if (i % 4096 == 0) {
@@ -211,7 +211,7 @@ void PrintNegotiationTable() {
     for (int i = 0; i < commands; ++i) {
       // Command amplitudes drawn from the MOST drift distribution scale.
       const double d = rng.Gaussian(0.0, 0.05);
-      if (server.Propose(MakeProposal("t" + std::to_string(i), d)).accepted) {
+      if (server.Propose(MakeProposal(util::Format("t%d", i), d)).accepted) {
         ++accepted;
       }
     }

@@ -1,0 +1,46 @@
+# Hardening knobs shared by every NEES target.
+#
+#   -DNEES_WERROR=ON                        warnings are errors
+#   -DNEES_SANITIZE="address;undefined"     sanitizer list (also: thread)
+#
+# Every module CMakeLists (and the test/bench/example helpers) calls
+# nees_apply_build_flags(<target>), which also defines
+# NEES_ENABLE_INVARIANTS outside Release so NEES_CHECK_INVARIANT() is live
+# in the default RelWithDebInfo build, the sanitizer matrix, and all tests,
+# but compiled out of production Release binaries.
+
+option(NEES_WERROR "Treat compiler warnings as errors" OFF)
+set(NEES_SANITIZE "" CACHE STRING
+    "Semicolon-separated sanitizers: address;undefined;thread")
+
+set(NEES_SANITIZE_FLAGS "")
+foreach(sanitizer IN LISTS NEES_SANITIZE)
+  if(NOT sanitizer MATCHES "^(address|undefined|thread)$")
+    message(FATAL_ERROR
+            "NEES_SANITIZE: unknown sanitizer '${sanitizer}' "
+            "(expected address, undefined, or thread)")
+  endif()
+  list(APPEND NEES_SANITIZE_FLAGS "-fsanitize=${sanitizer}")
+endforeach()
+if("address" IN_LIST NEES_SANITIZE AND "thread" IN_LIST NEES_SANITIZE)
+  message(FATAL_ERROR "NEES_SANITIZE: address and thread are incompatible")
+endif()
+if("undefined" IN_LIST NEES_SANITIZE)
+  # A UBSan hit must fail the run, not just print.
+  list(APPEND NEES_SANITIZE_FLAGS "-fno-sanitize-recover=all")
+endif()
+if(NEES_SANITIZE_FLAGS)
+  list(APPEND NEES_SANITIZE_FLAGS "-fno-omit-frame-pointer")
+endif()
+
+function(nees_apply_build_flags target)
+  if(NEES_WERROR)
+    target_compile_options(${target} PRIVATE -Werror)
+  endif()
+  if(NEES_SANITIZE_FLAGS)
+    target_compile_options(${target} PRIVATE ${NEES_SANITIZE_FLAGS})
+    target_link_options(${target} PRIVATE ${NEES_SANITIZE_FLAGS})
+  endif()
+  target_compile_definitions(${target} PRIVATE
+      $<$<NOT:$<CONFIG:Release>>:NEES_ENABLE_INVARIANTS>)
+endfunction()

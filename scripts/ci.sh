@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# CI matrix: builds the tree twice — Release (invariants compiled out) and
+# RelWithDebInfo under ASan+UBSan (invariants live) — with warnings as
+# errors in both, runs the full test suite in each, then gates on protocol
+# conformance: a fresh 150-step hybrid MOST trace must pass nees_lint.
+#
+#   scripts/ci.sh [build-dir-prefix]     # default: <repo>/build-ci
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+prefix="${1:-$repo/build-ci}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_config() {
+  build="$1"
+  shift
+  echo
+  echo "######## configure $build ########"
+  cmake -B "$build" -S "$repo" -DNEES_WERROR=ON "$@"
+  cmake --build "$build" -j "$jobs"
+  (cd "$build" && ctest --output-on-failure -j "$jobs")
+}
+
+run_config "$prefix-release" -DCMAKE_BUILD_TYPE=Release
+run_config "$prefix-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+           "-DNEES_SANITIZE=address;undefined"
+
+echo
+echo "######## nees_lint on a fresh most_experiment trace ########"
+trace="$prefix-asan/most_trace.jsonl"
+"$prefix-asan/examples/most_experiment" 150 "$trace" > /dev/null
+"$prefix-asan/tools/nees_lint" "$trace"
+
+echo
+echo "CI matrix green: Release + ASan/UBSan, tests + conformance lint."

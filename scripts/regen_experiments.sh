@@ -30,3 +30,10 @@ for bench in $benches; do
   echo "######## $bench ########"
   "$build/bench/$bench"
 done
+
+# Conformance gate: a fresh 150-step hybrid MOST trace must lint clean.
+echo
+echo "######## nees_lint (fresh most_experiment trace) ########"
+trace="$build/most_trace.jsonl"
+"$build/examples/most_experiment" 150 "$trace" > /dev/null
+"$build/tools/nees_lint" "$trace"

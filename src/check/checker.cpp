@@ -1,0 +1,405 @@
+#include "check/checker.h"
+
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "ntcp/types.h"
+#include "util/strings.h"
+
+namespace nees::check {
+namespace {
+
+using ntcp::TransactionState;
+
+constexpr std::string_view kTxnEvent = "ntcp.txn";
+constexpr std::string_view kDupEvent = "ntcp.dup";
+
+const std::string* FindTag(const obs::SpanRecord& span, std::string_view key) {
+  for (const auto& [tag_key, value] : span.tags) {
+    if (tag_key == key) return &value;
+  }
+  return nullptr;
+}
+
+bool FindTagInt(const obs::SpanRecord& span, std::string_view key,
+                std::int64_t* out) {
+  const std::string* value = FindTag(span, key);
+  if (value == nullptr) return false;
+  long long parsed = 0;
+  if (!util::ParseInt(*value, &parsed)) return false;
+  *out = parsed;
+  return true;
+}
+
+std::optional<TransactionState> StateFromName(std::string_view name) {
+  for (int i = 0; i <= static_cast<int>(TransactionState::kExpired); ++i) {
+    const auto state = static_cast<TransactionState>(i);
+    if (ntcp::TransactionStateName(state) == name) return state;
+  }
+  return std::nullopt;
+}
+
+/// Replay state for one transaction.
+struct TxnTracker {
+  bool created = false;
+  TransactionState state = TransactionState::kProposed;
+  std::int64_t proposed_at = -1;
+  std::int64_t step = -1;
+  int executing_entries = 0;
+  std::uint64_t last_span = 0;  // creation/last transition span
+};
+
+class Linter {
+ public:
+  explicit Linter(const std::vector<obs::SpanRecord>& spans) : spans_(spans) {}
+
+  LintReport Run() {
+    report_.stats.spans = spans_.size();
+    CheckShapeAndNesting();
+    for (const obs::SpanRecord& span : spans_) {
+      if (span.name == kTxnEvent) {
+        ++report_.stats.protocol_events;
+        ReplayTransition(span);
+      } else if (span.name == kDupEvent) {
+        ++report_.stats.protocol_events;
+        ReplayDuplicate(span);
+      }
+    }
+    CheckTerminal();
+    CheckStepMonotonicity();
+    report_.stats.transactions = txns_.size();
+    report_.stats.endpoints = endpoints_.size();
+    return std::move(report_);
+  }
+
+ private:
+  void Add(Rule rule, const obs::SpanRecord* span, std::string txn,
+           std::int64_t step, std::string message) {
+    Violation violation;
+    violation.rule = rule;
+    violation.transaction_id = std::move(txn);
+    violation.step = step;
+    violation.span_id = span == nullptr ? 0 : span->id;
+    violation.message = std::move(message);
+    report_.violations.push_back(std::move(violation));
+  }
+
+  void CheckShapeAndNesting() {
+    std::map<std::uint64_t, const obs::SpanRecord*> by_id;
+    std::uint64_t previous_id = 0;
+    for (const obs::SpanRecord& span : spans_) {
+      if (span.id <= previous_id) {
+        Add(Rule::kTraceShape, &span, "", -1,
+            util::Format("span ids not strictly ascending (%llu after %llu)",
+                         static_cast<unsigned long long>(span.id),
+                         static_cast<unsigned long long>(previous_id)));
+      }
+      previous_id = span.id;
+      if (span.end_micros >= 0 && span.end_micros < span.start_micros) {
+        Add(Rule::kTraceShape, &span, "", -1, "span ends before it starts");
+      }
+      by_id.emplace(span.id, &span);
+    }
+    for (const obs::SpanRecord& span : spans_) {
+      if (span.parent_id == 0) continue;
+      const auto parent_it = by_id.find(span.parent_id);
+      if (parent_it == by_id.end() || span.parent_id >= span.id) {
+        Add(Rule::kSpanNesting, &span, "", -1,
+            util::Format("parent span %llu missing or not earlier in trace",
+                         static_cast<unsigned long long>(span.parent_id)));
+        continue;
+      }
+      const obs::SpanRecord& parent = *parent_it->second;
+      if (span.start_micros < parent.start_micros) {
+        Add(Rule::kSpanNesting, &span, "", -1,
+            "span starts before its parent");
+      }
+      // PSD-step containment: anything recorded directly under a step span
+      // must close before the step does, or the step's latency attribution
+      // (and the paper's "where does a step go" question) is wrong.
+      if (parent.category == "step" && parent.end_micros >= 0 &&
+          span.end_micros > parent.end_micros) {
+        Add(Rule::kSpanNesting, &span, "", -1,
+            util::Format("span ends after its PSD-step parent %llu",
+                         static_cast<unsigned long long>(parent.id)));
+      }
+    }
+  }
+
+  void ReplayTransition(const obs::SpanRecord& span) {
+    const std::string* txn = FindTag(span, "txn");
+    const std::string* endpoint = FindTag(span, "endpoint");
+    const std::string* from_name = FindTag(span, "from");
+    const std::string* to_name = FindTag(span, "to");
+    std::int64_t step = -1, at = -1, timeout = -1;
+    if (txn == nullptr || endpoint == nullptr || from_name == nullptr ||
+        to_name == nullptr || !FindTagInt(span, "step", &step) ||
+        !FindTagInt(span, "at", &at) ||
+        !FindTagInt(span, "timeout", &timeout)) {
+      Add(Rule::kTraceShape, &span, txn == nullptr ? "" : *txn, -1,
+          "ntcp.txn event is missing required tags");
+      return;
+    }
+    endpoints_.insert(*endpoint);
+    const std::optional<TransactionState> to = StateFromName(*to_name);
+    if (!to.has_value()) {
+      Add(Rule::kTraceShape, &span, *txn, step,
+          "unknown target state \"" + *to_name + "\"");
+      return;
+    }
+    TxnTracker& tracker = txns_[*txn];
+
+    if (*from_name == "none") {
+      if (*to != TransactionState::kProposed) {
+        Add(Rule::kIllegalTransition, &span, *txn, step,
+            "creation event must target \"proposed\", got \"" + *to_name +
+                "\"");
+        return;
+      }
+      if (tracker.created) {
+        Add(Rule::kIllegalTransition, &span, *txn, step,
+            "transaction created twice");
+        return;
+      }
+      tracker.created = true;
+      tracker.state = TransactionState::kProposed;
+      tracker.proposed_at = at;
+      tracker.step = step;
+      tracker.last_span = span.id;
+      if (step >= 0) {
+        proposals_by_endpoint_[*endpoint].push_back({step, span.id, *txn});
+      }
+      return;
+    }
+
+    const std::optional<TransactionState> from = StateFromName(*from_name);
+    if (!from.has_value()) {
+      Add(Rule::kTraceShape, &span, *txn, step,
+          "unknown source state \"" + *from_name + "\"");
+      return;
+    }
+    if (!tracker.created) {
+      Add(Rule::kIllegalTransition, &span, *txn, step,
+          "transition without a prior creation event");
+      // Track the claimed state so one missing creation does not cascade.
+      tracker.created = true;
+      tracker.state = *to;
+      tracker.step = step;
+    } else if (*from != tracker.state) {
+      Add(Rule::kIllegalTransition, &span, *txn, step,
+          util::Format(
+              "event claims from=%s but the transaction was in %s",
+              from_name->c_str(),
+              std::string(ntcp::TransactionStateName(tracker.state)).c_str()));
+      // The event contradicts the replayed state: keep the replayed state.
+    } else if (!ntcp::IsLegalTransition(*from, *to)) {
+      Add(Rule::kIllegalTransition, &span, *txn, step,
+          "illegal Fig. 1 transition " + *from_name + " -> " + *to_name);
+    } else {
+      tracker.state = *to;
+      tracker.last_span = span.id;
+    }
+
+    if (*to == TransactionState::kExecuting) {
+      if (++tracker.executing_entries == 2) {
+        Add(Rule::kDuplicateExecute, &span, *txn, step,
+            "transaction entered kExecuting a second time (at-most-once)");
+      }
+    }
+    if (*to == TransactionState::kExpired) {
+      CheckExpiry(span, *txn, step, at, timeout, tracker);
+    }
+  }
+
+  void CheckExpiry(const obs::SpanRecord& span, const std::string& txn,
+                   std::int64_t step, std::int64_t expired_at,
+                   std::int64_t timeout, const TxnTracker& tracker) {
+    if (timeout <= 0) {
+      Add(Rule::kBogusExpiry, &span, txn, step,
+          "transaction expired but its proposal had no timeout window");
+      return;
+    }
+    if (tracker.proposed_at < 0) return;  // creation missing: reported above
+    const std::int64_t deadline = tracker.proposed_at + timeout;
+    if (expired_at <= deadline) {
+      Add(Rule::kBogusExpiry, &span, txn, step,
+          util::Format("expired at %lld but the proposal window ran to %lld",
+                       static_cast<long long>(expired_at),
+                       static_cast<long long>(deadline)));
+    }
+  }
+
+  void ReplayDuplicate(const obs::SpanRecord& span) {
+    const std::string* txn = FindTag(span, "txn");
+    const std::string* endpoint = FindTag(span, "endpoint");
+    const std::string* kind = FindTag(span, "kind");
+    if (txn == nullptr || endpoint == nullptr || kind == nullptr) {
+      Add(Rule::kTraceShape, &span, txn == nullptr ? "" : *txn, -1,
+          "ntcp.dup event is missing required tags");
+      return;
+    }
+    endpoints_.insert(*endpoint);
+    const auto it = txns_.find(*txn);
+    if (*kind == "propose-mismatch") {
+      Add(Rule::kAtMostOnce, &span, *txn, it == txns_.end() ? -1 : it->second.step,
+          "transaction id reused with a different proposal");
+      return;
+    }
+    if (it == txns_.end() || !it->second.created) {
+      Add(Rule::kAtMostOnce, &span, *txn, -1,
+          "duplicate " + *kind + " for a transaction never created");
+      return;
+    }
+    if (*kind == "execute" &&
+        it->second.state != TransactionState::kCompleted &&
+        it->second.state != TransactionState::kFailed) {
+      Add(Rule::kAtMostOnce, &span, *txn, it->second.step,
+          "duplicate execute served from cache while the transaction was in " +
+              std::string(ntcp::TransactionStateName(it->second.state)));
+    }
+  }
+
+  void CheckTerminal() {
+    for (const auto& [txn, tracker] : txns_) {
+      if (!tracker.created) continue;
+      if (!ntcp::IsTerminal(tracker.state)) {
+        Violation violation;
+        violation.rule = Rule::kNonTerminal;
+        violation.transaction_id = txn;
+        violation.step = tracker.step;
+        violation.span_id = tracker.last_span;
+        violation.message =
+            "transaction ends the trace in non-terminal state " +
+            std::string(ntcp::TransactionStateName(tracker.state));
+        report_.violations.push_back(std::move(violation));
+      }
+    }
+  }
+
+  void CheckStepMonotonicity() {
+    for (const auto& [endpoint, proposals] : proposals_by_endpoint_) {
+      for (std::size_t i = 1; i < proposals.size(); ++i) {
+        const Proposed& previous = proposals[i - 1];
+        const Proposed& current = proposals[i];
+        const obs::SpanRecord* span = SpanById(current.span_id);
+        if (current.step < previous.step) {
+          Add(Rule::kStepMonotonicity, span, current.txn, current.step,
+              util::Format("%s: step %lld proposed after step %lld (reorder)",
+                           endpoint.c_str(),
+                           static_cast<long long>(current.step),
+                           static_cast<long long>(previous.step)));
+        } else if (current.step > previous.step + 1) {
+          Add(Rule::kStepMonotonicity, span, current.txn, current.step,
+              util::Format("%s: step %lld follows step %lld (skip)",
+                           endpoint.c_str(),
+                           static_cast<long long>(current.step),
+                           static_cast<long long>(previous.step)));
+        }
+      }
+    }
+  }
+
+  const obs::SpanRecord* SpanById(std::uint64_t id) const {
+    for (const obs::SpanRecord& span : spans_) {
+      if (span.id == id) return &span;
+    }
+    return nullptr;
+  }
+
+  struct Proposed {
+    std::int64_t step;
+    std::uint64_t span_id;
+    std::string txn;
+  };
+
+  const std::vector<obs::SpanRecord>& spans_;
+  LintReport report_;
+  std::map<std::string, TxnTracker> txns_;
+  std::map<std::string, std::vector<Proposed>> proposals_by_endpoint_;
+  std::set<std::string> endpoints_;
+};
+
+}  // namespace
+
+std::string_view RuleName(Rule rule) {
+  switch (rule) {
+    case Rule::kTraceShape: return "trace-shape";
+    case Rule::kIllegalTransition: return "illegal-transition";
+    case Rule::kDuplicateExecute: return "duplicate-execute";
+    case Rule::kAtMostOnce: return "at-most-once";
+    case Rule::kNonTerminal: return "non-terminal";
+    case Rule::kStepMonotonicity: return "step-monotonicity";
+    case Rule::kBogusExpiry: return "bogus-expiry";
+    case Rule::kSpanNesting: return "span-nesting";
+  }
+  return "unknown";
+}
+
+std::string Violation::ToString() const {
+  std::string out = "[";
+  out += RuleName(rule);
+  out += "]";
+  if (!transaction_id.empty()) out += " txn=" + transaction_id;
+  if (step >= 0) out += " step=" + std::to_string(step);
+  if (span_id != 0) out += " span=#" + std::to_string(span_id);
+  if (line > 0) out += " line=" + std::to_string(line);
+  out += ": " + message;
+  return out;
+}
+
+std::string LintReport::ToString() const {
+  std::string out = util::Format(
+      "%zu spans, %zu protocol events, %zu transactions across %zu "
+      "endpoints: %zu violation(s)",
+      stats.spans, stats.protocol_events, stats.transactions, stats.endpoints,
+      violations.size());
+  for (const Violation& violation : violations) {
+    out += "\n  " + violation.ToString();
+  }
+  return out;
+}
+
+LintReport LintSpans(const std::vector<obs::SpanRecord>& spans) {
+  return Linter(spans).Run();
+}
+
+util::Result<LintReport> LintTraceText(const std::string& text) {
+  NEES_ASSIGN_OR_RETURN(std::vector<obs::SpanRecord> spans,
+                        obs::ParseJsonLines(text));
+  LintReport report = LintSpans(spans);
+
+  // Spans parse one per non-blank line, in order: recover line numbers so a
+  // violation points straight into the trace file.
+  std::map<std::uint64_t, int> line_of_span;
+  int line_number = 0;
+  std::size_t span_index = 0;
+  for (const std::string& line : util::Split(text, '\n')) {
+    ++line_number;
+    if (util::Trim(line).empty()) continue;
+    if (span_index < spans.size()) {
+      line_of_span.emplace(spans[span_index].id, line_number);
+      ++span_index;
+    }
+  }
+  for (Violation& violation : report.violations) {
+    const auto it = line_of_span.find(violation.span_id);
+    if (it != line_of_span.end()) violation.line = it->second;
+  }
+  return report;
+}
+
+util::Result<LintReport> LintTraceFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::NotFound("cannot open trace file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    return util::DataLoss("error reading trace file: " + path);
+  }
+  return LintTraceText(buffer.str());
+}
+
+}  // namespace nees::check

@@ -1,0 +1,163 @@
+#include "check/corrupt.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "util/strings.h"
+
+namespace nees::check {
+namespace {
+
+const std::string* FindTag(const obs::SpanRecord& span, std::string_view key) {
+  for (const auto& [tag_key, value] : span.tags) {
+    if (tag_key == key) return &value;
+  }
+  return nullptr;
+}
+
+void SetTag(obs::SpanRecord* span, std::string_view key, std::string value) {
+  for (auto& [tag_key, tag_value] : span->tags) {
+    if (tag_key == key) {
+      tag_value = std::move(value);
+      return;
+    }
+  }
+  span->tags.emplace_back(std::string(key), std::move(value));
+}
+
+bool TagEquals(const obs::SpanRecord& span, std::string_view key,
+               std::string_view value) {
+  const std::string* tag = FindTag(span, key);
+  return tag != nullptr && *tag == value;
+}
+
+std::uint64_t NextId(const std::vector<obs::SpanRecord>& spans) {
+  std::uint64_t max_id = 0;
+  for (const obs::SpanRecord& span : spans) max_id = std::max(max_id, span.id);
+  return max_id + 1;
+}
+
+obs::SpanRecord MakeTxnEvent(std::uint64_t id, const std::string& txn,
+                             const std::string& endpoint,
+                             const std::string& from, const std::string& to,
+                             std::int64_t at, std::int64_t timeout) {
+  obs::SpanRecord event;
+  event.id = id;
+  event.parent_id = 0;
+  event.name = "ntcp.txn";
+  event.category = "txn";
+  event.start_micros = at;
+  event.end_micros = at;
+  event.tags = {{"txn", txn},   {"endpoint", endpoint},
+                {"from", from}, {"to", to},
+                {"step", "-1"}, {"at", std::to_string(at)},
+                {"timeout", std::to_string(timeout)}};
+  return event;
+}
+
+/// Appends a copy of the first ntcp.txn event matching from/to, with the
+/// tags rewritten by `mutate`.
+util::Result<std::vector<obs::SpanRecord>> AppendMutatedCopy(
+    std::vector<obs::SpanRecord> spans, std::string_view from,
+    std::string_view to, void (*mutate)(obs::SpanRecord*)) {
+  for (const obs::SpanRecord& span : spans) {
+    if (span.name != "ntcp.txn" || !TagEquals(span, "from", from) ||
+        !TagEquals(span, "to", to)) {
+      continue;
+    }
+    obs::SpanRecord copy = span;
+    copy.id = NextId(spans);
+    copy.parent_id = 0;
+    // Re-date the copy to the end of the trace so span ids stay ascending
+    // without the shape rule firing on the timestamps.
+    const obs::SpanRecord& last = spans.back();
+    copy.start_micros = std::max(last.start_micros, last.end_micros);
+    copy.end_micros = copy.start_micros;
+    SetTag(&copy, "at", std::to_string(copy.start_micros));
+    mutate(&copy);
+    spans.push_back(std::move(copy));
+    return spans;
+  }
+  return util::FailedPrecondition(
+      util::Format("trace has no %s->%s event to corrupt",
+                   std::string(from).c_str(), std::string(to).c_str()));
+}
+
+}  // namespace
+
+util::Result<std::vector<obs::SpanRecord>> SeedIllegalTransition(
+    std::vector<obs::SpanRecord> spans) {
+  return AppendMutatedCopy(std::move(spans), "executing", "completed",
+                           [](obs::SpanRecord* span) {
+                             SetTag(span, "from", "completed");
+                             SetTag(span, "to", "accepted");
+                           });
+}
+
+util::Result<std::vector<obs::SpanRecord>> SeedDuplicateExecute(
+    std::vector<obs::SpanRecord> spans) {
+  return AppendMutatedCopy(std::move(spans), "accepted", "executing",
+                           [](obs::SpanRecord*) {});
+}
+
+util::Result<std::vector<obs::SpanRecord>> SeedSkippedStep(
+    std::vector<obs::SpanRecord> spans) {
+  // Pick the first endpoint's creation events and find a middle step whose
+  // transaction was proposed exactly once (no re-proposal noise).
+  std::string endpoint;
+  struct Creation { std::int64_t step; std::string txn; };
+  std::vector<Creation> creations;
+  std::map<std::int64_t, int> step_count;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.name != "ntcp.txn" || !TagEquals(span, "from", "none")) continue;
+    const std::string* span_endpoint = FindTag(span, "endpoint");
+    const std::string* txn = FindTag(span, "txn");
+    const std::string* step_tag = FindTag(span, "step");
+    long long step = -1;
+    if (span_endpoint == nullptr || txn == nullptr || step_tag == nullptr ||
+        !util::ParseInt(*step_tag, &step) || step < 0) {
+      continue;
+    }
+    if (endpoint.empty()) endpoint = *span_endpoint;
+    if (*span_endpoint != endpoint) continue;
+    creations.push_back({step, *txn});
+    ++step_count[step];
+  }
+  for (std::size_t i = 1; i + 1 < creations.size(); ++i) {
+    if (step_count[creations[i].step] != 1) continue;
+    const std::string& victim = creations[i].txn;
+    spans.erase(std::remove_if(spans.begin(), spans.end(),
+                               [&victim](const obs::SpanRecord& span) {
+                                 return (span.name == "ntcp.txn" ||
+                                         span.name == "ntcp.dup") &&
+                                        TagEquals(span, "txn", victim);
+                               }),
+                spans.end());
+    return spans;
+  }
+  return util::FailedPrecondition(
+      "trace has no uniquely-proposed middle step to erase");
+}
+
+std::vector<obs::SpanRecord> SeedBogusExpiry(
+    std::vector<obs::SpanRecord> spans) {
+  const std::int64_t base =
+      spans.empty() ? 0
+                    : std::max(spans.back().start_micros,
+                               spans.back().end_micros);
+  std::uint64_t id = NextId(spans);
+  const std::string txn = "seeded-expiry";
+  const std::string endpoint = "ntcp.seeded";
+  constexpr std::int64_t kWindow = 60'000'000;  // 60 s proposal window
+  spans.push_back(
+      MakeTxnEvent(id++, txn, endpoint, "none", "proposed", base, kWindow));
+  spans.push_back(MakeTxnEvent(id++, txn, endpoint, "proposed", "accepted",
+                               base + 10, kWindow));
+  // Expired a millisecond in: the window had 59.999 s left to run.
+  spans.push_back(MakeTxnEvent(id++, txn, endpoint, "accepted", "expired",
+                               base + 1'000, kWindow));
+  return spans;
+}
+
+}  // namespace nees::check

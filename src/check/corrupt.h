@@ -1,0 +1,42 @@
+// Deliberate trace corruptions for exercising the conformance checker.
+//
+// Each helper takes a lint-clean span stream (e.g. a hybrid MOST run) and
+// seeds exactly one class of protocol damage; bench_lint and the unit tests
+// assert that nees-lint reports precisely the expected rules and nothing
+// else. The helpers fail (kFailedPrecondition) when the input trace lacks
+// the pattern they need to corrupt — linting garbage would prove nothing.
+#pragma once
+
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/result.h"
+
+namespace nees::check {
+
+/// Appends a copy of the first executing->completed event rewritten as
+/// completed->accepted: a transition out of a terminal state that Fig. 1
+/// forbids. Expected report: exactly one kIllegalTransition.
+util::Result<std::vector<obs::SpanRecord>> SeedIllegalTransition(
+    std::vector<obs::SpanRecord> spans);
+
+/// Appends a copy of the first accepted->executing event, as if the server
+/// re-ran a transaction instead of serving the cached result. Expected
+/// report: kIllegalTransition (the replayed state is already terminal) plus
+/// kDuplicateExecute (second entry into kExecuting).
+util::Result<std::vector<obs::SpanRecord>> SeedDuplicateExecute(
+    std::vector<obs::SpanRecord> spans);
+
+/// Erases every protocol event of one mid-experiment transaction at one
+/// endpoint, so that endpoint's proposal sequence jumps straight from step
+/// s-1 to s+1. Expected report: exactly one kStepMonotonicity.
+util::Result<std::vector<obs::SpanRecord>> SeedSkippedStep(
+    std::vector<obs::SpanRecord> spans);
+
+/// Appends a synthetic transaction that is proposed with a 60 s window and
+/// marked kExpired 1 ms later — an expiry the sim clock cannot justify.
+/// Expected report: exactly one kBogusExpiry.
+std::vector<obs::SpanRecord> SeedBogusExpiry(
+    std::vector<obs::SpanRecord> spans);
+
+}  // namespace nees::check

@@ -1,0 +1,31 @@
+// Runtime invariant checks for the protocol and coordinator hot paths.
+//
+// NEES_CHECK_INVARIANT states a condition that must hold at an NTCP state
+// transition or a coordinator step boundary regardless of input: a failure
+// means the *implementation* (not the experiment) is wrong, so the process
+// aborts immediately rather than publishing a corrupt transaction record or
+// integrating a bogus force.
+//
+// The checks are compiled in everywhere except Release builds (the CMake
+// helper `nees_apply_build_flags` defines NEES_ENABLE_INVARIANTS for all
+// non-Release configurations), so the default RelWithDebInfo developer
+// build, the sanitizer CI matrix, and every test run all carry them, while
+// the production configuration pays nothing — the condition expression is
+// not evaluated at all.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(NEES_ENABLE_INVARIANTS)
+#define NEES_CHECK_INVARIANT(condition, message)                          \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      std::fprintf(stderr, "NEES invariant violated at %s:%d: %s [%s]\n", \
+                   __FILE__, __LINE__, message, #condition);              \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+#else
+#define NEES_CHECK_INVARIANT(condition, message) static_cast<void>(0)
+#endif

@@ -15,13 +15,15 @@ NtcpClient::NtcpClient(net::RpcClient* rpc, std::string server_endpoint,
       clock_(clock) {}
 
 util::Result<net::Bytes> NtcpClient::CallWithRetry(const std::string& method,
-                                                   const net::Bytes& body) {
+                                                   const net::Bytes& body,
+                                                   const SpanTags& tags) {
   ++stats_.calls;
   obs::Span span;
   std::int64_t t0 = 0;
   if (tracer_ != nullptr) {
     span = tracer_->StartSpan(method, "protocol");
     span.AddTag("server", server_);
+    for (const auto& [key, value] : tags) span.AddTag(key, value);
     t0 = tracer_->NowMicros();
   }
   std::int64_t backoff = policy_.initial_backoff_micros;
@@ -73,8 +75,11 @@ util::Result<net::Bytes> NtcpClient::CallWithRetry(const std::string& method,
 util::Status NtcpClient::Propose(const Proposal& proposal) {
   util::ByteWriter writer;
   EncodeProposal(proposal, writer);
-  NEES_ASSIGN_OR_RETURN(net::Bytes response,
-                        CallWithRetry("ntcp.propose", writer.Take()));
+  NEES_ASSIGN_OR_RETURN(
+      net::Bytes response,
+      CallWithRetry("ntcp.propose", writer.Take(),
+                    {{"txn", proposal.transaction_id},
+                     {"step", std::to_string(proposal.step_index)}}));
   util::ByteReader reader(response);
   NEES_ASSIGN_OR_RETURN(bool accepted, reader.ReadBool());
   NEES_ASSIGN_OR_RETURN(std::string reason, reader.ReadString());
@@ -90,7 +95,8 @@ util::Result<TransactionResult> NtcpClient::Execute(
   util::ByteWriter writer;
   writer.WriteString(transaction_id);
   NEES_ASSIGN_OR_RETURN(net::Bytes response,
-                        CallWithRetry("ntcp.execute", writer.Take()));
+                        CallWithRetry("ntcp.execute", writer.Take(),
+                                      {{"txn", transaction_id}}));
   util::ByteReader reader(response);
   return DecodeTransactionResult(reader);
 }
@@ -98,7 +104,9 @@ util::Result<TransactionResult> NtcpClient::Execute(
 util::Status NtcpClient::Cancel(const std::string& transaction_id) {
   util::ByteWriter writer;
   writer.WriteString(transaction_id);
-  return CallWithRetry("ntcp.cancel", writer.Take()).status();
+  return CallWithRetry("ntcp.cancel", writer.Take(),
+                       {{"txn", transaction_id}})
+      .status();
 }
 
 util::Result<TransactionRecord> NtcpClient::GetTransaction(

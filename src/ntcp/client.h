@@ -8,6 +8,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "net/rpc.h"
 #include "ntcp/types.h"
@@ -61,9 +63,13 @@ class NtcpClient {
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
  private:
-  /// Runs `call` with transient-error retry + exponential backoff.
+  using SpanTags = std::vector<std::pair<std::string, std::string>>;
+
+  /// Runs `call` with transient-error retry + exponential backoff. `tags`
+  /// (e.g. the transaction id and step) annotate the operation's span.
   util::Result<net::Bytes> CallWithRetry(const std::string& method,
-                                         const net::Bytes& body);
+                                         const net::Bytes& body,
+                                         const SpanTags& tags = {});
 
   net::RpcClient* rpc_;
   std::string server_;

@@ -1,5 +1,6 @@
 #include "ntcp/server.h"
 
+#include "check/invariant.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/strings.h"
@@ -68,6 +69,33 @@ void NtcpServer::PublishSdeLocked(const std::string& id,
   service_->SetServiceData("serverStats", stats);
 }
 
+void NtcpServer::RecordTxnEventLocked(const TransactionRecord& record,
+                                      std::string_view from,
+                                      std::string_view to,
+                                      std::int64_t at_micros) {
+  if (tracer_ == nullptr) return;
+  tracer_->RecordEvent(
+      "ntcp.txn", "txn", 0,
+      {{"txn", record.proposal.transaction_id},
+       {"endpoint", endpoint()},
+       {"from", std::string(from)},
+       {"to", std::string(to)},
+       {"step", std::to_string(record.proposal.step_index)},
+       {"at", std::to_string(at_micros)},
+       {"timeout", std::to_string(record.proposal.timeout_micros)}});
+}
+
+void NtcpServer::RecordDupEventLocked(const TransactionRecord& record,
+                                      std::string_view kind) {
+  if (tracer_ == nullptr) return;
+  tracer_->RecordEvent(
+      "ntcp.dup", "txn", 0,
+      {{"txn", record.proposal.transaction_id},
+       {"endpoint", endpoint()},
+       {"kind", std::string(kind)},
+       {"state", std::string(TransactionStateName(record.state))}});
+}
+
 void NtcpServer::TransitionLocked(const std::string& id,
                                   TransactionRecord& record,
                                   TransactionState to,
@@ -78,10 +106,14 @@ void NtcpServer::TransitionLocked(const std::string& id,
         << " -> " << TransactionStateName(to) << " for " << id;
     return;
   }
+  NEES_CHECK_INVARIANT(!IsTerminal(record.state),
+                       "no transition may leave a terminal state");
+  const std::string_view from = TransactionStateName(record.state);
   record.state = to;
   if (!detail.empty()) record.detail = detail;
-  record.state_timestamps[std::string(TransactionStateName(to))] =
-      clock_->NowMicros();
+  const std::int64_t at = clock_->NowMicros();
+  record.state_timestamps[std::string(TransactionStateName(to))] = at;
+  RecordTxnEventLocked(record, from, TransactionStateName(to), at);
   PublishSdeLocked(id, record);
 }
 
@@ -91,6 +123,8 @@ NtcpServer::ProposeOutcome NtcpServer::Propose(const Proposal& proposal) {
   if (tracer_ != nullptr) {
     span = tracer_->StartSpan("server.propose", "protocol");
     span.AddTag("endpoint", endpoint());
+    span.AddTag("txn", proposal.transaction_id);
+    span.AddTag("step", std::to_string(proposal.step_index));
     tracer_->metrics().Increment("ntcp.server.proposals");
   }
   std::lock_guard<std::mutex> lock(mu_);
@@ -107,25 +141,30 @@ NtcpServer::ProposeOutcome NtcpServer::Propose(const Proposal& proposal) {
     // a *different* proposal under the same name is a protocol violation.
     if (it->second.proposal == proposal) {
       ++stats_.duplicate_proposals;
+      RecordDupEventLocked(it->second, "propose");
       const bool was_accepted =
           it->second.state != TransactionState::kRejected;
       return {was_accepted, it->second.detail};
     }
     ++stats_.rejected;
+    RecordDupEventLocked(it->second, "propose-mismatch");
     return {false, "transaction id already in use with a different proposal"};
   }
 
   TransactionRecord record;
   record.proposal = proposal;
   record.state = TransactionState::kProposed;
+  const std::int64_t proposed_at = clock_->NowMicros();
   record.state_timestamps[std::string(
-      TransactionStateName(TransactionState::kProposed))] =
-      clock_->NowMicros();
+      TransactionStateName(TransactionState::kProposed))] = proposed_at;
 
   const util::Status validation = plugin_->Validate(proposal);
   auto [inserted, unused] =
       transactions_.emplace(proposal.transaction_id, std::move(record));
   (void)unused;
+  NEES_CHECK_INVARIANT(inserted->second.state == TransactionState::kProposed,
+                       "a freshly created transaction must be kProposed");
+  RecordTxnEventLocked(inserted->second, "none", "proposed", proposed_at);
   if (validation.ok()) {
     ++stats_.accepted;
     TransitionLocked(proposal.transaction_id, inserted->second,
@@ -144,6 +183,7 @@ util::Result<TransactionResult> NtcpServer::Execute(
   if (tracer_ != nullptr) {
     span = tracer_->StartSpan("server.execute", "protocol");
     span.AddTag("endpoint", endpoint());
+    span.AddTag("txn", transaction_id);
     tracer_->metrics().Increment("ntcp.server.executes");
   }
   Proposal proposal;
@@ -159,9 +199,11 @@ util::Result<TransactionResult> NtcpServer::Execute(
       case TransactionState::kCompleted:
         // At-most-once: a retried execute returns the cached result.
         ++stats_.duplicate_executes;
+        RecordDupEventLocked(record, "execute");
         return record.result;
       case TransactionState::kFailed:
         ++stats_.duplicate_executes;
+        RecordDupEventLocked(record, "execute");
         return util::Status(util::ErrorCode::kAborted,
                             "execution previously failed: " + record.detail);
       case TransactionState::kExecuting:
@@ -179,15 +221,12 @@ util::Result<TransactionResult> NtcpServer::Execute(
     }
 
     // Enforce the proposal timeout window.
-    const auto proposed_at = record.state_timestamps.find(
-        std::string(TransactionStateName(TransactionState::kProposed)));
-    if (record.proposal.timeout_micros > 0 &&
-        proposed_at != record.state_timestamps.end() &&
-        clock_->NowMicros() >
-            proposed_at->second + record.proposal.timeout_micros) {
+    if (ProposalWindowLapsed(record, clock_->NowMicros())) {
       ++stats_.expired;
       TransitionLocked(transaction_id, record, TransactionState::kExpired,
                        "proposal timeout lapsed before execute");
+      NEES_CHECK_INVARIANT(record.state == TransactionState::kExpired,
+                           "lapsed-window transaction must end kExpired");
       return util::FailedPrecondition("transaction expired");
     }
 
@@ -206,6 +245,8 @@ util::Result<TransactionResult> NtcpServer::Execute(
   if (it == transactions_.end()) {
     return util::Internal("transaction vanished during execution");
   }
+  NEES_CHECK_INVARIANT(it->second.state == TransactionState::kExecuting,
+                       "transaction left kExecuting during plugin execution");
   if (outcome.ok()) {
     it->second.result = *outcome;
     TransitionLocked(transaction_id, it->second, TransactionState::kCompleted,
@@ -274,13 +315,11 @@ int NtcpServer::ExpireStale() {
         record.state != TransactionState::kAccepted) {
       continue;
     }
-    if (record.proposal.timeout_micros <= 0) continue;
-    const auto proposed_at = record.state_timestamps.find(
-        std::string(TransactionStateName(TransactionState::kProposed)));
-    if (proposed_at == record.state_timestamps.end()) continue;
-    if (now > proposed_at->second + record.proposal.timeout_micros) {
+    if (ProposalWindowLapsed(record, now)) {
       TransitionLocked(id, record, TransactionState::kExpired,
                        "proposal timeout lapsed");
+      NEES_CHECK_INVARIANT(record.state == TransactionState::kExpired,
+                           "lapsed-window transaction must end kExpired");
       ++stats_.expired;
       ++expired;
     }

@@ -89,6 +89,15 @@ class NtcpServer {
  private:
   void TransitionLocked(const std::string& id, TransactionRecord& record,
                         TransactionState to, const std::string& detail);
+  /// Emits one "ntcp.txn" protocol event per state change (from "none" for
+  /// creation) into the trace stream; nees-lint replays these.
+  void RecordTxnEventLocked(const TransactionRecord& record,
+                            std::string_view from, std::string_view to,
+                            std::int64_t at_micros);
+  /// Emits an "ntcp.dup" event when a retry is served from the
+  /// at-most-once cache (kind: propose / propose-mismatch / execute).
+  void RecordDupEventLocked(const TransactionRecord& record,
+                            std::string_view kind);
   void PublishSdeLocked(const std::string& id,
                         const TransactionRecord& record);
   void BindRpcMethods();

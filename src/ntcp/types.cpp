@@ -52,6 +52,20 @@ bool IsLegalTransition(TransactionState from, TransactionState to) {
   }
 }
 
+std::int64_t ProposalDeadlineMicros(const TransactionRecord& record) {
+  if (record.proposal.timeout_micros <= 0) return -1;
+  const auto proposed_at = record.state_timestamps.find(
+      std::string(TransactionStateName(TransactionState::kProposed)));
+  if (proposed_at == record.state_timestamps.end()) return -1;
+  return proposed_at->second + record.proposal.timeout_micros;
+}
+
+bool ProposalWindowLapsed(const TransactionRecord& record,
+                          std::int64_t now_micros) {
+  const std::int64_t deadline = ProposalDeadlineMicros(record);
+  return deadline >= 0 && now_micros > deadline;
+}
+
 namespace {
 
 void EncodeControlPointRequest(const ControlPointRequest& request,

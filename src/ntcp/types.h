@@ -86,6 +86,16 @@ struct TransactionRecord {
   std::map<std::string, std::int64_t> state_timestamps;  // state -> micros
 };
 
+/// Absolute sim-clock deadline of `record`'s proposal window, or -1 when the
+/// proposal carries no timeout (or was never stamped kProposed). The single
+/// source of truth for expiry: the execute-path check and the ExpireStale
+/// sweep both go through here so the two comparisons cannot drift.
+std::int64_t ProposalDeadlineMicros(const TransactionRecord& record);
+
+/// True when `now_micros` is strictly past the proposal window.
+bool ProposalWindowLapsed(const TransactionRecord& record,
+                          std::int64_t now_micros);
+
 // Wire encodings -------------------------------------------------------------
 
 void EncodeProposal(const Proposal& proposal, util::ByteWriter& writer);

@@ -303,8 +303,7 @@ class LineParser {
 
 }  // namespace
 
-std::string Tracer::ExportJsonLines() const {
-  const std::vector<SpanRecord> spans = Snapshot();
+std::string ExportJsonLines(const std::vector<SpanRecord>& spans) {
   std::string out;
   out.reserve(spans.size() * 128);
   for (const SpanRecord& span : spans) {
@@ -332,6 +331,10 @@ std::string Tracer::ExportJsonLines() const {
     out += "}}\n";
   }
   return out;
+}
+
+std::string Tracer::ExportJsonLines() const {
+  return obs::ExportJsonLines(Snapshot());
 }
 
 util::Result<std::vector<SpanRecord>> ParseJsonLines(const std::string& text) {

@@ -155,6 +155,11 @@ class Tracer {
   std::map<std::thread::id, std::vector<std::uint64_t>> stacks_;
 };
 
+/// Serializes an arbitrary span vector in the Tracer::ExportJsonLines
+/// format (one JSON object per line, fixed key order). Lets offline trace
+/// tooling re-export edited span streams.
+std::string ExportJsonLines(const std::vector<SpanRecord>& spans);
+
 /// Parses ExportJsonLines output back into records (round-trip tests and
 /// offline trace tooling). Rejects malformed lines with kDataLoss.
 util::Result<std::vector<SpanRecord>> ParseJsonLines(const std::string& text);

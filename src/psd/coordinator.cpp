@@ -1,7 +1,10 @@
 #include "psd/coordinator.h"
 
+#include <algorithm>
+#include <cmath>
 #include <thread>
 
+#include "check/invariant.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/strings.h"
@@ -218,6 +221,10 @@ util::Status SimulationCoordinator::CycleOnce(
       forces[site.dofs[k]] += cp->measured_force[k];
     }
   }
+  NEES_CHECK_INVARIANT(
+      std::all_of(forces.begin(), forces.end(),
+                  [](double f) { return std::isfinite(f); }),
+      "assembled restoring forces must be finite before integration");
   return util::OkStatus();
 }
 
@@ -328,6 +335,9 @@ util::Result<bool> SimulationCoordinator::StepOperatorSplitting(
 
 util::Result<bool> SimulationCoordinator::ExecuteStep() {
   NEES_RETURN_IF_ERROR(EnsureInitialized());
+  NEES_CHECK_INVARIANT(history_.displacement.size() == step_ + 1,
+                       "history must hold exactly one record per step at a "
+                       "step boundary");
   if (step_ + 1 >= config_.motion.steps()) return false;
   obs::Span step_span;
   step_span_id_ = 0;
@@ -344,6 +354,11 @@ util::Result<bool> SimulationCoordinator::ExecuteStep() {
   if (config_.tracer != nullptr) {
     config_.tracer->metrics().Increment(advanced.ok() ? "psd.steps"
                                                       : "psd.step_failures");
+  }
+  if (advanced.ok() && *advanced) {
+    NEES_CHECK_INVARIANT(history_.displacement.size() == step_ + 1,
+                         "a completed step must append exactly one "
+                         "displacement record");
   }
   step_span_id_ = 0;
   return advanced;

@@ -133,13 +133,15 @@ util::Status ShoreWesternClient::SetLimits(double max_disp_m,
 }
 
 util::Status ShoreWesternClient::EStop() {
-  NEES_ASSIGN_OR_RETURN(std::string reply, SendLine("ESTOP"));
-  return reply == "OK" ? util::OkStatus() : util::Internal(reply);
+  util::Result<std::string> reply = SendLine("ESTOP");
+  NEES_RETURN_IF_ERROR(reply.status());
+  return *reply == "OK" ? util::OkStatus() : util::Internal(*reply);
 }
 
 util::Status ShoreWesternClient::Reset() {
-  NEES_ASSIGN_OR_RETURN(std::string reply, SendLine("RESET"));
-  return reply == "OK" ? util::OkStatus() : util::Internal(reply);
+  util::Result<std::string> reply = SendLine("RESET");
+  NEES_RETURN_IF_ERROR(reply.status());
+  return *reply == "OK" ? util::OkStatus() : util::Internal(*reply);
 }
 
 }  // namespace nees::testbed

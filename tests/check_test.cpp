@@ -1,0 +1,281 @@
+// Tests for the nees-lint protocol conformance checker: a realistic server
+// scenario (including transactions that expire mid-experiment) must lint
+// clean, the seeded corruption helpers must be caught with exactly the
+// expected rule sets, hand-built bad traces must trip each rule, and a
+// full traced MOST run must conform end-to-end.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/checker.h"
+#include "check/corrupt.h"
+#include "check/invariant.h"
+#include "most/most.h"
+#include "net/network.h"
+#include "ntcp/server.h"
+#include "ntcp/types.h"
+#include "plugins/simulation_plugin.h"
+#include "structural/substructure.h"
+#include "util/clock.h"
+
+namespace nees::check {
+namespace {
+
+ntcp::Proposal MakeProposal(const std::string& id, std::int64_t step,
+                            std::int64_t timeout_micros = 60'000'000) {
+  ntcp::Proposal proposal;
+  proposal.transaction_id = id;
+  proposal.step_index = step;
+  ntcp::ControlPointRequest action;
+  action.control_point = "cp";
+  action.target_displacement = {0.001};
+  proposal.actions.push_back(std::move(action));
+  proposal.timeout_micros = timeout_micros;
+  return proposal;
+}
+
+std::unique_ptr<plugins::SimulationPlugin> MakeElasticPlugin() {
+  auto plugin = std::make_unique<plugins::SimulationPlugin>();
+  structural::Matrix k(1, 1);
+  k(0, 0) = 1000.0;
+  plugin->AddControlPoint(
+      "cp", std::make_unique<structural::ElasticSubstructure>(k));
+  return plugin;
+}
+
+/// Drives one NTCP server through the interesting protocol paths —
+/// complete, duplicate propose+execute, expire on the execute path, expire
+/// via the sweep, cancel — and returns the recorded trace.
+std::vector<obs::SpanRecord> RecordScenarioSpans() {
+  util::SimClock clock{1'000'000};
+  obs::Tracer tracer(&clock, &clock);
+  net::Network network;
+  network.SetClock(&clock);
+  ntcp::NtcpServer server(&network, "ntcp.test", MakeElasticPlugin(), &clock);
+  server.set_tracer(&tracer);
+
+  // Step 0: the happy path, then a duplicated propose and execute.
+  const ntcp::Proposal ok = MakeProposal("t-ok", 0);
+  EXPECT_TRUE(server.Propose(ok).accepted);
+  EXPECT_TRUE(server.Execute("t-ok").ok());
+  EXPECT_TRUE(server.Propose(ok).accepted);      // duplicate -> same answer
+  EXPECT_TRUE(server.Execute("t-ok").ok());      // duplicate -> cached result
+
+  // Step 1: expires mid-experiment on the execute path.
+  EXPECT_TRUE(server.Propose(MakeProposal("t-exp", 1, 1'000)).accepted);
+  clock.Advance(2'000);
+  EXPECT_EQ(server.Execute("t-exp").status().code(),
+            util::ErrorCode::kFailedPrecondition);
+
+  // Step 2: expires via the periodic sweep instead.
+  EXPECT_TRUE(server.Propose(MakeProposal("t-sweep", 2, 1'000)).accepted);
+  clock.Advance(2'000);
+  EXPECT_EQ(server.ExpireStale(), 1);
+
+  // Step 3: cancelled before execution.
+  EXPECT_TRUE(server.Propose(MakeProposal("t-can", 3)).accepted);
+  EXPECT_TRUE(server.Cancel("t-can").ok());
+
+  EXPECT_EQ(server.stats().expired, 2u);
+  EXPECT_EQ(server.stats().duplicate_proposals, 1u);
+  EXPECT_EQ(server.stats().duplicate_executes, 1u);
+  return tracer.Snapshot();
+}
+
+obs::SpanRecord Event(std::uint64_t id, const std::string& txn,
+                      const std::string& from, const std::string& to,
+                      std::int64_t at, std::int64_t step = -1,
+                      std::int64_t timeout = 60'000'000) {
+  obs::SpanRecord event;
+  event.id = id;
+  event.name = "ntcp.txn";
+  event.category = "txn";
+  event.start_micros = at;
+  event.end_micros = at;
+  event.tags = {{"txn", txn},   {"endpoint", "ntcp.hand"},
+                {"from", from}, {"to", to},
+                {"step", std::to_string(step)},
+                {"at", std::to_string(at)},
+                {"timeout", std::to_string(timeout)}};
+  return event;
+}
+
+std::set<Rule> Rules(const LintReport& report) {
+  std::set<Rule> rules;
+  for (const Violation& violation : report.violations) {
+    rules.insert(violation.rule);
+  }
+  return rules;
+}
+
+// --- real server traces ------------------------------------------------------
+
+TEST(CheckTest, ExpiredMidExperimentTraceIsLintClean) {
+  const LintReport report = LintSpans(RecordScenarioSpans());
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(report.stats.transactions, 4u);
+  EXPECT_EQ(report.stats.endpoints, 1u);
+  // 4 creations + accept x4 + executing/completed + expired x2 + cancelled
+  // + 2 dup events.
+  EXPECT_GE(report.stats.protocol_events, 13u);
+}
+
+TEST(CheckTest, SeededCorruptionsReportExactRules) {
+  const std::vector<obs::SpanRecord> spans = RecordScenarioSpans();
+  ASSERT_TRUE(LintSpans(spans).ok());
+
+  auto illegal = SeedIllegalTransition(spans);
+  ASSERT_TRUE(illegal.ok());
+  EXPECT_EQ(Rules(LintSpans(*illegal)),
+            (std::set<Rule>{Rule::kIllegalTransition}));
+
+  auto duplicate = SeedDuplicateExecute(spans);
+  ASSERT_TRUE(duplicate.ok());
+  EXPECT_EQ(Rules(LintSpans(*duplicate)),
+            (std::set<Rule>{Rule::kIllegalTransition,
+                            Rule::kDuplicateExecute}));
+
+  auto skipped = SeedSkippedStep(spans);
+  ASSERT_TRUE(skipped.ok());
+  const LintReport skip_report = LintSpans(*skipped);
+  EXPECT_EQ(Rules(skip_report), (std::set<Rule>{Rule::kStepMonotonicity}));
+  ASSERT_EQ(skip_report.violations.size(), 1u);
+  EXPECT_EQ(skip_report.violations[0].step, 2);  // step 1 erased: 0 -> 2
+
+  const LintReport expiry_report = LintSpans(SeedBogusExpiry(spans));
+  EXPECT_EQ(Rules(expiry_report), (std::set<Rule>{Rule::kBogusExpiry}));
+  ASSERT_EQ(expiry_report.violations.size(), 1u);
+  EXPECT_EQ(expiry_report.violations[0].transaction_id, "seeded-expiry");
+}
+
+TEST(CheckTest, TracedMostRunConforms) {
+  util::SimClock sim;
+  obs::Tracer tracer(&sim, &sim);
+  net::Network network;
+  network.SetClock(&sim);
+  most::MostOptions options;
+  options.steps = 10;
+  options.hybrid = false;
+  options.tracer = &tracer;
+  most::MostExperiment experiment(&network, &sim, options);
+  auto report = experiment.Run(psd::FaultPolicy::kFaultTolerant, "lintmost");
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->completed);
+
+  const LintReport lint = LintSpans(tracer.Snapshot());
+  EXPECT_TRUE(lint.ok()) << lint.ToString();
+  EXPECT_EQ(lint.stats.endpoints, 3u);  // uiuc, ncsa, cu
+  EXPECT_EQ(lint.stats.transactions, 3 * report->steps_completed);
+}
+
+// --- hand-built traces tripping each rule ------------------------------------
+
+TEST(CheckTest, MissingCreationReported) {
+  const LintReport report =
+      LintSpans({Event(1, "ghost", "proposed", "accepted", 100)});
+  EXPECT_EQ(Rules(report), (std::set<Rule>{Rule::kIllegalTransition,
+                                           Rule::kNonTerminal}));
+}
+
+TEST(CheckTest, NonTerminalTransactionReported) {
+  const LintReport report =
+      LintSpans({Event(1, "open", "none", "proposed", 100, /*step=*/5)});
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].rule, Rule::kNonTerminal);
+  EXPECT_EQ(report.violations[0].transaction_id, "open");
+  EXPECT_EQ(report.violations[0].step, 5);
+}
+
+TEST(CheckTest, OrphanParentReported) {
+  obs::SpanRecord orphan;
+  orphan.id = 1;
+  orphan.parent_id = 99;
+  orphan.name = "site.propose";
+  orphan.category = "coordination";
+  orphan.start_micros = 0;
+  orphan.end_micros = 10;
+  EXPECT_EQ(Rules(LintSpans({orphan})), (std::set<Rule>{Rule::kSpanNesting}));
+}
+
+TEST(CheckTest, ChildEscapingStepSpanReported) {
+  obs::SpanRecord step;
+  step.id = 1;
+  step.name = "psd.step";
+  step.category = "step";
+  step.start_micros = 0;
+  step.end_micros = 100;
+  obs::SpanRecord child;
+  child.id = 2;
+  child.parent_id = 1;
+  child.name = "site.execute";
+  child.category = "coordination";
+  child.start_micros = 50;
+  child.end_micros = 200;  // outlives the PSD step it claims to serve
+  EXPECT_EQ(Rules(LintSpans({step, child})),
+            (std::set<Rule>{Rule::kSpanNesting}));
+}
+
+TEST(CheckTest, ReorderedStepReported) {
+  const LintReport report = LintSpans({
+      Event(1, "a", "none", "proposed", 100, /*step=*/1),
+      Event(2, "a", "proposed", "cancelled", 110, /*step=*/1),
+      Event(3, "b", "none", "proposed", 120, /*step=*/0),  // goes backwards
+      Event(4, "b", "proposed", "cancelled", 130, /*step=*/0),
+  });
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].rule, Rule::kStepMonotonicity);
+  EXPECT_EQ(report.violations[0].transaction_id, "b");
+}
+
+TEST(CheckTest, DuplicateForUnknownTransactionReported) {
+  obs::SpanRecord dup;
+  dup.id = 1;
+  dup.name = "ntcp.dup";
+  dup.category = "txn";
+  dup.start_micros = 100;
+  dup.end_micros = 100;
+  dup.tags = {{"txn", "never-created"},
+              {"endpoint", "ntcp.hand"},
+              {"kind", "execute"},
+              {"state", "completed"}};
+  EXPECT_EQ(Rules(LintSpans({dup})), (std::set<Rule>{Rule::kAtMostOnce}));
+}
+
+// --- text round trip ---------------------------------------------------------
+
+TEST(CheckTest, LintTraceTextReportsLineNumbers) {
+  const std::string text = obs::ExportJsonLines({
+      Event(1, "a", "none", "proposed", 100, /*step=*/0),
+      Event(2, "a", "proposed", "cancelled", 110, /*step=*/0),
+      Event(3, "a", "cancelled", "executing", 120, /*step=*/0),  // illegal
+  });
+  auto report = LintTraceText(text);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->violations.size(), 1u);
+  EXPECT_EQ(report->violations[0].rule, Rule::kIllegalTransition);
+  EXPECT_EQ(report->violations[0].line, 3);
+  // The offending trace line is embedded in the printable form.
+  EXPECT_NE(report->violations[0].ToString().find("line=3"),
+            std::string::npos);
+}
+
+TEST(CheckTest, MalformedTraceTextRejected) {
+  EXPECT_FALSE(LintTraceText("not a trace\n").ok());
+}
+
+// --- invariant macro ---------------------------------------------------------
+
+#if defined(NEES_ENABLE_INVARIANTS) && defined(GTEST_HAS_DEATH_TEST)
+TEST(InvariantDeathTest, ViolatedInvariantAborts) {
+  int checked = 2;
+  EXPECT_DEATH(NEES_CHECK_INVARIANT(checked == 3, "forced failure"),
+               "invariant violated");
+  NEES_CHECK_INVARIANT(checked == 2, "passing check must be silent");
+}
+#endif
+
+}  // namespace
+}  // namespace nees::check

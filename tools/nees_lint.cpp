@@ -1,0 +1,87 @@
+// nees-lint: offline NTCP protocol conformance checker.
+//
+//   nees_lint [-q] [--max N] <trace.jsonl | -> [more traces...]
+//
+// Replays JSON-lines traces (most_experiment's third argument, bench_obs,
+// or any Tracer::ExportJsonLines dump) against the Fig. 1 protocol rules —
+// see src/check/checker.h for the rule set. Exit codes: 0 all traces
+// clean, 1 violations found, 2 unreadable/malformed input.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/checker.h"
+
+using namespace nees;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [-q] [--max N] <trace.jsonl | -> [more...]\n"
+               "  -q       only print the per-trace summary line\n"
+               "  --max N  print at most N violations per trace\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quiet = false;
+  long max_violations = -1;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-q") == 0) {
+      quiet = true;
+    } else if (std::strcmp(argv[i], "--max") == 0) {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      max_violations = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      return Usage(argv[0]);
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.empty()) return Usage(argv[0]);
+
+  bool any_violation = false;
+  for (const std::string& path : paths) {
+    util::Result<check::LintReport> report = [&] {
+      if (path != "-") return check::LintTraceFile(path);
+      std::ostringstream buffer;
+      buffer << std::cin.rdbuf();
+      return check::LintTraceText(buffer.str());
+    }();
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   report.status().ToString().c_str());
+      return 2;
+    }
+    const check::LintStats& stats = report->stats;
+    std::printf("%s: %s — %zu spans, %zu protocol events, %zu transactions, "
+                "%zu endpoints, %zu violation(s)\n",
+                path.c_str(), report->ok() ? "OK" : "FAIL", stats.spans,
+                stats.protocol_events, stats.transactions, stats.endpoints,
+                report->violations.size());
+    if (!report->ok()) {
+      any_violation = true;
+      if (!quiet) {
+        long printed = 0;
+        for (const check::Violation& violation : report->violations) {
+          if (max_violations >= 0 && printed++ >= max_violations) {
+            std::printf("  ... %zu more\n",
+                        report->violations.size() -
+                            static_cast<std::size_t>(max_violations));
+            break;
+          }
+          std::printf("  %s\n", violation.ToString().c_str());
+        }
+      }
+    }
+  }
+  return any_violation ? 1 : 0;
+}
