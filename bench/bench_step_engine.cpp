@@ -1,0 +1,211 @@
+// E13 — §5: the completion-driven step engine. The paper identifies
+// serialized NTCP round trips and fixed-interval backend polling as the
+// barrier between pseudo-dynamic and near-real-time hybrid testing; E11b
+// showed thread-per-site fan-out overlapping the WAN round trips, but at
+// ~2 x sites threads per step that fix does not scale to many sites.
+//
+// This sweep measures steps/sec and per-phase latency for the
+// {thread-per-site, async} engines over 3 -> 32 simulated sites, under
+// both delivery modes:
+//   * kImmediate  — no modeled latency; isolates pure engine overhead
+//                   (thread creation vs completion multiplexing);
+//   * kScheduled  — 1 ms one-way links; shows both engines collapsing a
+//                   phase to ~1 RTT, with the async engine doing it at
+//                   zero threads spawned.
+//
+// Emits BENCH_step_engine.json (machine-readable perf trajectory) and
+// exits non-zero if the async engine spawns any thread, is slower than
+// thread-per-site at 3 sites (beyond noise), or fails to win strictly at
+// >= 16 sites in kScheduled mode.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "ntcp/server.h"
+#include "plugins/simulation_plugin.h"
+#include "psd/coordinator.h"
+#include "structural/substructure.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
+using namespace nees;
+
+namespace {
+
+std::unique_ptr<plugins::SimulationPlugin> ElasticPlugin() {
+  auto plugin = std::make_unique<plugins::SimulationPlugin>();
+  structural::Matrix k(1, 1);
+  k(0, 0) = 1e6;
+  plugin->AddControlPoint(
+      "cp", std::make_unique<structural::ElasticSubstructure>(k));
+  return plugin;
+}
+
+struct RunResult {
+  std::size_t sites = 0;
+  std::string engine;
+  std::string mode;
+  double steps_per_sec = 0.0;
+  double propose_phase_ms = 0.0;
+  double execute_phase_ms = 0.0;
+  std::uint64_t threads_spawned = 0;
+  bool completed = false;
+};
+
+RunResult RunOnce(std::size_t site_count, psd::StepEngine engine,
+                  net::DeliveryMode mode, int steps) {
+  RunResult out;
+  out.sites = site_count;
+  out.engine =
+      engine == psd::StepEngine::kAsync ? "async" : "thread_per_site";
+  out.mode = mode == net::DeliveryMode::kImmediate ? "immediate" : "scheduled";
+
+  net::Network network(mode);
+  if (mode == net::DeliveryMode::kScheduled) {
+    net::LinkModel wan;
+    wan.latency_micros = 1'000;  // 1 ms one-way, 2 ms RTT
+    network.SetDefaultLink(wan);
+  }
+
+  std::vector<std::unique_ptr<ntcp::NtcpServer>> servers;
+  psd::CoordinatorConfig config;
+  config.run_id = out.engine + "-" + out.mode + "-" +
+                  std::to_string(site_count);
+  config.mass = structural::Matrix::Identity(1) * 5e4;
+  config.damping = structural::Matrix::Identity(1) * 1e4;
+  config.iota = {1.0};
+  config.motion = structural::SinePulse(0.02, steps, 1.0, 1.0);
+  config.step_engine = engine;
+  for (std::size_t i = 0; i < site_count; ++i) {
+    const std::string endpoint =
+        config.run_id + ".site" + std::to_string(i);
+    auto server = std::make_unique<ntcp::NtcpServer>(&network, endpoint,
+                                                     ElasticPlugin());
+    if (!server->Start().ok()) return out;
+    servers.push_back(std::move(server));
+    config.sites.push_back(
+        {"S" + std::to_string(i), endpoint, "cp", {0}});
+  }
+
+  net::RpcClient rpc(&network, config.run_id + ".coordinator");
+  psd::SimulationCoordinator coordinator(config, &rpc);
+  const psd::RunReport report = coordinator.Run();
+  out.completed = report.completed;
+  if (!report.completed || report.wall_seconds <= 0.0) return out;
+  out.steps_per_sec = report.steps_completed / report.wall_seconds;
+  out.propose_phase_ms = report.propose_phase_micros.mean() / 1000.0;
+  out.execute_phase_ms = report.execute_phase_micros.mean() / 1000.0;
+  out.threads_spawned = report.threads_spawned;
+  return out;
+}
+
+void AppendJson(std::string& json, const RunResult& r, bool last) {
+  json += util::Format(
+      "    {\"sites\": %zu, \"engine\": \"%s\", \"mode\": \"%s\", "
+      "\"steps_per_sec\": %.1f, \"propose_phase_ms_mean\": %.3f, "
+      "\"execute_phase_ms_mean\": %.3f, \"threads_spawned\": %llu, "
+      "\"completed\": %s}%s\n",
+      r.sites, r.engine.c_str(), r.mode.c_str(), r.steps_per_sec,
+      r.propose_phase_ms, r.execute_phase_ms,
+      static_cast<unsigned long long>(r.threads_spawned),
+      r.completed ? "true" : "false", last ? "" : ",");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== E13 (§5): step-engine scaling, 3 -> 32 sites ====\n\n");
+
+  const std::vector<std::size_t> site_counts = {3, 8, 16, 32};
+  std::vector<RunResult> results;
+
+  for (const net::DeliveryMode mode :
+       {net::DeliveryMode::kImmediate, net::DeliveryMode::kScheduled}) {
+    const bool scheduled = mode == net::DeliveryMode::kScheduled;
+    // kImmediate steps are cheap; kScheduled pays ~2 real RTT per step.
+    const int steps = scheduled ? 25 : 120;
+    util::TextTable table({"sites", "engine", "steps/sec", "propose [ms]",
+                           "execute [ms]", "threads spawned"});
+    for (const std::size_t sites : site_counts) {
+      for (const psd::StepEngine engine :
+           {psd::StepEngine::kThreadPerSite, psd::StepEngine::kAsync}) {
+        const RunResult r = RunOnce(sites, engine, mode, steps);
+        if (!r.completed) {
+          std::fprintf(stderr, "run failed: %zu sites, %s, %s\n", r.sites,
+                       r.engine.c_str(), r.mode.c_str());
+          return 1;
+        }
+        table.AddRow({std::to_string(r.sites), r.engine,
+                      util::Format("%.1f", r.steps_per_sec),
+                      util::Format("%.3f", r.propose_phase_ms),
+                      util::Format("%.3f", r.execute_phase_ms),
+                      std::to_string(r.threads_spawned)});
+        results.push_back(r);
+      }
+    }
+    std::printf("---- %s delivery %s\n\n%s\n",
+                scheduled ? "scheduled (1 ms one-way)" : "immediate",
+                scheduled ? "(WAN model)" : "(engine overhead only)",
+                table.ToString().c_str());
+  }
+
+  // ---- machine-readable trajectory record --------------------------------
+  std::string json = "{\n  \"experiment\": \"E13\",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    AppendJson(json, results[i], i + 1 == results.size());
+  }
+  json += "  ]\n}\n";
+  std::FILE* f = std::fopen("BENCH_step_engine.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_step_engine.json\n");
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote BENCH_step_engine.json (%zu runs)\n\n", results.size());
+
+  // ---- acceptance gates ---------------------------------------------------
+  auto find = [&](std::size_t sites, const std::string& engine,
+                  const std::string& mode) -> const RunResult* {
+    for (const RunResult& r : results) {
+      if (r.sites == sites && r.engine == engine && r.mode == mode) return &r;
+    }
+    return nullptr;
+  };
+  bool ok = true;
+  for (const RunResult& r : results) {
+    if (r.engine == "async" && r.threads_spawned != 0) {
+      std::fprintf(stderr, "FAIL: async engine spawned %llu threads "
+                   "(%zu sites, %s)\n",
+                   static_cast<unsigned long long>(r.threads_spawned),
+                   r.sites, r.mode.c_str());
+      ok = false;
+    }
+  }
+  for (const std::size_t sites : site_counts) {
+    const RunResult* thread = find(sites, "thread_per_site", "scheduled");
+    const RunResult* async_r = find(sites, "async", "scheduled");
+    if (thread == nullptr || async_r == nullptr) continue;
+    // >= at the MOST scale (2% noise allowance), strictly faster at scale.
+    if (sites <= 3 && async_r->steps_per_sec < 0.98 * thread->steps_per_sec) {
+      std::fprintf(stderr, "FAIL: async slower than thread-per-site at "
+                   "%zu sites (%.1f vs %.1f steps/s)\n", sites,
+                   async_r->steps_per_sec, thread->steps_per_sec);
+      ok = false;
+    }
+    if (sites >= 16 && async_r->steps_per_sec <= thread->steps_per_sec) {
+      std::fprintf(stderr, "FAIL: async not strictly faster at %zu sites "
+                   "(%.1f vs %.1f steps/s)\n", sites,
+                   async_r->steps_per_sec, thread->steps_per_sec);
+      ok = false;
+    }
+  }
+  std::printf(
+      "shape: both engines collapse a phase to ~1 RTT under the WAN model,\n"
+      "but thread-per-site pays ~2 x sites thread creations per step while\n"
+      "the async engine multiplexes every completion on the coordinator\n"
+      "thread (threads spawned = 0). The gap widens with site count — the\n"
+      "scaling the §5 near-real-time work needs.\n");
+  return ok ? 0 : 1;
+}

@@ -1,8 +1,10 @@
 #!/usr/bin/env sh
-# CI matrix: builds the tree twice — Release (invariants compiled out) and
-# RelWithDebInfo under ASan+UBSan (invariants live) — with warnings as
-# errors in both, runs the full test suite in each, then gates on protocol
-# conformance: a fresh 150-step hybrid MOST trace must pass nees_lint.
+# CI matrix: builds the tree three times — Release (invariants compiled
+# out), RelWithDebInfo under ASan+UBSan (invariants live), and TSan over
+# the concurrency-heavy suites (async step engine, RPC signaling, MPlugin
+# long poll/wake) — with warnings as errors throughout, runs the full test
+# suite in the first two, then gates on protocol conformance: a fresh
+# 150-step hybrid MOST trace must pass nees_lint.
 #
 #   scripts/ci.sh [build-dir-prefix]     # default: <repo>/build-ci
 set -eu
@@ -26,10 +28,24 @@ run_config "$prefix-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
            "-DNEES_SANITIZE=address;undefined"
 
 echo
+echo "######## configure $prefix-tsan (concurrency suites) ########"
+cmake -B "$prefix-tsan" -S "$repo" -DNEES_WERROR=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DNEES_SANITIZE=thread
+cmake --build "$prefix-tsan" -j "$jobs" \
+      --target net_test ntcp_test psd_test plugins_test most_test
+# The suites that exercise real threads: the completion-driven step engine
+# vs thread-per-site, per-call RPC signaling, the MPlugin long-poll/wake
+# handshake, and the full MOST assembly over the kScheduled network.
+for suite in net_test ntcp_test psd_test plugins_test most_test; do
+  echo "-- tsan: $suite"
+  "$prefix-tsan/tests/$suite" --gtest_brief=1
+done
+
+echo
 echo "######## nees_lint on a fresh most_experiment trace ########"
 trace="$prefix-asan/most_trace.jsonl"
 "$prefix-asan/examples/most_experiment" 150 "$trace" > /dev/null
 "$prefix-asan/tools/nees_lint" "$trace"
 
 echo
-echo "CI matrix green: Release + ASan/UBSan, tests + conformance lint."
+echo "CI matrix green: Release + ASan/UBSan + TSan, tests + conformance lint."

@@ -210,7 +210,8 @@ util::Status MostExperiment::StartSiteServices() {
     (*models)["center-frame"] =
         MakeColumnModel(stiffness_.middle_n_per_m, false);
     ncsa_backend_ = std::make_unique<plugins::PollingBackend>(
-        ncsa_mplugin_, plugins::MakeSimulationCompute(models));
+        ncsa_mplugin_, plugins::MakeSimulationCompute(models),
+        /*poll_wait_micros=*/500'000);
     ncsa_backend_->Start();
     registry_->Register({"ntcp.ncsa", kNtcpNcsa, "ntcp", "NCSA", 0}, 0);
   }
@@ -266,8 +267,8 @@ util::Status MostExperiment::StartSiteServices() {
           MakeColumnModel(stiffness_.right_n_per_m, false);
       compute = plugins::MakeSimulationCompute(models);
     }
-    cu_backend_ = std::make_unique<plugins::PollingBackend>(cu_mplugin_,
-                                                            std::move(compute));
+    cu_backend_ = std::make_unique<plugins::PollingBackend>(
+        cu_mplugin_, std::move(compute), /*poll_wait_micros=*/500'000);
     cu_backend_->Start();
     registry_->Register({"ntcp.cu", kNtcpCu, "ntcp", "CU", 0}, 0);
   }
@@ -299,6 +300,7 @@ psd::CoordinatorConfig MostExperiment::MakeCoordinatorConfig(
       {"CU", kNtcpCu, "column-top", {0}},
   };
   config.fault_policy = policy;
+  config.step_engine = options_.step_engine;
   config.integrator = options_.integrator;
   config.tracer = options_.tracer;
   if (options_.integrator == psd::PsdIntegrator::kOperatorSplitting) {

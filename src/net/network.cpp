@@ -182,19 +182,20 @@ util::Status Network::Send(Message message) {
   }
   if (scheduled) return util::OkStatus();
   // Immediate mode: run the handler inline, outside the lock so handlers
-  // can send further messages without deadlocking.
-  (*handler)(message);
+  // can send further messages without deadlocking. The message is moved:
+  // delivery is the end of its life on the wire.
+  (*handler)(std::move(message));
   return util::OkStatus();
 }
 
-void Network::Dispatch(const Message& message) {
+void Network::Dispatch(Message message) {
   std::shared_ptr<Handler> handler;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = endpoints_.find(message.to);
     if (it != endpoints_.end()) handler = it->second;
   }
-  if (handler) (*handler)(message);
+  if (handler) (*handler)(std::move(message));
 }
 
 void Network::DeliveryLoop() {
@@ -212,10 +213,13 @@ void Network::DeliveryLoop() {
       pending_cv_.wait_for(lock, std::chrono::microseconds(due - now));
       continue;
     }
-    Message message = pending_.top().message;
+    // Move the payload out of the heap slot before popping; the comparator
+    // only reads due_micros/sequence, so the moved-from message is inert.
+    Message message =
+        std::move(const_cast<ScheduledMessage&>(pending_.top()).message);
     pending_.pop();
     lock.unlock();
-    Dispatch(message);
+    Dispatch(std::move(message));
     lock.lock();
     --in_flight_;
     if (in_flight_ == 0) quiesce_cv_.notify_all();

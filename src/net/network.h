@@ -42,7 +42,10 @@ enum class DeliveryMode { kImmediate, kScheduled };
 
 class Network {
  public:
-  using Handler = std::function<void(const Message&)>;
+  /// Handlers receive the message by value: delivery is the end of the
+  /// message's life on the wire, so the payload can be moved (not copied)
+  /// into the protocol layer. Lambdas taking `const Message&` still bind.
+  using Handler = std::function<void(Message)>;
 
   explicit Network(DeliveryMode mode = DeliveryMode::kImmediate,
                    std::uint64_t fault_seed = 42);
@@ -132,7 +135,7 @@ class Network {
                   std::int64_t now_micros);
   bool InPartition(const std::string& from, const std::string& to) const;
   void DeliveryLoop();
-  void Dispatch(const Message& message);
+  void Dispatch(Message message);
 
   const DeliveryMode mode_;
   util::Clock* clock_;

@@ -1,7 +1,10 @@
 #include "net/rpc.h"
 
+#include <algorithm>
 #include <chrono>
+#include <limits>
 
+#include "util/clock.h"
 #include "util/logging.h"
 
 namespace nees::net {
@@ -39,6 +42,43 @@ util::Status DecodeResponseEnvelope(const Bytes& payload, util::Status* status,
   return util::OkStatus();
 }
 
+namespace {
+
+// Parses the length prefix of the trailing body field and, if it spans the
+// exact remainder of the frame, moves the body out of `payload` by erasing
+// the already-decoded header prefix. The encoders always place the body
+// last, so a mismatched length means a corrupt frame.
+util::Status TakeTrailingBody(Bytes* payload, util::ByteReader& reader,
+                              Bytes* body) {
+  NEES_ASSIGN_OR_RETURN(std::uint32_t length, reader.ReadU32());
+  if (length != reader.remaining()) {
+    return util::DataLoss("envelope body length mismatch");
+  }
+  payload->erase(payload->begin(),
+                 payload->begin() +
+                     static_cast<std::ptrdiff_t>(payload->size() - length));
+  *body = std::move(*payload);
+  return util::OkStatus();
+}
+
+}  // namespace
+
+util::Status ConsumeRequestEnvelope(Bytes* payload, std::string* auth_token,
+                                    Bytes* body) {
+  util::ByteReader reader(*payload);
+  NEES_ASSIGN_OR_RETURN(*auth_token, reader.ReadString());
+  return TakeTrailingBody(payload, reader, body);
+}
+
+util::Status ConsumeResponseEnvelope(Bytes* payload, util::Status* status,
+                                     Bytes* body) {
+  util::ByteReader reader(*payload);
+  NEES_ASSIGN_OR_RETURN(std::uint16_t code, reader.ReadU16());
+  NEES_ASSIGN_OR_RETURN(std::string message, reader.ReadString());
+  *status = util::Status(static_cast<util::ErrorCode>(code), message);
+  return TakeTrailingBody(payload, reader, body);
+}
+
 // ---------------------------------------------------------------------------
 // RpcServer
 
@@ -49,7 +89,7 @@ RpcServer::~RpcServer() { Stop(); }
 
 util::Status RpcServer::Start() {
   NEES_RETURN_IF_ERROR(network_->RegisterEndpoint(
-      endpoint_, [this](const Message& message) { HandleMessage(message); }));
+      endpoint_, [this](Message message) { HandleMessage(std::move(message)); }));
   started_ = true;
   return util::OkStatus();
 }
@@ -76,11 +116,11 @@ void RpcServer::SetAuthenticator(Authenticator authenticator) {
   authenticator_ = std::move(authenticator);
 }
 
-void RpcServer::HandleMessage(const Message& message) {
+void RpcServer::HandleMessage(Message message) {
   std::string auth_token;
   Bytes body;
   const util::Status decode_status =
-      DecodeRequestEnvelope(message.payload, &auth_token, &body);
+      ConsumeRequestEnvelope(&message.payload, &auth_token, &body);
 
   CallContext context;
   context.caller_endpoint = message.from;
@@ -159,7 +199,7 @@ void RpcServer::HandleMessage(const Message& message) {
 RpcClient::RpcClient(Network* network, std::string endpoint)
     : network_(network), endpoint_(std::move(endpoint)) {
   const util::Status status = network_->RegisterEndpoint(
-      endpoint_, [this](const Message& message) { HandleMessage(message); });
+      endpoint_, [this](Message message) { HandleMessage(std::move(message)); });
   if (!status.ok()) {
     NEES_LOG_ERROR("net.rpc") << "client endpoint registration failed: "
                               << status.ToString();
@@ -179,32 +219,38 @@ void RpcClient::SetAuthTokenFor(const std::string& target,
   per_target_tokens_[target] = std::move(token);
 }
 
-std::string RpcClient::TokenFor(const std::string& target) {
-  std::lock_guard<std::mutex> lock(mu_);
+std::string RpcClient::TokenForLocked(const std::string& target) const {
   auto it = per_target_tokens_.find(target);
   return it != per_target_tokens_.end() ? it->second : auth_token_;
 }
 
-void RpcClient::HandleMessage(const Message& message) {
+std::string RpcClient::TokenFor(const std::string& target) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return TokenForLocked(target);
+}
+
+void RpcClient::HandleMessage(Message message) {
   if (message.kind != MessageKind::kResponse) return;
+  util::Status status;
+  Bytes body;
+  const util::Status decoded =
+      ConsumeResponseEnvelope(&message.payload, &status, &body);
   std::shared_ptr<PendingCall> call;
+  std::shared_ptr<CallBatch> batch;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = pending_.find(message.correlation_id);
     if (it == pending_.end()) return;  // late/duplicate response: ignore
     call = it->second;
-  }
-  util::Status status;
-  Bytes body;
-  const util::Status decoded =
-      DecodeResponseEnvelope(message.payload, &status, &body);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
     call->status = decoded.ok() ? status : decoded;
     call->response = std::move(body);
     call->done = true;
+    batch = call->batch;
   }
-  cv_.notify_all();
+  // Per-call signaling: wake only this call's waiter (and its batch, if it
+  // is part of a WaitAll/WaitAnyUntil group) — no client-wide herd.
+  call->cv.notify_all();
+  if (batch) batch->cv.notify_all();
 }
 
 RpcClient::AsyncCall RpcClient::Issue(const std::string& target,
@@ -214,15 +260,15 @@ RpcClient::AsyncCall RpcClient::Issue(const std::string& target,
   AsyncCall async;
   async.client_ = this;
   async.state_ = std::make_shared<PendingCall>();
-  async.deadline_ = std::chrono::steady_clock::now() +
-                    std::chrono::microseconds(timeout_micros);
+  // Deadline on the network's injected clock, not the wall clock, so
+  // SimClock-driven tests time out in simulated time.
+  async.deadline_micros_ = network_->clock()->NowMicros() + timeout_micros;
   std::string token;
   {
     std::lock_guard<std::mutex> lock(mu_);
     async.correlation_ = next_correlation_++;
     pending_[async.correlation_] = async.state_;
-    auto it = per_target_tokens_.find(target);
-    token = it != per_target_tokens_.end() ? it->second : auth_token_;
+    token = TokenForLocked(target);
   }
 
   Message request;
@@ -258,8 +304,12 @@ util::Result<Bytes> RpcClient::AsyncCall::Wait() {
   {
     std::unique_lock<std::mutex> lock(client->mu_);
     if (client->network_->mode() == DeliveryMode::kScheduled) {
-      client->cv_.wait_until(lock, deadline_,
-                             [this] { return state_->done; });
+      while (!state_->done) {
+        const std::int64_t now = client->network_->clock()->NowMicros();
+        if (now >= deadline_micros_) break;
+        state_->cv.wait_for(
+            lock, std::chrono::microseconds(deadline_micros_ - now));
+      }
     }
     // Immediate mode: the response (if any) was delivered inline during
     // Send; if state->done is false the message was dropped en route.
@@ -267,11 +317,104 @@ util::Result<Bytes> RpcClient::AsyncCall::Wait() {
     if (!state_->done) {
       return util::TimeoutError(label_ + " timed out");
     }
-    status = state_->status;
+    status = std::move(state_->status);
     response = std::move(state_->response);
   }
   if (!status.ok()) return status;
   return response;
+}
+
+bool RpcClient::AsyncCall::TryResolve(util::Result<Bytes>* out) {
+  if (client_ == nullptr) {
+    *out = util::Internal("TryResolve() on an empty AsyncCall");
+    return true;
+  }
+  if (!send_error_.ok()) {
+    *out = send_error_;
+    client_ = nullptr;
+    return true;
+  }
+  RpcClient* client = client_;
+  std::lock_guard<std::mutex> lock(client->mu_);
+  if (state_->done) {
+    client->pending_.erase(correlation_);
+    client_ = nullptr;
+    if (!state_->status.ok()) {
+      *out = std::move(state_->status);
+    } else {
+      *out = std::move(state_->response);
+    }
+    return true;
+  }
+  // Immediate mode resolves unanswered calls at once (see header); in
+  // scheduled mode the call times out when the clock passes the deadline.
+  if (client->network_->mode() == DeliveryMode::kImmediate ||
+      client->network_->clock()->NowMicros() >= deadline_micros_) {
+    client->pending_.erase(correlation_);
+    client_ = nullptr;
+    *out = util::TimeoutError(label_ + " timed out");
+    return true;
+  }
+  return false;
+}
+
+void RpcClient::WaitAll(const std::vector<AsyncCall*>& calls) {
+  WaitAnyUntil(calls, std::numeric_limits<std::int64_t>::max(),
+               /*wait_for_all=*/true);
+}
+
+void RpcClient::WaitAnyUntil(const std::vector<AsyncCall*>& calls,
+                             std::int64_t wake_micros) {
+  WaitAnyUntil(calls, wake_micros, /*wait_for_all=*/false);
+}
+
+void RpcClient::WaitAnyUntil(const std::vector<AsyncCall*>& calls,
+                             std::int64_t wake_micros, bool wait_for_all) {
+  if (network_->mode() != DeliveryMode::kScheduled) return;
+  auto batch = std::make_shared<CallBatch>();
+  std::unique_lock<std::mutex> lock(mu_);
+  // Snapshot the calls that are unresolved right now; the wait ends when
+  // one of *these* completes (an already-resolved call would otherwise
+  // satisfy the predicate forever) or when its deadline lapses.
+  struct Watched {
+    std::shared_ptr<PendingCall> state;
+    std::int64_t deadline_micros;
+  };
+  std::vector<Watched> watched;
+  for (AsyncCall* call : calls) {
+    if (call->client_ == nullptr || !call->send_error_.ok()) {
+      if (!wait_for_all) return;  // resolved: caller should harvest first
+      continue;
+    }
+    if (call->state_->done) {
+      if (!wait_for_all) return;
+      continue;
+    }
+    watched.push_back({call->state_, call->deadline_micros_});
+    call->state_->batch = batch;
+  }
+  while (!watched.empty()) {
+    const std::int64_t now = network_->clock()->NowMicros();
+    std::int64_t wake = wait_for_all
+                            ? std::numeric_limits<std::int64_t>::max()
+                            : wake_micros;
+    bool any_live = false;
+    bool any_done = false;
+    for (const Watched& entry : watched) {
+      if (entry.state->done) {
+        any_done = true;
+        continue;
+      }
+      if (entry.deadline_micros <= now) continue;  // lapsed: counts resolved
+      any_live = true;
+      wake = std::min(wake, entry.deadline_micros);
+    }
+    if (!any_live) break;                   // everything resolved or lapsed
+    if (any_done && !wait_for_all) break;   // WaitAny: one completion is enough
+    if (now >= wake) break;
+    batch->cv.wait_for(lock, std::chrono::microseconds(wake - now));
+  }
+  for (Watched& entry : watched) entry.state->batch.reset();
 }
 
 RpcClient::AsyncCall RpcClient::CallAsync(const std::string& target,

@@ -11,7 +11,6 @@
 // paper puts them.
 #pragma once
 
-#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -67,7 +66,7 @@ class RpcServer {
   const std::string& endpoint() const { return endpoint_; }
 
  private:
-  void HandleMessage(const Message& message);
+  void HandleMessage(Message message);
 
   Network* network_;
   std::string endpoint_;
@@ -78,11 +77,21 @@ class RpcServer {
   Authenticator authenticator_;
 };
 
+/// Shared wakeup channel for a batch of calls (WaitAll / WaitAnyUntil):
+/// completing any attached call signals the batch's waiter.
+struct CallBatch {
+  std::condition_variable cv;
+};
+
 /// Slot a response lands in; shared between the client and async handles.
+/// Each call carries its own condition variable so a completion wakes only
+/// its waiter (plus the batch, if attached) — never every in-flight call.
 struct PendingCall {
   bool done = false;
   util::Status status;
   Bytes response;
+  std::condition_variable cv;
+  std::shared_ptr<CallBatch> batch;
 };
 
 class RpcClient {
@@ -109,18 +118,31 @@ class RpcClient {
                            const std::string& method, const Bytes& body,
                            std::int64_t timeout_micros = 1'000'000);
 
-  /// Handle to an in-flight asynchronous call.
+  /// Handle to an in-flight asynchronous call. Deadlines are stamped from
+  /// the network's injected util::Clock, so SimClock-driven tests see
+  /// simulated-time timeouts rather than wall-clock ones.
   class AsyncCall {
    public:
     /// Blocks until the reply arrives or the call's timeout lapses.
     util::Result<Bytes> Wait();
+
+    /// Non-blocking: if the call has resolved (reply arrived, send failed,
+    /// or the deadline lapsed), writes the outcome to `out` and returns
+    /// true; otherwise returns false. In kImmediate mode an unanswered call
+    /// resolves as a timeout at once — the response (if any) was delivered
+    /// inline during Send, so there is nothing left to wait for. Like
+    /// Wait(), resolves at most once per handle.
+    bool TryResolve(util::Result<Bytes>* out);
+
+    /// Clock-based deadline (micros on the network's clock).
+    std::int64_t deadline_micros() const { return deadline_micros_; }
 
    private:
     friend class RpcClient;
     RpcClient* client_ = nullptr;
     std::uint64_t correlation_ = 0;
     std::shared_ptr<PendingCall> state_;
-    std::chrono::steady_clock::time_point deadline_;
+    std::int64_t deadline_micros_ = 0;
     util::Status send_error_;
     std::string label_;  // for timeout messages
   };
@@ -132,6 +154,19 @@ class RpcClient {
                       const Bytes& body,
                       std::int64_t timeout_micros = 1'000'000);
 
+  /// Batch primitive: blocks until every call has resolved (replied, send
+  /// failed, or deadline lapsed). Harvest results with Wait()/TryResolve()
+  /// per handle afterwards. No-op in kImmediate mode, where calls resolve
+  /// inline during issue.
+  void WaitAll(const std::vector<AsyncCall*>& calls);
+
+  /// Blocks until at least one of the (currently unresolved) calls
+  /// completes, or the network clock reaches `wake_micros`, or the earliest
+  /// deadline among the calls lapses — whichever comes first. Returns
+  /// immediately if any call is already resolved. No-op in kImmediate mode.
+  void WaitAnyUntil(const std::vector<AsyncCall*>& calls,
+                    std::int64_t wake_micros);
+
   /// Fire-and-forget send (streaming, notifications).
   util::Status OneWay(const std::string& target, const std::string& method,
                       const Bytes& body);
@@ -139,7 +174,7 @@ class RpcClient {
   const std::string& endpoint() const { return endpoint_; }
 
  private:
-  void HandleMessage(const Message& message);
+  void HandleMessage(Message message);
 
   /// Issues the request and registers the pending slot (shared by Call and
   /// CallAsync); on send failure returns the error in AsyncCall.
@@ -147,13 +182,17 @@ class RpcClient {
                   const Bytes& body, std::int64_t timeout_micros);
 
   std::string TokenFor(const std::string& target);
+  std::string TokenForLocked(const std::string& target) const;  // mu_ held
+
+  /// Shared engine behind WaitAll (wait_for_all) and WaitAnyUntil.
+  void WaitAnyUntil(const std::vector<AsyncCall*>& calls,
+                    std::int64_t wake_micros, bool wait_for_all);
 
   Network* network_;
   std::string endpoint_;
   std::string auth_token_;
   std::map<std::string, std::string> per_target_tokens_;
   std::mutex mu_;
-  std::condition_variable cv_;
   std::uint64_t next_correlation_ = 1;
   std::map<std::uint64_t, std::shared_ptr<PendingCall>> pending_;
 };
@@ -165,5 +204,14 @@ util::Status DecodeRequestEnvelope(const Bytes& payload,
 Bytes EncodeResponseEnvelope(const util::Status& status, const Bytes& body);
 util::Status DecodeResponseEnvelope(const Bytes& payload, util::Status* status,
                                     Bytes* body);
+
+/// Consuming decodes used on the delivery path: after validating the
+/// header, the body is moved out of `payload` with a prefix erase (one
+/// memmove, no second allocation). Strict framing: the body's length
+/// prefix must account for the entire remainder of the frame.
+util::Status ConsumeRequestEnvelope(Bytes* payload, std::string* auth_token,
+                                    Bytes* body);
+util::Status ConsumeResponseEnvelope(Bytes* payload, util::Status* status,
+                                     Bytes* body);
 
 }  // namespace nees::net

@@ -1,6 +1,7 @@
 #include "ntcp/client.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -14,99 +15,268 @@ NtcpClient::NtcpClient(net::RpcClient* rpc, std::string server_endpoint,
       policy_(policy),
       clock_(clock) {}
 
+// One in-flight NTCP operation. The retry loop of the old synchronous
+// CallWithRetry lives here as an explicit state machine so that many
+// operations (one per site) can be interleaved on a single thread.
+struct NtcpClient::AsyncOp::State {
+  enum class Phase { kInFlight, kBackoff, kDone };
+
+  NtcpClient* client = nullptr;
+  std::string method;
+  net::Bytes body;  // kept for reissue on retry
+  int attempt = 1;
+  std::int64_t backoff_micros = 0;
+  Phase phase = Phase::kInFlight;
+  net::RpcClient::AsyncCall call;
+  std::int64_t resume_at_micros = 0;  // backoff expiry (client clock)
+  util::Result<net::Bytes> outcome = util::Internal("unresolved");
+  std::uint64_t span_id = 0;
+  std::int64_t trace_t0 = 0;       // tracer clock at issue
+  std::int64_t start_micros = 0;   // client clock at issue
+  std::int64_t finish_micros = 0;  // client clock at resolution
+};
+
+NtcpClient::AsyncOp::AsyncOp() = default;
+NtcpClient::AsyncOp::AsyncOp(AsyncOp&&) noexcept = default;
+NtcpClient::AsyncOp& NtcpClient::AsyncOp::operator=(AsyncOp&&) noexcept =
+    default;
+NtcpClient::AsyncOp::~AsyncOp() = default;
+
+bool NtcpClient::AsyncOp::finished() const {
+  return state_ == nullptr || state_->phase == State::Phase::kDone;
+}
+
+std::int64_t NtcpClient::AsyncOp::NextEventMicros() const {
+  if (finished()) return std::numeric_limits<std::int64_t>::max();
+  if (state_->phase == State::Phase::kInFlight) {
+    return state_->call.deadline_micros();
+  }
+  return state_->resume_at_micros;
+}
+
+std::int64_t NtcpClient::AsyncOp::elapsed_micros() const {
+  if (state_ == nullptr || state_->phase != State::Phase::kDone) return 0;
+  return state_->finish_micros - state_->start_micros;
+}
+
+bool NtcpClient::AsyncOp::Pump() {
+  if (state_ == nullptr) return true;
+  State& s = *state_;
+  if (s.phase == State::Phase::kDone) return true;
+  NtcpClient* client = s.client;
+
+  auto finish = [&](util::Result<net::Bytes> outcome,
+                    const std::string& error_tag) {
+    s.outcome = std::move(outcome);
+    s.phase = State::Phase::kDone;
+    s.finish_micros = client->clock_->NowMicros();
+    if (client->tracer_ != nullptr) {
+      if (!error_tag.empty()) {
+        client->tracer_->AddTagById(s.span_id, "error", error_tag);
+      } else {
+        client->tracer_->AddTagById(s.span_id, "attempts",
+                                    std::to_string(s.attempt));
+      }
+      client->tracer_->metrics().Observe(
+          "ntcp.client.call_micros",
+          static_cast<double>(client->tracer_->NowMicros() - s.trace_t0));
+      client->tracer_->EndSpanId(s.span_id);
+    }
+  };
+
+  for (;;) {
+    if (s.phase == State::Phase::kInFlight) {
+      util::Result<net::Bytes> result = util::Internal("unresolved");
+      if (!s.call.TryResolve(&result)) return false;
+      if (result.ok()) {
+        if (s.attempt > 1) ++client->stats_.recovered;
+        finish(std::move(result), "");
+        return true;
+      }
+      const util::Status error = result.status();
+      if (!error.transient()) {  // definitive answer
+        finish(error, std::string(util::ErrorCodeName(error.code())));
+        return true;
+      }
+      if (s.attempt == client->policy_.max_attempts) {
+        ++client->stats_.gave_up;
+        finish(error, "exhausted");
+        return true;
+      }
+      ++client->stats_.retries;
+      NEES_LOG_WARN("ntcp.client")
+          << s.method << " to " << client->server_ << " attempt " << s.attempt
+          << " failed transiently (" << error.ToString() << "); retrying";
+      s.resume_at_micros = client->clock_->NowMicros() + s.backoff_micros;
+      s.backoff_micros = std::min<std::int64_t>(
+          static_cast<std::int64_t>(s.backoff_micros *
+                                    client->policy_.backoff_multiplier),
+          client->policy_.max_backoff_micros);
+      s.phase = State::Phase::kBackoff;
+      // Fall through: with a SimClock the backoff may already have lapsed.
+    }
+    if (client->clock_->NowMicros() < s.resume_at_micros) return false;
+    ++s.attempt;
+    s.call = client->rpc_->CallAsync(client->server_, s.method, s.body,
+                                     client->policy_.rpc_timeout_micros);
+    s.phase = State::Phase::kInFlight;
+    // Loop: in immediate mode the reissued call already resolved inline.
+  }
+}
+
+util::Result<net::Bytes> NtcpClient::AsyncOp::Await() {
+  if (state_ == nullptr) return util::Internal("Await() on an empty AsyncOp");
+  while (!Pump()) {
+    State& s = *state_;
+    NtcpClient* client = s.client;
+    if (s.phase == State::Phase::kInFlight) {
+      client->rpc_->WaitAnyUntil({&s.call}, s.call.deadline_micros());
+    } else {
+      const std::int64_t now = client->clock_->NowMicros();
+      if (s.resume_at_micros > now) {
+        client->clock_->SleepMicros(s.resume_at_micros - now);
+      }
+    }
+  }
+  util::Result<net::Bytes> outcome = std::move(state_->outcome);
+  state_.reset();
+  return outcome;
+}
+
+NtcpClient::AsyncOp NtcpClient::StartOp(const std::string& method,
+                                        net::Bytes body, const SpanTags& tags,
+                                        std::uint64_t parent_span_id) {
+  ++stats_.calls;
+  AsyncOp op;
+  op.state_ = std::make_unique<AsyncOp::State>();
+  AsyncOp::State& s = *op.state_;
+  s.client = this;
+  s.method = method;
+  s.body = std::move(body);
+  s.backoff_micros = policy_.initial_backoff_micros;
+  if (tracer_ != nullptr) {
+    if (parent_span_id == 0) parent_span_id = tracer_->CurrentSpanId();
+    s.span_id = tracer_->BeginSpanId(method, "protocol", parent_span_id);
+    tracer_->AddTagById(s.span_id, "server", server_);
+    for (const auto& [key, value] : tags) {
+      tracer_->AddTagById(s.span_id, key, value);
+    }
+    s.trace_t0 = tracer_->NowMicros();
+  }
+  s.start_micros = clock_->NowMicros();
+  s.call = rpc_->CallAsync(server_, method, s.body, policy_.rpc_timeout_micros);
+  // Pump once so immediate-mode delivery (response already in the slot)
+  // resolves without a wait; in scheduled mode this is a cheap no-op.
+  op.Pump();
+  return op;
+}
+
+void NtcpClient::AwaitAll(std::vector<AsyncOp>& ops) {
+  for (;;) {
+    bool all_done = true;
+    for (AsyncOp& op : ops) all_done &= op.Pump();
+    if (all_done) return;
+
+    // Collect the in-flight attempts and the earliest self-driven event
+    // (attempt deadline or backoff expiry) across unfinished ops.
+    std::vector<net::RpcClient::AsyncCall*> calls;
+    std::int64_t wake = std::numeric_limits<std::int64_t>::max();
+    net::RpcClient* rpc = nullptr;
+    util::Clock* clock = nullptr;
+    for (AsyncOp& op : ops) {
+      if (op.finished()) continue;
+      AsyncOp::State& s = *op.state_;
+      rpc = s.client->rpc_;
+      clock = s.client->clock_;
+      wake = std::min(wake, op.NextEventMicros());
+      if (s.phase == AsyncOp::State::Phase::kInFlight) {
+        calls.push_back(&s.call);
+      }
+    }
+    if (rpc == nullptr) return;  // nothing unfinished after all
+    if (!calls.empty()) {
+      // Sleep until any in-flight attempt completes, a deadline lapses, or
+      // the earliest backoff expires — whichever is first.
+      rpc->WaitAnyUntil(calls, wake);
+    } else {
+      // Only backoff timers remain; sleeping advances a SimClock instantly.
+      const std::int64_t now = clock->NowMicros();
+      if (wake > now) clock->SleepMicros(wake - now);
+    }
+  }
+}
+
 util::Result<net::Bytes> NtcpClient::CallWithRetry(const std::string& method,
                                                    const net::Bytes& body,
                                                    const SpanTags& tags) {
-  ++stats_.calls;
-  obs::Span span;
-  std::int64_t t0 = 0;
-  if (tracer_ != nullptr) {
-    span = tracer_->StartSpan(method, "protocol");
-    span.AddTag("server", server_);
-    for (const auto& [key, value] : tags) span.AddTag(key, value);
-    t0 = tracer_->NowMicros();
-  }
-  std::int64_t backoff = policy_.initial_backoff_micros;
-  util::Status last_error = util::Internal("retry loop did not run");
-  for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
-    auto result =
-        rpc_->Call(server_, method, body, policy_.rpc_timeout_micros);
-    if (result.ok()) {
-      if (attempt > 1) ++stats_.recovered;
-      if (tracer_ != nullptr) {
-        span.AddTag("attempts", std::to_string(attempt));
-        tracer_->metrics().Observe(
-            "ntcp.client.call_micros",
-            static_cast<double>(tracer_->NowMicros() - t0));
-      }
-      return result;
-    }
-    last_error = result.status();
-    if (!last_error.transient()) {  // definitive answer
-      if (tracer_ != nullptr) {
-        span.AddTag("error", std::string(util::ErrorCodeName(
-                                 last_error.code())));
-        tracer_->metrics().Observe(
-            "ntcp.client.call_micros",
-            static_cast<double>(tracer_->NowMicros() - t0));
-      }
-      return last_error;
-    }
-    if (attempt == policy_.max_attempts) break;
-    ++stats_.retries;
-    NEES_LOG_WARN("ntcp.client")
-        << method << " to " << server_ << " attempt " << attempt
-        << " failed transiently (" << last_error.ToString() << "); retrying";
-    clock_->SleepMicros(backoff);
-    backoff = std::min<std::int64_t>(
-        static_cast<std::int64_t>(backoff * policy_.backoff_multiplier),
-        policy_.max_backoff_micros);
-  }
-  ++stats_.gave_up;
-  if (tracer_ != nullptr) {
-    span.AddTag("error", "exhausted");
-    tracer_->metrics().Observe(
-        "ntcp.client.call_micros",
-        static_cast<double>(tracer_->NowMicros() - t0));
-  }
-  return last_error;
+  AsyncOp op = StartOp(method, body, tags, /*parent_span_id=*/0);
+  return op.Await();
 }
 
-util::Status NtcpClient::Propose(const Proposal& proposal) {
+NtcpClient::AsyncOp NtcpClient::ProposeAsync(const Proposal& proposal,
+                                             std::uint64_t parent_span_id) {
   util::ByteWriter writer;
   EncodeProposal(proposal, writer);
-  NEES_ASSIGN_OR_RETURN(
-      net::Bytes response,
-      CallWithRetry("ntcp.propose", writer.Take(),
-                    {{"txn", proposal.transaction_id},
-                     {"step", std::to_string(proposal.step_index)}}));
+  return StartOp("ntcp.propose", writer.Take(),
+                 {{"txn", proposal.transaction_id},
+                  {"step", std::to_string(proposal.step_index)}},
+                 parent_span_id);
+}
+
+NtcpClient::AsyncOp NtcpClient::ExecuteAsync(
+    const std::string& transaction_id, std::uint64_t parent_span_id) {
+  util::ByteWriter writer;
+  writer.WriteString(transaction_id);
+  return StartOp("ntcp.execute", writer.Take(), {{"txn", transaction_id}},
+                 parent_span_id);
+}
+
+NtcpClient::AsyncOp NtcpClient::CancelAsync(const std::string& transaction_id,
+                                            std::uint64_t parent_span_id) {
+  util::ByteWriter writer;
+  writer.WriteString(transaction_id);
+  return StartOp("ntcp.cancel", writer.Take(), {{"txn", transaction_id}},
+                 parent_span_id);
+}
+
+util::Status NtcpClient::FinishPropose(AsyncOp& op) {
+  const std::string server =
+      op.state_ != nullptr ? op.state_->client->server_ : "";
+  NEES_ASSIGN_OR_RETURN(net::Bytes response, op.Await());
   util::ByteReader reader(response);
   NEES_ASSIGN_OR_RETURN(bool accepted, reader.ReadBool());
   NEES_ASSIGN_OR_RETURN(std::string reason, reader.ReadString());
   if (!accepted) {
-    return util::PolicyViolation("proposal rejected by " + server_ + ": " +
+    return util::PolicyViolation("proposal rejected by " + server + ": " +
                                  reason);
   }
   return util::OkStatus();
 }
 
-util::Result<TransactionResult> NtcpClient::Execute(
-    const std::string& transaction_id) {
-  util::ByteWriter writer;
-  writer.WriteString(transaction_id);
-  NEES_ASSIGN_OR_RETURN(net::Bytes response,
-                        CallWithRetry("ntcp.execute", writer.Take(),
-                                      {{"txn", transaction_id}}));
+util::Result<TransactionResult> NtcpClient::FinishExecute(AsyncOp& op) {
+  NEES_ASSIGN_OR_RETURN(net::Bytes response, op.Await());
   util::ByteReader reader(response);
   return DecodeTransactionResult(reader);
 }
 
+util::Status NtcpClient::FinishCancel(AsyncOp& op) {
+  return op.Await().status();
+}
+
+util::Status NtcpClient::Propose(const Proposal& proposal) {
+  AsyncOp op = ProposeAsync(proposal);
+  return FinishPropose(op);
+}
+
+util::Result<TransactionResult> NtcpClient::Execute(
+    const std::string& transaction_id) {
+  AsyncOp op = ExecuteAsync(transaction_id);
+  return FinishExecute(op);
+}
+
 util::Status NtcpClient::Cancel(const std::string& transaction_id) {
-  util::ByteWriter writer;
-  writer.WriteString(transaction_id);
-  return CallWithRetry("ntcp.cancel", writer.Take(),
-                       {{"txn", transaction_id}})
-      .status();
+  AsyncOp op = CancelAsync(transaction_id);
+  return FinishCancel(op);
 }
 
 util::Result<TransactionRecord> NtcpClient::GetTransaction(

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -55,6 +56,70 @@ class NtcpClient {
       const std::string& transaction_id);
   util::Result<std::vector<std::string>> ListTransactions();
 
+  /// Handle to an in-flight asynchronous NTCP operation. The full retry /
+  /// backoff / at-most-once state machine of the synchronous API runs
+  /// inside the handle: Pump() advances it without blocking (resolving the
+  /// current RPC attempt, scheduling backoff, or reissuing), Await() drives
+  /// it to completion on the calling thread. Many ops — across sites — can
+  /// be multiplexed on one thread with AwaitAll(); no thread is ever
+  /// created. Obtain via ProposeAsync/ExecuteAsync/CancelAsync and decode
+  /// with the matching Finish* function.
+  class AsyncOp {
+   public:
+    AsyncOp();
+    AsyncOp(AsyncOp&&) noexcept;
+    AsyncOp& operator=(AsyncOp&&) noexcept;
+    ~AsyncOp();
+
+    AsyncOp(const AsyncOp&) = delete;
+    AsyncOp& operator=(const AsyncOp&) = delete;
+
+    bool active() const { return state_ != nullptr; }
+    bool finished() const;
+
+    /// Advances the retry state machine; never blocks. Returns finished().
+    bool Pump();
+
+    /// Client-clock micros of the next self-driven event (current attempt's
+    /// deadline, or backoff expiry); INT64_MAX when finished/empty.
+    std::int64_t NextEventMicros() const;
+
+    /// Micros from issue to resolution on the client clock (0 until then).
+    std::int64_t elapsed_micros() const;
+
+    /// Blocks until the operation resolves (including retries + backoff)
+    /// and consumes the outcome. Prefer the typed Finish* helpers.
+    util::Result<net::Bytes> Await();
+
+   private:
+    friend class NtcpClient;
+    struct State;
+    std::unique_ptr<State> state_;
+  };
+
+  /// Issue an operation without blocking. When `parent_span_id` is 0 the
+  /// operation's "protocol" span parents under the calling thread's
+  /// current span (matching the synchronous API); pass an explicit id when
+  /// driving many sites' ops from one thread, where the thread's span
+  /// stack cannot distinguish them.
+  AsyncOp ProposeAsync(const Proposal& proposal,
+                       std::uint64_t parent_span_id = 0);
+  AsyncOp ExecuteAsync(const std::string& transaction_id,
+                       std::uint64_t parent_span_id = 0);
+  AsyncOp CancelAsync(const std::string& transaction_id,
+                      std::uint64_t parent_span_id = 0);
+
+  /// Awaits + decodes an op started by the matching *Async call.
+  static util::Status FinishPropose(AsyncOp& op);
+  static util::Result<TransactionResult> FinishExecute(AsyncOp& op);
+  static util::Status FinishCancel(AsyncOp& op);
+
+  /// Drives every op to completion on the calling thread, overlapping all
+  /// their round trips and backoff windows. The ops may target different
+  /// sites; they should share one underlying RpcClient so a single batch
+  /// wait covers every in-flight attempt.
+  static void AwaitAll(std::vector<AsyncOp>& ops);
+
   const std::string& server() const { return server_; }
   NtcpClientStats stats() const { return stats_; }
   const RetryPolicy& policy() const { return policy_; }
@@ -65,8 +130,15 @@ class NtcpClient {
  private:
   using SpanTags = std::vector<std::pair<std::string, std::string>>;
 
+  /// Starts the retry state machine for one operation (first RPC attempt
+  /// issued before returning; pumped once so immediate-mode responses
+  /// resolve inline).
+  AsyncOp StartOp(const std::string& method, net::Bytes body,
+                  const SpanTags& tags, std::uint64_t parent_span_id);
+
   /// Runs `call` with transient-error retry + exponential backoff. `tags`
   /// (e.g. the transaction id and step) annotate the operation's span.
+  /// Synchronous facade over StartOp + Await.
   util::Result<net::Bytes> CallWithRetry(const std::string& method,
                                          const net::Bytes& body,
                                          const SpanTags& tags = {});

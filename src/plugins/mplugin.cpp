@@ -13,7 +13,7 @@ MPlugin::~MPlugin() {
   std::lock_guard<std::mutex> lock(mu_);
   shutting_down_ = true;
   work_cv_.notify_all();
-  done_cv_.notify_all();
+  for (auto& [id, pending] : pending_) pending->cv.notify_all();
 }
 
 util::Status MPlugin::Validate(const ntcp::Proposal& proposal) {
@@ -39,13 +39,21 @@ util::Result<ntcp::TransactionResult> MPlugin::Execute(
     pending->parent_span_id = tracer_->CurrentSpanId();
     pending->enqueued_micros = tracer_->NowMicros();
   }
+  std::function<void()> notify;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(mu_);
     pending_[proposal.transaction_id] = pending;
     queue_.push_back(proposal);
     work_cv_.notify_one();
-
-    const bool completed = done_cv_.wait_for(
+    notify = work_notifier_;
+  }
+  // Push-style wakeup for remote backends. Outside the lock: the notifier
+  // typically issues a network send, and the woken backend's first poll
+  // must not contend with us still holding mu_.
+  if (notify) notify();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    const bool completed = pending->cv.wait_for(
         lock, std::chrono::microseconds(config_.execute_timeout_micros),
         [&] { return pending->done || shutting_down_; });
     pending_.erase(proposal.transaction_id);
@@ -66,8 +74,12 @@ std::optional<ntcp::Proposal> MPlugin::PollRequest(
     std::int64_t max_wait_micros) {
   std::unique_lock<std::mutex> lock(mu_);
   ++polls_;
+  const std::uint64_t epoch = poll_epoch_;
   work_cv_.wait_for(lock, std::chrono::microseconds(max_wait_micros),
-                    [this] { return !queue_.empty() || shutting_down_; });
+                    [&] {
+                      return !queue_.empty() || shutting_down_ ||
+                             poll_epoch_ != epoch;
+                    });
   if (queue_.empty()) return std::nullopt;
   ntcp::Proposal proposal = std::move(queue_.front());
   queue_.pop_front();
@@ -108,8 +120,19 @@ util::Status MPlugin::PostResult(
   } else {
     it->second->status = outcome.status();
   }
-  done_cv_.notify_all();
+  it->second->cv.notify_one();  // wake exactly the Execute that is waiting
   return util::OkStatus();
+}
+
+void MPlugin::SetWorkNotifier(std::function<void()> notifier) {
+  std::lock_guard<std::mutex> lock(mu_);
+  work_notifier_ = std::move(notifier);
+}
+
+void MPlugin::InterruptPolls() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++poll_epoch_;
+  work_cv_.notify_all();
 }
 
 void MPlugin::BindBackendRpc(net::RpcServer& server) {
@@ -157,8 +180,11 @@ std::size_t MPlugin::buffered() const {
 // ---------------------------------------------------------------------------
 // PollingBackend
 
-PollingBackend::PollingBackend(MPlugin* plugin, Compute compute)
-    : plugin_(plugin), compute_(std::move(compute)) {}
+PollingBackend::PollingBackend(MPlugin* plugin, Compute compute,
+                               std::int64_t poll_wait_micros)
+    : plugin_(plugin),
+      compute_(std::move(compute)),
+      poll_wait_micros_(poll_wait_micros) {}
 
 PollingBackend::~PollingBackend() { Stop(); }
 
@@ -169,12 +195,15 @@ void PollingBackend::Start() {
 
 void PollingBackend::Stop() {
   if (!running_.exchange(false)) return;
+  // Break the in-flight long poll; without this, Stop() blocks for up to
+  // a full poll_wait_micros_ of idle waiting.
+  plugin_->InterruptPolls();
   if (thread_.joinable()) thread_.join();
 }
 
 void PollingBackend::Loop() {
   while (running_) {
-    auto proposal = plugin_->PollRequest(/*max_wait_micros=*/50'000);
+    auto proposal = plugin_->PollRequest(poll_wait_micros_);
     if (!proposal) continue;
     auto outcome = compute_(*proposal);
     const util::Status posted =
@@ -192,10 +221,65 @@ void PollingBackend::Loop() {
 
 RemotePollingBackend::RemotePollingBackend(net::RpcClient* rpc,
                                            std::string plugin_endpoint,
-                                           Compute compute)
+                                           Compute compute,
+                                           std::int64_t heartbeat_micros)
     : rpc_(rpc),
       plugin_endpoint_(std::move(plugin_endpoint)),
-      compute_(std::move(compute)) {}
+      compute_(std::move(compute)),
+      heartbeat_micros_(heartbeat_micros) {}
+
+RemotePollingBackend::~RemotePollingBackend() { Stop(); }
+
+void RemotePollingBackend::BindWakeRpc(net::RpcServer& server) {
+  server.RegisterOneWay(
+      "mplugin.wake",
+      [this](const net::CallContext&, const net::Bytes&) { Wake(); });
+}
+
+void RemotePollingBackend::Wake() {
+  ++wakes_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    wake_pending_ = true;
+  }
+  wake_cv_.notify_one();
+}
+
+void RemotePollingBackend::Start() {
+  if (running_.exchange(true)) return;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void RemotePollingBackend::Stop() {
+  if (!running_.exchange(false)) return;
+  wake_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void RemotePollingBackend::Loop() {
+  while (running_) {
+    {
+      // Park until a wake arrives. The heartbeat bounds how stale we can
+      // get if a wake message is dropped by the (lossy) network.
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_cv_.wait_for(lock, std::chrono::microseconds(heartbeat_micros_),
+                        [&] { return wake_pending_ || !running_; });
+      wake_pending_ = false;
+    }
+    if (!running_) break;
+    // Drain: one wake may cover several enqueued proposals.
+    for (;;) {
+      auto worked = PollOnce(/*max_wait_micros=*/0);
+      if (!worked.ok()) {
+        NEES_LOG_WARN("plugins.backend")
+            << "remote poll cycle failed: " << worked.status().ToString();
+        break;
+      }
+      if (!*worked) break;
+      ++processed_;
+    }
+  }
+}
 
 util::Result<bool> RemotePollingBackend::PollOnce(
     std::int64_t max_wait_micros) {

@@ -46,11 +46,23 @@ class MPlugin final : public ntcp::ControlPlugin {
   std::string_view kind() const override { return "mplugin"; }
 
   // --- backend-facing service -------------------------------------------------
-  /// Blocks up to `max_wait_micros` for buffered work.
+  /// Blocks up to `max_wait_micros` for buffered work (a long poll: enqueued
+  /// work or InterruptPolls() wakes it early, so large waits cost nothing in
+  /// latency). Returns nullopt when the wait lapses with an empty queue.
   std::optional<ntcp::Proposal> PollRequest(std::int64_t max_wait_micros);
   /// Completes a pending execution with a result or an error.
   util::Status PostResult(const std::string& transaction_id,
                           util::Result<ntcp::TransactionResult> outcome);
+
+  /// Hook invoked (outside the plugin lock) whenever work is enqueued.
+  /// Lets a *remote* backend be woken push-style — e.g. a one-way
+  /// "mplugin.wake" RPC — instead of discovering work on its next poll.
+  /// In-process backends don't need it; PollRequest wakes on its own.
+  void SetWorkNotifier(std::function<void()> notifier);
+
+  /// Wakes every in-flight PollRequest so it re-checks the queue and
+  /// returns. Used by backends to make Stop() prompt under long polls.
+  void InterruptPolls();
 
   /// Binds mplugin.poll / mplugin.notify on an RpcServer for remote backends.
   void BindBackendRpc(net::RpcServer& server);
@@ -63,6 +75,10 @@ class MPlugin final : public ntcp::ControlPlugin {
     bool done = false;
     util::Status status;
     ntcp::TransactionResult result;
+    // Each waiter gets its own signal so completing one transaction never
+    // wakes the others (several Executes can be pending at once under the
+    // coordinator's async fan-out).
+    std::condition_variable cv;
     // Tracing context carried across the Execute -> poll -> notify hop.
     std::uint64_t parent_span_id = 0;
     std::int64_t enqueued_micros = 0;
@@ -72,22 +88,26 @@ class MPlugin final : public ntcp::ControlPlugin {
   Config config_;
   mutable std::mutex mu_;
   std::condition_variable work_cv_;    // backend waits for work
-  std::condition_variable done_cv_;    // Execute waits for completion
   std::deque<ntcp::Proposal> queue_;
   std::map<std::string, std::shared_ptr<Pending>> pending_;
+  std::function<void()> work_notifier_;
   std::uint64_t polls_ = 0;
+  std::uint64_t poll_epoch_ = 0;  // bumped by InterruptPolls()
   bool shutting_down_ = false;
 };
 
-/// In-process "Matlab" backend: a thread that polls the MPlugin, runs a
-/// compute function on each proposal, and notifies the result — the NCSA
-/// deployment in miniature.
+/// In-process "Matlab" backend: a thread that long-polls the MPlugin, runs
+/// a compute function on each proposal, and notifies the result — the NCSA
+/// deployment in miniature. Each poll parks on the plugin's work signal for
+/// up to `poll_wait_micros`, so an idle backend wakes only when work
+/// arrives (or on Stop()) instead of spinning at a fixed interval.
 class PollingBackend {
  public:
   using Compute = std::function<util::Result<ntcp::TransactionResult>(
       const ntcp::Proposal&)>;
 
-  PollingBackend(MPlugin* plugin, Compute compute);
+  PollingBackend(MPlugin* plugin, Compute compute,
+                 std::int64_t poll_wait_micros = 1'000'000);
   ~PollingBackend();
 
   void Start();
@@ -100,6 +120,7 @@ class PollingBackend {
 
   MPlugin* plugin_;
   Compute compute_;
+  std::int64_t poll_wait_micros_;
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> processed_{0};
@@ -107,20 +128,56 @@ class PollingBackend {
 
 /// Remote backend speaking the RPC surface — used to demonstrate that the
 /// poll service works across the (simulated) network like Matlab at NCSA.
+///
+/// Two modes:
+///   * PollOnce() — caller-driven single poll cycle (tests, custom loops);
+///   * Start()/Stop() — a worker thread that sits idle until Wake() (bound
+///     to a one-way "mplugin.wake" RPC via BindWakeRpc and driven by the
+///     plugin's work notifier), then drains the queue. A heartbeat re-polls
+///     every `heartbeat_micros` in case a wake message was lost, so the
+///     notifier is an optimization, never a correctness requirement.
+///
+/// Wake() only sets a flag — it never blocks or issues RPCs — so it is safe
+/// to invoke from the network's single delivery thread in kScheduled mode.
 class RemotePollingBackend {
  public:
   using Compute = PollingBackend::Compute;
 
   RemotePollingBackend(net::RpcClient* rpc, std::string plugin_endpoint,
-                       Compute compute);
+                       Compute compute,
+                       std::int64_t heartbeat_micros = 250'000);
+  ~RemotePollingBackend();
 
   /// Performs one poll+compute+notify cycle; returns true if work was done.
   util::Result<bool> PollOnce(std::int64_t max_wait_micros = 0);
 
+  /// Registers the one-way "mplugin.wake" method on `server` (the backend's
+  /// own control endpoint, distinct from its RpcClient endpoint).
+  void BindWakeRpc(net::RpcServer& server);
+
+  /// Signals the worker thread that work is (probably) available.
+  void Wake();
+
+  void Start();
+  void Stop();
+
+  std::uint64_t processed() const { return processed_; }
+  std::uint64_t wakes() const { return wakes_; }
+
  private:
+  void Loop();
+
   net::RpcClient* rpc_;
   std::string plugin_endpoint_;
   Compute compute_;
+  std::int64_t heartbeat_micros_;
+  std::mutex mu_;
+  std::condition_variable wake_cv_;
+  bool wake_pending_ = false;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> processed_{0};
+  std::atomic<std::uint64_t> wakes_{0};
 };
 
 /// Builds the standard "Matlab simulation" compute function from a set of

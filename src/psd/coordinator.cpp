@@ -101,7 +101,7 @@ util::Status SimulationCoordinator::ForEachSite(
     const std::function<util::Status(std::size_t site)>& work) {
   const std::size_t count = config_.sites.size();
   std::vector<util::Status> statuses(count);
-  if (!config_.parallel_sites || count <= 1) {
+  if (config_.step_engine != StepEngine::kThreadPerSite || count <= 1) {
     for (std::size_t i = 0; i < count; ++i) {
       statuses[i] = work(i);
     }
@@ -113,6 +113,7 @@ util::Status SimulationCoordinator::ForEachSite(
     for (std::size_t i = 1; i < count; ++i) {
       workers.emplace_back([&, i] { statuses[i] = work(i); });
     }
+    threads_spawned_ += workers.size();
     statuses[0] = work(0);
     for (std::thread& worker : workers) worker.join();
   }
@@ -120,6 +121,105 @@ util::Status SimulationCoordinator::ForEachSite(
     if (!status.ok()) return status;
   }
   return util::OkStatus();
+}
+
+util::Status SimulationCoordinator::ProposeAllAsync(
+    const std::vector<std::string>& transaction_ids,
+    const structural::Vector& displacement, std::vector<char>& accepted) {
+  const std::size_t site_count = config_.sites.size();
+  std::vector<ntcp::NtcpClient::AsyncOp> ops(site_count);
+  std::vector<std::uint64_t> site_spans(site_count, 0);
+  for (std::size_t i = 0; i < site_count; ++i) {
+    const SubstructureSite& site = config_.sites[i];
+    // Explicit span parenting: every site's spans are created from this one
+    // thread, so the implicit per-thread span stack cannot tell them apart.
+    if (config_.tracer != nullptr) {
+      site_spans[i] = config_.tracer->BeginSpanId("site.propose",
+                                                  "coordination",
+                                                  step_span_id_);
+      config_.tracer->AddTagById(site_spans[i], "site", site.name);
+    }
+    ntcp::Proposal proposal;
+    proposal.transaction_id = transaction_ids[i];
+    proposal.step_index = static_cast<std::int64_t>(step_);
+    proposal.timeout_micros = config_.proposal_timeout_micros;
+    ntcp::ControlPointRequest action;
+    action.control_point = site.control_point;
+    for (std::size_t dof : site.dofs) {
+      action.target_displacement.push_back(displacement[dof]);
+    }
+    proposal.actions.push_back(std::move(action));
+    ops[i] = clients_[i]->ProposeAsync(proposal, site_spans[i]);
+  }
+  ntcp::NtcpClient::AwaitAll(ops);
+
+  util::Status first_error;
+  for (std::size_t i = 0; i < site_count; ++i) {
+    const SubstructureSite& site = config_.sites[i];
+    site_stats_[i].step_micros.Add(
+        static_cast<double>(ops[i].elapsed_micros()));
+    ++site_stats_[i].proposals;
+    const util::Status status = ntcp::NtcpClient::FinishPropose(ops[i]);
+    if (config_.tracer != nullptr) config_.tracer->EndSpanId(site_spans[i]);
+    if (status.ok()) {
+      accepted[i] = 1;
+    } else if (first_error.ok()) {
+      first_error = util::Status(status.code(), "propose to " + site.name +
+                                                    " failed: " +
+                                                    status.message());
+    }
+  }
+  return first_error;
+}
+
+util::Status SimulationCoordinator::ExecuteAllAsync(
+    const std::vector<std::string>& transaction_ids,
+    std::vector<ntcp::TransactionResult>& results,
+    std::vector<char>& executed) {
+  const std::size_t site_count = config_.sites.size();
+  std::vector<ntcp::NtcpClient::AsyncOp> ops(site_count);
+  std::vector<std::uint64_t> site_spans(site_count, 0);
+  for (std::size_t i = 0; i < site_count; ++i) {
+    if (config_.tracer != nullptr) {
+      site_spans[i] = config_.tracer->BeginSpanId("site.execute",
+                                                  "coordination",
+                                                  step_span_id_);
+      config_.tracer->AddTagById(site_spans[i], "site",
+                                 config_.sites[i].name);
+    }
+    ops[i] = clients_[i]->ExecuteAsync(transaction_ids[i], site_spans[i]);
+  }
+  ntcp::NtcpClient::AwaitAll(ops);
+
+  util::Status first_error;
+  for (std::size_t i = 0; i < site_count; ++i) {
+    const SubstructureSite& site = config_.sites[i];
+    site_stats_[i].step_micros.Add(
+        static_cast<double>(ops[i].elapsed_micros()));
+    ++site_stats_[i].executes;
+    auto result = ntcp::NtcpClient::FinishExecute(ops[i]);
+    if (config_.tracer != nullptr) config_.tracer->EndSpanId(site_spans[i]);
+    if (!result.ok()) {
+      if (first_error.ok()) {
+        first_error = util::Status(result.status().code(),
+                                   "execute at " + site.name + " failed: " +
+                                       result.status().message());
+      }
+      continue;
+    }
+    const ntcp::ControlPointResult* cp = result->Find(site.control_point);
+    if (cp == nullptr || cp->measured_force.size() != site.dofs.size()) {
+      if (first_error.ok()) {
+        first_error =
+            util::Internal("invalid response from " + site.name +
+                           ": missing/mis-sized control point result");
+      }
+      continue;
+    }
+    results[i] = std::move(*result);
+    executed[i] = 1;
+  }
+  return first_error;
 }
 
 util::Status SimulationCoordinator::CycleOnce(
@@ -132,45 +232,53 @@ util::Status SimulationCoordinator::CycleOnce(
   // Phase 1: propose to ALL sites before executing anywhere. A rejection
   // or loss here leaves every specimen untouched.
   std::vector<std::string> transaction_ids(site_count);
-  std::vector<bool> accepted(site_count, false);
+  std::vector<char> accepted(site_count, 0);
   for (std::size_t i = 0; i < site_count; ++i) {
     transaction_ids[i] =
         util::Format("%s-s%zu-a%d-%s", config_.run_id.c_str(), step_, attempt,
                      config_.sites[i].name.c_str());
   }
-  const util::Status proposed = ForEachSite([&](std::size_t i) {
-    const SubstructureSite& site = config_.sites[i];
-    // Explicit parent: under parallel_sites this lambda runs off-thread,
-    // where the implicit stack would not see the step span.
-    obs::Span site_span;
-    if (config_.tracer != nullptr) {
-      site_span = config_.tracer->StartSpanWithParent(
-          "site.propose", "coordination", step_span_id_);
-      site_span.AddTag("site", site.name);
-    }
-    ntcp::Proposal proposal;
-    proposal.transaction_id = transaction_ids[i];
-    proposal.step_index = static_cast<std::int64_t>(step_);
-    proposal.timeout_micros = config_.proposal_timeout_micros;
-    ntcp::ControlPointRequest action;
-    action.control_point = site.control_point;
-    for (std::size_t dof : site.dofs) {
-      action.target_displacement.push_back(displacement[dof]);
-    }
-    proposal.actions.push_back(std::move(action));
+  const std::int64_t propose_t0 = clock_->NowMicros();
+  util::Status proposed;
+  if (config_.step_engine == StepEngine::kAsync) {
+    proposed = ProposeAllAsync(transaction_ids, displacement, accepted);
+  } else {
+    proposed = ForEachSite([&](std::size_t i) {
+      const SubstructureSite& site = config_.sites[i];
+      // Explicit parent: under kThreadPerSite this lambda runs off-thread,
+      // where the implicit stack would not see the step span.
+      obs::Span site_span;
+      if (config_.tracer != nullptr) {
+        site_span = config_.tracer->StartSpanWithParent(
+            "site.propose", "coordination", step_span_id_);
+        site_span.AddTag("site", site.name);
+      }
+      ntcp::Proposal proposal;
+      proposal.transaction_id = transaction_ids[i];
+      proposal.step_index = static_cast<std::int64_t>(step_);
+      proposal.timeout_micros = config_.proposal_timeout_micros;
+      ntcp::ControlPointRequest action;
+      action.control_point = site.control_point;
+      for (std::size_t dof : site.dofs) {
+        action.target_displacement.push_back(displacement[dof]);
+      }
+      proposal.actions.push_back(std::move(action));
 
-    const util::Stopwatch watch;
-    const util::Status status = clients_[i]->Propose(proposal);
-    site_stats_[i].step_micros.Add(
-        static_cast<double>(watch.ElapsedMicros()));
-    ++site_stats_[i].proposals;
-    if (status.ok()) {
-      accepted[i] = true;
-      return status;
-    }
-    return util::Status(status.code(), "propose to " + site.name +
-                                           " failed: " + status.message());
-  });
+      const util::Stopwatch watch;
+      const util::Status status = clients_[i]->Propose(proposal);
+      site_stats_[i].step_micros.Add(
+          static_cast<double>(watch.ElapsedMicros()));
+      ++site_stats_[i].proposals;
+      if (status.ok()) {
+        accepted[i] = 1;
+        return status;
+      }
+      return util::Status(status.code(), "propose to " + site.name +
+                                             " failed: " + status.message());
+    });
+  }
+  propose_phase_micros_.Add(
+      static_cast<double>(clock_->NowMicros() - propose_t0));
   if (!proposed.ok()) {
     // §2.1: "If any of the requested proposals is rejected, the client may
     // send a request to cancel the transaction." Release the accepted
@@ -183,33 +291,56 @@ util::Status SimulationCoordinator::CycleOnce(
 
   // Phase 2: execute everywhere and collect measured forces.
   results.assign(site_count, ntcp::TransactionResult{});
-  const util::Status executed = ForEachSite([&](std::size_t i) {
-    const SubstructureSite& site = config_.sites[i];
-    obs::Span site_span;
-    if (config_.tracer != nullptr) {
-      site_span = config_.tracer->StartSpanWithParent(
-          "site.execute", "coordination", step_span_id_);
-      site_span.AddTag("site", site.name);
+  std::vector<char> executed(site_count, 0);
+  const std::int64_t execute_t0 = clock_->NowMicros();
+  util::Status exec_status;
+  if (config_.step_engine == StepEngine::kAsync) {
+    exec_status = ExecuteAllAsync(transaction_ids, results, executed);
+  } else {
+    exec_status = ForEachSite([&](std::size_t i) {
+      const SubstructureSite& site = config_.sites[i];
+      obs::Span site_span;
+      if (config_.tracer != nullptr) {
+        site_span = config_.tracer->StartSpanWithParent(
+            "site.execute", "coordination", step_span_id_);
+        site_span.AddTag("site", site.name);
+      }
+      const util::Stopwatch watch;
+      auto result = clients_[i]->Execute(transaction_ids[i]);
+      site_stats_[i].step_micros.Add(
+          static_cast<double>(watch.ElapsedMicros()));
+      ++site_stats_[i].executes;
+      if (!result.ok()) {
+        return util::Status(result.status().code(),
+                            "execute at " + site.name + " failed: " +
+                                result.status().message());
+      }
+      const ntcp::ControlPointResult* cp = result->Find(site.control_point);
+      if (cp == nullptr || cp->measured_force.size() != site.dofs.size()) {
+        return util::Internal("invalid response from " + site.name +
+                              ": missing/mis-sized control point result");
+      }
+      results[i] = std::move(*result);
+      executed[i] = 1;
+      return util::OkStatus();
+    });
+  }
+  execute_phase_micros_.Add(
+      static_cast<double>(clock_->NowMicros() - execute_t0));
+  if (!exec_status.ok()) {
+    // A failed execute phase abandons this attempt, and the re-proposal
+    // runs under fresh transaction ids — so cancel the accepted-but-not-
+    // executed transactions here, exactly like the propose-failure path.
+    // Without this they sit in the servers' tables until expiry. A site
+    // that completed server-side but lost its reply rejects the cancel
+    // (kCompleted is terminal), which is harmless best-effort cleanup.
+    for (std::size_t i = 0; i < site_count; ++i) {
+      if (accepted[i] && !executed[i]) {
+        (void)clients_[i]->Cancel(transaction_ids[i]);
+      }
     }
-    const util::Stopwatch watch;
-    auto result = clients_[i]->Execute(transaction_ids[i]);
-    site_stats_[i].step_micros.Add(
-        static_cast<double>(watch.ElapsedMicros()));
-    ++site_stats_[i].executes;
-    if (!result.ok()) {
-      return util::Status(result.status().code(),
-                          "execute at " + site.name + " failed: " +
-                              result.status().message());
-    }
-    const ntcp::ControlPointResult* cp = result->Find(site.control_point);
-    if (cp == nullptr || cp->measured_force.size() != site.dofs.size()) {
-      return util::Internal("invalid response from " + site.name +
-                            ": missing/mis-sized control point result");
-    }
-    results[i] = std::move(*result);
-    return util::OkStatus();
-  });
-  if (!executed.ok()) return executed;
+    return exec_status;
+  }
 
   // Assemble the restoring force vector on the coordinator thread.
   forces.assign(n, 0.0);
@@ -392,6 +523,9 @@ RunReport SimulationCoordinator::Run() {
     report.transient_faults_recovered += client->stats().recovered;
   }
   report.wall_seconds = watch.ElapsedSeconds();
+  report.threads_spawned = threads_spawned_;
+  report.propose_phase_micros = propose_phase_micros_;
+  report.execute_phase_micros = execute_phase_micros_;
   return report;
 }
 

@@ -50,6 +50,22 @@ struct SubstructureSite {
 
 enum class FaultPolicy { kNaive, kFaultTolerant };
 
+/// How each phase's NTCP calls are fanned out to the sites.
+enum class StepEngine {
+  /// One site after another on the coordinator thread; a phase costs
+  /// `sites` round trips. The §3 baseline.
+  kSequential,
+  /// One worker thread per additional site per phase (the E11b
+  /// optimization): ~1 RTT per phase, but ~2 x sites threads per step.
+  kThreadPerSite,
+  /// Completion-driven: issue every site's request, then multiplex all the
+  /// completions (and retry backoff timers) on the coordinator thread.
+  /// ~1 RTT per phase with zero thread creation (the §5 near-real-time
+  /// path). In kImmediate delivery this degenerates to the sequential
+  /// order, so results are bit-identical to kSequential.
+  kAsync,
+};
+
 /// Which pseudo-dynamic scheme drives the stepping loop.
 enum class PsdIntegrator {
   kCentralDifference,   // explicit; dt < 2/omega_max
@@ -68,11 +84,9 @@ struct CoordinatorConfig {
   ntcp::RetryPolicy retry;        // per-RPC policy (ignored under kNaive)
   int max_step_attempts = 3;      // re-proposals per step (kFaultTolerant)
   std::int64_t proposal_timeout_micros = 60'000'000;
-  /// Issue each phase's calls to all sites concurrently (one thread per
-  /// site): a step then costs ~2 RTT instead of 2 RTT x sites — the §5
-  /// near-real-time optimization. Results are identical; only wall time
-  /// changes.
-  bool parallel_sites = false;
+  /// Fan-out strategy per phase; results are identical across engines
+  /// (only wall time and threading behavior change).
+  StepEngine step_engine = StepEngine::kAsync;
 
   PsdIntegrator integrator = PsdIntegrator::kCentralDifference;
   /// Initial stiffness estimate K0; required (square, n x n) for
@@ -103,6 +117,14 @@ struct RunReport {
   std::vector<SiteStats> site_stats;
   std::uint64_t transient_faults_recovered = 0;
   double wall_seconds = 0.0;
+  /// Worker threads created across the run (0 under kSequential/kAsync —
+  /// the async engine's "zero thread creation per step" claim is assertable
+  /// from this counter).
+  std::uint64_t threads_spawned = 0;
+  /// Wall micros per propose-all / execute-all phase (one sample per
+  /// phase attempt), for the E13 latency breakdown.
+  util::SampleStats propose_phase_micros;
+  util::SampleStats execute_phase_micros;
 };
 
 struct Checkpoint {
@@ -141,6 +163,7 @@ class SimulationCoordinator {
   const structural::TimeHistory& history() const { return history_; }
   std::size_t current_step() const { return step_; }
   std::vector<SiteStats> site_stats() const;
+  std::uint64_t threads_spawned() const { return threads_spawned_; }
 
  private:
   util::Status EnsureInitialized();
@@ -154,6 +177,17 @@ class SimulationCoordinator {
   util::Status CycleOnce(int attempt, const structural::Vector& displacement,
                          structural::Vector& forces,
                          std::vector<ntcp::TransactionResult>& results);
+
+  /// Completion-driven phases (StepEngine::kAsync): issue all sites'
+  /// requests, then multiplex completions on the calling thread.
+  /// `accepted` / `executed` record per-site success (char, not bool:
+  /// the thread engine writes the same slots concurrently).
+  util::Status ProposeAllAsync(const std::vector<std::string>& transaction_ids,
+                               const structural::Vector& displacement,
+                               std::vector<char>& accepted);
+  util::Status ExecuteAllAsync(const std::vector<std::string>& transaction_ids,
+                               std::vector<ntcp::TransactionResult>& results,
+                               std::vector<char>& executed);
 
   CoordinatorConfig config_;
   net::RpcClient* rpc_;
@@ -180,6 +214,9 @@ class SimulationCoordinator {
   structural::Vector a_;
   structural::TimeHistory history_;
   std::uint64_t transient_recovered_ = 0;
+  std::uint64_t threads_spawned_ = 0;
+  util::SampleStats propose_phase_micros_;
+  util::SampleStats execute_phase_micros_;
 };
 
 }  // namespace nees::psd

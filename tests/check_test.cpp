@@ -171,6 +171,45 @@ TEST(CheckTest, TracedMostRunConforms) {
   EXPECT_EQ(lint.stats.transactions, 3 * report->steps_completed);
 }
 
+TEST(CheckTest, TracedAsyncEngineRunWithFaultsConforms) {
+  // The completion-driven engine overlaps all three sites' transactions and
+  // multiplexes retries on the coordinator thread; its trace must still obey
+  // every protocol rule — including across recovered transient faults.
+  util::SimClock sim;
+  obs::Tracer tracer(&sim, &sim);
+  net::Network network;
+  network.SetClock(&sim);
+  most::MostOptions options;
+  options.steps = 40;
+  options.hybrid = false;
+  options.tracer = &tracer;
+  options.step_engine = psd::StepEngine::kAsync;
+  most::MostExperiment experiment(&network, &sim, options);
+  ASSERT_TRUE(experiment.Start().ok());
+
+  net::RpcClient rpc(&network, "lintasync.coordinator");
+  auto config = experiment.MakeCoordinatorConfig(
+      psd::FaultPolicy::kFaultTolerant, "lintasync");
+  config.retry.initial_backoff_micros = 1'000;
+  psd::SimulationCoordinator coordinator(config, &rpc, &sim);
+  most::MostFaultSchedule faults(&network, "lintasync.coordinator",
+                                 most::MostExperiment::kNtcpCu);
+  faults.AddTransientBurst(10, 1);
+  faults.AddTransientBurst(25, 2);
+  coordinator.SetStepObserver(
+      [&](std::size_t step, const structural::Vector&,
+          const std::vector<ntcp::TransactionResult>&) { faults.OnStep(step); });
+  const psd::RunReport report = coordinator.Run();
+  ASSERT_TRUE(report.completed) << report.failure.ToString();
+  EXPECT_GE(report.transient_faults_recovered, 2u);
+  EXPECT_EQ(report.threads_spawned, 0u);
+
+  const LintReport lint = LintSpans(tracer.Snapshot());
+  EXPECT_TRUE(lint.ok()) << lint.ToString();
+  EXPECT_EQ(lint.stats.endpoints, 3u);
+  EXPECT_GE(lint.stats.transactions, 3 * report.steps_completed);
+}
+
 // --- hand-built traces tripping each rule ------------------------------------
 
 TEST(CheckTest, MissingCreationReported) {

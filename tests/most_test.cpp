@@ -136,6 +136,52 @@ TEST_F(MostRunTest, HybridRunAgreesWithDryRun) {
   EXPECT_LT(max_diff, 0.10 * peak);
 }
 
+TEST_F(MostRunTest, AsyncEngineBitIdenticalToSequential) {
+  // E5/E6 determinism gate: in kImmediate delivery the completion-driven
+  // engine resolves each site's call inline in issue order, so the hybrid
+  // displacement record must match the sequential baseline bit for bit —
+  // including across a recovered transient fault.
+  structural::TimeHistory histories[2];
+  std::size_t engine_index = 0;
+  for (const psd::StepEngine engine :
+       {psd::StepEngine::kSequential, psd::StepEngine::kAsync}) {
+    util::SimClock clock{1'000'000};  // identical start time per run
+    net::Network network;
+    network.SetClock(&clock);
+    MostOptions options = SmallOptions(120, true);
+    options.step_engine = engine;
+    MostExperiment experiment(&network, &clock, options);
+    ASSERT_TRUE(experiment.Start().ok());
+    net::RpcClient rpc(&network, "det.coordinator");
+    auto config = experiment.MakeCoordinatorConfig(
+        psd::FaultPolicy::kFaultTolerant, "det");
+    config.retry.initial_backoff_micros = 1'000;
+    psd::SimulationCoordinator coordinator(config, &rpc, &clock);
+    MostFaultSchedule faults(&network, "det.coordinator",
+                             MostExperiment::kNtcpCu);
+    faults.AddTransientBurst(60, 1);
+    coordinator.SetStepObserver(
+        [&](std::size_t step, const structural::Vector&,
+            const std::vector<ntcp::TransactionResult>&) {
+          faults.OnStep(step);
+        });
+    const psd::RunReport report = coordinator.Run();
+    ASSERT_TRUE(report.completed) << report.failure.ToString();
+    EXPECT_GE(report.transient_faults_recovered, 1u);
+    if (engine == psd::StepEngine::kAsync) {
+      EXPECT_EQ(report.threads_spawned, 0u);
+    }
+    histories[engine_index++] = report.history;
+  }
+  ASSERT_EQ(histories[0].displacement.size(),
+            histories[1].displacement.size());
+  for (std::size_t i = 0; i < histories[0].displacement.size(); ++i) {
+    ASSERT_EQ(histories[0].displacement[i][0],
+              histories[1].displacement[i][0])
+        << "diverged at step " << i;
+  }
+}
+
 TEST_F(MostRunTest, FaultNarrativeNaiveDiesFaultTolerantFinishes) {
   // Miniature §3.4: transient losses early (ridden out by RPC retries in
   // both configs... but the naive coordinator has no retries at all, so
@@ -332,8 +378,10 @@ TEST_F(MostRunTest, RunsOverScheduledNetworkWithRealLatency) {
   ASSERT_TRUE(report.ok());
   ASSERT_TRUE(report->completed) << report->failure.ToString();
   EXPECT_EQ(report->steps_completed, 59u);
-  // Each step paid real WAN latency (2 calls x 3 sites x 2 legs x 0.2 ms).
-  EXPECT_GT(report->wall_seconds, 59 * 6 * 0.0004);
+  // The async engine overlaps the three sites, so a step pays ~2 RTTs
+  // (propose + execute), not 6: real WAN latency, but no serialization.
+  EXPECT_GT(report->wall_seconds, 59 * 2 * 0.0004);
+  EXPECT_EQ(report->threads_spawned, 0u);
 }
 
 // --- Mini-MOST (§3.5) ---------------------------------------------------------

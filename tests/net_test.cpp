@@ -378,6 +378,158 @@ TEST_F(RpcTest, CorruptEnvelopeRejected) {
   EXPECT_FALSE(DecodeResponseEnvelope(AsBytes("z"), &status, &body).ok());
 }
 
+TEST_F(RpcTest, ConsumingEnvelopeDecodesMoveTheBody) {
+  const Bytes body = AsBytes("zero-copy body");
+  Bytes request = EncodeRequestEnvelope("token", body);
+  std::string token;
+  Bytes request_body;
+  ASSERT_TRUE(ConsumeRequestEnvelope(&request, &token, &request_body).ok());
+  EXPECT_EQ(token, "token");
+  EXPECT_EQ(request_body, body);
+
+  Bytes response = EncodeResponseEnvelope(util::OkStatus(), body);
+  util::Status status;
+  Bytes response_body;
+  ASSERT_TRUE(
+      ConsumeResponseEnvelope(&response, &status, &response_body).ok());
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(response_body, body);
+}
+
+TEST_F(RpcTest, ConsumingEnvelopeRejectsTrailingGarbage) {
+  // Strict framing: the body's length prefix must account for the entire
+  // remainder of the frame. A truncated or padded frame is data loss, not
+  // a silently shortened body.
+  Bytes padded = EncodeRequestEnvelope("t", AsBytes("abc"));
+  padded.push_back(0x7f);
+  std::string token;
+  Bytes body;
+  EXPECT_EQ(ConsumeRequestEnvelope(&padded, &token, &body).code(),
+            ErrorCode::kDataLoss);
+
+  Bytes truncated = EncodeResponseEnvelope(util::OkStatus(), AsBytes("abc"));
+  truncated.pop_back();
+  util::Status status;
+  EXPECT_EQ(ConsumeResponseEnvelope(&truncated, &status, &body).code(),
+            ErrorCode::kDataLoss);
+}
+
+// --- asynchronous calls -------------------------------------------------------
+
+TEST_F(RpcTest, AsyncCallResolvesInlineInImmediateMode) {
+  RpcClient::AsyncCall call =
+      client_->CallAsync("server", "echo", AsBytes("now"));
+  util::Result<Bytes> result = util::Internal("unset");
+  ASSERT_TRUE(call.TryResolve(&result));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(AsString(*result), "now");
+}
+
+TEST_F(RpcTest, UnansweredAsyncCallResolvesAsTimeoutImmediately) {
+  // kImmediate has no delivery thread: a reply that did not arrive during
+  // Send() never will, so the handle must not park its caller.
+  network_.DropNext("client", "server", 1);
+  RpcClient::AsyncCall call =
+      client_->CallAsync("server", "echo", AsBytes("x"));
+  util::Result<Bytes> result = util::Internal("unset");
+  ASSERT_TRUE(call.TryResolve(&result));
+  EXPECT_EQ(result.status().code(), ErrorCode::kTimeout);
+}
+
+TEST_F(RpcTest, AsyncDeadlineUsesInjectedClock) {
+  // The deadline must be stamped from the network's util::Clock, not the
+  // wall clock — SimClock-driven tests otherwise silently wait real time.
+  util::SimClock clock(500'000);
+  network_.SetClock(&clock);
+  RpcClient::AsyncCall call =
+      client_->CallAsync("server", "echo", AsBytes("x"), 250'000);
+  EXPECT_EQ(call.deadline_micros(), 750'000);
+  network_.SetClock(&util::SystemClock::Instance());
+}
+
+TEST(ScheduledRpcTest, WaitAllCollectsOverlappedCalls) {
+  Network network(DeliveryMode::kScheduled);
+  LinkModel model;
+  model.latency_micros = 3'000;
+  network.SetDefaultLink(model);
+  RpcServer server(&network, "server");
+  ASSERT_TRUE(server.Start().ok());
+  server.RegisterMethod(
+      "echo", [](const CallContext&, const Bytes& body) -> util::Result<Bytes> {
+        return body;
+      });
+  RpcClient client(&network, "client");
+
+  // N overlapped calls should cost ~1 RTT, not N.
+  constexpr int kCalls = 8;
+  util::Stopwatch watch;
+  std::vector<RpcClient::AsyncCall> calls;
+  for (int i = 0; i < kCalls; ++i) {
+    calls.push_back(client.CallAsync("server", "echo",
+                                     AsBytes("c" + std::to_string(i)),
+                                     1'000'000));
+  }
+  std::vector<RpcClient::AsyncCall*> handles;
+  for (RpcClient::AsyncCall& call : calls) handles.push_back(&call);
+  client.WaitAll(handles);
+  const std::int64_t elapsed = watch.ElapsedMicros();
+
+  for (int i = 0; i < kCalls; ++i) {
+    util::Result<Bytes> result = util::Internal("unset");
+    ASSERT_TRUE(calls[i].TryResolve(&result)) << i;
+    ASSERT_TRUE(result.ok()) << i;
+    EXPECT_EQ(AsString(*result), "c" + std::to_string(i));
+  }
+  // 1 RTT = 6 ms; the serialized cost would be ~48 ms.
+  EXPECT_LT(elapsed, kCalls * 6'000 / 2);
+}
+
+TEST(ScheduledRpcTest, WaitAnyUntilReturnsOnFirstCompletion) {
+  Network network(DeliveryMode::kScheduled);
+  LinkModel fast;
+  fast.latency_micros = 1'000;
+  LinkModel slow;
+  slow.latency_micros = 40'000;
+  RpcServer fast_server(&network, "fast");
+  RpcServer slow_server(&network, "slow");
+  ASSERT_TRUE(fast_server.Start().ok());
+  ASSERT_TRUE(slow_server.Start().ok());
+  auto echo = [](const CallContext&,
+                 const Bytes& body) -> util::Result<Bytes> { return body; };
+  fast_server.RegisterMethod("echo", echo);
+  slow_server.RegisterMethod("echo", echo);
+  network.SetLink("client", "fast", fast);
+  network.SetLink("fast", "client", fast);
+  network.SetLink("client", "slow", slow);
+  network.SetLink("slow", "client", slow);
+  RpcClient client(&network, "client");
+
+  RpcClient::AsyncCall a = client.CallAsync("fast", "echo", AsBytes("a"));
+  RpcClient::AsyncCall b = client.CallAsync("slow", "echo", AsBytes("b"));
+  client.WaitAnyUntil({&a, &b},
+                      network.clock()->NowMicros() + 1'000'000);
+  util::Result<Bytes> first = util::Internal("unset");
+  EXPECT_TRUE(a.TryResolve(&first));  // fast call resolved the wait
+  util::Result<Bytes> second = util::Internal("unset");
+  EXPECT_FALSE(b.TryResolve(&second));  // slow call still in flight
+  EXPECT_TRUE(b.Wait().ok());
+}
+
+TEST(ScheduledRpcTest, AsyncCallWaitHonorsDeadline) {
+  Network network(DeliveryMode::kScheduled);
+  RpcServer server(&network, "server");
+  ASSERT_TRUE(server.Start().ok());
+  server.RegisterMethod(
+      "echo", [](const CallContext&, const Bytes& body) -> util::Result<Bytes> {
+        return body;
+      });
+  RpcClient client(&network, "client");
+  network.SetLinkUp("client", "server", false);
+  RpcClient::AsyncCall call =
+      client.CallAsync("server", "echo", AsBytes("x"), 15'000);
+  EXPECT_EQ(call.Wait().status().code(), ErrorCode::kTimeout);
+}
+
 // --- scheduled (threaded) delivery mode ---------------------------------------
 
 TEST(ScheduledNetworkTest, RpcOverRealLatency) {

@@ -448,6 +448,126 @@ TEST_F(NtcpClientTest, TransientOutageMidExperimentRecovered) {
   EXPECT_EQ(server_->stats().executions, 10u);
 }
 
+// --- asynchronous client operations ----------------------------------------------
+
+TEST_F(NtcpClientTest, AsyncLifecycleMatchesSynchronous) {
+  NtcpClient::AsyncOp propose = client_->ProposeAsync(MakeProposal("a1", 0.03));
+  ASSERT_TRUE(NtcpClient::FinishPropose(propose).ok());
+  NtcpClient::AsyncOp execute = client_->ExecuteAsync("a1");
+  auto result = NtcpClient::FinishExecute(execute);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->results[0].measured_force[0], 30.0, 1e-9);
+}
+
+TEST_F(NtcpClientTest, ConcurrentInFlightOpsToSameSite) {
+  // Several operations against one site, all in flight before any is
+  // awaited — the shape a multi-control-point coordinator produces.
+  std::vector<NtcpClient::AsyncOp> ops;
+  for (int i = 0; i < 4; ++i) {
+    ops.push_back(
+        client_->ProposeAsync(MakeProposal("c" + std::to_string(i), 0.01)));
+  }
+  NtcpClient::AwaitAll(ops);
+  for (NtcpClient::AsyncOp& op : ops) {
+    EXPECT_TRUE(NtcpClient::FinishPropose(op).ok());
+  }
+  std::vector<NtcpClient::AsyncOp> executes;
+  for (int i = 0; i < 4; ++i) {
+    executes.push_back(client_->ExecuteAsync("c" + std::to_string(i)));
+  }
+  NtcpClient::AwaitAll(executes);
+  for (NtcpClient::AsyncOp& op : executes) {
+    EXPECT_TRUE(NtcpClient::FinishExecute(op).ok());
+  }
+  EXPECT_EQ(server_->stats().executions, 4u);
+}
+
+TEST_F(NtcpClientTest, AsyncRetryRecoversDroppedRequest) {
+  network_.DropNext("coordinator", "ntcp.site", 1);
+  NtcpClient::AsyncOp op = client_->ProposeAsync(MakeProposal("a2", 0.03));
+  ASSERT_TRUE(NtcpClient::FinishPropose(op).ok());
+  EXPECT_EQ(client_->stats().retries, 1u);
+  EXPECT_EQ(client_->stats().recovered, 1u);
+}
+
+TEST_F(NtcpClientTest, AsyncExecuteDroppedReplyStaysAtMostOnce) {
+  NtcpClient::AsyncOp propose = client_->ProposeAsync(MakeProposal("a3", 0.03));
+  ASSERT_TRUE(NtcpClient::FinishPropose(propose).ok());
+  network_.DropNext("ntcp.site", "coordinator", 1);
+  NtcpClient::AsyncOp execute = client_->ExecuteAsync("a3");
+  ASSERT_TRUE(NtcpClient::FinishExecute(execute).ok());
+  // The retry hit the server's result cache, not the plugin.
+  EXPECT_EQ(server_->stats().executions, 1u);
+  EXPECT_EQ(server_->stats().duplicate_executes, 1u);
+}
+
+TEST_F(NtcpClientTest, AsyncOutageExhaustsRetries) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  NtcpClient client(rpc_.get(), "ntcp.site", policy, &clock_);
+  network_.SetLinkUp("coordinator", "ntcp.site", false);
+  NtcpClient::AsyncOp op = client.ProposeAsync(MakeProposal("a4", 0.03));
+  EXPECT_EQ(NtcpClient::FinishPropose(op).code(), ErrorCode::kTimeout);
+  EXPECT_EQ(client.stats().gave_up, 1u);
+}
+
+TEST_F(NtcpClientTest, BogusCorrelationResponseIsIgnored) {
+  // A response whose correlation id matches nothing in flight (a duplicate
+  // of an already-resolved call, or a stray) must not disturb later calls.
+  net::Message bogus;
+  bogus.from = "ntcp.site";
+  bogus.to = "coordinator";
+  bogus.kind = net::MessageKind::kResponse;
+  bogus.correlation_id = 0xdeadbeef;
+  bogus.payload = net::EncodeResponseEnvelope(util::OkStatus(), {});
+  (void)network_.Send(std::move(bogus));
+  NtcpClient::AsyncOp op = client_->ProposeAsync(MakeProposal("a5", 0.03));
+  EXPECT_TRUE(NtcpClient::FinishPropose(op).ok());
+  EXPECT_EQ(client_->stats().retries, 0u);
+}
+
+TEST(NtcpAsyncScheduledTest, OverlappedOpsAndRetriesOverRealLatency) {
+  // Scheduled delivery: ops to two sites overlap their round trips, and a
+  // dropped request recovers by retry driven from AwaitAll's multiplexed
+  // wait (no dedicated thread per operation).
+  net::Network network(net::DeliveryMode::kScheduled);
+  net::LinkModel wan;
+  wan.latency_micros = 2'000;
+  network.SetDefaultLink(wan);
+  NtcpServer site_a(&network, "site.a", MakeElasticPlugin());
+  NtcpServer site_b(&network, "site.b", MakeElasticPlugin());
+  ASSERT_TRUE(site_a.Start().ok());
+  ASSERT_TRUE(site_b.Start().ok());
+  net::RpcClient rpc(&network, "coordinator");
+  RetryPolicy policy;
+  policy.initial_backoff_micros = 1'000;
+  policy.rpc_timeout_micros = 30'000;  // keep the dropped attempt cheap
+  NtcpClient client_a(&rpc, "site.a", policy);
+  NtcpClient client_b(&rpc, "site.b", policy);
+
+  network.DropNext("coordinator", "site.b", 1);  // forces one async retry
+  for (int step = 0; step < 3; ++step) {
+    const std::string id = "sched-" + std::to_string(step);
+    std::vector<NtcpClient::AsyncOp> proposes;
+    proposes.push_back(client_a.ProposeAsync(MakeProposal(id + "-a", 0.01)));
+    proposes.push_back(client_b.ProposeAsync(MakeProposal(id + "-b", 0.01)));
+    NtcpClient::AwaitAll(proposes);
+    for (NtcpClient::AsyncOp& op : proposes) {
+      ASSERT_TRUE(NtcpClient::FinishPropose(op).ok()) << "step " << step;
+    }
+    std::vector<NtcpClient::AsyncOp> executes;
+    executes.push_back(client_a.ExecuteAsync(id + "-a"));
+    executes.push_back(client_b.ExecuteAsync(id + "-b"));
+    NtcpClient::AwaitAll(executes);
+    for (NtcpClient::AsyncOp& op : executes) {
+      ASSERT_TRUE(NtcpClient::FinishExecute(op).ok()) << "step " << step;
+    }
+  }
+  EXPECT_EQ(client_b.stats().retries, 1u);
+  EXPECT_EQ(site_a.stats().executions, 3u);
+  EXPECT_EQ(site_b.stats().executions, 3u);
+}
+
 // --- OGSI inspection of a live NTCP server -------------------------------------------
 
 TEST(NtcpInspectionTest, RemoteFindServiceDataSeesTransactions) {

@@ -315,6 +315,78 @@ TEST(MPluginTest, RemoteBackendOverRpc) {
   EXPECT_NEAR(result->results[0].measured_force[0], 10.0, 1e-9);
 }
 
+TEST(MPluginTest, LongPollStopIsPromptViaInterruptPolls) {
+  // The backend parks in a multi-second long poll; Stop() must interrupt
+  // it rather than wait out the poll budget.
+  MPlugin plugin;
+  auto models = std::make_shared<std::map<
+      std::string, std::unique_ptr<structural::SubstructureModel>>>();
+  (*models)["cp"] = ElasticModel(1000.0);
+  PollingBackend backend(&plugin, MakeSimulationCompute(models),
+                         /*poll_wait_micros=*/30'000'000);
+  backend.Start();
+  ASSERT_TRUE(plugin.Execute(MakeProposal("lp1", "cp", 0.01)).ok());
+
+  const util::Stopwatch watch;
+  backend.Stop();
+  EXPECT_LT(watch.ElapsedMicros(), 5'000'000);  // nowhere near 30 s
+  EXPECT_EQ(backend.processed(), 1u);
+}
+
+TEST(MPluginTest, WorkNotifierFiresOnEnqueue) {
+  MPlugin::Config config;
+  config.execute_timeout_micros = 50'000;
+  MPlugin plugin(config);
+  std::atomic<int> notified{0};
+  plugin.SetWorkNotifier([&] { ++notified; });
+  // No backend: the execute times out, but the notifier must have fired
+  // at enqueue time (it wakes remote backends push-style).
+  EXPECT_EQ(plugin.Execute(MakeProposal("wn1", "cp", 0.01)).status().code(),
+            ErrorCode::kTimeout);
+  EXPECT_EQ(notified, 1);
+}
+
+TEST(MPluginTest, RemoteBackendIsWakeDriven) {
+  // The event-driven NCSA pattern: the plugin's work notifier sends a
+  // one-way "mplugin.wake" to the backend's control endpoint, and the
+  // backend polls only when woken — its heartbeat is set far beyond the
+  // test horizon, so completing the execute proves the wake path works.
+  net::Network network;
+  auto plugin = std::make_unique<MPlugin>();
+  auto* plugin_raw = plugin.get();
+  net::RpcServer plugin_server(&network, "mplugin.ncsa");
+  ASSERT_TRUE(plugin_server.Start().ok());
+  plugin_raw->BindBackendRpc(plugin_server);
+
+  auto models = std::make_shared<std::map<
+      std::string, std::unique_ptr<structural::SubstructureModel>>>();
+  (*models)["cp"] = ElasticModel(500.0);
+  net::RpcClient backend_rpc(&network, "matlab.ncsa");
+  RemotePollingBackend backend(&backend_rpc, "mplugin.ncsa",
+                               MakeSimulationCompute(models),
+                               /*heartbeat_micros=*/60'000'000);
+  net::RpcServer backend_ctl(&network, "matlab.ncsa.ctl");
+  ASSERT_TRUE(backend_ctl.Start().ok());
+  backend.BindWakeRpc(backend_ctl);
+
+  net::RpcClient wake_rpc(&network, "mplugin.ncsa.notifier");
+  plugin_raw->SetWorkNotifier(
+      [&] { (void)wake_rpc.OneWay("matlab.ncsa.ctl", "mplugin.wake", {}); });
+  backend.Start();
+
+  util::Result<ntcp::TransactionResult> result =
+      util::Internal("not yet run");
+  std::thread executor([&] {
+    result = plugin_raw->Execute(MakeProposal("wk1", "cp", 0.02));
+  });
+  executor.join();
+  backend.Stop();
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->results[0].measured_force[0], 10.0, 1e-9);
+  EXPECT_GE(backend.wakes(), 1u);
+  EXPECT_EQ(backend.processed(), 1u);
+}
+
 // --- LabViewPlugin ----------------------------------------------------------------
 
 TEST(LabViewPluginTest, DrivesMiniMostRig) {

@@ -3,6 +3,7 @@
 // discipline, naive vs fault-tolerant behaviour under injected faults, and
 // checkpoint/restart.
 #include <cmath>
+#include <functional>
 
 #include <gtest/gtest.h>
 
@@ -262,6 +263,76 @@ TEST_F(CoordinatorTest, RejectionCancelsAcceptedSiblingsBeforeAnyMotion) {
   }
 }
 
+// Forwarding plugin that runs a hook before each execution — used to inject
+// faults at an exact point inside a step's execute phase.
+class ExecuteHookPlugin : public ntcp::ControlPlugin {
+ public:
+  ExecuteHookPlugin(std::unique_ptr<ntcp::ControlPlugin> inner,
+                    std::function<void(const ntcp::Proposal&)> hook)
+      : inner_(std::move(inner)), hook_(std::move(hook)) {}
+
+  util::Status Validate(const ntcp::Proposal& proposal) override {
+    return inner_->Validate(proposal);
+  }
+  util::Result<ntcp::TransactionResult> Execute(
+      const ntcp::Proposal& proposal) override {
+    hook_(proposal);
+    return inner_->Execute(proposal);
+  }
+  std::string_view kind() const override { return inner_->kind(); }
+
+ private:
+  std::unique_ptr<ntcp::ControlPlugin> inner_;
+  std::function<void(const ntcp::Proposal&)> hook_;
+};
+
+TEST_F(CoordinatorTest, FailedExecutePhaseCancelsNotYetExecutedSites) {
+  // Step 1's execute request to site C is lost (injected from site A's
+  // execute, which the engine resolves first). The attempt fails after A
+  // and B executed; the re-proposal runs under fresh transaction ids — so
+  // C's accepted-but-never-executed transaction must be cancelled, not
+  // left in the server's table until expiry.
+  auto config = MakeConfig(4);
+  config.retry.max_attempts = 1;  // the lost execute fails the attempt
+
+  servers_[0]->Stop();
+  auto inner = std::make_unique<plugins::SimulationPlugin>();
+  structural::Matrix k(1, 1);
+  k(0, 0) = kLeft;
+  inner->AddControlPoint(
+      "cp", std::make_unique<structural::ElasticSubstructure>(k));
+  bool injected = false;
+  auto hooked = std::make_unique<ntcp::NtcpServer>(
+      &network_, "ntcp.a2",
+      std::make_unique<ExecuteHookPlugin>(
+          std::move(inner),
+          [&](const ntcp::Proposal& proposal) {
+            if (proposal.step_index == 1 && !injected) {
+              injected = true;
+              network_.DropNext("coordinator", "ntcp.c", 1);
+            }
+          }),
+      &clock_);
+  ASSERT_TRUE(hooked->Start().ok());
+  config.sites[0].ntcp_endpoint = "ntcp.a2";
+
+  SimulationCoordinator coordinator(config, rpc_.get(), &clock_);
+  const RunReport report = coordinator.Run();
+  ASSERT_TRUE(report.completed) << report.failure.ToString();
+  EXPECT_TRUE(injected);
+
+  // Site C: the abandoned attempt's transaction is cancelled, and nothing
+  // is left half-open.
+  bool saw_cancelled = false;
+  for (const std::string& id : servers_[2]->ListTransactions()) {
+    const auto record = servers_[2]->GetTransaction(id);
+    ASSERT_TRUE(record.ok());
+    EXPECT_NE(record->state, ntcp::TransactionState::kAccepted) << id;
+    saw_cancelled |= record->state == ntcp::TransactionState::kCancelled;
+  }
+  EXPECT_TRUE(saw_cancelled);
+}
+
 TEST_F(CoordinatorTest, CheckpointRestartMatchesUninterruptedRun) {
   // Reference: uninterrupted run.
   SimulationCoordinator full(MakeConfig(80), rpc_.get(), &clock_);
@@ -423,17 +494,21 @@ TEST_F(CoordinatorTest, OperatorSplittingCheckpointRestart) {
 }
 
 TEST_F(CoordinatorTest, ParallelSitesProducesIdenticalResponse) {
-  SimulationCoordinator sequential(MakeConfig(120), rpc_.get(), &clock_);
+  auto sequential_config = MakeConfig(120);
+  sequential_config.step_engine = StepEngine::kSequential;
+  SimulationCoordinator sequential(sequential_config, rpc_.get(), &clock_);
   const RunReport reference = sequential.Run();
   ASSERT_TRUE(reference.completed);
+  EXPECT_EQ(reference.threads_spawned, 0u);
 
   auto config = MakeConfig(120);
   config.run_id = "parallel";
-  config.parallel_sites = true;
+  config.step_engine = StepEngine::kThreadPerSite;
   net::RpcClient parallel_rpc(&network_, "parallel.coordinator");
   SimulationCoordinator parallel(config, &parallel_rpc, &clock_);
   const RunReport report = parallel.Run();
   ASSERT_TRUE(report.completed) << report.failure.ToString();
+  EXPECT_GT(report.threads_spawned, 0u);
 
   ASSERT_EQ(report.history.displacement.size(),
             reference.history.displacement.size());
@@ -441,6 +516,35 @@ TEST_F(CoordinatorTest, ParallelSitesProducesIdenticalResponse) {
     EXPECT_DOUBLE_EQ(report.history.displacement[i][0],
                      reference.history.displacement[i][0]);
   }
+}
+
+TEST_F(CoordinatorTest, AsyncEngineProducesIdenticalResponse) {
+  // In kImmediate delivery the completion-driven engine resolves each call
+  // inline in issue order, so histories are bit-identical to sequential.
+  auto sequential_config = MakeConfig(120);
+  sequential_config.step_engine = StepEngine::kSequential;
+  SimulationCoordinator sequential(sequential_config, rpc_.get(), &clock_);
+  const RunReport reference = sequential.Run();
+  ASSERT_TRUE(reference.completed);
+
+  auto config = MakeConfig(120);
+  config.run_id = "async";
+  config.step_engine = StepEngine::kAsync;
+  net::RpcClient async_rpc(&network_, "async.coordinator");
+  SimulationCoordinator async_coord(config, &async_rpc, &clock_);
+  const RunReport report = async_coord.Run();
+  ASSERT_TRUE(report.completed) << report.failure.ToString();
+
+  // Zero per-step thread creation is the engine's core claim.
+  EXPECT_EQ(report.threads_spawned, 0u);
+  ASSERT_EQ(report.history.displacement.size(),
+            reference.history.displacement.size());
+  for (std::size_t i = 0; i < reference.history.displacement.size(); ++i) {
+    EXPECT_EQ(report.history.displacement[i][0],
+              reference.history.displacement[i][0]);
+  }
+  EXPECT_GT(report.propose_phase_micros.count(), 0u);
+  EXPECT_GT(report.execute_phase_micros.count(), 0u);
 }
 
 TEST_F(CoordinatorTest, ParallelSitesOverlapWanRoundTrips) {
@@ -463,10 +567,10 @@ TEST_F(CoordinatorTest, ParallelSitesOverlapWanRoundTrips) {
     servers.push_back(std::move(server));
   }
 
-  auto run = [&](bool parallel, const std::string& name) {
+  auto run = [&](StepEngine engine, const std::string& name) {
     CoordinatorConfig config = MakeConfig(15);
     config.run_id = name;
-    config.parallel_sites = parallel;
+    config.step_engine = engine;
     config.sites = {{"P1", "ntcp.p1", "cp", {0}},
                     {"P2", "ntcp.p2", "cp", {0}},
                     {"P3", "ntcp.p3", "cp", {0}}};
@@ -474,13 +578,21 @@ TEST_F(CoordinatorTest, ParallelSitesOverlapWanRoundTrips) {
     SimulationCoordinator coordinator(config, &rpc);
     const RunReport report = coordinator.Run();
     EXPECT_TRUE(report.completed) << report.failure.ToString();
+    if (engine != StepEngine::kThreadPerSite) {
+      EXPECT_EQ(report.threads_spawned, 0u);
+    }
     return report.wall_seconds;
   };
-  const double sequential_s = run(false, "seq");
-  const double parallel_s = run(true, "par");
+  const double sequential_s = run(StepEngine::kSequential, "seq");
+  const double parallel_s = run(StepEngine::kThreadPerSite, "par");
+  const double async_s = run(StepEngine::kAsync, "asy");
   // Ideal ratio is 3x; accept anything clearly better than 1.5x.
   EXPECT_LT(parallel_s, sequential_s / 1.5)
       << "sequential " << sequential_s << "s vs parallel " << parallel_s;
+  // The completion-driven engine overlaps the same round trips without
+  // spawning threads.
+  EXPECT_LT(async_s, sequential_s / 1.5)
+      << "sequential " << sequential_s << "s vs async " << async_s;
 }
 
 TEST_F(CoordinatorTest, MultiDofSystemDistributesByDofIndex) {
