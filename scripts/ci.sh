@@ -4,7 +4,10 @@
 # the concurrency-heavy suites (async step engine, RPC signaling, MPlugin
 # long poll/wake) — with warnings as errors throughout, runs the full test
 # suite in the first two, then gates on protocol conformance: a fresh
-# 150-step hybrid MOST trace must pass nees_lint.
+# 150-step hybrid MOST trace must pass nees_lint, and a fixed 200-seed
+# deterministic fuzz block (virtual-time MOST runs, all oracles, ASan +
+# live invariants) must come back clean — on failure nees_fuzz prints the
+# failing seed, the shrunk fault schedule, and the replay command.
 #
 #   scripts/ci.sh [build-dir-prefix]     # default: <repo>/build-ci
 set -eu
@@ -48,4 +51,9 @@ trace="$prefix-asan/most_trace.jsonl"
 "$prefix-asan/tools/nees_lint" "$trace"
 
 echo
-echo "CI matrix green: Release + ASan/UBSan + TSan, tests + conformance lint."
+echo "######## nees_fuzz smoke block (200 seeds, ASan + invariants) ########"
+"$prefix-asan/tools/nees_fuzz" --smoke --seeds 200
+
+echo
+echo "CI matrix green: Release + ASan/UBSan + TSan, tests + conformance"
+echo "lint + 200-seed fuzz smoke."

@@ -402,4 +402,43 @@ util::Result<LintReport> LintTraceFile(const std::string& path) {
   return LintTraceText(buffer.str());
 }
 
+std::vector<std::string> CheckExactlyOncePerStep(
+    const std::vector<obs::SpanRecord>& spans,
+    const std::vector<std::string>& endpoints, std::size_t steps,
+    std::uint64_t max_reattempts) {
+  const std::string_view executing =
+      ntcp::TransactionStateName(TransactionState::kExecuting);
+  std::map<std::pair<std::string, std::int64_t>, std::uint64_t> counts;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.name != kTxnEvent) continue;
+    const std::string* to = FindTag(span, "to");
+    const std::string* endpoint = FindTag(span, "endpoint");
+    std::int64_t step = -1;
+    if (to == nullptr || endpoint == nullptr ||
+        !FindTagInt(span, "step", &step) || *to != executing) {
+      continue;
+    }
+    ++counts[{*endpoint, step}];
+  }
+  std::vector<std::string> violations;
+  for (const std::string& endpoint : endpoints) {
+    for (std::size_t step = 0; step < steps; ++step) {
+      const auto it = counts.find({endpoint, static_cast<std::int64_t>(step)});
+      const std::uint64_t count = it == counts.end() ? 0 : it->second;
+      if (count == 0) {
+        violations.push_back(util::Format(
+            "step %zu never entered kExecuting at %s despite run completion",
+            step, endpoint.c_str()));
+      } else if (count > 1 + max_reattempts) {
+        violations.push_back(util::Format(
+            "step %zu entered kExecuting %llu times at %s (max allowed "
+            "1 + %llu re-proposals)",
+            step, static_cast<unsigned long long>(count), endpoint.c_str(),
+            static_cast<unsigned long long>(max_reattempts)));
+      }
+    }
+  }
+  return violations;
+}
+
 }  // namespace nees::check

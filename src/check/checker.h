@@ -86,4 +86,18 @@ util::Result<LintReport> LintTraceText(const std::string& text);
 /// lints it.
 util::Result<LintReport> LintTraceFile(const std::string& path);
 
+/// Fuzz oracle: run-completion => exactly-once-per-site-per-step. Counts
+/// entries into kExecuting per (endpoint, PSD step) from the "ntcp.txn"
+/// events of a span stream. When the run finished with zero step
+/// re-proposals (`max_reattempts == 0`) every (endpoint, step) pair must
+/// have executed exactly once; with re-proposals a step may legitimately
+/// re-execute under a fresh transaction after a partial phase failure
+/// (at-most-once is per-*transaction*, which LintSpans enforces), so the
+/// count is bounded by 1 + max_reattempts. Returns one message per
+/// violation; empty means the oracle holds.
+std::vector<std::string> CheckExactlyOncePerStep(
+    const std::vector<obs::SpanRecord>& spans,
+    const std::vector<std::string>& endpoints, std::size_t steps,
+    std::uint64_t max_reattempts);
+
 }  // namespace nees::check

@@ -1,0 +1,413 @@
+#include "most/fuzz.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "check/checker.h"
+#include "net/network.h"
+#include "net/rpc.h"
+#include "ntcp/server.h"
+#include "obs/trace.h"
+#include "plugins/mplugin.h"
+#include "structural/groundmotion.h"
+#include "structural/substructure.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace nees::most {
+namespace {
+
+std::string SiteNtcpEndpoint(std::size_t i) {
+  return util::Format("ntcp.s%zu", i);
+}
+std::string BackendEndpoint(std::size_t i) {
+  return util::Format("backend.s%zu", i);
+}
+std::string WakeEndpoint(std::size_t i) { return util::Format("wake.s%zu", i); }
+std::string NotifierEndpoint(std::size_t i) {
+  return util::Format("notify.s%zu", i);
+}
+
+constexpr char kCoordinatorEndpoint[] = "fuzz.coordinator";
+constexpr char kControlPoint[] = "cp";
+
+bool FaultEnabled(std::uint64_t mask, std::size_t index) {
+  return index >= 64 || (mask & (1ULL << index)) != 0;
+}
+
+bool HistoriesIdentical(const structural::TimeHistory& a,
+                        const structural::TimeHistory& b) {
+  return a.dt_seconds == b.dt_seconds && a.displacement == b.displacement &&
+         a.velocity == b.velocity && a.acceleration == b.acceleration;
+}
+
+/// One site's full server-side stack. Declaration order doubles as a safe
+/// destruction order (backend stops before the RPC plumbing it uses).
+struct SiteHarness {
+  std::unique_ptr<ntcp::NtcpServer> server;  // owns the MPlugin
+  plugins::MPlugin* plugin = nullptr;
+  std::unique_ptr<net::RpcClient> backend_rpc;  // backend -> plugin calls
+  std::unique_ptr<net::RpcClient> notify_tx;    // plugin -> backend wakes
+  std::unique_ptr<net::RpcServer> wake_server;  // hosts "mplugin.wake"
+  std::unique_ptr<plugins::VirtualPollingBackend> backend;
+};
+
+}  // namespace
+
+std::string FuzzFault::ToString() const {
+  switch (kind) {
+    case Kind::kOutage:
+      return util::Format(
+          "outage  site=%zu dir=%s at=%lldus dur=%lldus", site,
+          to_site ? "coord->site" : "site->coord",
+          static_cast<long long>(at_micros),
+          static_cast<long long>(duration_micros));
+    case Kind::kDropNext:
+      return util::Format("drop    site=%zu dir=%s at=%lldus count=%d", site,
+                          to_site ? "coord->site" : "site->coord",
+                          static_cast<long long>(at_micros), count);
+    case Kind::kWakeDrop:
+      return util::Format("wakedrop site=%zu at=%lldus count=%d", site,
+                          static_cast<long long>(at_micros), count);
+  }
+  return "?";
+}
+
+std::string_view EngineName(psd::StepEngine engine) {
+  switch (engine) {
+    case psd::StepEngine::kSequential:
+      return "sequential";
+    case psd::StepEngine::kThreadPerSite:
+      return "thread-per-site";
+    case psd::StepEngine::kAsync:
+      return "async";
+  }
+  return "?";
+}
+
+std::string FuzzScenario::Describe() const {
+  std::string out = util::Format(
+      "seed=%llu sites=%zu steps=%zu engine=%s heartbeat=%lldus "
+      "expiry=%lldus faults=%zu\n",
+      static_cast<unsigned long long>(seed), sites, steps,
+      std::string(EngineName(engine)).c_str(),
+      static_cast<long long>(heartbeat_micros),
+      static_cast<long long>(expiry_period_micros), faults.size());
+  for (std::size_t i = 0; i < site_links.size(); ++i) {
+    out += util::Format(
+        "  link s%zu: latency=%lldus jitter=%lldus drop=%.4f\n", i,
+        static_cast<long long>(site_links[i].latency_micros),
+        static_cast<long long>(site_links[i].jitter_micros),
+        site_links[i].drop_probability);
+  }
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    out += util::Format("  fault[bit %zu] %s\n", i, faults[i].ToString().c_str());
+  }
+  return out;
+}
+
+FuzzScenario GenerateScenario(std::uint64_t seed) {
+  // Each dimension draws from its own forked lane so widening one (say,
+  // adding a fault kind) never shifts another dimension's values for the
+  // same seed.
+  util::Rng root(seed);
+  util::Rng topo = root.Fork(1);
+  util::Rng links = root.Fork(2);
+  util::Rng engines = root.Fork(3);
+  util::Rng timing = root.Fork(4);
+  util::Rng faults = root.Fork(5);
+
+  FuzzScenario s;
+  s.seed = seed;
+  s.sites = static_cast<std::size_t>(topo.UniformInt(3, 32));
+  s.steps = static_cast<std::size_t>(topo.UniformInt(8, 24));
+  // kThreadPerSite is excluded: threads break virtual-time determinism.
+  s.engine = engines.Bernoulli(0.5) ? psd::StepEngine::kAsync
+                                    : psd::StepEngine::kSequential;
+  s.heartbeat_micros = 1000LL * timing.UniformInt(150, 400);
+  s.expiry_period_micros = 1000LL * timing.UniformInt(200, 1000);
+
+  for (std::size_t i = 0; i < s.sites; ++i) {
+    net::LinkModel m;
+    m.latency_micros = 1000LL * links.UniformInt(1, 80);
+    m.jitter_micros = 1000LL * links.UniformInt(0, 10);
+    // Lossy links on roughly a third of sites, bounded so six attempts
+    // virtually never all drop (the completion oracle must stay sound).
+    m.drop_probability =
+        links.Bernoulli(0.35) ? links.UniformDouble(0.0, 0.05) : 0.0;
+    s.site_links.push_back(m);
+  }
+
+  // Fault schedule: scattered over a horizon that comfortably covers the
+  // run (a faulty step takes well under 400ms of virtual time on average).
+  const std::int64_t horizon = static_cast<std::int64_t>(s.steps) * 400'000;
+  const int fault_count = faults.UniformInt(0, 8);
+  for (int j = 0; j < fault_count; ++j) {
+    FuzzFault f;
+    switch (faults.UniformInt(0, 2)) {
+      case 0:
+        f.kind = FuzzFault::Kind::kOutage;
+        break;
+      case 1:
+        f.kind = FuzzFault::Kind::kDropNext;
+        break;
+      default:
+        f.kind = FuzzFault::Kind::kWakeDrop;
+        break;
+    }
+    f.site = static_cast<std::size_t>(
+        faults.UniformInt(0, static_cast<int>(s.sites) - 1));
+    f.to_site = faults.Bernoulli(0.5);
+    f.at_micros = 1000LL * faults.UniformInt(
+                               100, static_cast<int>(horizon / 1000));
+    // Outages stay far under the ~4.5s retry span (6 attempts x 500ms
+    // timeout plus backoffs), so every schedule is survivable and the
+    // completion oracle is sound by construction.
+    f.duration_micros = 1000LL * faults.UniformInt(100, 1500);
+    f.count = faults.UniformInt(1, 3);
+    s.faults.push_back(f);
+  }
+  return s;
+}
+
+FuzzOutcome RunFuzzCase(const FuzzScenario& scenario,
+                        std::uint64_t fault_mask) {
+  FuzzOutcome out;
+
+  net::Network network(net::DeliveryMode::kVirtual, scenario.seed);
+  // modeled == nullptr: in kVirtual the wall clock IS the modeled timeline;
+  // letting the tracer advance a second SimClock would double-count time.
+  obs::Tracer tracer(network.clock(), nullptr);
+  network.set_tracer(&tracer);
+
+  net::LinkModel local;  // backend-local plumbing: fast, clean
+  local.latency_micros = 200;
+  network.SetDefaultLink(local);
+
+  // --- per-site stacks -------------------------------------------------------
+  std::vector<std::unique_ptr<SiteHarness>> sites;
+  std::vector<std::string> ntcp_endpoints;
+  // Split a fixed total stiffness across sites so the structure (and the
+  // central-difference stability bound) doesn't change with site count.
+  const double site_stiffness = 4.0e6 / static_cast<double>(scenario.sites);
+
+  for (std::size_t i = 0; i < scenario.sites; ++i) {
+    auto harness = std::make_unique<SiteHarness>();
+    const std::string ntcp_ep = SiteNtcpEndpoint(i);
+    ntcp_endpoints.push_back(ntcp_ep);
+
+    network.SetLink(kCoordinatorEndpoint, ntcp_ep, scenario.site_links[i]);
+    network.SetLink(ntcp_ep, kCoordinatorEndpoint, scenario.site_links[i]);
+
+    plugins::MPluginConfig mconfig;
+    mconfig.execute_timeout_micros = 30'000'000;  // virtual; generous
+    auto plugin = std::make_unique<plugins::MPlugin>(mconfig);
+    harness->plugin = plugin.get();
+    harness->server = std::make_unique<ntcp::NtcpServer>(
+        &network, ntcp_ep, std::move(plugin), network.clock());
+    harness->server->set_tracer(&tracer);
+    harness->server->Start();
+    harness->plugin->AttachVirtualNetwork(&network);
+    harness->plugin->BindBackendRpc(harness->server->rpc());
+    harness->server->ArmExpiryTimer(&network, scenario.expiry_period_micros);
+
+    auto models = std::make_shared<std::map<
+        std::string, std::unique_ptr<structural::SubstructureModel>>>();
+    structural::Matrix k(1, 1);
+    k(0, 0) = site_stiffness;
+    (*models)[kControlPoint] =
+        std::make_unique<structural::ElasticSubstructure>(k);
+
+    harness->backend_rpc =
+        std::make_unique<net::RpcClient>(&network, BackendEndpoint(i));
+    harness->wake_server =
+        std::make_unique<net::RpcServer>(&network, WakeEndpoint(i));
+    harness->wake_server->Start();
+    harness->backend = std::make_unique<plugins::VirtualPollingBackend>(
+        &network, harness->backend_rpc.get(), ntcp_ep,
+        plugins::MakeSimulationCompute(models), scenario.heartbeat_micros);
+    harness->backend->BindWakeRpc(*harness->wake_server);
+    harness->backend->Start();
+
+    // The wake notification crosses the network on its own directed link
+    // (notify.sN -> wake.sN) so kWakeDrop faults can sever exactly that
+    // path without touching poll/notify traffic.
+    harness->notify_tx =
+        std::make_unique<net::RpcClient>(&network, NotifierEndpoint(i));
+    net::RpcClient* tx = harness->notify_tx.get();
+    const std::string wake_ep = WakeEndpoint(i);
+    harness->plugin->SetWorkNotifier(
+        [tx, wake_ep] { (void)tx->OneWay(wake_ep, "mplugin.wake", {}); });
+
+    sites.push_back(std::move(harness));
+  }
+
+  // --- fault schedule --------------------------------------------------------
+  for (std::size_t i = 0; i < scenario.faults.size(); ++i) {
+    if (!FaultEnabled(fault_mask, i)) continue;
+    const FuzzFault& f = scenario.faults[i];
+    const std::string ntcp_ep = SiteNtcpEndpoint(f.site);
+    switch (f.kind) {
+      case FuzzFault::Kind::kOutage: {
+        net::OutageWindow window{f.at_micros, f.at_micros + f.duration_micros};
+        if (f.to_site) {
+          network.AddOutage(kCoordinatorEndpoint, ntcp_ep, window);
+        } else {
+          network.AddOutage(ntcp_ep, kCoordinatorEndpoint, window);
+        }
+        break;
+      }
+      case FuzzFault::Kind::kDropNext: {
+        const std::string from = f.to_site ? kCoordinatorEndpoint : ntcp_ep;
+        const std::string to = f.to_site ? ntcp_ep : kCoordinatorEndpoint;
+        network.ScheduleAt(f.at_micros, [&network, from, to, count = f.count] {
+          network.DropNext(from, to, count);
+        });
+        break;
+      }
+      case FuzzFault::Kind::kWakeDrop: {
+        const std::string from = NotifierEndpoint(f.site);
+        const std::string to = WakeEndpoint(f.site);
+        network.ScheduleAt(f.at_micros, [&network, from, to, count = f.count] {
+          network.DropNext(from, to, count);
+        });
+        break;
+      }
+    }
+  }
+
+  // --- coordinator -----------------------------------------------------------
+  psd::CoordinatorConfig config;
+  config.run_id = util::Format("fuzz-%llu",
+                               static_cast<unsigned long long>(scenario.seed));
+  config.mass = structural::Matrix::Identity(1) * 5.0e4;
+  config.damping = structural::Matrix::Identity(1) * 1.0e4;
+  config.iota = {1.0};
+  config.motion = structural::SinePulse(0.02, scenario.steps, 1.0, 1.0);
+  for (std::size_t i = 0; i < scenario.sites; ++i) {
+    config.sites.push_back({util::Format("S%zu", i), SiteNtcpEndpoint(i),
+                            kControlPoint, {0}});
+  }
+  config.fault_policy = psd::FaultPolicy::kFaultTolerant;
+  config.step_engine = scenario.engine;
+  config.max_step_attempts = 4;
+  config.proposal_timeout_micros = 20'000'000;
+  config.retry.max_attempts = 6;
+  config.retry.rpc_timeout_micros = 500'000;
+  config.retry.initial_backoff_micros = 50'000;
+  config.retry.max_backoff_micros = 1'000'000;
+  config.tracer = &tracer;
+
+  net::RpcClient coordinator_rpc(&network, kCoordinatorEndpoint);
+  psd::SimulationCoordinator coordinator(config, &coordinator_rpc,
+                                         network.clock());
+  psd::RunReport report = coordinator.Run();
+
+  // --- teardown --------------------------------------------------------------
+  // A dropped propose *response* leaves the server holding an accepted
+  // transaction the coordinator never learned about (so it cannot cancel
+  // it — found by seed 187's first sweep). The protocol's backstop is
+  // server-side proposal expiry; advance past the proposal window so every
+  // armed expiry timer fires and terminalizes such orphans BEFORE the trace
+  // snapshot. nees-lint then enforces the backstop: any transaction still
+  // non-terminal at end of trace fails the run, and each kExpired
+  // transition must be legal on the trace clock.
+  network.AdvanceTo(network.clock()->NowMicros() +
+                    config.proposal_timeout_micros +
+                    2 * scenario.expiry_period_micros);
+  // Now disarm the timer chains and drain to empty.
+  for (auto& site : sites) {
+    site->backend->Stop();
+    site->server->Stop();
+  }
+  network.RunUntilQuiescent();
+
+  // --- collect ---------------------------------------------------------------
+  out.run_completed = report.completed;
+  out.steps_completed = report.steps_completed;
+  for (const auto& stats : report.site_stats) {
+    out.step_reattempts = std::max(out.step_reattempts, stats.step_reattempts);
+  }
+  for (const auto& site : sites) {
+    out.wakes += site->backend->wakes();
+    out.heartbeats += site->backend->heartbeats();
+  }
+  out.trace_jsonl = tracer.ExportJsonLines();
+  out.metrics_table = tracer.metrics().ReportTable();
+  out.history = report.history;
+  out.net_totals = network.TotalMetrics();
+  out.events_processed = network.virtual_stats().events();
+
+  // --- oracles ---------------------------------------------------------------
+  if (!report.completed) {
+    out.failures.push_back(util::Format(
+        "completion: run stopped at step %zu/%zu: %s", report.steps_completed,
+        report.total_steps, report.failure.ToString().c_str()));
+  }
+
+  const std::vector<obs::SpanRecord> spans = tracer.Snapshot();
+  const check::LintReport lint = check::LintSpans(spans);
+  for (const auto& violation : lint.violations) {
+    out.failures.push_back("lint: " + violation.ToString());
+  }
+
+  if (report.completed) {
+    for (const auto& message : check::CheckExactlyOncePerStep(
+             spans, ntcp_endpoints, report.steps_completed,
+             out.step_reattempts)) {
+      out.failures.push_back("exactly-once: " + message);
+    }
+  }
+
+  return out;
+}
+
+FuzzOutcome RunFuzzCaseChecked(const FuzzScenario& scenario,
+                               std::uint64_t fault_mask) {
+  FuzzOutcome first = RunFuzzCase(scenario, fault_mask);
+  const FuzzOutcome second = RunFuzzCase(scenario, fault_mask);
+  if (first.trace_jsonl != second.trace_jsonl) {
+    first.failures.push_back(
+        "determinism: span traces differ between same-seed runs");
+  }
+  if (first.metrics_table != second.metrics_table) {
+    first.failures.push_back(
+        "determinism: metrics snapshots differ between same-seed runs");
+  }
+  if (!HistoriesIdentical(first.history, second.history)) {
+    first.failures.push_back(
+        "determinism: displacement histories differ between same-seed runs");
+  }
+  return first;
+}
+
+std::uint64_t ShrinkFaultMask(const FuzzScenario& scenario,
+                              std::uint64_t failing_mask) {
+  const std::size_t bits = std::min<std::size_t>(scenario.faults.size(), 64);
+  std::uint64_t mask = failing_mask;
+  if (bits < 64) mask &= (1ULL << bits) - 1;
+
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    for (std::size_t bit = 0; bit < bits; ++bit) {
+      const std::uint64_t candidate = mask & ~(1ULL << bit);
+      if (candidate == mask) continue;
+      if (!RunFuzzCaseChecked(scenario, candidate).ok()) {
+        mask = candidate;
+        shrunk = true;
+      }
+    }
+  }
+  return mask;
+}
+
+std::string ReplayCommand(std::uint64_t seed, std::uint64_t fault_mask) {
+  return util::Format("nees_fuzz --seed %llu --fault-mask 0x%llx",
+                      static_cast<unsigned long long>(seed),
+                      static_cast<unsigned long long>(fault_mask));
+}
+
+}  // namespace nees::most

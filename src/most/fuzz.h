@@ -1,0 +1,122 @@
+// Deterministic simulation fuzzer for the MOST stack (nees_fuzz).
+//
+// DeliveryMode::kVirtual turns the whole distributed experiment — RPC
+// delivery, retry backoff, long-poll heartbeats, proposal-expiry timers —
+// into one single-threaded, totally ordered event schedule per seed. This
+// harness exploits that: GenerateScenario(seed) derives a random topology
+// (3–32 sites), per-link latency/jitter/drop models, a step engine, and a
+// fault schedule (outage windows, forced drops, lost mplugin.wake
+// notifications) from independent Rng lanes; RunFuzzCase wires up a full
+// MOST-shaped experiment (coordinator + per-site NTCP server + MPlugin +
+// event-driven polling backend) and runs it to completion on virtual time.
+//
+// Oracle stack, checked per case:
+//   1. completion    — the fault schedule is survivable by construction
+//                      (outages shorter than the retry span, bounded drop
+//                      probability), so the run must complete;
+//   2. nees-lint     — check::LintSpans replays the trace against the
+//                      Fig. 1 protocol rules (at-most-once, legal paths,
+//                      step monotonicity, expiry, span nesting);
+//   3. exactly-once  — run completion implies every (site, step) executed
+//                      exactly once modulo legitimate re-proposals
+//                      (check::CheckExactlyOncePerStep);
+//   4. determinism   — RunFuzzCaseChecked runs the same seed twice and
+//                      requires byte-identical span traces, metrics tables,
+//                      and displacement histories.
+//
+// A failing (seed, fault_mask) pair is shrunk greedily (ShrinkFaultMask)
+// to a minimal fault subset that still fails, and ReplayCommand() prints
+// the exact `nees_fuzz --seed N --fault-mask 0x..` line that reproduces it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/link.h"
+#include "psd/coordinator.h"
+
+namespace nees::most {
+
+/// One schedulable fault. Times are virtual micros from the start of the
+/// run; `site` indexes the scenario's site list.
+struct FuzzFault {
+  enum class Kind {
+    kOutage,    // coordinator<->site link dead for [at, at+duration)
+    kDropNext,  // drop the next `count` messages on one link direction
+    kWakeDrop,  // drop the next `count` mplugin.wake notifications
+  };
+
+  Kind kind = Kind::kOutage;
+  std::size_t site = 0;
+  bool to_site = true;  // kOutage/kDropNext: coordinator->site direction?
+  std::int64_t at_micros = 0;
+  std::int64_t duration_micros = 0;  // kOutage only
+  int count = 1;                     // kDropNext / kWakeDrop
+
+  std::string ToString() const;
+};
+
+/// A complete generated test case. Everything downstream (topology, link
+/// models, engine, cadences, faults) is a pure function of `seed`.
+struct FuzzScenario {
+  std::uint64_t seed = 0;
+  std::size_t sites = 3;
+  std::size_t steps = 12;
+  /// kThreadPerSite is deliberately excluded: worker threads would race the
+  /// single-threaded virtual event loop and break seed determinism.
+  psd::StepEngine engine = psd::StepEngine::kAsync;
+  std::vector<net::LinkModel> site_links;  // coordinator<->site, per site
+  std::int64_t heartbeat_micros = 250'000;
+  std::int64_t expiry_period_micros = 500'000;
+  std::vector<FuzzFault> faults;
+
+  /// Multi-line human-readable summary (faults listed with their mask bit).
+  std::string Describe() const;
+};
+
+FuzzScenario GenerateScenario(std::uint64_t seed);
+
+/// Everything a single run produced, plus the oracle verdicts.
+struct FuzzOutcome {
+  std::vector<std::string> failures;  // empty == all oracles held
+  bool run_completed = false;
+  std::size_t steps_completed = 0;
+  std::uint64_t step_reattempts = 0;  // max over sites
+  std::string trace_jsonl;            // byte-stable tracer export
+  std::string metrics_table;          // byte-stable metrics report
+  structural::TimeHistory history;
+  net::LinkMetrics net_totals;
+  std::uint64_t events_processed = 0;  // virtual loop deliveries + timers
+  std::uint64_t wakes = 0;             // backend wake RPCs handled
+  std::uint64_t heartbeats = 0;        // backend heartbeat firings
+
+  bool ok() const { return failures.empty(); }
+};
+
+inline constexpr std::uint64_t kAllFaults = ~0ULL;
+
+/// Runs one scenario on a fresh kVirtual network. Bit i of `fault_mask`
+/// enables scenario.faults[i] (faults beyond bit 63 are always enabled;
+/// generated schedules stay well under that). Checks oracles 1–3.
+FuzzOutcome RunFuzzCase(const FuzzScenario& scenario,
+                        std::uint64_t fault_mask = kAllFaults);
+
+/// RunFuzzCase twice; adds oracle 4 (same-seed determinism) failures to the
+/// first outcome.
+FuzzOutcome RunFuzzCaseChecked(const FuzzScenario& scenario,
+                               std::uint64_t fault_mask = kAllFaults);
+
+/// Greedy delta-debugging: starting from a failing mask, repeatedly drop
+/// single faults while the case still fails, until no single removal keeps
+/// it failing. Returns the minimal mask (callers should confirm the input
+/// mask actually fails first).
+std::uint64_t ShrinkFaultMask(const FuzzScenario& scenario,
+                              std::uint64_t failing_mask);
+
+/// The exact command line that replays (seed, mask).
+std::string ReplayCommand(std::uint64_t seed, std::uint64_t fault_mask);
+
+std::string_view EngineName(psd::StepEngine engine);
+
+}  // namespace nees::most

@@ -1,7 +1,9 @@
 #include "net/network.h"
 
 #include <algorithm>
+#include <limits>
 
+#include "check/invariant.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -23,9 +25,16 @@ std::int64_t TransmissionDelayMicros(const LinkModel& model,
 }
 
 Network::Network(DeliveryMode mode, std::uint64_t fault_seed)
-    : mode_(mode), clock_(&util::SystemClock::Instance()), rng_(fault_seed) {
+    : mode_(mode),
+      clock_(&util::SystemClock::Instance()),
+      rng_(fault_seed),
+      schedule_rng_(fault_seed ^ 0x5C4D3E2F1A0B9C8DULL) {
   if (mode_ == DeliveryMode::kScheduled) {
     delivery_thread_ = std::thread([this] { DeliveryLoop(); });
+  } else if (mode_ == DeliveryMode::kVirtual) {
+    owned_virtual_clock_ = std::make_unique<util::SimClock>();
+    virtual_clock_ = owned_virtual_clock_.get();
+    clock_ = &pump_clock_;
   }
 }
 
@@ -127,6 +136,7 @@ util::Status Network::Send(Message message) {
   std::int64_t delay = 0;
   bool dropped = false;
   bool scheduled = false;
+  bool deferred = false;  // kVirtual: delivery accounting happens at arrival
   std::string from, to;
   if (tracer_ != nullptr) {  // copied here: survives the scheduled-path move
     from = message.from;
@@ -153,17 +163,29 @@ util::Status Network::Send(Message message) {
       dropped = true;  // silently lost
     } else {
       delay = TransmissionDelayMicros(link.model, message.WireSize(), rng_);
-      ++link.metrics.delivered;
-      link.metrics.bytes_delivered += message.WireSize();
-      ++total_.delivered;
-      total_.bytes_delivered += message.WireSize();
 
-      if (mode_ == DeliveryMode::kScheduled) {
-        pending_.push(ScheduledMessage{now + delay, next_sequence_++,
+      if (mode_ == DeliveryMode::kVirtual) {
+        // Enqueue only; DeliverVirtual() re-checks faults and counts the
+        // delivery at the arrival timestamp. The seeded tie decides the
+        // order of events due at the same microsecond.
+        pending_.push(ScheduledMessage{now + delay, schedule_rng_.NextU64(),
+                                       next_sequence_++, delay,
                                        std::move(message)});
-        ++in_flight_;
-        pending_cv_.notify_all();
         scheduled = true;
+        deferred = true;
+      } else {
+        ++link.metrics.delivered;
+        link.metrics.bytes_delivered += message.WireSize();
+        ++total_.delivered;
+        total_.bytes_delivered += message.WireSize();
+
+        if (mode_ == DeliveryMode::kScheduled) {
+          pending_.push(ScheduledMessage{now + delay, 0, next_sequence_++,
+                                         delay, std::move(message)});
+          ++in_flight_;
+          pending_cv_.notify_all();
+          scheduled = true;
+        }
       }
     }
   }
@@ -171,6 +193,7 @@ util::Status Network::Send(Message message) {
     if (tracer_ != nullptr) tracer_->metrics().Increment("net.dropped");
     return util::OkStatus();
   }
+  if (deferred) return util::OkStatus();
   // Tracing happens outside mu_ (the tracer lock is a leaf). The transfer
   // event charges the modeled link delay, which advances a modeled SimClock
   // before an inline handler observes the arrival time.
@@ -225,6 +248,191 @@ void Network::DeliveryLoop() {
     if (in_flight_ == 0) quiesce_cv_.notify_all();
   }
 }
+
+// --- virtual-time event loop -----------------------------------------------
+
+std::int64_t Network::PumpClock::NowMicros() const {
+  return network_->virtual_clock_->NowMicros();
+}
+
+void Network::PumpClock::SleepMicros(std::int64_t micros) {
+  // A virtual "sleep" delivers everything due in the window, in order, so
+  // a backoff timer or heartbeat wait observes the world it would have
+  // observed on a real network — just reproducibly.
+  network_->AdvanceTo(network_->virtual_clock_->NowMicros() +
+                      std::max<std::int64_t>(micros, 0));
+}
+
+void Network::AdvanceVirtualClockTo(std::int64_t micros) {
+  if (virtual_clock_ == nullptr) return;
+  if (micros > virtual_clock_->NowMicros()) virtual_clock_->SetMicros(micros);
+}
+
+void Network::ScheduleAt(std::int64_t due_micros, std::function<void()> fn) {
+  NEES_CHECK_INVARIANT(mode_ == DeliveryMode::kVirtual,
+                       "timers require DeliveryMode::kVirtual");
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::int64_t due =
+      std::max(due_micros, virtual_clock_->NowMicros());
+  timers_.push(ScheduledTimer{due, schedule_rng_.NextU64(), next_sequence_++,
+                              std::move(fn)});
+}
+
+void Network::ScheduleAfter(std::int64_t delay_micros,
+                            std::function<void()> fn) {
+  NEES_CHECK_INVARIANT(mode_ == DeliveryMode::kVirtual,
+                       "timers require DeliveryMode::kVirtual");
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::int64_t due =
+      virtual_clock_->NowMicros() + std::max<std::int64_t>(delay_micros, 0);
+  timers_.push(ScheduledTimer{due, schedule_rng_.NextU64(), next_sequence_++,
+                              std::move(fn)});
+}
+
+bool Network::PumpOne(std::int64_t limit_micros, bool advance_on_idle) {
+  if (mode_ != DeliveryMode::kVirtual) return false;
+  Message message;
+  std::function<void()> fn;
+  std::int64_t delay = 0;
+  enum class Pick { kNone, kMessage, kTimer };
+  Pick pick = Pick::kNone;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const bool have_message = !pending_.empty();
+    const bool have_timer = !timers_.empty();
+    if (have_message && have_timer) {
+      // Merge the two queues by the shared (due, tie, sequence) key.
+      const ScheduledMessage& m = pending_.top();
+      const ScheduledTimer& t = timers_.top();
+      const bool timer_first =
+          t.due_micros != m.due_micros ? t.due_micros < m.due_micros
+          : t.tie != m.tie             ? t.tie < m.tie
+                                       : t.sequence < m.sequence;
+      pick = timer_first ? Pick::kTimer : Pick::kMessage;
+    } else if (have_message) {
+      pick = Pick::kMessage;
+    } else if (have_timer) {
+      pick = Pick::kTimer;
+    }
+    if (pick == Pick::kMessage && pending_.top().due_micros <= limit_micros) {
+      AdvanceVirtualClockTo(pending_.top().due_micros);
+      message =
+          std::move(const_cast<ScheduledMessage&>(pending_.top()).message);
+      delay = pending_.top().delay_micros;
+      pending_.pop();
+    } else if (pick == Pick::kTimer &&
+               timers_.top().due_micros <= limit_micros) {
+      AdvanceVirtualClockTo(timers_.top().due_micros);
+      fn = std::move(const_cast<ScheduledTimer&>(timers_.top()).fn);
+      timers_.pop();
+      ++virtual_stats_.timers_fired;
+    } else {
+      pick = Pick::kNone;
+    }
+  }
+  switch (pick) {
+    case Pick::kMessage:
+      DeliverVirtual(std::move(message), delay);
+      return true;
+    case Pick::kTimer:
+      fn();
+      return true;
+    case Pick::kNone:
+      if (advance_on_idle) AdvanceVirtualClockTo(limit_micros);
+      return false;
+  }
+  return false;
+}
+
+void Network::DeliverVirtual(Message message, std::int64_t delay_micros) {
+  std::shared_ptr<Handler> handler;
+  bool dropped = false;
+  const std::string from = message.from;
+  const std::string to = message.to;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::int64_t now = virtual_clock_->NowMicros();
+    LinkState& link = LinkFor(from, to);
+    // Arrival-time fault checks: the world may have changed while the
+    // message was in flight. Outage ends are exclusive, so an arrival
+    // exactly at end_micros gets through.
+    if (InPartition(from, to) || !link.up) {
+      ++link.metrics.dropped_forced;
+      ++total_.dropped_forced;
+      dropped = true;
+    } else {
+      for (const OutageWindow& window : link.outages) {
+        if (now >= window.start_micros && now < window.end_micros) {
+          ++link.metrics.dropped_outage;
+          ++total_.dropped_outage;
+          dropped = true;
+          break;
+        }
+      }
+    }
+    if (!dropped) {
+      auto it = endpoints_.find(to);
+      if (it == endpoints_.end()) {
+        // Endpoint unregistered in flight: lost, like a connection reset.
+        ++link.metrics.dropped_forced;
+        ++total_.dropped_forced;
+        dropped = true;
+      } else {
+        handler = it->second;
+        ++link.metrics.delivered;
+        link.metrics.bytes_delivered += message.WireSize();
+        ++total_.delivered;
+        total_.bytes_delivered += message.WireSize();
+        ++virtual_stats_.messages_delivered;
+      }
+    }
+    if (dropped) ++virtual_stats_.messages_dropped_in_flight;
+  }
+  if (dropped) {
+    if (tracer_ != nullptr) tracer_->metrics().Increment("net.dropped");
+    return;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->RecordEvent("net.deliver", "network", delay_micros,
+                         {{"from", from}, {"to", to}});
+    tracer_->metrics().Observe("net.delay_micros",
+                               static_cast<double>(delay_micros));
+  }
+  (*handler)(std::move(message));
+}
+
+bool Network::PumpOneUntil(std::int64_t limit_micros) {
+  return PumpOne(limit_micros, /*advance_on_idle=*/true);
+}
+
+std::size_t Network::AdvanceTo(std::int64_t micros) {
+  std::size_t count = 0;
+  while (PumpOne(micros, /*advance_on_idle=*/false)) ++count;
+  AdvanceVirtualClockTo(micros);
+  return count;
+}
+
+std::size_t Network::RunUntilQuiescent(std::size_t max_events) {
+  std::size_t count = 0;
+  while (count < max_events &&
+         PumpOne(std::numeric_limits<std::int64_t>::max(),
+                 /*advance_on_idle=*/false)) {
+    ++count;
+  }
+  if (count >= max_events) {
+    NEES_LOG_ERROR("net.network")
+        << "RunUntilQuiescent hit the " << max_events
+        << "-event backstop; a timer is likely re-arming forever";
+  }
+  return count;
+}
+
+Network::VirtualLoopStats Network::virtual_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return virtual_stats_;
+}
+
+// ---------------------------------------------------------------------------
 
 void Network::SetLink(const std::string& from, const std::string& to,
                       LinkModel model) {
@@ -290,11 +498,24 @@ LinkMetrics Network::LinkMetricsFor(const std::string& from,
 
 void Network::SetClock(util::Clock* clock) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (mode_ == DeliveryMode::kVirtual) {
+    // The event loop needs a manually advanced timeline; clock() keeps
+    // returning the pumping facade over the injected SimClock.
+    auto* sim = dynamic_cast<util::SimClock*>(clock);
+    NEES_CHECK_INVARIANT(sim != nullptr,
+                         "kVirtual networks require a SimClock timeline");
+    if (sim != nullptr) virtual_clock_ = sim;
+    return;
+  }
   clock_ = clock;
 }
 
 void Network::Quiesce() {
   if (mode_ == DeliveryMode::kImmediate) return;
+  if (mode_ == DeliveryMode::kVirtual) {
+    RunUntilQuiescent();
+    return;
+  }
   std::unique_lock<std::mutex> lock(mu_);
   quiesce_cv_.wait(lock, [this] { return in_flight_ == 0; });
 }

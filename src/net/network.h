@@ -2,7 +2,7 @@
 //
 // Endpoints register a handler under a globally unique name ("ntcp.uiuc",
 // "repo.ncsa", ...). Messages are routed through per-directed-link models
-// that add latency and inject faults. Two delivery modes:
+// that add latency and inject faults. Three delivery modes:
 //
 //  * kImmediate  — the handler runs inline on the sender's thread; latency
 //                  is recorded in metrics but not slept. Deterministic;
@@ -10,9 +10,23 @@
 //  * kScheduled  — a background thread delivers messages after their real
 //                  latency elapses. Used by latency benches (E11) and the
 //                  wall-clock MOST runs.
+//  * kVirtual    — deterministic discrete-event simulation. Messages and
+//                  timers land in one seeded priority queue ordered by
+//                  simulated arrival time on an owned SimClock, with seeded
+//                  tie-breaking between simultaneous events, and a
+//                  single-threaded event loop (PumpOneUntil / AdvanceTo /
+//                  RunUntilQuiescent) drains them in one totally ordered,
+//                  reproducible schedule per fault seed. Blocking layers
+//                  (RPC waits, backoff sleeps, long polls) pump this loop
+//                  instead of parking on condition variables, so an entire
+//                  MOST-shaped run replays bit-identically from its seed.
+//                  Used by the nees_fuzz harness.
 //
 // Fault API: per-link drop probability, time-window outages, manual
-// up/down, and DropNext(n) for deterministic single-message faults.
+// up/down, and DropNext(n) for deterministic single-message faults. In
+// kVirtual mode, outages, link up/down, and partitions are re-checked at
+// the *arrival* time too: a message sent before an outage opens but due
+// inside it is lost in flight, as on a real network.
 #pragma once
 
 #include <condition_variable>
@@ -38,7 +52,7 @@ class Tracer;
 
 namespace nees::net {
 
-enum class DeliveryMode { kImmediate, kScheduled };
+enum class DeliveryMode { kImmediate, kScheduled, kVirtual };
 
 class Network {
  public:
@@ -76,9 +90,12 @@ class Network {
   // --- fault injection ----------------------------------------------------
   /// Marks the directed link up/down. Down links drop every message.
   void SetLinkUp(const std::string& from, const std::string& to, bool up);
-  /// Makes the next `count` messages on the directed link vanish.
+  /// Makes the next `count` messages on the directed link vanish. Counted
+  /// at send time in every mode (a deterministic "the next send is lost").
   void DropNext(const std::string& from, const std::string& to, int count);
   /// Adds a dead window in clock time (see SetClock) on the directed link.
+  /// The end is exclusive: a message arriving exactly at end_micros gets
+  /// through. kVirtual checks windows at both send and arrival time.
   void AddOutage(const std::string& from, const std::string& to,
                  OutageWindow window);
   /// Adds a bidirectional outage between two endpoints.
@@ -97,19 +114,71 @@ class Network {
                              const std::string& to) const;
 
   /// Clock used for outage windows and latency accounting. Defaults to the
-  /// system clock; tests inject a SimClock.
+  /// system clock; tests inject a SimClock. In kVirtual mode the injected
+  /// clock must be a SimClock (it becomes the event loop's timeline) and
+  /// clock() keeps returning the pumping facade described below.
   void SetClock(util::Clock* clock);
+
+  /// The clock protocol layers should use. In kImmediate/kScheduled this is
+  /// whatever SetClock installed. In kVirtual it is a pumping facade:
+  /// NowMicros() reads the virtual timeline and SleepMicros(d) runs
+  /// AdvanceTo(now + d), so a "sleeping" caller (retry backoff, heartbeat
+  /// wait) delivers every event due in the window, in order, before waking.
   util::Clock* clock() const { return clock_; }
 
+  /// The raw simulated timeline (kVirtual only; never null there, null in
+  /// the other modes). Prefer clock() unless a test needs to assert on or
+  /// pre-position the timeline without pumping.
+  util::SimClock* virtual_clock() const { return virtual_clock_; }
+
   /// Optional: records a "network" transfer event (with the modeled link
-  /// delay) for every delivered message, and drop/delivery counters.
+  /// delay) for every delivered message, and drop/delivery counters. In
+  /// kVirtual mode the event is recorded at *arrival* time.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   DeliveryMode mode() const { return mode_; }
 
-  /// Blocks until all scheduled in-flight messages are delivered (kScheduled
-  /// only; immediate mode returns at once).
+  /// Blocks until all scheduled in-flight messages are delivered. kVirtual:
+  /// runs the event loop to quiescence; immediate mode returns at once.
   void Quiesce();
+
+  // --- virtual-time event loop (kVirtual only) ----------------------------
+  /// Schedules `fn` on the event loop at absolute virtual time `due_micros`
+  /// (clamped to now). Timers share the message queue's total order — the
+  /// key is (due, seeded tie, sequence) — so a retry timer and a response
+  /// due at the same microsecond fire in a seed-dependent but reproducible
+  /// order. Timers run outside the network lock and may send, schedule,
+  /// and pump recursively.
+  void ScheduleAt(std::int64_t due_micros, std::function<void()> fn);
+  /// Schedules `fn` after `delay_micros` of virtual time from now.
+  void ScheduleAfter(std::int64_t delay_micros, std::function<void()> fn);
+
+  /// Delivers the single earliest pending event (message or timer) if it is
+  /// due at or before `limit_micros`, advancing the virtual clock to its
+  /// due time first, and returns true. Otherwise advances the clock to
+  /// `limit_micros` and returns false. Re-entrant: a handler may pump
+  /// (nested pumps can advance time past an outer pump's limit; the clock
+  /// never moves backwards). No-op (false) outside kVirtual.
+  bool PumpOneUntil(std::int64_t limit_micros);
+
+  /// Delivers everything due at or before `micros` in order, then advances
+  /// the clock to exactly `micros`. Returns the number of events processed.
+  std::size_t AdvanceTo(std::int64_t micros);
+
+  /// Drains every pending event in virtual-time order until both queues are
+  /// empty (self-rescheduling timers must therefore disarm themselves) or
+  /// `max_events` fire. Returns the number of events processed.
+  std::size_t RunUntilQuiescent(std::size_t max_events = 100'000'000);
+
+  struct VirtualLoopStats {
+    std::uint64_t messages_delivered = 0;
+    std::uint64_t messages_dropped_in_flight = 0;
+    std::uint64_t timers_fired = 0;
+    std::uint64_t events() const {
+      return messages_delivered + messages_dropped_in_flight + timers_fired;
+    }
+  };
+  VirtualLoopStats virtual_stats() const;
 
  private:
   struct LinkState {
@@ -122,12 +191,39 @@ class Network {
 
   struct ScheduledMessage {
     std::int64_t due_micros;
-    std::uint64_t sequence;  // FIFO tiebreak
+    std::uint64_t tie;       // seeded tiebreak (kVirtual; 0 in kScheduled)
+    std::uint64_t sequence;  // FIFO tiebreak of last resort
+    std::int64_t delay_micros;  // modeled link delay, for arrival tracing
     Message message;
     bool operator>(const ScheduledMessage& other) const {
       if (due_micros != other.due_micros) return due_micros > other.due_micros;
+      if (tie != other.tie) return tie > other.tie;
       return sequence > other.sequence;
     }
+  };
+
+  struct ScheduledTimer {
+    std::int64_t due_micros;
+    std::uint64_t tie;
+    std::uint64_t sequence;  // shared counter with messages: globally unique
+    std::function<void()> fn;
+    bool operator>(const ScheduledTimer& other) const {
+      if (due_micros != other.due_micros) return due_micros > other.due_micros;
+      if (tie != other.tie) return tie > other.tie;
+      return sequence > other.sequence;
+    }
+  };
+
+  /// kVirtual clock() facade: NowMicros reads the virtual timeline,
+  /// SleepMicros pumps the event loop across the sleep window.
+  class PumpClock final : public util::Clock {
+   public:
+    explicit PumpClock(Network* network) : network_(network) {}
+    std::int64_t NowMicros() const override;
+    void SleepMicros(std::int64_t micros) override;
+
+   private:
+    Network* network_;
   };
 
   LinkState& LinkFor(const std::string& from, const std::string& to);
@@ -136,6 +232,17 @@ class Network {
   bool InPartition(const std::string& from, const std::string& to) const;
   void DeliveryLoop();
   void Dispatch(Message message);
+  /// Core virtual-time step; `advance_on_idle` distinguishes PumpOneUntil
+  /// (clock jumps to the limit when nothing is due) from AdvanceTo /
+  /// RunUntilQuiescent internals (which advance separately or not at all).
+  bool PumpOne(std::int64_t limit_micros, bool advance_on_idle);
+  /// Moves the virtual clock forward to `micros`; never backwards (nested
+  /// pumps may already have advanced past an outer pump's limit).
+  void AdvanceVirtualClockTo(std::int64_t micros);
+  /// Arrival-time half of kVirtual delivery: re-checks partition, link
+  /// up/down, and outage windows at the arrival timestamp, then counts
+  /// delivery and runs the handler.
+  void DeliverVirtual(Message message, std::int64_t delay_micros);
 
   const DeliveryMode mode_;
   util::Clock* clock_;
@@ -150,7 +257,7 @@ class Network {
   std::vector<std::string> partition_a_, partition_b_;
   bool partitioned_ = false;
 
-  // kScheduled machinery
+  // kScheduled + kVirtual shared queue
   std::priority_queue<ScheduledMessage, std::vector<ScheduledMessage>,
                       std::greater<>>
       pending_;
@@ -160,6 +267,18 @@ class Network {
   std::condition_variable quiesce_cv_;
   bool shutting_down_ = false;
   std::thread delivery_thread_;
+
+  // kVirtual machinery. The schedule rng is a dedicated stream (NOT rng_,
+  // whose draw sequence the fault model owns) so tie-breaking explores
+  // different interleavings per seed without perturbing drop decisions.
+  std::unique_ptr<util::SimClock> owned_virtual_clock_;
+  util::SimClock* virtual_clock_ = nullptr;
+  PumpClock pump_clock_{this};
+  util::Rng schedule_rng_;
+  std::priority_queue<ScheduledTimer, std::vector<ScheduledTimer>,
+                      std::greater<>>
+      timers_;
+  VirtualLoopStats virtual_stats_;
 };
 
 }  // namespace nees::net

@@ -299,6 +299,21 @@ util::Result<Bytes> RpcClient::AsyncCall::Wait() {
   client_ = nullptr;  // Wait at most once
   if (!send_error_.ok()) return send_error_;
 
+  if (client->network_->mode() == DeliveryMode::kVirtual) {
+    // Virtual mode: drive the event loop from this thread instead of
+    // parking on the call's condition variable. Response handlers run
+    // inline inside PumpOneUntil and take client->mu_, so the lock is
+    // released around each pump.
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(client->mu_);
+        if (state_->done) break;
+      }
+      if (client->network_->clock()->NowMicros() >= deadline_micros_) break;
+      client->network_->PumpOneUntil(deadline_micros_);
+    }
+  }
+
   util::Status status;
   Bytes response;
   {
@@ -370,6 +385,10 @@ void RpcClient::WaitAnyUntil(const std::vector<AsyncCall*>& calls,
 
 void RpcClient::WaitAnyUntil(const std::vector<AsyncCall*>& calls,
                              std::int64_t wake_micros, bool wait_for_all) {
+  if (network_->mode() == DeliveryMode::kVirtual) {
+    WaitAnyUntilVirtual(calls, wake_micros, wait_for_all);
+    return;
+  }
   if (network_->mode() != DeliveryMode::kScheduled) return;
   auto batch = std::make_shared<CallBatch>();
   std::unique_lock<std::mutex> lock(mu_);
@@ -415,6 +434,39 @@ void RpcClient::WaitAnyUntil(const std::vector<AsyncCall*>& calls,
     batch->cv.wait_for(lock, std::chrono::microseconds(wake - now));
   }
   for (Watched& entry : watched) entry.state->batch.reset();
+}
+
+void RpcClient::WaitAnyUntilVirtual(const std::vector<AsyncCall*>& calls,
+                                    std::int64_t wake_micros,
+                                    bool wait_for_all) {
+  for (;;) {
+    std::int64_t wake = wait_for_all
+                            ? std::numeric_limits<std::int64_t>::max()
+                            : wake_micros;
+    bool any_live = false;
+    bool any_resolved = false;
+    const std::int64_t now = network_->clock()->NowMicros();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (AsyncCall* call : calls) {
+        if (call->client_ == nullptr || !call->send_error_.ok() ||
+            call->state_->done || call->deadline_micros_ <= now) {
+          // Harvestable via TryResolve right now (resolved or lapsed).
+          any_resolved = true;
+          continue;
+        }
+        any_live = true;
+        wake = std::min(wake, call->deadline_micros_);
+      }
+    }
+    if (!any_live) return;
+    if (any_resolved && !wait_for_all) return;
+    if (now >= wake) return;
+    // Deliver exactly one event (or advance the clock to `wake`), then
+    // re-evaluate; completions, timeouts, and the caller's wake time are
+    // thereby multiplexed in one deterministic order.
+    network_->PumpOneUntil(wake);
+  }
 }
 
 RpcClient::AsyncCall RpcClient::CallAsync(const std::string& target,

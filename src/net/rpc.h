@@ -123,7 +123,9 @@ class RpcClient {
   /// simulated-time timeouts rather than wall-clock ones.
   class AsyncCall {
    public:
-    /// Blocks until the reply arrives or the call's timeout lapses.
+    /// Blocks until the reply arrives or the call's timeout lapses. In
+    /// kVirtual mode "blocking" means pumping the network's event loop up
+    /// to the deadline, so waits are deterministic and instantaneous.
     util::Result<Bytes> Wait();
 
     /// Non-blocking: if the call has resolved (reply arrived, send failed,
@@ -157,13 +159,14 @@ class RpcClient {
   /// Batch primitive: blocks until every call has resolved (replied, send
   /// failed, or deadline lapsed). Harvest results with Wait()/TryResolve()
   /// per handle afterwards. No-op in kImmediate mode, where calls resolve
-  /// inline during issue.
+  /// inline during issue; in kVirtual mode it pumps the event loop.
   void WaitAll(const std::vector<AsyncCall*>& calls);
 
   /// Blocks until at least one of the (currently unresolved) calls
   /// completes, or the network clock reaches `wake_micros`, or the earliest
   /// deadline among the calls lapses — whichever comes first. Returns
-  /// immediately if any call is already resolved. No-op in kImmediate mode.
+  /// immediately if any call is already resolved. No-op in kImmediate mode;
+  /// pumps the event loop in kVirtual mode.
   void WaitAnyUntil(const std::vector<AsyncCall*>& calls,
                     std::int64_t wake_micros);
 
@@ -187,6 +190,12 @@ class RpcClient {
   /// Shared engine behind WaitAll (wait_for_all) and WaitAnyUntil.
   void WaitAnyUntil(const std::vector<AsyncCall*>& calls,
                     std::int64_t wake_micros, bool wait_for_all);
+
+  /// kVirtual counterpart: instead of parking on a batch condition
+  /// variable, pump the network event loop one event at a time between
+  /// predicate checks. Single-threaded and deterministic.
+  void WaitAnyUntilVirtual(const std::vector<AsyncCall*>& calls,
+                           std::int64_t wake_micros, bool wait_for_all);
 
   Network* network_;
   std::string endpoint_;

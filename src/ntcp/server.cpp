@@ -23,7 +23,28 @@ util::Status NtcpServer::Start() {
   return util::OkStatus();
 }
 
-void NtcpServer::Stop() { rpc_server_.Stop(); }
+void NtcpServer::Stop() {
+  if (expiry_armed_ != nullptr) *expiry_armed_ = false;
+  rpc_server_.Stop();
+}
+
+void NtcpServer::ArmExpiryTimer(net::Network* network,
+                                std::int64_t period_micros) {
+  if (expiry_armed_ == nullptr) {
+    expiry_armed_ = std::make_shared<bool>(true);
+  }
+  *expiry_armed_ = true;
+  // Self-rescheduling: each firing expires stale proposals, then re-arms —
+  // unless Stop() cleared the flag, in which case the chain ends and
+  // RunUntilQuiescent can drain to empty.
+  std::shared_ptr<bool> armed = expiry_armed_;
+  network->ScheduleAfter(period_micros, [this, network, period_micros,
+                                         armed] {
+    if (!*armed) return;
+    ExpireStale();
+    ArmExpiryTimer(network, period_micros);
+  });
+}
 
 void NtcpServer::set_tracer(obs::Tracer* tracer) {
   tracer_ = tracer;

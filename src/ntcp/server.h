@@ -73,6 +73,13 @@ class NtcpServer {
   /// returns how many expired. Call periodically (or before reusing ids).
   int ExpireStale();
 
+  /// kVirtual only: arms a self-rescheduling timer on `network`'s event
+  /// loop that runs ExpireStale() every `period_micros` of virtual time, so
+  /// proposal expiry joins the same totally ordered, seed-reproducible
+  /// schedule as delivery, retries, and heartbeats. Disarmed by Stop() (an
+  /// already-queued firing becomes a no-op and does not re-arm).
+  void ArmExpiryTimer(net::Network* network, std::int64_t period_micros);
+
   /// Drops terminal transactions older than `retention_micros`, bounding
   /// the table; returns how many were dropped.
   int GarbageCollect(std::int64_t retention_micros);
@@ -111,6 +118,10 @@ class NtcpServer {
   mutable std::mutex mu_;
   std::map<std::string, TransactionRecord> transactions_;
   NtcpServerStats stats_;
+
+  // Liveness flag captured by armed expiry timers; cleared on Stop() so a
+  // queued firing after shutdown is a safe no-op.
+  std::shared_ptr<bool> expiry_armed_;
 };
 
 }  // namespace nees::ntcp

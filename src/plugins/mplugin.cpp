@@ -53,9 +53,26 @@ util::Result<ntcp::TransactionResult> MPlugin::Execute(
   if (notify) notify();
   {
     std::unique_lock<std::mutex> lock(mu_);
-    const bool completed = pending->cv.wait_for(
-        lock, std::chrono::microseconds(config_.execute_timeout_micros),
-        [&] { return pending->done || shutting_down_; });
+    bool completed;
+    if (virtual_net_ != nullptr) {
+      // Virtual time: drive the event loop instead of parking. Each pump
+      // runs outside mu_ (it delivers the wake, the backend's poll, the
+      // compute, and the notify — possibly recursively) until PostResult
+      // marks us done or the timeout's virtual deadline passes.
+      const std::int64_t give_up = virtual_net_->clock()->NowMicros() +
+                                   config_.execute_timeout_micros;
+      while (!pending->done && !shutting_down_ &&
+             virtual_net_->clock()->NowMicros() < give_up) {
+        lock.unlock();
+        virtual_net_->PumpOneUntil(give_up);
+        lock.lock();
+      }
+      completed = pending->done || shutting_down_;
+    } else {
+      completed = pending->cv.wait_for(
+          lock, std::chrono::microseconds(config_.execute_timeout_micros),
+          [&] { return pending->done || shutting_down_; });
+    }
     pending_.erase(proposal.transaction_id);
     if (!completed || !pending->done) {
       // Remove the unclaimed request so a late backend can't act on it.
@@ -75,11 +92,23 @@ std::optional<ntcp::Proposal> MPlugin::PollRequest(
   std::unique_lock<std::mutex> lock(mu_);
   ++polls_;
   const std::uint64_t epoch = poll_epoch_;
-  work_cv_.wait_for(lock, std::chrono::microseconds(max_wait_micros),
-                    [&] {
-                      return !queue_.empty() || shutting_down_ ||
-                             poll_epoch_ != epoch;
-                    });
+  if (virtual_net_ != nullptr) {
+    // Long polls in virtual time pump the event loop between queue checks.
+    const std::int64_t deadline =
+        virtual_net_->clock()->NowMicros() + max_wait_micros;
+    while (queue_.empty() && !shutting_down_ && poll_epoch_ == epoch &&
+           virtual_net_->clock()->NowMicros() < deadline) {
+      lock.unlock();
+      virtual_net_->PumpOneUntil(deadline);
+      lock.lock();
+    }
+  } else {
+    work_cv_.wait_for(lock, std::chrono::microseconds(max_wait_micros),
+                      [&] {
+                        return !queue_.empty() || shutting_down_ ||
+                               poll_epoch_ != epoch;
+                      });
+  }
   if (queue_.empty()) return std::nullopt;
   ntcp::Proposal proposal = std::move(queue_.front());
   queue_.pop_front();
@@ -127,6 +156,14 @@ util::Status MPlugin::PostResult(
 void MPlugin::SetWorkNotifier(std::function<void()> notifier) {
   std::lock_guard<std::mutex> lock(mu_);
   work_notifier_ = std::move(notifier);
+}
+
+void MPlugin::AttachVirtualNetwork(net::Network* network) {
+  std::lock_guard<std::mutex> lock(mu_);
+  virtual_net_ =
+      (network != nullptr && network->mode() == net::DeliveryMode::kVirtual)
+          ? network
+          : nullptr;
 }
 
 void MPlugin::InterruptPolls() {
@@ -219,6 +256,43 @@ void PollingBackend::Loop() {
 // ---------------------------------------------------------------------------
 // RemotePollingBackend
 
+namespace {
+
+// One poll+compute+notify cycle against the plugin's RPC surface; returns
+// true if work was done. Shared by the threaded RemotePollingBackend and
+// the event-driven VirtualPollingBackend.
+util::Result<bool> RunPollCycle(net::RpcClient* rpc,
+                                const std::string& plugin_endpoint,
+                                const PollingBackend::Compute& compute,
+                                std::int64_t max_wait_micros) {
+  util::ByteWriter poll_writer;
+  poll_writer.WriteI64(max_wait_micros);
+  NEES_ASSIGN_OR_RETURN(
+      net::Bytes response,
+      rpc->Call(plugin_endpoint, "mplugin.poll", poll_writer.Take()));
+  util::ByteReader reader(response);
+  NEES_ASSIGN_OR_RETURN(bool has_work, reader.ReadBool());
+  if (!has_work) return false;
+  NEES_ASSIGN_OR_RETURN(ntcp::Proposal proposal,
+                        ntcp::DecodeProposal(reader));
+
+  auto outcome = compute(proposal);
+  util::ByteWriter notify_writer;
+  notify_writer.WriteString(proposal.transaction_id);
+  notify_writer.WriteBool(outcome.ok());
+  if (outcome.ok()) {
+    ntcp::EncodeTransactionResult(*outcome, notify_writer);
+  } else {
+    notify_writer.WriteString(outcome.status().ToString());
+  }
+  NEES_RETURN_IF_ERROR(
+      rpc->Call(plugin_endpoint, "mplugin.notify", notify_writer.Take())
+          .status());
+  return true;
+}
+
+}  // namespace
+
 RemotePollingBackend::RemotePollingBackend(net::RpcClient* rpc,
                                            std::string plugin_endpoint,
                                            Compute compute,
@@ -283,30 +357,77 @@ void RemotePollingBackend::Loop() {
 
 util::Result<bool> RemotePollingBackend::PollOnce(
     std::int64_t max_wait_micros) {
-  util::ByteWriter poll_writer;
-  poll_writer.WriteI64(max_wait_micros);
-  NEES_ASSIGN_OR_RETURN(
-      net::Bytes response,
-      rpc_->Call(plugin_endpoint_, "mplugin.poll", poll_writer.Take()));
-  util::ByteReader reader(response);
-  NEES_ASSIGN_OR_RETURN(bool has_work, reader.ReadBool());
-  if (!has_work) return false;
-  NEES_ASSIGN_OR_RETURN(ntcp::Proposal proposal,
-                        ntcp::DecodeProposal(reader));
+  return RunPollCycle(rpc_, plugin_endpoint_, compute_, max_wait_micros);
+}
 
-  auto outcome = compute_(proposal);
-  util::ByteWriter notify_writer;
-  notify_writer.WriteString(proposal.transaction_id);
-  notify_writer.WriteBool(outcome.ok());
-  if (outcome.ok()) {
-    ntcp::EncodeTransactionResult(*outcome, notify_writer);
-  } else {
-    notify_writer.WriteString(outcome.status().ToString());
+// ---------------------------------------------------------------------------
+// VirtualPollingBackend
+
+VirtualPollingBackend::VirtualPollingBackend(net::Network* network,
+                                             net::RpcClient* rpc,
+                                             std::string plugin_endpoint,
+                                             Compute compute,
+                                             std::int64_t heartbeat_micros)
+    : network_(network),
+      rpc_(rpc),
+      plugin_endpoint_(std::move(plugin_endpoint)),
+      compute_(std::move(compute)),
+      heartbeat_micros_(heartbeat_micros) {}
+
+VirtualPollingBackend::~VirtualPollingBackend() { Stop(); }
+
+void VirtualPollingBackend::BindWakeRpc(net::RpcServer& server) {
+  std::shared_ptr<bool> running = running_;
+  server.RegisterOneWay(
+      "mplugin.wake",
+      [this, running](const net::CallContext&, const net::Bytes&) {
+        if (!*running) return;
+        ++wakes_;
+        Drain();
+      });
+}
+
+void VirtualPollingBackend::Start() {
+  if (*running_) return;
+  *running_ = true;
+  ArmHeartbeat();
+}
+
+void VirtualPollingBackend::Stop() { *running_ = false; }
+
+void VirtualPollingBackend::ArmHeartbeat() {
+  std::shared_ptr<bool> running = running_;
+  network_->ScheduleAfter(heartbeat_micros_, [this, running] {
+    if (!*running) return;
+    ++heartbeats_;
+    Drain();
+    ArmHeartbeat();
+  });
+}
+
+void VirtualPollingBackend::Drain() {
+  if (draining_) {
+    // A wake delivered while a poll cycle's RPCs were pumping the loop:
+    // remember it so the outer drain re-checks the queue instead of
+    // dropping the signal on the floor.
+    rewake_ = true;
+    return;
   }
-  NEES_RETURN_IF_ERROR(
-      rpc_->Call(plugin_endpoint_, "mplugin.notify", notify_writer.Take())
-          .status());
-  return true;
+  draining_ = true;
+  do {
+    rewake_ = false;
+    for (;;) {
+      auto worked = RunPollCycle(rpc_, plugin_endpoint_, compute_, 0);
+      if (!worked.ok()) {
+        NEES_LOG_WARN("plugins.backend")
+            << "virtual poll cycle failed: " << worked.status().ToString();
+        break;
+      }
+      if (!*worked) break;
+      ++processed_;
+    }
+  } while (rewake_ && *running_);
+  draining_ = false;
 }
 
 PollingBackend::Compute MakeSimulationCompute(

@@ -67,6 +67,12 @@ class MPlugin final : public ntcp::ControlPlugin {
   /// Binds mplugin.poll / mplugin.notify on an RpcServer for remote backends.
   void BindBackendRpc(net::RpcServer& server);
 
+  /// DeliveryMode::kVirtual: blocking waits (Execute's completion wait and
+  /// PollRequest long polls) pump `network`'s event loop instead of parking
+  /// on condition variables, keeping the whole propose/poll/notify exchange
+  /// single-threaded and seed-deterministic. Attach before the run starts.
+  void AttachVirtualNetwork(net::Network* network);
+
   std::uint64_t polls() const;
   std::size_t buffered() const;
 
@@ -86,6 +92,7 @@ class MPlugin final : public ntcp::ControlPlugin {
   };
 
   Config config_;
+  net::Network* virtual_net_ = nullptr;  // set iff DeliveryMode::kVirtual
   mutable std::mutex mu_;
   std::condition_variable work_cv_;    // backend waits for work
   std::deque<ntcp::Proposal> queue_;
@@ -178,6 +185,56 @@ class RemotePollingBackend {
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> processed_{0};
   std::atomic<std::uint64_t> wakes_{0};
+};
+
+/// Event-driven backend for DeliveryMode::kVirtual: no thread at all. A
+/// one-way "mplugin.wake" delivery drains the plugin's queue inline on the
+/// network's event loop, and a self-rescheduling heartbeat timer re-polls
+/// every `heartbeat_micros` of *virtual* time in case a wake was lost — the
+/// same wake-or-heartbeat contract as RemotePollingBackend ("a lost wake
+/// only delays, never stalls"), replayed deterministically per seed. Each
+/// poll/compute/notify cycle issues blocking RPCs whose waits pump the
+/// event loop recursively.
+class VirtualPollingBackend {
+ public:
+  using Compute = PollingBackend::Compute;
+
+  VirtualPollingBackend(net::Network* network, net::RpcClient* rpc,
+                        std::string plugin_endpoint, Compute compute,
+                        std::int64_t heartbeat_micros = 250'000);
+  ~VirtualPollingBackend();
+
+  /// Registers the one-way "mplugin.wake" method on `server` (the backend's
+  /// control endpoint; the plugin's work notifier targets it).
+  void BindWakeRpc(net::RpcServer& server);
+
+  /// Arms the heartbeat chain. Call once the endpoints exist.
+  void Start();
+  /// Disarms: queued heartbeat/wake firings become no-ops and do not
+  /// re-arm, so RunUntilQuiescent() can drain to empty after a run.
+  void Stop();
+
+  std::uint64_t processed() const { return processed_; }
+  std::uint64_t wakes() const { return wakes_; }
+  std::uint64_t heartbeats() const { return heartbeats_; }
+
+ private:
+  void Drain();
+  void ArmHeartbeat();
+
+  net::Network* network_;
+  net::RpcClient* rpc_;
+  std::string plugin_endpoint_;
+  Compute compute_;
+  std::int64_t heartbeat_micros_;
+  // Captured by armed timers and the wake binding; cleared on Stop() so a
+  // late firing is a safe no-op even after this object is torn down.
+  std::shared_ptr<bool> running_ = std::make_shared<bool>(false);
+  bool draining_ = false;  // re-entrancy guard; nested wakes set rewake_
+  bool rewake_ = false;
+  std::uint64_t processed_ = 0;
+  std::uint64_t wakes_ = 0;
+  std::uint64_t heartbeats_ = 0;
 };
 
 /// Builds the standard "Matlab simulation" compute function from a set of

@@ -100,4 +100,16 @@ double Rng::Exponential(double mean) {
 
 Rng Rng::Split() { return Rng(NextU64()); }
 
+Rng Rng::Fork(std::uint64_t stream_id) const {
+  // Hash the full 256-bit state with the stream id through SplitMix64 so
+  // nearby ids land in unrelated streams; const — no draws are consumed.
+  std::uint64_t mix = stream_id ^ 0x6A09E667F3BCC909ULL;
+  std::uint64_t seed = 0;
+  for (const std::uint64_t word : state_) {
+    mix ^= word;
+    seed ^= SplitMix64(mix);
+  }
+  return Rng(seed);
+}
+
 }  // namespace nees::util

@@ -40,7 +40,15 @@ class Rng {
   double Exponential(double mean);
 
   /// Spawn an independent stream (deterministic from this stream's state).
+  /// Mutates this stream: it consumes one draw.
   Rng Split();
+
+  /// Derive an independent stream for `stream_id` WITHOUT consuming draws
+  /// from this stream. Same state + same id -> same stream, so adding a
+  /// forked lane never shifts the draws of existing lanes — the hygiene
+  /// the fuzz scenario generator needs (each scenario dimension gets its
+  /// own lane; extending one dimension leaves the others' values intact).
+  Rng Fork(std::uint64_t stream_id) const;
 
   /// UniformRandomBitGenerator interface so <algorithm> shuffles work.
   using result_type = std::uint64_t;

@@ -1,0 +1,136 @@
+// Tests for the deterministic simulation fuzzer (src/most/fuzz.h): scenario
+// generation hygiene, the oracle stack on known seeds, same-seed byte
+// determinism, and regression pins for the nastiest generated schedules.
+#include <gtest/gtest.h>
+
+#include "most/fuzz.h"
+
+namespace nees::most {
+namespace {
+
+// --- scenario generation -----------------------------------------------------
+
+TEST(FuzzScenarioTest, SameSeedSameScenario) {
+  const FuzzScenario a = GenerateScenario(7);
+  const FuzzScenario b = GenerateScenario(7);
+  EXPECT_EQ(a.Describe(), b.Describe());
+}
+
+TEST(FuzzScenarioTest, DifferentSeedsDiffer) {
+  EXPECT_NE(GenerateScenario(1).Describe(), GenerateScenario(2).Describe());
+}
+
+TEST(FuzzScenarioTest, ParametersStayInBounds) {
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    const FuzzScenario s = GenerateScenario(seed);
+    EXPECT_GE(s.sites, 3u) << seed;
+    EXPECT_LE(s.sites, 32u) << seed;
+    EXPECT_GE(s.steps, 8u) << seed;
+    EXPECT_LE(s.steps, 24u) << seed;
+    EXPECT_EQ(s.site_links.size(), s.sites) << seed;
+    // kThreadPerSite would race the single-threaded virtual event loop.
+    EXPECT_NE(s.engine, psd::StepEngine::kThreadPerSite) << seed;
+    EXPECT_LE(s.faults.size(), 8u) << seed;
+    for (const net::LinkModel& link : s.site_links) {
+      EXPECT_LE(link.drop_probability, 0.05) << seed;
+    }
+    for (const FuzzFault& f : s.faults) {
+      EXPECT_LT(f.site, s.sites) << seed;
+      if (f.kind == FuzzFault::Kind::kOutage) {
+        // Survivability bound: outages must stay under the retry span.
+        EXPECT_LE(f.duration_micros, 1'500'000) << seed;
+      }
+    }
+  }
+}
+
+TEST(FuzzScenarioTest, ReplayCommandFormatsMask) {
+  EXPECT_EQ(ReplayCommand(187, 0xd), "nees_fuzz --seed 187 --fault-mask 0xd");
+}
+
+// --- oracle stack ------------------------------------------------------------
+
+TEST(FuzzRunTest, ZeroFaultScenarioPassesAllOracles) {
+  FuzzScenario s = GenerateScenario(3);
+  s.faults.clear();
+  const FuzzOutcome outcome = RunFuzzCaseChecked(s);
+  EXPECT_TRUE(outcome.ok()) << (outcome.failures.empty()
+                                    ? ""
+                                    : outcome.failures.front());
+  EXPECT_TRUE(outcome.run_completed);
+  // The central-difference loop consumes one motion sample to initialize.
+  EXPECT_GE(outcome.steps_completed, s.steps - 1);
+  EXPECT_GT(outcome.events_processed, 0u);
+}
+
+TEST(FuzzRunTest, SmallSeedBlockPassesAllOracles) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const FuzzOutcome outcome =
+        RunFuzzCaseChecked(GenerateScenario(seed));
+    EXPECT_TRUE(outcome.ok())
+        << "seed " << seed << ": "
+        << (outcome.failures.empty() ? "" : outcome.failures.front());
+    EXPECT_TRUE(outcome.run_completed) << "seed " << seed;
+  }
+}
+
+TEST(FuzzRunTest, FaultMaskDisablesFaults) {
+  // Same seed with all faults masked off behaves like the zero-fault case:
+  // it must still complete (the mask only ever removes adversity).
+  const FuzzScenario s = GenerateScenario(5);
+  ASSERT_FALSE(s.faults.empty());
+  const FuzzOutcome outcome = RunFuzzCase(s, 0);
+  EXPECT_TRUE(outcome.ok()) << (outcome.failures.empty()
+                                    ? ""
+                                    : outcome.failures.front());
+  EXPECT_EQ(outcome.net_totals.dropped_outage, 0u);
+}
+
+// Satellite: same fuzz seed twice in-process yields byte-identical span
+// traces, metrics snapshots, and displacement histories.
+TEST(FuzzRunTest, SameSeedIsByteIdentical) {
+  const FuzzScenario s = GenerateScenario(11);
+  const FuzzOutcome a = RunFuzzCase(s);
+  const FuzzOutcome b = RunFuzzCase(s);
+  EXPECT_EQ(a.trace_jsonl, b.trace_jsonl);
+  EXPECT_EQ(a.metrics_table, b.metrics_table);
+  EXPECT_EQ(a.history.displacement, b.history.displacement);
+  EXPECT_EQ(a.history.velocity, b.history.velocity);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.wakes, b.wakes);
+  EXPECT_EQ(a.heartbeats, b.heartbeats);
+}
+
+// --- pinned regressions ------------------------------------------------------
+
+// Seed 187 (first sweep): a dropped propose *response* leaves the server
+// holding an accepted transaction the coordinator never learns about and so
+// cannot cancel. The proposal-expiry backstop must terminalize it before
+// the trace snapshot or nees-lint fails the run with a non-terminal
+// transaction.
+TEST(FuzzRegressionTest, Seed187OrphanedAcceptExpires) {
+  const FuzzOutcome outcome = RunFuzzCaseChecked(GenerateScenario(187));
+  EXPECT_TRUE(outcome.ok()) << (outcome.failures.empty()
+                                    ? ""
+                                    : outcome.failures.front());
+}
+
+// Heaviest generated schedules from the first sweep: 8 mixed faults over
+// the async engine at 19 sites (seed 49) and the sequential engine at the
+// 32-site topology cap (seed 44).
+TEST(FuzzRegressionTest, Seed49AsyncHeavyFaultSchedule) {
+  const FuzzOutcome outcome = RunFuzzCaseChecked(GenerateScenario(49));
+  EXPECT_TRUE(outcome.ok()) << (outcome.failures.empty()
+                                    ? ""
+                                    : outcome.failures.front());
+}
+
+TEST(FuzzRegressionTest, Seed44MaxSitesHeavyFaultSchedule) {
+  const FuzzOutcome outcome = RunFuzzCaseChecked(GenerateScenario(44));
+  EXPECT_TRUE(outcome.ok()) << (outcome.failures.empty()
+                                    ? ""
+                                    : outcome.failures.front());
+}
+
+}  // namespace
+}  // namespace nees::most

@@ -387,6 +387,107 @@ TEST(MPluginTest, RemoteBackendIsWakeDriven) {
   EXPECT_EQ(backend.processed(), 1u);
 }
 
+// --- VirtualPollingBackend (DeliveryMode::kVirtual) -------------------------------
+
+// Shared wiring for the event-driven kVirtual backend tests: plugin served
+// at "mplugin.v", backend polling from "matlab.v", wakes delivered to the
+// backend's control endpoint "matlab.v.ctl" from "mplugin.v.notifier".
+struct VirtualMPluginRig {
+  explicit VirtualMPluginRig(net::Network* network,
+                             std::int64_t heartbeat_micros)
+      : plugin(MakeConfig()),
+        plugin_server(network, "mplugin.v"),
+        backend_rpc(network, "matlab.v"),
+        backend_ctl(network, "matlab.v.ctl"),
+        wake_rpc(network, "mplugin.v.notifier"),
+        backend(network, &backend_rpc, "mplugin.v",
+                MakeSimulationCompute(MakeModels()), heartbeat_micros) {
+    plugin.AttachVirtualNetwork(network);
+    EXPECT_TRUE(plugin_server.Start().ok());
+    plugin.BindBackendRpc(plugin_server);
+    EXPECT_TRUE(backend_ctl.Start().ok());
+    backend.BindWakeRpc(backend_ctl);
+    plugin.SetWorkNotifier(
+        [this] { (void)wake_rpc.OneWay("matlab.v.ctl", "mplugin.wake", {}); });
+    backend.Start();
+  }
+
+  static MPlugin::Config MakeConfig() {
+    MPlugin::Config config;
+    config.execute_timeout_micros = 10'000'000;
+    return config;
+  }
+  static std::shared_ptr<
+      std::map<std::string, std::unique_ptr<structural::SubstructureModel>>>
+  MakeModels() {
+    auto models = std::make_shared<std::map<
+        std::string, std::unique_ptr<structural::SubstructureModel>>>();
+    (*models)["cp"] = ElasticModel(500.0);
+    return models;
+  }
+
+  MPlugin plugin;
+  net::RpcServer plugin_server;
+  net::RpcClient backend_rpc;
+  net::RpcServer backend_ctl;
+  net::RpcClient wake_rpc;
+  VirtualPollingBackend backend;
+};
+
+TEST(MPluginTest, VirtualBackendIsWakeDrivenSingleThreaded) {
+  // No executor thread: Execute() pumps the virtual event loop inline, and
+  // the whole propose -> wake -> poll -> compute -> notify exchange runs on
+  // this thread in virtual time, completing long before the heartbeat.
+  net::Network network(net::DeliveryMode::kVirtual);
+  net::LinkModel link;
+  link.latency_micros = 1'000;
+  network.SetDefaultLink(link);
+  VirtualMPluginRig rig(&network, /*heartbeat_micros=*/250'000);
+
+  const std::int64_t t0 = network.clock()->NowMicros();
+  util::Result<ntcp::TransactionResult> result =
+      rig.plugin.Execute(MakeProposal("v1", "cp", 0.02));
+  const std::int64_t took = network.clock()->NowMicros() - t0;
+
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->results[0].measured_force[0], 10.0, 1e-9);
+  EXPECT_GE(rig.backend.wakes(), 1u);
+  EXPECT_EQ(rig.backend.processed(), 1u);
+  EXPECT_LT(took, 125'000);  // via the wake path, not the heartbeat
+
+  rig.backend.Stop();
+  network.RunUntilQuiescent();
+}
+
+TEST(MPluginTest, VirtualBackendLostWakeOnlyDelaysNeverStalls) {
+  // Satellite coverage: sever exactly one mplugin.wake delivery. The
+  // execute must still complete — recovered by the heartbeat re-poll — and
+  // the extra latency is bounded by one heartbeat period of virtual time.
+  constexpr std::int64_t kHeartbeat = 250'000;
+  net::Network network(net::DeliveryMode::kVirtual);
+  net::LinkModel link;
+  link.latency_micros = 1'000;
+  network.SetDefaultLink(link);
+  VirtualMPluginRig rig(&network, kHeartbeat);
+  network.DropNext("mplugin.v.notifier", "matlab.v.ctl", 1);
+
+  const std::int64_t t0 = network.clock()->NowMicros();
+  util::Result<ntcp::TransactionResult> result =
+      rig.plugin.Execute(MakeProposal("v2", "cp", 0.02));
+  const std::int64_t took = network.clock()->NowMicros() - t0;
+
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(rig.backend.wakes(), 0u);       // the wake really was lost
+  EXPECT_GE(rig.backend.heartbeats(), 1u);  // ...and the heartbeat recovered
+  EXPECT_EQ(rig.backend.processed(), 1u);
+  // Delayed to roughly the first heartbeat firing; bounded, not stalled.
+  EXPECT_GE(took, kHeartbeat / 2);
+  EXPECT_LE(took, kHeartbeat + 50'000);
+
+  rig.backend.Stop();
+  network.RunUntilQuiescent();
+}
+
 // --- LabViewPlugin ----------------------------------------------------------------
 
 TEST(LabViewPluginTest, DrivesMiniMostRig) {

@@ -1,0 +1,143 @@
+// nees_fuzz: deterministic simulation fuzzer for the MOST stack.
+//
+//   nees_fuzz --seed N [--fault-mask HEX] [-v]     replay one seed
+//   nees_fuzz --smoke [--seeds N] [--start S] [-v] fixed seed block (CI)
+//   nees_fuzz --sweep N [--start S] [-v]           open-ended sweep
+//
+// Each seed expands (via most::GenerateScenario) into a random MOST-shaped
+// experiment — 3–32 sites, per-link latency/jitter/drop, outage windows,
+// forced drops, lost mplugin.wake notifications — run twice on a
+// DeliveryMode::kVirtual network and checked against the oracle stack
+// (completion, nees-lint protocol rules, exactly-once-per-site-per-step,
+// same-seed byte determinism; see src/most/fuzz.h).
+//
+// On failure the fault schedule is greedily shrunk to a minimal repro and
+// the exact replay command is printed. Exit codes: 0 all seeds clean,
+// 1 oracle failure, 2 bad usage.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "most/fuzz.h"
+#include "util/clock.h"
+
+using namespace nees;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --seed N [--fault-mask HEX] [-v]\n"
+      "       %s --smoke [--seeds N] [--start S] [-v]\n"
+      "       %s --sweep N [--start S] [-v]\n"
+      "  --seed N         run (and shrink on failure) a single seed\n"
+      "  --fault-mask HEX enable only the fault-schedule bits set in HEX\n"
+      "  --smoke          CI block: seeds S..S+N-1 (default 1..200)\n"
+      "  --sweep N        same as --smoke with an explicit seed count\n"
+      "  --start S        first seed of a block (default 1)\n"
+      "  -v               print each scenario before running it\n",
+      argv0, argv0, argv0);
+  return 2;
+}
+
+void PrintFailure(const most::FuzzScenario& scenario,
+                  const most::FuzzOutcome& outcome, std::uint64_t mask) {
+  std::fprintf(stderr, "FAIL seed=%llu fault-mask=0x%llx\n",
+               static_cast<unsigned long long>(scenario.seed),
+               static_cast<unsigned long long>(mask));
+  std::fprintf(stderr, "%s", scenario.Describe().c_str());
+  for (const std::string& failure : outcome.failures) {
+    std::fprintf(stderr, "  oracle: %s\n", failure.c_str());
+  }
+}
+
+/// Runs one seed through the checked oracle stack; on failure shrinks the
+/// fault schedule and prints the minimal replay command. Returns true when
+/// every oracle held.
+bool RunSeed(std::uint64_t seed, std::uint64_t mask, bool verbose,
+             std::uint64_t* events_accum) {
+  const most::FuzzScenario scenario = most::GenerateScenario(seed);
+  if (verbose) std::printf("%s", scenario.Describe().c_str());
+
+  const most::FuzzOutcome outcome = most::RunFuzzCaseChecked(scenario, mask);
+  if (events_accum != nullptr) *events_accum += 2 * outcome.events_processed;
+  if (outcome.ok()) return true;
+
+  PrintFailure(scenario, outcome, mask);
+  const std::uint64_t shrunk = most::ShrinkFaultMask(scenario, mask);
+  std::fprintf(stderr, "shrunk fault schedule (mask 0x%llx):\n",
+               static_cast<unsigned long long>(shrunk));
+  for (std::size_t i = 0; i < scenario.faults.size(); ++i) {
+    if (i < 64 && (shrunk & (1ULL << i)) == 0) continue;
+    std::fprintf(stderr, "  [bit %zu] %s\n", i,
+                 scenario.faults[i].ToString().c_str());
+  }
+  std::fprintf(stderr, "replay: %s\n",
+               most::ReplayCommand(seed, shrunk).c_str());
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool have_seed = false;
+  bool block_mode = false;
+  bool verbose = false;
+  std::uint64_t seed = 0;
+  std::uint64_t start = 1;
+  std::uint64_t count = 200;
+  std::uint64_t mask = most::kAllFaults;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      have_seed = true;
+      seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--fault-mask") == 0 && i + 1 < argc) {
+      mask = std::strtoull(argv[++i], nullptr, 16);
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      block_mode = true;
+    } else if (std::strcmp(argv[i], "--sweep") == 0 && i + 1 < argc) {
+      block_mode = true;
+      count = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      count = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--start") == 0 && i + 1 < argc) {
+      start = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "-v") == 0) {
+      verbose = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (have_seed == block_mode) return Usage(argv[0]);  // exactly one mode
+
+  util::Stopwatch watch;
+  std::uint64_t events = 0;
+
+  if (have_seed) {
+    const bool ok = RunSeed(seed, mask, verbose, &events);
+    std::printf("seed %llu: %s (%llu virtual events, %.2fs)\n",
+                static_cast<unsigned long long>(seed), ok ? "OK" : "FAIL",
+                static_cast<unsigned long long>(events),
+                watch.ElapsedSeconds());
+    return ok ? 0 : 1;
+  }
+
+  std::uint64_t failures = 0;
+  for (std::uint64_t s = start; s < start + count; ++s) {
+    if (!RunSeed(s, most::kAllFaults, verbose, &events)) ++failures;
+  }
+  const double elapsed = watch.ElapsedSeconds();
+  const double per_hour = elapsed > 0.0 ? 3600.0 * count / elapsed : 0.0;
+  std::printf(
+      "fuzz: %llu seeds (%llu..%llu), %llu failures, %llu virtual events, "
+      "%.2fs (%.0f seeds/hour)\n",
+      static_cast<unsigned long long>(count),
+      static_cast<unsigned long long>(start),
+      static_cast<unsigned long long>(start + count - 1),
+      static_cast<unsigned long long>(failures),
+      static_cast<unsigned long long>(events), elapsed, per_hour);
+  return failures == 0 ? 0 : 1;
+}
