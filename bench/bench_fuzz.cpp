@@ -3,9 +3,11 @@
 // schedule-space exploration is CPU-bound: this bench measures how many
 // random scenarios (and how many totally ordered virtual events) the
 // fuzzer pushes through per unit wall time, with every oracle enabled —
-// completion, nees-lint protocol replay, exactly-once-per-site-per-step,
-// and the same-seed double-run byte-determinism check (so each seed runs
-// its experiment twice).
+// completion, nees-lint protocol replay (including the crash-consistency
+// rule), exactly-once-per-site-per-step, and the same-seed double-run
+// byte-determinism check (so each seed runs its experiment twice). The
+// schedule space includes whole-site crash/restarts recovered through the
+// write-ahead log, so the crash totals below are also a coverage report.
 //
 // Emits BENCH_fuzz.json and exits non-zero if any seed in the block fails
 // an oracle (the CI smoke leg runs a larger block under ASan; this bench
@@ -42,6 +44,10 @@ int main(int argc, char** argv) {
   std::vector<SeedResult> results;
   std::uint64_t failures = 0;
   std::uint64_t total_events = 0;
+  std::uint64_t total_crashes = 0;
+  std::uint64_t total_recoveries = 0;
+  std::uint64_t total_txns_recovered = 0;
+  std::uint64_t total_inflight_failed = 0;
   const util::Stopwatch total_watch;
 
   for (std::uint64_t seed = first_seed; seed < first_seed + seed_count;
@@ -61,6 +67,10 @@ int main(int argc, char** argv) {
     results.push_back(r);
 
     total_events += r.events;
+    total_crashes += outcome.site_crashes;
+    total_recoveries += outcome.site_recoveries;
+    total_txns_recovered += outcome.transactions_recovered;
+    total_inflight_failed += outcome.inflight_failed;
     if (!outcome.ok()) {
       ++failures;
       std::fprintf(stderr, "FAIL seed=%llu: %s\n  replay: %s\n",
@@ -79,19 +89,30 @@ int main(int argc, char** argv) {
   std::printf(
       "E14: %llu seeds (all oracles + double-run determinism), "
       "%llu failures\n     %.2fs wall -> %.0f seeds/hour, "
-      "%.0f virtual events/sec\n",
+      "%.0f virtual events/sec\n"
+      "     crash/restart: %llu crashes, %llu recoveries, "
+      "%llu txns replayed from WAL, %llu crash-marked\n",
       static_cast<unsigned long long>(seed_count),
       static_cast<unsigned long long>(failures), elapsed, seeds_per_hour,
-      events_per_sec);
+      events_per_sec, static_cast<unsigned long long>(total_crashes),
+      static_cast<unsigned long long>(total_recoveries),
+      static_cast<unsigned long long>(total_txns_recovered),
+      static_cast<unsigned long long>(total_inflight_failed));
 
   std::string json = util::Format(
       "{\n  \"experiment\": \"E14\",\n  \"seeds\": %llu,\n"
       "  \"failures\": %llu,\n  \"wall_seconds\": %.3f,\n"
       "  \"seeds_per_hour\": %.1f,\n  \"virtual_events\": %llu,\n"
-      "  \"events_per_second\": %.1f,\n  \"runs\": [\n",
+      "  \"events_per_second\": %.1f,\n  \"site_crashes\": %llu,\n"
+      "  \"site_recoveries\": %llu,\n  \"transactions_recovered\": %llu,\n"
+      "  \"inflight_failed\": %llu,\n  \"runs\": [\n",
       static_cast<unsigned long long>(seed_count),
       static_cast<unsigned long long>(failures), elapsed, seeds_per_hour,
-      static_cast<unsigned long long>(total_events), events_per_sec);
+      static_cast<unsigned long long>(total_events), events_per_sec,
+      static_cast<unsigned long long>(total_crashes),
+      static_cast<unsigned long long>(total_recoveries),
+      static_cast<unsigned long long>(total_txns_recovered),
+      static_cast<unsigned long long>(total_inflight_failed));
   for (std::size_t i = 0; i < results.size(); ++i) {
     const SeedResult& r = results[i];
     json += util::Format(

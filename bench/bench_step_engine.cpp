@@ -13,6 +13,11 @@
 //                   phase to ~1 RTT, with the async engine doing it at
 //                   zero threads spawned.
 //
+// A final pair of runs measures the write-ahead-log tax (docs/RECOVERY.md):
+// the same async/immediate workload with every NTCP server and the
+// coordinator logging + syncing each durable transition, so the recovery
+// guarantee has a price tag next to it.
+//
 // Emits BENCH_step_engine.json (machine-readable perf trajectory) and
 // exits non-zero if the async engine spawns any thread, is slower than
 // thread-per-site at 3 sites (beyond noise), or fails to win strictly at
@@ -28,6 +33,7 @@
 #include "structural/substructure.h"
 #include "util/stats.h"
 #include "util/strings.h"
+#include "wal/wal.h"
 
 using namespace nees;
 
@@ -50,16 +56,19 @@ struct RunResult {
   double propose_phase_ms = 0.0;
   double execute_phase_ms = 0.0;
   std::uint64_t threads_spawned = 0;
+  std::uint64_t wal_records = 0;
+  bool wal = false;
   bool completed = false;
 };
 
 RunResult RunOnce(std::size_t site_count, psd::StepEngine engine,
-                  net::DeliveryMode mode, int steps) {
+                  net::DeliveryMode mode, int steps, bool with_wal = false) {
   RunResult out;
   out.sites = site_count;
   out.engine =
       engine == psd::StepEngine::kAsync ? "async" : "thread_per_site";
   out.mode = mode == net::DeliveryMode::kImmediate ? "immediate" : "scheduled";
+  out.wal = with_wal;
 
   net::Network network(mode);
   if (mode == net::DeliveryMode::kScheduled) {
@@ -77,12 +86,21 @@ RunResult RunOnce(std::size_t site_count, psd::StepEngine engine,
   config.iota = {1.0};
   config.motion = structural::SinePulse(0.02, steps, 1.0, 1.0);
   config.step_engine = engine;
+  if (with_wal) config.run_id = "wal-" + config.run_id;
+  std::vector<std::unique_ptr<wal::MemoryStorage>> wal_storages;
+  std::vector<std::unique_ptr<wal::Log>> wal_logs;
+  auto attach_wal = [&](auto& target) -> bool {
+    wal_storages.push_back(std::make_unique<wal::MemoryStorage>());
+    wal_logs.push_back(std::make_unique<wal::Log>(wal_storages.back().get()));
+    return target.AttachWal(wal_logs.back().get()).ok();
+  };
   for (std::size_t i = 0; i < site_count; ++i) {
     const std::string endpoint =
         config.run_id + ".site" + std::to_string(i);
     auto server = std::make_unique<ntcp::NtcpServer>(&network, endpoint,
                                                      ElasticPlugin());
     if (!server->Start().ok()) return out;
+    if (with_wal && !attach_wal(*server)) return out;
     servers.push_back(std::move(server));
     config.sites.push_back(
         {"S" + std::to_string(i), endpoint, "cp", {0}});
@@ -90,6 +108,7 @@ RunResult RunOnce(std::size_t site_count, psd::StepEngine engine,
 
   net::RpcClient rpc(&network, config.run_id + ".coordinator");
   psd::SimulationCoordinator coordinator(config, &rpc);
+  if (with_wal && !attach_wal(coordinator)) return out;
   const psd::RunReport report = coordinator.Run();
   out.completed = report.completed;
   if (!report.completed || report.wall_seconds <= 0.0) return out;
@@ -97,6 +116,10 @@ RunResult RunOnce(std::size_t site_count, psd::StepEngine engine,
   out.propose_phase_ms = report.propose_phase_micros.mean() / 1000.0;
   out.execute_phase_ms = report.execute_phase_micros.mean() / 1000.0;
   out.threads_spawned = report.threads_spawned;
+  out.wal_records = report.wal_records;
+  for (const auto& server : servers) {
+    out.wal_records += server->stats().wal_records;
+  }
   return out;
 }
 
@@ -105,10 +128,12 @@ void AppendJson(std::string& json, const RunResult& r, bool last) {
       "    {\"sites\": %zu, \"engine\": \"%s\", \"mode\": \"%s\", "
       "\"steps_per_sec\": %.1f, \"propose_phase_ms_mean\": %.3f, "
       "\"execute_phase_ms_mean\": %.3f, \"threads_spawned\": %llu, "
-      "\"completed\": %s}%s\n",
+      "\"wal\": %s, \"wal_records\": %llu, \"completed\": %s}%s\n",
       r.sites, r.engine.c_str(), r.mode.c_str(), r.steps_per_sec,
       r.propose_phase_ms, r.execute_phase_ms,
       static_cast<unsigned long long>(r.threads_spawned),
+      r.wal ? "true" : "false",
+      static_cast<unsigned long long>(r.wal_records),
       r.completed ? "true" : "false", last ? "" : ",");
 }
 
@@ -149,6 +174,31 @@ int main() {
                 scheduled ? "(WAN model)" : "(engine overhead only)",
                 table.ToString().c_str());
   }
+
+  // ---- WAL overhead (docs/RECOVERY.md) -----------------------------------
+  // Same workload, every durable transition logged + synced: the price of
+  // the crash-recovery guarantee, measured where it is most visible (no
+  // modeled network latency to hide behind).
+  const RunResult bare = RunOnce(8, psd::StepEngine::kAsync,
+                                 net::DeliveryMode::kImmediate, 120);
+  const RunResult walled = RunOnce(8, psd::StepEngine::kAsync,
+                                   net::DeliveryMode::kImmediate, 120,
+                                   /*with_wal=*/true);
+  if (!bare.completed || !walled.completed) {
+    std::fprintf(stderr, "WAL overhead run failed\n");
+    return 1;
+  }
+  results.push_back(bare);
+  results.push_back(walled);
+  const double wal_overhead_pct =
+      100.0 * (bare.steps_per_sec / walled.steps_per_sec - 1.0);
+  std::printf(
+      "---- WAL overhead (async engine, immediate delivery, 8 sites)\n\n"
+      "  no wal : %8.1f steps/sec\n"
+      "  wal    : %8.1f steps/sec  (%llu records logged)\n"
+      "  overhead: %.1f%% per step for the crash-recovery guarantee\n\n",
+      bare.steps_per_sec, walled.steps_per_sec,
+      static_cast<unsigned long long>(walled.wal_records), wal_overhead_pct);
 
   // ---- machine-readable trajectory record --------------------------------
   std::string json = "{\n  \"experiment\": \"E13\",\n  \"runs\": [\n";
@@ -200,6 +250,10 @@ int main() {
                    async_r->steps_per_sec, thread->steps_per_sec);
       ok = false;
     }
+  }
+  if (walled.wal_records == 0) {
+    std::fprintf(stderr, "FAIL: WAL run logged no records\n");
+    ok = false;
   }
   std::printf(
       "shape: both engines collapse a phase to ~1 RTT under the WAN model,\n"

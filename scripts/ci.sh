@@ -4,10 +4,14 @@
 # the concurrency-heavy suites (async step engine, RPC signaling, MPlugin
 # long poll/wake) — with warnings as errors throughout, runs the full test
 # suite in the first two, then gates on protocol conformance: a fresh
-# 150-step hybrid MOST trace must pass nees_lint, and a fixed 200-seed
+# 150-step hybrid MOST trace must pass nees_lint, a fixed 200-seed
 # deterministic fuzz block (virtual-time MOST runs, all oracles, ASan +
 # live invariants) must come back clean — on failure nees_fuzz prints the
-# failing seed, the shrunk fault schedule, and the replay command.
+# failing seed, the shrunk fault schedule, and the replay command — and a
+# crash-restart leg replays the pinned WAL-recovery seeds
+# (docs/RECOVERY.md) one by one under the same sanitizers. Finally a docs
+# check fails if README/EXPERIMENTS reference a bench JSON key that no
+# longer exists in the committed BENCH_*.json files.
 #
 #   scripts/ci.sh [build-dir-prefix]     # default: <repo>/build-ci
 set -eu
@@ -55,5 +59,48 @@ echo "######## nees_fuzz smoke block (200 seeds, ASan + invariants) ########"
 "$prefix-asan/tools/nees_fuzz" --smoke --seeds 200
 
 echo
+echo "######## crash-restart fuzz leg (pinned WAL-recovery seeds, ASan) ########"
+# Seed 25 kills a site mid-execute (WAL crash-mark path); 187 is the
+# worked trace of docs/RECOVERY.md (two whole-site crash/restarts on top
+# of the original orphaned-accept schedule); 49/44 are the heaviest mixed
+# schedules. Each runs individually so a failure names its seed directly.
+for seed in 25 187 49 44; do
+  "$prefix-asan/tools/nees_fuzz" --seed "$seed"
+done
+
+echo
+echo "######## docs vs bench JSON key check ########"
+# Drift gate: every BENCH_*.json the docs cite must be committed, and
+# every JSON key the README/EXPERIMENTS tables are derived from must
+# still exist in it — renaming a key without refreshing the docs (and
+# this list) fails here.
+docs_fail=0
+for ref in $(grep -ho 'BENCH_[a-z_]*\.json' "$repo/README.md" \
+             "$repo/EXPERIMENTS.md" "$repo"/docs/*.md | sort -u); do
+  if [ ! -f "$repo/$ref" ]; then
+    echo "docs check: $ref is cited by the docs but not committed" >&2
+    docs_fail=1
+  fi
+done
+require_keys() {
+  file="$1"
+  shift
+  for key in "$@"; do
+    if ! grep -q "\"$key\":" "$repo/$file"; then
+      echo "docs check: $file lost key '$key' still cited by the docs" >&2
+      docs_fail=1
+    fi
+  done
+}
+require_keys BENCH_step_engine.json sites engine mode steps_per_sec \
+             propose_phase_ms_mean execute_phase_ms_mean threads_spawned \
+             wal wal_records completed
+require_keys BENCH_fuzz.json seeds failures wall_seconds seeds_per_hour \
+             virtual_events events_per_second site_crashes site_recoveries \
+             transactions_recovered inflight_failed
+[ "$docs_fail" -eq 0 ] || { echo "docs check FAILED" >&2; exit 1; }
+echo "docs check OK"
+
+echo
 echo "CI matrix green: Release + ASan/UBSan + TSan, tests + conformance"
-echo "lint + 200-seed fuzz smoke."
+echo "lint + 200-seed fuzz smoke + crash-restart leg + docs check."

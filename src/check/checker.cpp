@@ -16,6 +16,9 @@ using ntcp::TransactionState;
 
 constexpr std::string_view kTxnEvent = "ntcp.txn";
 constexpr std::string_view kDupEvent = "ntcp.dup";
+constexpr std::string_view kCrashEvent = "site.crash";
+constexpr std::string_view kRestartEvent = "site.restart";
+constexpr std::string_view kRecoverEvent = "ntcp.recover";
 
 const std::string* FindTag(const obs::SpanRecord& span, std::string_view key) {
   for (const auto& [tag_key, value] : span.tags) {
@@ -66,6 +69,12 @@ class Linter {
       } else if (span.name == kDupEvent) {
         ++report_.stats.protocol_events;
         ReplayDuplicate(span);
+      } else if (span.name == kCrashEvent) {
+        ReplayCrash(span);
+      } else if (span.name == kRestartEvent) {
+        ReplayRestart(span);
+      } else if (span.name == kRecoverEvent) {
+        ReplayRecover(span);
       }
     }
     CheckTerminal();
@@ -144,6 +153,21 @@ class Linter {
       return;
     }
     endpoints_.insert(*endpoint);
+    CheckEndpointAlive(span, *endpoint, *txn, step);
+    const std::string* cause = FindTag(span, "cause");
+    if (cause != nullptr && *cause == "crash-recovery") {
+      // Crash-marks are the only transitions recovery may emit, and they
+      // are exactly the executing -> failed edge of docs/RECOVERY.md R2.
+      if (!ever_crashed_.contains(*endpoint)) {
+        Add(Rule::kCrashConsistency, &span, *txn, step,
+            "crash-recovery transition from an endpoint that never crashed");
+      }
+      if (*from_name != "executing" || *to_name != "failed") {
+        Add(Rule::kCrashConsistency, &span, *txn, step,
+            "crash-recovery transition must be executing -> failed, got " +
+                *from_name + " -> " + *to_name);
+      }
+    }
     const std::optional<TransactionState> to = StateFromName(*to_name);
     if (!to.has_value()) {
       Add(Rule::kTraceShape, &span, *txn, step,
@@ -242,6 +266,7 @@ class Linter {
       return;
     }
     endpoints_.insert(*endpoint);
+    CheckEndpointAlive(span, *endpoint, *txn, -1);
     const auto it = txns_.find(*txn);
     if (*kind == "propose-mismatch") {
       Add(Rule::kAtMostOnce, &span, *txn, it == txns_.end() ? -1 : it->second.step,
@@ -259,6 +284,60 @@ class Linter {
       Add(Rule::kAtMostOnce, &span, *txn, it->second.step,
           "duplicate execute served from cache while the transaction was in " +
               std::string(ntcp::TransactionStateName(it->second.state)));
+    }
+  }
+
+  void CheckEndpointAlive(const obs::SpanRecord& span,
+                          const std::string& endpoint, const std::string& txn,
+                          std::int64_t step) {
+    if (dead_endpoints_.contains(endpoint)) {
+      Add(Rule::kCrashConsistency, &span, txn, step,
+          "protocol event from crashed endpoint " + endpoint);
+    }
+  }
+
+  void ReplayCrash(const obs::SpanRecord& span) {
+    const std::string* endpoint = FindTag(span, "endpoint");
+    if (endpoint == nullptr) {
+      Add(Rule::kTraceShape, &span, "", -1,
+          "site.crash event is missing its endpoint tag");
+      return;
+    }
+    if (!dead_endpoints_.insert(*endpoint).second) {
+      Add(Rule::kCrashConsistency, &span, "", -1,
+          "site.crash for already-dead endpoint " + *endpoint);
+    }
+    ever_crashed_.insert(*endpoint);
+  }
+
+  void ReplayRestart(const obs::SpanRecord& span) {
+    const std::string* endpoint = FindTag(span, "endpoint");
+    if (endpoint == nullptr) {
+      Add(Rule::kTraceShape, &span, "", -1,
+          "site.restart event is missing its endpoint tag");
+      return;
+    }
+    if (dead_endpoints_.erase(*endpoint) == 0) {
+      Add(Rule::kCrashConsistency, &span, "", -1,
+          "site.restart for endpoint " + *endpoint + " which never crashed");
+    }
+  }
+
+  void ReplayRecover(const obs::SpanRecord& span) {
+    const std::string* endpoint = FindTag(span, "endpoint");
+    if (endpoint == nullptr) {
+      Add(Rule::kTraceShape, &span, "", -1,
+          "ntcp.recover event is missing its endpoint tag");
+      return;
+    }
+    // Recovery runs in the *new* incarnation, after site.restart.
+    if (dead_endpoints_.contains(*endpoint)) {
+      Add(Rule::kCrashConsistency, &span, "", -1,
+          "ntcp.recover from still-dead endpoint " + *endpoint);
+    }
+    if (!ever_crashed_.contains(*endpoint)) {
+      Add(Rule::kCrashConsistency, &span, "", -1,
+          "ntcp.recover from endpoint " + *endpoint + " which never crashed");
     }
   }
 
@@ -320,6 +399,8 @@ class Linter {
   std::map<std::string, TxnTracker> txns_;
   std::map<std::string, std::vector<Proposed>> proposals_by_endpoint_;
   std::set<std::string> endpoints_;
+  std::set<std::string> dead_endpoints_;  // crashed, not yet restarted
+  std::set<std::string> ever_crashed_;
 };
 
 }  // namespace
@@ -334,6 +415,7 @@ std::string_view RuleName(Rule rule) {
     case Rule::kStepMonotonicity: return "step-monotonicity";
     case Rule::kBogusExpiry: return "bogus-expiry";
     case Rule::kSpanNesting: return "span-nesting";
+    case Rule::kCrashConsistency: return "crash-consistency";
   }
   return "unknown";
 }

@@ -18,7 +18,12 @@
 //                    actually lapsed on the trace clock;
 //   * nesting      — spans reference existing earlier parents, start inside
 //                    them, and children of a "step"-category span (the PSD
-//                    step) also end inside it.
+//                    step) also end inside it;
+//   * crash        — between a "site.crash" and the matching "site.restart"
+//                    an endpoint emits nothing; "ntcp.recover" appears only
+//                    after a crash; cause=crash-recovery transitions are
+//                    exactly the executing -> failed crash-marks of
+//                    docs/RECOVERY.md.
 //
 // Violations carry the transaction, step, and offending span (== trace
 // line for tracer exports), so a failure is directly diffable against the
@@ -43,6 +48,11 @@ enum class Rule {
   kStepMonotonicity,   // per-endpoint PSD step skipped or reordered
   kBogusExpiry,        // kExpired before the proposal window lapsed
   kSpanNesting,        // orphan parent / child escaping its PSD-step span
+  kCrashConsistency,   // crash/restart/recovery events violate the
+                       // docs/RECOVERY.md restart state machine: protocol
+                       // events from a dead endpoint, recovery without a
+                       // crash, or a crash-recovery transition that is not
+                       // executing -> failed
 };
 
 std::string_view RuleName(Rule rule);

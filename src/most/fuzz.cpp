@@ -15,6 +15,7 @@
 #include "structural/substructure.h"
 #include "util/rng.h"
 #include "util/strings.h"
+#include "wal/wal.h"
 
 namespace nees::most {
 namespace {
@@ -43,15 +44,39 @@ bool HistoriesIdentical(const structural::TimeHistory& a,
          a.velocity == b.velocity && a.acceleration == b.acceleration;
 }
 
-/// One site's full server-side stack. Declaration order doubles as a safe
-/// destruction order (backend stops before the RPC plumbing it uses).
+/// One site's full server-side stack — one process *incarnation*. A crash
+/// discards it and a fresh one is rebuilt over the durable state.
+/// Declaration order doubles as a safe destruction order (backend stops
+/// before the RPC plumbing it uses).
 struct SiteHarness {
+  std::unique_ptr<wal::Log> wal;             // this incarnation's log handle
   std::unique_ptr<ntcp::NtcpServer> server;  // owns the MPlugin
   plugins::MPlugin* plugin = nullptr;
   std::unique_ptr<net::RpcClient> backend_rpc;  // backend -> plugin calls
   std::unique_ptr<net::RpcClient> notify_tx;    // plugin -> backend wakes
   std::unique_ptr<net::RpcServer> wake_server;  // hosts "mplugin.wake"
   std::unique_ptr<plugins::VirtualPollingBackend> backend;
+};
+
+/// One site across the whole run: what survives a crash (the WAL storage,
+/// the physical specimen) plus the live incarnation and the graveyard of
+/// dead ones. Dead stacks are kept, not destroyed: a crash timer can fire
+/// while the dying site's own frames (a pumping plugin Execute, an RPC
+/// handler) are still on the stack below it, so destruction is deferred to
+/// end of run. A dead stack is inert — its plugin is shut down, its
+/// endpoints are unregistered, and every send it attempts is swallowed by
+/// the network's crashed-endpoint filter.
+struct SiteSlot {
+  wal::MemoryStorage storage;  // durable: survives the crash
+  std::shared_ptr<
+      std::map<std::string, std::unique_ptr<structural::SubstructureModel>>>
+      models;                  // the physical specimen never resets
+  std::unique_ptr<SiteHarness> live;
+  std::vector<std::unique_ptr<SiteHarness>> graveyard;
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t transactions_recovered = 0;
+  std::uint64_t inflight_failed = 0;
 };
 
 }  // namespace
@@ -71,6 +96,10 @@ std::string FuzzFault::ToString() const {
     case Kind::kWakeDrop:
       return util::Format("wakedrop site=%zu at=%lldus count=%d", site,
                           static_cast<long long>(at_micros), count);
+    case Kind::kSiteCrashRestart:
+      return util::Format("crash   site=%zu at=%lldus downtime=%lldus", site,
+                          static_cast<long long>(at_micros),
+                          static_cast<long long>(duration_micros));
   }
   return "?";
 }
@@ -118,6 +147,7 @@ FuzzScenario GenerateScenario(std::uint64_t seed) {
   util::Rng engines = root.Fork(3);
   util::Rng timing = root.Fork(4);
   util::Rng faults = root.Fork(5);
+  util::Rng crashes = root.Fork(6);
 
   FuzzScenario s;
   s.seed = seed;
@@ -169,6 +199,24 @@ FuzzScenario GenerateScenario(std::uint64_t seed) {
     f.count = faults.UniformInt(1, 3);
     s.faults.push_back(f);
   }
+
+  // Crash/restart faults draw from their own lane and are appended AFTER
+  // the base schedule, so adding this fault class shifted neither the base
+  // faults' values nor their mask bits for any pre-existing seed. Downtime
+  // (250ms–1.2s) stays far under the coordinator's ~6s re-proposal
+  // tolerance (4 step attempts x ~1.55s of dead-site RPC backoff), keeping
+  // the completion oracle sound by construction.
+  const int crash_count = crashes.UniformInt(0, 2);
+  for (int j = 0; j < crash_count; ++j) {
+    FuzzFault f;
+    f.kind = FuzzFault::Kind::kSiteCrashRestart;
+    f.site = static_cast<std::size_t>(
+        crashes.UniformInt(0, static_cast<int>(s.sites) - 1));
+    f.at_micros =
+        1000LL * crashes.UniformInt(100, static_cast<int>(horizon / 1000));
+    f.duration_micros = 1000LL * crashes.UniformInt(250, 1200);
+    s.faults.push_back(f);
+  }
   return s;
 }
 
@@ -187,19 +235,18 @@ FuzzOutcome RunFuzzCase(const FuzzScenario& scenario,
   network.SetDefaultLink(local);
 
   // --- per-site stacks -------------------------------------------------------
-  std::vector<std::unique_ptr<SiteHarness>> sites;
+  std::vector<std::unique_ptr<SiteSlot>> sites;
   std::vector<std::string> ntcp_endpoints;
   // Split a fixed total stiffness across sites so the structure (and the
   // central-difference stability bound) doesn't change with site count.
   const double site_stiffness = 4.0e6 / static_cast<double>(scenario.sites);
 
-  for (std::size_t i = 0; i < scenario.sites; ++i) {
+  // Builds one process incarnation over the slot's durable state (WAL
+  // storage + specimen models) and recovers from whatever the log holds.
+  // Used both at startup (empty log -> fresh state) and on revival.
+  auto build_site_stack = [&](std::size_t i, SiteSlot& slot) {
     auto harness = std::make_unique<SiteHarness>();
     const std::string ntcp_ep = SiteNtcpEndpoint(i);
-    ntcp_endpoints.push_back(ntcp_ep);
-
-    network.SetLink(kCoordinatorEndpoint, ntcp_ep, scenario.site_links[i]);
-    network.SetLink(ntcp_ep, kCoordinatorEndpoint, scenario.site_links[i]);
 
     plugins::MPluginConfig mconfig;
     mconfig.execute_timeout_micros = 30'000'000;  // virtual; generous
@@ -209,16 +256,22 @@ FuzzOutcome RunFuzzCase(const FuzzScenario& scenario,
         &network, ntcp_ep, std::move(plugin), network.clock());
     harness->server->set_tracer(&tracer);
     harness->server->Start();
+    // Recovery before traffic: replay the surviving log (unsynced tail was
+    // lost at the crash), crash-mark interrupted executions, then log
+    // every new transition durably.
+    harness->wal = std::make_unique<wal::Log>(&slot.storage);
+    const auto recovered = harness->server->AttachWal(harness->wal.get());
+    if (recovered.ok()) {
+      slot.transactions_recovered += recovered->transactions_recovered;
+      slot.inflight_failed += recovered->inflight_failed;
+    } else {
+      out.failures.push_back(util::Format(
+          "wal: site %zu failed to recover from its log: %s", i,
+          recovered.status().ToString().c_str()));
+    }
     harness->plugin->AttachVirtualNetwork(&network);
     harness->plugin->BindBackendRpc(harness->server->rpc());
     harness->server->ArmExpiryTimer(&network, scenario.expiry_period_micros);
-
-    auto models = std::make_shared<std::map<
-        std::string, std::unique_ptr<structural::SubstructureModel>>>();
-    structural::Matrix k(1, 1);
-    k(0, 0) = site_stiffness;
-    (*models)[kControlPoint] =
-        std::make_unique<structural::ElasticSubstructure>(k);
 
     harness->backend_rpc =
         std::make_unique<net::RpcClient>(&network, BackendEndpoint(i));
@@ -227,7 +280,8 @@ FuzzOutcome RunFuzzCase(const FuzzScenario& scenario,
     harness->wake_server->Start();
     harness->backend = std::make_unique<plugins::VirtualPollingBackend>(
         &network, harness->backend_rpc.get(), ntcp_ep,
-        plugins::MakeSimulationCompute(models), scenario.heartbeat_micros);
+        plugins::MakeSimulationCompute(slot.models),
+        scenario.heartbeat_micros);
     harness->backend->BindWakeRpc(*harness->wake_server);
     harness->backend->Start();
 
@@ -241,8 +295,84 @@ FuzzOutcome RunFuzzCase(const FuzzScenario& scenario,
     harness->plugin->SetWorkNotifier(
         [tx, wake_ep] { (void)tx->OneWay(wake_ep, "mplugin.wake", {}); });
 
-    sites.push_back(std::move(harness));
+    slot.live = std::move(harness);
+  };
+
+  for (std::size_t i = 0; i < scenario.sites; ++i) {
+    auto slot = std::make_unique<SiteSlot>();
+    const std::string ntcp_ep = SiteNtcpEndpoint(i);
+    ntcp_endpoints.push_back(ntcp_ep);
+
+    network.SetLink(kCoordinatorEndpoint, ntcp_ep, scenario.site_links[i]);
+    network.SetLink(ntcp_ep, kCoordinatorEndpoint, scenario.site_links[i]);
+
+    slot->models = std::make_shared<std::map<
+        std::string, std::unique_ptr<structural::SubstructureModel>>>();
+    structural::Matrix k(1, 1);
+    k(0, 0) = site_stiffness;
+    (*slot->models)[kControlPoint] =
+        std::make_unique<structural::ElasticSubstructure>(k);
+
+    build_site_stack(i, *slot);
+    sites.push_back(std::move(slot));
   }
+
+  // Kills site i's whole process: the WAL's unsynced tail is lost, every
+  // endpoint vanishes, zombie stack frames unwind against a dead backend
+  // and write to the void. Returns false if the site is already dead
+  // (overlapping crash faults — the earlier crash's revival stands).
+  auto kill_site = [&](std::size_t i) -> bool {
+    SiteSlot& slot = *sites[i];
+    if (slot.live == nullptr) return false;
+    const std::string ntcp_ep = SiteNtcpEndpoint(i);
+    tracer.RecordEvent(
+        "site.crash", "fault", 0,
+        {{"endpoint", ntcp_ep},
+         {"site", util::Format("S%zu", i)},
+         {"at", std::to_string(network.clock()->NowMicros())}});
+    // The kernel view of the crash: the unsynced WAL tail is gone and every
+    // write from the dead process is swallowed from here on.
+    slot.storage.Crash();
+    // A dead process emits no telemetry.
+    slot.live->server->set_tracer(nullptr);
+    // Tear down timers and endpoint registrations; mark all four of the
+    // site's endpoints crashed so sends from zombie frames go nowhere.
+    slot.live->backend->Stop();
+    slot.live->server->Stop();
+    slot.live->wake_server->Stop();
+    slot.live->backend_rpc->Stop();
+    slot.live->notify_tx->Stop();
+    slot.live->plugin->Shutdown();
+    network.SetEndpointCrashed(ntcp_ep, true);
+    network.SetEndpointCrashed(BackendEndpoint(i), true);
+    network.SetEndpointCrashed(WakeEndpoint(i), true);
+    network.SetEndpointCrashed(NotifierEndpoint(i), true);
+    slot.graveyard.push_back(std::move(slot.live));
+    ++slot.crashes;
+    return true;
+  };
+
+  // Revives site i: clears the crash marks, re-admits storage writes, and
+  // builds a fresh incarnation whose AttachWal replays the log (silent
+  // replay + one "ntcp.recover" event + traced crash-marks).
+  auto revive_site = [&](std::size_t i) {
+    SiteSlot& slot = *sites[i];
+    const std::string ntcp_ep = SiteNtcpEndpoint(i);
+    network.SetEndpointCrashed(ntcp_ep, false);
+    network.SetEndpointCrashed(BackendEndpoint(i), false);
+    network.SetEndpointCrashed(WakeEndpoint(i), false);
+    network.SetEndpointCrashed(NotifierEndpoint(i), false);
+    slot.storage.Revive();
+    // Restart precedes the recover event in the trace: the lint rule
+    // requires an endpoint to be alive again before it may recover.
+    tracer.RecordEvent(
+        "site.restart", "fault", 0,
+        {{"endpoint", ntcp_ep},
+         {"site", util::Format("S%zu", i)},
+         {"at", std::to_string(network.clock()->NowMicros())}});
+    build_site_stack(i, slot);
+    ++slot.recoveries;
+  };
 
   // --- fault schedule --------------------------------------------------------
   for (std::size_t i = 0; i < scenario.faults.size(); ++i) {
@@ -273,6 +403,19 @@ FuzzOutcome RunFuzzCase(const FuzzScenario& scenario,
         network.ScheduleAt(f.at_micros, [&network, from, to, count = f.count] {
           network.DropNext(from, to, count);
         });
+        break;
+      }
+      case FuzzFault::Kind::kSiteCrashRestart: {
+        // Revival is scheduled only when the kill actually happened: if an
+        // overlapping crash already holds the site down, this fault is a
+        // no-op and the earlier crash's revival stands.
+        network.ScheduleAt(
+            f.at_micros, [&network, &kill_site, &revive_site, site = f.site,
+                          revive_at = f.at_micros + f.duration_micros] {
+              if (!kill_site(site)) return;
+              network.ScheduleAt(revive_at,
+                                 [&revive_site, site] { revive_site(site); });
+            });
         break;
       }
     }
@@ -317,10 +460,14 @@ FuzzOutcome RunFuzzCase(const FuzzScenario& scenario,
   network.AdvanceTo(network.clock()->NowMicros() +
                     config.proposal_timeout_micros +
                     2 * scenario.expiry_period_micros);
-  // Now disarm the timer chains and drain to empty.
-  for (auto& site : sites) {
-    site->backend->Stop();
-    site->server->Stop();
+  // Now disarm the timer chains and drain to empty. Every crash fault's
+  // revival has fired by now (faults land inside the run horizon and the
+  // teardown advance runs 20+ virtual seconds past it), so each slot holds
+  // a live stack again.
+  for (auto& slot : sites) {
+    if (slot->live == nullptr) continue;
+    slot->live->backend->Stop();
+    slot->live->server->Stop();
   }
   network.RunUntilQuiescent();
 
@@ -330,9 +477,20 @@ FuzzOutcome RunFuzzCase(const FuzzScenario& scenario,
   for (const auto& stats : report.site_stats) {
     out.step_reattempts = std::max(out.step_reattempts, stats.step_reattempts);
   }
-  for (const auto& site : sites) {
-    out.wakes += site->backend->wakes();
-    out.heartbeats += site->backend->heartbeats();
+  for (const auto& slot : sites) {
+    // Wake/heartbeat counters accumulate across every incarnation.
+    if (slot->live != nullptr) {
+      out.wakes += slot->live->backend->wakes();
+      out.heartbeats += slot->live->backend->heartbeats();
+    }
+    for (const auto& dead : slot->graveyard) {
+      out.wakes += dead->backend->wakes();
+      out.heartbeats += dead->backend->heartbeats();
+    }
+    out.site_crashes += slot->crashes;
+    out.site_recoveries += slot->recoveries;
+    out.transactions_recovered += slot->transactions_recovered;
+    out.inflight_failed += slot->inflight_failed;
   }
   out.trace_jsonl = tracer.ExportJsonLines();
   out.metrics_table = tracer.metrics().ReportTable();

@@ -6,7 +6,8 @@
 // harness exploits that: GenerateScenario(seed) derives a random topology
 // (3–32 sites), per-link latency/jitter/drop models, a step engine, and a
 // fault schedule (outage windows, forced drops, lost mplugin.wake
-// notifications) from independent Rng lanes; RunFuzzCase wires up a full
+// notifications, whole-site crash/restarts) from independent Rng lanes;
+// RunFuzzCase wires up a full
 // MOST-shaped experiment (coordinator + per-site NTCP server + MPlugin +
 // event-driven polling backend) and runs it to completion on virtual time.
 //
@@ -45,13 +46,21 @@ struct FuzzFault {
     kOutage,    // coordinator<->site link dead for [at, at+duration)
     kDropNext,  // drop the next `count` messages on one link direction
     kWakeDrop,  // drop the next `count` mplugin.wake notifications
+    /// Kill the whole site process at `at_micros` (server, plugin, backend,
+    /// wake plumbing; the unsynced WAL tail is lost) and revive it
+    /// `duration_micros` later: a fresh stack is built over the surviving
+    /// log and NtcpServer::AttachWal replays it (docs/RECOVERY.md). Crash
+    /// downtime stays under the coordinator's re-proposal tolerance, so the
+    /// completion oracle remains sound; the crash-consistency lint rule
+    /// audits the dead window.
+    kSiteCrashRestart,
   };
 
   Kind kind = Kind::kOutage;
   std::size_t site = 0;
   bool to_site = true;  // kOutage/kDropNext: coordinator->site direction?
   std::int64_t at_micros = 0;
-  std::int64_t duration_micros = 0;  // kOutage only
+  std::int64_t duration_micros = 0;  // kOutage: dead link; crash: downtime
   int count = 1;                     // kDropNext / kWakeDrop
 
   std::string ToString() const;
@@ -90,6 +99,11 @@ struct FuzzOutcome {
   std::uint64_t events_processed = 0;  // virtual loop deliveries + timers
   std::uint64_t wakes = 0;             // backend wake RPCs handled
   std::uint64_t heartbeats = 0;        // backend heartbeat firings
+  // Crash/restart accounting (kSiteCrashRestart faults).
+  std::uint64_t site_crashes = 0;      // kill events that found a live site
+  std::uint64_t site_recoveries = 0;   // revivals (== crashes when all fire)
+  std::uint64_t transactions_recovered = 0;  // rebuilt from WAL replay
+  std::uint64_t inflight_failed = 0;   // crash-marked kExecuting -> kFailed
 
   bool ok() const { return failures.empty(); }
 };

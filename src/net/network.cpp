@@ -64,6 +64,15 @@ void Network::UnregisterEndpoint(const std::string& name) {
   endpoints_.erase(name);
 }
 
+void Network::SetEndpointCrashed(const std::string& name, bool crashed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed) {
+    crashed_endpoints_.insert(name);
+  } else {
+    crashed_endpoints_.erase(name);
+  }
+}
+
 bool Network::HasEndpoint(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   return endpoints_.contains(name);
@@ -144,6 +153,16 @@ util::Status Network::Send(Message message) {
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_endpoints_.contains(message.from)) {
+      // The sender's process is dead; its zombie stack frames write to the
+      // void. Report acceptance — a crashed process cannot observe errors.
+      LinkState& dead_link = LinkFor(message.from, message.to);
+      ++dead_link.metrics.sent;
+      ++total_.sent;
+      ++dead_link.metrics.dropped_forced;
+      ++total_.dropped_forced;
+      return util::OkStatus();
+    }
     auto it = endpoints_.find(message.to);
     if (it == endpoints_.end()) {
       return util::NotFound("no such endpoint: " + message.to);

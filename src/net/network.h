@@ -36,6 +36,7 @@
 #include <memory>
 #include <mutex>
 #include <queue>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -107,6 +108,16 @@ class Network {
   void Partition(const std::vector<std::string>& group_a,
                  const std::vector<std::string>& group_b);
   void HealPartition();
+
+  /// Marks `name` as belonging to a crashed process: every Send *from* it
+  /// is silently swallowed (counted as dropped_forced). A dead process's
+  /// zombie stack frames — e.g. a handler that was mid-call when the crash
+  /// timer fired — observe sends that appear accepted but go nowhere, which
+  /// is exactly what a killed process's last instructions amount to.
+  /// Messages already in flight TO the endpoint still deliver (packets
+  /// survive their sender); they drop only if the endpoint unregistered.
+  /// Clear on revival, before the new incarnation re-registers.
+  void SetEndpointCrashed(const std::string& name, bool crashed);
 
   // --- metrics / time -----------------------------------------------------
   LinkMetrics TotalMetrics() const;
@@ -256,6 +267,7 @@ class Network {
 
   std::vector<std::string> partition_a_, partition_b_;
   bool partitioned_ = false;
+  std::set<std::string> crashed_endpoints_;
 
   // kScheduled + kVirtual shared queue
   std::priority_queue<ScheduledMessage, std::vector<ScheduledMessage>,

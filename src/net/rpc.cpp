@@ -200,13 +200,20 @@ RpcClient::RpcClient(Network* network, std::string endpoint)
     : network_(network), endpoint_(std::move(endpoint)) {
   const util::Status status = network_->RegisterEndpoint(
       endpoint_, [this](Message message) { HandleMessage(std::move(message)); });
+  registered_ = status.ok();
   if (!status.ok()) {
     NEES_LOG_ERROR("net.rpc") << "client endpoint registration failed: "
                               << status.ToString();
   }
 }
 
-RpcClient::~RpcClient() { network_->UnregisterEndpoint(endpoint_); }
+RpcClient::~RpcClient() { Stop(); }
+
+void RpcClient::Stop() {
+  if (!registered_) return;
+  registered_ = false;
+  network_->UnregisterEndpoint(endpoint_);
+}
 
 void RpcClient::SetAuthToken(std::string token) {
   std::lock_guard<std::mutex> lock(mu_);

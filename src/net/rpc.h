@@ -103,6 +103,13 @@ class RpcClient {
   RpcClient(const RpcClient&) = delete;
   RpcClient& operator=(const RpcClient&) = delete;
 
+  /// Unregisters this client's endpoint now (idempotent; the destructor
+  /// otherwise does it). Crash simulation needs this: when a site dies and
+  /// a fresh incarnation re-registers the same endpoint name, the dead
+  /// incarnation's eventual destructor must not tear down its successor's
+  /// registration.
+  void Stop();
+
   /// Bearer token attached to every subsequent call (the default token).
   void SetAuthToken(std::string token);
 
@@ -199,6 +206,7 @@ class RpcClient {
 
   Network* network_;
   std::string endpoint_;
+  bool registered_ = false;
   std::string auth_token_;
   std::map<std::string, std::string> per_target_tokens_;
   std::mutex mu_;

@@ -6,6 +6,13 @@
 #include "util/strings.h"
 
 namespace nees::ntcp {
+namespace {
+
+// WAL record vocabulary (see docs/RECOVERY.md, "Record grammar").
+constexpr std::uint8_t kWalTxnCreate = 1;      // proposal + proposed_at
+constexpr std::uint8_t kWalTxnTransition = 2;  // id, to, at, detail[, result]
+
+}  // namespace
 
 NtcpServer::NtcpServer(net::Network* network, std::string endpoint,
                        std::unique_ptr<ControlPlugin> plugin,
@@ -93,17 +100,56 @@ void NtcpServer::PublishSdeLocked(const std::string& id,
 void NtcpServer::RecordTxnEventLocked(const TransactionRecord& record,
                                       std::string_view from,
                                       std::string_view to,
-                                      std::int64_t at_micros) {
+                                      std::int64_t at_micros,
+                                      const std::string& cause) {
   if (tracer_ == nullptr) return;
-  tracer_->RecordEvent(
-      "ntcp.txn", "txn", 0,
-      {{"txn", record.proposal.transaction_id},
-       {"endpoint", endpoint()},
-       {"from", std::string(from)},
-       {"to", std::string(to)},
-       {"step", std::to_string(record.proposal.step_index)},
-       {"at", std::to_string(at_micros)},
-       {"timeout", std::to_string(record.proposal.timeout_micros)}});
+  obs::Tracer::Tags tags = {
+      {"txn", record.proposal.transaction_id},
+      {"endpoint", endpoint()},
+      {"from", std::string(from)},
+      {"to", std::string(to)},
+      {"step", std::to_string(record.proposal.step_index)},
+      {"at", std::to_string(at_micros)},
+      {"timeout", std::to_string(record.proposal.timeout_micros)}};
+  if (!cause.empty()) tags.emplace_back("cause", cause);
+  tracer_->RecordEvent("ntcp.txn", "txn", 0, std::move(tags));
+}
+
+void NtcpServer::WalLogCreateLocked(const TransactionRecord& record) {
+  if (wal_ == nullptr) return;
+  util::ByteWriter writer;
+  EncodeProposal(record.proposal, writer);
+  const auto it = record.state_timestamps.find(
+      std::string(TransactionStateName(TransactionState::kProposed)));
+  writer.WriteI64(it == record.state_timestamps.end() ? -1 : it->second);
+  if (wal_->Append(kWalTxnCreate, writer.Take()).ok()) ++stats_.wal_records;
+}
+
+void NtcpServer::WalLogTransitionLocked(const std::string& id,
+                                        const TransactionRecord& record,
+                                        std::int64_t at_micros) {
+  if (wal_ == nullptr) return;
+  util::ByteWriter writer;
+  writer.WriteString(id);
+  writer.WriteU8(static_cast<std::uint8_t>(record.state));
+  writer.WriteI64(at_micros);
+  writer.WriteString(record.detail);
+  const bool has_result = record.state == TransactionState::kCompleted;
+  writer.WriteBool(has_result);
+  if (has_result) EncodeTransactionResult(record.result, writer);
+  if (wal_->Append(kWalTxnTransition, writer.Take()).ok()) {
+    ++stats_.wal_records;
+  }
+}
+
+void NtcpServer::WalSyncLocked() {
+  if (wal_ == nullptr) return;
+  const util::Status status = wal_->Sync();
+  if (!status.ok()) {
+    ++stats_.wal_sync_failures;
+    NEES_LOG_ERROR("ntcp.server." + endpoint())
+        << "WAL sync failed: " << status.ToString();
+  }
 }
 
 void NtcpServer::RecordDupEventLocked(const TransactionRecord& record,
@@ -120,7 +166,8 @@ void NtcpServer::RecordDupEventLocked(const TransactionRecord& record,
 void NtcpServer::TransitionLocked(const std::string& id,
                                   TransactionRecord& record,
                                   TransactionState to,
-                                  const std::string& detail) {
+                                  const std::string& detail,
+                                  const std::string& cause) {
   if (!IsLegalTransition(record.state, to)) {
     NEES_LOG_ERROR("ntcp.server." + endpoint())
         << "illegal transition " << TransactionStateName(record.state)
@@ -134,7 +181,8 @@ void NtcpServer::TransitionLocked(const std::string& id,
   if (!detail.empty()) record.detail = detail;
   const std::int64_t at = clock_->NowMicros();
   record.state_timestamps[std::string(TransactionStateName(to))] = at;
-  RecordTxnEventLocked(record, from, TransactionStateName(to), at);
+  WalLogTransitionLocked(id, record, at);
+  RecordTxnEventLocked(record, from, TransactionStateName(to), at, cause);
   PublishSdeLocked(id, record);
 }
 
@@ -185,16 +233,19 @@ NtcpServer::ProposeOutcome NtcpServer::Propose(const Proposal& proposal) {
   (void)unused;
   NEES_CHECK_INVARIANT(inserted->second.state == TransactionState::kProposed,
                        "a freshly created transaction must be kProposed");
+  WalLogCreateLocked(inserted->second);
   RecordTxnEventLocked(inserted->second, "none", "proposed", proposed_at);
   if (validation.ok()) {
     ++stats_.accepted;
     TransitionLocked(proposal.transaction_id, inserted->second,
                      TransactionState::kAccepted, "");
+    WalSyncLocked();  // durable before the accept is disclosed
     return {true, ""};
   }
   ++stats_.rejected;
   TransitionLocked(proposal.transaction_id, inserted->second,
                    TransactionState::kRejected, validation.ToString());
+  WalSyncLocked();
   return {false, validation.ToString()};
 }
 
@@ -248,11 +299,16 @@ util::Result<TransactionResult> NtcpServer::Execute(
                        "proposal timeout lapsed before execute");
       NEES_CHECK_INVARIANT(record.state == TransactionState::kExpired,
                            "lapsed-window transaction must end kExpired");
+      WalSyncLocked();
       return util::FailedPrecondition("transaction expired");
     }
 
     TransitionLocked(transaction_id, record, TransactionState::kExecuting,
                      "");
+    // The intent to execute must be durable *before* the plugin can move the
+    // specimen: after a crash, recovery sees kExecuting and crash-marks it
+    // kFailed instead of silently re-executing (at-most-once).
+    WalSyncLocked();
     proposal = record.proposal;
     ++stats_.executions;
   }
@@ -272,11 +328,13 @@ util::Result<TransactionResult> NtcpServer::Execute(
     it->second.result = *outcome;
     TransitionLocked(transaction_id, it->second, TransactionState::kCompleted,
                      "");
+    WalSyncLocked();  // result durable before the reply that caches it
     return *outcome;
   }
   ++stats_.failures;
   TransitionLocked(transaction_id, it->second, TransactionState::kFailed,
                    outcome.status().ToString());
+  WalSyncLocked();
   return outcome.status();
 }
 
@@ -297,6 +355,7 @@ util::Status NtcpServer::Cancel(const std::string& transaction_id) {
   ++stats_.cancels;
   TransitionLocked(transaction_id, record, TransactionState::kCancelled,
                    "cancelled by client");
+  WalSyncLocked();
   plugin_->OnCancel(record.proposal);
   return util::OkStatus();
 }
@@ -345,6 +404,7 @@ int NtcpServer::ExpireStale() {
       ++expired;
     }
   }
+  if (expired > 0) WalSyncLocked();
   return expired;
 }
 
@@ -366,6 +426,104 @@ int NtcpServer::GarbageCollect(std::int64_t retention_micros) {
     }
   }
   return removed;
+}
+
+util::Result<WalRecovery> NtcpServer::AttachWal(wal::Log* log) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WalRecovery recovery;
+  NEES_ASSIGN_OR_RETURN(std::vector<wal::Record> records, log->Open());
+  recovery.records_replayed = records.size();
+  recovery.torn_bytes_truncated = log->open_stats().truncated_bytes;
+
+  // Replay is *silent*: re-emitting three-month-old transitions would make
+  // nees-lint see every transaction created twice. The table is rebuilt
+  // directly; only the summary event and the crash-marks below are traced.
+  for (const wal::Record& rec : records) {
+    util::ByteReader reader(rec.payload);
+    if (rec.type == kWalTxnCreate) {
+      NEES_ASSIGN_OR_RETURN(Proposal proposal, DecodeProposal(reader));
+      NEES_ASSIGN_OR_RETURN(std::int64_t at, reader.ReadI64());
+      auto [it, inserted] =
+          transactions_.try_emplace(proposal.transaction_id);
+      if (!inserted) continue;  // double recovery: upsert, don't clobber
+      it->second.proposal = std::move(proposal);
+      it->second.state = TransactionState::kProposed;
+      if (at >= 0) {
+        it->second.state_timestamps[std::string(
+            TransactionStateName(TransactionState::kProposed))] = at;
+      }
+      ++recovery.transactions_recovered;
+    } else if (rec.type == kWalTxnTransition) {
+      NEES_ASSIGN_OR_RETURN(std::string id, reader.ReadString());
+      NEES_ASSIGN_OR_RETURN(std::uint8_t state_raw, reader.ReadU8());
+      NEES_ASSIGN_OR_RETURN(std::int64_t at, reader.ReadI64());
+      NEES_ASSIGN_OR_RETURN(std::string detail, reader.ReadString());
+      NEES_ASSIGN_OR_RETURN(bool has_result, reader.ReadBool());
+      if (state_raw > static_cast<std::uint8_t>(TransactionState::kExpired)) {
+        return util::DataLoss(util::Format(
+            "WAL transition for %s names unknown state %u", id.c_str(),
+            static_cast<unsigned>(state_raw)));
+      }
+      auto it = transactions_.find(id);
+      if (it == transactions_.end()) {
+        // Creates are synced before any transition is appended, so a
+        // transition without its create means the log is not ours.
+        return util::DataLoss("WAL transition for unknown transaction: " + id);
+      }
+      it->second.state = static_cast<TransactionState>(state_raw);
+      if (!detail.empty()) it->second.detail = detail;
+      it->second.state_timestamps[std::string(
+          TransactionStateName(it->second.state))] = at;
+      if (has_result) {
+        NEES_ASSIGN_OR_RETURN(it->second.result,
+                              DecodeTransactionResult(reader));
+      }
+    } else {
+      return util::DataLoss(util::Format(
+          "WAL record has unknown type %u", static_cast<unsigned>(rec.type)));
+    }
+  }
+
+  // Only attach once replay succeeded: a corrupt log must not be appended to.
+  wal_ = log;
+
+  std::vector<std::string> inflight;
+  for (const auto& [id, record] : transactions_) {
+    if (record.state == TransactionState::kExecuting) inflight.push_back(id);
+  }
+
+  if (!records.empty() && tracer_ != nullptr) {
+    tracer_->RecordEvent(
+        "ntcp.recover", "txn", 0,
+        {{"endpoint", endpoint()},
+         {"records", std::to_string(recovery.records_replayed)},
+         {"transactions", std::to_string(recovery.transactions_recovered)},
+         {"inflight", std::to_string(inflight.size())},
+         {"truncated_bytes",
+          std::to_string(recovery.torn_bytes_truncated)}});
+  }
+
+  // Crash-mark: a transaction caught mid-execute left the specimen in an
+  // unknown state. Never silently re-execute it — fail it (a legal
+  // executing -> failed edge) and let the coordinator re-propose under a
+  // fresh attempt id. These transitions ARE traced (cause=crash-recovery)
+  // and logged, so a second crash replays them instead of re-deciding.
+  for (const std::string& id : inflight) {
+    auto it = transactions_.find(id);
+    ++stats_.failures;
+    TransitionLocked(id, it->second, TransactionState::kFailed,
+                     "site crashed during execution; specimen state unknown",
+                     "crash-recovery");
+    ++recovery.inflight_failed;
+  }
+  WalSyncLocked();
+
+  // Republish every recovered transaction's SDE so OGSI inspection of the
+  // new incarnation sees the full table, not just post-restart changes.
+  for (const auto& [id, record] : transactions_) {
+    PublishSdeLocked(id, record);
+  }
+  return recovery;
 }
 
 NtcpServerStats NtcpServer::stats() const {

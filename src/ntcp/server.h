@@ -23,6 +23,7 @@
 #include "ntcp/plugin.h"
 #include "ntcp/types.h"
 #include "util/clock.h"
+#include "wal/wal.h"
 
 namespace nees::ntcp {
 
@@ -36,6 +37,19 @@ struct NtcpServerStats {
   std::uint64_t cancels = 0;
   std::uint64_t expired = 0;
   std::uint64_t failures = 0;
+  std::uint64_t wal_records = 0;       // transitions logged this incarnation
+  std::uint64_t wal_sync_failures = 0;
+};
+
+/// What AttachWal reconstructed from the log (docs/RECOVERY.md, step R2).
+struct WalRecovery {
+  std::size_t records_replayed = 0;
+  std::size_t transactions_recovered = 0;
+  /// Transactions found in kExecuting — the crash interrupted the plugin
+  /// and the specimen's state is unknown, so they are crash-marked kFailed
+  /// (never silently re-executed; at-most-once survives the restart).
+  std::size_t inflight_failed = 0;
+  std::size_t torn_bytes_truncated = 0;
 };
 
 class NtcpServer {
@@ -84,6 +98,17 @@ class NtcpServer {
   /// the table; returns how many were dropped.
   int GarbageCollect(std::int64_t retention_micros);
 
+  /// Attaches a write-ahead log (docs/RECOVERY.md). Opens `log`, replays
+  /// every record into the transaction table (restoring proposals, states,
+  /// timestamps, and cached results), crash-marks transactions caught in
+  /// kExecuting as kFailed, and from then on logs every transition durably
+  /// before the reply that discloses it. Call once, before the server
+  /// takes traffic; `log` must outlive the server. Replay is silent (no
+  /// re-emitted trace events) except for one "ntcp.recover" summary event
+  /// and the crash-mark transitions, which are traced with
+  /// cause=crash-recovery so nees-lint can audit the restart.
+  util::Result<WalRecovery> AttachWal(wal::Log* log);
+
   NtcpServerStats stats() const;
 
   /// Attaches a tracer to the server AND its plugin: protocol-phase spans
@@ -95,12 +120,24 @@ class NtcpServer {
 
  private:
   void TransitionLocked(const std::string& id, TransactionRecord& record,
-                        TransactionState to, const std::string& detail);
+                        TransactionState to, const std::string& detail,
+                        const std::string& cause = "");
   /// Emits one "ntcp.txn" protocol event per state change (from "none" for
-  /// creation) into the trace stream; nees-lint replays these.
+  /// creation) into the trace stream; nees-lint replays these. A non-empty
+  /// `cause` is added as a tag (crash-mark transitions carry
+  /// cause=crash-recovery).
   void RecordTxnEventLocked(const TransactionRecord& record,
                             std::string_view from, std::string_view to,
-                            std::int64_t at_micros);
+                            std::int64_t at_micros,
+                            const std::string& cause = "");
+  /// WAL append helpers; no-ops when no log is attached. Sync failures are
+  /// counted and logged but do not fail the operation for MemoryStorage-
+  /// style stores (which cannot fail); FileStorage callers watch stats.
+  void WalLogCreateLocked(const TransactionRecord& record);
+  void WalLogTransitionLocked(const std::string& id,
+                              const TransactionRecord& record,
+                              std::int64_t at_micros);
+  void WalSyncLocked();
   /// Emits an "ntcp.dup" event when a retry is served from the
   /// at-most-once cache (kind: propose / propose-mismatch / execute).
   void RecordDupEventLocked(const TransactionRecord& record,
@@ -118,6 +155,7 @@ class NtcpServer {
   mutable std::mutex mu_;
   std::map<std::string, TransactionRecord> transactions_;
   NtcpServerStats stats_;
+  wal::Log* wal_ = nullptr;
 
   // Liveness flag captured by armed expiry timers; cleared on Stop() so a
   // queued firing after shutdown is a safe no-op.

@@ -9,7 +9,9 @@ namespace nees::plugins {
 
 MPlugin::MPlugin(Config config) : config_(config) {}
 
-MPlugin::~MPlugin() {
+MPlugin::~MPlugin() { Shutdown(); }
+
+void MPlugin::Shutdown() {
   std::lock_guard<std::mutex> lock(mu_);
   shutting_down_ = true;
   work_cv_.notify_all();

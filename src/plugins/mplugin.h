@@ -39,6 +39,14 @@ class MPlugin final : public ntcp::ControlPlugin {
   explicit MPlugin(Config config = Config());
   ~MPlugin() override;
 
+  /// Kills the plugin: in-flight Execute() waits unwind as timeouts and
+  /// every later poll/execute returns immediately. Idempotent; the
+  /// destructor calls it. Crash simulation calls it on the dead
+  /// incarnation so zombie stack frames (an Execute that was on the stack
+  /// when the crash fired) fail out instead of waiting on a backend that
+  /// will never answer.
+  void Shutdown();
+
   // --- ControlPlugin ---------------------------------------------------------
   util::Status Validate(const ntcp::Proposal& proposal) override;
   util::Result<ntcp::TransactionResult> Execute(

@@ -10,6 +10,14 @@
 #include "util/strings.h"
 
 namespace nees::psd {
+namespace {
+
+// Coordinator WAL record vocabulary (docs/RECOVERY.md, "Record grammar").
+constexpr std::uint8_t kWalRunBegin = 1;      // run_id, total_steps, n
+constexpr std::uint8_t kWalStepComplete = 2;  // step boundary + state vectors
+constexpr std::uint8_t kWalSiteOutcome = 3;   // step, site, txn, executed
+
+}  // namespace
 
 // The Vector arithmetic operators live in nees::structural and are not
 // found by ADL on std::vector<double>; pull them in explicitly.
@@ -327,6 +335,10 @@ util::Status SimulationCoordinator::CycleOnce(
   }
   execute_phase_micros_.Add(
       static_cast<double>(clock_->NowMicros() - execute_t0));
+  for (std::size_t i = 0; i < site_count; ++i) {
+    WalLogSiteOutcome(transaction_ids[i], config_.sites[i].name,
+                      executed[i] != 0);
+  }
   if (!exec_status.ok()) {
     // A failed execute phase abandons this attempt, and the re-proposal
     // runs under fresh transaction ids — so cancel the accepted-but-not-
@@ -420,6 +432,7 @@ util::Result<bool> SimulationCoordinator::StepCentralDifference(
   history_.velocity.push_back(v);
   history_.acceleration.push_back(a);
   ++step_;
+  WalLogStepComplete();
 
   if (observer_) observer_(step_ - 1, d_prev_, results);
   return true;
@@ -459,6 +472,7 @@ util::Result<bool> SimulationCoordinator::StepOperatorSplitting(
   history_.velocity.push_back(v_);
   history_.acceleration.push_back(a_);
   ++step_;
+  WalLogStepComplete();
 
   if (observer_) observer_(step_ - 1, d_tilde, results);
   return true;
@@ -526,7 +540,137 @@ RunReport SimulationCoordinator::Run() {
   report.threads_spawned = threads_spawned_;
   report.propose_phase_micros = propose_phase_micros_;
   report.execute_phase_micros = execute_phase_micros_;
+  report.wal_records = wal_records_;
+  report.wal_sync_failures = wal_sync_failures_;
   return report;
+}
+
+void SimulationCoordinator::WalLogStepComplete() {
+  if (wal_ == nullptr) return;
+  util::ByteWriter writer;
+  writer.WriteU64(static_cast<std::uint64_t>(step_));
+  writer.WriteDoubleVector(d_);
+  writer.WriteDoubleVector(d_prev_);
+  writer.WriteDoubleVector(v_);
+  writer.WriteDoubleVector(a_);
+  writer.WriteDoubleVector(history_.velocity.back());
+  writer.WriteDoubleVector(history_.acceleration.back());
+  if (wal_->Append(kWalStepComplete, writer.Take()).ok()) ++wal_records_;
+  WalSync();  // the coordinator's one fsync point per step
+}
+
+void SimulationCoordinator::WalLogSiteOutcome(
+    const std::string& transaction_id, const std::string& site,
+    bool executed) {
+  if (wal_ == nullptr) return;
+  util::ByteWriter writer;
+  writer.WriteU64(static_cast<std::uint64_t>(step_));
+  writer.WriteString(site);
+  writer.WriteString(transaction_id);
+  writer.WriteBool(executed);
+  if (wal_->Append(kWalSiteOutcome, writer.Take()).ok()) ++wal_records_;
+}
+
+void SimulationCoordinator::WalSync() {
+  if (wal_ == nullptr) return;
+  const util::Status status = wal_->Sync();
+  if (!status.ok()) {
+    ++wal_sync_failures_;
+    NEES_LOG_ERROR("psd.coordinator")
+        << "WAL sync failed: " << status.ToString();
+  }
+}
+
+util::Result<CoordinatorWalRecovery> SimulationCoordinator::AttachWal(
+    wal::Log* log) {
+  NEES_RETURN_IF_ERROR(EnsureInitialized());
+  CoordinatorWalRecovery recovery;
+  NEES_ASSIGN_OR_RETURN(std::vector<wal::Record> records, log->Open());
+  recovery.records_replayed = records.size();
+
+  const std::size_t n = config_.mass.rows();
+  const std::size_t total_steps =
+      config_.motion.steps() == 0 ? 0 : config_.motion.steps() - 1;
+  std::size_t last_outcome_step = 0;
+  bool saw_outcome = false;
+  bool saw_begin = false;
+
+  for (const wal::Record& rec : records) {
+    util::ByteReader reader(rec.payload);
+    if (rec.type == kWalRunBegin) {
+      NEES_ASSIGN_OR_RETURN(std::string run_id, reader.ReadString());
+      NEES_ASSIGN_OR_RETURN(std::uint64_t steps, reader.ReadU64());
+      NEES_ASSIGN_OR_RETURN(std::uint64_t dofs, reader.ReadU64());
+      if (run_id != config_.run_id || steps != total_steps || dofs != n) {
+        return util::InvalidArgument(util::Format(
+            "WAL belongs to a different run: log has (%s, %llu steps, %llu "
+            "DOFs), config is (%s, %zu steps, %zu DOFs)",
+            run_id.c_str(), static_cast<unsigned long long>(steps),
+            static_cast<unsigned long long>(dofs), config_.run_id.c_str(),
+            total_steps, n));
+      }
+      saw_begin = true;
+    } else if (rec.type == kWalStepComplete) {
+      NEES_ASSIGN_OR_RETURN(std::uint64_t step, reader.ReadU64());
+      NEES_ASSIGN_OR_RETURN(structural::Vector d, reader.ReadDoubleVector());
+      NEES_ASSIGN_OR_RETURN(structural::Vector d_prev,
+                            reader.ReadDoubleVector());
+      NEES_ASSIGN_OR_RETURN(structural::Vector v, reader.ReadDoubleVector());
+      NEES_ASSIGN_OR_RETURN(structural::Vector a, reader.ReadDoubleVector());
+      NEES_ASSIGN_OR_RETURN(structural::Vector v_row,
+                            reader.ReadDoubleVector());
+      NEES_ASSIGN_OR_RETURN(structural::Vector a_row,
+                            reader.ReadDoubleVector());
+      if (step != step_ + 1 || d.size() != n) {
+        return util::DataLoss(util::Format(
+            "WAL step-complete record out of sequence: log says step %llu, "
+            "coordinator has replayed %zu",
+            static_cast<unsigned long long>(step), step_));
+      }
+      d_ = std::move(d);
+      d_prev_ = std::move(d_prev);
+      v_ = std::move(v);
+      a_ = std::move(a);
+      history_.displacement.push_back(d_);
+      history_.velocity.push_back(std::move(v_row));
+      history_.acceleration.push_back(std::move(a_row));
+      step_ = step;
+      ++recovery.steps_recovered;
+    } else if (rec.type == kWalSiteOutcome) {
+      NEES_ASSIGN_OR_RETURN(std::uint64_t step, reader.ReadU64());
+      last_outcome_step = step;
+      saw_outcome = true;
+      ++recovery.site_outcomes_replayed;
+    } else {
+      return util::DataLoss(util::Format(
+          "coordinator WAL record has unknown type %u",
+          static_cast<unsigned>(rec.type)));
+    }
+  }
+  if (!records.empty() && !saw_begin) {
+    return util::DataLoss("coordinator WAL lacks its run-begin record");
+  }
+  recovery.mid_step = saw_outcome && last_outcome_step >= step_;
+
+  // Only attach once replay succeeded: a corrupt log must not be appended
+  // to. A fresh log gets the run-begin stamp now.
+  wal_ = log;
+  if (records.empty()) {
+    util::ByteWriter writer;
+    writer.WriteString(config_.run_id);
+    writer.WriteU64(static_cast<std::uint64_t>(total_steps));
+    writer.WriteU64(static_cast<std::uint64_t>(n));
+    if (wal_->Append(kWalRunBegin, writer.Take()).ok()) ++wal_records_;
+    WalSync();
+  }
+  if (config_.tracer != nullptr && !records.empty()) {
+    config_.tracer->RecordEvent(
+        "psd.recover", "step", 0,
+        {{"run", config_.run_id},
+         {"steps_recovered", std::to_string(recovery.steps_recovered)},
+         {"mid_step", recovery.mid_step ? "1" : "0"}});
+  }
+  return recovery;
 }
 
 Checkpoint SimulationCoordinator::GetCheckpoint() const {

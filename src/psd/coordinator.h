@@ -32,6 +32,7 @@
 #include "structural/integrator.h"
 #include "util/clock.h"
 #include "util/stats.h"
+#include "wal/wal.h"
 
 namespace nees::obs {
 class Tracer;
@@ -125,6 +126,9 @@ struct RunReport {
   /// phase attempt), for the E13 latency breakdown.
   util::SampleStats propose_phase_micros;
   util::SampleStats execute_phase_micros;
+  /// WAL activity this run (0 when no log is attached).
+  std::uint64_t wal_records = 0;
+  std::uint64_t wal_sync_failures = 0;
 };
 
 struct Checkpoint {
@@ -134,6 +138,20 @@ struct Checkpoint {
   structural::Vector v;  // operator-splitting state (empty under CD)
   structural::Vector a;
   structural::TimeHistory history;
+};
+
+/// What SimulationCoordinator::AttachWal rebuilt from the log
+/// (docs/RECOVERY.md, step R3).
+struct CoordinatorWalRecovery {
+  std::size_t records_replayed = 0;
+  std::size_t steps_recovered = 0;       // completed steps restored
+  std::size_t site_outcomes_replayed = 0;
+  /// True when the crash interrupted a step: per-site outcomes exist past
+  /// the last step boundary. The step is simply re-driven from attempt 1 —
+  /// the deterministic transaction ids make re-proposal a duplicate at any
+  /// site that already accepted, and re-execute is served from the
+  /// at-most-once result cache, so the specimen never moves twice.
+  bool mid_step = false;
 };
 
 class SimulationCoordinator {
@@ -160,6 +178,15 @@ class SimulationCoordinator {
   Checkpoint GetCheckpoint() const;
   util::Status Restore(const Checkpoint& checkpoint);
 
+  /// Attaches a write-ahead log (docs/RECOVERY.md). On an empty log, stamps
+  /// a run-begin record binding the log to (run_id, total steps, DOF count).
+  /// On a non-empty log, validates that binding, replays every completed
+  /// step boundary back into (step_, d, d_prev, v, a, history), and reports
+  /// whether the crash landed mid-step. From then on every completed step
+  /// is logged and synced before the coordinator advances. Call once,
+  /// before Run(); `log` must outlive the coordinator.
+  util::Result<CoordinatorWalRecovery> AttachWal(wal::Log* log);
+
   const structural::TimeHistory& history() const { return history_; }
   std::size_t current_step() const { return step_; }
   std::vector<SiteStats> site_stats() const;
@@ -167,6 +194,14 @@ class SimulationCoordinator {
 
  private:
   util::Status EnsureInitialized();
+  /// WAL helpers; no-ops when no log is attached. A step-complete record is
+  /// synced (the coordinator's one fsync point per step); site outcomes ride
+  /// until that sync — losing them is safe because a re-driven step is
+  /// idempotent.
+  void WalLogStepComplete();
+  void WalLogSiteOutcome(const std::string& transaction_id,
+                         const std::string& site, bool executed);
+  void WalSync();
   /// One full propose-all / execute-all cycle for the current step; fills
   /// `forces` with the assembled restoring force vector.
   util::Status ForEachSite(
@@ -215,6 +250,9 @@ class SimulationCoordinator {
   structural::TimeHistory history_;
   std::uint64_t transient_recovered_ = 0;
   std::uint64_t threads_spawned_ = 0;
+  wal::Log* wal_ = nullptr;
+  std::uint64_t wal_records_ = 0;
+  std::uint64_t wal_sync_failures_ = 0;
   util::SampleStats propose_phase_micros_;
   util::SampleStats execute_phase_micros_;
 };

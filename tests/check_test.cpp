@@ -283,6 +283,95 @@ TEST(CheckTest, DuplicateForUnknownTransactionReported) {
   EXPECT_EQ(Rules(LintSpans({dup})), (std::set<Rule>{Rule::kAtMostOnce}));
 }
 
+// --- crash consistency (docs/RECOVERY.md restart state machine) --------------
+
+obs::SpanRecord Marker(std::uint64_t id, const std::string& name,
+                       std::int64_t at,
+                       const std::string& endpoint = "ntcp.hand") {
+  obs::SpanRecord event;
+  event.id = id;
+  event.name = name;
+  event.category = "fault";
+  event.start_micros = at;
+  event.end_micros = at;
+  event.tags = {{"endpoint", endpoint}};
+  return event;
+}
+
+TEST(CheckTest, CrashRestartRecoveryTraceIsClean) {
+  // The canonical crash window: intent durable, process dies mid-execute,
+  // the revived incarnation replays the log and crash-marks the in-flight
+  // transaction executing -> failed.
+  std::vector<obs::SpanRecord> spans = {
+      Event(1, "t-c", "none", "proposed", 100, /*step=*/0),
+      Event(2, "t-c", "proposed", "accepted", 110, /*step=*/0),
+      Event(3, "t-c", "accepted", "executing", 120, /*step=*/0),
+      Marker(4, "site.crash", 130),
+      Marker(5, "site.restart", 140),
+      Marker(6, "ntcp.recover", 150),
+  };
+  obs::SpanRecord mark = Event(7, "t-c", "executing", "failed", 160,
+                               /*step=*/0);
+  mark.tags.push_back({"cause", "crash-recovery"});
+  spans.push_back(mark);
+  const LintReport report = LintSpans(spans);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(CheckTest, ProtocolEventFromDeadEndpointReported) {
+  obs::SpanRecord dup;
+  dup.id = 6;
+  dup.name = "ntcp.dup";
+  dup.category = "txn";
+  dup.start_micros = 200;
+  dup.end_micros = 200;
+  dup.tags = {{"txn", "t-d"},
+              {"endpoint", "ntcp.hand"},
+              {"kind", "execute"},
+              {"state", "completed"}};
+  const LintReport report = LintSpans({
+      Event(1, "t-d", "none", "proposed", 100, /*step=*/0),
+      Event(2, "t-d", "proposed", "accepted", 110, /*step=*/0),
+      Event(3, "t-d", "accepted", "executing", 120, /*step=*/0),
+      Event(4, "t-d", "executing", "completed", 130, /*step=*/0),
+      Marker(5, "site.crash", 140),
+      dup,  // a dead process cannot answer retries
+  });
+  EXPECT_EQ(Rules(report), (std::set<Rule>{Rule::kCrashConsistency}));
+}
+
+TEST(CheckTest, RecoveryWithoutCrashReported) {
+  EXPECT_EQ(Rules(LintSpans({Marker(1, "ntcp.recover", 100)})),
+            (std::set<Rule>{Rule::kCrashConsistency}));
+}
+
+TEST(CheckTest, RestartWithoutCrashReported) {
+  EXPECT_EQ(Rules(LintSpans({Marker(1, "site.restart", 100)})),
+            (std::set<Rule>{Rule::kCrashConsistency}));
+}
+
+TEST(CheckTest, DoubleCrashWithoutRestartReported) {
+  EXPECT_EQ(Rules(LintSpans({Marker(1, "site.crash", 100),
+                             Marker(2, "site.crash", 110)})),
+            (std::set<Rule>{Rule::kCrashConsistency}));
+}
+
+TEST(CheckTest, CrashRecoveryOnWrongEdgeReported) {
+  // cause=crash-recovery on anything but executing -> failed is a lie about
+  // what recovery is allowed to do.
+  std::vector<obs::SpanRecord> spans = {
+      Event(1, "t-w", "none", "proposed", 100, /*step=*/0),
+      Marker(2, "site.crash", 110),
+      Marker(3, "site.restart", 120),
+  };
+  obs::SpanRecord mark = Event(4, "t-w", "proposed", "cancelled", 130,
+                               /*step=*/0);
+  mark.tags.push_back({"cause", "crash-recovery"});
+  spans.push_back(mark);
+  EXPECT_EQ(Rules(LintSpans(spans)),
+            (std::set<Rule>{Rule::kCrashConsistency}));
+}
+
 // --- text round trip ---------------------------------------------------------
 
 TEST(CheckTest, LintTraceTextReportsLineNumbers) {

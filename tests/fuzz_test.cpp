@@ -30,7 +30,7 @@ TEST(FuzzScenarioTest, ParametersStayInBounds) {
     EXPECT_EQ(s.site_links.size(), s.sites) << seed;
     // kThreadPerSite would race the single-threaded virtual event loop.
     EXPECT_NE(s.engine, psd::StepEngine::kThreadPerSite) << seed;
-    EXPECT_LE(s.faults.size(), 8u) << seed;
+    EXPECT_LE(s.faults.size(), 10u) << seed;
     for (const net::LinkModel& link : s.site_links) {
       EXPECT_LE(link.drop_probability, 0.05) << seed;
     }
@@ -99,6 +99,74 @@ TEST(FuzzRunTest, SameSeedIsByteIdentical) {
   EXPECT_EQ(a.events_processed, b.events_processed);
   EXPECT_EQ(a.wakes, b.wakes);
   EXPECT_EQ(a.heartbeats, b.heartbeats);
+}
+
+// --- crash/restart fault class -----------------------------------------------
+
+TEST(FuzzScenarioTest, CrashFaultsRideAfterBaseFaults) {
+  // The crash lane is forked independently and appended after the base
+  // faults, so pre-existing (seed, fault-mask) repro commands keep their
+  // bit meanings; crash downtime stays under the coordinator's re-proposal
+  // tolerance so the completion oracle remains sound.
+  std::size_t scenarios_with_crashes = 0;
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    const FuzzScenario s = GenerateScenario(seed);
+    bool seen_crash = false;
+    for (const FuzzFault& f : s.faults) {
+      if (f.kind != FuzzFault::Kind::kSiteCrashRestart) {
+        EXPECT_FALSE(seen_crash) << seed << ": crash before a base fault";
+        continue;
+      }
+      seen_crash = true;
+      EXPECT_GE(f.duration_micros, 250'000) << seed;
+      EXPECT_LE(f.duration_micros, 1'200'000) << seed;
+    }
+    if (seen_crash) ++scenarios_with_crashes;
+  }
+  EXPECT_GT(scenarios_with_crashes, 0u);
+}
+
+TEST(FuzzRunTest, CrashRestartMidTransactionCompletes) {
+  // Seed 25 kills a site while a transaction is executing: the revived
+  // incarnation replays its WAL, crash-marks the in-flight transaction,
+  // and the coordinator re-drives the step — all four oracles must hold.
+  const FuzzScenario s = GenerateScenario(25);
+  const FuzzOutcome outcome = RunFuzzCaseChecked(s);
+  EXPECT_TRUE(outcome.ok()) << (outcome.failures.empty()
+                                    ? ""
+                                    : outcome.failures.front());
+  EXPECT_TRUE(outcome.run_completed);
+  EXPECT_GT(outcome.site_crashes, 0u);
+  EXPECT_EQ(outcome.site_recoveries, outcome.site_crashes);
+  EXPECT_GT(outcome.transactions_recovered, 0u);
+  EXPECT_GE(outcome.inflight_failed, 1u);  // died mid-execute
+}
+
+TEST(FuzzRunTest, CrashStatsAreDeterministic) {
+  const FuzzScenario s = GenerateScenario(25);
+  const FuzzOutcome a = RunFuzzCase(s);
+  const FuzzOutcome b = RunFuzzCase(s);
+  EXPECT_EQ(a.trace_jsonl, b.trace_jsonl);
+  EXPECT_EQ(a.site_crashes, b.site_crashes);
+  EXPECT_EQ(a.site_recoveries, b.site_recoveries);
+  EXPECT_EQ(a.transactions_recovered, b.transactions_recovered);
+  EXPECT_EQ(a.inflight_failed, b.inflight_failed);
+}
+
+TEST(FuzzRunTest, MaskingCrashBitsDisablesCrashes) {
+  const FuzzScenario s = GenerateScenario(25);
+  std::uint64_t mask = kAllFaults;
+  for (std::size_t i = 0; i < s.faults.size() && i < 64; ++i) {
+    if (s.faults[i].kind == FuzzFault::Kind::kSiteCrashRestart) {
+      mask &= ~(1ULL << i);
+    }
+  }
+  const FuzzOutcome outcome = RunFuzzCase(s, mask);
+  EXPECT_TRUE(outcome.ok()) << (outcome.failures.empty()
+                                    ? ""
+                                    : outcome.failures.front());
+  EXPECT_EQ(outcome.site_crashes, 0u);
+  EXPECT_EQ(outcome.transactions_recovered, 0u);
 }
 
 // --- pinned regressions ------------------------------------------------------

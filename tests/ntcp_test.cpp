@@ -613,5 +613,175 @@ TEST(NtcpInspectionTest, RemoteFindServiceDataSeesTransactions) {
   EXPECT_EQ(events.back(), "txn.insp-2:completed");
 }
 
+// --- write-ahead log recovery (docs/RECOVERY.md) --------------------------------------
+
+/// Byte offset where the last complete WAL frame starts, so tests can chop
+/// the log exactly at a record boundary (frame: [u32 len][u32 crc][body]).
+std::size_t LastFrameOffset(const std::vector<std::uint8_t>& bytes) {
+  std::size_t offset = 0;
+  std::size_t last = 0;
+  while (offset + 8 <= bytes.size()) {
+    const std::uint32_t length = static_cast<std::uint32_t>(bytes[offset]) |
+                                 static_cast<std::uint32_t>(bytes[offset + 1])
+                                     << 8 |
+                                 static_cast<std::uint32_t>(bytes[offset + 2])
+                                     << 16 |
+                                 static_cast<std::uint32_t>(bytes[offset + 3])
+                                     << 24;
+    if (offset + 8 + length > bytes.size()) break;
+    last = offset;
+    offset += 8 + length;
+  }
+  return last;
+}
+
+class NtcpWalRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { network_.SetClock(&clock_); }
+
+  /// Builds a fresh server incarnation over `storage_` and replays the log.
+  std::unique_ptr<NtcpServer> Restart(WalRecovery* recovery,
+                                      plugins::SimulationPlugin** plugin_out =
+                                          nullptr) {
+    auto plugin = MakeElasticPlugin();
+    if (plugin_out != nullptr) *plugin_out = plugin.get();
+    auto server = std::make_unique<NtcpServer>(&network_, "ntcp.wal",
+                                               std::move(plugin), &clock_);
+    EXPECT_TRUE(server->Start().ok());
+    logs_.push_back(std::make_unique<wal::Log>(&storage_));
+    auto recovered = server->AttachWal(logs_.back().get());
+    EXPECT_TRUE(recovered.ok()) << recovered.status().ToString();
+    if (recovery != nullptr && recovered.ok()) *recovery = *recovered;
+    return server;
+  }
+
+  util::SimClock clock_{1'000'000};
+  net::Network network_;
+  wal::MemoryStorage storage_;
+  std::vector<std::unique_ptr<wal::Log>> logs_;
+};
+
+TEST_F(NtcpWalRecoveryTest, RestartRebuildsTransactionTable) {
+  WalRecovery recovery;
+  auto first = Restart(&recovery);
+  EXPECT_EQ(recovery.records_replayed, 0u);  // empty log: fresh state
+  ASSERT_TRUE(first->Propose(MakeProposal("t1", 0.02)).accepted);
+  ASSERT_TRUE(first->Execute("t1").ok());
+  ASSERT_TRUE(first->Propose(MakeProposal("t2", 0.03)).accepted);
+  first.reset();  // process exits; only the WAL survives
+
+  plugins::SimulationPlugin* plugin = nullptr;
+  auto second = Restart(&recovery, &plugin);
+  EXPECT_EQ(recovery.transactions_recovered, 2u);
+  EXPECT_EQ(recovery.inflight_failed, 0u);
+  EXPECT_EQ(second->GetTransaction("t1")->state, TransactionState::kCompleted);
+  EXPECT_EQ(second->GetTransaction("t2")->state, TransactionState::kAccepted);
+
+  // At-most-once across the restart: a retried execute is served from the
+  // recovered result cache, never re-run into the plugin.
+  auto replayed = second->Execute("t1");
+  ASSERT_TRUE(replayed.ok());
+  ASSERT_EQ(replayed->results.size(), 1u);
+  EXPECT_NEAR(replayed->results[0].measured_force[0], 20.0, 1e-9);
+  EXPECT_EQ(plugin->executions(), 0u);
+  EXPECT_EQ(second->stats().duplicate_executes, 1u);
+
+  // A retried propose for a recovered transaction deduplicates too.
+  EXPECT_TRUE(second->Propose(MakeProposal("t2", 0.03)).accepted);
+  EXPECT_EQ(second->stats().duplicate_proposals, 1u);
+
+  // The still-accepted transaction remains executable on the new incarnation.
+  EXPECT_TRUE(second->Execute("t2").ok());
+  EXPECT_EQ(plugin->executions(), 1u);
+}
+
+TEST_F(NtcpWalRecoveryTest, InflightExecutionIsCrashMarkedFailed) {
+  auto first = Restart(nullptr);
+  ASSERT_TRUE(first->Propose(MakeProposal("t1", 0.02)).accepted);
+  ASSERT_TRUE(first->Execute("t1").ok());
+  first.reset();
+
+  // Drop the final (kCompleted) record: the process died after the durable
+  // "executing" intent but before the completion reached the log.
+  auto bytes = storage_.Load();
+  ASSERT_TRUE(bytes.ok());
+  storage_.ForceTruncate(LastFrameOffset(*bytes));
+
+  WalRecovery recovery;
+  auto second = Restart(&recovery);
+  EXPECT_EQ(recovery.transactions_recovered, 1u);
+  EXPECT_EQ(recovery.inflight_failed, 1u);
+  auto record = second->GetTransaction("t1");
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->state, TransactionState::kFailed);
+  EXPECT_NE(record->detail.find("crash"), std::string::npos);
+
+  // The coordinator's retry observes the failure instead of re-executing: the
+  // specimen may or may not have moved, and only a fresh transaction may act.
+  auto retried = second->Execute("t1");
+  ASSERT_FALSE(retried.ok());
+  EXPECT_EQ(retried.status().code(), ErrorCode::kAborted);
+  EXPECT_EQ(second->stats().duplicate_executes, 1u);
+}
+
+TEST_F(NtcpWalRecoveryTest, TornTailIsDiscardedOnRestart) {
+  auto first = Restart(nullptr);
+  ASSERT_TRUE(first->Propose(MakeProposal("t1", 0.02)).accepted);
+  ASSERT_TRUE(first->Execute("t1").ok());
+  first.reset();
+
+  // Tear the final record mid-frame (crash between append and sync).
+  auto bytes = storage_.Load();
+  ASSERT_TRUE(bytes.ok());
+  storage_.ForceTruncate(LastFrameOffset(*bytes) + 3);
+
+  WalRecovery recovery;
+  auto second = Restart(&recovery);
+  EXPECT_GT(recovery.torn_bytes_truncated, 0u);
+  // The torn completion is gone, so the transaction crash-marks kFailed.
+  EXPECT_EQ(recovery.inflight_failed, 1u);
+  EXPECT_EQ(second->GetTransaction("t1")->state, TransactionState::kFailed);
+}
+
+TEST_F(NtcpWalRecoveryTest, DoubleRecoveryIsIdempotent) {
+  auto first = Restart(nullptr);
+  ASSERT_TRUE(first->Propose(MakeProposal("t1", 0.02)).accepted);
+  ASSERT_TRUE(first->Propose(MakeProposal("t2", 0.03)).accepted);
+  ASSERT_TRUE(first->Execute("t1").ok());  // t1's completion is the last frame
+  first.reset();
+  auto bytes = storage_.Load();
+  ASSERT_TRUE(bytes.ok());
+  storage_.ForceTruncate(LastFrameOffset(*bytes));  // t1 left kExecuting
+
+  WalRecovery recovery;
+  auto second = Restart(&recovery);
+  EXPECT_EQ(recovery.inflight_failed, 1u);
+  second.reset();
+
+  // The crash-mark itself was logged, so a second recovery replays it as a
+  // plain transition: same table, nothing new to crash-mark.
+  auto third = Restart(&recovery);
+  EXPECT_EQ(recovery.transactions_recovered, 2u);
+  EXPECT_EQ(recovery.inflight_failed, 0u);
+  EXPECT_EQ(third->GetTransaction("t1")->state, TransactionState::kFailed);
+  EXPECT_EQ(third->GetTransaction("t2")->state, TransactionState::kAccepted);
+}
+
+TEST_F(NtcpWalRecoveryTest, CorruptLogRefusesToRecover) {
+  auto first = Restart(nullptr);
+  ASSERT_TRUE(first->Propose(MakeProposal("t1", 0.02)).accepted);
+  first.reset();
+  storage_.CorruptByte(9);  // inside the first frame's body
+
+  auto plugin = MakeElasticPlugin();
+  auto server = std::make_unique<NtcpServer>(&network_, "ntcp.wal",
+                                             std::move(plugin), &clock_);
+  ASSERT_TRUE(server->Start().ok());
+  wal::Log log(&storage_);
+  auto recovered = server->AttachWal(&log);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), ErrorCode::kDataLoss);
+}
+
 }  // namespace
 }  // namespace nees::ntcp

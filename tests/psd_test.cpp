@@ -12,6 +12,7 @@
 #include "plugins/policy_plugin.h"
 #include "plugins/simulation_plugin.h"
 #include "psd/coordinator.h"
+#include "wal/wal.h"
 #include "structural/integrator.h"
 #include "util/clock.h"
 #include "util/logging.h"
@@ -365,6 +366,113 @@ TEST_F(CoordinatorTest, CheckpointRestartMatchesUninterruptedRun) {
     EXPECT_NEAR(resumed.history.displacement[i][0],
                 full_report.history.displacement[i][0], 1e-12);
   }
+}
+
+TEST_F(CoordinatorTest, WalResumeMatchesUninterruptedRun) {
+  // Reference: uninterrupted run under its own transaction namespace.
+  SimulationCoordinator full(MakeConfig(80), rpc_.get(), &clock_);
+  const RunReport full_report = full.Run();
+  ASSERT_TRUE(full_report.completed);
+
+  // WAL run: 30 steps, then the coordinator process "dies" (only the log
+  // survives) and a fresh coordinator resumes from the step boundaries.
+  wal::MemoryStorage storage;
+  auto config = MakeConfig(80);
+  config.run_id = "walrun";
+  SimulationCoordinator part1(config, rpc_.get(), &clock_);
+  wal::Log log1(&storage);
+  auto fresh = part1.AttachWal(&log1);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_EQ(fresh->steps_recovered, 0u);
+  for (int i = 0; i < 30; ++i) {
+    auto advanced = part1.ExecuteStep();
+    ASSERT_TRUE(advanced.ok());
+    ASSERT_TRUE(*advanced);
+  }
+
+  SimulationCoordinator part2(config, rpc_.get(), &clock_);
+  wal::Log log2(&storage);
+  auto recovered = part2.AttachWal(&log2);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->steps_recovered, 30u);
+  EXPECT_FALSE(recovered->mid_step);
+  const RunReport resumed = part2.Run();
+  ASSERT_TRUE(resumed.completed) << resumed.failure.ToString();
+  EXPECT_GT(resumed.wal_records, 0u);
+  EXPECT_EQ(resumed.wal_sync_failures, 0u);
+
+  ASSERT_EQ(resumed.history.displacement.size(),
+            full_report.history.displacement.size());
+  for (std::size_t i = 0; i < resumed.history.displacement.size(); ++i) {
+    EXPECT_NEAR(resumed.history.displacement[i][0],
+                full_report.history.displacement[i][0], 1e-12);
+  }
+}
+
+TEST_F(CoordinatorTest, WalMidStepRedriveIsIdempotent) {
+  wal::MemoryStorage storage;
+  auto config = MakeConfig(40);
+  config.run_id = "midstep";
+  SimulationCoordinator part1(config, rpc_.get(), &clock_);
+  wal::Log log1(&storage);
+  ASSERT_TRUE(part1.AttachWal(&log1).ok());
+  for (int i = 0; i < 11; ++i) {
+    auto advanced = part1.ExecuteStep();
+    ASSERT_TRUE(advanced.ok());
+    ASSERT_TRUE(*advanced);
+  }
+  // Chop the final step-boundary record: the crash hit after the sites
+  // executed step 10 but before its boundary reached the log. The per-site
+  // outcome records for step 10 now sit past the last boundary.
+  auto bytes = storage.Load();
+  ASSERT_TRUE(bytes.ok());
+  std::size_t offset = 0, last = 0;
+  while (offset + 8 <= bytes->size()) {
+    const std::uint32_t length =
+        static_cast<std::uint32_t>((*bytes)[offset]) |
+        static_cast<std::uint32_t>((*bytes)[offset + 1]) << 8 |
+        static_cast<std::uint32_t>((*bytes)[offset + 2]) << 16 |
+        static_cast<std::uint32_t>((*bytes)[offset + 3]) << 24;
+    if (offset + 8 + length > bytes->size()) break;
+    last = offset;
+    offset += 8 + length;
+  }
+  storage.ForceTruncate(last);
+
+  const std::uint64_t dups_before = servers_[0]->stats().duplicate_executes;
+  SimulationCoordinator part2(config, rpc_.get(), &clock_);
+  wal::Log log2(&storage);
+  auto recovered = part2.AttachWal(&log2);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->steps_recovered, 10u);
+  EXPECT_TRUE(recovered->mid_step);
+
+  // Re-driving the interrupted step reuses the same deterministic
+  // transaction ids, so the sites answer from the at-most-once cache
+  // instead of moving the specimen twice.
+  const RunReport resumed = part2.Run();
+  ASSERT_TRUE(resumed.completed) << resumed.failure.ToString();
+  EXPECT_GT(servers_[0]->stats().duplicate_executes, dups_before);
+  for (const auto& server : servers_) {
+    EXPECT_EQ(server->stats().executions, 39u);  // exactly once per step
+  }
+}
+
+TEST_F(CoordinatorTest, WalFromDifferentRunRejected) {
+  wal::MemoryStorage storage;
+  auto config = MakeConfig(20);
+  config.run_id = "run-a";
+  SimulationCoordinator original(config, rpc_.get(), &clock_);
+  wal::Log log1(&storage);
+  ASSERT_TRUE(original.AttachWal(&log1).ok());
+
+  auto other = MakeConfig(20);
+  other.run_id = "run-b";
+  SimulationCoordinator impostor(other, rpc_.get(), &clock_);
+  wal::Log log2(&storage);
+  auto recovered = impostor.AttachWal(&log2);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), ErrorCode::kInvalidArgument);
 }
 
 TEST_F(CoordinatorTest, DimensionMismatchCaughtAtInit) {

@@ -1,0 +1,231 @@
+// Tests for the write-ahead log layer (src/wal): framing round-trips, the
+// torn-tail / bad-CRC distinction Open() draws between a crash and real
+// corruption, the MemoryStorage crash model the fuzzer leans on, and the
+// FileStorage durability path.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+#include "wal/wal.h"
+
+namespace nees::wal {
+namespace {
+
+std::vector<std::uint8_t> Bytes(std::initializer_list<int> values) {
+  std::vector<std::uint8_t> out;
+  for (int v : values) out.push_back(static_cast<std::uint8_t>(v));
+  return out;
+}
+
+// --- Framing ----------------------------------------------------------------
+
+TEST(WalLogTest, EmptyLogRecoversToFreshState) {
+  MemoryStorage storage;
+  Log log(&storage);
+  auto records = log.Open();
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  EXPECT_TRUE(records->empty());
+  EXPECT_EQ(log.open_stats().records, 0u);
+  EXPECT_EQ(log.open_stats().bytes, 0u);
+  EXPECT_EQ(log.open_stats().truncated_bytes, 0u);
+}
+
+TEST(WalLogTest, AppendSyncReopenRoundTrips) {
+  MemoryStorage storage;
+  {
+    Log log(&storage);
+    ASSERT_TRUE(log.Open().ok());
+    ASSERT_TRUE(log.Append(1, Bytes({0xde, 0xad})).ok());
+    ASSERT_TRUE(log.Append(2, {}).ok());
+    ASSERT_TRUE(log.Append(7, Bytes({0x01, 0x02, 0x03})).ok());
+    ASSERT_TRUE(log.Sync().ok());
+  }
+  Log reopened(&storage);
+  auto records = reopened.Open();
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ((*records)[0].type, 1);
+  EXPECT_EQ((*records)[0].payload, Bytes({0xde, 0xad}));
+  EXPECT_EQ((*records)[1].type, 2);
+  EXPECT_TRUE((*records)[1].payload.empty());
+  EXPECT_EQ((*records)[2].type, 7);
+  EXPECT_EQ((*records)[2].payload, Bytes({0x01, 0x02, 0x03}));
+  EXPECT_EQ(reopened.open_stats().truncated_bytes, 0u);
+}
+
+TEST(WalLogTest, TornFinalRecordIsTruncatedNotFatal) {
+  MemoryStorage storage;
+  Log log(&storage);
+  ASSERT_TRUE(log.Open().ok());
+  ASSERT_TRUE(log.Append(1, Bytes({0xaa, 0xbb, 0xcc})).ok());
+  ASSERT_TRUE(log.Append(2, Bytes({0xdd, 0xee})).ok());
+  ASSERT_TRUE(log.Sync().ok());
+  const std::size_t full = storage.size();
+  // Cut the last frame mid-body: crash between append and sync.
+  storage.ForceTruncate(full - 1);
+
+  Log reopened(&storage);
+  auto records = reopened.Open();
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].type, 1);
+  EXPECT_GT(reopened.open_stats().truncated_bytes, 0u);
+  // The torn tail is gone from storage too, so appends go to a clean edge.
+  EXPECT_EQ(storage.size(), reopened.open_stats().bytes);
+}
+
+TEST(WalLogTest, TornHeaderIsTruncatedNotFatal) {
+  MemoryStorage storage;
+  Log log(&storage);
+  ASSERT_TRUE(log.Open().ok());
+  ASSERT_TRUE(log.Append(1, Bytes({0x11})).ok());
+  const std::size_t first = storage.size();
+  ASSERT_TRUE(log.Append(2, Bytes({0x22})).ok());
+  ASSERT_TRUE(log.Sync().ok());
+  // Leave only 3 bytes of the second frame's 8-byte header.
+  storage.ForceTruncate(first + 3);
+
+  Log reopened(&storage);
+  auto records = reopened.Open();
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ(reopened.open_stats().truncated_bytes, 3u);
+}
+
+TEST(WalLogTest, CrcCorruptRecordAbortsWithDataLoss) {
+  MemoryStorage storage;
+  Log log(&storage);
+  ASSERT_TRUE(log.Open().ok());
+  ASSERT_TRUE(log.Append(1, Bytes({0x10, 0x20, 0x30})).ok());
+  ASSERT_TRUE(log.Append(2, Bytes({0x40})).ok());
+  ASSERT_TRUE(log.Sync().ok());
+  // Flip a bit inside the *first* record's payload: a complete frame whose
+  // CRC no longer matches is damage, not a torn tail.
+  storage.CorruptByte(9);
+
+  Log reopened(&storage);
+  auto records = reopened.Open();
+  ASSERT_FALSE(records.ok());
+  EXPECT_EQ(records.status().code(), util::ErrorCode::kDataLoss);
+  EXPECT_NE(records.status().message().find("CRC"), std::string::npos)
+      << records.status().ToString();
+}
+
+TEST(WalLogTest, DoubleOpenIsIdempotent) {
+  MemoryStorage storage;
+  Log log(&storage);
+  ASSERT_TRUE(log.Open().ok());
+  ASSERT_TRUE(log.Append(3, Bytes({0x01})).ok());
+  ASSERT_TRUE(log.Sync().ok());
+
+  Log first(&storage);
+  auto a = first.Open();
+  ASSERT_TRUE(a.ok());
+  Log second(&storage);
+  auto b = second.Open();
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  EXPECT_EQ((*a)[0].type, (*b)[0].type);
+  EXPECT_EQ((*a)[0].payload, (*b)[0].payload);
+}
+
+// --- MemoryStorage crash model ----------------------------------------------
+
+TEST(MemoryStorageTest, CrashDropsUnsyncedTailAndSwallowsWrites) {
+  MemoryStorage storage;
+  Log log(&storage);
+  ASSERT_TRUE(log.Open().ok());
+  ASSERT_TRUE(log.Append(1, Bytes({0x01})).ok());
+  ASSERT_TRUE(log.Sync().ok());
+  ASSERT_TRUE(log.Append(2, Bytes({0x02})).ok());  // never synced
+
+  storage.Crash();
+  EXPECT_EQ(storage.size(), storage.synced_size());
+  // A dead process's zombie stack frames must not observe write errors.
+  EXPECT_TRUE(log.Append(3, Bytes({0x03})).ok());
+  EXPECT_TRUE(log.Sync().ok());
+  EXPECT_EQ(storage.size(), storage.synced_size());
+
+  storage.Revive();
+  Log reopened(&storage);
+  auto records = reopened.Open();
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 1u);  // only the synced record survived
+  EXPECT_EQ((*records)[0].type, 1);
+}
+
+TEST(MemoryStorageTest, ReviveReadmitsWrites) {
+  MemoryStorage storage;
+  storage.Crash();
+  storage.Revive();
+  Log log(&storage);
+  ASSERT_TRUE(log.Open().ok());
+  ASSERT_TRUE(log.Append(5, Bytes({0x55})).ok());
+  ASSERT_TRUE(log.Sync().ok());
+  EXPECT_EQ(storage.synced_size(), storage.size());
+  EXPECT_GT(storage.size(), 0u);
+}
+
+// --- FileStorage -------------------------------------------------------------
+
+TEST(FileStorageTest, RoundTripsThroughAFile) {
+  const std::string path =
+      ::testing::TempDir() + "/nees_wal_test_roundtrip.wal";
+  std::remove(path.c_str());
+  {
+    FileStorage storage(path);
+    Log log(&storage);
+    ASSERT_TRUE(log.Open().ok());
+    ASSERT_TRUE(log.Append(9, Bytes({0x09, 0x0a})).ok());
+    ASSERT_TRUE(log.Sync().ok());
+  }
+  FileStorage storage(path);
+  Log log(&storage);
+  auto records = log.Open();
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].type, 9);
+  EXPECT_EQ((*records)[0].payload, Bytes({0x09, 0x0a}));
+  std::remove(path.c_str());
+}
+
+TEST(FileStorageTest, TornTailOnDiskIsTruncated) {
+  const std::string path = ::testing::TempDir() + "/nees_wal_test_torn.wal";
+  std::remove(path.c_str());
+  std::size_t full = 0;
+  {
+    FileStorage storage(path);
+    Log log(&storage);
+    ASSERT_TRUE(log.Open().ok());
+    ASSERT_TRUE(log.Append(1, Bytes({0x01})).ok());
+    ASSERT_TRUE(log.Append(2, Bytes({0x02, 0x03})).ok());
+    ASSERT_TRUE(log.Sync().ok());
+    auto loaded = storage.Load();
+    ASSERT_TRUE(loaded.ok());
+    full = loaded->size();
+    ASSERT_TRUE(storage.Truncate(full - 2).ok());
+  }
+  FileStorage storage(path);
+  Log log(&storage);
+  auto records = log.Open();
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ(log.open_stats().bytes + log.open_stats().truncated_bytes,
+            full - 2);
+  std::remove(path.c_str());
+}
+
+// --- CRC vector --------------------------------------------------------------
+
+TEST(WalCrcTest, MatchesKnownVector) {
+  // CRC-32("123456789") == 0xCBF43926 (IEEE 802.3 check value).
+  const std::string s = "123456789";
+  EXPECT_EQ(Crc32(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()),
+            0xCBF43926u);
+}
+
+}  // namespace
+}  // namespace nees::wal

@@ -6,7 +6,8 @@
 //
 // Each seed expands (via most::GenerateScenario) into a random MOST-shaped
 // experiment — 3–32 sites, per-link latency/jitter/drop, outage windows,
-// forced drops, lost mplugin.wake notifications — run twice on a
+// forced drops, lost mplugin.wake notifications, whole-site crash/restarts
+// recovered through the write-ahead log (docs/RECOVERY.md) — run twice on a
 // DeliveryMode::kVirtual network and checked against the oracle stack
 // (completion, nees-lint protocol rules, exactly-once-per-site-per-step,
 // same-seed byte determinism; see src/most/fuzz.h).
@@ -53,16 +54,30 @@ void PrintFailure(const most::FuzzScenario& scenario,
   }
 }
 
+struct SweepTotals {
+  std::uint64_t events = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t transactions_recovered = 0;
+  std::uint64_t inflight_failed = 0;
+};
+
 /// Runs one seed through the checked oracle stack; on failure shrinks the
 /// fault schedule and prints the minimal replay command. Returns true when
 /// every oracle held.
 bool RunSeed(std::uint64_t seed, std::uint64_t mask, bool verbose,
-             std::uint64_t* events_accum) {
+             SweepTotals* totals) {
   const most::FuzzScenario scenario = most::GenerateScenario(seed);
   if (verbose) std::printf("%s", scenario.Describe().c_str());
 
   const most::FuzzOutcome outcome = most::RunFuzzCaseChecked(scenario, mask);
-  if (events_accum != nullptr) *events_accum += 2 * outcome.events_processed;
+  if (totals != nullptr) {
+    totals->events += 2 * outcome.events_processed;
+    totals->crashes += outcome.site_crashes;
+    totals->recoveries += outcome.site_recoveries;
+    totals->transactions_recovered += outcome.transactions_recovered;
+    totals->inflight_failed += outcome.inflight_failed;
+  }
   if (outcome.ok()) return true;
 
   PrintFailure(scenario, outcome, mask);
@@ -114,30 +129,42 @@ int main(int argc, char** argv) {
   if (have_seed == block_mode) return Usage(argv[0]);  // exactly one mode
 
   util::Stopwatch watch;
-  std::uint64_t events = 0;
+  SweepTotals totals;
 
   if (have_seed) {
-    const bool ok = RunSeed(seed, mask, verbose, &events);
-    std::printf("seed %llu: %s (%llu virtual events, %.2fs)\n",
-                static_cast<unsigned long long>(seed), ok ? "OK" : "FAIL",
-                static_cast<unsigned long long>(events),
-                watch.ElapsedSeconds());
+    const bool ok = RunSeed(seed, mask, verbose, &totals);
+    std::printf(
+        "seed %llu: %s (%llu virtual events, %llu crashes / %llu recoveries, "
+        "%llu txns replayed, %llu crash-marked, %.2fs)\n",
+        static_cast<unsigned long long>(seed), ok ? "OK" : "FAIL",
+        static_cast<unsigned long long>(totals.events),
+        static_cast<unsigned long long>(totals.crashes),
+        static_cast<unsigned long long>(totals.recoveries),
+        static_cast<unsigned long long>(totals.transactions_recovered),
+        static_cast<unsigned long long>(totals.inflight_failed),
+        watch.ElapsedSeconds());
     return ok ? 0 : 1;
   }
 
   std::uint64_t failures = 0;
   for (std::uint64_t s = start; s < start + count; ++s) {
-    if (!RunSeed(s, most::kAllFaults, verbose, &events)) ++failures;
+    if (!RunSeed(s, most::kAllFaults, verbose, &totals)) ++failures;
   }
   const double elapsed = watch.ElapsedSeconds();
   const double per_hour = elapsed > 0.0 ? 3600.0 * count / elapsed : 0.0;
   std::printf(
       "fuzz: %llu seeds (%llu..%llu), %llu failures, %llu virtual events, "
+      "%llu crashes / %llu recoveries, %llu txns replayed, %llu crash-marked, "
       "%.2fs (%.0f seeds/hour)\n",
       static_cast<unsigned long long>(count),
       static_cast<unsigned long long>(start),
       static_cast<unsigned long long>(start + count - 1),
       static_cast<unsigned long long>(failures),
-      static_cast<unsigned long long>(events), elapsed, per_hour);
+      static_cast<unsigned long long>(totals.events),
+      static_cast<unsigned long long>(totals.crashes),
+      static_cast<unsigned long long>(totals.recoveries),
+      static_cast<unsigned long long>(totals.transactions_recovered),
+      static_cast<unsigned long long>(totals.inflight_failed), elapsed,
+      per_hour);
   return failures == 0 ? 0 : 1;
 }
