@@ -2,6 +2,9 @@
 #
 #   -DNEES_WERROR=ON                        warnings are errors
 #   -DNEES_SANITIZE="address;undefined"     sanitizer list (also: thread)
+#   -DNEES_LOCKDEP=AUTO|ON|OFF              runtime lock-order checking
+#                                           (AUTO: on outside Release)
+#   -DNEES_THREAD_SAFETY=ON                 Clang -Wthread-safety as errors
 #
 # Every module CMakeLists (and the test/bench/example helpers) calls
 # nees_apply_build_flags(<target>), which also defines
@@ -12,6 +15,28 @@
 option(NEES_WERROR "Treat compiler warnings as errors" OFF)
 set(NEES_SANITIZE "" CACHE STRING
     "Semicolon-separated sanitizers: address;undefined;thread")
+set(NEES_LOCKDEP "AUTO" CACHE STRING
+    "Lockdep-style lock-order checking: AUTO (on outside Release), ON, OFF")
+option(NEES_THREAD_SAFETY
+       "Enable Clang -Wthread-safety analysis (errors); requires Clang" OFF)
+
+# NEES_LOCKDEP changes util::Mutex's layout, so it must be set identically
+# for every translation unit in a build tree: a directory-level definition,
+# not a per-target one.
+if(NEES_LOCKDEP STREQUAL "AUTO")
+  add_compile_definitions($<$<NOT:$<CONFIG:Release>>:NEES_LOCKDEP>)
+elseif(NEES_LOCKDEP)
+  add_compile_definitions(NEES_LOCKDEP)
+endif()
+
+if(NEES_THREAD_SAFETY)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    message(FATAL_ERROR
+            "NEES_THREAD_SAFETY requires Clang (-Wthread-safety); "
+            "configure with CXX=clang++ or drop the knob")
+  endif()
+  add_compile_options(-Wthread-safety -Werror=thread-safety)
+endif()
 
 set(NEES_SANITIZE_FLAGS "")
 foreach(sanitizer IN LISTS NEES_SANITIZE)

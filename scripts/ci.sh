@@ -30,9 +30,14 @@ run_config() {
   (cd "$build" && ctest --output-on-failure -j "$jobs")
 }
 
+# Release compiles the lockdep runtime out (NEES_LOCKDEP=AUTO): the bench
+# binaries under $prefix-release/bench ship without instrumentation, which
+# the check after the matrix asserts. The asan tree pins NEES_LOCKDEP=ON so
+# the lock-order checker runs composed with ASan/UBSan across the whole
+# suite and the fuzz legs below.
 run_config "$prefix-release" -DCMAKE_BUILD_TYPE=Release
 run_config "$prefix-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-           "-DNEES_SANITIZE=address;undefined"
+           "-DNEES_SANITIZE=address;undefined" -DNEES_LOCKDEP=ON
 
 echo
 echo "######## configure $prefix-tsan (concurrency suites) ########"
@@ -49,13 +54,51 @@ for suite in net_test ntcp_test psd_test plugins_test most_test; do
 done
 
 echo
+echo "######## lockdep lock-order report (nees_locks) ########"
+# Clean pass on the standard workload (threaded MOST run + virtual-time
+# fuzz block), then prove the detector end to end: a deliberately injected
+# inversion must come back nonzero.
+"$prefix-asan/tools/nees_locks" --steps 60 --seeds 3
+if "$prefix-asan/tools/nees_locks" --inject-inversion > /dev/null 2>&1; then
+  echo "lockdep check FAILED: injected inversion was not detected" >&2
+  exit 1
+fi
+echo "injected inversion detected (nonzero exit) -- detector is live"
+
+echo
+echo "######## clang -Wthread-safety leg (build-only, needs clang) ########"
+if command -v clang++ > /dev/null 2>&1; then
+  cmake -B "$prefix-tsa" -S "$repo" -DCMAKE_CXX_COMPILER=clang++ \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DNEES_THREAD_SAFETY=ON \
+        -DNEES_WERROR=ON
+  cmake --build "$prefix-tsa" -j "$jobs"
+  echo "thread-safety leg OK (zero -Wthread-safety findings)"
+else
+  echo "clang++ not on PATH: skipping the -Wthread-safety leg"
+fi
+
+echo
+echo "######## clang-tidy leg (.clang-tidy profile, needs clang-tidy) ########"
+if command -v clang-tidy > /dev/null 2>&1; then
+  # The release tree's compile_commands.json carries no sanitizer flags.
+  find "$repo/src" "$repo/tools" -name '*.cpp' -print0 |
+    xargs -0 -P "$jobs" -n 8 clang-tidy -p "$prefix-release" --quiet
+  echo "clang-tidy leg OK"
+else
+  echo "clang-tidy not on PATH: skipping the clang-tidy leg"
+fi
+
+echo
 echo "######## nees_lint on a fresh most_experiment trace ########"
 trace="$prefix-asan/most_trace.jsonl"
 "$prefix-asan/examples/most_experiment" 150 "$trace" > /dev/null
 "$prefix-asan/tools/nees_lint" "$trace"
 
 echo
-echo "######## nees_fuzz smoke block (200 seeds, ASan + invariants) ########"
+echo "######## nees_fuzz smoke block (200 seeds, ASan + lockdep) ########"
+# The asan tree runs with NEES_LOCKDEP=ON, so every seed also checks
+# oracle 5: no lock-order inversion, wait-while-holding, or blocking RPC
+# under a lock anywhere in the run.
 "$prefix-asan/tools/nees_fuzz" --smoke --seeds 200
 
 echo
@@ -101,6 +144,18 @@ require_keys BENCH_fuzz.json seeds failures wall_seconds seeds_per_hour \
 [ "$docs_fail" -eq 0 ] || { echo "docs check FAILED" >&2; exit 1; }
 echo "docs check OK"
 
+# Release benches must exist and carry no lockdep instrumentation (exit 3
+# is nees_locks' "compiled out" marker, proving NEES_LOCKDEP=AUTO resolved
+# to off for the whole Release tree).
+test -x "$prefix-release/bench/bench_step_engine"
+if "$prefix-release/tools/nees_locks" > /dev/null 2>&1; then rc=0; else rc=$?; fi
+if [ "$rc" -ne 3 ]; then
+  echo "Release tree unexpectedly has lockdep compiled in (rc=$rc)" >&2
+  exit 1
+fi
+echo "Release benches built with lockdep compiled out"
+
 echo
-echo "CI matrix green: Release + ASan/UBSan + TSan, tests + conformance"
-echo "lint + 200-seed fuzz smoke + crash-restart leg + docs check."
+echo "CI matrix green: Release + ASan/UBSan+lockdep + TSan (+ Clang legs"
+echo "when available), tests + lock-order report + conformance lint +"
+echo "200-seed fuzz smoke + crash-restart leg + docs check."

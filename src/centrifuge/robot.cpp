@@ -95,22 +95,22 @@ RobotArm::RobotArm(Params params, SoilModel* soil, std::uint64_t sensor_seed)
 }
 
 Tool RobotArm::current_tool() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return tool_;
 }
 
 ArmPosition RobotArm::position() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return position_;
 }
 
 double RobotArm::elapsed_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return elapsed_s_;
 }
 
 util::Result<ArmPosition> RobotArm::MoveTo(const ArmPosition& target) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (target.x < 0 || target.x > params_.workspace_x || target.y < 0 ||
       target.y > params_.workspace_y) {
     return util::OutOfRange("target outside the arm workspace");
@@ -136,7 +136,7 @@ util::Result<ArmPosition> RobotArm::MoveTo(const ArmPosition& target) {
 }
 
 util::Status RobotArm::ExchangeTool(Tool tool) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (position_.z < 0) {
     return util::FailedPrecondition(
         "retract above the soil surface before a tool change");
@@ -154,7 +154,7 @@ util::Status RobotArm::ExchangeTool(Tool tool) {
 
 util::Result<std::vector<std::pair<double, double>>> RobotArm::PenetrateTo(
     double z, int samples) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (tool_ != Tool::kConePenetrometer) {
     return util::FailedPrecondition("cone penetrometer not mounted");
   }
@@ -176,7 +176,7 @@ util::Result<std::vector<std::pair<double, double>>> RobotArm::PenetrateTo(
 }
 
 util::Result<double> RobotArm::ProbeDensity(double z) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (tool_ != Tool::kNeedleProbe) {
     return util::FailedPrecondition("needle probe not mounted");
   }
@@ -187,7 +187,7 @@ util::Result<double> RobotArm::ProbeDensity(double z) {
 }
 
 util::Status RobotArm::InstallPile(double tip_z) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (tool_ != Tool::kGripper) {
     return util::FailedPrecondition("gripper not mounted");
   }
@@ -202,12 +202,12 @@ util::Status RobotArm::InstallPile(double tip_z) {
 }
 
 int RobotArm::piles_installed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return piles_;
 }
 
 util::Result<std::vector<std::uint8_t>> RobotArm::CaptureImage() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (tool_ != Tool::kStereoCamera && tool_ != Tool::kUltrasound) {
     return util::FailedPrecondition("no imaging tool mounted");
   }

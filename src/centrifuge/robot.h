@@ -14,10 +14,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
 
 #include "util/result.h"
 #include "util/rng.h"
@@ -133,7 +134,7 @@ class RobotArm {
  private:
   Params params_;
   SoilModel* soil_;
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_{"centrifuge.RobotArm"};
   ArmPosition position_;
   Tool tool_ = Tool::kNone;
   double elapsed_s_ = 0.0;

@@ -13,12 +13,12 @@ namespace nees::chef {
 // DataViewerStore
 
 void DataViewerStore::Feed(const nsds::DataSample& sample) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   series_[sample.channel].push_back({sample.time_micros, sample.value});
 }
 
 void DataViewerStore::FeedFrame(const nsds::DataFrame& frame) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (const nsds::DataSample& sample : frame.samples) {
     series_[sample.channel].push_back({sample.time_micros, sample.value});
   }
@@ -26,7 +26,7 @@ void DataViewerStore::FeedFrame(const nsds::DataFrame& frame) {
 
 std::vector<TimePoint> DataViewerStore::Series(const std::string& channel,
                                                std::size_t max_points) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = series_.find(channel);
   if (it == series_.end()) return {};
   const auto& points = it->second;
@@ -38,7 +38,7 @@ std::vector<TimePoint> DataViewerStore::Series(const std::string& channel,
 std::vector<std::pair<double, double>> DataViewerStore::Hysteresis(
     const std::string& displacement_channel, const std::string& force_channel,
     std::size_t max_points) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto d_it = series_.find(displacement_channel);
   auto f_it = series_.find(force_channel);
   if (d_it == series_.end() || f_it == series_.end()) return {};
@@ -65,13 +65,13 @@ std::vector<std::pair<double, double>> DataViewerStore::Hysteresis(
 }
 
 std::size_t DataViewerStore::SampleCount(const std::string& channel) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = series_.find(channel);
   return it == series_.end() ? 0 : it->second.size();
 }
 
 std::vector<std::string> DataViewerStore::Channels() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<std::string> names;
   for (const auto& [name, points] : series_) {
     (void)points;
@@ -115,7 +115,7 @@ util::Result<ChefServer::Session*> ChefServer::FindSessionLocked(
 }
 
 std::vector<std::string> ChefServer::ActiveUsers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<std::string> users;
   users.reserve(sessions_.size());
   for (const auto& [id, session] : sessions_) {
@@ -127,7 +127,7 @@ std::vector<std::string> ChefServer::ActiveUsers() const {
 }
 
 ChefStats ChefServer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return stats_;
 }
 
@@ -143,7 +143,7 @@ util::Status ChefServer::Start() {
         // A GSI-authenticated subject overrides the claimed user name.
         if (!context.subject.empty()) user = context.subject;
         if (user.empty()) return util::InvalidArgument("user required");
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         const std::string session_id =
             "chef-" + std::to_string(next_session_++) + "-" + util::NewUuid();
         sessions_[session_id] = Session{user, 0, false};
@@ -161,7 +161,7 @@ util::Status ChefServer::Start() {
              const net::Bytes& body) -> util::Result<net::Bytes> {
         util::ByteReader reader(body);
         NEES_ASSIGN_OR_RETURN(std::string session, reader.ReadString());
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         if (sessions_.erase(session) == 0) {
           return util::Unauthenticated("no such CHEF session");
         }
@@ -187,7 +187,7 @@ util::Status ChefServer::Start() {
         NEES_ASSIGN_OR_RETURN(std::string session, reader.ReadString());
         NEES_ASSIGN_OR_RETURN(std::string room, reader.ReadString());
         NEES_ASSIGN_OR_RETURN(std::string text, reader.ReadString());
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         NEES_ASSIGN_OR_RETURN(Session * session_ptr,
                               FindSessionLocked(session));
         chat_.push_back(
@@ -203,7 +203,7 @@ util::Status ChefServer::Start() {
         util::ByteReader reader(body);
         NEES_ASSIGN_OR_RETURN(std::string room, reader.ReadString());
         NEES_ASSIGN_OR_RETURN(std::uint32_t from, reader.ReadU32());
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         util::ByteWriter writer;
         std::vector<const ChatMessage*> matching;
         for (const ChatMessage& message : chat_) {
@@ -227,7 +227,7 @@ util::Status ChefServer::Start() {
         NEES_ASSIGN_OR_RETURN(std::string session, reader.ReadString());
         NEES_ASSIGN_OR_RETURN(std::string topic, reader.ReadString());
         NEES_ASSIGN_OR_RETURN(std::string text, reader.ReadString());
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         NEES_ASSIGN_OR_RETURN(Session * session_ptr,
                               FindSessionLocked(session));
         board_.push_back(
@@ -241,7 +241,7 @@ util::Status ChefServer::Start() {
              const net::Bytes& body) -> util::Result<net::Bytes> {
         util::ByteReader reader(body);
         NEES_ASSIGN_OR_RETURN(std::string topic, reader.ReadString());
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         util::ByteWriter writer;
         std::vector<const BoardPost*> matching;
         for (const BoardPost& post : board_) {
@@ -263,7 +263,7 @@ util::Status ChefServer::Start() {
         util::ByteReader reader(body);
         NEES_ASSIGN_OR_RETURN(std::string session, reader.ReadString());
         NEES_ASSIGN_OR_RETURN(std::string text, reader.ReadString());
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         NEES_ASSIGN_OR_RETURN(Session * session_ptr,
                               FindSessionLocked(session));
         notebook_.push_back({session_ptr->user, text, clock_->NowMicros()});
@@ -274,7 +274,7 @@ util::Status ChefServer::Start() {
       "chef.notebook.read",
       [this](const net::CallContext&,
              const net::Bytes&) -> util::Result<net::Bytes> {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         util::ByteWriter writer;
         writer.WriteU32(static_cast<std::uint32_t>(notebook_.size()));
         for (const NotebookEntry& entry : notebook_) {
@@ -294,7 +294,7 @@ util::Status ChefServer::Start() {
         NEES_ASSIGN_OR_RETURN(std::uint32_t max_points, reader.ReadU32());
         const auto points = viewer_.Series(channel, max_points);
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          util::MutexLock lock(mu_);
           ++stats_.viewer_reads;
         }
         util::ByteWriter writer;
@@ -316,7 +316,7 @@ util::Status ChefServer::Start() {
         NEES_ASSIGN_OR_RETURN(std::uint32_t max_points, reader.ReadU32());
         const auto loop = viewer_.Hysteresis(d_channel, f_channel, max_points);
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          util::MutexLock lock(mu_);
           ++stats_.viewer_reads;
         }
         util::ByteWriter writer;
@@ -342,7 +342,7 @@ util::Status ChefServer::Start() {
         const auto command = static_cast<VcrCommand>(raw_command);
         const std::size_t total = viewer_.SampleCount(channel);
 
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         NEES_ASSIGN_OR_RETURN(Session * session_ptr,
                               FindSessionLocked(session));
         switch (command) {
@@ -389,7 +389,7 @@ util::Status ChefServer::Start() {
         NEES_ASSIGN_OR_RETURN(std::string channel, reader.ReadString());
         std::size_t cursor = 0;
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          util::MutexLock lock(mu_);
           NEES_ASSIGN_OR_RETURN(Session * session_ptr,
                                 FindSessionLocked(session));
           cursor = session_ptr->vcr_cursor;
@@ -421,7 +421,7 @@ util::Status ChefServer::Start() {
         if (arrangement.channels.empty()) {
           return util::InvalidArgument("arrangement needs >= 1 view");
         }
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         NEES_ASSIGN_OR_RETURN(Session * session_ptr,
                               FindSessionLocked(session));
         arrangement.creator = session_ptr->user;
@@ -433,7 +433,7 @@ util::Status ChefServer::Start() {
       "chef.viewer.listArrangements",
       [this](const net::CallContext&,
              const net::Bytes&) -> util::Result<net::Bytes> {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         util::ByteWriter writer;
         writer.WriteU32(static_cast<std::uint32_t>(arrangements_.size()));
         for (const auto& [name, arrangement] : arrangements_) {
@@ -451,7 +451,7 @@ util::Status ChefServer::Start() {
         NEES_ASSIGN_OR_RETURN(std::string name, reader.ReadString());
         ViewArrangement arrangement;
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          util::MutexLock lock(mu_);
           auto it = arrangements_.find(name);
           if (it == arrangements_.end()) {
             return util::NotFound("no arrangement named " + name);

@@ -23,10 +23,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
 
 #include "net/rpc.h"
 #include "nsds/nsds.h"
@@ -95,7 +96,7 @@ class DataViewerStore {
   std::vector<std::string> Channels() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_{"chef.DataViewerStore"};
   std::map<std::string, std::vector<TimePoint>> series_;
 };
 
@@ -143,7 +144,7 @@ class ChefServer {
   net::RpcServer rpc_server_;
   util::Clock* clock_;
   DataViewerStore viewer_;
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_{"chef.ChefServer"};
   std::map<std::string, Session> sessions_;
   std::map<std::string, ViewArrangement> arrangements_;
   std::vector<ChatMessage> chat_;

@@ -11,13 +11,13 @@ DaqSystem::DaqSystem(std::size_t ring_capacity)
     : ring_capacity_(ring_capacity) {}
 
 void DaqSystem::AddChannel(const ChannelConfig& config) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   channels_[config.name] = config;
   buffers_.try_emplace(config.name);
 }
 
 std::vector<std::string> DaqSystem::ChannelNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(channels_.size());
   for (const auto& [name, config] : channels_) {
@@ -29,7 +29,7 @@ std::vector<std::string> DaqSystem::ChannelNames() const {
 
 util::Result<ChannelConfig> DaqSystem::GetChannel(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = channels_.find(name);
   if (it == channels_.end()) return util::NotFound("no channel: " + name);
   return it->second;
@@ -37,7 +37,7 @@ util::Result<ChannelConfig> DaqSystem::GetChannel(
 
 util::Status DaqSystem::Record(const std::string& channel,
                                std::int64_t time_micros, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = buffers_.find(channel);
   if (it == buffers_.end()) return util::NotFound("no channel: " + channel);
   if (it->second.size() >= ring_capacity_) {
@@ -52,25 +52,25 @@ util::Status DaqSystem::Record(const std::string& channel,
 
 std::vector<nsds::DataSample> DaqSystem::Buffered(
     const std::string& channel) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = buffers_.find(channel);
   if (it == buffers_.end()) return {};
   return {it->second.begin(), it->second.end()};
 }
 
 std::uint64_t DaqSystem::recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return recorded_;
 }
 
 std::uint64_t DaqSystem::overwritten() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return overwritten_;
 }
 
 util::Result<std::filesystem::path> DaqSystem::Flush(
     const std::filesystem::path& drop_dir, const std::string& prefix) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::string content;
   std::size_t total = 0;
   for (auto& [channel, buffer] : buffers_) {

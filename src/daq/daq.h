@@ -11,9 +11,10 @@
 #include <filesystem>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
 
 #include "nsds/nsds.h"
 #include "util/result.h"
@@ -62,7 +63,7 @@ class DaqSystem {
  private:
   std::size_t ring_capacity_;
   obs::Tracer* tracer_ = nullptr;
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_{"daq.DaqSystem"};
   std::map<std::string, ChannelConfig> channels_;
   std::map<std::string, std::deque<nsds::DataSample>> buffers_;
   std::uint64_t recorded_ = 0;

@@ -45,7 +45,7 @@ void ServiceContainer::Stop() { rpc_server_.Stop(); }
 
 util::Result<std::string> ServiceContainer::AddService(
     std::shared_ptr<GridService> service) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const std::string& name = service->name();
   if (services_.contains(name)) {
     return util::AlreadyExists("service already hosted: " + name);
@@ -57,7 +57,7 @@ util::Result<std::string> ServiceContainer::AddService(
 util::Status ServiceContainer::DestroyService(const std::string& name) {
   std::shared_ptr<GridService> victim;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = services_.find(name);
     if (it == services_.end()) return util::NotFound("no service: " + name);
     victim = it->second;
@@ -72,13 +72,13 @@ util::Status ServiceContainer::DestroyService(const std::string& name) {
 
 std::shared_ptr<GridService> ServiceContainer::Lookup(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = services_.find(name);
   return it == services_.end() ? nullptr : it->second;
 }
 
 std::vector<std::string> ServiceContainer::ListServices() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(services_.size());
   for (const auto& [name, service] : services_) {
@@ -92,7 +92,7 @@ int ServiceContainer::SweepExpired() {
   const std::int64_t now = clock_->NowMicros();
   std::vector<std::string> expired;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     for (const auto& [name, service] : services_) {
       if (service->Expired(now)) expired.push_back(name);
     }
@@ -175,7 +175,7 @@ util::Result<net::Bytes> ServiceContainer::HandleSubscribe(
         (void)network_->Send(std::move(message));  // best effort
       });
 
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   remote_subscriptions_.push_back({service_name, subscriber, local_id});
   return net::Bytes{};
 }
@@ -198,7 +198,7 @@ ContainerClient::ContainerClient(net::Network* network,
         if (!value.ok()) return;
         std::vector<NotifyCallback> callbacks;
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          util::MutexLock lock(mu_);
           callbacks = callbacks_;
         }
         for (const auto& callback : callbacks) {
@@ -271,7 +271,7 @@ util::Status ContainerClient::Subscribe(const std::string& container,
                                         NotifyCallback callback,
                                         std::int64_t timeout_micros) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     callbacks_.push_back(std::move(callback));
   }
   util::ByteWriter writer;

@@ -14,9 +14,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
 
 #include "grid/service.h"
 #include "net/rpc.h"
@@ -63,7 +64,7 @@ class ServiceContainer {
   std::string endpoint_;
   util::Clock* clock_;
   net::RpcServer rpc_server_;
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_{"grid.ServiceContainer"};
   std::map<std::string, std::shared_ptr<GridService>> services_;
   std::vector<RemoteSubscription> remote_subscriptions_;
 };
@@ -104,7 +105,7 @@ class ContainerClient {
  private:
   net::RpcClient rpc_client_;
   net::RpcServer notify_server_;
-  std::mutex mu_;
+  util::Mutex mu_{"grid.ContainerClient"};
   std::vector<NotifyCallback> callbacks_;
 };
 

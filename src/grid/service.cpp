@@ -30,7 +30,7 @@ GridService::GridService(std::string name) : name_(std::move(name)) {}
 void GridService::SetServiceData(const std::string& key, SdeValue value) {
   std::vector<SdeCallback> to_notify;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     sdes_[key] = value;
     for (const auto& [id, prefix, callback] : subscriptions_) {
       (void)id;
@@ -41,20 +41,20 @@ void GridService::SetServiceData(const std::string& key, SdeValue value) {
 }
 
 void GridService::RemoveServiceData(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   sdes_.erase(key);
 }
 
 std::optional<SdeValue> GridService::GetServiceData(
     const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = sdes_.find(key);
   if (it == sdes_.end()) return std::nullopt;
   return it->second;
 }
 
 std::vector<std::string> GridService::ListServiceData() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<std::string> keys;
   keys.reserve(sdes_.size());
   for (const auto& [key, value] : sdes_) {
@@ -66,7 +66,7 @@ std::vector<std::string> GridService::ListServiceData() const {
 
 std::vector<std::pair<std::string, SdeValue>> GridService::FindServiceData(
     const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<std::pair<std::string, SdeValue>> matches;
   for (const auto& [key, value] : sdes_) {
     if (util::StartsWith(key, prefix)) matches.emplace_back(key, value);
@@ -75,36 +75,36 @@ std::vector<std::pair<std::string, SdeValue>> GridService::FindServiceData(
 }
 
 int GridService::SubscribeSde(std::string prefix, SdeCallback callback) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const int id = next_subscription_id_++;
   subscriptions_.emplace_back(id, std::move(prefix), std::move(callback));
   return id;
 }
 
 void GridService::UnsubscribeSde(int id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::erase_if(subscriptions_,
                 [id](const auto& entry) { return std::get<0>(entry) == id; });
 }
 
 void GridService::SetTerminationTimeMicros(std::int64_t micros) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   termination_time_micros_ = micros;
 }
 
 std::int64_t GridService::termination_time_micros() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return termination_time_micros_;
 }
 
 void GridService::ExtendLease(std::int64_t lease_micros,
                               const util::Clock& clock) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   termination_time_micros_ = clock.NowMicros() + lease_micros;
 }
 
 bool GridService::Expired(std::int64_t now_micros) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return termination_time_micros_ != 0 && now_micros >= termination_time_micros_;
 }
 

@@ -13,10 +13,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
 
 #include "util/bytes.h"
 #include "util/clock.h"
@@ -83,7 +84,7 @@ class GridService {
 
  private:
   const std::string name_;
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_{"grid.GridService"};
   std::map<std::string, SdeValue> sdes_;
   std::int64_t termination_time_micros_ = 0;
   int next_subscription_id_ = 1;

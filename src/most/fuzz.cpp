@@ -13,6 +13,7 @@
 #include "plugins/mplugin.h"
 #include "structural/groundmotion.h"
 #include "structural/substructure.h"
+#include "util/mutex.h"
 #include "util/rng.h"
 #include "util/strings.h"
 #include "wal/wal.h"
@@ -223,6 +224,11 @@ FuzzScenario GenerateScenario(std::uint64_t seed) {
 FuzzOutcome RunFuzzCase(const FuzzScenario& scenario,
                         std::uint64_t fault_mask) {
   FuzzOutcome out;
+
+  // Oracle 5 (lockdep builds): no lock-order inversion, wait-while-holding,
+  // or blocking-RPC-under-lock may appear during the run. Snapshot the
+  // global count so violations from earlier cases aren't re-billed here.
+  const std::size_t lockdep_before = util::lockdep::ViolationCount();
 
   net::Network network(net::DeliveryMode::kVirtual, scenario.seed);
   // modeled == nullptr: in kVirtual the wall clock IS the modeled timeline;
@@ -516,6 +522,13 @@ FuzzOutcome RunFuzzCase(const FuzzScenario& scenario,
              spans, ntcp_endpoints, report.steps_completed,
              out.step_reattempts)) {
       out.failures.push_back("exactly-once: " + message);
+    }
+  }
+
+  if (util::lockdep::kEnabled) {
+    const auto violations = util::lockdep::Violations();
+    for (std::size_t i = lockdep_before; i < violations.size(); ++i) {
+      out.failures.push_back("lockdep: " + violations[i].description);
     }
   }
 

@@ -41,9 +41,9 @@ Network::Network(DeliveryMode mode, std::uint64_t fault_seed)
 Network::~Network() {
   if (mode_ == DeliveryMode::kScheduled) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       shutting_down_ = true;
-      pending_cv_.notify_all();
+      pending_cv_.NotifyAll();
     }
     delivery_thread_.join();
   }
@@ -51,7 +51,7 @@ Network::~Network() {
 
 util::Status Network::RegisterEndpoint(const std::string& name,
                                        Handler handler) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (endpoints_.contains(name)) {
     return util::AlreadyExists("endpoint already registered: " + name);
   }
@@ -60,12 +60,12 @@ util::Status Network::RegisterEndpoint(const std::string& name,
 }
 
 void Network::UnregisterEndpoint(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   endpoints_.erase(name);
 }
 
 void Network::SetEndpointCrashed(const std::string& name, bool crashed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (crashed) {
     crashed_endpoints_.insert(name);
   } else {
@@ -74,7 +74,7 @@ void Network::SetEndpointCrashed(const std::string& name, bool crashed) {
 }
 
 bool Network::HasEndpoint(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return endpoints_.contains(name);
 }
 
@@ -152,7 +152,7 @@ util::Status Network::Send(Message message) {
     to = message.to;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (crashed_endpoints_.contains(message.from)) {
       // The sender's process is dead; its zombie stack frames write to the
       // void. Report acceptance — a crashed process cannot observe errors.
@@ -202,7 +202,7 @@ util::Status Network::Send(Message message) {
           pending_.push(ScheduledMessage{now + delay, 0, next_sequence_++,
                                          delay, std::move(message)});
           ++in_flight_;
-          pending_cv_.notify_all();
+          pending_cv_.NotifyAll();
           scheduled = true;
         }
       }
@@ -233,7 +233,7 @@ util::Status Network::Send(Message message) {
 void Network::Dispatch(Message message) {
   std::shared_ptr<Handler> handler;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = endpoints_.find(message.to);
     if (it != endpoints_.end()) handler = it->second;
   }
@@ -241,18 +241,17 @@ void Network::Dispatch(Message message) {
 }
 
 void Network::DeliveryLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (;;) {
     if (shutting_down_) return;
     if (pending_.empty()) {
-      pending_cv_.wait(lock,
-                       [this] { return shutting_down_ || !pending_.empty(); });
+      while (!shutting_down_ && pending_.empty()) pending_cv_.Wait(mu_);
       continue;
     }
     const std::int64_t now = clock_->NowMicros();
     const std::int64_t due = pending_.top().due_micros;
     if (due > now) {
-      pending_cv_.wait_for(lock, std::chrono::microseconds(due - now));
+      pending_cv_.WaitFor(mu_, due - now);
       continue;
     }
     // Move the payload out of the heap slot before popping; the comparator
@@ -260,11 +259,11 @@ void Network::DeliveryLoop() {
     Message message =
         std::move(const_cast<ScheduledMessage&>(pending_.top()).message);
     pending_.pop();
-    lock.unlock();
+    lock.Unlock();
     Dispatch(std::move(message));
-    lock.lock();
+    lock.Lock();
     --in_flight_;
-    if (in_flight_ == 0) quiesce_cv_.notify_all();
+    if (in_flight_ == 0) quiesce_cv_.NotifyAll();
   }
 }
 
@@ -290,7 +289,7 @@ void Network::AdvanceVirtualClockTo(std::int64_t micros) {
 void Network::ScheduleAt(std::int64_t due_micros, std::function<void()> fn) {
   NEES_CHECK_INVARIANT(mode_ == DeliveryMode::kVirtual,
                        "timers require DeliveryMode::kVirtual");
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const std::int64_t due =
       std::max(due_micros, virtual_clock_->NowMicros());
   timers_.push(ScheduledTimer{due, schedule_rng_.NextU64(), next_sequence_++,
@@ -301,7 +300,7 @@ void Network::ScheduleAfter(std::int64_t delay_micros,
                             std::function<void()> fn) {
   NEES_CHECK_INVARIANT(mode_ == DeliveryMode::kVirtual,
                        "timers require DeliveryMode::kVirtual");
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const std::int64_t due =
       virtual_clock_->NowMicros() + std::max<std::int64_t>(delay_micros, 0);
   timers_.push(ScheduledTimer{due, schedule_rng_.NextU64(), next_sequence_++,
@@ -316,7 +315,7 @@ bool Network::PumpOne(std::int64_t limit_micros, bool advance_on_idle) {
   enum class Pick { kNone, kMessage, kTimer };
   Pick pick = Pick::kNone;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     const bool have_message = !pending_.empty();
     const bool have_timer = !timers_.empty();
     if (have_message && have_timer) {
@@ -369,7 +368,7 @@ void Network::DeliverVirtual(Message message, std::int64_t delay_micros) {
   const std::string from = message.from;
   const std::string to = message.to;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     const std::int64_t now = virtual_clock_->NowMicros();
     LinkState& link = LinkFor(from, to);
     // Arrival-time fault checks: the world may have changed while the
@@ -447,7 +446,7 @@ std::size_t Network::RunUntilQuiescent(std::size_t max_events) {
 }
 
 Network::VirtualLoopStats Network::virtual_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return virtual_stats_;
 }
 
@@ -455,30 +454,30 @@ Network::VirtualLoopStats Network::virtual_stats() const {
 
 void Network::SetLink(const std::string& from, const std::string& to,
                       LinkModel model) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   links_[{from, to}].model = model;
 }
 
 void Network::SetDefaultLink(LinkModel model) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   default_link_ = model;
 }
 
 void Network::SetLinkUp(const std::string& from, const std::string& to,
                         bool up) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   LinkFor(from, to).up = up;
 }
 
 void Network::DropNext(const std::string& from, const std::string& to,
                        int count) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   LinkFor(from, to).drop_next += count;
 }
 
 void Network::AddOutage(const std::string& from, const std::string& to,
                         OutageWindow window) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   LinkFor(from, to).outages.push_back(window);
 }
 
@@ -491,32 +490,32 @@ void Network::AddBidirectionalOutage(const std::string& a,
 
 void Network::Partition(const std::vector<std::string>& group_a,
                         const std::vector<std::string>& group_b) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   partition_a_ = group_a;
   partition_b_ = group_b;
   partitioned_ = true;
 }
 
 void Network::HealPartition() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   partitioned_ = false;
 }
 
 LinkMetrics Network::TotalMetrics() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return total_;
 }
 
 LinkMetrics Network::LinkMetricsFor(const std::string& from,
                                     const std::string& to) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = links_.find({from, to});
   if (it == links_.end()) return {};
   return it->second.metrics;
 }
 
 void Network::SetClock(util::Clock* clock) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (mode_ == DeliveryMode::kVirtual) {
     // The event loop needs a manually advanced timeline; clock() keeps
     // returning the pumping facade over the injected SimClock.
@@ -535,8 +534,8 @@ void Network::Quiesce() {
     RunUntilQuiescent();
     return;
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  quiesce_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  util::MutexLock lock(mu_);
+  while (in_flight_ != 0) quiesce_cv_.Wait(mu_);
 }
 
 }  // namespace nees::net

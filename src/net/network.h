@@ -29,12 +29,10 @@
 // inside it is lost in flight, as on a real network.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <set>
 #include <string>
@@ -44,6 +42,7 @@
 #include "net/link.h"
 #include "net/message.h"
 #include "util/clock.h"
+#include "util/mutex.h"
 #include "util/result.h"
 #include "util/rng.h"
 
@@ -237,10 +236,12 @@ class Network {
     Network* network_;
   };
 
-  LinkState& LinkFor(const std::string& from, const std::string& to);
+  LinkState& LinkFor(const std::string& from, const std::string& to)
+      NEES_REQUIRES(mu_);
   bool ShouldDrop(LinkState& link, const Message& message,
-                  std::int64_t now_micros);
-  bool InPartition(const std::string& from, const std::string& to) const;
+                  std::int64_t now_micros) NEES_REQUIRES(mu_);
+  bool InPartition(const std::string& from, const std::string& to) const
+      NEES_REQUIRES(mu_);
   void DeliveryLoop();
   void Dispatch(Message message);
   /// Core virtual-time step; `advance_on_idle` distinguishes PumpOneUntil
@@ -256,28 +257,33 @@ class Network {
   void DeliverVirtual(Message message, std::int64_t delay_micros);
 
   const DeliveryMode mode_;
+  // Installed before traffic starts (SetClock/SetTracer are setup-time);
+  // the hot paths read both with mu_ released, so neither is guarded.
   util::Clock* clock_;
   obs::Tracer* tracer_ = nullptr;
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<Handler>> endpoints_;
-  std::map<std::pair<std::string, std::string>, LinkState> links_;
-  LinkModel default_link_;
-  LinkMetrics total_;
-  util::Rng rng_;
+  mutable util::Mutex mu_{"net.Network"};
+  std::map<std::string, std::shared_ptr<Handler>> endpoints_
+      NEES_GUARDED_BY(mu_);
+  std::map<std::pair<std::string, std::string>, LinkState> links_
+      NEES_GUARDED_BY(mu_);
+  LinkModel default_link_ NEES_GUARDED_BY(mu_);
+  LinkMetrics total_ NEES_GUARDED_BY(mu_);
+  util::Rng rng_ NEES_GUARDED_BY(mu_);
 
-  std::vector<std::string> partition_a_, partition_b_;
-  bool partitioned_ = false;
-  std::set<std::string> crashed_endpoints_;
+  std::vector<std::string> partition_a_ NEES_GUARDED_BY(mu_),
+      partition_b_ NEES_GUARDED_BY(mu_);
+  bool partitioned_ NEES_GUARDED_BY(mu_) = false;
+  std::set<std::string> crashed_endpoints_ NEES_GUARDED_BY(mu_);
 
   // kScheduled + kVirtual shared queue
   std::priority_queue<ScheduledMessage, std::vector<ScheduledMessage>,
                       std::greater<>>
-      pending_;
-  std::uint64_t next_sequence_ = 0;
-  std::size_t in_flight_ = 0;
-  std::condition_variable pending_cv_;
-  std::condition_variable quiesce_cv_;
-  bool shutting_down_ = false;
+      pending_ NEES_GUARDED_BY(mu_);
+  std::uint64_t next_sequence_ NEES_GUARDED_BY(mu_) = 0;
+  std::size_t in_flight_ NEES_GUARDED_BY(mu_) = 0;
+  util::CondVar pending_cv_;
+  util::CondVar quiesce_cv_;
+  bool shutting_down_ NEES_GUARDED_BY(mu_) = false;
   std::thread delivery_thread_;
 
   // kVirtual machinery. The schedule rng is a dedicated stream (NOT rng_,
@@ -286,11 +292,11 @@ class Network {
   std::unique_ptr<util::SimClock> owned_virtual_clock_;
   util::SimClock* virtual_clock_ = nullptr;
   PumpClock pump_clock_{this};
-  util::Rng schedule_rng_;
+  util::Rng schedule_rng_ NEES_GUARDED_BY(mu_);
   std::priority_queue<ScheduledTimer, std::vector<ScheduledTimer>,
                       std::greater<>>
-      timers_;
-  VirtualLoopStats virtual_stats_;
+      timers_ NEES_GUARDED_BY(mu_);
+  VirtualLoopStats virtual_stats_ NEES_GUARDED_BY(mu_);
 };
 
 }  // namespace nees::net

@@ -102,17 +102,17 @@ void RpcServer::Stop() {
 }
 
 void RpcServer::RegisterMethod(const std::string& name, Method method) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   methods_[name] = std::move(method);
 }
 
 void RpcServer::RegisterOneWay(const std::string& name, OneWayMethod method) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   oneway_methods_[name] = std::move(method);
 }
 
 void RpcServer::SetAuthenticator(Authenticator authenticator) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   authenticator_ = std::move(authenticator);
 }
 
@@ -131,7 +131,7 @@ void RpcServer::HandleMessage(Message message) {
     if (!decode_status.ok()) return;  // corrupt one-way frame: drop
     OneWayMethod handler;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       auto it = oneway_methods_.find(message.method);
       if (it == oneway_methods_.end()) return;
       handler = it->second;
@@ -153,7 +153,7 @@ void RpcServer::HandleMessage(Message message) {
     Method handler;
     Authenticator authenticator;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       auto it = methods_.find(message.method);
       if (it != methods_.end()) handler = it->second;
       authenticator = authenticator_;
@@ -216,13 +216,13 @@ void RpcClient::Stop() {
 }
 
 void RpcClient::SetAuthToken(std::string token) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auth_token_ = std::move(token);
 }
 
 void RpcClient::SetAuthTokenFor(const std::string& target,
                                 std::string token) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   per_target_tokens_[target] = std::move(token);
 }
 
@@ -232,7 +232,7 @@ std::string RpcClient::TokenForLocked(const std::string& target) const {
 }
 
 std::string RpcClient::TokenFor(const std::string& target) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return TokenForLocked(target);
 }
 
@@ -245,7 +245,7 @@ void RpcClient::HandleMessage(Message message) {
   std::shared_ptr<PendingCall> call;
   std::shared_ptr<CallBatch> batch;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = pending_.find(message.correlation_id);
     if (it == pending_.end()) return;  // late/duplicate response: ignore
     call = it->second;
@@ -256,8 +256,8 @@ void RpcClient::HandleMessage(Message message) {
   }
   // Per-call signaling: wake only this call's waiter (and its batch, if it
   // is part of a WaitAll/WaitAnyUntil group) — no client-wide herd.
-  call->cv.notify_all();
-  if (batch) batch->cv.notify_all();
+  call->cv.NotifyAll();
+  if (batch) batch->cv.NotifyAll();
 }
 
 RpcClient::AsyncCall RpcClient::Issue(const std::string& target,
@@ -272,7 +272,7 @@ RpcClient::AsyncCall RpcClient::Issue(const std::string& target,
   async.deadline_micros_ = network_->clock()->NowMicros() + timeout_micros;
   std::string token;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     async.correlation_ = next_correlation_++;
     pending_[async.correlation_] = async.state_;
     token = TokenForLocked(target);
@@ -288,7 +288,7 @@ RpcClient::AsyncCall RpcClient::Issue(const std::string& target,
 
   const util::Status send_status = network_->Send(std::move(request));
   if (!send_status.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     pending_.erase(async.correlation_);
     // Destination endpoint missing: surface as transient (site may return).
     async.send_error_ = util::Unavailable("send to " + target + " failed: " +
@@ -305,6 +305,13 @@ util::Result<Bytes> RpcClient::AsyncCall::Wait() {
   RpcClient* client = client_;
   client_ = nullptr;  // Wait at most once
   if (!send_error_.ok()) return send_error_;
+  // A blocking wait while any lock is held risks a distributed stall: the
+  // response handler may need that very lock. Lockdep flags it. Immediate
+  // mode never blocks (responses resolved inline during Send), so only the
+  // modes that actually park or pump are checked.
+  if (client->network_->mode() != DeliveryMode::kImmediate) {
+    util::lockdep::CheckBlockingCall("RpcClient::AsyncCall::Wait");
+  }
 
   if (client->network_->mode() == DeliveryMode::kVirtual) {
     // Virtual mode: drive the event loop from this thread instead of
@@ -313,7 +320,7 @@ util::Result<Bytes> RpcClient::AsyncCall::Wait() {
     // released around each pump.
     for (;;) {
       {
-        std::lock_guard<std::mutex> lock(client->mu_);
+        util::MutexLock lock(client->mu_);
         if (state_->done) break;
       }
       if (client->network_->clock()->NowMicros() >= deadline_micros_) break;
@@ -324,13 +331,12 @@ util::Result<Bytes> RpcClient::AsyncCall::Wait() {
   util::Status status;
   Bytes response;
   {
-    std::unique_lock<std::mutex> lock(client->mu_);
+    util::MutexLock lock(client->mu_);
     if (client->network_->mode() == DeliveryMode::kScheduled) {
       while (!state_->done) {
         const std::int64_t now = client->network_->clock()->NowMicros();
         if (now >= deadline_micros_) break;
-        state_->cv.wait_for(
-            lock, std::chrono::microseconds(deadline_micros_ - now));
+        state_->cv.WaitFor(client->mu_, deadline_micros_ - now);
       }
     }
     // Immediate mode: the response (if any) was delivered inline during
@@ -357,7 +363,7 @@ bool RpcClient::AsyncCall::TryResolve(util::Result<Bytes>* out) {
     return true;
   }
   RpcClient* client = client_;
-  std::lock_guard<std::mutex> lock(client->mu_);
+  util::MutexLock lock(client->mu_);
   if (state_->done) {
     client->pending_.erase(correlation_);
     client_ = nullptr;
@@ -393,12 +399,14 @@ void RpcClient::WaitAnyUntil(const std::vector<AsyncCall*>& calls,
 void RpcClient::WaitAnyUntil(const std::vector<AsyncCall*>& calls,
                              std::int64_t wake_micros, bool wait_for_all) {
   if (network_->mode() == DeliveryMode::kVirtual) {
+    util::lockdep::CheckBlockingCall("RpcClient::WaitAnyUntil");
     WaitAnyUntilVirtual(calls, wake_micros, wait_for_all);
     return;
   }
   if (network_->mode() != DeliveryMode::kScheduled) return;
+  util::lockdep::CheckBlockingCall("RpcClient::WaitAnyUntil");
   auto batch = std::make_shared<CallBatch>();
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   // Snapshot the calls that are unresolved right now; the wait ends when
   // one of *these* completes (an already-resolved call would otherwise
   // satisfy the predicate forever) or when its deadline lapses.
@@ -438,7 +446,7 @@ void RpcClient::WaitAnyUntil(const std::vector<AsyncCall*>& calls,
     if (!any_live) break;                   // everything resolved or lapsed
     if (any_done && !wait_for_all) break;   // WaitAny: one completion is enough
     if (now >= wake) break;
-    batch->cv.wait_for(lock, std::chrono::microseconds(wake - now));
+    batch->cv.WaitFor(mu_, wake - now);
   }
   for (Watched& entry : watched) entry.state->batch.reset();
 }
@@ -454,7 +462,7 @@ void RpcClient::WaitAnyUntilVirtual(const std::vector<AsyncCall*>& calls,
     bool any_resolved = false;
     const std::int64_t now = network_->clock()->NowMicros();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       for (AsyncCall* call : calls) {
         if (call->client_ == nullptr || !call->send_error_.ok() ||
             call->state_->done || call->deadline_micros_ <= now) {

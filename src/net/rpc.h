@@ -11,17 +11,16 @@
 // paper puts them.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "net/network.h"
 #include "util/bytes.h"
+#include "util/mutex.h"
 #include "util/result.h"
 
 namespace nees::net {
@@ -71,16 +70,16 @@ class RpcServer {
   Network* network_;
   std::string endpoint_;
   bool started_ = false;
-  mutable std::mutex mu_;
-  std::map<std::string, Method> methods_;
-  std::map<std::string, OneWayMethod> oneway_methods_;
-  Authenticator authenticator_;
+  mutable util::Mutex mu_{"net.RpcServer"};
+  std::map<std::string, Method> methods_ NEES_GUARDED_BY(mu_);
+  std::map<std::string, OneWayMethod> oneway_methods_ NEES_GUARDED_BY(mu_);
+  Authenticator authenticator_ NEES_GUARDED_BY(mu_);
 };
 
 /// Shared wakeup channel for a batch of calls (WaitAll / WaitAnyUntil):
 /// completing any attached call signals the batch's waiter.
 struct CallBatch {
-  std::condition_variable cv;
+  util::CondVar cv;
 };
 
 /// Slot a response lands in; shared between the client and async handles.
@@ -90,7 +89,7 @@ struct PendingCall {
   bool done = false;
   util::Status status;
   Bytes response;
-  std::condition_variable cv;
+  util::CondVar cv;
   std::shared_ptr<CallBatch> batch;
 };
 
@@ -191,8 +190,9 @@ class RpcClient {
   AsyncCall Issue(const std::string& target, const std::string& method,
                   const Bytes& body, std::int64_t timeout_micros);
 
-  std::string TokenFor(const std::string& target);
-  std::string TokenForLocked(const std::string& target) const;  // mu_ held
+  std::string TokenFor(const std::string& target) NEES_EXCLUDES(mu_);
+  std::string TokenForLocked(const std::string& target) const
+      NEES_REQUIRES(mu_);
 
   /// Shared engine behind WaitAll (wait_for_all) and WaitAnyUntil.
   void WaitAnyUntil(const std::vector<AsyncCall*>& calls,
@@ -207,11 +207,12 @@ class RpcClient {
   Network* network_;
   std::string endpoint_;
   bool registered_ = false;
-  std::string auth_token_;
-  std::map<std::string, std::string> per_target_tokens_;
-  std::mutex mu_;
-  std::uint64_t next_correlation_ = 1;
-  std::map<std::uint64_t, std::shared_ptr<PendingCall>> pending_;
+  util::Mutex mu_{"net.RpcClient"};
+  std::string auth_token_ NEES_GUARDED_BY(mu_);
+  std::map<std::string, std::string> per_target_tokens_ NEES_GUARDED_BY(mu_);
+  std::uint64_t next_correlation_ NEES_GUARDED_BY(mu_) = 1;
+  std::map<std::uint64_t, std::shared_ptr<PendingCall>> pending_
+      NEES_GUARDED_BY(mu_);
 };
 
 /// Encodes/decodes the RPC envelopes (exposed for protocol tests).

@@ -63,7 +63,7 @@ void NsdsServer::Stop() { rpc_server_.Stop(); }
 void NsdsServer::AddSubscriber(const std::string& subscriber_endpoint,
                                const std::string& channel_prefix,
                                int decimation) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   // Re-subscription replaces the filter but keeps the sequence counter.
   for (Subscriber& subscriber : subscribers_) {
     if (subscriber.endpoint == subscriber_endpoint) {
@@ -77,14 +77,14 @@ void NsdsServer::AddSubscriber(const std::string& subscriber_endpoint,
 }
 
 void NsdsServer::RemoveSubscriber(const std::string& subscriber_endpoint) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::erase_if(subscribers_, [&](const Subscriber& subscriber) {
     return subscriber.endpoint == subscriber_endpoint;
   });
 }
 
 std::size_t NsdsServer::subscriber_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return subscribers_.size();
 }
 
@@ -95,7 +95,7 @@ void NsdsServer::Publish(const std::vector<DataSample>& samples) {
   };
   std::vector<Delivery> deliveries;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     ++stats_.frames_published;
     stats_.samples_published += samples.size();
     for (Subscriber& subscriber : subscribers_) {
@@ -143,7 +143,7 @@ void NsdsServer::Publish(const std::vector<DataSample>& samples) {
 }
 
 PublisherStats NsdsServer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return stats_;
 }
 
@@ -172,7 +172,7 @@ util::Status NsdsSubscriber::SubscribeTo(const std::string& server_endpoint,
 }
 
 void NsdsSubscriber::SetFrameCallback(FrameCallback callback) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   callback_ = std::move(callback);
 }
 
@@ -183,7 +183,7 @@ void NsdsSubscriber::HandleFrame(const net::Bytes& body) {
 
   FrameCallback callback;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     ++stats_.frames_received;
     stats_.samples_received += frame->samples.size();
     if (saw_any_ && frame->sequence != expected_sequence_) {
@@ -203,12 +203,12 @@ void NsdsSubscriber::HandleFrame(const net::Bytes& body) {
 }
 
 std::map<std::string, DataSample> NsdsSubscriber::Latest() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return latest_;
 }
 
 SubscriberStats NsdsSubscriber::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return stats_;
 }
 

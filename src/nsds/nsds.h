@@ -11,9 +11,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
 
 #include "net/rpc.h"
 #include "util/result.h"
@@ -82,9 +83,9 @@ class NsdsServer {
   net::Network* network_;
   net::RpcServer rpc_server_;
   obs::Tracer* tracer_ = nullptr;
-  mutable std::mutex mu_;
-  std::vector<Subscriber> subscribers_;
-  PublisherStats stats_;
+  mutable util::Mutex mu_{"nsds.NsdsServer"};
+  std::vector<Subscriber> subscribers_ NEES_GUARDED_BY(mu_);
+  PublisherStats stats_ NEES_GUARDED_BY(mu_);
 };
 
 struct SubscriberStats {
@@ -120,12 +121,12 @@ class NsdsSubscriber {
 
   net::RpcClient rpc_client_;
   net::RpcServer rpc_server_;
-  mutable std::mutex mu_;
-  std::map<std::string, DataSample> latest_;
-  SubscriberStats stats_;
-  std::uint64_t expected_sequence_ = 0;
-  bool saw_any_ = false;
-  FrameCallback callback_;
+  mutable util::Mutex mu_{"nsds.NsdsSubscriber"};
+  std::map<std::string, DataSample> latest_ NEES_GUARDED_BY(mu_);
+  SubscriberStats stats_ NEES_GUARDED_BY(mu_);
+  std::uint64_t expected_sequence_ NEES_GUARDED_BY(mu_) = 0;
+  bool saw_any_ NEES_GUARDED_BY(mu_) = false;
+  FrameCallback callback_ NEES_GUARDED_BY(mu_);
 };
 
 }  // namespace nees::nsds

@@ -66,7 +66,7 @@ util::Status ReferralService::Start() {
 }
 
 void ReferralService::Register(const Referral& referral) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   // Re-registration of the same endpoint for the experiment replaces it.
   std::erase_if(referrals_, [&](const Referral& existing) {
     return existing.experiment == referral.experiment &&
@@ -77,7 +77,7 @@ void ReferralService::Register(const Referral& referral) {
 
 void ReferralService::Unregister(const std::string& experiment,
                                  const std::string& endpoint) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::erase_if(referrals_, [&](const Referral& existing) {
     return existing.experiment == experiment &&
            existing.endpoint == endpoint;
@@ -86,7 +86,7 @@ void ReferralService::Unregister(const std::string& experiment,
 
 std::vector<Referral> ReferralService::Lookup(const std::string& experiment,
                                               const std::string& kind) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<Referral> results;
   for (const Referral& referral : referrals_) {
     if (referral.experiment != experiment) continue;

@@ -10,9 +10,10 @@
 //   referral.unregister {experiment, endpoint} -> {}
 #pragma once
 
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
 
 #include "net/rpc.h"
 #include "util/result.h"
@@ -44,7 +45,7 @@ class ReferralService {
 
  private:
   net::RpcServer rpc_server_;
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_{"nsds.ReferralService"};
   std::vector<Referral> referrals_;
 };
 

@@ -196,7 +196,7 @@ NtcpServer::ProposeOutcome NtcpServer::Propose(const Proposal& proposal) {
     span.AddTag("step", std::to_string(proposal.step_index));
     tracer_->metrics().Increment("ntcp.server.proposals");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   ++stats_.proposals;
 
   if (proposal.transaction_id.empty()) {
@@ -260,7 +260,7 @@ util::Result<TransactionResult> NtcpServer::Execute(
   }
   Proposal proposal;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = transactions_.find(transaction_id);
     if (it == transactions_.end()) {
       return util::NotFound("unknown transaction: " + transaction_id);
@@ -317,7 +317,7 @@ util::Result<TransactionResult> NtcpServer::Execute(
   // seconds and inspection must stay responsive meanwhile.
   util::Result<TransactionResult> outcome = plugin_->Execute(proposal);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = transactions_.find(transaction_id);
   if (it == transactions_.end()) {
     return util::Internal("transaction vanished during execution");
@@ -339,7 +339,7 @@ util::Result<TransactionResult> NtcpServer::Execute(
 }
 
 util::Status NtcpServer::Cancel(const std::string& transaction_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = transactions_.find(transaction_id);
   if (it == transactions_.end()) {
     return util::NotFound("unknown transaction: " + transaction_id);
@@ -367,7 +367,7 @@ util::Result<TransactionRecord> NtcpServer::GetTransaction(
     span = tracer_->StartSpan("server.getTransaction", "protocol");
     span.AddTag("endpoint", endpoint());
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = transactions_.find(transaction_id);
   if (it == transactions_.end()) {
     return util::NotFound("unknown transaction: " + transaction_id);
@@ -376,7 +376,7 @@ util::Result<TransactionRecord> NtcpServer::GetTransaction(
 }
 
 std::vector<std::string> NtcpServer::ListTransactions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<std::string> ids;
   ids.reserve(transactions_.size());
   for (const auto& [id, record] : transactions_) {
@@ -387,7 +387,7 @@ std::vector<std::string> NtcpServer::ListTransactions() const {
 }
 
 int NtcpServer::ExpireStale() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const std::int64_t now = clock_->NowMicros();
   int expired = 0;
   for (auto& [id, record] : transactions_) {
@@ -409,7 +409,7 @@ int NtcpServer::ExpireStale() {
 }
 
 int NtcpServer::GarbageCollect(std::int64_t retention_micros) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const std::int64_t cutoff = clock_->NowMicros() - retention_micros;
   int removed = 0;
   for (auto it = transactions_.begin(); it != transactions_.end();) {
@@ -429,7 +429,7 @@ int NtcpServer::GarbageCollect(std::int64_t retention_micros) {
 }
 
 util::Result<WalRecovery> NtcpServer::AttachWal(wal::Log* log) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   WalRecovery recovery;
   NEES_ASSIGN_OR_RETURN(std::vector<wal::Record> records, log->Open());
   recovery.records_replayed = records.size();
@@ -527,7 +527,7 @@ util::Result<WalRecovery> NtcpServer::AttachWal(wal::Log* log) {
 }
 
 NtcpServerStats NtcpServer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return stats_;
 }
 

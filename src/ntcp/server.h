@@ -14,8 +14,9 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "util/mutex.h"
 
 #include "grid/container.h"
 #include "grid/service.h"
@@ -121,7 +122,7 @@ class NtcpServer {
  private:
   void TransitionLocked(const std::string& id, TransactionRecord& record,
                         TransactionState to, const std::string& detail,
-                        const std::string& cause = "");
+                        const std::string& cause = "") NEES_REQUIRES(mu_);
   /// Emits one "ntcp.txn" protocol event per state change (from "none" for
   /// creation) into the trace stream; nees-lint replays these. A non-empty
   /// `cause` is added as a tag (crash-mark transitions carry
@@ -129,21 +130,23 @@ class NtcpServer {
   void RecordTxnEventLocked(const TransactionRecord& record,
                             std::string_view from, std::string_view to,
                             std::int64_t at_micros,
-                            const std::string& cause = "");
+                            const std::string& cause = "")
+      NEES_REQUIRES(mu_);
   /// WAL append helpers; no-ops when no log is attached. Sync failures are
   /// counted and logged but do not fail the operation for MemoryStorage-
   /// style stores (which cannot fail); FileStorage callers watch stats.
-  void WalLogCreateLocked(const TransactionRecord& record);
+  void WalLogCreateLocked(const TransactionRecord& record)
+      NEES_REQUIRES(mu_);
   void WalLogTransitionLocked(const std::string& id,
                               const TransactionRecord& record,
-                              std::int64_t at_micros);
-  void WalSyncLocked();
+                              std::int64_t at_micros) NEES_REQUIRES(mu_);
+  void WalSyncLocked() NEES_REQUIRES(mu_);
   /// Emits an "ntcp.dup" event when a retry is served from the
   /// at-most-once cache (kind: propose / propose-mismatch / execute).
   void RecordDupEventLocked(const TransactionRecord& record,
-                            std::string_view kind);
+                            std::string_view kind) NEES_REQUIRES(mu_);
   void PublishSdeLocked(const std::string& id,
-                        const TransactionRecord& record);
+                        const TransactionRecord& record) NEES_REQUIRES(mu_);
   void BindRpcMethods();
 
   net::RpcServer rpc_server_;
@@ -152,10 +155,11 @@ class NtcpServer {
   obs::Tracer* tracer_ = nullptr;
   std::shared_ptr<grid::GridService> service_;
 
-  mutable std::mutex mu_;
-  std::map<std::string, TransactionRecord> transactions_;
-  NtcpServerStats stats_;
-  wal::Log* wal_ = nullptr;
+  mutable util::Mutex mu_{"ntcp.Server"};
+  std::map<std::string, TransactionRecord> transactions_
+      NEES_GUARDED_BY(mu_);
+  NtcpServerStats stats_ NEES_GUARDED_BY(mu_);
+  wal::Log* wal_ NEES_GUARDED_BY(mu_) = nullptr;
 
   // Liveness flag captured by armed expiry timers; cleared on Stop() so a
   // queued firing after shutdown is a safe no-op.

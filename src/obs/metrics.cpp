@@ -5,41 +5,41 @@
 namespace nees::obs {
 
 void MetricsRegistry::Increment(const std::string& name, std::int64_t delta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   counters_[name] += delta;
 }
 
 std::int64_t MetricsRegistry::CounterValue(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 void MetricsRegistry::SetGauge(const std::string& name, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   gauges_[name] = value;
 }
 
 double MetricsRegistry::GaugeValue(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
 void MetricsRegistry::Observe(const std::string& name, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   histograms_[name].Add(value);
 }
 
 util::SampleStats MetricsRegistry::HistogramValue(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? util::SampleStats{} : it->second;
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return {counters_, gauges_, histograms_};
 }
 
@@ -72,7 +72,7 @@ std::string MetricsRegistry::ReportTable() const {
 }
 
 void MetricsRegistry::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

@@ -7,8 +7,9 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
+
+#include "util/mutex.h"
 
 #include "util/stats.h"
 
@@ -41,10 +42,10 @@ class MetricsRegistry {
   void Clear();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::int64_t> counters_;
-  std::map<std::string, double> gauges_;
-  std::map<std::string, util::SampleStats> histograms_;
+  mutable util::Mutex mu_{"obs.MetricsRegistry"};
+  std::map<std::string, std::int64_t> counters_ NEES_GUARDED_BY(mu_);
+  std::map<std::string, double> gauges_ NEES_GUARDED_BY(mu_);
+  std::map<std::string, util::SampleStats> histograms_ NEES_GUARDED_BY(mu_);
 };
 
 }  // namespace nees::obs

@@ -94,7 +94,7 @@ void Tracer::EndLocked(std::uint64_t id) {
 }
 
 Span Tracer::StartSpan(const std::string& name, const std::string& category) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return Span(this, StartLocked(name, category, 0, /*implicit_parent=*/true,
                                 /*push_stack=*/true));
 }
@@ -102,7 +102,7 @@ Span Tracer::StartSpan(const std::string& name, const std::string& category) {
 Span Tracer::StartSpanWithParent(const std::string& name,
                                  const std::string& category,
                                  std::uint64_t parent_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return Span(this, StartLocked(name, category, parent_id,
                                 /*implicit_parent=*/false,
                                 /*push_stack=*/true));
@@ -111,26 +111,26 @@ Span Tracer::StartSpanWithParent(const std::string& name,
 std::uint64_t Tracer::BeginSpanId(const std::string& name,
                                   const std::string& category,
                                   std::uint64_t parent_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return StartLocked(name, category, parent_id, /*implicit_parent=*/false,
                      /*push_stack=*/true);
 }
 
 void Tracer::EndSpanId(std::uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   EndLocked(id);
 }
 
 void Tracer::AddTagById(std::uint64_t id, const std::string& key,
                         const std::string& value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (id == 0 || id > spans_.size()) return;
   spans_[id - 1].tags.emplace_back(key, value);
 }
 
 void Tracer::AddModeledMicrosById(std::uint64_t id, std::int64_t micros) {
   if (micros > 0 && modeled_ != nullptr) modeled_->Advance(micros);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (id == 0 || id > spans_.size()) return;
   spans_[id - 1].modeled_micros += micros;
 }
@@ -149,7 +149,7 @@ void Tracer::RecordEventUnder(std::uint64_t parent_id, const std::string& name,
     modeled_->Advance(modeled_micros);
   }
   const std::int64_t end = clock_->NowMicros();
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const std::uint64_t id = StartLocked(name, category, parent_id,
                                        /*implicit_parent=*/false,
                                        /*push_stack=*/false);
@@ -164,7 +164,7 @@ void Tracer::RecordInterval(std::uint64_t parent_id, const std::string& name,
                             const std::string& category,
                             std::int64_t start_micros,
                             std::int64_t end_micros, Tags tags) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const std::uint64_t id = StartLocked(name, category, parent_id,
                                        /*implicit_parent=*/false,
                                        /*push_stack=*/false);
@@ -175,25 +175,25 @@ void Tracer::RecordInterval(std::uint64_t parent_id, const std::string& name,
 }
 
 std::uint64_t Tracer::CurrentSpanId() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = stacks_.find(std::this_thread::get_id());
   if (it == stacks_.end() || it->second.empty()) return 0;
   return it->second.back();
 }
 
 std::vector<SpanRecord> Tracer::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return spans_;
 }
 
 std::size_t Tracer::span_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return spans_.size();
 }
 
 void Tracer::Clear() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     spans_.clear();
     stacks_.clear();
   }

@@ -20,11 +20,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
 
 #include "obs/metrics.h"
 #include "util/clock.h"
@@ -143,16 +144,18 @@ class Tracer {
   std::uint64_t StartLocked(const std::string& name,
                             const std::string& category,
                             std::uint64_t parent_id, bool implicit_parent,
-                            bool push_stack);
-  void EndLocked(std::uint64_t id);
+                            bool push_stack) NEES_REQUIRES(mu_);
+  void EndLocked(std::uint64_t id) NEES_REQUIRES(mu_);
 
   util::Clock* clock_;
   util::SimClock* modeled_;
   MetricsRegistry metrics_;
 
-  mutable std::mutex mu_;
-  std::vector<SpanRecord> spans_;  // spans_[i].id == i + 1
-  std::map<std::thread::id, std::vector<std::uint64_t>> stacks_;
+  mutable util::Mutex mu_{"obs.Tracer"};
+  // spans_[i].id == i + 1
+  std::vector<SpanRecord> spans_ NEES_GUARDED_BY(mu_);
+  std::map<std::thread::id, std::vector<std::uint64_t>> stacks_
+      NEES_GUARDED_BY(mu_);
 };
 
 /// Serializes an arbitrary span vector in the Tracer::ExportJsonLines

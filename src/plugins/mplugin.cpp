@@ -1,5 +1,6 @@
 #include "plugins/mplugin.h"
 
+#include <chrono>
 #include <cmath>
 
 #include "obs/trace.h"
@@ -12,10 +13,10 @@ MPlugin::MPlugin(Config config) : config_(config) {}
 MPlugin::~MPlugin() { Shutdown(); }
 
 void MPlugin::Shutdown() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   shutting_down_ = true;
-  work_cv_.notify_all();
-  for (auto& [id, pending] : pending_) pending->cv.notify_all();
+  work_cv_.NotifyAll();
+  for (auto& [id, pending] : pending_) pending->cv.NotifyAll();
 }
 
 util::Status MPlugin::Validate(const ntcp::Proposal& proposal) {
@@ -43,10 +44,10 @@ util::Result<ntcp::TransactionResult> MPlugin::Execute(
   }
   std::function<void()> notify;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     pending_[proposal.transaction_id] = pending;
     queue_.push_back(proposal);
-    work_cv_.notify_one();
+    work_cv_.NotifyOne();
     notify = work_notifier_;
   }
   // Push-style wakeup for remote backends. Outside the lock: the notifier
@@ -54,7 +55,7 @@ util::Result<ntcp::TransactionResult> MPlugin::Execute(
   // must not contend with us still holding mu_.
   if (notify) notify();
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     bool completed;
     if (virtual_net_ != nullptr) {
       // Virtual time: drive the event loop instead of parking. Each pump
@@ -65,15 +66,24 @@ util::Result<ntcp::TransactionResult> MPlugin::Execute(
                                    config_.execute_timeout_micros;
       while (!pending->done && !shutting_down_ &&
              virtual_net_->clock()->NowMicros() < give_up) {
-        lock.unlock();
+        lock.Unlock();
         virtual_net_->PumpOneUntil(give_up);
-        lock.lock();
+        lock.Lock();
       }
       completed = pending->done || shutting_down_;
     } else {
-      completed = pending->cv.wait_for(
-          lock, std::chrono::microseconds(config_.execute_timeout_micros),
-          [&] { return pending->done || shutting_down_; });
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(config_.execute_timeout_micros);
+      while (!pending->done && !shutting_down_) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) break;
+        pending->cv.WaitFor(
+            mu_, std::chrono::duration_cast<std::chrono::microseconds>(
+                     deadline - now)
+                     .count());
+      }
+      completed = pending->done || shutting_down_;
     }
     pending_.erase(proposal.transaction_id);
     if (!completed || !pending->done) {
@@ -91,7 +101,7 @@ util::Result<ntcp::TransactionResult> MPlugin::Execute(
 
 std::optional<ntcp::Proposal> MPlugin::PollRequest(
     std::int64_t max_wait_micros) {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   ++polls_;
   const std::uint64_t epoch = poll_epoch_;
   if (virtual_net_ != nullptr) {
@@ -100,16 +110,21 @@ std::optional<ntcp::Proposal> MPlugin::PollRequest(
         virtual_net_->clock()->NowMicros() + max_wait_micros;
     while (queue_.empty() && !shutting_down_ && poll_epoch_ == epoch &&
            virtual_net_->clock()->NowMicros() < deadline) {
-      lock.unlock();
+      lock.Unlock();
       virtual_net_->PumpOneUntil(deadline);
-      lock.lock();
+      lock.Lock();
     }
   } else {
-    work_cv_.wait_for(lock, std::chrono::microseconds(max_wait_micros),
-                      [&] {
-                        return !queue_.empty() || shutting_down_ ||
-                               poll_epoch_ != epoch;
-                      });
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(max_wait_micros);
+    while (queue_.empty() && !shutting_down_ && poll_epoch_ == epoch) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) break;
+      work_cv_.WaitFor(
+          mu_,
+          std::chrono::duration_cast<std::chrono::microseconds>(deadline - now)
+              .count());
+    }
   }
   if (queue_.empty()) return std::nullopt;
   ntcp::Proposal proposal = std::move(queue_.front());
@@ -136,7 +151,7 @@ std::optional<ntcp::Proposal> MPlugin::PollRequest(
 util::Status MPlugin::PostResult(
     const std::string& transaction_id,
     util::Result<ntcp::TransactionResult> outcome) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = pending_.find(transaction_id);
   if (it == pending_.end()) {
     return util::NotFound("no pending execution named " + transaction_id);
@@ -151,17 +166,17 @@ util::Status MPlugin::PostResult(
   } else {
     it->second->status = outcome.status();
   }
-  it->second->cv.notify_one();  // wake exactly the Execute that is waiting
+  it->second->cv.NotifyOne();  // wake exactly the Execute that is waiting
   return util::OkStatus();
 }
 
 void MPlugin::SetWorkNotifier(std::function<void()> notifier) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   work_notifier_ = std::move(notifier);
 }
 
 void MPlugin::AttachVirtualNetwork(net::Network* network) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   virtual_net_ =
       (network != nullptr && network->mode() == net::DeliveryMode::kVirtual)
           ? network
@@ -169,9 +184,9 @@ void MPlugin::AttachVirtualNetwork(net::Network* network) {
 }
 
 void MPlugin::InterruptPolls() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   ++poll_epoch_;
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 }
 
 void MPlugin::BindBackendRpc(net::RpcServer& server) {
@@ -207,12 +222,12 @@ void MPlugin::BindBackendRpc(net::RpcServer& server) {
 }
 
 std::uint64_t MPlugin::polls() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return polls_;
 }
 
 std::size_t MPlugin::buffered() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return queue_.size();
 }
 
@@ -315,10 +330,10 @@ void RemotePollingBackend::BindWakeRpc(net::RpcServer& server) {
 void RemotePollingBackend::Wake() {
   ++wakes_;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     wake_pending_ = true;
   }
-  wake_cv_.notify_one();
+  wake_cv_.NotifyOne();
 }
 
 void RemotePollingBackend::Start() {
@@ -328,7 +343,7 @@ void RemotePollingBackend::Start() {
 
 void RemotePollingBackend::Stop() {
   if (!running_.exchange(false)) return;
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
 }
 
@@ -337,9 +352,17 @@ void RemotePollingBackend::Loop() {
     {
       // Park until a wake arrives. The heartbeat bounds how stale we can
       // get if a wake message is dropped by the (lossy) network.
-      std::unique_lock<std::mutex> lock(mu_);
-      wake_cv_.wait_for(lock, std::chrono::microseconds(heartbeat_micros_),
-                        [&] { return wake_pending_ || !running_; });
+      util::MutexLock lock(mu_);
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::microseconds(heartbeat_micros_);
+      while (!wake_pending_ && running_) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) break;
+        wake_cv_.WaitFor(
+            mu_, std::chrono::duration_cast<std::chrono::microseconds>(
+                     deadline - now)
+                     .count());
+      }
       wake_pending_ = false;
     }
     if (!running_) break;

@@ -11,16 +11,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 
 #include "net/rpc.h"
+#include "util/mutex.h"
 #include "ntcp/plugin.h"
 #include "structural/substructure.h"
 
@@ -92,7 +91,7 @@ class MPlugin final : public ntcp::ControlPlugin {
     // Each waiter gets its own signal so completing one transaction never
     // wakes the others (several Executes can be pending at once under the
     // coordinator's async fan-out).
-    std::condition_variable cv;
+    util::CondVar cv;
     // Tracing context carried across the Execute -> poll -> notify hop.
     std::uint64_t parent_span_id = 0;
     std::int64_t enqueued_micros = 0;
@@ -100,15 +99,19 @@ class MPlugin final : public ntcp::ControlPlugin {
   };
 
   Config config_;
+  // Set once via AttachVirtualNetwork before the run starts; the pump loops
+  // read it with mu_ released, so it is deliberately not guarded.
   net::Network* virtual_net_ = nullptr;  // set iff DeliveryMode::kVirtual
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;    // backend waits for work
-  std::deque<ntcp::Proposal> queue_;
-  std::map<std::string, std::shared_ptr<Pending>> pending_;
-  std::function<void()> work_notifier_;
-  std::uint64_t polls_ = 0;
-  std::uint64_t poll_epoch_ = 0;  // bumped by InterruptPolls()
-  bool shutting_down_ = false;
+  mutable util::Mutex mu_{"plugins.MPlugin"};
+  util::CondVar work_cv_;  // backend waits for work
+  std::deque<ntcp::Proposal> queue_ NEES_GUARDED_BY(mu_);
+  std::map<std::string, std::shared_ptr<Pending>> pending_
+      NEES_GUARDED_BY(mu_);
+  std::function<void()> work_notifier_ NEES_GUARDED_BY(mu_);
+  std::uint64_t polls_ NEES_GUARDED_BY(mu_) = 0;
+  // Bumped by InterruptPolls().
+  std::uint64_t poll_epoch_ NEES_GUARDED_BY(mu_) = 0;
+  bool shutting_down_ NEES_GUARDED_BY(mu_) = false;
 };
 
 /// In-process "Matlab" backend: a thread that long-polls the MPlugin, runs
@@ -186,9 +189,9 @@ class RemotePollingBackend {
   std::string plugin_endpoint_;
   Compute compute_;
   std::int64_t heartbeat_micros_;
-  std::mutex mu_;
-  std::condition_variable wake_cv_;
-  bool wake_pending_ = false;
+  util::Mutex mu_{"plugins.RemoteBackend"};
+  util::CondVar wake_cv_;
+  bool wake_pending_ NEES_GUARDED_BY(mu_) = false;
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> processed_{0};

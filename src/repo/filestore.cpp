@@ -5,31 +5,31 @@
 namespace nees::repo {
 
 void FileStore::Put(const std::string& path, Bytes content) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   files_[path] = std::move(content);
 }
 
 util::Result<Bytes> FileStore::Get(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return util::NotFound("no file: " + path);
   return it->second;
 }
 
 bool FileStore::Exists(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return files_.contains(path);
 }
 
 util::Result<std::size_t> FileStore::Size(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return util::NotFound("no file: " + path);
   return it->second.size();
 }
 
 std::vector<std::string> FileStore::List(const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<std::string> paths;
   for (const auto& [path, content] : files_) {
     (void)content;
@@ -39,18 +39,18 @@ std::vector<std::string> FileStore::List(const std::string& prefix) const {
 }
 
 util::Status FileStore::Remove(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (files_.erase(path) == 0) return util::NotFound("no file: " + path);
   return util::OkStatus();
 }
 
 std::size_t FileStore::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return files_.size();
 }
 
 std::size_t FileStore::total_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::size_t total = 0;
   for (const auto& [path, content] : files_) {
     (void)path;

@@ -4,10 +4,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
 
 #include "util/result.h"
 
@@ -27,7 +28,7 @@ class FileStore {
   std::size_t total_bytes() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_{"repo.FileStore"};
   std::map<std::string, Bytes> files_;
 };
 

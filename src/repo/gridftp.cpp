@@ -56,7 +56,7 @@ util::Status GridFtpServer::Start() {
         NEES_ASSIGN_OR_RETURN(std::string path, reader.ReadString());
         NEES_ASSIGN_OR_RETURN(std::uint64_t size, reader.ReadU64());
         NEES_ASSIGN_OR_RETURN(std::string digest, reader.ReadString());
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         const std::string id = "xfer-" + std::to_string(next_transfer_id_++);
         PendingUpload upload;
         upload.path = path;
@@ -75,7 +75,7 @@ util::Status GridFtpServer::Start() {
         NEES_ASSIGN_OR_RETURN(std::string id, reader.ReadString());
         NEES_ASSIGN_OR_RETURN(std::uint64_t offset, reader.ReadU64());
         NEES_ASSIGN_OR_RETURN(Bytes chunk, reader.ReadBytes());
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         auto it = uploads_.find(id);
         if (it == uploads_.end()) {
           return util::NotFound("unknown transfer: " + id);
@@ -96,7 +96,7 @@ util::Status GridFtpServer::Start() {
         NEES_ASSIGN_OR_RETURN(std::string id, reader.ReadString());
         PendingUpload upload;
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          util::MutexLock lock(mu_);
           auto it = uploads_.find(id);
           if (it == uploads_.end()) {
             return util::NotFound("unknown transfer: " + id);
@@ -116,7 +116,7 @@ util::Status GridFtpServer::Start() {
 void GridFtpServer::Stop() { rpc_server_.Stop(); }
 
 std::size_t GridFtpServer::pending_uploads() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return uploads_.size();
 }
 
@@ -144,14 +144,14 @@ util::Status GridFtpClient::RunStreams(
     const std::function<util::Status(int stream)>& work) {
   const int streams = std::max(options_.streams, 1);
   if (streams == 1) return work(0);
-  std::mutex status_mu;
+  util::Mutex status_mu{"repo.GridFtpClient.streams"};
   util::Status first_error;
   std::vector<std::thread> workers;
   for (int stream = 1; stream < streams; ++stream) {
     workers.emplace_back([&, stream] {
       const util::Status status = work(stream);
       if (!status.ok()) {
-        std::lock_guard<std::mutex> lock(status_mu);
+        util::MutexLock lock(status_mu);
         if (first_error.ok()) first_error = status;
       }
     });
@@ -159,7 +159,7 @@ util::Status GridFtpClient::RunStreams(
   const util::Status status = work(0);
   for (std::thread& worker : workers) worker.join();
   {
-    std::lock_guard<std::mutex> lock(status_mu);
+    util::MutexLock lock(status_mu);
     if (!status.ok() && first_error.ok()) first_error = status;
     return first_error;
   }

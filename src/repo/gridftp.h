@@ -20,8 +20,9 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
+
+#include "util/mutex.h"
 
 #include "net/rpc.h"
 #include "repo/filestore.h"
@@ -53,7 +54,7 @@ class GridFtpServer {
 
   net::RpcServer rpc_server_;
   FileStore* store_;
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_{"repo.GridFtpServer"};
   std::map<std::string, PendingUpload> uploads_;
   std::uint64_t next_transfer_id_ = 1;
 };

@@ -42,12 +42,12 @@ util::Status GridFtpTransport::Store(const TransferTicket& ticket,
 }
 
 void NfmsService::RegisterFile(const FileEntry& entry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   entries_[entry.logical_name] = entry;
 }
 
 util::Status NfmsService::Unregister(const std::string& logical_name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (entries_.erase(logical_name) == 0) {
     return util::NotFound("no logical file: " + logical_name);
   }
@@ -56,7 +56,7 @@ util::Status NfmsService::Unregister(const std::string& logical_name) {
 
 util::Result<FileEntry> NfmsService::Lookup(
     const std::string& logical_name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = entries_.find(logical_name);
   if (it == entries_.end()) {
     return util::NotFound("no logical file: " + logical_name);
@@ -66,7 +66,7 @@ util::Result<FileEntry> NfmsService::Lookup(
 
 std::vector<FileEntry> NfmsService::List(
     const std::string& logical_prefix) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<FileEntry> results;
   for (const auto& [name, entry] : entries_) {
     if (util::StartsWith(name, logical_prefix)) results.push_back(entry);

@@ -10,9 +10,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
 
 #include "net/rpc.h"
 #include "repo/gridftp.h"
@@ -81,7 +82,7 @@ class NfmsService {
   void BindRpc(net::RpcServer& server);
 
  private:
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_{"repo.NfmsService"};
   std::map<std::string, FileEntry> entries_;
 };
 

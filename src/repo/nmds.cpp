@@ -86,7 +86,7 @@ util::Status NmdsService::CheckWritableLocked(
 util::Result<std::int64_t> NmdsService::Put(MetadataObject object,
                                             const std::string& subject) {
   if (object.id.empty()) return util::InvalidArgument("object id required");
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   NEES_RETURN_IF_ERROR(CheckWritableLocked(object.id, subject));
 
   // Validate against the referenced schema, if any.
@@ -108,7 +108,7 @@ util::Result<std::int64_t> NmdsService::Put(MetadataObject object,
 }
 
 util::Result<MetadataObject> NmdsService::Get(const std::string& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = history_.find(id);
   if (it == history_.end()) return util::NotFound("no object: " + id);
   return it->second.back();
@@ -116,7 +116,7 @@ util::Result<MetadataObject> NmdsService::Get(const std::string& id) const {
 
 util::Result<MetadataObject> NmdsService::GetVersion(
     const std::string& id, std::int64_t version) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = history_.find(id);
   if (it == history_.end()) return util::NotFound("no object: " + id);
   if (version < 1 || version > static_cast<std::int64_t>(it->second.size())) {
@@ -127,14 +127,14 @@ util::Result<MetadataObject> NmdsService::GetVersion(
 }
 
 std::int64_t NmdsService::VersionCount(const std::string& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = history_.find(id);
   return it == history_.end() ? 0
                               : static_cast<std::int64_t>(it->second.size());
 }
 
 std::vector<MetadataObject> NmdsService::Query(const std::string& type) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<MetadataObject> results;
   for (const auto& [id, versions] : history_) {
     (void)id;
@@ -148,7 +148,7 @@ std::vector<MetadataObject> NmdsService::Query(const std::string& type) const {
 util::Status NmdsService::GrantWrite(const std::string& id,
                                      const std::string& owner,
                                      const std::string& subject) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = history_.find(id);
   if (it == history_.end()) return util::NotFound("no object: " + id);
   if (it->second.back().owner != owner) {

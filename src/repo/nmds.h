@@ -11,10 +11,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
 
 #include "net/rpc.h"
 #include "util/result.h"
@@ -79,7 +80,7 @@ class NmdsService {
   util::Status CheckWritableLocked(const std::string& id,
                                    const std::string& subject) const;
 
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_{"repo.NmdsService"};
   std::map<std::string, std::vector<MetadataObject>> history_;
   std::map<std::string, std::set<std::string>> writers_;
 };

@@ -10,12 +10,12 @@ namespace nees::security {
 // GridMap
 
 void GridMap::Add(const std::string& subject, const std::string& local_user) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   entries_[subject] = local_user;
 }
 
 util::Result<std::string> GridMap::Lookup(const std::string& subject) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = entries_.find(BaseIdentity(subject));
   if (it == entries_.end()) {
     return util::PermissionDenied("no gridmap entry for " + subject);
@@ -24,7 +24,7 @@ util::Result<std::string> GridMap::Lookup(const std::string& subject) const {
 }
 
 bool GridMap::empty() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return entries_.empty();
 }
 
@@ -33,19 +33,19 @@ bool GridMap::empty() const {
 
 void AccessControl::Allow(const std::string& subject,
                           const std::string& method_prefix) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   rules_.insert({subject, method_prefix});
 }
 
 void AccessControl::Revoke(const std::string& subject,
                            const std::string& method_prefix) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   rules_.erase({subject, method_prefix});
 }
 
 bool AccessControl::Check(const std::string& subject,
                           const std::string& method) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (rules_.empty()) return true;  // no rules configured: open service
   for (const auto& [rule_subject, prefix] : rules_) {
     if (rule_subject != "*" && rule_subject != subject) continue;

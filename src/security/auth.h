@@ -11,9 +11,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
+
+#include "util/mutex.h"
 
 #include "net/rpc.h"
 #include "security/certificate.h"
@@ -30,7 +31,7 @@ class GridMap {
   bool empty() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_{"security.GridMap"};
   std::map<std::string, std::string> entries_;
 };
 
@@ -42,7 +43,7 @@ class AccessControl {
   bool Check(const std::string& subject, const std::string& method) const;
 
  private:
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_{"security.AccessControl"};
   std::set<std::pair<std::string, std::string>> rules_;
 };
 
@@ -91,7 +92,7 @@ class AuthService {
 
   TrustStore trust_;
   util::Clock* clock_;
-  std::mutex rng_mu_;
+  util::Mutex rng_mu_{"security.AuthService.rng"};
   util::Rng rng_;
   Options options_;
   SessionTokenIssuer tokens_;

@@ -81,21 +81,21 @@ CommunityAuthorizationService::CommunityAuthorizationService(
 void CommunityAuthorizationService::Grant(const std::string& subject,
                                           const std::string& resource,
                                           const std::string& action) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   policy_.insert({subject, resource, action});
 }
 
 void CommunityAuthorizationService::Revoke(const std::string& subject,
                                            const std::string& resource,
                                            const std::string& action) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   policy_.erase({subject, resource, action});
 }
 
 bool CommunityAuthorizationService::IsGranted(const std::string& subject,
                                               const std::string& resource,
                                               const std::string& action) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return policy_.contains({subject, resource, action}) ||
          policy_.contains({"*", resource, action});
 }
@@ -112,7 +112,7 @@ util::Result<Capability> CommunityAuthorizationService::Issue(
   capability.resource = resource;
   capability.action = action;
   capability.expires_micros = clock_->NowMicros() + default_ttl_micros_;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   capability.signature =
       credential_.Sign(capability.CanonicalPayload(), rng_);
   return capability;

@@ -10,9 +10,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <set>
 #include <string>
+
+#include "util/mutex.h"
 
 #include "net/rpc.h"
 #include "security/certificate.h"
@@ -71,7 +72,7 @@ class CommunityAuthorizationService {
  private:
   Credential credential_;
   util::Clock* clock_;
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_{"security.Cas"};
   util::Rng rng_;
   std::int64_t default_ttl_micros_;
   std::set<std::tuple<std::string, std::string, std::string>> policy_;

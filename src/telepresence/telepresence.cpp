@@ -10,7 +10,7 @@ CameraModel::CameraModel(std::string name, CameraLimits limits)
     : name_(std::move(name)), limits_(limits) {}
 
 PanTiltZoom CameraModel::Move(const PanTiltZoom& target) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   pose_.pan_deg =
       std::clamp(target.pan_deg, -limits_.pan_abs_deg, limits_.pan_abs_deg);
   pose_.tilt_deg =
@@ -20,17 +20,17 @@ PanTiltZoom CameraModel::Move(const PanTiltZoom& target) {
 }
 
 PanTiltZoom CameraModel::pose() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return pose_;
 }
 
 void CameraModel::SetSceneValue(double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   scene_value_ = value;
 }
 
 std::vector<std::uint8_t> CameraModel::CaptureFrame() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   ++frame_counter_;
   // Frame = small header + a deterministic "image" hash of the view state:
   // any change in pose, scene, or time changes the pixels.
@@ -49,7 +49,7 @@ std::vector<std::uint8_t> CameraModel::CaptureFrame() {
 }
 
 std::uint64_t CameraModel::frames_captured() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return frame_counter_;
 }
 
@@ -97,7 +97,7 @@ util::Status TelepresenceServer::Start() {
 }
 
 void TelepresenceServer::AddViewer(const std::string& viewer_endpoint) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (std::find(viewers_.begin(), viewers_.end(), viewer_endpoint) ==
       viewers_.end()) {
     viewers_.push_back(viewer_endpoint);
@@ -108,7 +108,7 @@ void TelepresenceServer::PumpFrame() {
   const std::vector<std::uint8_t> frame = camera_.CaptureFrame();
   std::vector<std::string> viewers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     viewers = viewers_;
     frames_pushed_ += viewers.size();
   }
@@ -124,7 +124,7 @@ void TelepresenceServer::PumpFrame() {
 }
 
 std::uint64_t TelepresenceServer::frames_pushed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return frames_pushed_;
 }
 
@@ -134,7 +134,7 @@ TelepresenceClient::TelepresenceClient(net::Network* network,
   (void)rpc_server_.Start();
   rpc_server_.RegisterOneWay(
       "cam.frame", [this](const net::CallContext&, const net::Bytes& body) {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         ++frames_received_;
         last_frame_ = body;
       });
@@ -171,12 +171,12 @@ util::Status TelepresenceClient::SubscribeVideo(
 }
 
 std::uint64_t TelepresenceClient::frames_received() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return frames_received_;
 }
 
 std::vector<std::uint8_t> TelepresenceClient::last_frame() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return last_frame_;
 }
 

@@ -15,9 +15,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
 
 #include "net/rpc.h"
 #include "util/result.h"
@@ -58,7 +59,7 @@ class CameraModel {
  private:
   std::string name_;
   CameraLimits limits_;
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_{"tele.CameraModel"};
   PanTiltZoom pose_;
   double scene_value_ = 0.0;
   std::uint64_t frame_counter_ = 0;
@@ -86,7 +87,7 @@ class TelepresenceServer {
   net::Network* network_;
   net::RpcServer rpc_server_;
   CameraModel camera_;
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_{"tele.TelepresenceServer"};
   std::vector<std::string> viewers_;
   std::uint64_t frames_pushed_ = 0;
 };
@@ -108,7 +109,7 @@ class TelepresenceClient {
  private:
   net::RpcClient rpc_client_;
   net::RpcServer rpc_server_;
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_{"tele.TelepresenceClient"};
   std::uint64_t frames_received_ = 0;
   std::vector<std::uint8_t> last_frame_;
 };

@@ -25,7 +25,7 @@ util::Status ShoreWesternEmulator::Start() {
 void ShoreWesternEmulator::Stop() { server_.Stop(); }
 
 std::string ShoreWesternEmulator::HandleLine(const std::string& line) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto parts = util::Split(std::string(util::Trim(line)), ' ');
   if (parts.empty() || parts[0].empty()) return "ERR empty command";
   const std::string& command = parts[0];

@@ -15,8 +15,9 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "util/mutex.h"
 
 #include "net/rpc.h"
 #include "testbed/specimen.h"
@@ -39,7 +40,7 @@ class ShoreWesternEmulator {
 
  private:
   net::RpcServer server_;
-  std::mutex mu_;
+  util::Mutex mu_{"testbed.ShoreWestern"};
   std::unique_ptr<PhysicalSpecimen> specimen_;
 };
 

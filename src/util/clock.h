@@ -5,9 +5,9 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
+
+#include "util/mutex.h"
 
 namespace nees::util {
 
@@ -36,25 +36,25 @@ class SimClock final : public Clock {
   explicit SimClock(std::int64_t start_micros = 0) : now_(start_micros) {}
 
   std::int64_t NowMicros() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return now_;
   }
 
   void SleepMicros(std::int64_t micros) override { Advance(micros); }
 
   void Advance(std::int64_t micros) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     now_ += micros;
   }
 
   void SetMicros(std::int64_t micros) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     now_ = micros;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::int64_t now_;
+  mutable Mutex mu_{"util.SimClock"};
+  std::int64_t now_ NEES_GUARDED_BY(mu_);
 };
 
 /// Wall-clock stopwatch for benches and run reports.

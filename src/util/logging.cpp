@@ -21,29 +21,29 @@ Logger& Logger::Instance() {
 }
 
 void Logger::SetMinLevel(LogLevel level) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   min_level_ = level;
 }
 
 LogLevel Logger::min_level() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return min_level_;
 }
 
 int Logger::AddSink(Sink sink) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   int id = next_sink_id_++;
   sinks_.emplace_back(id, std::move(sink));
   return id;
 }
 
 void Logger::RemoveSink(int id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::erase_if(sinks_, [id](const auto& entry) { return entry.first == id; });
 }
 
 void Logger::EnableStderr(bool enabled) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stderr_enabled_ = enabled;
 }
 
@@ -56,7 +56,7 @@ void Logger::Log(LogLevel level, std::string component, std::string message) {
                            std::chrono::system_clock::now().time_since_epoch())
                            .count();
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (level < min_level_) return;
   if (stderr_enabled_) {
     std::fprintf(stderr, "[%s] %s: %s\n",
@@ -71,7 +71,7 @@ void Logger::Log(LogLevel level, std::string component, std::string message) {
 
 LogCapture::LogCapture() {
   sink_id_ = Logger::Instance().AddSink([this](const LogRecord& record) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     records_.push_back(record);
   });
 }
@@ -79,12 +79,12 @@ LogCapture::LogCapture() {
 LogCapture::~LogCapture() { Logger::Instance().RemoveSink(sink_id_); }
 
 std::vector<LogRecord> LogCapture::records() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return records_;
 }
 
 int LogCapture::CountContaining(std::string_view needle) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   int count = 0;
   for (const auto& record : records_) {
     if (record.message.find(needle) != std::string::npos) ++count;

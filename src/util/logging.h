@@ -4,7 +4,7 @@
 #pragma once
 
 #include <functional>
-#include <mutex>
+#include "util/mutex.h"
 #include <sstream>
 #include <string>
 #include <vector>
@@ -44,11 +44,11 @@ class Logger {
  private:
   Logger() = default;
 
-  mutable std::mutex mu_;
-  LogLevel min_level_ = LogLevel::kInfo;
-  bool stderr_enabled_ = false;
-  int next_sink_id_ = 1;
-  std::vector<std::pair<int, Sink>> sinks_;
+  mutable Mutex mu_{"util.Logger"};
+  LogLevel min_level_ NEES_GUARDED_BY(mu_) = LogLevel::kInfo;
+  bool stderr_enabled_ NEES_GUARDED_BY(mu_) = false;
+  int next_sink_id_ NEES_GUARDED_BY(mu_) = 1;
+  std::vector<std::pair<int, Sink>> sinks_ NEES_GUARDED_BY(mu_);
 };
 
 /// Captures log records in memory for the lifetime of the object (tests).
@@ -65,8 +65,8 @@ class LogCapture {
   int CountContaining(std::string_view needle) const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<LogRecord> records_;
+  mutable Mutex mu_{"util.LogCapture"};
+  std::vector<LogRecord> records_ NEES_GUARDED_BY(mu_);
   int sink_id_;
 };
 

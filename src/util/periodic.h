@@ -6,11 +6,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
+
+#include "util/mutex.h"
 
 namespace nees::util {
 
@@ -29,12 +29,12 @@ class PeriodicTask {
   PeriodicTask& operator=(const PeriodicTask&) = delete;
 
   /// Stops and joins; idempotent.
-  void Stop() {
+  void Stop() NEES_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (stopping_) return;
       stopping_ = true;
-      cv_.notify_all();
+      cv_.NotifyAll();
     }
     if (thread_.joinable()) thread_.join();
   }
@@ -45,24 +45,32 @@ class PeriodicTask {
   std::uint64_t runs() const { return runs_.load(); }
 
  private:
-  void Loop() {
-    std::unique_lock<std::mutex> lock(mu_);
+  void Loop() NEES_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     for (;;) {
-      if (cv_.wait_for(lock, interval_, [this] { return stopping_; })) {
-        return;
+      // One interval's sleep, cut short only by Stop().
+      const auto deadline = std::chrono::steady_clock::now() + interval_;
+      while (!stopping_) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) break;
+        cv_.WaitFor(mu_,
+                    std::chrono::duration_cast<std::chrono::microseconds>(
+                        deadline - now)
+                        .count());
       }
-      lock.unlock();
+      if (stopping_) return;
+      lock.Unlock();
       work_();
       ++runs_;
-      lock.lock();
+      lock.Lock();
     }
   }
 
   const std::chrono::microseconds interval_;
   const std::function<void()> work_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mu_{"util.PeriodicTask"};
+  CondVar cv_;
+  bool stopping_ NEES_GUARDED_BY(mu_) = false;
   std::atomic<std::uint64_t> runs_{0};
   std::thread thread_;
 };

@@ -4,10 +4,10 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
+
+#include "util/mutex.h"
 
 namespace nees::util {
 
@@ -18,87 +18,93 @@ class BlockingQueue {
   explicit BlockingQueue(std::size_t capacity = 0) : capacity_(capacity) {}
 
   /// Pushes; blocks while the queue is full. Returns false if closed.
-  bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [this] {
-      return closed_ || capacity_ == 0 || items_.size() < capacity_;
-    });
+  bool Push(T item) NEES_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (!closed_ && capacity_ != 0 && items_.size() >= capacity_) {
+      not_full_.Wait(mu_);
+    }
     if (closed_) return false;
     items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Non-blocking push; returns false if full or closed.
-  bool TryPush(T item) {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool TryPush(T item) NEES_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (closed_ || (capacity_ != 0 && items_.size() >= capacity_)) return false;
     items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Blocks until an item is available or the queue is closed and drained.
-  std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  std::optional<T> Pop() NEES_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) not_empty_.Wait(mu_);
     return PopLocked();
   }
 
   /// Waits up to `timeout`; returns nullopt on timeout or closed+empty.
   template <typename Rep, typename Period>
-  std::optional<T> PopFor(std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (!not_empty_.wait_for(lock, timeout,
-                             [this] { return closed_ || !items_.empty(); })) {
-      return std::nullopt;
+  std::optional<T> PopFor(std::chrono::duration<Rep, Period> timeout)
+      NEES_EXCLUDES(mu_) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return std::nullopt;
+      not_empty_.WaitFor(
+          mu_, std::chrono::duration_cast<std::chrono::microseconds>(deadline -
+                                                                     now)
+                   .count());
     }
     return PopLocked();
   }
 
   /// Non-blocking pop.
-  std::optional<T> TryPop() {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::optional<T> TryPop() NEES_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   /// Closes the queue; Push fails, Pop drains then returns nullopt.
-  void Close() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Close() NEES_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     closed_ = true;
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const NEES_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return closed_;
   }
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::size_t size() const NEES_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
 
  private:
-  std::optional<T> PopLocked() {
+  std::optional<T> PopLocked() NEES_REQUIRES(mu_) {
     if (items_.empty()) return std::nullopt;  // closed and drained
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  std::size_t capacity_;
-  bool closed_ = false;
+  mutable Mutex mu_{"util.BlockingQueue"};
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ NEES_GUARDED_BY(mu_);
+  const std::size_t capacity_;
+  bool closed_ NEES_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace nees::util

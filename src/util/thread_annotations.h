@@ -1,0 +1,48 @@
+// Clang thread-safety analysis macros (-Wthread-safety). Under any other
+// compiler every macro expands to nothing, so the annotations are free on
+// the GCC build and enforced on the Clang CI leg (NEES_THREAD_SAFETY).
+//
+// Conventions (docs/ANALYSIS.md):
+//  * every lock-protected field is NEES_GUARDED_BY(mu_);
+//  * helpers named *Locked carry NEES_REQUIRES(mu_) instead of locking;
+//  * public entry points that must not be called with the lock held are
+//    NEES_EXCLUDES(mu_);
+//  * util::Mutex / util::MutexLock / util::CondVar (util/mutex.h) carry the
+//    capability attributes, so user code rarely needs more than the three
+//    macros above.
+#pragma once
+
+#if defined(__clang__)
+#define NEES_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define NEES_THREAD_ANNOTATION(x)  // compiled away outside Clang
+#endif
+
+#define NEES_CAPABILITY(x) NEES_THREAD_ANNOTATION(capability(x))
+#define NEES_SCOPED_CAPABILITY NEES_THREAD_ANNOTATION(scoped_lockable)
+
+#define NEES_GUARDED_BY(x) NEES_THREAD_ANNOTATION(guarded_by(x))
+#define NEES_PT_GUARDED_BY(x) NEES_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define NEES_ACQUIRED_BEFORE(...) \
+  NEES_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define NEES_ACQUIRED_AFTER(...) \
+  NEES_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define NEES_REQUIRES(...) \
+  NEES_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define NEES_REQUIRES_SHARED(...) \
+  NEES_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define NEES_ACQUIRE(...) \
+  NEES_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define NEES_RELEASE(...) \
+  NEES_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define NEES_TRY_ACQUIRE(...) \
+  NEES_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define NEES_EXCLUDES(...) NEES_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define NEES_RETURN_CAPABILITY(x) NEES_THREAD_ANNOTATION(lock_returned(x))
+
+#define NEES_NO_THREAD_SAFETY_ANALYSIS \
+  NEES_THREAD_ANNOTATION(no_thread_safety_analysis)
