@@ -137,7 +137,7 @@ require_keys() {
 }
 require_keys BENCH_step_engine.json sites engine mode steps_per_sec \
              propose_phase_ms_mean execute_phase_ms_mean threads_spawned \
-             wal wal_records completed
+             frames_per_step wal wal_records completed
 require_keys BENCH_fuzz.json seeds failures wall_seconds seeds_per_hour \
              virtual_events events_per_second site_crashes site_recoveries \
              transactions_recovered inflight_failed
@@ -148,6 +148,14 @@ echo "docs check OK"
 # is nees_locks' "compiled out" marker, proving NEES_LOCKDEP=AUTO resolved
 # to off for the whole Release tree).
 test -x "$prefix-release/bench/bench_step_engine"
+
+echo
+echo "######## step-engine perf regression gate ########"
+# Quick gate: re-measures the 32-site async immediate point (best of two
+# sub-second runs) and fails if it lands more than 20% below the committed
+# BENCH_step_engine.json trajectory.
+"$prefix-release/bench/bench_step_engine" --quick "$repo/BENCH_step_engine.json"
+
 if "$prefix-release/tools/nees_locks" > /dev/null 2>&1; then rc=0; else rc=$?; fi
 if [ "$rc" -ne 3 ]; then
   echo "Release tree unexpectedly has lockdep compiled in (rc=$rc)" >&2

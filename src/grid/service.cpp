@@ -47,6 +47,7 @@ void GridService::RemoveServiceData(const std::string& key) {
 
 std::optional<SdeValue> GridService::GetServiceData(
     const std::string& key) const {
+  RunRefreshHook();
   util::MutexLock lock(mu_);
   auto it = sdes_.find(key);
   if (it == sdes_.end()) return std::nullopt;
@@ -54,6 +55,7 @@ std::optional<SdeValue> GridService::GetServiceData(
 }
 
 std::vector<std::string> GridService::ListServiceData() const {
+  RunRefreshHook();
   util::MutexLock lock(mu_);
   std::vector<std::string> keys;
   keys.reserve(sdes_.size());
@@ -66,6 +68,7 @@ std::vector<std::string> GridService::ListServiceData() const {
 
 std::vector<std::pair<std::string, SdeValue>> GridService::FindServiceData(
     const std::string& prefix) const {
+  RunRefreshHook();
   util::MutexLock lock(mu_);
   std::vector<std::pair<std::string, SdeValue>> matches;
   for (const auto& [key, value] : sdes_) {
@@ -78,6 +81,8 @@ int GridService::SubscribeSde(std::string prefix, SdeCallback callback) {
   util::MutexLock lock(mu_);
   const int id = next_subscription_id_++;
   subscriptions_.emplace_back(id, std::move(prefix), std::move(callback));
+  subscriber_count_.store(static_cast<int>(subscriptions_.size()),
+                          std::memory_order_relaxed);
   return id;
 }
 
@@ -85,6 +90,22 @@ void GridService::UnsubscribeSde(int id) {
   util::MutexLock lock(mu_);
   std::erase_if(subscriptions_,
                 [id](const auto& entry) { return std::get<0>(entry) == id; });
+  subscriber_count_.store(static_cast<int>(subscriptions_.size()),
+                          std::memory_order_relaxed);
+}
+
+void GridService::SetRefreshHook(RefreshHook hook) {
+  util::MutexLock lock(mu_);
+  refresh_hook_ = std::move(hook);
+}
+
+void GridService::RunRefreshHook() const {
+  RefreshHook hook;
+  {
+    util::MutexLock lock(mu_);
+    hook = refresh_hook_;
+  }
+  if (hook) hook();
 }
 
 void GridService::SetTerminationTimeMicros(std::int64_t micros) {

@@ -9,6 +9,7 @@
 // "most-recently-changed" SDE used to monitor the server as a whole.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -70,6 +71,21 @@ class GridService {
       std::function<void(const std::string& key, const SdeValue& value)>;
   int SubscribeSde(std::string prefix, SdeCallback callback);
   void UnsubscribeSde(int id);
+  /// Cheap (lock-free) check owners use to pick eager vs. lazy publication:
+  /// with no subscribers a write-heavy owner may defer SDE materialisation
+  /// to the refresh hook below.
+  bool HasSdeSubscribers() const {
+    return subscriber_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Publish-on-read: the hook runs (unlocked) at the top of every read —
+  /// GetServiceData / ListServiceData / FindServiceData — letting an owner
+  /// that marks state dirty instead of eagerly publishing flush just before
+  /// inspection. The hook must tolerate concurrent invocation and must not
+  /// call back into a read method of this service (it MAY call
+  /// SetServiceData / RemoveServiceData).
+  using RefreshHook = std::function<void()>;
+  void SetRefreshHook(RefreshHook hook);
 
   // --- soft-state lifetime --------------------------------------------------
   /// 0 means "never expires" (the default).
@@ -83,12 +99,18 @@ class GridService {
   virtual void OnDestroy() {}
 
  private:
+  /// Copies the hook under the lock, then runs it with no locks held (the
+  /// hook typically takes the owner's mutex and calls SetServiceData).
+  void RunRefreshHook() const;
+
   const std::string name_;
   mutable util::Mutex mu_{"grid.GridService"};
   std::map<std::string, SdeValue> sdes_;
   std::int64_t termination_time_micros_ = 0;
   int next_subscription_id_ = 1;
   std::vector<std::tuple<int, std::string, SdeCallback>> subscriptions_;
+  std::atomic<int> subscriber_count_{0};
+  RefreshHook refresh_hook_;
 };
 
 }  // namespace nees::grid

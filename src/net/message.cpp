@@ -1,0 +1,43 @@
+#include "net/message.h"
+
+#include <string>
+
+namespace nees::net {
+
+void Message::EncodeTo(util::ByteWriter& writer) const {
+  writer.Reserve(writer.size() + WireSize());
+  writer.WriteU32(from.raw());
+  writer.WriteU32(to.raw());
+  writer.WriteU8(static_cast<std::uint8_t>(kind));
+  writer.WriteU64(correlation_id);
+  writer.WriteU32(method.raw());
+  writer.WriteBytes(payload.data(), payload.size());
+}
+
+util::Result<Message> Message::Decode(util::ByteReader& reader) {
+  Message message;
+  NEES_ASSIGN_OR_RETURN(std::uint32_t from_raw, reader.ReadU32());
+  NEES_ASSIGN_OR_RETURN(std::uint32_t to_raw, reader.ReadU32());
+  NEES_ASSIGN_OR_RETURN(std::uint8_t kind_raw, reader.ReadU8());
+  NEES_ASSIGN_OR_RETURN(message.correlation_id, reader.ReadU64());
+  NEES_ASSIGN_OR_RETURN(std::uint32_t method_raw, reader.ReadU32());
+  NEES_ASSIGN_OR_RETURN(message.payload, reader.ReadBytes());
+  if (kind_raw > static_cast<std::uint8_t>(MessageKind::kOneWay)) {
+    return util::DataLoss("message frame: unknown kind " +
+                          std::to_string(kind_raw));
+  }
+  auto& table = EndpointTable::Instance();
+  for (std::uint32_t raw : {from_raw, to_raw, method_raw}) {
+    if (!table.Known(raw)) {
+      return util::DataLoss("message frame: unknown interned id " +
+                            std::to_string(raw));
+    }
+  }
+  message.from = EndpointId::FromRaw(from_raw);
+  message.to = EndpointId::FromRaw(to_raw);
+  message.kind = static_cast<MessageKind>(kind_raw);
+  message.method = MethodId::FromRaw(method_raw);
+  return message;
+}
+
+}  // namespace nees::net

@@ -2,11 +2,27 @@
 // the reproduction (NTCP, NSDS, repository, CHEF) is carried as one of
 // these, so network fault injection applies uniformly — the property the
 // MOST fault-tolerance story depends on.
+//
+// Hot-path layout: from/to/method are interned 4-byte ids (net::EndpointId
+// via the process-wide EndpointTable) instead of three std::strings, and
+// the payload is one contiguous frame (typically a recycled pool buffer).
+// Copying or moving a Message never touches the heap for its header.
+//
+// Canonical frame encoding (EncodeTo/Decode, audited by WireSize):
+//
+//   +-----------+-----------+------+------------------+-------------+
+//   | from u32  | to u32    | kind | correlation u64  | method u32  |
+//   +-----------+-----------+--u8--+------------------+-------------+
+//   | payload length u32 | payload bytes ...                        |
+//   +--------------------+------------------------------------------+
 #pragma once
 
 #include <cstdint>
-#include <string>
 #include <vector>
+
+#include "net/endpoint.h"
+#include "util/bytes.h"
+#include "util/result.h"
 
 namespace nees::net {
 
@@ -17,16 +33,26 @@ enum class MessageKind : std::uint8_t {
 };
 
 struct Message {
-  std::string from;             // sender endpoint name
-  std::string to;               // destination endpoint name
+  EndpointId from;              // sender endpoint (interned)
+  EndpointId to;                // destination endpoint (interned)
   MessageKind kind = MessageKind::kOneWay;
   std::uint64_t correlation_id = 0;  // pairs requests with responses
-  std::string method;                // RPC method name ("" for raw one-way)
+  MethodId method;                   // RPC method (invalid for raw one-way)
   std::vector<std::uint8_t> payload;
 
-  std::size_t WireSize() const {
-    return from.size() + to.size() + method.size() + payload.size() + 16;
-  }
+  /// Fixed framing per message: from + to + kind + correlation id + method
+  /// + payload length prefix — exactly what EncodeTo emits, so E13/E-obs
+  /// byte counters match the encoder.
+  static constexpr std::size_t kHeaderBytes = 4 + 4 + 1 + 8 + 4 + 4;
+
+  std::size_t WireSize() const { return kHeaderBytes + payload.size(); }
+
+  /// Appends the canonical frame to `writer`.
+  void EncodeTo(util::ByteWriter& writer) const;
+
+  /// Decodes one frame. Truncated frames and ids that were never interned
+  /// in this process come back as errors (protocol fault), never a crash.
+  static util::Result<Message> Decode(util::ByteReader& reader);
 };
 
 }  // namespace nees::net

@@ -49,53 +49,46 @@ Network::~Network() {
   }
 }
 
-util::Status Network::RegisterEndpoint(const std::string& name,
-                                       Handler handler) {
+util::Status Network::RegisterEndpoint(EndpointId name, Handler handler) {
   util::MutexLock lock(mu_);
-  if (endpoints_.contains(name)) {
-    return util::AlreadyExists("endpoint already registered: " + name);
+  if (endpoints_.Find(name.raw()) != nullptr) {
+    return util::AlreadyExists("endpoint already registered: " + name.str());
   }
-  endpoints_[name] = std::make_shared<Handler>(std::move(handler));
+  endpoints_[name.raw()] = std::make_shared<Handler>(std::move(handler));
   return util::OkStatus();
 }
 
-void Network::UnregisterEndpoint(const std::string& name) {
+void Network::UnregisterEndpoint(EndpointId name) {
   util::MutexLock lock(mu_);
-  endpoints_.erase(name);
+  endpoints_.Erase(name.raw());
 }
 
-void Network::SetEndpointCrashed(const std::string& name, bool crashed) {
+void Network::SetEndpointCrashed(EndpointId name, bool crashed) {
   util::MutexLock lock(mu_);
   if (crashed) {
-    crashed_endpoints_.insert(name);
+    crashed_endpoints_[name.raw()] = true;
   } else {
-    crashed_endpoints_.erase(name);
+    crashed_endpoints_.Erase(name.raw());
   }
 }
 
-bool Network::HasEndpoint(const std::string& name) const {
+bool Network::HasEndpoint(EndpointId name) const {
   util::MutexLock lock(mu_);
-  return endpoints_.contains(name);
+  return endpoints_.Find(name.raw()) != nullptr;
 }
 
-Network::LinkState& Network::LinkFor(const std::string& from,
-                                     const std::string& to) {
+Network::LinkState& Network::LinkFor(EndpointId from, EndpointId to) {
   // mu_ must be held.
-  auto it = links_.find({from, to});
-  if (it != links_.end()) return it->second;
-  it = links_.find({from, "*"});
-  if (it != links_.end()) return it->second;
-  it = links_.find({"*", to});
-  if (it != links_.end()) return it->second;
+  if (LinkState* link = links_.Find(LinkKey(from, to))) return *link;
+  if (LinkState* link = links_.Find(LinkKey(from, wildcard_id_))) return *link;
+  if (LinkState* link = links_.Find(LinkKey(wildcard_id_, to))) return *link;
   // Materialize a link with the default model so metrics accumulate.
-  auto [inserted, unused] =
-      links_.try_emplace({from, to}, LinkState{default_link_, true, 0, {}, {}});
-  (void)unused;
-  return inserted->second;
+  LinkState& link = links_[LinkKey(from, to)];
+  link.model = default_link_;
+  return link;
 }
 
-bool Network::InPartition(const std::string& from,
-                          const std::string& to) const {
+bool Network::InPartition(EndpointId from, EndpointId to) const {
   if (!partitioned_) return false;
   const bool from_a =
       std::find(partition_a_.begin(), partition_a_.end(), from) !=
@@ -146,35 +139,36 @@ util::Status Network::Send(Message message) {
   bool dropped = false;
   bool scheduled = false;
   bool deferred = false;  // kVirtual: delivery accounting happens at arrival
-  std::string from, to;
-  if (tracer_ != nullptr) {  // copied here: survives the scheduled-path move
-    from = message.from;
-    to = message.to;
-  }
+  // Ids survive the scheduled-path move (they are 4-byte values, and the
+  // interned names they point at live for the process lifetime).
+  const EndpointId from = message.from;
+  const EndpointId to = message.to;
   {
     util::MutexLock lock(mu_);
-    if (crashed_endpoints_.contains(message.from)) {
+    if (crashed_endpoints_.Find(from.raw()) != nullptr) {
       // The sender's process is dead; its zombie stack frames write to the
       // void. Report acceptance — a crashed process cannot observe errors.
-      LinkState& dead_link = LinkFor(message.from, message.to);
+      LinkState& dead_link = LinkFor(from, to);
       ++dead_link.metrics.sent;
       ++total_.sent;
       ++dead_link.metrics.dropped_forced;
       ++total_.dropped_forced;
       return util::OkStatus();
     }
-    auto it = endpoints_.find(message.to);
-    if (it == endpoints_.end()) {
-      return util::NotFound("no such endpoint: " + message.to);
+    std::shared_ptr<Handler>* slot = endpoints_.Find(to.raw());
+    if (slot == nullptr) {
+      return util::NotFound("no such endpoint: " + to.str());
     }
-    handler = it->second;
+    handler = *slot;
 
-    LinkState& link = LinkFor(message.from, message.to);
+    // LinkFor may materialize an entry; take the reference after that
+    // insert and do no further links_ inserts while it is live.
+    LinkState& link = LinkFor(from, to);
     ++link.metrics.sent;
     ++total_.sent;
 
     const std::int64_t now = clock_->NowMicros();
-    if (InPartition(message.from, message.to)) {
+    if (InPartition(from, to)) {
       ++link.metrics.dropped_forced;
       ++total_.dropped_forced;
       dropped = true;  // silently lost, like a real partition
@@ -218,7 +212,7 @@ util::Status Network::Send(Message message) {
   // before an inline handler observes the arrival time.
   if (tracer_ != nullptr) {
     tracer_->RecordEvent("net.deliver", "network", delay,
-                         {{"from", from}, {"to", to}});
+                         {{"from", from.str()}, {"to", to.str()}});
     tracer_->metrics().Observe("net.delay_micros",
                                static_cast<double>(delay));
   }
@@ -234,8 +228,7 @@ void Network::Dispatch(Message message) {
   std::shared_ptr<Handler> handler;
   {
     util::MutexLock lock(mu_);
-    auto it = endpoints_.find(message.to);
-    if (it != endpoints_.end()) handler = it->second;
+    if (auto* slot = endpoints_.Find(message.to.raw())) handler = *slot;
   }
   if (handler) (*handler)(std::move(message));
 }
@@ -365,8 +358,8 @@ bool Network::PumpOne(std::int64_t limit_micros, bool advance_on_idle) {
 void Network::DeliverVirtual(Message message, std::int64_t delay_micros) {
   std::shared_ptr<Handler> handler;
   bool dropped = false;
-  const std::string from = message.from;
-  const std::string to = message.to;
+  const EndpointId from = message.from;
+  const EndpointId to = message.to;
   {
     util::MutexLock lock(mu_);
     const std::int64_t now = virtual_clock_->NowMicros();
@@ -389,14 +382,14 @@ void Network::DeliverVirtual(Message message, std::int64_t delay_micros) {
       }
     }
     if (!dropped) {
-      auto it = endpoints_.find(to);
-      if (it == endpoints_.end()) {
+      std::shared_ptr<Handler>* slot = endpoints_.Find(to.raw());
+      if (slot == nullptr) {
         // Endpoint unregistered in flight: lost, like a connection reset.
         ++link.metrics.dropped_forced;
         ++total_.dropped_forced;
         dropped = true;
       } else {
-        handler = it->second;
+        handler = *slot;
         ++link.metrics.delivered;
         link.metrics.bytes_delivered += message.WireSize();
         ++total_.delivered;
@@ -412,7 +405,7 @@ void Network::DeliverVirtual(Message message, std::int64_t delay_micros) {
   }
   if (tracer_ != nullptr) {
     tracer_->RecordEvent("net.deliver", "network", delay_micros,
-                         {{"from", from}, {"to", to}});
+                         {{"from", from.str()}, {"to", to.str()}});
     tracer_->metrics().Observe("net.delay_micros",
                                static_cast<double>(delay_micros));
   }
@@ -452,10 +445,9 @@ Network::VirtualLoopStats Network::virtual_stats() const {
 
 // ---------------------------------------------------------------------------
 
-void Network::SetLink(const std::string& from, const std::string& to,
-                      LinkModel model) {
+void Network::SetLink(EndpointId from, EndpointId to, LinkModel model) {
   util::MutexLock lock(mu_);
-  links_[{from, to}].model = model;
+  links_[LinkKey(from, to)].model = model;
 }
 
 void Network::SetDefaultLink(LinkModel model) {
@@ -463,26 +455,23 @@ void Network::SetDefaultLink(LinkModel model) {
   default_link_ = model;
 }
 
-void Network::SetLinkUp(const std::string& from, const std::string& to,
-                        bool up) {
+void Network::SetLinkUp(EndpointId from, EndpointId to, bool up) {
   util::MutexLock lock(mu_);
   LinkFor(from, to).up = up;
 }
 
-void Network::DropNext(const std::string& from, const std::string& to,
-                       int count) {
+void Network::DropNext(EndpointId from, EndpointId to, int count) {
   util::MutexLock lock(mu_);
   LinkFor(from, to).drop_next += count;
 }
 
-void Network::AddOutage(const std::string& from, const std::string& to,
+void Network::AddOutage(EndpointId from, EndpointId to,
                         OutageWindow window) {
   util::MutexLock lock(mu_);
   LinkFor(from, to).outages.push_back(window);
 }
 
-void Network::AddBidirectionalOutage(const std::string& a,
-                                     const std::string& b,
+void Network::AddBidirectionalOutage(EndpointId a, EndpointId b,
                                      OutageWindow window) {
   AddOutage(a, b, window);
   AddOutage(b, a, window);
@@ -491,8 +480,8 @@ void Network::AddBidirectionalOutage(const std::string& a,
 void Network::Partition(const std::vector<std::string>& group_a,
                         const std::vector<std::string>& group_b) {
   util::MutexLock lock(mu_);
-  partition_a_ = group_a;
-  partition_b_ = group_b;
+  partition_a_.assign(group_a.begin(), group_a.end());
+  partition_b_.assign(group_b.begin(), group_b.end());
   partitioned_ = true;
 }
 
@@ -506,12 +495,11 @@ LinkMetrics Network::TotalMetrics() const {
   return total_;
 }
 
-LinkMetrics Network::LinkMetricsFor(const std::string& from,
-                                    const std::string& to) const {
+LinkMetrics Network::LinkMetricsFor(EndpointId from, EndpointId to) const {
   util::MutexLock lock(mu_);
-  auto it = links_.find({from, to});
-  if (it == links_.end()) return {};
-  return it->second.metrics;
+  const LinkState* link = links_.Find(LinkKey(from, to));
+  if (link == nullptr) return {};
+  return link->metrics;
 }
 
 void Network::SetClock(util::Clock* clock) {

@@ -31,18 +31,18 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <queue>
-#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "net/endpoint.h"
 #include "net/link.h"
 #include "net/message.h"
 #include "util/clock.h"
 #include "util/mutex.h"
+#include "util/open_hash.h"
 #include "util/result.h"
 #include "util/rng.h"
 
@@ -68,10 +68,12 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  /// Registers an endpoint; fails if the name is taken.
-  util::Status RegisterEndpoint(const std::string& name, Handler handler);
-  void UnregisterEndpoint(const std::string& name);
-  bool HasEndpoint(const std::string& name) const;
+  /// Registers an endpoint; fails if the name is taken. Names are interned
+  /// (EndpointId converts implicitly from strings); routing afterwards is
+  /// by 4-byte id through open-addressed tables.
+  util::Status RegisterEndpoint(EndpointId name, Handler handler);
+  void UnregisterEndpoint(EndpointId name);
+  bool HasEndpoint(EndpointId name) const;
 
   /// Sends a message through the (from -> to) link. Returns Ok if the
   /// message was *accepted* (it may still be dropped in flight; senders
@@ -82,24 +84,22 @@ class Network {
   // --- link configuration -------------------------------------------------
   /// Sets the model for the directed link from -> to. "*" matches any
   /// endpoint; specific links take precedence over wildcard ones.
-  void SetLink(const std::string& from, const std::string& to,
-               LinkModel model);
+  void SetLink(EndpointId from, EndpointId to, LinkModel model);
   /// Sets the default model for links with no specific entry.
   void SetDefaultLink(LinkModel model);
 
   // --- fault injection ----------------------------------------------------
   /// Marks the directed link up/down. Down links drop every message.
-  void SetLinkUp(const std::string& from, const std::string& to, bool up);
+  void SetLinkUp(EndpointId from, EndpointId to, bool up);
   /// Makes the next `count` messages on the directed link vanish. Counted
   /// at send time in every mode (a deterministic "the next send is lost").
-  void DropNext(const std::string& from, const std::string& to, int count);
+  void DropNext(EndpointId from, EndpointId to, int count);
   /// Adds a dead window in clock time (see SetClock) on the directed link.
   /// The end is exclusive: a message arriving exactly at end_micros gets
   /// through. kVirtual checks windows at both send and arrival time.
-  void AddOutage(const std::string& from, const std::string& to,
-                 OutageWindow window);
+  void AddOutage(EndpointId from, EndpointId to, OutageWindow window);
   /// Adds a bidirectional outage between two endpoints.
-  void AddBidirectionalOutage(const std::string& a, const std::string& b,
+  void AddBidirectionalOutage(EndpointId a, EndpointId b,
                               OutageWindow window);
 
   /// Drops ALL traffic between two endpoint groups (symmetric partition)
@@ -116,12 +116,11 @@ class Network {
   /// Messages already in flight TO the endpoint still deliver (packets
   /// survive their sender); they drop only if the endpoint unregistered.
   /// Clear on revival, before the new incarnation re-registers.
-  void SetEndpointCrashed(const std::string& name, bool crashed);
+  void SetEndpointCrashed(EndpointId name, bool crashed);
 
   // --- metrics / time -----------------------------------------------------
   LinkMetrics TotalMetrics() const;
-  LinkMetrics LinkMetricsFor(const std::string& from,
-                             const std::string& to) const;
+  LinkMetrics LinkMetricsFor(EndpointId from, EndpointId to) const;
 
   /// Clock used for outage windows and latency accounting. Defaults to the
   /// system clock; tests inject a SimClock. In kVirtual mode the injected
@@ -236,11 +235,16 @@ class Network {
     Network* network_;
   };
 
-  LinkState& LinkFor(const std::string& from, const std::string& to)
-      NEES_REQUIRES(mu_);
+  /// Directed links are keyed (from << 32 | to) over interned ids; LinkFor
+  /// probes exact, (from, *), (*, to), then materializes a default entry.
+  /// The reference is valid only until the next links_ insert.
+  static std::uint64_t LinkKey(EndpointId from, EndpointId to) {
+    return (static_cast<std::uint64_t>(from.raw()) << 32) | to.raw();
+  }
+  LinkState& LinkFor(EndpointId from, EndpointId to) NEES_REQUIRES(mu_);
   bool ShouldDrop(LinkState& link, const Message& message,
                   std::int64_t now_micros) NEES_REQUIRES(mu_);
-  bool InPartition(const std::string& from, const std::string& to) const
+  bool InPartition(EndpointId from, EndpointId to) const
       NEES_REQUIRES(mu_);
   void DeliveryLoop();
   void Dispatch(Message message);
@@ -262,18 +266,23 @@ class Network {
   util::Clock* clock_;
   obs::Tracer* tracer_ = nullptr;
   mutable util::Mutex mu_{"net.Network"};
-  std::map<std::string, std::shared_ptr<Handler>> endpoints_
+  // Hot-path lookups: open-addressed, keyed by interned id (endpoints) and
+  // the packed directed-pair key (links). Per-network tables, so the many
+  // short-lived networks a fuzz sweep creates stay small regardless of how
+  // many names the process-wide intern table accumulates.
+  util::OpenHashMap<std::uint32_t, std::shared_ptr<Handler>> endpoints_
       NEES_GUARDED_BY(mu_);
-  std::map<std::pair<std::string, std::string>, LinkState> links_
-      NEES_GUARDED_BY(mu_);
+  util::OpenHashMap<std::uint64_t, LinkState> links_ NEES_GUARDED_BY(mu_);
+  const EndpointId wildcard_id_{"*"};
   LinkModel default_link_ NEES_GUARDED_BY(mu_);
   LinkMetrics total_ NEES_GUARDED_BY(mu_);
   util::Rng rng_ NEES_GUARDED_BY(mu_);
 
-  std::vector<std::string> partition_a_ NEES_GUARDED_BY(mu_),
+  std::vector<EndpointId> partition_a_ NEES_GUARDED_BY(mu_),
       partition_b_ NEES_GUARDED_BY(mu_);
   bool partitioned_ NEES_GUARDED_BY(mu_) = false;
-  std::set<std::string> crashed_endpoints_ NEES_GUARDED_BY(mu_);
+  util::OpenHashMap<std::uint32_t, bool> crashed_endpoints_
+      NEES_GUARDED_BY(mu_);
 
   // kScheduled + kVirtual shared queue
   std::priority_queue<ScheduledMessage, std::vector<ScheduledMessage>,

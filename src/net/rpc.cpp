@@ -3,14 +3,26 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <utility>
 
 #include "util/clock.h"
+#include "util/frame_pool.h"
 #include "util/logging.h"
 
 namespace nees::net {
 
+namespace {
+
+MethodId BatchMethodId() {
+  static const MethodId id{kBatchMethodName};
+  return id;
+}
+
+}  // namespace
+
 Bytes EncodeRequestEnvelope(const std::string& auth_token, const Bytes& body) {
-  util::ByteWriter writer;
+  util::ByteWriter writer(util::AcquireFrame(8 + auth_token.size() +
+                                             body.size()));
   writer.WriteString(auth_token);
   writer.WriteBytes(body);
   return writer.Take();
@@ -25,7 +37,8 @@ util::Status DecodeRequestEnvelope(const Bytes& payload,
 }
 
 Bytes EncodeResponseEnvelope(const util::Status& status, const Bytes& body) {
-  util::ByteWriter writer;
+  util::ByteWriter writer(util::AcquireFrame(10 + status.message().size() +
+                                             body.size()));
   writer.WriteU16(static_cast<std::uint16_t>(status.code()));
   writer.WriteString(status.message());
   writer.WriteBytes(body);
@@ -83,32 +96,44 @@ util::Status ConsumeResponseEnvelope(Bytes* payload, util::Status* status,
 // RpcServer
 
 RpcServer::RpcServer(Network* network, std::string endpoint)
-    : network_(network), endpoint_(std::move(endpoint)) {}
+    : network_(network),
+      endpoint_(std::move(endpoint)),
+      endpoint_id_(endpoint_) {}
 
 RpcServer::~RpcServer() { Stop(); }
 
 util::Status RpcServer::Start() {
   NEES_RETURN_IF_ERROR(network_->RegisterEndpoint(
-      endpoint_, [this](Message message) { HandleMessage(std::move(message)); }));
+      endpoint_id_,
+      [this](Message message) { HandleMessage(std::move(message)); }));
   started_ = true;
   return util::OkStatus();
 }
 
 void RpcServer::Stop() {
   if (started_) {
-    network_->UnregisterEndpoint(endpoint_);
+    network_->UnregisterEndpoint(endpoint_id_);
     started_ = false;
   }
 }
 
-void RpcServer::RegisterMethod(const std::string& name, Method method) {
-  util::MutexLock lock(mu_);
-  methods_[name] = std::move(method);
+RpcServer::MethodEntry& RpcServer::EntryLocked(MethodId id) {
+  std::uint32_t& index = method_index_[id.raw()];
+  if (index == 0) {
+    method_entries_.emplace_back();
+    index = static_cast<std::uint32_t>(method_entries_.size());
+  }
+  return method_entries_[index - 1];
 }
 
-void RpcServer::RegisterOneWay(const std::string& name, OneWayMethod method) {
+void RpcServer::RegisterMethod(MethodId name, Method method) {
   util::MutexLock lock(mu_);
-  oneway_methods_[name] = std::move(method);
+  EntryLocked(name).request = std::move(method);
+}
+
+void RpcServer::RegisterOneWay(MethodId name, OneWayMethod method) {
+  util::MutexLock lock(mu_);
+  EntryLocked(name).oneway = std::move(method);
 }
 
 void RpcServer::SetAuthenticator(Authenticator authenticator) {
@@ -116,32 +141,63 @@ void RpcServer::SetAuthenticator(Authenticator authenticator) {
   authenticator_ = std::move(authenticator);
 }
 
+util::Result<Bytes> RpcServer::DispatchCall(CallContext& context,
+                                            MethodId method,
+                                            const Bytes& body) {
+  Method handler;
+  Authenticator authenticator;
+  {
+    util::MutexLock lock(mu_);
+    if (const std::uint32_t* index = method_index_.Find(method.raw())) {
+      handler = method_entries_[*index - 1].request;
+    }
+    authenticator = authenticator_;
+  }
+  if (!handler) {
+    return util::Unimplemented("no such method: " + method.str());
+  }
+  if (authenticator) {
+    auto subject = authenticator(context.auth_token, method.str());
+    if (!subject.ok()) return subject.status();
+    context.subject = *std::move(subject);
+  }
+  return handler(context, body);
+}
+
 void RpcServer::HandleMessage(Message message) {
+  if (message.kind == MessageKind::kRequest &&
+      message.method == BatchMethodId()) {
+    HandleBatch(std::move(message));
+    return;
+  }
+
   std::string auth_token;
   Bytes body;
   const util::Status decode_status =
       ConsumeRequestEnvelope(&message.payload, &auth_token, &body);
 
   CallContext context;
-  context.caller_endpoint = message.from;
-  context.auth_token = auth_token;
-  context.method = message.method;
+  context.caller_endpoint = message.from.name();
+  context.auth_token = std::move(auth_token);
+  context.method = message.method.name();
 
   if (message.kind == MessageKind::kOneWay) {
     if (!decode_status.ok()) return;  // corrupt one-way frame: drop
     OneWayMethod handler;
     {
       util::MutexLock lock(mu_);
-      auto it = oneway_methods_.find(message.method);
-      if (it == oneway_methods_.end()) return;
-      handler = it->second;
+      const std::uint32_t* index = method_index_.Find(message.method.raw());
+      if (index == nullptr) return;
+      handler = method_entries_[*index - 1].oneway;
+      if (!handler) return;
       if (authenticator_) {
-        auto subject = authenticator_(auth_token, message.method);
+        auto subject = authenticator_(context.auth_token, message.method.str());
         if (!subject.ok()) return;  // silently discard unauthenticated stream
-        context.subject = *subject;
+        context.subject = *std::move(subject);
       }
     }
     handler(context, body);
+    util::ReleaseFrame(std::move(body));
     return;
   }
 
@@ -150,46 +206,105 @@ void RpcServer::HandleMessage(Message message) {
   util::Status status = decode_status;
   Bytes response_body;
   if (status.ok()) {
-    Method handler;
-    Authenticator authenticator;
-    {
-      util::MutexLock lock(mu_);
-      auto it = methods_.find(message.method);
-      if (it != methods_.end()) handler = it->second;
-      authenticator = authenticator_;
-    }
-    if (!handler) {
-      status = util::Unimplemented("no such method: " + message.method);
+    auto result = DispatchCall(context, message.method, body);
+    if (result.ok()) {
+      response_body = *std::move(result);
     } else {
-      bool authorized = true;
-      if (authenticator) {
-        auto subject = authenticator(auth_token, message.method);
-        if (!subject.ok()) {
-          status = subject.status();
-          authorized = false;
-        } else {
-          context.subject = *subject;
-        }
-      }
-      if (authorized) {
-        auto result = handler(context, body);
-        if (result.ok()) {
-          response_body = std::move(result).value();
-        } else {
-          status = result.status();
-        }
-      }
+      status = result.status();
     }
   }
+  util::ReleaseFrame(std::move(body));
 
   Message response;
-  response.from = endpoint_;
+  response.from = endpoint_id_;
   response.to = message.from;
   response.kind = MessageKind::kResponse;
   response.correlation_id = message.correlation_id;
   response.method = message.method;
-  response.payload = EncodeResponseEnvelope(status, response_body);
+  util::ByteWriter writer(util::AcquireFrame(
+      10 + status.message().size() + response_body.size()));
+  writer.WriteU16(static_cast<std::uint16_t>(status.code()));
+  writer.WriteString(status.message());
+  writer.WriteBytes(response_body);
+  response.payload = writer.Take();
+  util::ReleaseFrame(std::move(response_body));
   // Best effort: if the reply is lost the caller times out and may retry.
+  (void)network_->Send(std::move(response));
+}
+
+void RpcServer::HandleBatch(Message message) {
+  std::string auth_token;
+  Bytes body;
+  if (!ConsumeRequestEnvelope(&message.payload, &auth_token, &body).ok()) {
+    return;  // corrupt batch frame: lost, callers time out (like loss)
+  }
+
+  CallContext context;
+  context.caller_endpoint = message.from.name();
+  context.auth_token = std::move(auth_token);
+
+  // Sub-frames: u64 correlation | u32 method | bytes body, `count` times.
+  // Each sub-call runs the normal dispatch path (method table, auth hook,
+  // handler) so server-side semantics — at-most-once state machines, trace
+  // events per transaction — are identical to unbatched delivery.
+  util::ByteReader reader(body);
+  auto count = reader.ReadU32();
+  if (!count.ok()) {
+    util::ReleaseFrame(std::move(body));
+    return;
+  }
+  util::ByteWriter response_writer(util::AcquireFrame(body.size()));
+  response_writer.WriteU32(*count);
+  Bytes sub_body = util::AcquireFrame();
+  bool corrupt = false;
+  for (std::uint32_t i = 0; i < *count && !corrupt; ++i) {
+    auto correlation = reader.ReadU64();
+    auto method_raw = reader.ReadU32();
+    auto view = reader.ReadBytesView();
+    if (!correlation.ok() || !method_raw.ok() || !view.ok()) {
+      corrupt = true;  // truncated mid-batch: drop the whole frame
+      break;
+    }
+    const MethodId method = MethodId::FromRaw(*method_raw);
+    sub_body.assign(view->begin(), view->end());
+    context.method = method.name();
+    context.subject.clear();
+    util::Status status;
+    Bytes result_body;
+    if (!EndpointTable::Instance().Known(*method_raw)) {
+      status = util::DataLoss("batch sub-call: unknown method id " +
+                              std::to_string(*method_raw));
+    } else {
+      auto result = DispatchCall(context, method, sub_body);
+      if (result.ok()) {
+        result_body = *std::move(result);
+      } else {
+        status = result.status();
+      }
+    }
+    response_writer.WriteU64(*correlation);
+    response_writer.WriteU16(static_cast<std::uint16_t>(status.code()));
+    response_writer.WriteString(status.message());
+    response_writer.WriteBytes(result_body);
+    util::ReleaseFrame(std::move(result_body));
+  }
+  util::ReleaseFrame(std::move(sub_body));
+  util::ReleaseFrame(std::move(body));
+  if (corrupt) return;
+
+  Message response;
+  response.from = endpoint_id_;
+  response.to = message.from;
+  response.kind = MessageKind::kResponse;
+  response.correlation_id = message.correlation_id;
+  response.method = BatchMethodId();
+  Bytes response_body = response_writer.Take();
+  util::ByteWriter envelope(util::AcquireFrame(10 + response_body.size()));
+  envelope.WriteU16(static_cast<std::uint16_t>(util::ErrorCode::kOk));
+  envelope.WriteString("");
+  envelope.WriteBytes(response_body);
+  response.payload = envelope.Take();
+  util::ReleaseFrame(std::move(response_body));
   (void)network_->Send(std::move(response));
 }
 
@@ -197,9 +312,12 @@ void RpcServer::HandleMessage(Message message) {
 // RpcClient
 
 RpcClient::RpcClient(Network* network, std::string endpoint)
-    : network_(network), endpoint_(std::move(endpoint)) {
+    : network_(network),
+      endpoint_(std::move(endpoint)),
+      endpoint_id_(endpoint_) {
   const util::Status status = network_->RegisterEndpoint(
-      endpoint_, [this](Message message) { HandleMessage(std::move(message)); });
+      endpoint_id_,
+      [this](Message message) { HandleMessage(std::move(message)); });
   registered_ = status.ok();
   if (!status.ok()) {
     NEES_LOG_ERROR("net.rpc") << "client endpoint registration failed: "
@@ -212,7 +330,7 @@ RpcClient::~RpcClient() { Stop(); }
 void RpcClient::Stop() {
   if (!registered_) return;
   registered_ = false;
-  network_->UnregisterEndpoint(endpoint_);
+  network_->UnregisterEndpoint(endpoint_id_);
 }
 
 void RpcClient::SetAuthToken(std::string token) {
@@ -220,24 +338,31 @@ void RpcClient::SetAuthToken(std::string token) {
   auth_token_ = std::move(token);
 }
 
-void RpcClient::SetAuthTokenFor(const std::string& target,
-                                std::string token) {
+void RpcClient::SetAuthTokenFor(EndpointId target, std::string token) {
   util::MutexLock lock(mu_);
-  per_target_tokens_[target] = std::move(token);
+  per_target_tokens_[target.raw()] = std::move(token);
 }
 
-std::string RpcClient::TokenForLocked(const std::string& target) const {
-  auto it = per_target_tokens_.find(target);
-  return it != per_target_tokens_.end() ? it->second : auth_token_;
+const std::string& RpcClient::TokenRefLocked(EndpointId target) const {
+  const std::string* token = per_target_tokens_.Find(target.raw());
+  return token != nullptr ? *token : auth_token_;
 }
 
-std::string RpcClient::TokenFor(const std::string& target) {
+std::string RpcClient::TokenForLocked(EndpointId target) const {
+  return TokenRefLocked(target);
+}
+
+std::string RpcClient::TokenFor(EndpointId target) {
   util::MutexLock lock(mu_);
   return TokenForLocked(target);
 }
 
 void RpcClient::HandleMessage(Message message) {
   if (message.kind != MessageKind::kResponse) return;
+  if (message.method == BatchMethodId()) {
+    HandleBatchResponse(std::move(message));
+    return;
+  }
   util::Status status;
   Bytes body;
   const util::Status decoded =
@@ -246,9 +371,9 @@ void RpcClient::HandleMessage(Message message) {
   std::shared_ptr<CallBatch> batch;
   {
     util::MutexLock lock(mu_);
-    auto it = pending_.find(message.correlation_id);
-    if (it == pending_.end()) return;  // late/duplicate response: ignore
-    call = it->second;
+    auto* slot = pending_.Find(message.correlation_id);
+    if (slot == nullptr) return;  // late/duplicate response: ignore
+    call = *slot;
     call->status = decoded.ok() ? status : decoded;
     call->response = std::move(body);
     call->done = true;
@@ -260,42 +385,238 @@ void RpcClient::HandleMessage(Message message) {
   if (batch) batch->cv.NotifyAll();
 }
 
-RpcClient::AsyncCall RpcClient::Issue(const std::string& target,
-                                      const std::string& method,
+void RpcClient::HandleBatchResponse(Message message) {
+  util::Status outer;
+  Bytes body;
+  if (!ConsumeResponseEnvelope(&message.payload, &outer, &body).ok() ||
+      !outer.ok()) {
+    return;  // corrupt/failed batch frame: callers time out (like loss)
+  }
+  util::ByteReader reader(body);
+  auto count = reader.ReadU32();
+  if (!count.ok()) {
+    util::ReleaseFrame(std::move(body));
+    return;
+  }
+  struct Woken {
+    std::shared_ptr<PendingCall> call;
+    std::shared_ptr<CallBatch> batch;
+  };
+  std::vector<Woken> woken;
+  woken.reserve(*count);
+  {
+    util::MutexLock lock(mu_);
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      auto correlation = reader.ReadU64();
+      auto code = reader.ReadU16();
+      auto text = reader.ReadString();
+      auto view = reader.ReadBytesView();
+      if (!correlation.ok() || !code.ok() || !text.ok() || !view.ok()) {
+        break;  // truncated tail: the already-demuxed calls stand
+      }
+      auto* slot = pending_.Find(*correlation);
+      if (slot == nullptr) continue;  // late/duplicate sub-response
+      std::shared_ptr<PendingCall>& call = *slot;
+      call->status = util::Status(static_cast<util::ErrorCode>(*code),
+                                  *std::move(text));
+      call->response = util::AcquireFrame(view->size());
+      call->response.assign(view->begin(), view->end());
+      call->done = true;
+      woken.push_back({call, call->batch});
+    }
+  }
+  util::ReleaseFrame(std::move(body));
+  for (Woken& entry : woken) {
+    entry.call->cv.NotifyAll();
+    if (entry.batch) entry.batch->cv.NotifyAll();
+  }
+}
+
+std::string RpcClient::AsyncCall::TimeoutMessage() const {
+  return "rpc " + method_.str() + " to " + target_.str() + " timed out";
+}
+
+std::shared_ptr<PendingCall> RpcClient::AcquireCallLocked() {
+  if (call_pool_.empty()) return std::make_shared<PendingCall>();
+  std::shared_ptr<PendingCall> call = std::move(call_pool_.back());
+  call_pool_.pop_back();
+  return call;
+}
+
+void RpcClient::RecycleCallLocked(std::shared_ptr<PendingCall> call) {
+  if (call == nullptr || call.use_count() != 1) return;
+  constexpr std::size_t kMaxPooledCalls = 1024;
+  if (call_pool_.size() >= kMaxPooledCalls) return;
+  call->done = false;
+  call->sent = true;
+  call->status = util::OkStatus();
+  util::ReleaseFrame(std::move(call->response));
+  call->response.clear();
+  call->batch.reset();
+  call_pool_.push_back(std::move(call));
+}
+
+RpcClient::AsyncCall RpcClient::Issue(EndpointId target, MethodId method,
                                       const Bytes& body,
                                       std::int64_t timeout_micros) {
   AsyncCall async;
   async.client_ = this;
-  async.state_ = std::make_shared<PendingCall>();
+  async.target_ = target;
+  async.method_ = method;
   // Deadline on the network's injected clock, not the wall clock, so
   // SimClock-driven tests time out in simulated time.
   async.deadline_micros_ = network_->clock()->NowMicros() + timeout_micros;
   std::string token;
   {
     util::MutexLock lock(mu_);
+    async.state_ = AcquireCallLocked();
     async.correlation_ = next_correlation_++;
     pending_[async.correlation_] = async.state_;
-    token = TokenForLocked(target);
+    const std::string& live_token = TokenRefLocked(target);
+    if (batching_) {
+      // Stage instead of send: the pooled body copy travels in the batch
+      // frame at FlushBatch time. sent=false keeps TryResolve from
+      // treating the unsent call as an immediate-mode timeout.
+      async.state_->sent = false;
+      StagedTarget* group = nullptr;
+      for (StagedTarget& candidate : staging_) {
+        if (candidate.target == target) {
+          group = &candidate;
+          break;
+        }
+      }
+      if (group == nullptr) {
+        if (!staging_pool_.empty()) {
+          // Reuse a parked shell: its calls vector and token string keep
+          // their capacity from the previous window.
+          staging_.push_back(std::move(staging_pool_.back()));
+          staging_pool_.pop_back();
+          group = &staging_.back();
+          group->target = target;
+          group->token.assign(live_token);
+        } else {
+          staging_.push_back(StagedTarget{target, live_token, {}});
+          group = &staging_.back();
+        }
+      }
+      Bytes staged_body = util::AcquireFrame(body.size());
+      staged_body.assign(body.begin(), body.end());
+      group->calls.push_back(StagedCall{async.correlation_, method,
+                                        std::move(staged_body), async.state_});
+      return async;
+    }
+    token = live_token;  // copied out: still needed after the lock drops
   }
 
   Message request;
-  request.from = endpoint_;
+  request.from = endpoint_id_;
   request.to = target;
   request.kind = MessageKind::kRequest;
   request.correlation_id = async.correlation_;
   request.method = method;
-  request.payload = EncodeRequestEnvelope(token, body);
+  util::ByteWriter writer(
+      util::AcquireFrame(8 + token.size() + body.size()));
+  writer.WriteString(token);
+  writer.WriteBytes(body);
+  request.payload = writer.Take();
 
   const util::Status send_status = network_->Send(std::move(request));
   if (!send_status.ok()) {
     util::MutexLock lock(mu_);
-    pending_.erase(async.correlation_);
+    pending_.Erase(async.correlation_);
     // Destination endpoint missing: surface as transient (site may return).
-    async.send_error_ = util::Unavailable("send to " + target + " failed: " +
-                                          send_status.message());
+    async.send_error_ = util::Unavailable("send to " + target.str() +
+                                          " failed: " + send_status.message());
   }
-  async.label_ = "rpc " + method + " to " + target;
   return async;
+}
+
+void RpcClient::BeginBatch() {
+  util::MutexLock lock(mu_);
+  batching_ = true;
+}
+
+void RpcClient::FlushBatch() {
+  std::vector<StagedTarget> staged;
+  {
+    util::MutexLock lock(mu_);
+    batching_ = false;
+    if (staging_.empty()) return;
+    staged = std::move(staging_);
+    staging_.clear();
+  }
+  for (StagedTarget& group : staged) {
+    util::Status send_status;
+    Message request;
+    request.from = endpoint_id_;
+    request.to = group.target;
+    request.kind = MessageKind::kRequest;
+    if (group.calls.size() == 1) {
+      // A lone call needs no envelope-within-envelope: it goes out as a
+      // plain request, bit-identical to the unbatched wire format.
+      StagedCall& call = group.calls.front();
+      request.correlation_id = call.correlation;
+      request.method = call.method;
+      util::ByteWriter writer(
+          util::AcquireFrame(8 + group.token.size() + call.body.size()));
+      writer.WriteString(group.token);
+      writer.WriteBytes(call.body);
+      request.payload = writer.Take();
+      util::ReleaseFrame(std::move(call.body));
+    } else {
+      request.method = BatchMethodId();
+      {
+        util::MutexLock lock(mu_);
+        request.correlation_id = next_correlation_++;
+      }
+      util::ByteWriter body_writer(util::AcquireFrame());
+      body_writer.WriteU32(static_cast<std::uint32_t>(group.calls.size()));
+      for (StagedCall& call : group.calls) {
+        body_writer.WriteU64(call.correlation);
+        body_writer.WriteU32(call.method.raw());
+        body_writer.WriteBytes(call.body);
+        util::ReleaseFrame(std::move(call.body));
+      }
+      Bytes batch_body = body_writer.Take();
+      util::ByteWriter envelope(
+          util::AcquireFrame(8 + group.token.size() + batch_body.size()));
+      envelope.WriteString(group.token);
+      envelope.WriteBytes(batch_body);
+      util::ReleaseFrame(std::move(batch_body));
+      request.payload = envelope.Take();
+    }
+    send_status = network_->Send(std::move(request));
+
+    std::vector<std::shared_ptr<PendingCall>> failed;
+    {
+      util::MutexLock lock(mu_);
+      for (StagedCall& call : group.calls) {
+        if (!send_status.ok() && !call.state->done) {
+          call.state->status = util::Unavailable(
+              "send to " + group.target.str() + " failed: " +
+              send_status.message());
+          call.state->done = true;
+          failed.push_back(call.state);
+        }
+        call.state->sent = true;
+      }
+    }
+    for (std::shared_ptr<PendingCall>& state : failed) {
+      state->cv.NotifyAll();
+      if (state->batch) state->batch->cv.NotifyAll();
+    }
+  }
+  // Park the emptied shells (and the staging vector's own buffer) so the
+  // next batch window stages without reallocating.
+  {
+    util::MutexLock lock(mu_);
+    for (StagedTarget& group : staged) {
+      group.calls.clear();
+      staging_pool_.push_back(std::move(group));
+    }
+    staged.clear();
+    if (staging_.empty()) staging_ = std::move(staged);
+  }
 }
 
 util::Result<Bytes> RpcClient::AsyncCall::Wait() {
@@ -305,6 +626,14 @@ util::Result<Bytes> RpcClient::AsyncCall::Wait() {
   RpcClient* client = client_;
   client_ = nullptr;  // Wait at most once
   if (!send_error_.ok()) return send_error_;
+  {
+    bool staged;
+    {
+      util::MutexLock lock(client->mu_);
+      staged = !state_->sent;
+    }
+    if (staged) client->FlushBatch();
+  }
   // A blocking wait while any lock is held risks a distributed stall: the
   // response handler may need that very lock. Lockdep flags it. Immediate
   // mode never blocks (responses resolved inline during Send), so only the
@@ -341,12 +670,14 @@ util::Result<Bytes> RpcClient::AsyncCall::Wait() {
     }
     // Immediate mode: the response (if any) was delivered inline during
     // Send; if state->done is false the message was dropped en route.
-    client->pending_.erase(correlation_);
+    client->pending_.Erase(correlation_);
     if (!state_->done) {
-      return util::TimeoutError(label_ + " timed out");
+      client->RecycleCallLocked(std::move(state_));
+      return util::TimeoutError(TimeoutMessage());
     }
     status = std::move(state_->status);
     response = std::move(state_->response);
+    client->RecycleCallLocked(std::move(state_));
   }
   if (!status.ok()) return status;
   return response;
@@ -365,22 +696,27 @@ bool RpcClient::AsyncCall::TryResolve(util::Result<Bytes>* out) {
   RpcClient* client = client_;
   util::MutexLock lock(client->mu_);
   if (state_->done) {
-    client->pending_.erase(correlation_);
+    client->pending_.Erase(correlation_);
     client_ = nullptr;
     if (!state_->status.ok()) {
       *out = std::move(state_->status);
     } else {
       *out = std::move(state_->response);
     }
+    client->RecycleCallLocked(std::move(state_));
     return true;
   }
+  // Still staged in an open batch window: not on the wire yet, so neither
+  // answered nor lost. The flush (or a Wait) moves it along.
+  if (!state_->sent) return false;
   // Immediate mode resolves unanswered calls at once (see header); in
   // scheduled mode the call times out when the clock passes the deadline.
   if (client->network_->mode() == DeliveryMode::kImmediate ||
       client->network_->clock()->NowMicros() >= deadline_micros_) {
-    client->pending_.erase(correlation_);
+    client->pending_.Erase(correlation_);
     client_ = nullptr;
-    *out = util::TimeoutError(label_ + " timed out");
+    *out = util::TimeoutError(TimeoutMessage());
+    client->RecycleCallLocked(std::move(state_));
     return true;
   }
   return false;
@@ -398,6 +734,8 @@ void RpcClient::WaitAnyUntil(const std::vector<AsyncCall*>& calls,
 
 void RpcClient::WaitAnyUntil(const std::vector<AsyncCall*>& calls,
                              std::int64_t wake_micros, bool wait_for_all) {
+  // Anything still staged must hit the wire before a wait makes sense.
+  FlushBatch();
   if (network_->mode() == DeliveryMode::kVirtual) {
     util::lockdep::CheckBlockingCall("RpcClient::WaitAnyUntil");
     WaitAnyUntilVirtual(calls, wake_micros, wait_for_all);
@@ -484,29 +822,30 @@ void RpcClient::WaitAnyUntilVirtual(const std::vector<AsyncCall*>& calls,
   }
 }
 
-RpcClient::AsyncCall RpcClient::CallAsync(const std::string& target,
-                                          const std::string& method,
+RpcClient::AsyncCall RpcClient::CallAsync(EndpointId target, MethodId method,
                                           const Bytes& body,
                                           std::int64_t timeout_micros) {
   return Issue(target, method, body, timeout_micros);
 }
 
-util::Result<Bytes> RpcClient::Call(const std::string& target,
-                                    const std::string& method,
+util::Result<Bytes> RpcClient::Call(EndpointId target, MethodId method,
                                     const Bytes& body,
                                     std::int64_t timeout_micros) {
   return Issue(target, method, body, timeout_micros).Wait();
 }
 
-util::Status RpcClient::OneWay(const std::string& target,
-                               const std::string& method, const Bytes& body) {
+util::Status RpcClient::OneWay(EndpointId target, MethodId method,
+                               const Bytes& body) {
   const std::string token = TokenFor(target);
   Message message;
-  message.from = endpoint_;
+  message.from = endpoint_id_;
   message.to = target;
   message.kind = MessageKind::kOneWay;
   message.method = method;
-  message.payload = EncodeRequestEnvelope(token, body);
+  util::ByteWriter writer(util::AcquireFrame(8 + token.size() + body.size()));
+  writer.WriteString(token);
+  writer.WriteBytes(body);
+  message.payload = writer.Take();
   return network_->Send(std::move(message));
 }
 

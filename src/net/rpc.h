@@ -9,31 +9,44 @@
 // response surfaces to the caller only as a Timeout. Retries and
 // at-most-once semantics live one layer up, in NTCP — exactly where the
 // paper puts them.
+//
+// Hot-path layout: targets and methods are interned ids (net/endpoint.h),
+// method dispatch and the pending-call correlation table are open-addressed
+// (util/open_hash.h), and envelopes are encoded into recycled pool frames
+// (util/frame_pool.h). Between BeginBatch() and FlushBatch() a client
+// stages CallAsync requests and coalesces the ones sharing a target into a
+// single "rpc.batch" multi-call frame — the GridFTP-style pipelining the
+// coordinator uses for its per-site propose/execute fan-out.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/network.h"
 #include "util/bytes.h"
 #include "util/mutex.h"
+#include "util/open_hash.h"
 #include "util/result.h"
 
 namespace nees::net {
 
 using Bytes = std::vector<std::uint8_t>;
 
-/// Per-call context handed to method implementations.
+/// Per-call context handed to method implementations. The views point at
+/// interned names (stable for the process lifetime).
 struct CallContext {
-  std::string caller_endpoint;  // network-level sender
-  std::string auth_token;       // raw bearer token ("" if none)
-  std::string subject;          // authenticated identity ("" if anonymous)
-  std::string method;
+  std::string_view caller_endpoint;  // network-level sender
+  std::string auth_token;            // raw bearer token ("" if none)
+  std::string subject;               // authenticated identity ("" if anonymous)
+  std::string_view method;
 };
+
+/// The reserved multi-call method name (see RpcClient::BeginBatch).
+inline constexpr std::string_view kBatchMethodName = "rpc.batch";
 
 class RpcServer {
  public:
@@ -54,8 +67,10 @@ class RpcServer {
   util::Status Start();
   void Stop();
 
-  void RegisterMethod(const std::string& name, Method method);
-  void RegisterOneWay(const std::string& name, OneWayMethod method);
+  /// Method names are interned to dense ids once, here at registration;
+  /// dispatch afterwards is one open-addressed probe by id.
+  void RegisterMethod(MethodId name, Method method);
+  void RegisterOneWay(MethodId name, OneWayMethod method);
 
   /// Installs the authentication hook. If set, calls with tokens the hook
   /// rejects are answered with the hook's error status; methods see the
@@ -63,16 +78,34 @@ class RpcServer {
   void SetAuthenticator(Authenticator authenticator);
 
   const std::string& endpoint() const { return endpoint_; }
+  EndpointId endpoint_id() const { return endpoint_id_; }
 
  private:
+  struct MethodEntry {
+    Method request;
+    OneWayMethod oneway;
+  };
+
   void HandleMessage(Message message);
+  /// Unpacks one "rpc.batch" frame: every sub-call runs through the normal
+  /// method/auth dispatch (so per-transaction semantics and trace events
+  /// are preserved), and the per-call outcomes are coalesced into one
+  /// response frame the client demultiplexes by correlation id.
+  void HandleBatch(Message message);
+  /// Shared per-call core: method lookup, authentication, handler run.
+  util::Result<Bytes> DispatchCall(CallContext& context, MethodId method,
+                                   const Bytes& body);
+  MethodEntry& EntryLocked(MethodId id) NEES_REQUIRES(mu_);
 
   Network* network_;
   std::string endpoint_;
+  EndpointId endpoint_id_;
   bool started_ = false;
   mutable util::Mutex mu_{"net.RpcServer"};
-  std::map<std::string, Method> methods_ NEES_GUARDED_BY(mu_);
-  std::map<std::string, OneWayMethod> oneway_methods_ NEES_GUARDED_BY(mu_);
+  /// Interned method id -> dense index + 1 into method_entries_.
+  util::OpenHashMap<std::uint32_t, std::uint32_t> method_index_
+      NEES_GUARDED_BY(mu_);
+  std::vector<MethodEntry> method_entries_ NEES_GUARDED_BY(mu_);
   Authenticator authenticator_ NEES_GUARDED_BY(mu_);
 };
 
@@ -87,6 +120,11 @@ struct CallBatch {
 /// its waiter (plus the batch, if attached) — never every in-flight call.
 struct PendingCall {
   bool done = false;
+  /// False while the call is staged inside an open BeginBatch window (not
+  /// yet on the wire). Guards the immediate-mode "unanswered means lost"
+  /// auto-timeout in TryResolve: a staged call is not unanswered, it is
+  /// unsent.
+  bool sent = true;
   util::Status status;
   Bytes response;
   util::CondVar cv;
@@ -115,13 +153,13 @@ class RpcClient {
   /// Token used only for calls to `target` (overrides the default). Each
   /// site issues its own session tokens, so a client talking to several
   /// secured services holds one per target.
-  void SetAuthTokenFor(const std::string& target, std::string token);
+  void SetAuthTokenFor(EndpointId target, std::string token);
 
   /// Synchronous call. Timeout produces ErrorCode::kTimeout; a transport-
   /// level missing endpoint produces kUnavailable (the site is gone, retry
   /// later); application errors pass through the server's status.
-  util::Result<Bytes> Call(const std::string& target,
-                           const std::string& method, const Bytes& body,
+  util::Result<Bytes> Call(EndpointId target, MethodId method,
+                           const Bytes& body,
                            std::int64_t timeout_micros = 1'000'000);
 
   /// Handle to an in-flight asynchronous call. Deadlines are stamped from
@@ -131,14 +169,16 @@ class RpcClient {
    public:
     /// Blocks until the reply arrives or the call's timeout lapses. In
     /// kVirtual mode "blocking" means pumping the network's event loop up
-    /// to the deadline, so waits are deterministic and instantaneous.
+    /// to the deadline, so waits are deterministic and instantaneous. A
+    /// still-staged call is flushed first.
     util::Result<Bytes> Wait();
 
     /// Non-blocking: if the call has resolved (reply arrived, send failed,
     /// or the deadline lapsed), writes the outcome to `out` and returns
     /// true; otherwise returns false. In kImmediate mode an unanswered call
     /// resolves as a timeout at once — the response (if any) was delivered
-    /// inline during Send, so there is nothing left to wait for. Like
+    /// inline during Send, so there is nothing left to wait for. A call
+    /// still staged in an open batch window is never resolved here. Like
     /// Wait(), resolves at most once per handle.
     bool TryResolve(util::Result<Bytes>* out);
 
@@ -147,20 +187,34 @@ class RpcClient {
 
    private:
     friend class RpcClient;
+    /// Built lazily, only when a timeout actually needs the text.
+    std::string TimeoutMessage() const;
+
     RpcClient* client_ = nullptr;
     std::uint64_t correlation_ = 0;
     std::shared_ptr<PendingCall> state_;
     std::int64_t deadline_micros_ = 0;
     util::Status send_error_;
-    std::string label_;  // for timeout messages
+    EndpointId target_;
+    MethodId method_;
   };
 
   /// Issues a call without waiting; several calls to different sites can be
   /// in flight at once, overlapping their round trips (the §5 near-real-
   /// time optimization). Wait() at most once per handle.
-  AsyncCall CallAsync(const std::string& target, const std::string& method,
-                      const Bytes& body,
+  AsyncCall CallAsync(EndpointId target, MethodId method, const Bytes& body,
                       std::int64_t timeout_micros = 1'000'000);
+
+  /// Pipelining: between BeginBatch() and FlushBatch(), CallAsync stages
+  /// requests instead of sending them. FlushBatch coalesces all calls
+  /// staged for the same target into one framed "rpc.batch" multi-call
+  /// message (a lone staged call goes out as a plain request, wire-
+  /// identical to the unbatched path) and ends the window. Staged handles
+  /// resolve exactly like un-batched ones; Wait/WaitAll/WaitAnyUntil on a
+  /// still-staged handle flush first, so forgetting FlushBatch degrades to
+  /// unbatched timing, never a hang.
+  void BeginBatch();
+  void FlushBatch();
 
   /// Batch primitive: blocks until every call has resolved (replied, send
   /// failed, or deadline lapsed). Harvest results with Wait()/TryResolve()
@@ -177,21 +231,49 @@ class RpcClient {
                     std::int64_t wake_micros);
 
   /// Fire-and-forget send (streaming, notifications).
-  util::Status OneWay(const std::string& target, const std::string& method,
-                      const Bytes& body);
+  util::Status OneWay(EndpointId target, MethodId method, const Bytes& body);
 
   const std::string& endpoint() const { return endpoint_; }
+  EndpointId endpoint_id() const { return endpoint_id_; }
 
  private:
+  /// One call staged inside an open batch window.
+  struct StagedCall {
+    std::uint64_t correlation = 0;
+    MethodId method;
+    Bytes body;  // pooled copy of the caller's body
+    std::shared_ptr<PendingCall> state;
+  };
+  struct StagedTarget {
+    EndpointId target;
+    std::string token;
+    std::vector<StagedCall> calls;
+  };
+
   void HandleMessage(Message message);
+  /// Demultiplexes one "rpc.batch" response frame into the per-sub-call
+  /// pending slots by correlation id.
+  void HandleBatchResponse(Message message);
 
   /// Issues the request and registers the pending slot (shared by Call and
-  /// CallAsync); on send failure returns the error in AsyncCall.
-  AsyncCall Issue(const std::string& target, const std::string& method,
-                  const Bytes& body, std::int64_t timeout_micros);
+  /// CallAsync); on send failure returns the error in AsyncCall. Inside a
+  /// batch window the call is staged instead of sent.
+  AsyncCall Issue(EndpointId target, MethodId method, const Bytes& body,
+                  std::int64_t timeout_micros);
 
-  std::string TokenFor(const std::string& target) NEES_EXCLUDES(mu_);
-  std::string TokenForLocked(const std::string& target) const
+  std::string TokenFor(EndpointId target) NEES_EXCLUDES(mu_);
+  std::string TokenForLocked(EndpointId target) const NEES_REQUIRES(mu_);
+  /// Allocation-free variant; the reference is only valid under mu_.
+  const std::string& TokenRefLocked(EndpointId target) const
+      NEES_REQUIRES(mu_);
+
+  /// Pops a recycled PendingCall (or allocates the pool's first few).
+  std::shared_ptr<PendingCall> AcquireCallLocked() NEES_REQUIRES(mu_);
+  /// Returns a resolved slot to the pool. Only the last owner may recycle:
+  /// a response handler can still hold a transient reference while it
+  /// signals the slot's condition variable outside the lock, so a slot
+  /// with use_count() > 1 is simply dropped and freed normally.
+  void RecycleCallLocked(std::shared_ptr<PendingCall> call)
       NEES_REQUIRES(mu_);
 
   /// Shared engine behind WaitAll (wait_for_all) and WaitAnyUntil.
@@ -206,13 +288,25 @@ class RpcClient {
 
   Network* network_;
   std::string endpoint_;
+  EndpointId endpoint_id_;
   bool registered_ = false;
   util::Mutex mu_{"net.RpcClient"};
   std::string auth_token_ NEES_GUARDED_BY(mu_);
-  std::map<std::string, std::string> per_target_tokens_ NEES_GUARDED_BY(mu_);
-  std::uint64_t next_correlation_ NEES_GUARDED_BY(mu_) = 1;
-  std::map<std::uint64_t, std::shared_ptr<PendingCall>> pending_
+  util::OpenHashMap<std::uint32_t, std::string> per_target_tokens_
       NEES_GUARDED_BY(mu_);
+  std::uint64_t next_correlation_ NEES_GUARDED_BY(mu_) = 1;
+  util::OpenHashMap<std::uint64_t, std::shared_ptr<PendingCall>> pending_
+      NEES_GUARDED_BY(mu_);
+  bool batching_ NEES_GUARDED_BY(mu_) = false;
+  std::vector<StagedTarget> staging_ NEES_GUARDED_BY(mu_);
+  /// Recycled StagedTarget shells: FlushBatch parks its emptied groups here
+  /// so the next window's staging reuses their calls-vector and token
+  /// capacity instead of reallocating. Bounded by the widest fan-out seen.
+  std::vector<StagedTarget> staging_pool_ NEES_GUARDED_BY(mu_);
+  /// Recycled PendingCall slots: every resolved call hands its slot back
+  /// (condition variable and response capacity intact), so steady-state
+  /// traffic allocates no per-call control blocks.
+  std::vector<std::shared_ptr<PendingCall>> call_pool_ NEES_GUARDED_BY(mu_);
 };
 
 /// Encodes/decodes the RPC envelopes (exposed for protocol tests).

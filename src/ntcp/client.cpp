@@ -4,14 +4,42 @@
 #include <limits>
 
 #include "obs/trace.h"
+#include "util/frame_pool.h"
 #include "util/logging.h"
 
 namespace nees::ntcp {
+namespace {
+
+// Method names interned once per process; the per-call hot path carries
+// only the 4-byte ids.
+net::MethodId ProposeMethod() {
+  static const net::MethodId id("ntcp.propose");
+  return id;
+}
+net::MethodId ExecuteMethod() {
+  static const net::MethodId id("ntcp.execute");
+  return id;
+}
+net::MethodId CancelMethod() {
+  static const net::MethodId id("ntcp.cancel");
+  return id;
+}
+net::MethodId GetTransactionMethod() {
+  static const net::MethodId id("ntcp.getTransaction");
+  return id;
+}
+net::MethodId ListTransactionsMethod() {
+  static const net::MethodId id("ntcp.listTransactions");
+  return id;
+}
+
+}  // namespace
 
 NtcpClient::NtcpClient(net::RpcClient* rpc, std::string server_endpoint,
                        RetryPolicy policy, util::Clock* clock)
     : rpc_(rpc),
       server_(std::move(server_endpoint)),
+      server_id_(server_),
       policy_(policy),
       clock_(clock) {}
 
@@ -22,8 +50,8 @@ struct NtcpClient::AsyncOp::State {
   enum class Phase { kInFlight, kBackoff, kDone };
 
   NtcpClient* client = nullptr;
-  std::string method;
-  net::Bytes body;  // kept for reissue on retry
+  net::MethodId method;
+  net::Bytes body;  // kept for reissue on retry; pooled, released on finish
   int attempt = 1;
   std::int64_t backoff_micros = 0;
   Phase phase = Phase::kInFlight;
@@ -35,6 +63,9 @@ struct NtcpClient::AsyncOp::State {
   std::int64_t start_micros = 0;   // client clock at issue
   std::int64_t finish_micros = 0;  // client clock at resolution
 };
+
+// Defined where AsyncOp::State is complete (op_pool_'s deleter needs it).
+NtcpClient::~NtcpClient() = default;
 
 NtcpClient::AsyncOp::AsyncOp() = default;
 NtcpClient::AsyncOp::AsyncOp(AsyncOp&&) noexcept = default;
@@ -70,6 +101,7 @@ bool NtcpClient::AsyncOp::Pump() {
     s.outcome = std::move(outcome);
     s.phase = State::Phase::kDone;
     s.finish_micros = client->clock_->NowMicros();
+    util::ReleaseFrame(std::move(s.body));  // no more reissues from here
     if (client->tracer_ != nullptr) {
       if (!error_tag.empty()) {
         client->tracer_->AddTagById(s.span_id, "error", error_tag);
@@ -117,7 +149,7 @@ bool NtcpClient::AsyncOp::Pump() {
     }
     if (client->clock_->NowMicros() < s.resume_at_micros) return false;
     ++s.attempt;
-    s.call = client->rpc_->CallAsync(client->server_, s.method, s.body,
+    s.call = client->rpc_->CallAsync(client->server_id_, s.method, s.body,
                                      client->policy_.rpc_timeout_micros);
     s.phase = State::Phase::kInFlight;
     // Loop: in immediate mode the reissued call already resolved inline.
@@ -139,16 +171,31 @@ util::Result<net::Bytes> NtcpClient::AsyncOp::Await() {
     }
   }
   util::Result<net::Bytes> outcome = std::move(state_->outcome);
-  state_.reset();
+  // Park the spent block for the owning client's next StartOp. Resetting
+  // in place is allocation-free: the body frame was already released, the
+  // RPC handle was consumed, and the placeholder status fits in-line.
+  NtcpClient* client = state_->client;
+  constexpr std::size_t kMaxPooledOps = 64;
+  if (client->op_pool_.size() < kMaxPooledOps) {
+    *state_ = State();
+    client->op_pool_.push_back(std::move(state_));
+  } else {
+    state_.reset();
+  }
   return outcome;
 }
 
-NtcpClient::AsyncOp NtcpClient::StartOp(const std::string& method,
-                                        net::Bytes body, const SpanTags& tags,
+NtcpClient::AsyncOp NtcpClient::StartOp(net::MethodId method, net::Bytes body,
+                                        const SpanTags& tags,
                                         std::uint64_t parent_span_id) {
   ++stats_.calls;
   AsyncOp op;
-  op.state_ = std::make_unique<AsyncOp::State>();
+  if (!op_pool_.empty()) {
+    op.state_ = std::move(op_pool_.back());
+    op_pool_.pop_back();
+  } else {
+    op.state_ = std::make_unique<AsyncOp::State>();
+  }
   AsyncOp::State& s = *op.state_;
   s.client = this;
   s.method = method;
@@ -156,7 +203,7 @@ NtcpClient::AsyncOp NtcpClient::StartOp(const std::string& method,
   s.backoff_micros = policy_.initial_backoff_micros;
   if (tracer_ != nullptr) {
     if (parent_span_id == 0) parent_span_id = tracer_->CurrentSpanId();
-    s.span_id = tracer_->BeginSpanId(method, "protocol", parent_span_id);
+    s.span_id = tracer_->BeginSpanId(method.str(), "protocol", parent_span_id);
     tracer_->AddTagById(s.span_id, "server", server_);
     for (const auto& [key, value] : tags) {
       tracer_->AddTagById(s.span_id, key, value);
@@ -164,7 +211,8 @@ NtcpClient::AsyncOp NtcpClient::StartOp(const std::string& method,
     s.trace_t0 = tracer_->NowMicros();
   }
   s.start_micros = clock_->NowMicros();
-  s.call = rpc_->CallAsync(server_, method, s.body, policy_.rpc_timeout_micros);
+  s.call =
+      rpc_->CallAsync(server_id_, method, s.body, policy_.rpc_timeout_micros);
   // Pump once so immediate-mode delivery (response already in the slot)
   // resolves without a wait; in scheduled mode this is a cheap no-op.
   op.Pump();
@@ -206,7 +254,7 @@ void NtcpClient::AwaitAll(std::vector<AsyncOp>& ops) {
   }
 }
 
-util::Result<net::Bytes> NtcpClient::CallWithRetry(const std::string& method,
+util::Result<net::Bytes> NtcpClient::CallWithRetry(net::MethodId method,
                                                    const net::Bytes& body,
                                                    const SpanTags& tags) {
   AsyncOp op = StartOp(method, body, tags, /*parent_span_id=*/0);
@@ -215,28 +263,33 @@ util::Result<net::Bytes> NtcpClient::CallWithRetry(const std::string& method,
 
 NtcpClient::AsyncOp NtcpClient::ProposeAsync(const Proposal& proposal,
                                              std::uint64_t parent_span_id) {
-  util::ByteWriter writer;
+  util::ByteWriter writer(util::AcquireFrame());
   EncodeProposal(proposal, writer);
-  return StartOp("ntcp.propose", writer.Take(),
-                 {{"txn", proposal.transaction_id},
-                  {"step", std::to_string(proposal.step_index)}},
-                 parent_span_id);
+  // Tags annotate the operation's span; skip building them untraced.
+  SpanTags tags;
+  if (tracer_ != nullptr) {
+    tags = {{"txn", proposal.transaction_id},
+            {"step", std::to_string(proposal.step_index)}};
+  }
+  return StartOp(ProposeMethod(), writer.Take(), tags, parent_span_id);
 }
 
 NtcpClient::AsyncOp NtcpClient::ExecuteAsync(
     const std::string& transaction_id, std::uint64_t parent_span_id) {
-  util::ByteWriter writer;
+  util::ByteWriter writer(util::AcquireFrame(transaction_id.size() + 4));
   writer.WriteString(transaction_id);
-  return StartOp("ntcp.execute", writer.Take(), {{"txn", transaction_id}},
-                 parent_span_id);
+  SpanTags tags;
+  if (tracer_ != nullptr) tags = {{"txn", transaction_id}};
+  return StartOp(ExecuteMethod(), writer.Take(), tags, parent_span_id);
 }
 
 NtcpClient::AsyncOp NtcpClient::CancelAsync(const std::string& transaction_id,
                                             std::uint64_t parent_span_id) {
-  util::ByteWriter writer;
+  util::ByteWriter writer(util::AcquireFrame(transaction_id.size() + 4));
   writer.WriteString(transaction_id);
-  return StartOp("ntcp.cancel", writer.Take(), {{"txn", transaction_id}},
-                 parent_span_id);
+  SpanTags tags;
+  if (tracer_ != nullptr) tags = {{"txn", transaction_id}};
+  return StartOp(CancelMethod(), writer.Take(), tags, parent_span_id);
 }
 
 util::Status NtcpClient::FinishPropose(AsyncOp& op) {
@@ -246,6 +299,7 @@ util::Status NtcpClient::FinishPropose(AsyncOp& op) {
   util::ByteReader reader(response);
   NEES_ASSIGN_OR_RETURN(bool accepted, reader.ReadBool());
   NEES_ASSIGN_OR_RETURN(std::string reason, reader.ReadString());
+  util::ReleaseFrame(std::move(response));
   if (!accepted) {
     return util::PolicyViolation("proposal rejected by " + server + ": " +
                                  reason);
@@ -256,11 +310,15 @@ util::Status NtcpClient::FinishPropose(AsyncOp& op) {
 util::Result<TransactionResult> NtcpClient::FinishExecute(AsyncOp& op) {
   NEES_ASSIGN_OR_RETURN(net::Bytes response, op.Await());
   util::ByteReader reader(response);
-  return DecodeTransactionResult(reader);
+  util::Result<TransactionResult> result = DecodeTransactionResult(reader);
+  util::ReleaseFrame(std::move(response));
+  return result;
 }
 
 util::Status NtcpClient::FinishCancel(AsyncOp& op) {
-  return op.Await().status();
+  util::Result<net::Bytes> response = op.Await();
+  if (response.ok()) util::ReleaseFrame(std::move(response.value()));
+  return response.status();
 }
 
 util::Status NtcpClient::Propose(const Proposal& proposal) {
@@ -281,17 +339,17 @@ util::Status NtcpClient::Cancel(const std::string& transaction_id) {
 
 util::Result<TransactionRecord> NtcpClient::GetTransaction(
     const std::string& transaction_id) {
-  util::ByteWriter writer;
+  util::ByteWriter writer(util::AcquireFrame(transaction_id.size() + 4));
   writer.WriteString(transaction_id);
   NEES_ASSIGN_OR_RETURN(net::Bytes response,
-                        CallWithRetry("ntcp.getTransaction", writer.Take()));
+                        CallWithRetry(GetTransactionMethod(), writer.Take()));
   util::ByteReader reader(response);
   return DecodeTransactionRecord(reader);
 }
 
 util::Result<std::vector<std::string>> NtcpClient::ListTransactions() {
   NEES_ASSIGN_OR_RETURN(net::Bytes response,
-                        CallWithRetry("ntcp.listTransactions", {}));
+                        CallWithRetry(ListTransactionsMethod(), {}));
   util::ByteReader reader(response);
   NEES_ASSIGN_OR_RETURN(std::uint32_t count, reader.ReadU32());
   std::vector<std::string> ids;

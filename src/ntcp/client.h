@@ -43,6 +43,7 @@ class NtcpClient {
   NtcpClient(net::RpcClient* rpc, std::string server_endpoint,
              RetryPolicy policy = RetryPolicy(),
              util::Clock* clock = &util::SystemClock::Instance());
+  ~NtcpClient();
 
   /// Sends the proposal; Ok means *accepted*. A rejected proposal returns
   /// kPolicyViolation with the site's reason.
@@ -133,22 +134,27 @@ class NtcpClient {
   /// Starts the retry state machine for one operation (first RPC attempt
   /// issued before returning; pumped once so immediate-mode responses
   /// resolve inline).
-  AsyncOp StartOp(const std::string& method, net::Bytes body,
-                  const SpanTags& tags, std::uint64_t parent_span_id);
+  AsyncOp StartOp(net::MethodId method, net::Bytes body, const SpanTags& tags,
+                  std::uint64_t parent_span_id);
 
   /// Runs `call` with transient-error retry + exponential backoff. `tags`
   /// (e.g. the transaction id and step) annotate the operation's span.
   /// Synchronous facade over StartOp + Await.
-  util::Result<net::Bytes> CallWithRetry(const std::string& method,
+  util::Result<net::Bytes> CallWithRetry(net::MethodId method,
                                          const net::Bytes& body,
                                          const SpanTags& tags = {});
 
   net::RpcClient* rpc_;
   std::string server_;
+  net::EndpointId server_id_;  // interned once; the hot path never re-hashes
   RetryPolicy policy_;
   util::Clock* clock_;
   NtcpClientStats stats_;
   obs::Tracer* tracer_ = nullptr;
+  /// Recycled AsyncOp state blocks: an op consumed by Await() parks its
+  /// block here so the next StartOp reuses it instead of allocating. The
+  /// client is driven from one thread at a time (like stats_), so no lock.
+  std::vector<std::unique_ptr<AsyncOp::State>> op_pool_;
 };
 
 }  // namespace nees::ntcp

@@ -2,6 +2,7 @@
 
 #include "check/invariant.h"
 #include "obs/trace.h"
+#include "util/frame_pool.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -20,9 +21,18 @@ NtcpServer::NtcpServer(net::Network* network, std::string endpoint,
     : rpc_server_(network, std::move(endpoint)),
       plugin_(std::move(plugin)),
       clock_(clock),
-      service_(std::make_shared<grid::GridService>(rpc_server_.endpoint())) {}
+      service_(std::make_shared<grid::GridService>(rpc_server_.endpoint())) {
+  // Publish-on-read: OGSI reads flush any transitions that were only
+  // marked dirty (the subscriber-free hot path skips eager publication).
+  service_->SetRefreshHook([this] { FlushSde(); });
+}
 
-NtcpServer::~NtcpServer() { Stop(); }
+NtcpServer::~NtcpServer() {
+  // The container may keep the shared GridService alive past this server;
+  // detach the hook so a later read cannot call into freed memory.
+  service_->SetRefreshHook(nullptr);
+  Stop();
+}
 
 util::Status NtcpServer::Start() {
   NEES_RETURN_IF_ERROR(rpc_server_.Start());
@@ -62,8 +72,8 @@ util::Status NtcpServer::PublishTo(grid::ServiceContainer& container) {
   return container.AddService(service_).status();
 }
 
-void NtcpServer::PublishSdeLocked(const std::string& id,
-                                  const TransactionRecord& record) {
+void NtcpServer::PublishTxnSdeLocked(const std::string& id,
+                                     const TransactionRecord& record) {
   grid::SdeValue value;
   value.Set("state", std::string(TransactionStateName(record.state)));
   value.Set("step", std::to_string(record.proposal.step_index));
@@ -77,15 +87,10 @@ void NtcpServer::PublishSdeLocked(const std::string& id,
     value.Set("results", std::to_string(record.result.results.size()));
   }
   service_->SetServiceData("txn." + id, value);
+}
 
-  // The "most recently changed" SDE monitors the server as a whole (§2.1).
-  grid::SdeValue last;
-  last.Set("transaction", id);
-  last.Set("state", std::string(TransactionStateName(record.state)));
-  last.Set("time", std::to_string(clock_->NowMicros()));
-  service_->SetServiceData("lastChanged", last);
-
-  // Aggregate server statistics, likewise inspectable via OGSI.
+void NtcpServer::PublishServerStatsLocked() {
+  // Aggregate server statistics, inspectable via OGSI.
   grid::SdeValue stats;
   stats.Set("proposals", std::to_string(stats_.proposals));
   stats.Set("accepted", std::to_string(stats_.accepted));
@@ -95,6 +100,51 @@ void NtcpServer::PublishSdeLocked(const std::string& id,
   stats.Set("failures", std::to_string(stats_.failures));
   stats.Set("open_transactions", std::to_string(transactions_.size()));
   service_->SetServiceData("serverStats", stats);
+}
+
+void NtcpServer::PublishSdeLocked(const std::string& id,
+                                  const TransactionRecord& record) {
+  PublishTxnSdeLocked(id, record);
+
+  // The "most recently changed" SDE monitors the server as a whole (§2.1).
+  grid::SdeValue last;
+  last.Set("transaction", id);
+  last.Set("state", std::string(TransactionStateName(record.state)));
+  last.Set("time", std::to_string(clock_->NowMicros()));
+  service_->SetServiceData("lastChanged", last);
+
+  PublishServerStatsLocked();
+}
+
+void NtcpServer::MarkSdeDirtyLocked(const std::string& id,
+                                    TransactionState state,
+                                    std::int64_t at_micros) {
+  sde_dirty_ = true;
+  last_changed_id_.assign(id);  // reuses capacity in steady state
+  last_changed_state_ = state;
+  last_changed_at_ = at_micros;
+}
+
+void NtcpServer::FlushSde() {
+  util::MutexLock lock(mu_);
+  FlushSdeLocked();
+}
+
+void NtcpServer::FlushSdeLocked() {
+  if (!sde_dirty_) return;
+  sde_dirty_ = false;
+  for (const auto& [id, record] : transactions_) {
+    PublishTxnSdeLocked(id, record);
+  }
+  if (!last_changed_id_.empty()) {
+    grid::SdeValue last;
+    last.Set("transaction", last_changed_id_);
+    last.Set("state",
+             std::string(TransactionStateName(last_changed_state_)));
+    last.Set("time", std::to_string(last_changed_at_));
+    service_->SetServiceData("lastChanged", last);
+  }
+  PublishServerStatsLocked();
 }
 
 void NtcpServer::RecordTxnEventLocked(const TransactionRecord& record,
@@ -120,7 +170,7 @@ void NtcpServer::WalLogCreateLocked(const TransactionRecord& record) {
   util::ByteWriter writer;
   EncodeProposal(record.proposal, writer);
   const auto it = record.state_timestamps.find(
-      std::string(TransactionStateName(TransactionState::kProposed)));
+      TransactionStateName(TransactionState::kProposed));
   writer.WriteI64(it == record.state_timestamps.end() ? -1 : it->second);
   if (wal_->Append(kWalTxnCreate, writer.Take()).ok()) ++stats_.wal_records;
 }
@@ -180,13 +230,20 @@ void NtcpServer::TransitionLocked(const std::string& id,
   record.state = to;
   if (!detail.empty()) record.detail = detail;
   const std::int64_t at = clock_->NowMicros();
-  record.state_timestamps[std::string(TransactionStateName(to))] = at;
+  record.state_timestamps[TransactionStateName(to)] = at;
   WalLogTransitionLocked(id, record, at);
   RecordTxnEventLocked(record, from, TransactionStateName(to), at, cause);
-  PublishSdeLocked(id, record);
+  if (service_->HasSdeSubscribers()) {
+    // A subscriber needs the change callback now; publish eagerly.
+    PublishSdeLocked(id, record);
+  } else {
+    // Nobody is watching: defer the (allocation-heavy) SDE rebuild to the
+    // next OGSI read. This is the dominant saving on the step hot path.
+    MarkSdeDirtyLocked(id, to, at);
+  }
 }
 
-NtcpServer::ProposeOutcome NtcpServer::Propose(const Proposal& proposal) {
+NtcpServer::ProposeOutcome NtcpServer::Propose(Proposal proposal) {
   // Declared before the lock so the span closes after mu_ is released.
   obs::Span span;
   if (tracer_ != nullptr) {
@@ -220,31 +277,33 @@ NtcpServer::ProposeOutcome NtcpServer::Propose(const Proposal& proposal) {
     return {false, "transaction id already in use with a different proposal"};
   }
 
+  const util::Status validation = plugin_->Validate(proposal);
   TransactionRecord record;
-  record.proposal = proposal;
+  record.proposal = std::move(proposal);
   record.state = TransactionState::kProposed;
   const std::int64_t proposed_at = clock_->NowMicros();
-  record.state_timestamps[std::string(
-      TransactionStateName(TransactionState::kProposed))] = proposed_at;
+  record.state_timestamps[TransactionStateName(
+      TransactionState::kProposed)] = proposed_at;
 
-  const util::Status validation = plugin_->Validate(proposal);
-  auto [inserted, unused] =
-      transactions_.emplace(proposal.transaction_id, std::move(record));
+  // Pair members construct in order, so the key is copied out of
+  // record.proposal before the record itself is moved into the node.
+  auto [inserted, unused] = transactions_.emplace(
+      record.proposal.transaction_id, std::move(record));
   (void)unused;
+  const std::string& id = inserted->first;
   NEES_CHECK_INVARIANT(inserted->second.state == TransactionState::kProposed,
                        "a freshly created transaction must be kProposed");
   WalLogCreateLocked(inserted->second);
   RecordTxnEventLocked(inserted->second, "none", "proposed", proposed_at);
   if (validation.ok()) {
     ++stats_.accepted;
-    TransitionLocked(proposal.transaction_id, inserted->second,
-                     TransactionState::kAccepted, "");
+    TransitionLocked(id, inserted->second, TransactionState::kAccepted, "");
     WalSyncLocked();  // durable before the accept is disclosed
     return {true, ""};
   }
   ++stats_.rejected;
-  TransitionLocked(proposal.transaction_id, inserted->second,
-                   TransactionState::kRejected, validation.ToString());
+  TransitionLocked(id, inserted->second, TransactionState::kRejected,
+                   validation.ToString());
   WalSyncLocked();
   return {false, validation.ToString()};
 }
@@ -258,7 +317,7 @@ util::Result<TransactionResult> NtcpServer::Execute(
     span.AddTag("txn", transaction_id);
     tracer_->metrics().Increment("ntcp.server.executes");
   }
-  Proposal proposal;
+  const Proposal* proposal = nullptr;
   {
     util::MutexLock lock(mu_);
     auto it = transactions_.find(transaction_id);
@@ -309,13 +368,17 @@ util::Result<TransactionResult> NtcpServer::Execute(
     // specimen: after a crash, recovery sees kExecuting and crash-marks it
     // kFailed instead of silently re-executing (at-most-once).
     WalSyncLocked();
-    proposal = record.proposal;
+    // Safe to read outside the lock: the proposal is immutable once the
+    // record is created, std::map nodes do not move, and the record cannot
+    // be erased while kExecuting (GarbageCollect only drops terminal
+    // states, and AttachWal runs before the server takes traffic).
+    proposal = &record.proposal;
     ++stats_.executions;
   }
 
   // Run the plugin outside the table lock: executions can take (simulated)
   // seconds and inspection must stay responsive meanwhile.
-  util::Result<TransactionResult> outcome = plugin_->Execute(proposal);
+  util::Result<TransactionResult> outcome = plugin_->Execute(*proposal);
 
   util::MutexLock lock(mu_);
   auto it = transactions_.find(transaction_id);
@@ -325,11 +388,11 @@ util::Result<TransactionResult> NtcpServer::Execute(
   NEES_CHECK_INVARIANT(it->second.state == TransactionState::kExecuting,
                        "transaction left kExecuting during plugin execution");
   if (outcome.ok()) {
-    it->second.result = *outcome;
+    it->second.result = std::move(*outcome);
     TransitionLocked(transaction_id, it->second, TransactionState::kCompleted,
                      "");
     WalSyncLocked();  // result durable before the reply that caches it
-    return *outcome;
+    return it->second.result;
   }
   ++stats_.failures;
   TransitionLocked(transaction_id, it->second, TransactionState::kFailed,
@@ -449,8 +512,8 @@ util::Result<WalRecovery> NtcpServer::AttachWal(wal::Log* log) {
       it->second.proposal = std::move(proposal);
       it->second.state = TransactionState::kProposed;
       if (at >= 0) {
-        it->second.state_timestamps[std::string(
-            TransactionStateName(TransactionState::kProposed))] = at;
+        it->second.state_timestamps[TransactionStateName(
+            TransactionState::kProposed)] = at;
       }
       ++recovery.transactions_recovered;
     } else if (rec.type == kWalTxnTransition) {
@@ -472,8 +535,8 @@ util::Result<WalRecovery> NtcpServer::AttachWal(wal::Log* log) {
       }
       it->second.state = static_cast<TransactionState>(state_raw);
       if (!detail.empty()) it->second.detail = detail;
-      it->second.state_timestamps[std::string(
-          TransactionStateName(it->second.state))] = at;
+      it->second.state_timestamps[TransactionStateName(
+          it->second.state)] = at;
       if (has_result) {
         NEES_ASSIGN_OR_RETURN(it->second.result,
                               DecodeTransactionResult(reader));
@@ -538,8 +601,8 @@ void NtcpServer::BindRpcMethods() {
              const net::Bytes& body) -> util::Result<net::Bytes> {
         util::ByteReader reader(body);
         NEES_ASSIGN_OR_RETURN(Proposal proposal, DecodeProposal(reader));
-        const ProposeOutcome outcome = Propose(proposal);
-        util::ByteWriter writer;
+        const ProposeOutcome outcome = Propose(std::move(proposal));
+        util::ByteWriter writer(util::AcquireFrame());
         writer.WriteBool(outcome.accepted);
         writer.WriteString(outcome.reason);
         return writer.Take();
@@ -551,7 +614,7 @@ void NtcpServer::BindRpcMethods() {
         util::ByteReader reader(body);
         NEES_ASSIGN_OR_RETURN(std::string id, reader.ReadString());
         NEES_ASSIGN_OR_RETURN(TransactionResult result, Execute(id));
-        util::ByteWriter writer;
+        util::ByteWriter writer(util::AcquireFrame());
         EncodeTransactionResult(result, writer);
         return writer.Take();
       });
@@ -571,7 +634,7 @@ void NtcpServer::BindRpcMethods() {
         util::ByteReader reader(body);
         NEES_ASSIGN_OR_RETURN(std::string id, reader.ReadString());
         NEES_ASSIGN_OR_RETURN(TransactionRecord record, GetTransaction(id));
-        util::ByteWriter writer;
+        util::ByteWriter writer(util::AcquireFrame());
         EncodeTransactionRecord(record, writer);
         return writer.Take();
       });
@@ -580,7 +643,7 @@ void NtcpServer::BindRpcMethods() {
       [this](const net::CallContext&,
              const net::Bytes&) -> util::Result<net::Bytes> {
         const auto ids = ListTransactions();
-        util::ByteWriter writer;
+        util::ByteWriter writer(util::AcquireFrame());
         writer.WriteU32(static_cast<std::uint32_t>(ids.size()));
         for (const std::string& id : ids) writer.WriteString(id);
         return writer.Take();

@@ -77,7 +77,9 @@ class NtcpServer {
     bool accepted = false;
     std::string reason;
   };
-  ProposeOutcome Propose(const Proposal& proposal);
+  /// By value: the RPC handler moves the freshly decoded proposal straight
+  /// into the transaction table; in-process callers pass lvalues (copied).
+  ProposeOutcome Propose(Proposal proposal);
   util::Result<TransactionResult> Execute(const std::string& transaction_id);
   util::Status Cancel(const std::string& transaction_id);
   util::Result<TransactionRecord> GetTransaction(
@@ -145,8 +147,25 @@ class NtcpServer {
   /// at-most-once cache (kind: propose / propose-mismatch / execute).
   void RecordDupEventLocked(const TransactionRecord& record,
                             std::string_view kind) NEES_REQUIRES(mu_);
+  /// Eagerly materialises the three SDE documents (txn.<id>, lastChanged,
+  /// serverStats) for one transaction. Only runs on the hot path when the
+  /// grid service has subscribers; otherwise transitions just mark the
+  /// table dirty and FlushSde() rebuilds the documents on the next OGSI
+  /// read (publish-on-read via GridService::SetRefreshHook).
   void PublishSdeLocked(const std::string& id,
                         const TransactionRecord& record) NEES_REQUIRES(mu_);
+  void PublishTxnSdeLocked(const std::string& id,
+                           const TransactionRecord& record)
+      NEES_REQUIRES(mu_);
+  void PublishServerStatsLocked() NEES_REQUIRES(mu_);
+  /// Records that SDE documents are stale and captures the most recent
+  /// change for the lastChanged SDE without allocating.
+  void MarkSdeDirtyLocked(const std::string& id, TransactionState state,
+                          std::int64_t at_micros) NEES_REQUIRES(mu_);
+  /// Refresh-hook target: republishes every transaction plus lastChanged
+  /// and serverStats iff something changed since the last flush.
+  void FlushSde();
+  void FlushSdeLocked() NEES_REQUIRES(mu_);
   void BindRpcMethods();
 
   net::RpcServer rpc_server_;
@@ -160,6 +179,15 @@ class NtcpServer {
       NEES_GUARDED_BY(mu_);
   NtcpServerStats stats_ NEES_GUARDED_BY(mu_);
   wal::Log* wal_ NEES_GUARDED_BY(mu_) = nullptr;
+
+  // Lazy-SDE state: set by MarkSdeDirtyLocked, consumed by FlushSdeLocked.
+  // last_changed_id_ reuses its capacity across steps, so marking a
+  // transition dirty performs no heap allocation in steady state.
+  bool sde_dirty_ NEES_GUARDED_BY(mu_) = false;
+  std::string last_changed_id_ NEES_GUARDED_BY(mu_);
+  TransactionState last_changed_state_ NEES_GUARDED_BY(mu_) =
+      TransactionState::kProposed;
+  std::int64_t last_changed_at_ NEES_GUARDED_BY(mu_) = 0;
 
   // Liveness flag captured by armed expiry timers; cleared on Stop() so a
   // queued firing after shutdown is a safe no-op.

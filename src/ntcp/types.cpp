@@ -1,6 +1,34 @@
 #include "ntcp/types.h"
 
+#include <algorithm>
+
 namespace nees::ntcp {
+
+std::int64_t& StateTimestamps::operator[](std::string_view state) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), state,
+      [](const value_type& entry, std::string_view key) {
+        return entry.first < key;
+      });
+  if (it != entries_.end() && it->first == state) return it->second;
+  const auto index = it - entries_.begin();  // reserve invalidates `it`
+  if (entries_.capacity() == 0) {
+    entries_.reserve(4);  // proposed/accepted/executing/terminal
+  }
+  it = entries_.emplace(entries_.begin() + index, std::string(state), 0);
+  return it->second;
+}
+
+StateTimestamps::const_iterator StateTimestamps::find(
+    std::string_view state) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), state,
+      [](const value_type& entry, std::string_view key) {
+        return entry.first < key;
+      });
+  if (it != entries_.end() && it->first == state) return it;
+  return entries_.end();
+}
 
 const ControlPointResult* TransactionResult::Find(
     const std::string& control_point) const {
@@ -55,7 +83,7 @@ bool IsLegalTransition(TransactionState from, TransactionState to) {
 std::int64_t ProposalDeadlineMicros(const TransactionRecord& record) {
   if (record.proposal.timeout_micros <= 0) return -1;
   const auto proposed_at = record.state_timestamps.find(
-      std::string(TransactionStateName(TransactionState::kProposed)));
+      TransactionStateName(TransactionState::kProposed));
   if (proposed_at == record.state_timestamps.end()) return -1;
   return proposed_at->second + record.proposal.timeout_micros;
 }

@@ -14,8 +14,9 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "util/bytes.h"
@@ -77,13 +78,40 @@ bool IsLegalTransition(TransactionState from, TransactionState to);
 /// Terminal states admit no further transitions.
 bool IsTerminal(TransactionState state);
 
+/// state-name -> micros timestamps, kept as a sorted flat vector. A
+/// transaction visits at most a handful of states, so a node-per-entry
+/// std::map spent a heap allocation per transition on the server hot path;
+/// the flat form allocates once (amortised) per record. API mirrors the
+/// std::map subset the codebase uses: operator[], find, contains,
+/// iteration in key order, and equality.
+class StateTimestamps {
+ public:
+  using value_type = std::pair<std::string, std::int64_t>;
+  using const_iterator = std::vector<value_type>::const_iterator;
+
+  std::int64_t& operator[](std::string_view state);
+  const_iterator find(std::string_view state) const;
+  bool contains(std::string_view state) const {
+    return find(state) != end();
+  }
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  friend bool operator==(const StateTimestamps&,
+                         const StateTimestamps&) = default;
+
+ private:
+  std::vector<value_type> entries_;  // sorted by state name
+};
+
 /// Full server-side record of a transaction (also the getTransaction reply).
 struct TransactionRecord {
   Proposal proposal;
   TransactionState state = TransactionState::kProposed;
   std::string detail;  // rejection reason / failure message
   TransactionResult result;                    // valid when kCompleted
-  std::map<std::string, std::int64_t> state_timestamps;  // state -> micros
+  StateTimestamps state_timestamps;            // state -> micros
 };
 
 /// Absolute sim-clock deadline of `record`'s proposal window, or -1 when the

@@ -41,7 +41,7 @@ util::Result<ntcp::TransactionResult> SimulationPlugin::Execute(
     ntcp::ControlPointResult cp;
     cp.control_point = action.control_point;
     cp.measured_displacement = action.target_displacement;  // ideal tracking
-    cp.measured_force = force;
+    cp.measured_force = std::move(force);
     result.results.push_back(std::move(cp));
   }
   if (tracer_ != nullptr) {

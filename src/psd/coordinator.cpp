@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <thread>
 
 #include "check/invariant.h"
@@ -135,8 +136,16 @@ util::Status SimulationCoordinator::ProposeAllAsync(
     const std::vector<std::string>& transaction_ids,
     const structural::Vector& displacement, std::vector<char>& accepted) {
   const std::size_t site_count = config_.sites.size();
-  std::vector<ntcp::NtcpClient::AsyncOp> ops(site_count);
-  std::vector<std::uint64_t> site_spans(site_count, 0);
+  std::vector<ntcp::NtcpClient::AsyncOp>& ops = ops_scratch_;
+  if (ops.size() != site_count) ops.resize(site_count);
+  std::vector<std::uint64_t>& site_spans = site_spans_scratch_;
+  site_spans.assign(site_count, 0);
+  if (proposal_scratch_.size() != site_count) {
+    proposal_scratch_.resize(site_count);
+  }
+  // Stage the whole fan-out, then flush it as one framed send per site.
+  const bool batching = config_.batch_site_rpcs;
+  if (batching) rpc_->BeginBatch();
   for (std::size_t i = 0; i < site_count; ++i) {
     const SubstructureSite& site = config_.sites[i];
     // Explicit span parenting: every site's spans are created from this one
@@ -147,18 +156,23 @@ util::Status SimulationCoordinator::ProposeAllAsync(
                                                   step_span_id_);
       config_.tracer->AddTagById(site_spans[i], "site", site.name);
     }
-    ntcp::Proposal proposal;
-    proposal.transaction_id = transaction_ids[i];
+    // The scratch proposal's strings and vectors keep their capacity from
+    // the previous step, so refilling them allocates nothing.
+    ntcp::Proposal& proposal = proposal_scratch_[i];
+    proposal.transaction_id.assign(transaction_ids[i]);
     proposal.step_index = static_cast<std::int64_t>(step_);
     proposal.timeout_micros = config_.proposal_timeout_micros;
-    ntcp::ControlPointRequest action;
-    action.control_point = site.control_point;
+    if (proposal.actions.size() != 1) proposal.actions.resize(1);
+    ntcp::ControlPointRequest& action = proposal.actions[0];
+    action.control_point.assign(site.control_point);
+    action.target_displacement.clear();
     for (std::size_t dof : site.dofs) {
       action.target_displacement.push_back(displacement[dof]);
     }
-    proposal.actions.push_back(std::move(action));
+    action.target_force.clear();
     ops[i] = clients_[i]->ProposeAsync(proposal, site_spans[i]);
   }
+  if (batching) rpc_->FlushBatch();
   ntcp::NtcpClient::AwaitAll(ops);
 
   util::Status first_error;
@@ -185,8 +199,12 @@ util::Status SimulationCoordinator::ExecuteAllAsync(
     std::vector<ntcp::TransactionResult>& results,
     std::vector<char>& executed) {
   const std::size_t site_count = config_.sites.size();
-  std::vector<ntcp::NtcpClient::AsyncOp> ops(site_count);
-  std::vector<std::uint64_t> site_spans(site_count, 0);
+  std::vector<ntcp::NtcpClient::AsyncOp>& ops = ops_scratch_;
+  if (ops.size() != site_count) ops.resize(site_count);
+  std::vector<std::uint64_t>& site_spans = site_spans_scratch_;
+  site_spans.assign(site_count, 0);
+  const bool batching = config_.batch_site_rpcs;
+  if (batching) rpc_->BeginBatch();
   for (std::size_t i = 0; i < site_count; ++i) {
     if (config_.tracer != nullptr) {
       site_spans[i] = config_.tracer->BeginSpanId("site.execute",
@@ -197,6 +215,7 @@ util::Status SimulationCoordinator::ExecuteAllAsync(
     }
     ops[i] = clients_[i]->ExecuteAsync(transaction_ids[i], site_spans[i]);
   }
+  if (batching) rpc_->FlushBatch();
   ntcp::NtcpClient::AwaitAll(ops);
 
   util::Status first_error;
@@ -239,12 +258,21 @@ util::Status SimulationCoordinator::CycleOnce(
 
   // Phase 1: propose to ALL sites before executing anywhere. A rejection
   // or loss here leaves every specimen untouched.
-  std::vector<std::string> transaction_ids(site_count);
-  std::vector<char> accepted(site_count, 0);
+  std::vector<std::string>& transaction_ids = txn_ids_scratch_;
+  if (transaction_ids.size() != site_count) {
+    transaction_ids.resize(site_count);
+  }
+  std::vector<char>& accepted = accepted_scratch_;
+  accepted.assign(site_count, 0);
+  char suffix[64];
+  std::snprintf(suffix, sizeof suffix, "-s%zu-a%d-", step_, attempt);
   for (std::size_t i = 0; i < site_count; ++i) {
-    transaction_ids[i] =
-        util::Format("%s-s%zu-a%d-%s", config_.run_id.c_str(), step_, attempt,
-                     config_.sites[i].name.c_str());
+    // Built in place ("<run>-s<step>-a<attempt>-<site>") so the scratch
+    // string's capacity is reused step over step.
+    std::string& id = transaction_ids[i];
+    id.assign(config_.run_id);
+    id.append(suffix);
+    id.append(config_.sites[i].name);
   }
   const std::int64_t propose_t0 = clock_->NowMicros();
   util::Status proposed;
@@ -299,7 +327,8 @@ util::Status SimulationCoordinator::CycleOnce(
 
   // Phase 2: execute everywhere and collect measured forces.
   results.assign(site_count, ntcp::TransactionResult{});
-  std::vector<char> executed(site_count, 0);
+  std::vector<char>& executed = executed_scratch_;
+  executed.assign(site_count, 0);
   const std::int64_t execute_t0 = clock_->NowMicros();
   util::Status exec_status;
   if (config_.step_engine == StepEngine::kAsync) {

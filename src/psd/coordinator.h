@@ -88,6 +88,13 @@ struct CoordinatorConfig {
   /// Fan-out strategy per phase; results are identical across engines
   /// (only wall time and threading behavior change).
   StepEngine step_engine = StepEngine::kAsync;
+  /// kAsync only: stage each phase's per-site requests on the shared
+  /// RpcClient (BeginBatch/FlushBatch) so the fan-out leaves the
+  /// coordinator as one framed message per site per phase instead of one
+  /// per call. Wire format for a single staged call is identical to an
+  /// unbatched request, and the per-site resolution order is unchanged, so
+  /// histories stay bit-identical to the unbatched engines.
+  bool batch_site_rpcs = true;
 
   PsdIntegrator integrator = PsdIntegrator::kCentralDifference;
   /// Initial stiffness estimate K0; required (square, n x n) for
@@ -255,6 +262,17 @@ class SimulationCoordinator {
   std::uint64_t wal_sync_failures_ = 0;
   util::SampleStats propose_phase_micros_;
   util::SampleStats execute_phase_micros_;
+
+  // Per-step scratch reused across steps: the strings, proposals, and op
+  // slots keep their capacity, so the steady-state propose/execute path
+  // allocates nothing in the coordinator itself. Only touched by the
+  // coordinator thread (workers under kThreadPerSite read, never resize).
+  std::vector<std::string> txn_ids_scratch_;
+  std::vector<char> accepted_scratch_;
+  std::vector<char> executed_scratch_;
+  std::vector<ntcp::Proposal> proposal_scratch_;
+  std::vector<ntcp::NtcpClient::AsyncOp> ops_scratch_;
+  std::vector<std::uint64_t> site_spans_scratch_;
 };
 
 }  // namespace nees::psd

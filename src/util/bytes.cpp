@@ -39,8 +39,16 @@ void ByteWriter::WriteString(std::string_view value) {
 }
 
 void ByteWriter::WriteBytes(const std::vector<std::uint8_t>& value) {
-  WriteU32(static_cast<std::uint32_t>(value.size()));
-  data_.insert(data_.end(), value.begin(), value.end());
+  WriteBytes(value.data(), value.size());
+}
+
+void ByteWriter::WriteBytes(const std::uint8_t* data, std::size_t size) {
+  WriteU32(static_cast<std::uint32_t>(size));
+  data_.insert(data_.end(), data, data + size);
+}
+
+void ByteWriter::WriteBytes(std::span<const std::uint8_t> value) {
+  WriteBytes(value.data(), value.size());
 }
 
 void ByteWriter::WriteDoubleVector(const std::vector<double>& values) {
@@ -120,6 +128,14 @@ Result<std::vector<std::uint8_t>> ByteReader::ReadBytes() {
   std::vector<std::uint8_t> value(data_ + offset_, data_ + offset_ + length);
   offset_ += length;
   return value;
+}
+
+Result<std::span<const std::uint8_t>> ByteReader::ReadBytesView() {
+  NEES_ASSIGN_OR_RETURN(std::uint32_t length, ReadU32());
+  NEES_RETURN_IF_ERROR(Need(length));
+  std::span<const std::uint8_t> view(data_ + offset_, length);
+  offset_ += length;
+  return view;
 }
 
 Result<std::vector<double>> ByteReader::ReadDoubleVector() {

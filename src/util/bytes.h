@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -15,8 +16,26 @@
 namespace nees::util {
 
 /// Append-only encoder.
+///
+/// For hot paths the writer supports a reusable-buffer idiom: construct it
+/// over a recycled frame (util::AcquireFrame), Reserve() the expected size
+/// once, encode, Take() the buffer into the message, and hand it back to
+/// the pool after delivery — steady state then runs with zero heap
+/// allocation per frame.
 class ByteWriter {
  public:
+  ByteWriter() = default;
+  /// Adopts `buffer` as backing storage: contents are discarded, capacity
+  /// is kept. Pairs with util::AcquireFrame for allocation-free encoding.
+  explicit ByteWriter(std::vector<std::uint8_t> buffer)
+      : data_(std::move(buffer)) {
+    data_.clear();
+  }
+
+  /// Ensures total capacity for `bytes` bytes (amortizes growth to one
+  /// allocation — or none, on a recycled buffer — per frame).
+  void Reserve(std::size_t bytes) { data_.reserve(bytes); }
+
   void WriteU8(std::uint8_t value);
   void WriteU16(std::uint16_t value);
   void WriteU32(std::uint32_t value);
@@ -28,6 +47,8 @@ class ByteWriter {
   void WriteString(std::string_view value);
   /// Length-prefixed (u32) raw bytes.
   void WriteBytes(const std::vector<std::uint8_t>& value);
+  void WriteBytes(const std::uint8_t* data, std::size_t size);
+  void WriteBytes(std::span<const std::uint8_t> value);
   /// Length-prefixed (u32) vector of doubles.
   void WriteDoubleVector(const std::vector<double>& values);
 
@@ -56,6 +77,9 @@ class ByteReader {
   Result<bool> ReadBool();
   Result<std::string> ReadString();
   Result<std::vector<std::uint8_t>> ReadBytes();
+  /// Zero-copy variant: a view into the borrowed buffer, valid only while
+  /// the underlying frame lives and is unmodified.
+  Result<std::span<const std::uint8_t>> ReadBytesView();
   Result<std::vector<double>> ReadDoubleVector();
 
   std::size_t remaining() const { return size_ - offset_; }

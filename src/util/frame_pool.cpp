@@ -1,0 +1,55 @@
+#include "util/frame_pool.h"
+
+#include <utility>
+
+namespace nees::util {
+
+FramePool& FramePool::Instance() {
+  static FramePool* pool = new FramePool();  // leaked: outlives all users
+  return *pool;
+}
+
+std::vector<std::uint8_t> FramePool::Acquire(std::size_t reserve) {
+  std::vector<std::uint8_t> frame;
+  {
+    MutexLock lock(mu_);
+    std::vector<std::vector<std::uint8_t>>& primary =
+        reserve > kSmallBytes ? large_ : small_;
+    if (!primary.empty()) {
+      frame = std::move(primary.back());
+      primary.pop_back();
+      ++stats_.reused;
+    } else if (reserve <= kSmallBytes && !large_.empty()) {
+      // A small request is happy with a large frame; it comes back on the
+      // large list when released.
+      frame = std::move(large_.back());
+      large_.pop_back();
+      ++stats_.reused;
+    } else {
+      // A large request with only small frames available mints fresh: a
+      // realloc of a small frame would cost the same allocation and lose
+      // the small buffer.
+      ++stats_.minted;
+    }
+  }
+  if (frame.capacity() < reserve) frame.reserve(reserve);
+  return frame;
+}
+
+void FramePool::Release(std::vector<std::uint8_t>&& frame) {
+  if (frame.capacity() == 0) return;  // nothing worth recycling
+  frame.clear();
+  MutexLock lock(mu_);
+  std::vector<std::vector<std::uint8_t>>& list =
+      frame.capacity() > kSmallBytes ? large_ : small_;
+  if (list.size() >= kMaxPooled) return;  // frame freed on scope exit
+  ++stats_.returned;
+  list.push_back(std::move(frame));
+}
+
+FramePool::Stats FramePool::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+}  // namespace nees::util

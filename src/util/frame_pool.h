@@ -1,0 +1,66 @@
+// Process-wide recycling pool for wire-frame buffers. The message hot path
+// (RPC envelope -> network payload -> NTCP body) encodes into
+// std::vector<std::uint8_t> frames; without pooling every request/response
+// pair mints several fresh heap buffers per transaction. AcquireFrame hands
+// back a previously released buffer with its capacity intact (knowdy-style
+// reusable fixed buffers), so a steady-state propose/execute step mints
+// zero new frames — the property E13's frames_per_step counter gates on.
+//
+// The pool is a leaf in the lock-order graph: nothing is acquired while
+// holding util.FramePool, so it is safe to call from any layer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/mutex.h"
+
+namespace nees::util {
+
+class FramePool {
+ public:
+  struct Stats {
+    std::uint64_t minted = 0;    // freelist empty: new buffer allocated
+    std::uint64_t reused = 0;    // freelist hit
+    std::uint64_t returned = 0;  // buffers handed back
+  };
+
+  static FramePool& Instance();
+
+  /// Returns an empty buffer, recycled when possible, with at least
+  /// `reserve` bytes of capacity.
+  std::vector<std::uint8_t> Acquire(std::size_t reserve = 0);
+
+  /// Hands a buffer back for reuse. Contents are discarded; capacity is
+  /// kept. Buffers beyond the freelist cap are simply freed.
+  void Release(std::vector<std::uint8_t>&& frame);
+
+  Stats stats() const;
+
+ private:
+  FramePool() = default;
+
+  static constexpr std::size_t kMaxPooled = 4096;
+  /// Buffers at or below this capacity go on the small freelist. Keeping
+  /// two size classes stops a large request (batch envelope, multi-KB
+  /// payload) from repeatedly regrowing a recycled small buffer: a large
+  /// request that finds only small frames mints fresh instead, and after
+  /// warm-up each class recycles within itself.
+  static constexpr std::size_t kSmallBytes = 512;
+
+  mutable Mutex mu_{"util.FramePool"};
+  std::vector<std::vector<std::uint8_t>> small_ NEES_GUARDED_BY(mu_);
+  std::vector<std::vector<std::uint8_t>> large_ NEES_GUARDED_BY(mu_);
+  Stats stats_ NEES_GUARDED_BY(mu_);
+};
+
+/// Shorthands for the process-wide pool.
+inline std::vector<std::uint8_t> AcquireFrame(std::size_t reserve = 0) {
+  return FramePool::Instance().Acquire(reserve);
+}
+inline void ReleaseFrame(std::vector<std::uint8_t>&& frame) {
+  FramePool::Instance().Release(std::move(frame));
+}
+
+}  // namespace nees::util

@@ -1,0 +1,171 @@
+// Open-addressed hash map for the message hot path: linear probing over a
+// power-of-two slot array, key 0 reserved as the empty sentinel, and
+// backward-shift deletion so probe chains never accumulate tombstones.
+// Used for RPC correlation tables (u64 correlation id -> pending call),
+// method dispatch (interned method id -> dense handler index), and the
+// network's endpoint/link lookups — all places a std::map's node
+// allocation and pointer chasing used to dominate per-message cost.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace nees::util {
+
+/// Final avalanche of splitmix64: full 64-bit mixing so sequential ids
+/// (correlation counters, interned names) spread across the table.
+inline std::uint64_t MixHash64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Open-addressed map from a nonzero unsigned key to Value. Key 0 is the
+/// empty-slot sentinel and must never be inserted (interned ids and
+/// correlation ids both start at 1). References returned by Find/operator[]
+/// are invalidated by the next insert (rehash) or erase (backward shift).
+template <typename Key, typename Value>
+class OpenHashMap {
+  static_assert(std::is_unsigned_v<Key>, "keys must be unsigned integers");
+
+ public:
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Clear() {
+    for (Slot& slot : slots_) slot = Slot{};
+    size_ = 0;
+  }
+
+  /// Pre-sizes the table for `n` entries without rehashing on the way.
+  void Reserve(std::size_t n) { Grow(SlotCountFor(n)); }
+
+  Value* Find(Key key) {
+    if (slots_.empty() || key == 0) return nullptr;
+    std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = IndexFor(key);; i = (i + 1) & mask) {
+      if (slots_[i].key == key) return &slots_[i].value;
+      if (slots_[i].key == 0) return nullptr;
+    }
+  }
+  const Value* Find(Key key) const {
+    return const_cast<OpenHashMap*>(this)->Find(key);
+  }
+
+  /// Finds or default-inserts.
+  Value& operator[](Key key) {
+    MaybeGrow();
+    std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = IndexFor(key);; i = (i + 1) & mask) {
+      if (slots_[i].key == key) return slots_[i].value;
+      if (slots_[i].key == 0) {
+        slots_[i].key = key;
+        ++size_;
+        return slots_[i].value;
+      }
+    }
+  }
+
+  /// Returns true if the key was present.
+  bool Erase(Key key) {
+    if (slots_.empty() || key == 0) return false;
+    std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = IndexFor(key);; i = (i + 1) & mask) {
+      if (slots_[i].key == key) {
+        EraseAt(i);
+        return true;
+      }
+      if (slots_[i].key == 0) return false;
+    }
+  }
+
+  /// Calls fn(key, value&) for every entry, in table (not insertion) order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (Slot& slot : slots_) {
+      if (slot.key != 0) fn(slot.key, slot.value);
+    }
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.key != 0) fn(slot.key, slot.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    Key key = 0;
+    Value value{};
+  };
+
+  std::size_t IndexFor(Key key) const {
+    return static_cast<std::size_t>(MixHash64(key)) & (slots_.size() - 1);
+  }
+
+  static std::size_t SlotCountFor(std::size_t entries) {
+    std::size_t slots = 16;
+    // Keep load below 3/4.
+    while (slots * 3 < entries * 4) slots <<= 1;
+    return slots;
+  }
+
+  void MaybeGrow() {
+    if (slots_.empty()) {
+      slots_.resize(16);
+    } else if ((size_ + 1) * 4 > slots_.size() * 3) {
+      Grow(slots_.size() * 2);
+    }
+  }
+
+  void Grow(std::size_t new_slot_count) {
+    if (new_slot_count <= slots_.size()) return;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_slot_count, Slot{});
+    std::size_t mask = slots_.size() - 1;
+    for (Slot& slot : old) {
+      if (slot.key == 0) continue;
+      for (std::size_t i = IndexFor(slot.key);; i = (i + 1) & mask) {
+        if (slots_[i].key == 0) {
+          slots_[i] = std::move(slot);
+          break;
+        }
+      }
+    }
+  }
+
+  /// Backward-shift deletion: scan forward from the hole, moving back any
+  /// entry whose probe chain crosses it, until an empty slot closes the run.
+  void EraseAt(std::size_t hole) {
+    std::size_t mask = slots_.size() - 1;
+    --size_;
+    std::size_t i = hole;
+    while (true) {
+      slots_[hole].key = 0;
+      slots_[hole].value = Value{};
+      while (true) {
+        i = (i + 1) & mask;
+        if (slots_[i].key == 0) return;
+        std::size_t ideal = IndexFor(slots_[i].key);
+        // Movable iff the entry's probe distance at i reaches back to the
+        // hole (its ideal slot is not inside (hole, i]).
+        if (((i - ideal) & mask) >= ((i - hole) & mask)) {
+          slots_[hole] = std::move(slots_[i]);
+          hole = i;
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace nees::util

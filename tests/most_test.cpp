@@ -140,11 +140,22 @@ TEST_F(MostRunTest, AsyncEngineBitIdenticalToSequential) {
   // E5/E6 determinism gate: in kImmediate delivery the completion-driven
   // engine resolves each site's call inline in issue order, so the hybrid
   // displacement record must match the sequential baseline bit for bit —
-  // including across a recovered transient fault.
-  structural::TimeHistory histories[2];
+  // including across a recovered transient fault. The async engine runs
+  // twice, unbatched and with per-site RPC batching, so the batch envelope
+  // is held to the same bit-for-bit standard.
+  struct EngineCase {
+    psd::StepEngine engine;
+    bool batch;
+  };
+  const EngineCase cases[] = {
+      {psd::StepEngine::kSequential, false},
+      {psd::StepEngine::kAsync, false},
+      {psd::StepEngine::kAsync, true},
+  };
+  structural::TimeHistory histories[3];
   std::size_t engine_index = 0;
-  for (const psd::StepEngine engine :
-       {psd::StepEngine::kSequential, psd::StepEngine::kAsync}) {
+  for (const EngineCase& c : cases) {
+    const psd::StepEngine engine = c.engine;
     util::SimClock clock{1'000'000};  // identical start time per run
     net::Network network;
     network.SetClock(&clock);
@@ -156,6 +167,7 @@ TEST_F(MostRunTest, AsyncEngineBitIdenticalToSequential) {
     auto config = experiment.MakeCoordinatorConfig(
         psd::FaultPolicy::kFaultTolerant, "det");
     config.retry.initial_backoff_micros = 1'000;
+    config.batch_site_rpcs = c.batch;
     psd::SimulationCoordinator coordinator(config, &rpc, &clock);
     MostFaultSchedule faults(&network, "det.coordinator",
                              MostExperiment::kNtcpCu);
@@ -173,12 +185,15 @@ TEST_F(MostRunTest, AsyncEngineBitIdenticalToSequential) {
     }
     histories[engine_index++] = report.history;
   }
-  ASSERT_EQ(histories[0].displacement.size(),
-            histories[1].displacement.size());
-  for (std::size_t i = 0; i < histories[0].displacement.size(); ++i) {
-    ASSERT_EQ(histories[0].displacement[i][0],
-              histories[1].displacement[i][0])
-        << "diverged at step " << i;
+  for (std::size_t variant = 1; variant < 3; ++variant) {
+    ASSERT_EQ(histories[0].displacement.size(),
+              histories[variant].displacement.size());
+    for (std::size_t i = 0; i < histories[0].displacement.size(); ++i) {
+      ASSERT_EQ(histories[0].displacement[i][0],
+                histories[variant].displacement[i][0])
+          << (variant == 1 ? "unbatched" : "batched")
+          << " async diverged at step " << i;
+    }
   }
 }
 

@@ -1,11 +1,15 @@
 // Tests for the simulated network and RPC layers: routing, fault injection,
 // latency accounting, partitions, and loss-as-timeout semantics.
 #include <atomic>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
+#include "net/endpoint.h"
+#include "net/message.h"
 #include "net/network.h"
 #include "net/rpc.h"
+#include "util/bytes.h"
 #include "util/clock.h"
 
 namespace nees::net {
@@ -27,6 +31,118 @@ Message MakeMessage(const std::string& from, const std::string& to,
 }
 std::string AsString(const Bytes& bytes) {
   return std::string(bytes.begin(), bytes.end());
+}
+
+// --- endpoint interning ------------------------------------------------------
+
+TEST(EndpointTableTest, InternIsIdempotentAndLookupRoundTrips) {
+  EndpointTable& table = EndpointTable::Instance();
+  const std::uint32_t id = table.Intern("etbl.test.alpha");
+  EXPECT_NE(id, 0u);
+  EXPECT_EQ(table.Intern("etbl.test.alpha"), id);
+  EXPECT_EQ(table.Lookup(id), "etbl.test.alpha");
+  EXPECT_TRUE(table.Known(id));
+  const std::uint32_t other = table.Intern("etbl.test.beta");
+  EXPECT_NE(other, id);
+}
+
+TEST(EndpointTableTest, EmptyNameIsIdZeroAndUnknownIdsAreEmpty) {
+  EndpointTable& table = EndpointTable::Instance();
+  EXPECT_EQ(table.Intern(""), 0u);
+  EXPECT_EQ(table.Lookup(0), "");
+  EXPECT_TRUE(table.Known(0));
+  EXPECT_FALSE(table.Known(0x7FFFFFF0));
+  EXPECT_EQ(table.Lookup(0x7FFFFFF0), "");
+}
+
+TEST(EndpointTableTest, IdTypesCarryLazyNameViews) {
+  const EndpointId endpoint("etbl.test.site");
+  EXPECT_TRUE(endpoint.valid());
+  EXPECT_EQ(endpoint.name(), "etbl.test.site");
+  EXPECT_EQ(EndpointId("etbl.test.site"), endpoint);
+  const MethodId method("etbl.test.method");
+  EXPECT_EQ(method.name(), "etbl.test.method");
+}
+
+// --- wire frame layout -------------------------------------------------------
+
+TEST(MessageWireTest, EncodeDecodeRoundTrip) {
+  Message message;
+  message.from = "wire.src";
+  message.to = "wire.dst";
+  message.kind = MessageKind::kRequest;
+  message.correlation_id = 0x1122334455667788ULL;
+  message.method = MethodId("wire.method");
+  message.payload = AsBytes("body bytes");
+
+  util::ByteWriter writer;
+  message.EncodeTo(writer);
+  EXPECT_EQ(writer.size(), message.WireSize());
+  EXPECT_EQ(writer.size(), Message::kHeaderBytes + message.payload.size());
+
+  util::ByteReader reader(writer.data());
+  auto decoded = Message::Decode(reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->from, message.from);
+  EXPECT_EQ(decoded->to, message.to);
+  EXPECT_EQ(decoded->kind, MessageKind::kRequest);
+  EXPECT_EQ(decoded->correlation_id, message.correlation_id);
+  EXPECT_EQ(decoded->method, message.method);
+  EXPECT_EQ(decoded->payload, message.payload);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(MessageWireTest, BackToBackFramesDecodeSequentially) {
+  Message first = MakeMessage("wire.a", "wire.b", "m1");
+  first.payload = AsBytes("one");
+  Message second = MakeMessage("wire.b", "wire.a", "m2");
+  second.kind = MessageKind::kResponse;
+  second.payload = AsBytes("two");
+  util::ByteWriter writer;
+  first.EncodeTo(writer);
+  second.EncodeTo(writer);
+  util::ByteReader reader(writer.data());
+  auto one = Message::Decode(reader);
+  auto two = Message::Decode(reader);
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(two.ok());
+  EXPECT_EQ(AsString(one->payload), "one");
+  EXPECT_EQ(AsString(two->payload), "two");
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(MessageWireTest, EveryTruncationIsAnErrorNeverACrash) {
+  Message message = MakeMessage("wire.src", "wire.dst", "wire.method");
+  message.kind = MessageKind::kRequest;
+  message.correlation_id = 42;
+  message.payload = AsBytes("payload-under-test");
+  util::ByteWriter writer;
+  message.EncodeTo(writer);
+  const std::vector<std::uint8_t>& frame = writer.data();
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    util::ByteReader reader(frame.data(), len);
+    auto decoded = Message::Decode(reader);
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(MessageWireTest, UnknownInternedIdsAreProtocolErrors) {
+  // A peer (or fuzzer) can put any u32 in the id fields; ids never handed
+  // out by this process's EndpointTable must decode to an error.
+  const std::uint32_t bogus = 0x7FFFFFF5;
+  ASSERT_FALSE(EndpointTable::Instance().Known(bogus));
+  Message valid = MakeMessage("wire.src", "wire.dst", "wire.method");
+  valid.kind = MessageKind::kRequest;
+  // from at [0,4), to at [4,8), method at [17,21) in the canonical layout.
+  for (const std::size_t offset : {0u, 4u, 17u}) {
+    util::ByteWriter writer;
+    valid.EncodeTo(writer);
+    std::vector<std::uint8_t> frame = writer.Take();
+    std::memcpy(frame.data() + offset, &bogus, sizeof bogus);
+    util::ByteReader reader(frame);
+    auto decoded = Message::Decode(reader);
+    EXPECT_FALSE(decoded.ok()) << "bogus id accepted at offset " << offset;
+  }
 }
 
 // --- raw network routing -----------------------------------------------------
@@ -447,6 +563,92 @@ TEST_F(RpcTest, AsyncDeadlineUsesInjectedClock) {
   network_.SetClock(&util::SystemClock::Instance());
 }
 
+// --- batched pipelining ------------------------------------------------------
+
+TEST_F(RpcTest, BatchedCallsRoundTripLikeUnbatched) {
+  client_->BeginBatch();
+  RpcClient::AsyncCall a = client_->CallAsync("server", "echo", AsBytes("a"));
+  RpcClient::AsyncCall b = client_->CallAsync("server", "echo", AsBytes("b"));
+  RpcClient::AsyncCall c = client_->CallAsync("server", "echo", AsBytes("c"));
+  client_->FlushBatch();
+  auto ra = a.Wait();
+  auto rb = b.Wait();
+  auto rc = c.Wait();
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  ASSERT_TRUE(rc.ok());
+  EXPECT_EQ(AsString(*ra), "a");
+  EXPECT_EQ(AsString(*rb), "b");
+  EXPECT_EQ(AsString(*rc), "c");
+}
+
+TEST_F(RpcTest, WaitOnStagedCallFlushesTheBatchFirst) {
+  client_->BeginBatch();
+  RpcClient::AsyncCall call =
+      client_->CallAsync("server", "echo", AsBytes("staged"));
+  // No explicit FlushBatch: forgetting it must degrade to unbatched
+  // timing, never a hang or a spurious immediate-mode timeout.
+  auto result = call.Wait();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(AsString(*result), "staged");
+}
+
+TEST(RpcBatchWireTest, FlushCoalescesStagedCallsIntoOneFramePerTarget) {
+  Network network;
+  std::vector<Message> at_sink1;
+  std::vector<Message> at_sink2;
+  ASSERT_TRUE(network
+                  .RegisterEndpoint("batch.sink1",
+                                    [&](const Message& m) {
+                                      at_sink1.push_back(m);
+                                    })
+                  .ok());
+  ASSERT_TRUE(network
+                  .RegisterEndpoint("batch.sink2",
+                                    [&](const Message& m) {
+                                      at_sink2.push_back(m);
+                                    })
+                  .ok());
+  RpcClient client(&network, "batch.client");
+  client.BeginBatch();
+  auto a = client.CallAsync("batch.sink1", "m", AsBytes("1"));
+  auto b = client.CallAsync("batch.sink1", "m", AsBytes("2"));
+  auto c = client.CallAsync("batch.sink1", "m", AsBytes("3"));
+  auto d = client.CallAsync("batch.sink2", "m", AsBytes("4"));
+  auto e = client.CallAsync("batch.sink2", "m", AsBytes("5"));
+  EXPECT_TRUE(at_sink1.empty());  // staged, not sent
+  client.FlushBatch();
+  ASSERT_EQ(at_sink1.size(), 1u);  // three calls, one frame
+  ASSERT_EQ(at_sink2.size(), 1u);  // two calls, one frame
+  EXPECT_EQ(at_sink1[0].method, MethodId("rpc.batch"));
+  EXPECT_EQ(at_sink2[0].method, MethodId("rpc.batch"));
+  EXPECT_EQ(at_sink1[0].kind, MessageKind::kRequest);
+}
+
+TEST(RpcBatchWireTest, SingletonBatchIsWireIdenticalToPlainRequest) {
+  Network network;
+  std::vector<Message> frames;
+  ASSERT_TRUE(network
+                  .RegisterEndpoint("single.sink",
+                                    [&](const Message& m) {
+                                      frames.push_back(m);
+                                    })
+                  .ok());
+  RpcClient client(&network, "single.client");
+  client.SetAuthToken("tok");
+  auto plain = client.CallAsync("single.sink", "method.x", AsBytes("body"));
+  client.BeginBatch();
+  auto staged = client.CallAsync("single.sink", "method.x", AsBytes("body"));
+  client.FlushBatch();
+  ASSERT_EQ(frames.size(), 2u);
+  // A lone staged call needs no batch envelope: same method, same payload
+  // bytes — only the correlation id differs.
+  EXPECT_EQ(frames[1].method, frames[0].method);
+  EXPECT_EQ(frames[1].kind, frames[0].kind);
+  EXPECT_EQ(frames[1].payload, frames[0].payload);
+  EXPECT_NE(frames[1].correlation_id, frames[0].correlation_id);
+}
+
 TEST(ScheduledRpcTest, WaitAllCollectsOverlappedCalls) {
   Network network(DeliveryMode::kScheduled);
   LinkModel model;
@@ -591,7 +793,7 @@ TEST(ScheduledNetworkTest, MessagesArriveInLatencyOrder) {
                   .RegisterEndpoint("sink",
                                     [&](const Message& message) {
                                       std::lock_guard<std::mutex> lock(mu);
-                                      order.push_back(message.method);
+                                      order.push_back(message.method.str());
                                     })
                   .ok());
   LinkModel slow;
@@ -619,7 +821,7 @@ TEST(VirtualNetworkTest, DeliversInTimestampOrderAndAdvancesClock) {
   ASSERT_TRUE(network
                   .RegisterEndpoint("sink",
                                     [&](const Message& message) {
-                                      order.push_back(message.method);
+                                      order.push_back(message.method.str());
                                     })
                   .ok());
   LinkModel slow;
@@ -649,7 +851,7 @@ TEST(VirtualNetworkTest, SimultaneousArrivalTieBreakIsSeedDeterministic) {
     Network network(DeliveryMode::kVirtual, seed);
     std::vector<std::string> order;
     (void)network.RegisterEndpoint(
-        "sink", [&](const Message& message) { order.push_back(message.method); });
+        "sink", [&](const Message& message) { order.push_back(message.method.str()); });
     LinkModel link;
     link.latency_micros = 5'000;
     for (int i = 0; i < 5; ++i) {
@@ -678,7 +880,7 @@ TEST(VirtualNetworkTest, TimersInterleaveWithMessagesInTimestampOrder) {
   Network network(DeliveryMode::kVirtual);
   std::vector<std::string> order;
   (void)network.RegisterEndpoint(
-      "sink", [&](const Message& message) { order.push_back(message.method); });
+      "sink", [&](const Message& message) { order.push_back(message.method.str()); });
   LinkModel link;
   link.latency_micros = 10'000;
   network.SetLink("src", "sink", link);
@@ -711,7 +913,7 @@ TEST(VirtualNetworkTest, DropNextDropsAtSendUnderVirtual) {
   Network network(DeliveryMode::kVirtual);
   std::vector<std::string> order;
   (void)network.RegisterEndpoint(
-      "sink", [&](const Message& message) { order.push_back(message.method); });
+      "sink", [&](const Message& message) { order.push_back(message.method.str()); });
   network.DropNext("src", "sink", 1);
   (void)network.Send(MakeMessage("src", "sink", "first"));
   (void)network.Send(MakeMessage("src", "sink", "second"));
@@ -727,7 +929,7 @@ TEST(VirtualNetworkTest, MessageInFlightWhenOutageOpensIsDropped) {
   Network network(DeliveryMode::kVirtual);
   std::vector<std::string> order;
   (void)network.RegisterEndpoint(
-      "sink", [&](const Message& message) { order.push_back(message.method); });
+      "sink", [&](const Message& message) { order.push_back(message.method.str()); });
   LinkModel link;
   link.latency_micros = 15'000;
   network.SetLink("src", "sink", link);
@@ -747,7 +949,7 @@ TEST(VirtualNetworkTest, ArrivalExactlyAtOutageCloseIsDelivered) {
   Network network(DeliveryMode::kVirtual);
   std::vector<std::string> order;
   (void)network.RegisterEndpoint(
-      "sink", [&](const Message& message) { order.push_back(message.method); });
+      "sink", [&](const Message& message) { order.push_back(message.method.str()); });
   LinkModel link;
   link.latency_micros = 15'000;
   network.SetLink("src", "sink", link);
@@ -782,10 +984,10 @@ TEST(VirtualNetworkTest, HandlerMayScheduleAndSendRecursively) {
   link.latency_micros = 1'000;
   network.SetDefaultLink(link);
   (void)network.RegisterEndpoint("b", [&](const Message& message) {
-    order.push_back("b:" + message.method);
+    order.push_back("b:" + message.method.str());
   });
   (void)network.RegisterEndpoint("a", [&](const Message& message) {
-    order.push_back("a:" + message.method);
+    order.push_back("a:" + message.method.str());
     // Re-entrant sends and timers from inside a delivery.
     (void)network.Send(MakeMessage("a", "b", "fwd"));
     network.ScheduleAfter(500, [&] { order.push_back("timer"); });

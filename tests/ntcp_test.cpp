@@ -86,6 +86,50 @@ TEST(StateMachineTest, AllStatesHaveNames) {
   }
 }
 
+// --- state-timestamp flat map ------------------------------------------------
+
+TEST(StateTimestampsTest, InsertsStaySortedAndUpdatesOverwrite) {
+  StateTimestamps stamps;
+  EXPECT_TRUE(stamps.empty());
+  // Reverse-alphabetical insertion exercises front-of-vector emplacement
+  // (each insert shifts, and the first insert also reserves).
+  stamps["proposed"] = 1;
+  stamps["executing"] = 3;
+  stamps["completed"] = 4;
+  stamps["accepted"] = 2;
+  EXPECT_EQ(stamps.size(), 4u);
+  std::vector<std::string> order;
+  for (const auto& [state, micros] : stamps) order.push_back(state);
+  EXPECT_EQ(order, (std::vector<std::string>{"accepted", "completed",
+                                             "executing", "proposed"}));
+  EXPECT_EQ(stamps.find("executing")->second, 3);
+  stamps["executing"] = 30;  // update, not duplicate
+  EXPECT_EQ(stamps.size(), 4u);
+  EXPECT_EQ(stamps.find("executing")->second, 30);
+}
+
+TEST(StateTimestampsTest, FindAndContainsMissBetweenKeys) {
+  StateTimestamps stamps;
+  stamps["accepted"] = 2;
+  stamps["proposed"] = 1;
+  EXPECT_TRUE(stamps.contains("accepted"));
+  EXPECT_FALSE(stamps.contains("cancelled"));  // sorts between the two
+  EXPECT_EQ(stamps.find("cancelled"), stamps.end());
+  EXPECT_EQ(stamps.find(""), stamps.end());
+}
+
+TEST(StateTimestampsTest, EqualityIsOrderInsensitiveByConstruction) {
+  StateTimestamps a;
+  a["proposed"] = 1;
+  a["accepted"] = 2;
+  StateTimestamps b;
+  b["accepted"] = 2;
+  b["proposed"] = 1;
+  EXPECT_EQ(a, b);  // both store sorted, so insertion order cannot leak
+  b["accepted"] = 99;
+  EXPECT_FALSE(a == b);
+}
+
 // --- wire encodings -------------------------------------------------------------
 
 TEST(WireTest, ProposalRoundTrip) {

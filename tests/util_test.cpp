@@ -7,7 +7,9 @@
 
 #include "util/bytes.h"
 #include "util/clock.h"
+#include "util/frame_pool.h"
 #include "util/logging.h"
+#include "util/open_hash.h"
 #include "util/periodic.h"
 #include "util/queue.h"
 #include "util/result.h"
@@ -515,6 +517,156 @@ TEST(PeriodicTaskTest, StopIsIdempotentAndDestructionIsSafe) {
   PeriodicTask task(std::chrono::milliseconds(1), [] {});
   task.Stop();
   task.Stop();
+}
+
+// --- OpenHashMap -------------------------------------------------------------
+
+TEST(OpenHashMapTest, InsertFindErase) {
+  OpenHashMap<std::uint64_t, int> map;
+  EXPECT_TRUE(map.empty());
+  map[7] = 70;
+  map[8] = 80;
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.Find(7), nullptr);
+  EXPECT_EQ(*map.Find(7), 70);
+  EXPECT_EQ(map.Find(9), nullptr);
+  EXPECT_TRUE(map.Erase(7));
+  EXPECT_FALSE(map.Erase(7));
+  EXPECT_EQ(map.Find(7), nullptr);
+  EXPECT_EQ(*map.Find(8), 80);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(OpenHashMapTest, FindNeverInsertsAndZeroKeyIsRejected) {
+  OpenHashMap<std::uint32_t, int> map;
+  EXPECT_EQ(map.Find(1), nullptr);  // empty table: no slots yet
+  EXPECT_EQ(map.size(), 0u);
+  map[1] = 10;
+  EXPECT_EQ(map.Find(0), nullptr);  // 0 is the empty-slot sentinel
+  EXPECT_FALSE(map.Erase(0));
+}
+
+TEST(OpenHashMapTest, GrowKeepsAllEntries) {
+  OpenHashMap<std::uint64_t, std::uint64_t> map;
+  constexpr std::uint64_t kCount = 5000;  // forces several rehashes
+  for (std::uint64_t key = 1; key <= kCount; ++key) map[key] = key * 3;
+  EXPECT_EQ(map.size(), kCount);
+  for (std::uint64_t key = 1; key <= kCount; ++key) {
+    ASSERT_NE(map.Find(key), nullptr) << key;
+    EXPECT_EQ(*map.Find(key), key * 3);
+  }
+}
+
+TEST(OpenHashMapTest, EraseBackwardShiftPreservesProbeChains) {
+  // Sequential correlation-id style keys land in collision chains after
+  // mixing; erasing from the middle of the table must never orphan a key
+  // behind the erased slot (the classic tombstone-free deletion bug).
+  OpenHashMap<std::uint64_t, int> map;
+  constexpr std::uint64_t kCount = 512;
+  for (std::uint64_t key = 1; key <= kCount; ++key) map[key] = 1;
+  for (std::uint64_t key = 2; key <= kCount; key += 2) {
+    ASSERT_TRUE(map.Erase(key));
+  }
+  for (std::uint64_t key = 1; key <= kCount; ++key) {
+    if (key % 2 == 1) {
+      ASSERT_NE(map.Find(key), nullptr) << "lost odd key " << key;
+    } else {
+      ASSERT_EQ(map.Find(key), nullptr) << "ghost even key " << key;
+    }
+  }
+  EXPECT_EQ(map.size(), kCount / 2);
+}
+
+TEST(OpenHashMapTest, ForEachVisitsEveryEntryOnce) {
+  OpenHashMap<std::uint32_t, int> map;
+  for (std::uint32_t key = 1; key <= 100; ++key) map[key] = 1;
+  int visited = 0;
+  std::set<std::uint32_t> seen;
+  map.ForEach([&](std::uint32_t key, int&) {
+    ++visited;
+    seen.insert(key);
+  });
+  EXPECT_EQ(visited, 100);
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+// --- FramePool ---------------------------------------------------------------
+
+TEST(FramePoolTest, ReleaseThenAcquireReusesBuffer) {
+  FramePool& pool = FramePool::Instance();
+  // A capacity this specific cannot be satisfied from frames other tests
+  // released, so the first acquire mints and the second must reuse.
+  constexpr std::size_t kBytes = 1'234'567;
+  const FramePool::Stats before = pool.stats();
+  std::vector<std::uint8_t> frame = pool.Acquire(kBytes);
+  frame.assign(16, 0xAB);
+  pool.Release(std::move(frame));
+  std::vector<std::uint8_t> again = pool.Acquire(kBytes);
+  const FramePool::Stats after = pool.stats();
+  EXPECT_TRUE(again.empty());  // contents discarded
+  EXPECT_GE(again.capacity(), kBytes);  // capacity kept
+  EXPECT_GE(after.reused, before.reused + 1);
+  EXPECT_GE(after.returned, before.returned + 1);
+  pool.Release(std::move(again));
+}
+
+TEST(FramePoolTest, LargeRequestDoesNotRegrowSmallFrames) {
+  // Size classes: a large acquire must mint fresh rather than repeatedly
+  // realloc a recycled small buffer (which would defeat the pool).
+  FramePool& pool = FramePool::Instance();
+  constexpr std::size_t kLarge = 4096;  // comfortably in the large class
+  // Drain every recyclable large frame so the gated acquire cannot hit one
+  // (the pool is process-wide; earlier tests may have stocked it).
+  std::vector<std::vector<std::uint8_t>> drained;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t minted_before = pool.stats().minted;
+    std::vector<std::uint8_t> frame = pool.Acquire(kLarge);
+    const bool fresh = pool.stats().minted > minted_before;
+    drained.push_back(std::move(frame));
+    if (fresh) break;  // freelist exhausted: large list is now empty
+  }
+  pool.Release(std::vector<std::uint8_t>(64, 0));  // a small frame waits
+  const FramePool::Stats before = pool.stats();
+  std::vector<std::uint8_t> frame = pool.Acquire(kLarge);
+  const FramePool::Stats after = pool.stats();
+  EXPECT_EQ(after.minted, before.minted + 1);
+  EXPECT_GE(frame.capacity(), kLarge);
+  pool.Release(std::move(frame));
+  for (auto& d : drained) pool.Release(std::move(d));
+}
+
+// --- ByteWriter frame reuse --------------------------------------------------
+
+TEST(BytesTest, WriterAdoptsRecycledBufferWithoutAllocating) {
+  std::vector<std::uint8_t> recycled;
+  recycled.reserve(256);
+  recycled.assign(10, 0xFF);  // stale contents must be discarded
+  const std::uint8_t* storage = recycled.data();
+  ByteWriter writer(std::move(recycled));
+  EXPECT_EQ(writer.size(), 0u);
+  writer.WriteU32(0xDEADBEEF);
+  writer.WriteString("abc");
+  std::vector<std::uint8_t> out = writer.Take();
+  EXPECT_EQ(out.data(), storage);  // same backing storage, no new buffer
+  ByteReader reader(out);
+  EXPECT_EQ(*reader.ReadU32(), 0xDEADBEEFu);
+  EXPECT_EQ(*reader.ReadString(), "abc");
+}
+
+TEST(BytesTest, WriteBytesOverloadsAgree) {
+  const std::vector<std::uint8_t> body = {1, 2, 3, 4, 5};
+  ByteWriter by_vector;
+  by_vector.WriteBytes(body);
+  ByteWriter by_pointer;
+  by_pointer.WriteBytes(body.data(), body.size());
+  ByteWriter by_span;
+  by_span.WriteBytes(std::span<const std::uint8_t>(body));
+  EXPECT_EQ(by_vector.data(), by_pointer.data());
+  EXPECT_EQ(by_vector.data(), by_span.data());
+  ByteReader reader(by_span.data());
+  auto view = reader.ReadBytesView();
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(std::equal(view->begin(), view->end(), body.begin()));
 }
 
 // --- Logging -----------------------------------------------------------------
