@@ -4,14 +4,17 @@
 # the concurrency-heavy suites (async step engine, RPC signaling, MPlugin
 # long poll/wake) — with warnings as errors throughout, runs the full test
 # suite in the first two, then gates on protocol conformance: a fresh
-# 150-step hybrid MOST trace must pass nees_lint, a fixed 200-seed
-# deterministic fuzz block (virtual-time MOST runs, all oracles, ASan +
+# 150-step hybrid MOST trace must pass nees_lint, a 200-seed sharded fuzz
+# campaign (two forked workers, campaign template mix, all oracles, ASan +
 # live invariants) must come back clean — on failure nees_fuzz prints the
-# failing seed, the shrunk fault schedule, and the replay command — and a
-# crash-restart leg replays the pinned WAL-recovery seeds
-# (docs/RECOVERY.md) one by one under the same sanitizers. Finally a docs
+# failing seed, the shrunk fault schedule, and the replay command — and
+# the committed regression corpus (pinned seeds + shrunk masks,
+# docs/RECOVERY.md) replays under the same sanitizers. Finally a docs
 # check fails if README/EXPERIMENTS reference a bench JSON key that no
-# longer exists in the committed BENCH_*.json files.
+# longer exists in the committed BENCH_*.json files, or if a doc's quoted
+# headline number (bench-cite comments) drifts from the committed JSON,
+# and two perf gates re-measure the step engine and the fuzz campaign
+# against their committed trajectories.
 #
 #   scripts/ci.sh [build-dir-prefix]     # default: <repo>/build-ci
 set -eu
@@ -95,21 +98,24 @@ trace="$prefix-asan/most_trace.jsonl"
 "$prefix-asan/tools/nees_lint" "$trace"
 
 echo
-echo "######## nees_fuzz smoke block (200 seeds, ASan + lockdep) ########"
-# The asan tree runs with NEES_LOCKDEP=ON, so every seed also checks
-# oracle 5: no lock-order inversion, wait-while-holding, or blocking RPC
-# under a lock anywhere in the run.
-"$prefix-asan/tools/nees_fuzz" --smoke --seeds 200
+echo "######## nees_fuzz campaign smoke (200 seeds, 2 workers, ASan) ########"
+# The sharded sweep driver end to end: fork two workers, each owning a
+# deterministic shard of the seed range (campaign mix: mini-dominated,
+# with standard / full-MOST / centrifuge shapes riding along), merge their
+# JSON reports, fail if any worker dies or any seed fails an oracle. The
+# asan tree runs with NEES_LOCKDEP=ON, so every seed also checks oracle 5:
+# no lock-order inversion, wait-while-holding, or blocking RPC under a
+# lock anywhere in the run.
+"$prefix-asan/tools/nees_fuzz" --campaign --seeds 200 --workers 2
 
 echo
-echo "######## crash-restart fuzz leg (pinned WAL-recovery seeds, ASan) ########"
-# Seed 25 kills a site mid-execute (WAL crash-mark path); 187 is the
-# worked trace of docs/RECOVERY.md (two whole-site crash/restarts on top
-# of the original orphaned-accept schedule); 49/44 are the heaviest mixed
-# schedules. Each runs individually so a failure names its seed directly.
-for seed in 25 187 49 44; do
-  "$prefix-asan/tools/nees_fuzz" --seed "$seed"
-done
+echo "######## regression corpus replay (pinned seeds, ASan) ########"
+# Every pinned (seed, mask, template) triple in the committed corpus runs
+# the thorough path: full artifacts, all oracles, double-run determinism.
+# Includes the WAL-recovery pins (25/187/49/44, docs/RECOVERY.md), the
+# all-seven-fault-classes schedule (11), and the centrifuge retry-ladder
+# regressions with their shrunk masks (3/120).
+"$prefix-asan/tools/nees_fuzz" --corpus "$repo/tests/data/fuzz_corpus.txt"
 
 echo
 echo "######## docs vs bench JSON key check ########"
@@ -140,7 +146,41 @@ require_keys BENCH_step_engine.json sites engine mode steps_per_sec \
              frames_per_step wal wal_records completed
 require_keys BENCH_fuzz.json seeds failures wall_seconds seeds_per_hour \
              virtual_events events_per_second site_crashes site_recoveries \
-             transactions_recovered inflight_failed
+             transactions_recovered inflight_failed \
+             campaign_seeds campaign_failures campaign_checked \
+             campaign_wall_seconds campaign_seeds_per_hour \
+             campaign_virtual_events campaign_events_per_second \
+             campaign_mini campaign_standard campaign_full_most \
+             campaign_centrifuge campaign_frames_corrupted \
+             campaign_auth_refreshes
+
+# Stale-number gate: headline figures quoted in prose carry a
+# machine-readable citation next to them,
+#   <!-- bench-cite: FILE KEY VALUE TOL% -->
+# and this leg fails if the committed JSON's value for KEY has drifted
+# outside VALUE +/- TOL% — i.e. someone regenerated the bench without
+# refreshing the prose, or edited the prose without regenerating.
+cites="$prefix-asan/bench_cites.txt"
+grep -ho 'bench-cite: [^>]*' "$repo/README.md" "$repo/EXPERIMENTS.md" \
+     "$repo"/docs/*.md > "$cites" || true
+while read -r _ cite_file cite_key cite_value cite_tol; do
+  # cite_tol may carry the comment closer ("35% -->"): keep the number.
+  cite_tol="${cite_tol%\%*}"
+  actual="$(grep -o "\"$cite_key\": [0-9.]*" "$repo/$cite_file" 2>/dev/null \
+            | head -1 | awk '{print $2}')"
+  if [ -z "$actual" ]; then
+    echo "bench-cite: $cite_file has no key '$cite_key'" >&2
+    docs_fail=1
+    continue
+  fi
+  if ! awk -v a="$actual" -v c="$cite_value" -v t="$cite_tol" \
+       'BEGIN { d = a - c; if (d < 0) d = -d; exit !(d <= t / 100.0 * c) }'
+  then
+    echo "bench-cite drift: $cite_file $cite_key is $actual, docs cite" \
+         "$cite_value (tol $cite_tol%)" >&2
+    docs_fail=1
+  fi
+done < "$cites"
 [ "$docs_fail" -eq 0 ] || { echo "docs check FAILED" >&2; exit 1; }
 echo "docs check OK"
 
@@ -155,6 +195,13 @@ echo "######## step-engine perf regression gate ########"
 # sub-second runs) and fails if it lands more than 20% below the committed
 # BENCH_step_engine.json trajectory.
 "$prefix-release/bench/bench_step_engine" --quick "$repo/BENCH_step_engine.json"
+
+echo
+echo "######## fuzz campaign throughput regression gate ########"
+# Same pattern for the fuzzer: a short campaign-mix sample (best of two)
+# must not land more than 20% below the committed campaign_seeds_per_hour
+# in BENCH_fuzz.json.
+"$prefix-release/bench/bench_fuzz" --quick "$repo/BENCH_fuzz.json"
 
 if "$prefix-release/tools/nees_locks" > /dev/null 2>&1; then rc=0; else rc=$?; fi
 if [ "$rc" -ne 3 ]; then

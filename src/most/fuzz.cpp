@@ -1,16 +1,22 @@
 #include "most/fuzz.h"
 
 #include <algorithm>
+#include <cstring>
 #include <map>
 #include <memory>
+#include <optional>
 #include <utility>
 
+#include "centrifuge/plugin.h"
 #include "check/checker.h"
 #include "net/network.h"
 #include "net/rpc.h"
+#include "ntcp/client.h"
 #include "ntcp/server.h"
 #include "obs/trace.h"
 #include "plugins/mplugin.h"
+#include "security/auth.h"
+#include "security/certificate.h"
 #include "structural/groundmotion.h"
 #include "structural/substructure.h"
 #include "util/mutex.h"
@@ -34,6 +40,9 @@ std::string NotifierEndpoint(std::size_t i) {
 
 constexpr char kCoordinatorEndpoint[] = "fuzz.coordinator";
 constexpr char kControlPoint[] = "cp";
+// kCentrifuge endpoints: one rig, one remote operator (the E12 topology).
+constexpr char kCentrifugeEndpoint[] = "ntcp.centrifuge";
+constexpr char kOperatorEndpoint[] = "fuzz.operator";
 
 bool FaultEnabled(std::uint64_t mask, std::size_t index) {
   return index >= 64 || (mask & (1ULL << index)) != 0;
@@ -43,6 +52,80 @@ bool HistoriesIdentical(const structural::TimeHistory& a,
                         const structural::TimeHistory& b) {
   return a.dt_seconds == b.dt_seconds && a.displacement == b.displacement &&
          a.velocity == b.velocity && a.acceleration == b.acceleration;
+}
+
+// --- structural fingerprints -------------------------------------------------
+// FNV-1a over the run's observable artifacts. The determinism oracle compares
+// these instead of the JSONL export: building the export string is the single
+// most expensive part of a clean run, and the replica run exists only to
+// prove the artifacts would have matched.
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void FnvBytes(std::uint64_t& h, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+}
+
+void FnvU64(std::uint64_t& h, std::uint64_t value) {
+  FnvBytes(h, &value, sizeof(value));
+}
+
+void FnvString(std::uint64_t& h, std::string_view s) {
+  FnvU64(h, s.size());
+  FnvBytes(h, s.data(), s.size());
+}
+
+void FnvDouble(std::uint64_t& h, double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  FnvU64(h, bits);
+}
+
+std::uint64_t FingerprintSpans(const std::vector<obs::SpanRecord>& spans) {
+  std::uint64_t h = kFnvOffset;
+  FnvU64(h, spans.size());
+  for (const auto& span : spans) {
+    FnvU64(h, span.id);
+    FnvU64(h, span.parent_id);
+    FnvString(h, span.name);
+    FnvString(h, span.category);
+    FnvU64(h, static_cast<std::uint64_t>(span.start_micros));
+    FnvU64(h, static_cast<std::uint64_t>(span.end_micros));
+    FnvU64(h, static_cast<std::uint64_t>(span.modeled_micros));
+    FnvU64(h, span.tags.size());
+    for (const auto& [key, value] : span.tags) {
+      FnvString(h, key);
+      FnvString(h, value);
+    }
+  }
+  return h;
+}
+
+std::uint64_t FingerprintString(std::string_view s) {
+  std::uint64_t h = kFnvOffset;
+  FnvString(h, s);
+  return h;
+}
+
+std::uint64_t FingerprintHistory(const structural::TimeHistory& history) {
+  std::uint64_t h = kFnvOffset;
+  FnvDouble(h, history.dt_seconds);
+  const auto series = [&h](const std::vector<structural::Vector>& s) {
+    FnvU64(h, s.size());
+    for (const auto& v : s) {
+      FnvU64(h, v.size());
+      for (const double x : v) FnvDouble(h, x);
+    }
+  };
+  series(history.displacement);
+  series(history.velocity);
+  series(history.acceleration);
+  return h;
 }
 
 /// One site's full server-side stack — one process *incarnation*. A crash
@@ -60,18 +143,27 @@ struct SiteHarness {
 };
 
 /// One site across the whole run: what survives a crash (the WAL storage,
-/// the physical specimen) plus the live incarnation and the graveyard of
-/// dead ones. Dead stacks are kept, not destroyed: a crash timer can fire
-/// while the dying site's own frames (a pumping plugin Execute, an RPC
-/// handler) are still on the stack below it, so destruction is deferred to
-/// end of run. A dead stack is inert — its plugin is shut down, its
-/// endpoints are unregistered, and every send it attempts is swallowed by
-/// the network's crashed-endpoint filter.
+/// the physical specimen, the machine clock, the site's auth service) plus
+/// the live incarnation and the graveyard of dead ones. Dead stacks are
+/// kept, not destroyed: a crash timer can fire while the dying site's own
+/// frames (a pumping plugin Execute, an RPC handler) are still on the stack
+/// below it, so destruction is deferred to end of run. A dead stack is
+/// inert — its plugin is shut down, its endpoints are unregistered, and
+/// every send it attempts is swallowed by the network's crashed-endpoint
+/// filter.
 struct SiteSlot {
   wal::MemoryStorage storage;  // durable: survives the crash
   std::shared_ptr<
       std::map<std::string, std::unique_ptr<structural::SubstructureModel>>>
       models;                  // the physical specimen never resets
+  /// The site's NTP-disciplined machine clock (kClockSkew faults jump its
+  /// offset). Like the specimen, a crash does not reset it — the incarnation
+  /// dies, the machine's idea of time does not.
+  std::unique_ptr<util::SkewedClock> skewed;
+  /// Real GSI-shaped auth for sites with a kCredentialExpiry fault. Lives
+  /// in the slot so issued session tokens (and their expiry) survive a
+  /// crash/restart; each incarnation re-attaches it to its RPC server.
+  std::unique_ptr<security::AuthService> auth;
   std::unique_ptr<SiteHarness> live;
   std::vector<std::unique_ptr<SiteHarness>> graveyard;
   std::uint64_t crashes = 0;
@@ -101,6 +193,17 @@ std::string FuzzFault::ToString() const {
       return util::Format("crash   site=%zu at=%lldus downtime=%lldus", site,
                           static_cast<long long>(at_micros),
                           static_cast<long long>(duration_micros));
+    case Kind::kFrameCorrupt:
+      return util::Format("corrupt site=%zu dir=%s at=%lldus count=%d", site,
+                          to_site ? "coord->site" : "site->coord",
+                          static_cast<long long>(at_micros), count);
+    case Kind::kClockSkew:
+      return util::Format("skew    site=%zu at=%lldus jump=%lldus", site,
+                          static_cast<long long>(at_micros),
+                          static_cast<long long>(duration_micros));
+    case Kind::kCredentialExpiry:
+      return util::Format("credexp site=%zu at=%lldus", site,
+                          static_cast<long long>(at_micros));
   }
   return "?";
 }
@@ -117,14 +220,65 @@ std::string_view EngineName(psd::StepEngine engine) {
   return "?";
 }
 
+std::string_view TemplateName(FuzzTemplate t) {
+  switch (t) {
+    case FuzzTemplate::kMini:
+      return "mini";
+    case FuzzTemplate::kStandard:
+      return "standard";
+    case FuzzTemplate::kFullMost:
+      return "full-most";
+    case FuzzTemplate::kCentrifuge:
+      return "centrifuge";
+  }
+  return "?";
+}
+
+bool ParseTemplateName(std::string_view name, FuzzTemplate* out) {
+  if (name == "mini") {
+    *out = FuzzTemplate::kMini;
+  } else if (name == "standard") {
+    *out = FuzzTemplate::kStandard;
+  } else if (name == "full-most") {
+    *out = FuzzTemplate::kFullMost;
+  } else if (name == "centrifuge") {
+    *out = FuzzTemplate::kCentrifuge;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+FuzzTemplate TemplateForSeed(std::uint64_t seed) {
+  // Lane 10: never shared with any generator, so the template choice is a
+  // pure function of the seed and consumes no generator draws. The weights
+  // set the campaign's seeds/hour budget (EXPERIMENTS.md E14): minis carry
+  // the throughput target, the long shapes ride along at a rate that keeps
+  // the mean case cheap while every multi-thousand-seed sweep still runs
+  // dozens of centrifuge campaigns and a handful of full-length MOSTs.
+  // Measured per-seed cost (release, 1 core): mini ~2ms, centrifuge ~2ms,
+  // standard ~27ms, full-most ~1.6s — a full-most seed costs ~800 minis,
+  // which is why its weight is a tenth of a percent.
+  util::Rng lane = util::Rng(seed).Fork(10);
+  const int roll = lane.UniformInt(0, 999);
+  if (roll < 935) return FuzzTemplate::kMini;
+  if (roll < 955) return FuzzTemplate::kStandard;
+  if (roll < 999) return FuzzTemplate::kCentrifuge;
+  return FuzzTemplate::kFullMost;
+}
+
 std::string FuzzScenario::Describe() const {
   std::string out = util::Format(
-      "seed=%llu sites=%zu steps=%zu engine=%s heartbeat=%lldus "
+      "seed=%llu template=%s sites=%zu steps=%zu engine=%s heartbeat=%lldus "
       "expiry=%lldus faults=%zu\n",
-      static_cast<unsigned long long>(seed), sites, steps,
+      static_cast<unsigned long long>(seed),
+      std::string(TemplateName(shape)).c_str(), sites, steps,
       std::string(EngineName(engine)).c_str(),
       static_cast<long long>(heartbeat_micros),
       static_cast<long long>(expiry_period_micros), faults.size());
+  if (shape == FuzzTemplate::kCentrifuge) {
+    out += util::Format("  piles=%zu\n", piles);
+  }
   for (std::size_t i = 0; i < site_links.size(); ++i) {
     out += util::Format(
         "  link s%zu: latency=%lldus jitter=%lldus drop=%.4f\n", i,
@@ -138,6 +292,292 @@ std::string FuzzScenario::Describe() const {
   return out;
 }
 
+namespace {
+
+/// Appends the three post-crash fault lanes shared by the MOST-shaped
+/// generators. Each class draws from its own forked lane and lands after
+/// every earlier class in the schedule, so adding one never shifts another
+/// class's values or mask bits for any pre-existing seed.
+///
+/// Survivability by construction, per class:
+///  * kFrameCorrupt — a mutated frame either fails the Decode CRC (a
+///    detected loss the 6-attempt retry ladder absorbs) or parses (and
+///    must then be semantically harmless or caught by the oracles);
+///  * kClockSkew — forward jumps are capped far below the 20s proposal
+///    window, so a skewed server's expiry clock never kills a live step;
+///  * kCredentialExpiry — expiry at `at` forces a mid-run re-handshake;
+///    the refresher grants the op one extra attempt, so the retry budget
+///    is never consumed by the auth round trip.
+void AppendNewFaultLanes(FuzzScenario& s, util::Rng& corrupt, util::Rng& skew,
+                         util::Rng& creds, std::int64_t horizon,
+                         int max_corrupt, int max_skew, double cred_prob) {
+  const int corrupt_count = corrupt.UniformInt(0, max_corrupt);
+  for (int j = 0; j < corrupt_count; ++j) {
+    FuzzFault f;
+    f.kind = FuzzFault::Kind::kFrameCorrupt;
+    f.site = static_cast<std::size_t>(
+        corrupt.UniformInt(0, static_cast<int>(s.sites) - 1));
+    f.to_site = corrupt.Bernoulli(0.5);
+    f.at_micros =
+        1000LL * corrupt.UniformInt(100, static_cast<int>(horizon / 1000));
+    f.count = corrupt.UniformInt(1, 3);
+    s.faults.push_back(f);
+  }
+  const int skew_count = skew.UniformInt(0, max_skew);
+  for (int j = 0; j < skew_count; ++j) {
+    FuzzFault f;
+    f.kind = FuzzFault::Kind::kClockSkew;
+    f.site = static_cast<std::size_t>(
+        skew.UniformInt(0, static_cast<int>(s.sites) - 1));
+    f.at_micros =
+        1000LL * skew.UniformInt(100, static_cast<int>(horizon / 1000));
+    f.duration_micros = 1000LL * skew.UniformInt(500, 5000);
+    s.faults.push_back(f);
+  }
+  if (creds.Bernoulli(cred_prob)) {
+    FuzzFault f;
+    f.kind = FuzzFault::Kind::kCredentialExpiry;
+    f.site = static_cast<std::size_t>(
+        creds.UniformInt(0, static_cast<int>(s.sites) - 1));
+    f.at_micros =
+        1000LL * creds.UniformInt(500, static_cast<int>(horizon / 1000));
+    s.faults.push_back(f);
+  }
+}
+
+FuzzScenario GenerateMini(std::uint64_t seed) {
+  // Same lane layout as the standard generator; only the ranges shrink.
+  // Minis are the campaign's throughput carrier: small topologies, short
+  // runs, but every fault class still reachable.
+  util::Rng root(seed);
+  util::Rng topo = root.Fork(1);
+  util::Rng links = root.Fork(2);
+  util::Rng engines = root.Fork(3);
+  util::Rng timing = root.Fork(4);
+  util::Rng faults = root.Fork(5);
+  util::Rng crashes = root.Fork(6);
+  util::Rng corrupt = root.Fork(7);
+  util::Rng skew = root.Fork(8);
+  util::Rng creds = root.Fork(9);
+
+  FuzzScenario s;
+  s.seed = seed;
+  s.shape = FuzzTemplate::kMini;
+  s.sites = static_cast<std::size_t>(topo.UniformInt(2, 5));
+  s.steps = static_cast<std::size_t>(topo.UniformInt(5, 10));
+  s.engine = engines.Bernoulli(0.5) ? psd::StepEngine::kAsync
+                                    : psd::StepEngine::kSequential;
+  s.heartbeat_micros = 1000LL * timing.UniformInt(150, 400);
+  s.expiry_period_micros = 1000LL * timing.UniformInt(200, 1000);
+
+  for (std::size_t i = 0; i < s.sites; ++i) {
+    net::LinkModel m;
+    m.latency_micros = 1000LL * links.UniformInt(1, 40);
+    m.jitter_micros = 1000LL * links.UniformInt(0, 5);
+    m.drop_probability =
+        links.Bernoulli(0.25) ? links.UniformDouble(0.0, 0.03) : 0.0;
+    s.site_links.push_back(m);
+  }
+
+  const std::int64_t horizon = static_cast<std::int64_t>(s.steps) * 400'000;
+  const int fault_count = faults.UniformInt(0, 3);
+  for (int j = 0; j < fault_count; ++j) {
+    FuzzFault f;
+    switch (faults.UniformInt(0, 2)) {
+      case 0:
+        f.kind = FuzzFault::Kind::kOutage;
+        break;
+      case 1:
+        f.kind = FuzzFault::Kind::kDropNext;
+        break;
+      default:
+        f.kind = FuzzFault::Kind::kWakeDrop;
+        break;
+    }
+    f.site = static_cast<std::size_t>(
+        faults.UniformInt(0, static_cast<int>(s.sites) - 1));
+    f.to_site = faults.Bernoulli(0.5);
+    f.at_micros =
+        1000LL * faults.UniformInt(100, static_cast<int>(horizon / 1000));
+    f.duration_micros = 1000LL * faults.UniformInt(100, 1000);
+    f.count = faults.UniformInt(1, 3);
+    s.faults.push_back(f);
+  }
+
+  if (crashes.Bernoulli(0.35)) {
+    FuzzFault f;
+    f.kind = FuzzFault::Kind::kSiteCrashRestart;
+    f.site = static_cast<std::size_t>(
+        crashes.UniformInt(0, static_cast<int>(s.sites) - 1));
+    f.at_micros =
+        1000LL * crashes.UniformInt(100, static_cast<int>(horizon / 1000));
+    f.duration_micros = 1000LL * crashes.UniformInt(250, 1000);
+    s.faults.push_back(f);
+  }
+
+  AppendNewFaultLanes(s, corrupt, skew, creds, horizon, /*max_corrupt=*/2,
+                      /*max_skew=*/1, /*cred_prob=*/0.15);
+  return s;
+}
+
+FuzzScenario GenerateFullMost(std::uint64_t seed) {
+  // Paper-length: the §3 MOST run was a 1,500-step earthquake record, and
+  // the public run died at step 1493 — bugs that only appear deep into a
+  // long campaign (slow leaks of retry budget, expiry interactions, late
+  // faults) are exactly what the short templates cannot see.
+  util::Rng root(seed);
+  util::Rng topo = root.Fork(1);
+  util::Rng links = root.Fork(2);
+  util::Rng engines = root.Fork(3);
+  util::Rng timing = root.Fork(4);
+  util::Rng faults = root.Fork(5);
+  util::Rng crashes = root.Fork(6);
+  util::Rng corrupt = root.Fork(7);
+  util::Rng skew = root.Fork(8);
+  util::Rng creds = root.Fork(9);
+
+  FuzzScenario s;
+  s.seed = seed;
+  s.shape = FuzzTemplate::kFullMost;
+  s.sites = static_cast<std::size_t>(topo.UniformInt(2, 4));
+  s.steps = 1500;
+  s.engine = engines.Bernoulli(0.5) ? psd::StepEngine::kAsync
+                                    : psd::StepEngine::kSequential;
+  s.heartbeat_micros = 1000LL * timing.UniformInt(150, 400);
+  s.expiry_period_micros = 1000LL * timing.UniformInt(200, 1000);
+
+  for (std::size_t i = 0; i < s.sites; ++i) {
+    net::LinkModel m;
+    m.latency_micros = 1000LL * links.UniformInt(5, 80);
+    m.jitter_micros = 1000LL * links.UniformInt(0, 10);
+    m.drop_probability =
+        links.Bernoulli(0.35) ? links.UniformDouble(0.0, 0.02) : 0.0;
+    s.site_links.push_back(m);
+  }
+
+  // 1,500 steps x 400ms budget = the full 10-minute virtual horizon; the
+  // fault schedule is scattered across all of it, so late-run faults (the
+  // step-1493 class) are as likely as early ones.
+  const std::int64_t horizon = static_cast<std::int64_t>(s.steps) * 400'000;
+  const int fault_count = faults.UniformInt(8, 20);
+  for (int j = 0; j < fault_count; ++j) {
+    FuzzFault f;
+    switch (faults.UniformInt(0, 2)) {
+      case 0:
+        f.kind = FuzzFault::Kind::kOutage;
+        break;
+      case 1:
+        f.kind = FuzzFault::Kind::kDropNext;
+        break;
+      default:
+        f.kind = FuzzFault::Kind::kWakeDrop;
+        break;
+    }
+    f.site = static_cast<std::size_t>(
+        faults.UniformInt(0, static_cast<int>(s.sites) - 1));
+    f.to_site = faults.Bernoulli(0.5);
+    f.at_micros =
+        1000LL * faults.UniformInt(100, static_cast<int>(horizon / 1000));
+    f.duration_micros = 1000LL * faults.UniformInt(100, 1500);
+    f.count = faults.UniformInt(1, 3);
+    s.faults.push_back(f);
+  }
+
+  const int crash_count = crashes.UniformInt(0, 3);
+  for (int j = 0; j < crash_count; ++j) {
+    FuzzFault f;
+    f.kind = FuzzFault::Kind::kSiteCrashRestart;
+    f.site = static_cast<std::size_t>(
+        crashes.UniformInt(0, static_cast<int>(s.sites) - 1));
+    f.at_micros =
+        1000LL * crashes.UniformInt(100, static_cast<int>(horizon / 1000));
+    f.duration_micros = 1000LL * crashes.UniformInt(250, 1200);
+    s.faults.push_back(f);
+  }
+
+  AppendNewFaultLanes(s, corrupt, skew, creds, horizon, /*max_corrupt=*/4,
+                      /*max_skew=*/2, /*cred_prob=*/0.5);
+  return s;
+}
+
+FuzzScenario GenerateCentrifuge(std::uint64_t seed) {
+  // The E12 UC Davis shape: a single robot-arm/bender-element rig driven
+  // over one operator link, every action a propose/execute transaction.
+  // Fault classes are limited to what that link can do to a teleoperation
+  // session: outages, deterministic drops, frame corruption.
+  util::Rng root(seed);
+  util::Rng topo = root.Fork(1);
+  util::Rng links = root.Fork(2);
+  util::Rng timing = root.Fork(4);
+  util::Rng faults = root.Fork(5);
+  util::Rng corrupt = root.Fork(7);
+
+  FuzzScenario s;
+  s.seed = seed;
+  s.shape = FuzzTemplate::kCentrifuge;
+  s.sites = 1;
+  s.piles = static_cast<std::size_t>(topo.UniformInt(4, 12));
+  s.steps = s.piles;
+  s.engine = psd::StepEngine::kAsync;  // unused: no coordinator in this shape
+  s.expiry_period_micros = 1000LL * timing.UniformInt(200, 1000);
+
+  net::LinkModel m;
+  m.latency_micros = 1000LL * links.UniformInt(1, 60);
+  m.jitter_micros = 1000LL * links.UniformInt(0, 8);
+  m.drop_probability =
+      links.Bernoulli(0.35) ? links.UniformDouble(0.0, 0.04) : 0.0;
+  s.site_links.push_back(m);
+
+  // 3 measurement transactions up front + 6 per pile (gripper, move, drive,
+  // then re-characterize), each budgeted ~250ms of virtual time.
+  const std::int64_t horizon =
+      static_cast<std::int64_t>(3 + s.piles * 6) * 250'000;
+  // Survivability budget, specific to this shape: unlike the MOST
+  // templates there is no heartbeat/poll background traffic on the
+  // operator link, so armed DropNext/CorruptNext counts don't drain
+  // between transactions — they stack. A transaction gets 6 RPC attempts
+  // and (corrupted frames fail the CRC, i.e. are drops) every armed loss
+  // can land on the same transaction, so the total armed loss count across
+  // the schedule must stay under the retry ladder. Draws beyond the budget
+  // keep their lane position but degrade to outages (drops) or are
+  // skipped (corruption), so sibling faults' values never shift.
+  int loss_budget = 4;
+  const int fault_count = faults.UniformInt(0, 4);
+  for (int j = 0; j < fault_count; ++j) {
+    FuzzFault f;
+    f.kind = faults.Bernoulli(0.5) ? FuzzFault::Kind::kOutage
+                                   : FuzzFault::Kind::kDropNext;
+    f.site = 0;
+    f.to_site = faults.Bernoulli(0.5);
+    f.at_micros =
+        1000LL * faults.UniformInt(100, static_cast<int>(horizon / 1000));
+    f.duration_micros = 1000LL * faults.UniformInt(100, 1500);
+    f.count = faults.UniformInt(1, 3);
+    if (f.kind == FuzzFault::Kind::kDropNext) {
+      if (f.count > loss_budget) f.kind = FuzzFault::Kind::kOutage;
+      else loss_budget -= f.count;
+    }
+    s.faults.push_back(f);
+  }
+
+  const int corrupt_count = corrupt.UniformInt(0, 2);
+  for (int j = 0; j < corrupt_count; ++j) {
+    FuzzFault f;
+    f.kind = FuzzFault::Kind::kFrameCorrupt;
+    f.site = 0;
+    f.to_site = corrupt.Bernoulli(0.5);
+    f.at_micros =
+        1000LL * corrupt.UniformInt(100, static_cast<int>(horizon / 1000));
+    f.count = corrupt.UniformInt(1, 3);
+    if (f.count > loss_budget) continue;
+    loss_budget -= f.count;
+    s.faults.push_back(f);
+  }
+  return s;
+}
+
+}  // namespace
+
 FuzzScenario GenerateScenario(std::uint64_t seed) {
   // Each dimension draws from its own forked lane so widening one (say,
   // adding a fault kind) never shifts another dimension's values for the
@@ -149,9 +589,13 @@ FuzzScenario GenerateScenario(std::uint64_t seed) {
   util::Rng timing = root.Fork(4);
   util::Rng faults = root.Fork(5);
   util::Rng crashes = root.Fork(6);
+  util::Rng corrupt = root.Fork(7);
+  util::Rng skew = root.Fork(8);
+  util::Rng creds = root.Fork(9);
 
   FuzzScenario s;
   s.seed = seed;
+  s.shape = FuzzTemplate::kStandard;
   s.sites = static_cast<std::size_t>(topo.UniformInt(3, 32));
   s.steps = static_cast<std::size_t>(topo.UniformInt(8, 24));
   // kThreadPerSite is excluded: threads break virtual-time determinism.
@@ -218,11 +662,32 @@ FuzzScenario GenerateScenario(std::uint64_t seed) {
     f.duration_micros = 1000LL * crashes.UniformInt(250, 1200);
     s.faults.push_back(f);
   }
+
+  // Corruption / skew / credential lanes follow the same append discipline,
+  // one lane per class (see AppendNewFaultLanes).
+  AppendNewFaultLanes(s, corrupt, skew, creds, horizon, /*max_corrupt=*/2,
+                      /*max_skew=*/1, /*cred_prob=*/0.25);
   return s;
 }
 
-FuzzOutcome RunFuzzCase(const FuzzScenario& scenario,
-                        std::uint64_t fault_mask) {
+FuzzScenario GenerateScenario(std::uint64_t seed, FuzzTemplate shape) {
+  switch (shape) {
+    case FuzzTemplate::kMini:
+      return GenerateMini(seed);
+    case FuzzTemplate::kStandard:
+      return GenerateScenario(seed);
+    case FuzzTemplate::kFullMost:
+      return GenerateFullMost(seed);
+    case FuzzTemplate::kCentrifuge:
+      return GenerateCentrifuge(seed);
+  }
+  return GenerateScenario(seed);
+}
+
+namespace {
+
+FuzzOutcome RunMostCase(const FuzzScenario& scenario, std::uint64_t fault_mask,
+                        const FuzzRunOptions& options) {
   FuzzOutcome out;
 
   // Oracle 5 (lockdep builds): no lock-order inversion, wait-while-holding,
@@ -240,6 +705,41 @@ FuzzOutcome RunFuzzCase(const FuzzScenario& scenario,
   local.latency_micros = 200;
   network.SetDefaultLink(local);
 
+  // Which sites need a skewable machine clock / a real auth service. Bit
+  // semantics matter for the shrinker: a disabled kClockSkew leaves the
+  // site on the grid clock, a disabled kCredentialExpiry removes the auth
+  // world entirely — the fault bit owns *all* of its machinery.
+  std::vector<char> want_skew(scenario.sites, 0);
+  // 0 = no auth; otherwise the site's session-token lifetime (the earliest
+  // enabled expiry time — tokens are minted at login, time starts at ~0).
+  std::vector<std::int64_t> token_lifetime(scenario.sites, 0);
+  for (std::size_t i = 0; i < scenario.faults.size(); ++i) {
+    if (!FaultEnabled(fault_mask, i)) continue;
+    const FuzzFault& f = scenario.faults[i];
+    if (f.kind == FuzzFault::Kind::kClockSkew) want_skew[f.site] = 1;
+    if (f.kind == FuzzFault::Kind::kCredentialExpiry) {
+      token_lifetime[f.site] = token_lifetime[f.site] == 0
+                                   ? f.at_micros
+                                   : std::min(token_lifetime[f.site],
+                                              f.at_micros);
+    }
+  }
+  const bool any_auth = std::any_of(token_lifetime.begin(),
+                                    token_lifetime.end(),
+                                    [](std::int64_t t) { return t > 0; });
+
+  // The auth world: one virtual-organization CA, one coordinator identity.
+  // Its rng is derived from the seed (not the network's stream), so key
+  // material is deterministic per seed and independent of delivery order.
+  util::Rng auth_rng(scenario.seed ^ 0xA01D5EEDULL);
+  std::optional<security::CertificateAuthority> ca;
+  std::optional<security::Credential> coordinator_identity;
+  if (any_auth) {
+    ca.emplace("/O=NEES/CN=NEES CA", *network.clock(), auth_rng);
+    coordinator_identity =
+        ca->IssueIdentity("/O=NEES/CN=coordinator", 0, auth_rng);
+  }
+
   // --- per-site stacks -------------------------------------------------------
   std::vector<std::unique_ptr<SiteSlot>> sites;
   std::vector<std::string> ntcp_endpoints;
@@ -248,20 +748,27 @@ FuzzOutcome RunFuzzCase(const FuzzScenario& scenario,
   const double site_stiffness = 4.0e6 / static_cast<double>(scenario.sites);
 
   // Builds one process incarnation over the slot's durable state (WAL
-  // storage + specimen models) and recovers from whatever the log holds.
-  // Used both at startup (empty log -> fresh state) and on revival.
+  // storage + specimen models + machine clock + auth service) and recovers
+  // from whatever the log holds. Used both at startup (empty log -> fresh
+  // state) and on revival.
   auto build_site_stack = [&](std::size_t i, SiteSlot& slot) {
     auto harness = std::make_unique<SiteHarness>();
     const std::string ntcp_ep = SiteNtcpEndpoint(i);
+    util::Clock* site_clock =
+        slot.skewed != nullptr ? slot.skewed.get() : network.clock();
 
     plugins::MPluginConfig mconfig;
     mconfig.execute_timeout_micros = 30'000'000;  // virtual; generous
     auto plugin = std::make_unique<plugins::MPlugin>(mconfig);
     harness->plugin = plugin.get();
     harness->server = std::make_unique<ntcp::NtcpServer>(
-        &network, ntcp_ep, std::move(plugin), network.clock());
+        &network, ntcp_ep, std::move(plugin), site_clock);
     harness->server->set_tracer(&tracer);
     harness->server->Start();
+    // Each incarnation re-attaches the slot's auth service: session tokens
+    // issued before a crash keep working after the restart (they live in
+    // the service, not the process).
+    if (slot.auth != nullptr) slot.auth->Attach(harness->server->rpc());
     // Recovery before traffic: replay the surviving log (unsynced tail was
     // lost at the crash), crash-mark interrupted executions, then log
     // every new transition durably.
@@ -318,6 +825,26 @@ FuzzOutcome RunFuzzCase(const FuzzScenario& scenario,
     k(0, 0) = site_stiffness;
     (*slot->models)[kControlPoint] =
         std::make_unique<structural::ElasticSubstructure>(k);
+
+    if (want_skew[i]) {
+      slot->skewed = std::make_unique<util::SkewedClock>(network.clock());
+    }
+    if (token_lifetime[i] > 0) {
+      security::TrustStore trust;
+      trust.AddRoot(ca->root_certificate());
+      security::AuthOptions aopts;
+      aopts.token_lifetime_micros = token_lifetime[i];
+      // The backend's long-poll plumbing is site-local, not grid traffic;
+      // it never holds a grid credential (same split as a real site, where
+      // the DAQ loop lives inside the security perimeter).
+      aopts.open_methods = {"mplugin.poll", "mplugin.notify"};
+      slot->auth = std::make_unique<security::AuthService>(
+          std::move(trust),
+          slot->skewed != nullptr ? static_cast<util::Clock*>(slot->skewed.get())
+                                  : network.clock(),
+          auth_rng.Split(), aopts);
+      slot->auth->acl().Allow("/O=NEES/CN=coordinator", "ntcp.");
+    }
 
     build_site_stack(i, *slot);
     sites.push_back(std::move(slot));
@@ -381,9 +908,18 @@ FuzzOutcome RunFuzzCase(const FuzzScenario& scenario,
   };
 
   // --- fault schedule --------------------------------------------------------
+  // Tracks the last instant any enabled fault can still be in flight; the
+  // teardown advance must clear it, or (on runs that fail early, or long
+  // templates whose faults land past the natural end) a crash fault's
+  // revival would fire inside RunUntilQuiescent and build a fresh backend
+  // whose self-rescheduling heartbeat never quiesces.
+  std::int64_t fault_horizon = 0;
   for (std::size_t i = 0; i < scenario.faults.size(); ++i) {
     if (!FaultEnabled(fault_mask, i)) continue;
     const FuzzFault& f = scenario.faults[i];
+    fault_horizon = std::max(
+        fault_horizon, f.at_micros + std::max<std::int64_t>(
+                                         f.duration_micros, 0));
     const std::string ntcp_ep = SiteNtcpEndpoint(f.site);
     switch (f.kind) {
       case FuzzFault::Kind::kOutage: {
@@ -424,6 +960,29 @@ FuzzOutcome RunFuzzCase(const FuzzScenario& scenario,
             });
         break;
       }
+      case FuzzFault::Kind::kFrameCorrupt: {
+        const std::string from = f.to_site ? kCoordinatorEndpoint : ntcp_ep;
+        const std::string to = f.to_site ? ntcp_ep : kCoordinatorEndpoint;
+        network.ScheduleAt(f.at_micros, [&network, from, to, count = f.count] {
+          network.CorruptNext(from, to, count);
+        });
+        break;
+      }
+      case FuzzFault::Kind::kClockSkew: {
+        // The skewed clock lives in the slot (want_skew built it above), so
+        // the jump survives any crash/revival interleaving.
+        util::SkewedClock* skewed = sites[f.site]->skewed.get();
+        network.ScheduleAt(f.at_micros,
+                           [skewed, delta = f.duration_micros] {
+                             skewed->AdvanceOffset(delta);
+                           });
+        break;
+      }
+      case FuzzFault::Kind::kCredentialExpiry:
+        // Nothing to schedule: the expiry time is baked into the site's
+        // session-token lifetime (token_lifetime above). The fault "fires"
+        // when the coordinator's next RPC after at_micros is rejected.
+        break;
     }
   }
 
@@ -450,6 +1009,58 @@ FuzzOutcome RunFuzzCase(const FuzzScenario& scenario,
   config.tracer = &tracer;
 
   net::RpcClient coordinator_rpc(&network, kCoordinatorEndpoint);
+
+  // GSI logins (sites with an enabled kCredentialExpiry fault): handshake
+  // once up front, then hand the coordinator a per-endpoint refresher so a
+  // mid-run token expiry re-handshakes instead of killing the experiment.
+  auto auth_refresh_count = std::make_shared<std::uint64_t>(0);
+  if (any_auth) {
+    security::Credential proxy = coordinator_identity->CreateProxy(
+        3'600'000'000, *network.clock(), auth_rng);
+    std::map<std::string, std::shared_ptr<security::AuthClient>> login_by_ep;
+    for (std::size_t i = 0; i < scenario.sites; ++i) {
+      if (token_lifetime[i] <= 0) continue;
+      const std::string ntcp_ep = SiteNtcpEndpoint(i);
+      auto login = std::make_shared<security::AuthClient>(
+          &coordinator_rpc, proxy, network.clock(), auth_rng.Split());
+      util::Status status;
+      // The handshake rides the same lossy link as everything else; retry
+      // it like any other call.
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        status = login->Login(ntcp_ep);
+        if (status.ok()) break;
+        network.clock()->SleepMicros(100'000);
+      }
+      if (!status.ok()) {
+        out.failures.push_back(util::Format(
+            "auth: initial login to %s failed: %s", ntcp_ep.c_str(),
+            status.ToString().c_str()));
+      }
+      login_by_ep[ntcp_ep] = std::move(login);
+    }
+    if (options.install_auth_refresher) {
+      config.auth_refresher =
+          [login_by_ep, auth_refresh_count, clock = network.clock()](
+              const std::string& endpoint) -> std::function<util::Status()> {
+        const auto it = login_by_ep.find(endpoint);
+        if (it == login_by_ep.end()) return {};
+        return [login = it->second, endpoint, auth_refresh_count,
+                clock]() -> util::Status {
+          util::Status status;
+          for (int attempt = 0; attempt < 6; ++attempt) {
+            status = login->Login(endpoint);
+            if (status.ok()) {
+              ++*auth_refresh_count;
+              return status;
+            }
+            clock->SleepMicros(100'000);
+          }
+          return status;
+        };
+      };
+    }
+  }
+
   psd::SimulationCoordinator coordinator(config, &coordinator_rpc,
                                          network.clock());
   psd::RunReport report = coordinator.Run();
@@ -463,13 +1074,17 @@ FuzzOutcome RunFuzzCase(const FuzzScenario& scenario,
   // snapshot. nees-lint then enforces the backstop: any transaction still
   // non-terminal at end of trace fails the run, and each kExpired
   // transition must be legal on the trace clock.
-  network.AdvanceTo(network.clock()->NowMicros() +
+  //
+  // The advance starts from the fault horizon, not just `now`: on a run
+  // that stopped early (completion failure) or a long template whose
+  // schedule outlives the natural end, crash faults may still be pending,
+  // and their revivals must fire here — not during RunUntilQuiescent,
+  // where a freshly built backend's heartbeat chain would never drain.
+  network.AdvanceTo(std::max(network.clock()->NowMicros(), fault_horizon) +
                     config.proposal_timeout_micros +
                     2 * scenario.expiry_period_micros);
   // Now disarm the timer chains and drain to empty. Every crash fault's
-  // revival has fired by now (faults land inside the run horizon and the
-  // teardown advance runs 20+ virtual seconds past it), so each slot holds
-  // a live stack again.
+  // revival has fired by now, so each slot holds a live stack again.
   for (auto& slot : sites) {
     if (slot->live == nullptr) continue;
     slot->live->backend->Stop();
@@ -498,11 +1113,19 @@ FuzzOutcome RunFuzzCase(const FuzzScenario& scenario,
     out.transactions_recovered += slot->transactions_recovered;
     out.inflight_failed += slot->inflight_failed;
   }
-  out.trace_jsonl = tracer.ExportJsonLines();
+  const std::vector<obs::SpanRecord> spans = tracer.Snapshot();
   out.metrics_table = tracer.metrics().ReportTable();
   out.history = report.history;
+  out.trace_fingerprint = FingerprintSpans(spans);
+  out.metrics_fingerprint = FingerprintString(out.metrics_table);
+  out.history_fingerprint = FingerprintHistory(out.history);
   out.net_totals = network.TotalMetrics();
   out.events_processed = network.virtual_stats().events();
+  out.frames_corrupted = out.net_totals.corrupted;
+  out.auth_refreshes = *auth_refresh_count;
+  if (options.export_artifacts) {
+    out.trace_jsonl = tracer.ExportJsonLines();
+  }
 
   // --- oracles ---------------------------------------------------------------
   if (!report.completed) {
@@ -511,17 +1134,18 @@ FuzzOutcome RunFuzzCase(const FuzzScenario& scenario,
         report.total_steps, report.failure.ToString().c_str()));
   }
 
-  const std::vector<obs::SpanRecord> spans = tracer.Snapshot();
-  const check::LintReport lint = check::LintSpans(spans);
-  for (const auto& violation : lint.violations) {
-    out.failures.push_back("lint: " + violation.ToString());
-  }
+  if (options.run_oracles) {
+    const check::LintReport lint = check::LintSpans(spans);
+    for (const auto& violation : lint.violations) {
+      out.failures.push_back("lint: " + violation.ToString());
+    }
 
-  if (report.completed) {
-    for (const auto& message : check::CheckExactlyOncePerStep(
-             spans, ntcp_endpoints, report.steps_completed,
-             out.step_reattempts)) {
-      out.failures.push_back("exactly-once: " + message);
+    if (report.completed) {
+      for (const auto& message : check::CheckExactlyOncePerStep(
+               spans, ntcp_endpoints, report.steps_completed,
+               out.step_reattempts)) {
+        out.failures.push_back("exactly-once: " + message);
+      }
     }
   }
 
@@ -535,28 +1159,254 @@ FuzzOutcome RunFuzzCase(const FuzzScenario& scenario,
   return out;
 }
 
+FuzzOutcome RunCentrifugeCase(const FuzzScenario& scenario,
+                              std::uint64_t fault_mask,
+                              const FuzzRunOptions& options) {
+  FuzzOutcome out;
+  const std::size_t lockdep_before = util::lockdep::ViolationCount();
+
+  net::Network network(net::DeliveryMode::kVirtual, scenario.seed);
+  obs::Tracer tracer(network.clock(), nullptr);
+  network.set_tracer(&tracer);
+
+  net::LinkModel local;
+  local.latency_micros = 200;
+  network.SetDefaultLink(local);
+  network.SetLink(kOperatorEndpoint, kCentrifugeEndpoint,
+                  scenario.site_links[0]);
+  network.SetLink(kCentrifugeEndpoint, kOperatorEndpoint,
+                  scenario.site_links[0]);
+
+  // The E12 rig: soil container, robot arm, embedded bender elements. All
+  // sensor noise is seeded from the scenario, so runs replay bit-identically.
+  auto soil = std::make_shared<centrifuge::SoilModel>(
+      centrifuge::SoilModel::DefaultProfile(0.3));
+  auto arm = std::make_shared<centrifuge::RobotArm>(
+      centrifuge::RobotArm::Params{}, soil.get(), scenario.seed ^ 0x0a21);
+  auto benders = std::make_shared<centrifuge::BenderElementArray>(
+      soil.get(), scenario.seed ^ 0x0be1);
+  benders->AddElement("be1", {0.10, 0.10, -0.05});
+  benders->AddElement("be2", {0.35, 0.10, -0.05});
+
+  ntcp::NtcpServer server(
+      &network, kCentrifugeEndpoint,
+      std::make_unique<centrifuge::RobotArmPlugin>(arm, benders),
+      network.clock());
+  server.set_tracer(&tracer);
+  if (!server.Start().ok()) {
+    out.failures.push_back("centrifuge: NTCP server failed to start");
+    return out;
+  }
+  server.ArmExpiryTimer(&network, scenario.expiry_period_micros);
+
+  // --- fault schedule (operator link only) -----------------------------------
+  std::int64_t fault_horizon = 0;
+  for (std::size_t i = 0; i < scenario.faults.size(); ++i) {
+    if (!FaultEnabled(fault_mask, i)) continue;
+    const FuzzFault& f = scenario.faults[i];
+    fault_horizon = std::max(
+        fault_horizon,
+        f.at_micros + std::max<std::int64_t>(f.duration_micros, 0));
+    const std::string from =
+        f.to_site ? kOperatorEndpoint : kCentrifugeEndpoint;
+    const std::string to = f.to_site ? kCentrifugeEndpoint : kOperatorEndpoint;
+    switch (f.kind) {
+      case FuzzFault::Kind::kOutage: {
+        net::OutageWindow window{f.at_micros, f.at_micros + f.duration_micros};
+        network.AddOutage(from, to, window);
+        break;
+      }
+      case FuzzFault::Kind::kDropNext:
+        network.ScheduleAt(f.at_micros, [&network, from, to, count = f.count] {
+          network.DropNext(from, to, count);
+        });
+        break;
+      case FuzzFault::Kind::kFrameCorrupt:
+        network.ScheduleAt(f.at_micros, [&network, from, to, count = f.count] {
+          network.CorruptNext(from, to, count);
+        });
+        break;
+      default:
+        // The centrifuge generator only emits the three classes above.
+        break;
+    }
+  }
+
+  // --- the campaign ----------------------------------------------------------
+  net::RpcClient rpc(&network, kOperatorEndpoint);
+  ntcp::RetryPolicy retry;
+  retry.max_attempts = 6;
+  retry.rpc_timeout_micros = 500'000;
+  retry.initial_backoff_micros = 50'000;
+  retry.max_backoff_micros = 1'000'000;
+  ntcp::NtcpClient client(&rpc, kCentrifugeEndpoint, retry, network.clock());
+  client.set_tracer(&tracer);
+
+  int transaction = 0;
+  // The campaign's "history": an FNV digest over every measured control
+  // point (Vs, tip resistance, arm state). Plays the TimeHistory's role in
+  // the determinism oracle — there is no integrator in this shape.
+  std::uint64_t measured_digest = kFnvOffset;
+  auto run_txn = [&](std::vector<ntcp::ControlPointRequest> actions) -> bool {
+    // Monotone step indices keep the lint step-ordering rule meaningful for
+    // teleoperation traces too.
+    const int step = transaction;
+    ++transaction;
+    // The MOST runner survives armed drop/corrupt bursts because the
+    // coordinator re-drives a failed step (max_step_attempts); this shape
+    // needs the same outer ladder. Each round is a fresh transaction id —
+    // a round whose execute timed out may or may not have driven the arm,
+    // and both the arm and soil models are idempotent for these actions, so
+    // re-proposing is safe and the measured digest only ever folds in the
+    // round that returned a result.
+    util::Status failure = util::Status::Ok();
+    for (int round = 0; round < 3; ++round) {
+      ntcp::Proposal proposal;
+      proposal.transaction_id =
+          round == 0 ? util::Format("fuzz-cam-%d", step)
+                     : util::Format("fuzz-cam-%d-r%d", step, round);
+      proposal.step_index = step;
+      proposal.actions = actions;
+      proposal.timeout_micros = 20'000'000;
+      const util::Status accepted = client.Propose(proposal);
+      if (!accepted.ok()) {
+        failure = util::Unavailable(
+            util::Format("propose %s failed: %s",
+                         proposal.transaction_id.c_str(),
+                         accepted.ToString().c_str()));
+        continue;
+      }
+      const util::Result<ntcp::TransactionResult> result =
+          client.Execute(proposal.transaction_id);
+      if (!result.ok()) {
+        failure = util::Unavailable(
+            util::Format("execute %s failed: %s",
+                         proposal.transaction_id.c_str(),
+                         result.status().ToString().c_str()));
+        continue;
+      }
+      for (const auto& point : result->results) {
+        FnvString(measured_digest, point.control_point);
+        for (const double v : point.measured_displacement) {
+          FnvDouble(measured_digest, v);
+        }
+        for (const double v : point.measured_force) {
+          FnvDouble(measured_digest, v);
+        }
+      }
+      return true;
+    }
+    out.failures.push_back(util::Format("completion: centrifuge %s",
+                                        failure.ToString().c_str()));
+    return false;
+  };
+  // One soil-characterization pass: shear-wave velocity between the bender
+  // pair, then a cone penetration at -0.25m (the E12 measurement loop).
+  auto characterize = [&]() -> bool {
+    return run_txn({{"bender:be1:be2", {}, {}}}) &&
+           run_txn({{"tool:cone-penetrometer", {}, {}}}) &&
+           run_txn({{"penetrate", {-0.25}, {}}});
+  };
+
+  std::size_t piles_installed = 0;
+  bool completed = characterize();
+  if (completed) {
+    for (std::size_t pile = 1; pile <= scenario.piles; ++pile) {
+      // Pile grid stays inside the arm's 0.6m x 0.4m workspace for up to
+      // 12 piles.
+      const double x = 0.08 + 0.04 * static_cast<double>(pile);
+      if (!run_txn({{"tool:gripper", {}, {}}}) ||
+          !run_txn({{"arm", {x, 0.12, 0.0}, {}}}) ||
+          !run_txn({{"pile", {-0.22}, {}}}) || !characterize()) {
+        completed = false;
+        break;
+      }
+      ++piles_installed;
+    }
+  }
+  out.run_completed = completed;
+  out.steps_completed = piles_installed;
+
+  // --- teardown (same expiry backstop + fault-horizon rule as MOST) ----------
+  network.AdvanceTo(std::max(network.clock()->NowMicros(), fault_horizon) +
+                    20'000'000 + 2 * scenario.expiry_period_micros);
+  server.Stop();
+  network.RunUntilQuiescent();
+
+  // --- collect + oracles -----------------------------------------------------
+  const std::vector<obs::SpanRecord> spans = tracer.Snapshot();
+  out.metrics_table = tracer.metrics().ReportTable();
+  out.trace_fingerprint = FingerprintSpans(spans);
+  out.metrics_fingerprint = FingerprintString(out.metrics_table);
+  out.history_fingerprint = measured_digest;
+  out.net_totals = network.TotalMetrics();
+  out.frames_corrupted = out.net_totals.corrupted;
+  out.events_processed = network.virtual_stats().events();
+  if (options.export_artifacts) {
+    out.trace_jsonl = tracer.ExportJsonLines();
+  }
+
+  if (options.run_oracles) {
+    const check::LintReport lint = check::LintSpans(spans);
+    for (const auto& violation : lint.violations) {
+      out.failures.push_back("lint: " + violation.ToString());
+    }
+    // exactly-once is a coordinator-shaped oracle (per-(site, step) spans);
+    // teleoperation's equivalent — no duplicated execution — is already
+    // covered by lint's at-most-once rule on transaction ids.
+  }
+
+  if (util::lockdep::kEnabled) {
+    const auto violations = util::lockdep::Violations();
+    for (std::size_t i = lockdep_before; i < violations.size(); ++i) {
+      out.failures.push_back("lockdep: " + violations[i].description);
+    }
+  }
+
+  return out;
+}
+
+}  // namespace
+
+FuzzOutcome RunFuzzCase(const FuzzScenario& scenario, std::uint64_t fault_mask,
+                        const FuzzRunOptions& options) {
+  if (scenario.shape == FuzzTemplate::kCentrifuge) {
+    return RunCentrifugeCase(scenario, fault_mask, options);
+  }
+  return RunMostCase(scenario, fault_mask, options);
+}
+
 FuzzOutcome RunFuzzCaseChecked(const FuzzScenario& scenario,
-                               std::uint64_t fault_mask) {
-  FuzzOutcome first = RunFuzzCase(scenario, fault_mask);
-  const FuzzOutcome second = RunFuzzCase(scenario, fault_mask);
-  if (first.trace_jsonl != second.trace_jsonl) {
+                               std::uint64_t fault_mask,
+                               const FuzzRunOptions& options) {
+  FuzzOutcome first = RunFuzzCase(scenario, fault_mask, options);
+  // The replica exists only to prove the fingerprints match: skip the
+  // export and the re-run of oracles 2–3 (their verdict cannot change when
+  // the fingerprints agree, and a disagreement fails the case anyway).
+  FuzzRunOptions replica = options;
+  replica.export_artifacts = false;
+  replica.run_oracles = false;
+  const FuzzOutcome second = RunFuzzCase(scenario, fault_mask, replica);
+  if (first.trace_fingerprint != second.trace_fingerprint) {
     first.failures.push_back(
         "determinism: span traces differ between same-seed runs");
   }
-  if (first.metrics_table != second.metrics_table) {
+  if (first.metrics_fingerprint != second.metrics_fingerprint) {
     first.failures.push_back(
         "determinism: metrics snapshots differ between same-seed runs");
   }
-  if (!HistoriesIdentical(first.history, second.history)) {
+  if (first.history_fingerprint != second.history_fingerprint ||
+      !HistoriesIdentical(first.history, second.history)) {
     first.failures.push_back(
         "determinism: displacement histories differ between same-seed runs");
   }
   return first;
 }
 
-std::uint64_t ShrinkFaultMask(const FuzzScenario& scenario,
-                              std::uint64_t failing_mask) {
-  const std::size_t bits = std::min<std::size_t>(scenario.faults.size(), 64);
+std::uint64_t ShrinkFaultMask(std::size_t fault_count,
+                              std::uint64_t failing_mask,
+                              const std::function<bool(std::uint64_t)>& fails) {
+  const std::size_t bits = std::min<std::size_t>(fault_count, 64);
   std::uint64_t mask = failing_mask;
   if (bits < 64) mask &= (1ULL << bits) - 1;
 
@@ -566,7 +1416,7 @@ std::uint64_t ShrinkFaultMask(const FuzzScenario& scenario,
     for (std::size_t bit = 0; bit < bits; ++bit) {
       const std::uint64_t candidate = mask & ~(1ULL << bit);
       if (candidate == mask) continue;
-      if (!RunFuzzCaseChecked(scenario, candidate).ok()) {
+      if (fails(candidate)) {
         mask = candidate;
         shrunk = true;
       }
@@ -575,9 +1425,21 @@ std::uint64_t ShrinkFaultMask(const FuzzScenario& scenario,
   return mask;
 }
 
-std::string ReplayCommand(std::uint64_t seed, std::uint64_t fault_mask) {
-  return util::Format("nees_fuzz --seed %llu --fault-mask 0x%llx",
+std::uint64_t ShrinkFaultMask(const FuzzScenario& scenario,
+                              std::uint64_t failing_mask) {
+  FuzzRunOptions options;
+  options.export_artifacts = false;  // shrink probes only need verdicts
+  return ShrinkFaultMask(
+      scenario.faults.size(), failing_mask, [&](std::uint64_t candidate) {
+        return !RunFuzzCaseChecked(scenario, candidate, options).ok();
+      });
+}
+
+std::string ReplayCommand(std::uint64_t seed, FuzzTemplate shape,
+                          std::uint64_t fault_mask) {
+  return util::Format("nees_fuzz --seed %llu --template %s --fault-mask 0x%llx",
                       static_cast<unsigned long long>(seed),
+                      std::string(TemplateName(shape)).c_str(),
                       static_cast<unsigned long long>(fault_mask));
 }
 

@@ -33,10 +33,12 @@ struct LinkMetrics {
   std::uint64_t dropped_random = 0;
   std::uint64_t dropped_outage = 0;
   std::uint64_t dropped_forced = 0;  // DropNext / link down
+  std::uint64_t corrupted = 0;       // frames mutated in flight (CorruptNext)
+  std::uint64_t dropped_corrupt = 0;  // mutations caught at the Decode gate
   std::uint64_t bytes_delivered = 0;
 
   std::uint64_t dropped_total() const {
-    return dropped_random + dropped_outage + dropped_forced;
+    return dropped_random + dropped_outage + dropped_forced + dropped_corrupt;
   }
 };
 

@@ -2,26 +2,42 @@
 
 #include <string>
 
+#include "util/crc32.h"
+
 namespace nees::net {
 
 void Message::EncodeTo(util::ByteWriter& writer) const {
   writer.Reserve(writer.size() + WireSize());
+  const std::size_t start = writer.size();
   writer.WriteU32(from.raw());
   writer.WriteU32(to.raw());
   writer.WriteU8(static_cast<std::uint8_t>(kind));
   writer.WriteU64(correlation_id);
   writer.WriteU32(method.raw());
   writer.WriteBytes(payload.data(), payload.size());
+  writer.WriteU32(
+      util::Crc32(writer.data().data() + start, writer.size() - start));
 }
 
 util::Result<Message> Message::Decode(util::ByteReader& reader) {
   Message message;
+  const std::size_t start = reader.offset();
   NEES_ASSIGN_OR_RETURN(std::uint32_t from_raw, reader.ReadU32());
   NEES_ASSIGN_OR_RETURN(std::uint32_t to_raw, reader.ReadU32());
   NEES_ASSIGN_OR_RETURN(std::uint8_t kind_raw, reader.ReadU8());
   NEES_ASSIGN_OR_RETURN(message.correlation_id, reader.ReadU64());
   NEES_ASSIGN_OR_RETURN(std::uint32_t method_raw, reader.ReadU32());
   NEES_ASSIGN_OR_RETURN(message.payload, reader.ReadBytes());
+  const std::size_t covered = reader.offset() - start;
+  NEES_ASSIGN_OR_RETURN(std::uint32_t stored_crc, reader.ReadU32());
+  // Integrity before interpretation: a frame that fails its checksum is
+  // wire damage, full stop — no field of it may be trusted, including ids
+  // that happen to be interned.
+  const std::uint32_t actual_crc =
+      util::Crc32(reader.base() + start, covered);
+  if (stored_crc != actual_crc) {
+    return util::DataLoss("message frame: checksum mismatch");
+  }
   if (kind_raw > static_cast<std::uint8_t>(MessageKind::kOneWay)) {
     return util::DataLoss("message frame: unknown kind " +
                           std::to_string(kind_raw));

@@ -13,8 +13,18 @@
 //   +-----------+-----------+------+------------------+-------------+
 //   | from u32  | to u32    | kind | correlation u64  | method u32  |
 //   +-----------+-----------+--u8--+------------------+-------------+
-//   | payload length u32 | payload bytes ...                        |
-//   +--------------------+------------------------------------------+
+//   | payload length u32 | payload bytes ... | crc32 u32            |
+//   +--------------------+-------------------+----------------------+
+//
+// The trailing CRC-32 covers every preceding frame byte. It exists because
+// the fuzzer's kFrameCorrupt fault class proved the obvious: without an
+// integrity check, a flipped byte that lands in the payload (or any field
+// whose whole value range is structurally valid, like a step index) decodes
+// cleanly and the stack then acts on corrupt protocol state — an accepted
+// proposal with a garbage step trips nees-lint's monotonicity rule long
+// after the damage is done. With the CRC, corruption is detected at the
+// Decode boundary and surfaces as DataLoss: the frame is simply lost, and
+// the NTCP retry ladder recovers it like any other drop.
 #pragma once
 
 #include <cstdint>
@@ -41,9 +51,9 @@ struct Message {
   std::vector<std::uint8_t> payload;
 
   /// Fixed framing per message: from + to + kind + correlation id + method
-  /// + payload length prefix — exactly what EncodeTo emits, so E13/E-obs
-  /// byte counters match the encoder.
-  static constexpr std::size_t kHeaderBytes = 4 + 4 + 1 + 8 + 4 + 4;
+  /// + payload length prefix + trailing crc32 — exactly what EncodeTo
+  /// emits, so E13/E-obs byte counters match the encoder.
+  static constexpr std::size_t kHeaderBytes = 4 + 4 + 1 + 8 + 4 + 4 + 4;
 
   std::size_t WireSize() const { return kHeaderBytes + payload.size(); }
 

@@ -355,6 +355,37 @@ bool Network::PumpOne(std::int64_t limit_micros, bool advance_on_idle) {
   return false;
 }
 
+bool Network::CorruptInFlight(LinkState& link, Message& message) {
+  --link.corrupt_next;
+  ++link.metrics.corrupted;
+  ++total_.corrupted;
+  // Round-trip the message through the canonical wire format and damage the
+  // byte stream, exactly as a flaky WAN hop would: flip 1–3 bytes, or chop
+  // the tail off. Decisions come from the fault rng so the mutation is a
+  // pure function of the fault seed.
+  util::ByteWriter writer;
+  message.EncodeTo(writer);
+  std::vector<std::uint8_t> frame = writer.Take();
+  if (rng_.Bernoulli(0.25)) {
+    frame.resize(rng_.UniformU64(frame.size()));
+  } else {
+    const int flips = rng_.UniformInt(1, 3);
+    for (int i = 0; i < flips; ++i) {
+      const std::size_t at = rng_.UniformU64(frame.size());
+      frame[at] ^= static_cast<std::uint8_t>(rng_.UniformInt(1, 255));
+    }
+  }
+  util::ByteReader reader(frame);
+  util::Result<Message> mutant = Message::Decode(reader);
+  if (!mutant.ok()) {
+    ++link.metrics.dropped_corrupt;
+    ++total_.dropped_corrupt;
+    return true;  // damage detected -> lost in flight
+  }
+  message = std::move(mutant).value();
+  return false;  // slipped through the integrity check -> deliver the mutant
+}
+
 void Network::DeliverVirtual(Message message, std::int64_t delay_micros) {
   std::shared_ptr<Handler> handler;
   bool dropped = false;
@@ -387,6 +418,10 @@ void Network::DeliverVirtual(Message message, std::int64_t delay_micros) {
         // Endpoint unregistered in flight: lost, like a connection reset.
         ++link.metrics.dropped_forced;
         ++total_.dropped_forced;
+        dropped = true;
+      } else if (link.corrupt_next > 0 && CorruptInFlight(link, message)) {
+        // Mutation detected at the Decode gate: the frame is wire damage,
+        // lost exactly like a drop (the retry ladder recovers it).
         dropped = true;
       } else {
         handler = *slot;
@@ -463,6 +498,11 @@ void Network::SetLinkUp(EndpointId from, EndpointId to, bool up) {
 void Network::DropNext(EndpointId from, EndpointId to, int count) {
   util::MutexLock lock(mu_);
   LinkFor(from, to).drop_next += count;
+}
+
+void Network::CorruptNext(EndpointId from, EndpointId to, int count) {
+  util::MutexLock lock(mu_);
+  LinkFor(from, to).corrupt_next += count;
 }
 
 void Network::AddOutage(EndpointId from, EndpointId to,

@@ -94,6 +94,15 @@ class Network {
   /// Makes the next `count` messages on the directed link vanish. Counted
   /// at send time in every mode (a deterministic "the next send is lost").
   void DropNext(EndpointId from, EndpointId to, int count);
+  /// Mutates the next `count` messages on the directed link in flight
+  /// (kVirtual only): the frame is re-encoded through the canonical wire
+  /// format, 1–3 bytes are flipped (or the frame is truncated) using the
+  /// network's seeded fault rng, and the mutant is re-decoded at arrival.
+  /// A mutant the Decode gate rejects is counted dropped_corrupt and lost
+  /// — indistinguishable from a drop, which is the contract the frame CRC
+  /// exists to provide; one that still parses is delivered as-is to the
+  /// handler, modelling corruption that slips past the integrity check.
+  void CorruptNext(EndpointId from, EndpointId to, int count);
   /// Adds a dead window in clock time (see SetClock) on the directed link.
   /// The end is exclusive: a message arriving exactly at end_micros gets
   /// through. kVirtual checks windows at both send and arrival time.
@@ -194,6 +203,7 @@ class Network {
     LinkModel model;
     bool up = true;
     int drop_next = 0;
+    int corrupt_next = 0;
     std::vector<OutageWindow> outages;
     LinkMetrics metrics;
   };
@@ -244,6 +254,11 @@ class Network {
   LinkState& LinkFor(EndpointId from, EndpointId to) NEES_REQUIRES(mu_);
   bool ShouldDrop(LinkState& link, const Message& message,
                   std::int64_t now_micros) NEES_REQUIRES(mu_);
+  /// Consumes one corrupt_next credit and mutates `message` through an
+  /// encode → damage → decode round trip. Returns true when the Decode gate
+  /// rejected the damage (the message is lost); false when the mutant
+  /// parsed and `message` now holds it.
+  bool CorruptInFlight(LinkState& link, Message& message) NEES_REQUIRES(mu_);
   bool InPartition(EndpointId from, EndpointId to) const
       NEES_REQUIRES(mu_);
   void DeliveryLoop();

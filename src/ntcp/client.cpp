@@ -54,6 +54,7 @@ struct NtcpClient::AsyncOp::State {
   net::Bytes body;  // kept for reissue on retry; pooled, released on finish
   int attempt = 1;
   std::int64_t backoff_micros = 0;
+  bool auth_refreshed = false;  // one credential refresh per operation
   Phase phase = Phase::kInFlight;
   net::RpcClient::AsyncCall call;
   std::int64_t resume_at_micros = 0;  // backoff expiry (client clock)
@@ -126,6 +127,41 @@ bool NtcpClient::AsyncOp::Pump() {
         return true;
       }
       const util::Status error = result.status();
+      const bool auth_error =
+          error.code() == util::ErrorCode::kUnauthenticated ||
+          error.code() == util::ErrorCode::kPermissionDenied;
+      if (auth_error && !s.auth_refreshed &&
+          client->auth_refresher_ != nullptr) {
+        // An auth rejection is definitive for *this credential*, not for
+        // the operation: a proxy certificate that expired mid-run (the
+        // fuzzer's kCredentialExpiry fault class) is cured by re-running
+        // the GSI handshake, after which the reissue below carries a fresh
+        // token. Without this hook the client treated every auth error as
+        // final and a routine credential rollover killed the whole run.
+        s.auth_refreshed = true;
+        util::Status refreshed = client->auth_refresher_();
+        if (refreshed.ok()) {
+          ++client->stats_.retries;
+          ++client->stats_.auth_refreshes;
+          NEES_LOG_WARN("ntcp.client")
+              << s.method << " to " << client->server_
+              << " rejected with stale credentials ("
+              << error.ToString() << "); refreshed, retrying";
+          s.resume_at_micros =
+              client->clock_->NowMicros() + s.backoff_micros;
+          s.phase = State::Phase::kBackoff;
+          if (client->clock_->NowMicros() < s.resume_at_micros) return false;
+          ++s.attempt;
+          s.call = client->rpc_->CallAsync(client->server_id_, s.method,
+                                           s.body,
+                                           client->policy_.rpc_timeout_micros);
+          s.phase = State::Phase::kInFlight;
+          continue;
+        }
+        NEES_LOG_WARN("ntcp.client")
+            << "credential refresh for " << client->server_
+            << " failed: " << refreshed.ToString();
+      }
       if (!error.transient()) {  // definitive answer
         finish(error, std::string(util::ErrorCodeName(error.code())));
         return true;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -35,6 +36,7 @@ struct NtcpClientStats {
   std::uint64_t retries = 0;
   std::uint64_t recovered = 0;  // operations that succeeded after >=1 retry
   std::uint64_t gave_up = 0;    // transient failures that exhausted retries
+  std::uint64_t auth_refreshes = 0;  // credential re-handshakes mid-op
 };
 
 class NtcpClient {
@@ -128,6 +130,16 @@ class NtcpClient {
   /// Optional: records one "protocol" span per operation when set.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Optional credential-refresh hook. When set, an operation rejected with
+  /// kUnauthenticated / kPermissionDenied runs this (expected to redo the
+  /// GSI handshake and install a fresh token on the RpcClient), then — if
+  /// it succeeds — backs off and reissues the request once instead of
+  /// failing the operation. One refresh per operation: a rejection *after*
+  /// a refresh is a real authorization answer, not a stale credential.
+  void set_auth_refresher(std::function<util::Status()> refresher) {
+    auth_refresher_ = std::move(refresher);
+  }
+
  private:
   using SpanTags = std::vector<std::pair<std::string, std::string>>;
 
@@ -151,6 +163,7 @@ class NtcpClient {
   util::Clock* clock_;
   NtcpClientStats stats_;
   obs::Tracer* tracer_ = nullptr;
+  std::function<util::Status()> auth_refresher_;
   /// Recycled AsyncOp state blocks: an op consumed by Await() parks its
   /// block here so the next StartOp reuses it instead of allocating. The
   /// client is driven from one thread at a time (like stats_), so no lock.

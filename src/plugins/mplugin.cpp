@@ -1,5 +1,6 @@
 #include "plugins/mplugin.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 
@@ -408,6 +409,8 @@ void VirtualPollingBackend::BindWakeRpc(net::RpcServer& server) {
       [this, running](const net::CallContext&, const net::Bytes&) {
         if (!*running) return;
         ++wakes_;
+        // Activity: the next fallback firing should come promptly again.
+        heartbeat_interval_ = heartbeat_micros_;
         Drain();
       });
 }
@@ -415,6 +418,7 @@ void VirtualPollingBackend::BindWakeRpc(net::RpcServer& server) {
 void VirtualPollingBackend::Start() {
   if (*running_) return;
   *running_ = true;
+  heartbeat_interval_ = heartbeat_micros_;
   ArmHeartbeat();
 }
 
@@ -422,10 +426,20 @@ void VirtualPollingBackend::Stop() { *running_ = false; }
 
 void VirtualPollingBackend::ArmHeartbeat() {
   std::shared_ptr<bool> running = running_;
-  network_->ScheduleAfter(heartbeat_micros_, [this, running] {
+  network_->ScheduleAfter(heartbeat_interval_, [this, running] {
     if (!*running) return;
     ++heartbeats_;
+    const std::uint64_t before = processed_;
     Drain();
+    // Adaptive backoff: idle firings double the interval up to 8x base;
+    // any firing that found work snaps back to the base interval.
+    if (processed_ == before) {
+      heartbeat_interval_ =
+          std::min<std::int64_t>(heartbeat_interval_ * 2,
+                                 heartbeat_micros_ * 8);
+    } else {
+      heartbeat_interval_ = heartbeat_micros_;
+    }
     ArmHeartbeat();
   });
 }

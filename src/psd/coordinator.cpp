@@ -38,6 +38,10 @@ SimulationCoordinator::SimulationCoordinator(CoordinatorConfig config,
     clients_.push_back(std::make_unique<ntcp::NtcpClient>(
         rpc_, site.ntcp_endpoint, policy, clock_));
     clients_.back()->set_tracer(config_.tracer);
+    if (config_.auth_refresher) {
+      clients_.back()->set_auth_refresher(
+          config_.auth_refresher(site.ntcp_endpoint));
+    }
     SiteStats stats;
     stats.name = site.name;
     site_stats_.push_back(std::move(stats));

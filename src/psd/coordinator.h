@@ -105,6 +105,14 @@ struct CoordinatorConfig {
   /// per-site propose/execute child spans, propagated to the NTCP clients.
   /// Must outlive the coordinator.
   obs::Tracer* tracer = nullptr;
+
+  /// Optional credential-refresh factory: given a site's NTCP endpoint,
+  /// returns the hook installed via NtcpClient::set_auth_refresher (or an
+  /// empty function for none). Wired by deployments whose sites sit behind
+  /// GSI auth, so a proxy credential expiring mid-run re-handshakes and
+  /// retries instead of killing the experiment.
+  std::function<std::function<util::Status()>(const std::string&)>
+      auth_refresher;
 };
 
 struct SiteStats {

@@ -84,6 +84,10 @@ class ByteReader {
 
   std::size_t remaining() const { return size_ - offset_; }
   bool AtEnd() const { return offset_ == size_; }
+  /// Cursor position and borrowed base pointer, for callers that checksum
+  /// the raw byte range a structured decode just consumed.
+  std::size_t offset() const { return offset_; }
+  const std::uint8_t* base() const { return data_; }
 
  private:
   Status Need(std::size_t bytes) const;

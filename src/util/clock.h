@@ -57,6 +57,43 @@ class SimClock final : public Clock {
   std::int64_t now_ NEES_GUARDED_BY(mu_);
 };
 
+/// A clock that reads `base` plus a settable offset — a site whose NTP
+/// discipline slipped. The fuzzer's kClockSkew fault class jumps a site's
+/// offset forward mid-run; offsets only ever grow, so the skewed clock
+/// stays monotonic and every per-server timestamp comparison (proposal
+/// expiry, token lifetimes) remains internally consistent while drifting
+/// relative to the rest of the grid. Sleeps delegate to the base clock:
+/// skew changes what time a site *reports*, not how fast time passes.
+class SkewedClock final : public Clock {
+ public:
+  explicit SkewedClock(Clock* base, std::int64_t offset_micros = 0)
+      : base_(base), offset_micros_(offset_micros) {}
+
+  std::int64_t NowMicros() const override {
+    MutexLock lock(mu_);
+    return base_->NowMicros() + offset_micros_;
+  }
+  void SleepMicros(std::int64_t micros) override {
+    base_->SleepMicros(micros);
+  }
+
+  std::int64_t offset_micros() const {
+    MutexLock lock(mu_);
+    return offset_micros_;
+  }
+  /// Jumps the reported time forward. Negative deltas are clamped to zero:
+  /// a backward step would break the monotonicity contract.
+  void AdvanceOffset(std::int64_t delta_micros) {
+    MutexLock lock(mu_);
+    if (delta_micros > 0) offset_micros_ += delta_micros;
+  }
+
+ private:
+  Clock* base_;
+  mutable Mutex mu_{"util.SkewedClock"};
+  std::int64_t offset_micros_ NEES_GUARDED_BY(mu_);
+};
+
 /// Wall-clock stopwatch for benches and run reports.
 class Stopwatch {
  public:

@@ -1,0 +1,13 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected). One shared implementation for
+// every layer that frames bytes over an unreliable medium: the write-ahead
+// log's record framing and the network message frame's integrity trailer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nees::util {
+
+std::uint32_t Crc32(const std::uint8_t* data, std::size_t size);
+
+}  // namespace nees::util

@@ -7,24 +7,13 @@
 #include <unistd.h>  // fsync / fileno
 #endif
 
+#include "util/crc32.h"
 #include "util/strings.h"
 
 namespace nees::wal {
 namespace {
 
 constexpr std::size_t kHeaderBytes = 8;  // u32 length + u32 crc32
-
-std::array<std::uint32_t, 256> BuildCrcTable() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t crc = i;
-    for (int bit = 0; bit < 8; ++bit) {
-      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
-    }
-    table[i] = crc;
-  }
-  return table;
-}
 
 std::uint32_t ReadLittleU32(const std::uint8_t* data) {
   return static_cast<std::uint32_t>(data[0]) |
@@ -43,12 +32,7 @@ void AppendLittleU32(std::vector<std::uint8_t>& out, std::uint32_t value) {
 }  // namespace
 
 std::uint32_t Crc32(const std::uint8_t* data, std::size_t size) {
-  static const std::array<std::uint32_t, 256> table = BuildCrcTable();
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < size; ++i) {
-    crc = (crc >> 8) ^ table[(crc ^ data[i]) & 0xFF];
-  }
-  return crc ^ 0xFFFFFFFFu;
+  return util::Crc32(data, size);
 }
 
 // --- MemoryStorage ----------------------------------------------------------

@@ -30,7 +30,8 @@ TEST(FuzzScenarioTest, ParametersStayInBounds) {
     EXPECT_EQ(s.site_links.size(), s.sites) << seed;
     // kThreadPerSite would race the single-threaded virtual event loop.
     EXPECT_NE(s.engine, psd::StepEngine::kThreadPerSite) << seed;
-    EXPECT_LE(s.faults.size(), 10u) << seed;
+    // 8 base + 2 crash + 2 corrupt + 1 skew + 1 credential-expiry.
+    EXPECT_LE(s.faults.size(), 14u) << seed;
     for (const net::LinkModel& link : s.site_links) {
       EXPECT_LE(link.drop_probability, 0.05) << seed;
     }
@@ -45,7 +46,91 @@ TEST(FuzzScenarioTest, ParametersStayInBounds) {
 }
 
 TEST(FuzzScenarioTest, ReplayCommandFormatsMask) {
-  EXPECT_EQ(ReplayCommand(187, 0xd), "nees_fuzz --seed 187 --fault-mask 0xd");
+  EXPECT_EQ(ReplayCommand(187, FuzzTemplate::kStandard, 0xd),
+            "nees_fuzz --seed 187 --template standard --fault-mask 0xd");
+  EXPECT_EQ(ReplayCommand(9, FuzzTemplate::kCentrifuge, kAllFaults),
+            "nees_fuzz --seed 9 --template centrifuge "
+            "--fault-mask 0xffffffffffffffff");
+}
+
+// --- templates ---------------------------------------------------------------
+
+TEST(FuzzTemplateTest, TemplateForSeedIsPureAndMiniDominated) {
+  std::size_t by_template[4] = {0, 0, 0, 0};
+  for (std::uint64_t seed = 1; seed <= 4096; ++seed) {
+    const FuzzTemplate t = TemplateForSeed(seed);
+    EXPECT_EQ(t, TemplateForSeed(seed)) << seed;
+    by_template[static_cast<int>(t)] += 1;
+  }
+  // The campaign mix: minis carry the seeds/hour budget, but every shape
+  // must actually appear in a sweep of a few thousand seeds.
+  EXPECT_GT(by_template[static_cast<int>(FuzzTemplate::kMini)], 3200u);
+  EXPECT_GT(by_template[static_cast<int>(FuzzTemplate::kStandard)], 0u);
+  EXPECT_GT(by_template[static_cast<int>(FuzzTemplate::kFullMost)], 0u);
+  EXPECT_GT(by_template[static_cast<int>(FuzzTemplate::kCentrifuge)], 0u);
+}
+
+TEST(FuzzTemplateTest, TemplateNamesRoundTrip) {
+  for (FuzzTemplate t : {FuzzTemplate::kMini, FuzzTemplate::kStandard,
+                         FuzzTemplate::kFullMost, FuzzTemplate::kCentrifuge}) {
+    FuzzTemplate parsed;
+    ASSERT_TRUE(ParseTemplateName(TemplateName(t), &parsed))
+        << TemplateName(t);
+    EXPECT_EQ(parsed, t);
+  }
+  FuzzTemplate parsed;
+  // "auto" means TemplateForSeed, not a template; unknown names also fail.
+  EXPECT_FALSE(ParseTemplateName("auto", &parsed));
+  EXPECT_FALSE(ParseTemplateName("mostly-harmless", &parsed));
+}
+
+TEST(FuzzTemplateTest, SameSeedDiffersAcrossTemplates) {
+  EXPECT_NE(GenerateScenario(7, FuzzTemplate::kMini).Describe(),
+            GenerateScenario(7, FuzzTemplate::kStandard).Describe());
+  const FuzzScenario cent = GenerateScenario(7, FuzzTemplate::kCentrifuge);
+  EXPECT_EQ(cent.sites, 1u);
+  EXPECT_GE(cent.piles, 4u);
+  EXPECT_LE(cent.piles, 12u);
+}
+
+TEST(FuzzTemplateTest, NewFaultClassesAppearInGeneratedSchedules) {
+  bool corrupt = false, skew = false, creds = false;
+  for (std::uint64_t seed = 1; seed <= 64 && !(corrupt && skew && creds);
+       ++seed) {
+    for (const FuzzFault& f : GenerateScenario(seed).faults) {
+      corrupt |= f.kind == FuzzFault::Kind::kFrameCorrupt;
+      skew |= f.kind == FuzzFault::Kind::kClockSkew;
+      creds |= f.kind == FuzzFault::Kind::kCredentialExpiry;
+    }
+  }
+  EXPECT_TRUE(corrupt);
+  EXPECT_TRUE(skew);
+  EXPECT_TRUE(creds);
+}
+
+// --- shrinker ----------------------------------------------------------------
+
+TEST(FuzzShrinkTest, ShrinksToMinimalFailingSubset) {
+  // Synthetic deterministic failure: the case fails iff bits 0 and 2 are
+  // both enabled. Greedy single-bit removal from the full 6-fault mask must
+  // land exactly on {0,2}: a minimal set where dropping any one bit makes
+  // the case pass.
+  const auto fails = [](std::uint64_t mask) {
+    return (mask & 0b101ULL) == 0b101ULL;
+  };
+  const std::uint64_t shrunk = ShrinkFaultMask(6, 0b111111ULL, fails);
+  EXPECT_EQ(shrunk, 0b101ULL);
+  EXPECT_TRUE(fails(shrunk));
+  for (std::size_t bit = 0; bit < 6; ++bit) {
+    if ((shrunk >> bit) & 1ULL) {
+      EXPECT_FALSE(fails(shrunk & ~(1ULL << bit))) << bit;
+    }
+  }
+}
+
+TEST(FuzzShrinkTest, SingleFaultFailureKeepsThatFault) {
+  const auto fails = [](std::uint64_t mask) { return (mask & 0b10ULL) != 0; };
+  EXPECT_EQ(ShrinkFaultMask(4, 0b1111ULL, fails), 0b10ULL);
 }
 
 // --- oracle stack ------------------------------------------------------------
@@ -108,15 +193,36 @@ TEST(FuzzScenarioTest, CrashFaultsRideAfterBaseFaults) {
   // faults, so pre-existing (seed, fault-mask) repro commands keep their
   // bit meanings; crash downtime stays under the coordinator's re-proposal
   // tolerance so the completion oracle remains sound.
+  // Lane append order: base faults, then crashes, then the corruption /
+  // skew / credential lanes. Each class added later rides strictly after
+  // every earlier one, so mask bits never shift for pre-existing repros.
+  const auto lane_rank = [](FuzzFault::Kind k) {
+    switch (k) {
+      case FuzzFault::Kind::kOutage:
+      case FuzzFault::Kind::kDropNext:
+      case FuzzFault::Kind::kWakeDrop:
+        return 0;
+      case FuzzFault::Kind::kSiteCrashRestart:
+        return 1;
+      case FuzzFault::Kind::kFrameCorrupt:
+        return 2;
+      case FuzzFault::Kind::kClockSkew:
+        return 3;
+      case FuzzFault::Kind::kCredentialExpiry:
+        return 4;
+    }
+    return -1;
+  };
   std::size_t scenarios_with_crashes = 0;
   for (std::uint64_t seed = 1; seed <= 64; ++seed) {
     const FuzzScenario s = GenerateScenario(seed);
+    int prev_rank = 0;
     bool seen_crash = false;
     for (const FuzzFault& f : s.faults) {
-      if (f.kind != FuzzFault::Kind::kSiteCrashRestart) {
-        EXPECT_FALSE(seen_crash) << seed << ": crash before a base fault";
-        continue;
-      }
+      EXPECT_GE(lane_rank(f.kind), prev_rank)
+          << seed << ": " << f.ToString() << " out of lane order";
+      prev_rank = lane_rank(f.kind);
+      if (f.kind != FuzzFault::Kind::kSiteCrashRestart) continue;
       seen_crash = true;
       EXPECT_GE(f.duration_micros, 250'000) << seed;
       EXPECT_LE(f.duration_micros, 1'200'000) << seed;
@@ -169,6 +275,124 @@ TEST(FuzzRunTest, MaskingCrashBitsDisablesCrashes) {
   EXPECT_EQ(outcome.transactions_recovered, 0u);
 }
 
+// --- frame corruption fault class --------------------------------------------
+
+TEST(FuzzRunTest, FrameCorruptionIsAbsorbedByCrcAndRetries) {
+  // A clean scenario plus one corruption burst on the coordinator->site
+  // link: every mutated frame must either fail the Decode CRC (a detected
+  // loss the retry ladder absorbs) or parse as a valid frame — never crash
+  // or wedge the run. All four oracles must hold.
+  FuzzScenario s = GenerateScenario(3);
+  s.faults.clear();
+  FuzzFault f;
+  f.kind = FuzzFault::Kind::kFrameCorrupt;
+  f.site = 0;
+  f.to_site = true;
+  f.at_micros = 200'000;
+  f.count = 3;
+  s.faults.push_back(f);
+  const FuzzOutcome outcome = RunFuzzCaseChecked(s);
+  EXPECT_TRUE(outcome.ok()) << (outcome.failures.empty()
+                                    ? ""
+                                    : outcome.failures.front());
+  EXPECT_TRUE(outcome.run_completed);
+  EXPECT_GT(outcome.frames_corrupted, 0u);
+}
+
+TEST(FuzzRunTest, MaskingCorruptBitDisablesCorruption) {
+  FuzzScenario s = GenerateScenario(3);
+  s.faults.clear();
+  FuzzFault f;
+  f.kind = FuzzFault::Kind::kFrameCorrupt;
+  f.site = 0;
+  f.at_micros = 200'000;
+  f.count = 3;
+  s.faults.push_back(f);
+  const FuzzOutcome outcome = RunFuzzCase(s, 0);
+  EXPECT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.frames_corrupted, 0u);
+}
+
+// --- clock skew fault class --------------------------------------------------
+
+TEST(FuzzRunTest, ClockSkewKeepsOraclesSound) {
+  // Jump one site's clock 2.5s ahead mid-run (an NTP discipline slip). The
+  // skewed clock is forward-only, so per-server timestamp logic (proposal
+  // expiry, token validation) drifts relative to the grid but never sees
+  // time move backwards; the run must stay correct and deterministic.
+  FuzzScenario s = GenerateScenario(3);
+  s.faults.clear();
+  FuzzFault f;
+  f.kind = FuzzFault::Kind::kClockSkew;
+  f.site = 0;
+  f.at_micros = 300'000;
+  f.duration_micros = 2'500'000;
+  s.faults.push_back(f);
+  const FuzzOutcome outcome = RunFuzzCaseChecked(s);
+  EXPECT_TRUE(outcome.ok()) << (outcome.failures.empty()
+                                    ? ""
+                                    : outcome.failures.front());
+  EXPECT_TRUE(outcome.run_completed);
+}
+
+// --- credential expiry fault class -------------------------------------------
+
+namespace {
+FuzzScenario CredentialExpiryScenario() {
+  FuzzScenario s = GenerateScenario(3);
+  s.faults.clear();
+  FuzzFault f;
+  f.kind = FuzzFault::Kind::kCredentialExpiry;
+  f.site = 0;
+  // Short token lifetime: the session token minted at login expires long
+  // before the run finishes, so some mid-run operation WILL hit
+  // kUnauthenticated.
+  f.at_micros = 150'000;
+  s.faults.push_back(f);
+  return s;
+}
+}  // namespace
+
+TEST(FuzzRunTest, CredentialExpiryWithoutRefresherKillsTheRun) {
+  // The original E10 bug: a routine proxy-credential rollover mid-run is a
+  // definitive auth error, and without the refresh hook the step fails
+  // permanently. This pins the bug the fault class was built to find.
+  FuzzRunOptions options;
+  options.install_auth_refresher = false;
+  const FuzzOutcome outcome =
+      RunFuzzCase(CredentialExpiryScenario(), kAllFaults, options);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_FALSE(outcome.run_completed);
+}
+
+TEST(FuzzRunTest, CredentialExpiryWithRefresherCompletes) {
+  const FuzzOutcome outcome = RunFuzzCaseChecked(CredentialExpiryScenario());
+  EXPECT_TRUE(outcome.ok()) << (outcome.failures.empty()
+                                    ? ""
+                                    : outcome.failures.front());
+  EXPECT_TRUE(outcome.run_completed);
+  EXPECT_GT(outcome.auth_refreshes, 0u);
+}
+
+TEST(FuzzRunTest, MaskingCredentialBitDisablesExpiry) {
+  const FuzzOutcome outcome = RunFuzzCase(CredentialExpiryScenario(), 0);
+  EXPECT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.auth_refreshes, 0u);
+}
+
+// --- centrifuge template -----------------------------------------------------
+
+TEST(FuzzRunTest, CentrifugeTemplateCompletesAndIsDeterministic) {
+  const FuzzScenario s = GenerateScenario(4, FuzzTemplate::kCentrifuge);
+  const FuzzOutcome outcome = RunFuzzCaseChecked(s);
+  EXPECT_TRUE(outcome.ok()) << (outcome.failures.empty()
+                                    ? ""
+                                    : outcome.failures.front());
+  EXPECT_TRUE(outcome.run_completed);
+  // Every pile is three robot transactions plus characterization passes.
+  EXPECT_GE(outcome.steps_completed, s.piles);
+}
+
 // --- pinned regressions ------------------------------------------------------
 
 // Seed 187 (first sweep): a dropped propose *response* leaves the server
@@ -198,6 +422,45 @@ TEST(FuzzRegressionTest, Seed44MaxSitesHeavyFaultSchedule) {
   EXPECT_TRUE(outcome.ok()) << (outcome.failures.empty()
                                     ? ""
                                     : outcome.failures.front());
+}
+
+// Standard seed 11 draws all seven fault kinds in one 13-fault schedule —
+// wake drops, directed drops, outages, two crash/restarts, a corruption
+// burst, a 1.8s clock jump and a mid-run credential expiry (35 token
+// refreshes) over 14 sites on the sequential engine. The densest
+// cross-class interaction schedule the first campaign sweep produced.
+TEST(FuzzRegressionTest, Seed11AllSevenFaultClassesInteract) {
+  const FuzzOutcome outcome = RunFuzzCaseChecked(GenerateScenario(11));
+  EXPECT_TRUE(outcome.ok()) << (outcome.failures.empty()
+                                    ? ""
+                                    : outcome.failures.front());
+  EXPECT_GT(outcome.frames_corrupted, 0u);
+  EXPECT_GT(outcome.auth_refreshes, 0u);
+  EXPECT_GT(outcome.site_crashes, 0u);
+}
+
+// Centrifuge seeds 3 and 120 (first campaign sweep): armed DropNext /
+// CorruptNext counts don't drain on the operator link — there is no
+// heartbeat traffic — so consecutive faults stacked 6 losses onto one
+// transaction and exhausted the RPC retry ladder. Fixed by giving the
+// teleoperation loop the same outer re-proposal ladder the MOST
+// coordinator has (plus a generation-time loss budget); these seeds pin
+// both sides of that fix.
+TEST(FuzzRegressionTest, CentrifugeSeed3StackedDropBursts) {
+  const FuzzOutcome outcome = RunFuzzCaseChecked(
+      GenerateScenario(3, FuzzTemplate::kCentrifuge));
+  EXPECT_TRUE(outcome.ok()) << (outcome.failures.empty()
+                                    ? ""
+                                    : outcome.failures.front());
+}
+
+TEST(FuzzRegressionTest, CentrifugeSeed120OutagePlusCorruptBursts) {
+  const FuzzOutcome outcome = RunFuzzCaseChecked(
+      GenerateScenario(120, FuzzTemplate::kCentrifuge));
+  EXPECT_TRUE(outcome.ok()) << (outcome.failures.empty()
+                                    ? ""
+                                    : outcome.failures.front());
+  EXPECT_GT(outcome.frames_corrupted, 0u);
 }
 
 }  // namespace

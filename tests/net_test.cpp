@@ -11,6 +11,8 @@
 #include "net/rpc.h"
 #include "util/bytes.h"
 #include "util/clock.h"
+#include "util/crc32.h"
+#include "util/rng.h"
 
 namespace nees::net {
 namespace {
@@ -31,6 +33,17 @@ Message MakeMessage(const std::string& from, const std::string& to,
 }
 std::string AsString(const Bytes& bytes) {
   return std::string(bytes.begin(), bytes.end());
+}
+
+/// Recomputes and rewrites the trailing CRC so a deliberately mutated frame
+/// is sealed again — for tests that target the *semantic* validation behind
+/// the checksum (unknown ids, bad kinds).
+void ResealFrame(std::vector<std::uint8_t>& frame) {
+  ASSERT_GE(frame.size(), 4u);
+  const std::uint32_t crc = util::Crc32(frame.data(), frame.size() - 4);
+  for (int i = 0; i < 4; ++i) {
+    frame[frame.size() - 4 + i] = static_cast<std::uint8_t>(crc >> (8 * i));
+  }
 }
 
 // --- endpoint interning ------------------------------------------------------
@@ -139,9 +152,76 @@ TEST(MessageWireTest, UnknownInternedIdsAreProtocolErrors) {
     valid.EncodeTo(writer);
     std::vector<std::uint8_t> frame = writer.Take();
     std::memcpy(frame.data() + offset, &bogus, sizeof bogus);
+    // Reseal the checksum: this test targets the id validation itself, not
+    // the CRC's ability to notice the overwrite.
+    ResealFrame(frame);
     util::ByteReader reader(frame);
     auto decoded = Message::Decode(reader);
     EXPECT_FALSE(decoded.ok()) << "bogus id accepted at offset " << offset;
+  }
+}
+
+TEST(MessageWireTest, ChecksumCatchesEverySingleByteCorruption) {
+  Message message = MakeMessage("wire.src", "wire.dst", "wire.method");
+  message.kind = MessageKind::kRequest;
+  message.correlation_id = 7;
+  message.payload = AsBytes("crc-covered-payload");
+  util::ByteWriter writer;
+  message.EncodeTo(writer);
+  const std::vector<std::uint8_t> frame = writer.data();
+  // CRC-32 detects all single-byte errors, including ones that land in the
+  // payload or the CRC field itself — the corruption class that used to
+  // decode cleanly and poison downstream protocol state.
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    std::vector<std::uint8_t> mutant = frame;
+    mutant[i] ^= 0x5A;
+    util::ByteReader reader(mutant);
+    auto decoded = Message::Decode(reader);
+    EXPECT_FALSE(decoded.ok()) << "byte " << i << " flip decoded";
+  }
+}
+
+TEST(MessageWireTest, RandomByteFlipFuzzNeverCrashesAlwaysOkOrError) {
+  // Seeded mutation fuzz over the Decode boundary — the in-process version
+  // of nees_fuzz's kFrameCorrupt fault class. Every mutant (1–3 byte flips,
+  // sometimes truncated too) must come back Ok or an error; decoding may
+  // never crash, and a frame whose bytes actually changed must be rejected
+  // by the checksum.
+  util::Rng rng(20260808);
+  Message message = MakeMessage("wire.src", "wire.dst", "wire.method");
+  message.kind = MessageKind::kRequest;
+  for (int round = 0; round < 2000; ++round) {
+    message.correlation_id = rng.NextU64();
+    message.payload.resize(static_cast<std::size_t>(rng.UniformInt(0, 64)));
+    for (auto& byte : message.payload) {
+      byte = static_cast<std::uint8_t>(rng.UniformInt(0, 255));
+    }
+    util::ByteWriter writer;
+    message.EncodeTo(writer);
+    std::vector<std::uint8_t> mutant = writer.Take();
+
+    bool changed = false;
+    const int flips = rng.UniformInt(1, 3);
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t at = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<int>(mutant.size()) - 1));
+      const std::uint8_t mask =
+          static_cast<std::uint8_t>(rng.UniformInt(1, 255));
+      mutant[at] ^= mask;
+      changed = true;
+    }
+    if (rng.Bernoulli(0.25)) {
+      mutant.resize(static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<int>(mutant.size()))));
+      changed = true;
+    }
+
+    util::ByteReader reader(mutant);
+    auto decoded = Message::Decode(reader);  // must not crash
+    if (changed) {
+      EXPECT_FALSE(decoded.ok())
+          << "round " << round << ": corrupted frame decoded cleanly";
+    }
   }
 }
 
