@@ -47,14 +47,24 @@ echo "######## configure $prefix-tsan (concurrency suites) ########"
 cmake -B "$prefix-tsan" -S "$repo" -DNEES_WERROR=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo -DNEES_SANITIZE=thread
 cmake --build "$prefix-tsan" -j "$jobs" \
-      --target net_test ntcp_test psd_test plugins_test most_test
+      --target net_test ntcp_test psd_test plugins_test most_test \
+               farm_test nees_farm_cli
 # The suites that exercise real threads: the completion-driven step engine
 # vs thread-per-site, per-call RPC signaling, the MPlugin long-poll/wake
-# handshake, and the full MOST assembly over the kScheduled network.
-for suite in net_test ntcp_test psd_test plugins_test most_test; do
+# handshake, the full MOST assembly over the kScheduled network, and the
+# multi-tenant farm's worker pool + swarm shards over one shared fabric.
+for suite in net_test ntcp_test psd_test plugins_test most_test farm_test; do
   echo "-- tsan: $suite"
   "$prefix-tsan/tests/$suite" --gtest_brief=1
 done
+
+echo
+echo "######## nees_farm smoke wave (TSan) ########"
+# A mixed tenant wave plus a sharded CHEF swarm on the TSan build: many
+# namespaced experiments racing over one container/registry/NSDS/CHEF
+# host is the farm's whole concurrency story, so it runs instrumented.
+"$prefix-tsan/tools/nees_farm" --tenants 12 --mix mixed --workers 4 \
+                               --swarm 200 --swarm-shards 4
 
 echo
 echo "######## lockdep lock-order report (nees_locks) ########"
@@ -153,6 +163,10 @@ require_keys BENCH_fuzz.json seeds failures wall_seconds seeds_per_hour \
              campaign_mini campaign_standard campaign_full_most \
              campaign_centrifuge campaign_frames_corrupted \
              campaign_auth_refreshes
+require_keys BENCH_farm.json tenants experiments_per_sec \
+             experiments_per_sec_100 peak_services services_after_reap \
+             mixed_tenants mixed_experiments_per_sec swarm_participants \
+             swarm_participants_per_sec swarm_failures
 
 # Stale-number gate: headline figures quoted in prose carry a
 # machine-readable citation next to them,
@@ -202,6 +216,13 @@ echo "######## fuzz campaign throughput regression gate ########"
 # must not land more than 20% below the committed campaign_seeds_per_hour
 # in BENCH_fuzz.json.
 "$prefix-release/bench/bench_fuzz" --quick "$repo/BENCH_fuzz.json"
+
+echo
+echo "######## farm tenancy throughput regression gate ########"
+# And for the farm: a 100-tenant Mini-MOST wave (best of two) must not
+# land more than 20% below the committed experiments_per_sec_100 in
+# BENCH_farm.json.
+"$prefix-release/bench/bench_farm" --quick "$repo/BENCH_farm.json"
 
 if "$prefix-release/tools/nees_locks" > /dev/null 2>&1; then rc=0; else rc=$?; fi
 if [ "$rc" -ne 3 ]; then

@@ -1,0 +1,200 @@
+#include "centrifuge/session.h"
+
+#include "ntcp/client.h"
+#include "util/strings.h"
+
+namespace nees::centrifuge {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void FnvBytes(std::uint64_t& h, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+}
+
+void FnvString(std::uint64_t& h, std::string_view s) {
+  const std::uint64_t size = s.size();
+  FnvBytes(h, &size, sizeof(size));
+  FnvBytes(h, s.data(), s.size());
+}
+
+void FnvDouble(std::uint64_t& h, double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  __builtin_memcpy(&bits, &value, sizeof(bits));
+  FnvBytes(h, &bits, sizeof(bits));
+}
+
+}  // namespace
+
+TeleoperationSession::TeleoperationSession(net::Network* network,
+                                           util::Clock* clock,
+                                           SessionOptions options)
+    : network_(network), clock_(clock), options_(std::move(options)) {}
+
+TeleoperationSession::~TeleoperationSession() { Stop(); }
+
+util::Status TeleoperationSession::Start() {
+  if (started_) return util::OkStatus();
+  if (options_.tracer != nullptr) network_->set_tracer(options_.tracer);
+
+  // The E12 rig: soil container, robot arm, embedded bender elements. All
+  // sensor noise is seeded, so a session replays bit-identically.
+  soil_ = std::make_shared<SoilModel>(
+      SoilModel::DefaultProfile(options_.water_table_fraction));
+  arm_ = std::make_shared<RobotArm>(RobotArm::Params{}, soil_.get(),
+                                    options_.seed ^ 0x0a21);
+  benders_ = std::make_shared<BenderElementArray>(soil_.get(),
+                                                  options_.seed ^ 0x0be1);
+  benders_->AddElement("be1", {0.10, 0.10, -0.05});
+  benders_->AddElement("be2", {0.35, 0.10, -0.05});
+
+  server_ = std::make_unique<ntcp::NtcpServer>(
+      network_, Qualified(kNtcp),
+      std::make_unique<RobotArmPlugin>(arm_, benders_), clock_);
+  NEES_RETURN_IF_ERROR(server_->Start());
+  server_->set_tracer(options_.tracer);
+
+  if (options_.shared_container != nullptr) {
+    NEES_RETURN_IF_ERROR(server_->PublishTo(*options_.shared_container));
+  }
+  if (options_.shared_registry != nullptr) {
+    options_.shared_registry->Register(
+        {Qualified(kNtcp), server_->endpoint(), "ntcp", "Centrifuge", 0},
+        options_.registry_lease_micros);
+  }
+
+  operator_rpc_ =
+      std::make_unique<net::RpcClient>(network_, Qualified(kOperator));
+  started_ = true;
+  return util::OkStatus();
+}
+
+void TeleoperationSession::Stop() {
+  if (!started_) return;
+  if (!options_.experiment_ns.empty()) {
+    if (options_.shared_container != nullptr) {
+      (void)options_.shared_container->DestroyTenant(options_.experiment_ns);
+    }
+    if (options_.shared_registry != nullptr) {
+      (void)options_.shared_registry->UnregisterTenant(options_.experiment_ns);
+    }
+  }
+  if (server_) server_->Stop();
+  started_ = false;
+}
+
+bool TeleoperationSession::RunTransaction(
+    ntcp::NtcpClient& client, std::vector<ntcp::ControlPointRequest> actions,
+    SessionReport& report, std::string& failure) {
+  const int step = static_cast<int>(report.transactions);
+  ++report.transactions;
+  // Same outer ladder as the MOST coordinator's step re-drive: each round
+  // is a fresh transaction id (the arm and soil models are idempotent for
+  // these actions), and the digest only folds in the round that returned.
+  // Ids carry the namespace so concurrent tenants stay lint-distinct.
+  const std::string id_prefix = Qualified("cam");
+  for (int round = 0; round < 3; ++round) {
+    ntcp::Proposal proposal;
+    proposal.transaction_id =
+        round == 0 ? util::Format("%s-%d", id_prefix.c_str(), step)
+                   : util::Format("%s-%d-r%d", id_prefix.c_str(), step, round);
+    proposal.step_index = step;
+    proposal.actions = actions;
+    proposal.timeout_micros = 20'000'000;
+    const util::Status accepted = client.Propose(proposal);
+    if (!accepted.ok()) {
+      failure = util::Format("propose %s failed: %s",
+                             proposal.transaction_id.c_str(),
+                             accepted.ToString().c_str());
+      continue;
+    }
+    const util::Result<ntcp::TransactionResult> result =
+        client.Execute(proposal.transaction_id);
+    if (!result.ok()) {
+      failure = util::Format("execute %s failed: %s",
+                             proposal.transaction_id.c_str(),
+                             result.status().ToString().c_str());
+      continue;
+    }
+    for (const auto& point : result->results) {
+      FnvString(report.measured_digest, point.control_point);
+      for (const double v : point.measured_displacement) {
+        FnvDouble(report.measured_digest, v);
+      }
+      for (const double v : point.measured_force) {
+        FnvDouble(report.measured_digest, v);
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+util::Result<SessionReport> TeleoperationSession::Run() {
+  NEES_RETURN_IF_ERROR(Start());
+
+  net::RpcClient* rpc = operator_rpc_.get();
+  ntcp::RetryPolicy retry;
+  retry.max_attempts = 6;
+  retry.rpc_timeout_micros = 500'000;
+  retry.initial_backoff_micros = 50'000;
+  retry.max_backoff_micros = 1'000'000;
+  const std::string server_endpoint =
+      options_.shared_registry != nullptr
+          ? options_.shared_registry->LookupEntry(Qualified(kNtcp))
+                .value_or(grid::Registration{"", Qualified(kNtcp), "", "", 0})
+                .endpoint
+          : Qualified(kNtcp);
+  ntcp::NtcpClient client(rpc, server_endpoint, retry, clock_);
+  client.set_tracer(options_.tracer);
+
+  SessionReport report;
+  report.measured_digest = kFnvOffset;
+  std::string failure;
+
+  // One soil-characterization pass: shear-wave velocity between the bender
+  // pair, then a cone penetration at -0.25m.
+  auto characterize = [&]() -> bool {
+    return RunTransaction(client, {{"bender:be1:be2", {}, {}}}, report,
+                          failure) &&
+           RunTransaction(client, {{"tool:cone-penetrometer", {}, {}}},
+                          report, failure) &&
+           RunTransaction(client, {{"penetrate", {-0.25}, {}}}, report,
+                          failure);
+  };
+
+  report.completed = characterize();
+  if (report.completed) {
+    for (std::size_t pile = 1; pile <= options_.piles; ++pile) {
+      // Pile grid stays inside the arm's 0.6m x 0.4m workspace for up to
+      // 12 piles.
+      const double x = 0.08 + 0.04 * static_cast<double>(pile);
+      if (!RunTransaction(client, {{"tool:gripper", {}, {}}}, report,
+                          failure) ||
+          !RunTransaction(client, {{"arm", {x, 0.12, 0.0}, {}}}, report,
+                          failure) ||
+          !RunTransaction(client, {{"pile", {-0.22}, {}}}, report, failure) ||
+          !characterize()) {
+        report.completed = false;
+        break;
+      }
+      ++report.piles_installed;
+    }
+  }
+  if (!report.completed) {
+    return util::Unavailable("centrifuge session incomplete: " + failure);
+  }
+  return report;
+}
+
+ntcp::NtcpServerStats TeleoperationSession::ServerStats() const {
+  return server_ ? server_->stats() : ntcp::NtcpServerStats{};
+}
+
+}  // namespace nees::centrifuge

@@ -1,0 +1,102 @@
+// A self-contained teleoperated centrifuge session: the E12 soil-
+// characterization/pile-installation campaign packaged as a farm tenant.
+// One NTCP server fronts the robot arm + bender array; a scripted operator
+// drives the propose/execute ladder. Every endpoint is namespace-qualified
+// (grid/tenant.h), so hundreds of sessions can share one network — the farm
+// scheduler runs these beside MOST and Mini-MOST tenants to exercise the
+// "wide range of devices" claim under multi-tenancy.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "centrifuge/plugin.h"
+#include "grid/container.h"
+#include "grid/registry.h"
+#include "grid/tenant.h"
+#include "ntcp/server.h"
+#include "obs/trace.h"
+
+namespace nees::ntcp {
+class NtcpClient;
+}  // namespace nees::ntcp
+
+namespace nees::centrifuge {
+
+struct SessionOptions {
+  /// Piles to install after the initial soil characterization pass; each
+  /// pile adds a grip/move/drive/re-characterize cycle (7 transactions).
+  std::size_t piles = 2;
+  std::uint64_t seed = 77;
+  double water_table_fraction = 0.3;
+
+  /// Experiment namespace (grid/tenant.h). Empty keeps the canonical
+  /// "ntcp.centrifuge"/"operator.centrifuge" names.
+  std::string experiment_ns;
+
+  /// Shared farm fabric (optional, must outlive the session).
+  grid::ServiceContainer* shared_container = nullptr;
+  grid::RegistryService* shared_registry = nullptr;
+  std::int64_t registry_lease_micros = 0;
+
+  /// Optional observability; must outlive the session. Left null, a
+  /// farm-installed network tracer is preserved untouched.
+  obs::Tracer* tracer = nullptr;
+};
+
+struct SessionReport {
+  bool completed = false;
+  std::size_t piles_installed = 0;
+  std::size_t transactions = 0;
+  /// FNV-1a digest over every measured control point (name + displacement +
+  /// force vectors) — the determinism "history" for a shape with no
+  /// integrator. Same seed + same fault-free network => same digest.
+  std::uint64_t measured_digest = 0;
+};
+
+class TeleoperationSession {
+ public:
+  // Canonical *base* names; deployed names are namespace-qualified.
+  static constexpr const char* kNtcp = "ntcp.centrifuge";
+  static constexpr const char* kOperator = "operator.centrifuge";
+
+  TeleoperationSession(net::Network* network, util::Clock* clock,
+                       SessionOptions options);
+  ~TeleoperationSession();
+
+  /// Assembles soil/arm/benders and starts the NTCP server; publishes to
+  /// the shared container and registers in the shared registry when set.
+  util::Status Start();
+  /// Stops the server and reaps this tenant from the shared fabric.
+  void Stop();
+
+  /// Runs the scripted campaign: characterize (bender Vs + cone
+  /// penetration), then `piles` grip/move/drive/re-characterize cycles.
+  util::Result<SessionReport> Run();
+
+  const SessionOptions& options() const { return options_; }
+  ntcp::NtcpServerStats ServerStats() const;
+
+  /// The deployed (namespace-qualified) name for a canonical base name.
+  std::string Qualified(std::string_view base) const {
+    return grid::QualifiedName(options_.experiment_ns, base);
+  }
+
+ private:
+  bool RunTransaction(ntcp::NtcpClient& client,
+                      std::vector<ntcp::ControlPointRequest> actions,
+                      SessionReport& report, std::string& failure);
+
+  net::Network* network_;
+  util::Clock* clock_;
+  SessionOptions options_;
+
+  std::shared_ptr<SoilModel> soil_;
+  std::shared_ptr<RobotArm> arm_;
+  std::shared_ptr<BenderElementArray> benders_;
+  std::unique_ptr<ntcp::NtcpServer> server_;
+  std::unique_ptr<net::RpcClient> operator_rpc_;
+  bool started_ = false;
+};
+
+}  // namespace nees::centrifuge

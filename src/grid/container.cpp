@@ -1,8 +1,22 @@
 #include "grid/container.h"
 
+#include <algorithm>
+
+#include "grid/tenant.h"
 #include "util/logging.h"
 
 namespace nees::grid {
+namespace {
+
+std::uint32_t InternedId(std::string_view name) {
+  return net::EndpointTable::Instance().Intern(name);
+}
+
+std::string_view NameOf(std::uint32_t id) {
+  return net::EndpointTable::Instance().Lookup(id);
+}
+
+}  // namespace
 
 ServiceContainer::ServiceContainer(net::Network* network, std::string endpoint,
                                    util::Clock* clock)
@@ -45,23 +59,25 @@ void ServiceContainer::Stop() { rpc_server_.Stop(); }
 
 util::Result<std::string> ServiceContainer::AddService(
     std::shared_ptr<GridService> service) {
-  util::MutexLock lock(mu_);
   const std::string& name = service->name();
-  if (services_.contains(name)) {
+  const std::uint32_t id = InternedId(name);
+  util::MutexLock lock(mu_);
+  if (services_.Find(id) != nullptr) {
     return util::AlreadyExists("service already hosted: " + name);
   }
-  services_[name] = std::move(service);
+  services_[id].service = std::move(service);
   return endpoint_ + "/" + name;
 }
 
 util::Status ServiceContainer::DestroyService(const std::string& name) {
+  const std::uint32_t id = InternedId(name);
   std::shared_ptr<GridService> victim;
   {
     util::MutexLock lock(mu_);
-    auto it = services_.find(name);
-    if (it == services_.end()) return util::NotFound("no service: " + name);
-    victim = it->second;
-    services_.erase(it);
+    Entry* entry = services_.Find(id);
+    if (entry == nullptr) return util::NotFound("no service: " + name);
+    victim = std::move(entry->service);
+    services_.Erase(id);
     std::erase_if(remote_subscriptions_, [&](const RemoteSubscription& sub) {
       return sub.service == name;
     });
@@ -72,37 +88,78 @@ util::Status ServiceContainer::DestroyService(const std::string& name) {
 
 std::shared_ptr<GridService> ServiceContainer::Lookup(
     const std::string& name) const {
+  const std::uint32_t id = InternedId(name);
   util::MutexLock lock(mu_);
-  auto it = services_.find(name);
-  return it == services_.end() ? nullptr : it->second;
+  const Entry* entry = services_.Find(id);
+  return entry == nullptr ? nullptr : entry->service;
 }
 
-std::vector<std::string> ServiceContainer::ListServices() const {
-  util::MutexLock lock(mu_);
+std::vector<std::string> ServiceContainer::CollectNames(
+    std::string_view tenant, bool all) const {
   std::vector<std::string> names;
-  names.reserve(services_.size());
-  for (const auto& [name, service] : services_) {
-    (void)service;
-    names.push_back(name);
+  {
+    util::MutexLock lock(mu_);
+    names.reserve(services_.size());
+    services_.ForEach([&](std::uint32_t id, const Entry&) {
+      const std::string_view name = NameOf(id);
+      if (all || TenantOf(name) == tenant) names.emplace_back(name);
+    });
   }
+  // The open-addressed table iterates in probe order; sort so listings are
+  // deterministic (and match the former std::map behavior).
+  std::sort(names.begin(), names.end());
   return names;
 }
 
-int ServiceContainer::SweepExpired() {
+std::vector<std::string> ServiceContainer::ListServices() const {
+  return CollectNames({}, /*all=*/true);
+}
+
+std::vector<std::string> ServiceContainer::ListServices(
+    std::string_view tenant) const {
+  return CollectNames(tenant, /*all=*/false);
+}
+
+std::size_t ServiceContainer::service_count() const {
+  util::MutexLock lock(mu_);
+  return services_.size();
+}
+
+int ServiceContainer::SweepExpiredImpl(std::string_view tenant, bool all) {
   const std::int64_t now = clock_->NowMicros();
   std::vector<std::string> expired;
   {
     util::MutexLock lock(mu_);
-    for (const auto& [name, service] : services_) {
-      if (service->Expired(now)) expired.push_back(name);
-    }
+    services_.ForEach([&](std::uint32_t id, const Entry& entry) {
+      if (!entry.service->Expired(now)) return;
+      const std::string_view name = NameOf(id);
+      if (all || TenantOf(name) == tenant) expired.emplace_back(name);
+    });
   }
+  std::sort(expired.begin(), expired.end());
   for (const std::string& name : expired) {
     NEES_LOG_INFO("grid.container." + endpoint_)
         << "soft-state expiry destroying service " << name;
     (void)DestroyService(name);
   }
   return static_cast<int>(expired.size());
+}
+
+int ServiceContainer::SweepExpired() {
+  return SweepExpiredImpl({}, /*all=*/true);
+}
+
+int ServiceContainer::SweepExpired(std::string_view tenant) {
+  return SweepExpiredImpl(tenant, /*all=*/false);
+}
+
+int ServiceContainer::DestroyTenant(std::string_view tenant) {
+  const std::vector<std::string> names = ListServices(tenant);
+  int destroyed = 0;
+  for (const std::string& name : names) {
+    if (DestroyService(name).ok()) ++destroyed;
+  }
+  return destroyed;
 }
 
 net::Bytes ServiceContainer::HandleList() const {

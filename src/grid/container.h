@@ -10,9 +10,17 @@
 // Soft state: SweepExpired() destroys services whose termination time has
 // passed; a remote party keeps a service alive by periodically extending
 // its lease — the OGSI pattern the paper's services rely on.
+//
+// Multi-tenancy: one container hosts the services of many experiments at
+// once. Service names carry their experiment namespace ("t0042/ntcp.uiuc",
+// grid/tenant.h), and the per-tenant operations — ListServices(tenant),
+// SweepExpired(tenant), DestroyTenant — let the farm scheduler list, lease-
+// sweep, and reap one experiment's soft state without touching its
+// neighbors'. The service table is an open-addressed map keyed by the
+// interned service name (net::EndpointTable), so lookups on the
+// thousands-of-tenants hot path cost a probe, not a red-black walk.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -20,8 +28,10 @@
 #include "util/mutex.h"
 
 #include "grid/service.h"
+#include "net/endpoint.h"
 #include "net/rpc.h"
 #include "util/clock.h"
+#include "util/open_hash.h"
 
 namespace nees::grid {
 
@@ -38,21 +48,39 @@ class ServiceContainer {
   util::Result<std::string> AddService(std::shared_ptr<GridService> service);
   util::Status DestroyService(const std::string& name);
   std::shared_ptr<GridService> Lookup(const std::string& name) const;
+  /// Sorted names of every hosted service; with a tenant, only that
+  /// experiment's services.
   std::vector<std::string> ListServices() const;
+  std::vector<std::string> ListServices(std::string_view tenant) const;
+  std::size_t service_count() const;
 
   /// Destroys services whose termination time has passed; returns count.
+  /// The tenant overload sweeps only one experiment's services.
   int SweepExpired();
+  int SweepExpired(std::string_view tenant);
+
+  /// Destroys every service of one experiment namespace (farm reap);
+  /// returns how many were destroyed.
+  int DestroyTenant(std::string_view tenant);
 
   const std::string& endpoint() const { return endpoint_; }
   net::RpcServer& rpc() { return rpc_server_; }
   util::Clock* clock() const { return clock_; }
 
  private:
+  struct Entry {
+    std::shared_ptr<GridService> service;
+  };
   struct RemoteSubscription {
     std::string service;
     std::string subscriber_endpoint;
     int local_id;
   };
+
+  /// Names matching `tenant` ("" = all), sorted. Caller holds no locks.
+  std::vector<std::string> CollectNames(std::string_view tenant,
+                                        bool all) const;
+  int SweepExpiredImpl(std::string_view tenant, bool all);
 
   net::Bytes HandleList() const;
   util::Result<net::Bytes> HandleFind(const net::Bytes& body) const;
@@ -65,8 +93,10 @@ class ServiceContainer {
   util::Clock* clock_;
   net::RpcServer rpc_server_;
   mutable util::Mutex mu_{"grid.ServiceContainer"};
-  std::map<std::string, std::shared_ptr<GridService>> services_;
-  std::vector<RemoteSubscription> remote_subscriptions_;
+  /// Keyed by the interned full service name; the name itself lives in the
+  /// process-wide EndpointTable, so entries store only the service pointer.
+  util::OpenHashMap<std::uint32_t, Entry> services_ NEES_GUARDED_BY(mu_);
+  std::vector<RemoteSubscription> remote_subscriptions_ NEES_GUARDED_BY(mu_);
 };
 
 /// Client-side helper for the ogsi.* operations of a remote container.

@@ -1,11 +1,19 @@
 #include "grid/registry.h"
 
+#include <algorithm>
+
+#include "grid/tenant.h"
+#include "net/endpoint.h"
 #include "util/strings.h"
 
 namespace nees::grid {
 namespace {
 
 constexpr std::string_view kSdePrefix = "reg.";
+
+std::uint32_t InternedId(std::string_view name) {
+  return net::EndpointTable::Instance().Intern(name);
+}
 
 void EncodeRegistration(const Registration& registration,
                         util::ByteWriter& writer) {
@@ -29,7 +37,12 @@ util::Result<Registration> DecodeRegistration(util::ByteReader& reader) {
 }  // namespace
 
 RegistryService::RegistryService(util::Clock* clock)
-    : GridService("registry"), clock_(clock) {}
+    : GridService("registry"), clock_(clock) {
+  // The SDE mirror is flushed lazily just before any OGSI read: remote
+  // inspection is rare next to per-tenant (re-)registration traffic, so
+  // writes touch only the open-addressed table.
+  SetRefreshHook([this] { RefreshSdes(); });
+}
 
 SdeValue RegistryService::ToSde(const Registration& registration) const {
   SdeValue value;
@@ -40,17 +53,29 @@ SdeValue RegistryService::ToSde(const Registration& registration) const {
   return value;
 }
 
-Registration RegistryService::FromSde(const std::string& name,
-                                      const SdeValue& value) {
-  Registration registration;
-  registration.service_name = name.substr(kSdePrefix.size());
-  registration.endpoint = value.Get("endpoint");
-  registration.type = value.Get("type");
-  registration.site = value.Get("site");
-  long long expires = 0;
-  util::ParseInt(value.Get("expires"), &expires);
-  registration.expires_micros = expires;
-  return registration;
+void RegistryService::RefreshSdes() {
+  std::vector<Registration> live;
+  std::vector<std::string> removed;
+  {
+    util::MutexLock lock(table_mu_);
+    if (!sdes_stale_) return;
+    sdes_stale_ = false;
+    live.reserve(entries_.size());
+    entries_.ForEach([&](std::uint32_t, const Registration& entry) {
+      live.push_back(entry);
+    });
+    removed = std::move(removed_names_);
+    removed_names_.clear();
+  }
+  // SDE writes happen outside table_mu_: subscription callbacks (and, via a
+  // hosting container, best-effort notify sends) run under no registry lock.
+  for (const std::string& name : removed) {
+    RemoveServiceData(std::string(kSdePrefix) + name);
+  }
+  for (const Registration& entry : live) {
+    SetServiceData(std::string(kSdePrefix) + entry.service_name,
+                   ToSde(entry));
+  }
 }
 
 void RegistryService::Register(const Registration& registration,
@@ -58,54 +83,99 @@ void RegistryService::Register(const Registration& registration,
   Registration entry = registration;
   entry.expires_micros =
       lease_micros == 0 ? 0 : clock_->NowMicros() + lease_micros;
-  SetServiceData(std::string(kSdePrefix) + entry.service_name, ToSde(entry));
+  const std::uint32_t id = InternedId(entry.service_name);
+  {
+    util::MutexLock lock(table_mu_);
+    entries_[id] = entry;
+    sdes_stale_ = true;
+  }
+  // With live SDE subscribers the mirror publishes eagerly so change
+  // notifications still fire once per (re-)registration.
+  if (HasSdeSubscribers()) {
+    SetServiceData(std::string(kSdePrefix) + entry.service_name,
+                   ToSde(entry));
+  }
 }
 
 util::Status RegistryService::Unregister(const std::string& service_name) {
-  const std::string key = std::string(kSdePrefix) + service_name;
-  if (!GetServiceData(key)) return util::NotFound("not registered: " + service_name);
-  RemoveServiceData(key);
+  const std::uint32_t id = InternedId(service_name);
+  {
+    util::MutexLock lock(table_mu_);
+    if (!entries_.Erase(id)) {
+      return util::NotFound("not registered: " + service_name);
+    }
+    sdes_stale_ = true;
+    removed_names_.push_back(service_name);
+  }
+  if (HasSdeSubscribers()) {
+    RemoveServiceData(std::string(kSdePrefix) + service_name);
+  }
   return util::OkStatus();
 }
 
 std::optional<Registration> RegistryService::LookupEntry(
     const std::string& service_name) {
-  const std::string key = std::string(kSdePrefix) + service_name;
-  auto value = GetServiceData(key);
-  if (!value) return std::nullopt;
-  Registration registration = FromSde(key, *value);
-  if (registration.expires_micros != 0 &&
-      clock_->NowMicros() >= registration.expires_micros) {
+  const std::uint32_t id = InternedId(service_name);
+  util::MutexLock lock(table_mu_);
+  const Registration* entry = entries_.Find(id);
+  if (entry == nullptr) return std::nullopt;
+  if (entry->expires_micros != 0 &&
+      clock_->NowMicros() >= entry->expires_micros) {
     return std::nullopt;
   }
-  return registration;
+  return *entry;
 }
 
 std::vector<Registration> RegistryService::Query(const std::string& type) {
   const std::int64_t now = clock_->NowMicros();
   std::vector<Registration> results;
-  for (const auto& [key, value] : FindServiceData(std::string(kSdePrefix))) {
-    Registration registration = FromSde(key, value);
-    if (registration.expires_micros != 0 && now >= registration.expires_micros)
-      continue;
-    if (!type.empty() && registration.type != type) continue;
-    results.push_back(std::move(registration));
+  {
+    util::MutexLock lock(table_mu_);
+    entries_.ForEach([&](std::uint32_t, const Registration& entry) {
+      if (entry.expires_micros != 0 && now >= entry.expires_micros) return;
+      if (!type.empty() && entry.type != type) return;
+      results.push_back(entry);
+    });
   }
+  std::sort(results.begin(), results.end(),
+            [](const Registration& a, const Registration& b) {
+              return a.service_name < b.service_name;
+            });
   return results;
 }
 
 int RegistryService::SweepExpired() {
   const std::int64_t now = clock_->NowMicros();
-  int removed = 0;
-  for (const auto& [key, value] : FindServiceData(std::string(kSdePrefix))) {
-    const Registration registration = FromSde(key, value);
-    if (registration.expires_micros != 0 &&
-        now >= registration.expires_micros) {
-      RemoveServiceData(key);
-      ++removed;
-    }
+  std::vector<std::string> doomed;
+  {
+    util::MutexLock lock(table_mu_);
+    entries_.ForEach([&](std::uint32_t, const Registration& entry) {
+      if (entry.expires_micros != 0 && now >= entry.expires_micros) {
+        doomed.push_back(entry.service_name);
+      }
+    });
   }
-  return removed;
+  for (const std::string& name : doomed) (void)Unregister(name);
+  return static_cast<int>(doomed.size());
+}
+
+int RegistryService::UnregisterTenant(std::string_view tenant) {
+  std::vector<std::string> doomed;
+  {
+    util::MutexLock lock(table_mu_);
+    entries_.ForEach([&](std::uint32_t, const Registration& entry) {
+      if (TenantOf(entry.service_name) == tenant) {
+        doomed.push_back(entry.service_name);
+      }
+    });
+  }
+  for (const std::string& name : doomed) (void)Unregister(name);
+  return static_cast<int>(doomed.size());
+}
+
+std::size_t RegistryService::entry_count() const {
+  util::MutexLock lock(table_mu_);
+  return entries_.size();
 }
 
 void RegistryService::BindRpc(ServiceContainer& container) {

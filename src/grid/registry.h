@@ -2,6 +2,13 @@
 // (NTCP servers, repositories, DAQ bridges) register themselves with a
 // lease; entries that are not renewed disappear. This is the index-service
 // analog the virtual-organization story (§1) relies on for discovery.
+//
+// Storage: registrations live in an open-addressed table keyed by the
+// interned service name — the farm host resolves every per-tenant endpoint
+// through here, so lookups must cost a probe, not a tree walk plus SDE
+// decode. The OGSI inspection path still sees one "reg.<name>" SDE per
+// entry; with no SDE subscribers the mirror is materialised lazily via the
+// publish-on-read refresh hook instead of on every (re-)registration.
 #pragma once
 
 #include <cstdint>
@@ -10,11 +17,12 @@
 
 #include "grid/container.h"
 #include "grid/service.h"
+#include "util/open_hash.h"
 
 namespace nees::grid {
 
 struct Registration {
-  std::string service_name;  // e.g. "ntcp.uiuc"
+  std::string service_name;  // e.g. "ntcp.uiuc" or "t0042/ntcp.uiuc"
   std::string endpoint;      // network endpoint of the resource
   std::string type;          // e.g. "ntcp", "repository", "nsds"
   std::string site;          // e.g. "UIUC", "CU", "NCSA"
@@ -32,20 +40,36 @@ class RegistryService final : public GridService {
   util::Status Unregister(const std::string& service_name);
 
   std::optional<Registration> LookupEntry(const std::string& service_name);
-  /// Entries of a given type (all if empty), skipping expired ones.
+  /// Entries of a given type (all if empty), skipping expired ones,
+  /// sorted by service name.
   std::vector<Registration> Query(const std::string& type);
 
   /// Removes expired entries; returns count removed.
   int SweepExpired();
+
+  /// Removes every entry of one experiment namespace (farm reap);
+  /// returns count removed.
+  int UnregisterTenant(std::string_view tenant);
+
+  std::size_t entry_count() const;
 
   /// Binds registry.* RPC methods on the container hosting this service.
   void BindRpc(ServiceContainer& container);
 
  private:
   SdeValue ToSde(const Registration& registration) const;
-  static Registration FromSde(const std::string& name, const SdeValue& value);
+
+  /// Mirrors the table into the SDE map (publish-on-read flush). No-op
+  /// unless a registration changed since the last flush.
+  void RefreshSdes();
 
   util::Clock* clock_;
+  mutable util::Mutex table_mu_{"grid.RegistryService"};
+  util::OpenHashMap<std::uint32_t, Registration> entries_
+      NEES_GUARDED_BY(table_mu_);
+  bool sdes_stale_ NEES_GUARDED_BY(table_mu_) = false;
+  /// Names unregistered since the last flush (their mirror SDEs must go).
+  std::vector<std::string> removed_names_ NEES_GUARDED_BY(table_mu_);
 };
 
 /// Remote client for a registry hosted in a container.

@@ -1,0 +1,42 @@
+// Experiment namespaces for the multi-tenant farm host. A tenant's services
+// live under "<tenant>/<base>" (e.g. "t0042/ntcp.uiuc"); the empty namespace
+// maps to the bare base name, so a standalone experiment keeps exactly the
+// endpoint identities it had before tenancy existed. The separator never
+// appears in base names, which makes TenantOf a pure prefix parse — the
+// container and registry use it to group services per tenant for listing,
+// soft-state sweeping, and reaping without any per-service bookkeeping.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace nees::grid {
+
+inline constexpr char kTenantSeparator = '/';
+
+/// "<ns>/<base>", or just `base` when `ns` is empty.
+inline std::string QualifiedName(std::string_view ns, std::string_view base) {
+  if (ns.empty()) return std::string(base);
+  std::string name;
+  name.reserve(ns.size() + 1 + base.size());
+  name.append(ns);
+  name.push_back(kTenantSeparator);
+  name.append(base);
+  return name;
+}
+
+/// The namespace of a qualified name ("" for un-namespaced names).
+inline std::string_view TenantOf(std::string_view qualified) {
+  const std::size_t sep = qualified.find(kTenantSeparator);
+  return sep == std::string_view::npos ? std::string_view{}
+                                       : qualified.substr(0, sep);
+}
+
+/// The base name with any tenant prefix stripped.
+inline std::string_view BaseNameOf(std::string_view qualified) {
+  const std::size_t sep = qualified.find(kTenantSeparator);
+  return sep == std::string_view::npos ? qualified
+                                       : qualified.substr(sep + 1);
+}
+
+}  // namespace nees::grid

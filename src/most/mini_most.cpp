@@ -26,9 +26,13 @@ MiniMostExperiment::MiniMostExperiment(net::Network* network,
   motion_ = structural::SynthesizeQuake(quake);
 }
 
+MiniMostExperiment::~MiniMostExperiment() { Stop(); }
+
 util::Status MiniMostExperiment::Start() {
   if (started_) return util::OkStatus();
-  network_->set_tracer(options_.tracer);
+  // A farm host installs one shared tracer on the network; only stomp it
+  // when this experiment was handed its own.
+  if (options_.tracer != nullptr) network_->set_tracer(options_.tracer);
   const double beam_stiffness = MiniMostBeamStiffness(options_);
 
   std::unique_ptr<ntcp::ControlPlugin> beam_plugin;
@@ -70,7 +74,7 @@ util::Status MiniMostExperiment::Start() {
         std::make_unique<structural::FirstOrderKineticSubstructure>(kinetic));
     beam_plugin = std::move(simulation);
   }
-  ntcp_ = std::make_unique<ntcp::NtcpServer>(network_, kNtcp,
+  ntcp_ = std::make_unique<ntcp::NtcpServer>(network_, Qualified(kNtcp),
                                              std::move(beam_plugin), clock_);
   NEES_RETURN_IF_ERROR(ntcp_->Start());
   ntcp_->set_tracer(options_.tracer);
@@ -83,15 +87,47 @@ util::Status MiniMostExperiment::Start() {
   numeric->AddControlPoint(
       "frame", std::make_unique<structural::ElasticSubstructure>(k));
   auto sim_server = std::make_unique<ntcp::NtcpServer>(
-      network_, std::string(kNtcp) + ".sim", std::move(numeric), clock_);
+      network_, Qualified(std::string(kNtcp) + ".sim"), std::move(numeric),
+      clock_);
   NEES_RETURN_IF_ERROR(sim_server->Start());
   sim_server->set_tracer(options_.tracer);
   sim_server_ = std::move(sim_server);
 
-  coordinator_rpc_ =
-      std::make_unique<net::RpcClient>(network_, "minimost.coordinator");
+  // Shared-fabric hosting: publish the transaction SDEs into the farm
+  // container and advertise both endpoints under their namespaced names.
+  if (options_.shared_container != nullptr) {
+    NEES_RETURN_IF_ERROR(ntcp_->PublishTo(*options_.shared_container));
+    NEES_RETURN_IF_ERROR(sim_server_->PublishTo(*options_.shared_container));
+  }
+  if (options_.shared_registry != nullptr) {
+    options_.shared_registry->Register(
+        {Qualified(kNtcp), ntcp_->endpoint(), "ntcp", "MiniMOST", 0},
+        options_.registry_lease_micros);
+    options_.shared_registry->Register(
+        {Qualified(std::string(kNtcp) + ".sim"), sim_server_->endpoint(),
+         "ntcp", "MiniMOST", 0},
+        options_.registry_lease_micros);
+  }
+
+  coordinator_rpc_ = std::make_unique<net::RpcClient>(
+      network_, Qualified("minimost.coordinator"));
   started_ = true;
   return util::OkStatus();
+}
+
+void MiniMostExperiment::Stop() {
+  if (!started_) return;
+  if (!options_.experiment_ns.empty()) {
+    if (options_.shared_container != nullptr) {
+      (void)options_.shared_container->DestroyTenant(options_.experiment_ns);
+    }
+    if (options_.shared_registry != nullptr) {
+      (void)options_.shared_registry->UnregisterTenant(options_.experiment_ns);
+    }
+  }
+  if (ntcp_) ntcp_->Stop();
+  if (sim_server_) sim_server_->Stop();
+  started_ = false;
 }
 
 psd::CoordinatorConfig MiniMostExperiment::MakeCoordinatorConfig(
@@ -109,11 +145,21 @@ psd::CoordinatorConfig MiniMostExperiment::MakeCoordinatorConfig(
   config.iota = {1.0};
   config.motion = motion_;
   config.sites = {
-      {"beam", kNtcp, "beam-tip", {0}},
-      {"frame", std::string(kNtcp) + ".sim", "frame", {0}},
+      {"beam", ResolveEndpoint(kNtcp), "beam-tip", {0}},
+      {"frame", ResolveEndpoint(std::string(kNtcp) + ".sim"), "frame", {0}},
   };
   config.tracer = options_.tracer;
   return config;
+}
+
+std::string MiniMostExperiment::ResolveEndpoint(std::string_view base) const {
+  const std::string qualified = Qualified(base);
+  if (options_.shared_registry != nullptr) {
+    if (auto entry = options_.shared_registry->LookupEntry(qualified)) {
+      return entry->endpoint;
+    }
+  }
+  return qualified;
 }
 
 util::Result<psd::RunReport> MiniMostExperiment::Run(

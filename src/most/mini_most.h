@@ -12,6 +12,9 @@
 
 #include <memory>
 
+#include "grid/container.h"
+#include "grid/registry.h"
+#include "grid/tenant.h"
 #include "ntcp/server.h"
 #include "obs/trace.h"
 #include "psd/coordinator.h"
@@ -42,6 +45,19 @@ struct MiniMostOptions {
   /// Optional observability: propagated to the network, both NTCP servers
   /// and the coordinator at Start(). Must outlive the experiment.
   obs::Tracer* tracer = nullptr;
+
+  /// Experiment namespace (grid/tenant.h). Empty keeps the historical
+  /// canonical names; non-empty prefixes both NTCP endpoints and the
+  /// coordinator endpoint with "<ns>/" so many Mini-MOSTs share a network.
+  std::string experiment_ns;
+
+  /// Shared farm fabric (optional, must outlive the experiment): when set,
+  /// Start() publishes both NTCP services to the shared container and
+  /// registers the namespaced endpoints in the shared registry.
+  grid::ServiceContainer* shared_container = nullptr;
+  grid::RegistryService* shared_registry = nullptr;
+  /// Lease for shared-registry registrations, 0 = no expiry.
+  std::int64_t registry_lease_micros = 0;
 };
 
 /// Cantilever tip stiffness of the Mini-MOST beam: 3EI/L^3.
@@ -53,8 +69,12 @@ class MiniMostExperiment {
 
   MiniMostExperiment(net::Network* network, util::Clock* clock,
                      MiniMostOptions options);
+  ~MiniMostExperiment();
 
   util::Status Start();
+  /// Tears down the servers and reaps this tenant's services/registrations
+  /// from the shared farm fabric (no-op when standalone or never started).
+  void Stop();
 
   psd::CoordinatorConfig MakeCoordinatorConfig(const std::string& run_id) const;
   util::Result<psd::RunReport> Run(const std::string& run_id);
@@ -65,7 +85,16 @@ class MiniMostExperiment {
   /// Stepper steps taken so far (real_hardware mode only, else 0).
   std::int64_t stepper_steps() const;
 
+  /// The deployed (namespace-qualified) name for a canonical base name.
+  std::string Qualified(std::string_view base) const {
+    return grid::QualifiedName(options_.experiment_ns, base);
+  }
+
  private:
+  /// Registered endpoint for the qualified name, or the qualified name
+  /// itself when no registry (or no entry) is available.
+  std::string ResolveEndpoint(std::string_view base) const;
+
   net::Network* network_;
   util::Clock* clock_;
   MiniMostOptions options_;

@@ -103,6 +103,10 @@ MostExperiment::MostExperiment(net::Network* network, util::Clock* clock,
   quake.peak_accel = options_.peak_accel;
   quake.seed = options_.seed;
   motion_ = structural::SynthesizeQuake(quake);
+  channel_displacement_ = Qualified("most.displacement");
+  channel_forces_ = {Qualified("most.force.UIUC"),
+                     Qualified("most.force.NCSA"),
+                     Qualified("most.force.CU")};
 }
 
 MostExperiment::~MostExperiment() { Stop(); }
@@ -110,40 +114,61 @@ MostExperiment::~MostExperiment() { Stop(); }
 util::Status MostExperiment::Start() {
   if (started_) return util::OkStatus();
 
-  network_->set_tracer(options_.tracer);
+  // Only install a tracer the experiment actually owns: under a shared farm
+  // network the host wires the tracer once, and a tenant must not stomp it.
+  if (options_.tracer != nullptr) network_->set_tracer(options_.tracer);
 
-  container_ =
-      std::make_unique<grid::ServiceContainer>(network_, "container.nees",
-                                               clock_);
-  NEES_RETURN_IF_ERROR(container_->Start());
-  registry_ = std::make_shared<grid::RegistryService>(clock_);
-  NEES_RETURN_IF_ERROR(container_->AddService(registry_).status());
-  registry_->BindRpc(*container_);
+  if (options_.shared_container != nullptr) {
+    active_container_ = options_.shared_container;
+  } else {
+    container_ = std::make_unique<grid::ServiceContainer>(
+        network_, Qualified("container.nees"), clock_);
+    NEES_RETURN_IF_ERROR(container_->Start());
+    active_container_ = container_.get();
+  }
+  if (options_.shared_registry != nullptr) {
+    active_registry_ = options_.shared_registry;
+  } else {
+    registry_ = std::make_shared<grid::RegistryService>(clock_);
+    NEES_RETURN_IF_ERROR(active_container_->AddService(registry_).status());
+    registry_->BindRpc(*active_container_);
+    active_registry_ = registry_.get();
+  }
 
   NEES_RETURN_IF_ERROR(StartSiteServices());
 
-  if (options_.with_streaming) {
-    nsds_ = std::make_unique<nsds::NsdsServer>(network_, kNsds);
+  if (options_.shared_nsds != nullptr) {
+    active_nsds_ = options_.shared_nsds;
+    active_registry_->Register({Qualified("nsds"), active_nsds_->endpoint(),
+                                "nsds", "NCSA", 0},
+                               0);
+  } else if (options_.with_streaming) {
+    nsds_ = std::make_unique<nsds::NsdsServer>(network_, Qualified(kNsds));
     NEES_RETURN_IF_ERROR(nsds_->Start());
     nsds_->set_tracer(options_.tracer);
-    registry_->Register({"nsds", kNsds, "nsds", "NCSA", 0}, 0);
+    active_nsds_ = nsds_.get();
+    active_registry_->Register(
+        {Qualified("nsds"), nsds_->endpoint(), "nsds", "NCSA", 0}, 0);
   }
   if (options_.with_repository) {
-    repository_ = std::make_unique<repo::RepositoryFacade>(network_,
-                                                           kRepository);
+    repository_ = std::make_unique<repo::RepositoryFacade>(
+        network_, Qualified(kRepository));
     NEES_RETURN_IF_ERROR(repository_->Start());
-    registry_->Register({"repository", kRepository, "repository", "NCSA", 0},
-                        0);
+    active_registry_->Register({Qualified("repository"),
+                                Qualified(kRepository), "repository", "NCSA",
+                                0},
+                               0);
 
     daq_ = std::make_unique<daq::DaqSystem>();
     daq_->set_tracer(options_.tracer);
-    daq_->AddChannel({"most.displacement", "m", 50.0});
-    daq_->AddChannel({"most.force.UIUC", "N", 50.0});
-    daq_->AddChannel({"most.force.NCSA", "N", 50.0});
-    daq_->AddChannel({"most.force.CU", "N", 50.0});
-    ingest_rpc_ = std::make_unique<net::RpcClient>(network_, "ingest.nees");
+    daq_->AddChannel({channel_displacement_, "m", 50.0});
+    for (const std::string& channel : channel_forces_) {
+      daq_->AddChannel({channel, "N", 50.0});
+    }
+    ingest_rpc_ = std::make_unique<net::RpcClient>(network_,
+                                                   Qualified("ingest.nees"));
     ingestion_ = std::make_unique<repo::IngestionTool>(
-        ingest_rpc_.get(), kRepository, "most", "nees");
+        ingest_rpc_.get(), Qualified(kRepository), "most", "nees");
     harvester_ = std::make_unique<daq::Harvester>(
         options_.daq_drop_dir,
         [this](const std::filesystem::path& file,
@@ -153,8 +178,8 @@ util::Status MostExperiment::Start() {
     harvester_->set_tracer(options_.tracer);
   }
 
-  coordinator_rpc_ =
-      std::make_unique<net::RpcClient>(network_, "most.coordinator");
+  coordinator_rpc_ = std::make_unique<net::RpcClient>(
+      network_, Qualified("most.coordinator"));
   started_ = true;
   return util::OkStatus();
 }
@@ -164,16 +189,16 @@ util::Status MostExperiment::StartSiteServices() {
   std::unique_ptr<ntcp::ControlPlugin> uiuc_plugin;
   if (options_.hybrid) {
     shore_western_ = std::make_unique<testbed::ShoreWesternEmulator>(
-        network_, kShoreWestern,
+        network_, Qualified(kShoreWestern),
         MakeColumnRig("uiuc-left-column", stiffness_.left_n_per_m,
                       options_.hysteretic_columns, options_.seed + 1));
     NEES_RETURN_IF_ERROR(shore_western_->Start());
     uiuc_plugin_rpc_ =
-        std::make_unique<net::RpcClient>(network_, "plugin.uiuc");
+        std::make_unique<net::RpcClient>(network_, Qualified("plugin.uiuc"));
     plugins::ShoreWesternPlugin::Config sw_config;
     sw_config.control_point = "column-top";
     uiuc_plugin = std::make_unique<plugins::ShoreWesternPlugin>(
-        sw_config, uiuc_plugin_rpc_.get(), kShoreWestern);
+        sw_config, uiuc_plugin_rpc_.get(), Qualified(kShoreWestern));
   } else {
     auto simulation = std::make_unique<plugins::SimulationPlugin>();
     simulation->AddControlPoint(
@@ -185,23 +210,24 @@ util::Status MostExperiment::StartSiteServices() {
   uiuc_policy.max_abs_displacement_m = 0.15;
   uiuc_policy.reject_force_control = true;
   ntcp_uiuc_ = std::make_unique<ntcp::NtcpServer>(
-      network_, kNtcpUiuc,
+      network_, Qualified(kNtcpUiuc),
       std::make_unique<plugins::LimitPolicyPlugin>(uiuc_policy,
                                                    std::move(uiuc_plugin)),
       clock_);
   NEES_RETURN_IF_ERROR(ntcp_uiuc_->Start());
-  NEES_RETURN_IF_ERROR(ntcp_uiuc_->PublishTo(*container_));
+  NEES_RETURN_IF_ERROR(ntcp_uiuc_->PublishTo(*active_container_));
   ntcp_uiuc_->set_tracer(options_.tracer);
-  registry_->Register({"ntcp.uiuc", kNtcpUiuc, "ntcp", "UIUC", 0}, 0);
+  active_registry_->Register(
+      {Qualified("ntcp.uiuc"), Qualified(kNtcpUiuc), "ntcp", "UIUC", 0}, 0);
 
   // ---------------- NCSA: Mplugin + polling simulation backend ------------
   {
     auto mplugin = std::make_unique<plugins::MPlugin>();
     ncsa_mplugin_ = mplugin.get();
     ntcp_ncsa_ = std::make_unique<ntcp::NtcpServer>(
-        network_, kNtcpNcsa, std::move(mplugin), clock_);
+        network_, Qualified(kNtcpNcsa), std::move(mplugin), clock_);
     NEES_RETURN_IF_ERROR(ntcp_ncsa_->Start());
-    NEES_RETURN_IF_ERROR(ntcp_ncsa_->PublishTo(*container_));
+    NEES_RETURN_IF_ERROR(ntcp_ncsa_->PublishTo(*active_container_));
     ntcp_ncsa_->set_tracer(options_.tracer);
     ncsa_mplugin_->BindBackendRpc(ntcp_ncsa_->rpc());
 
@@ -213,17 +239,18 @@ util::Status MostExperiment::StartSiteServices() {
         ncsa_mplugin_, plugins::MakeSimulationCompute(models),
         /*poll_wait_micros=*/500'000);
     ncsa_backend_->Start();
-    registry_->Register({"ntcp.ncsa", kNtcpNcsa, "ntcp", "NCSA", 0}, 0);
+    active_registry_->Register(
+        {Qualified("ntcp.ncsa"), Qualified(kNtcpNcsa), "ntcp", "NCSA", 0}, 0);
   }
 
   // ---------------- CU: same Mplugin code, xPC-driven rig -----------------
   {
     auto mplugin = std::make_unique<plugins::MPlugin>();
     cu_mplugin_ = mplugin.get();
-    ntcp_cu_ = std::make_unique<ntcp::NtcpServer>(network_, kNtcpCu,
-                                                  std::move(mplugin), clock_);
+    ntcp_cu_ = std::make_unique<ntcp::NtcpServer>(
+        network_, Qualified(kNtcpCu), std::move(mplugin), clock_);
     NEES_RETURN_IF_ERROR(ntcp_cu_->Start());
-    NEES_RETURN_IF_ERROR(ntcp_cu_->PublishTo(*container_));
+    NEES_RETURN_IF_ERROR(ntcp_cu_->PublishTo(*active_container_));
     ntcp_cu_->set_tracer(options_.tracer);
     cu_mplugin_->BindBackendRpc(ntcp_cu_->rpc());
 
@@ -270,7 +297,8 @@ util::Status MostExperiment::StartSiteServices() {
     cu_backend_ = std::make_unique<plugins::PollingBackend>(
         cu_mplugin_, std::move(compute), /*poll_wait_micros=*/500'000);
     cu_backend_->Start();
-    registry_->Register({"ntcp.cu", kNtcpCu, "ntcp", "CU", 0}, 0);
+    active_registry_->Register(
+        {Qualified("ntcp.cu"), Qualified(kNtcpCu), "ntcp", "CU", 0}, 0);
   }
   return util::OkStatus();
 }
@@ -278,6 +306,17 @@ util::Status MostExperiment::StartSiteServices() {
 void MostExperiment::Stop() {
   if (ncsa_backend_) ncsa_backend_->Stop();
   if (cu_backend_) cu_backend_->Stop();
+  // Farm-hosted tenants evict their soft state from the shared fabric; the
+  // namespace guard keeps a (mis)configured empty-ns tenant from sweeping
+  // neighbors out of a shared host.
+  if (!options_.experiment_ns.empty()) {
+    if (options_.shared_container != nullptr) {
+      (void)options_.shared_container->DestroyTenant(options_.experiment_ns);
+    }
+    if (options_.shared_registry != nullptr) {
+      (void)options_.shared_registry->UnregisterTenant(options_.experiment_ns);
+    }
+  }
   std::error_code ec;
   std::filesystem::remove_all(options_.daq_drop_dir, ec);
   started_ = false;
@@ -295,9 +334,9 @@ psd::CoordinatorConfig MostExperiment::MakeCoordinatorConfig(
   config.iota = {1.0};
   config.motion = motion_;
   config.sites = {
-      {"UIUC", kNtcpUiuc, "column-top", {0}},
-      {"NCSA", kNtcpNcsa, "center-frame", {0}},
-      {"CU", kNtcpCu, "column-top", {0}},
+      {"UIUC", ResolveEndpoint(kNtcpUiuc), "column-top", {0}},
+      {"NCSA", ResolveEndpoint(kNtcpNcsa), "center-frame", {0}},
+      {"CU", ResolveEndpoint(kNtcpCu), "column-top", {0}},
   };
   config.fault_policy = policy;
   config.step_engine = options_.step_engine;
@@ -316,14 +355,14 @@ void MostExperiment::ObserveStep(
   const std::int64_t t_micros =
       static_cast<std::int64_t>(step * options_.dt_seconds * 1e6);
   std::vector<nsds::DataSample> samples;
-  samples.push_back({"most.displacement", t_micros, displacement[0]});
-  static constexpr const char* kSiteNames[] = {"UIUC", "NCSA", "CU"};
-  for (std::size_t i = 0; i < results.size() && i < 3; ++i) {
+  samples.push_back({channel_displacement_, t_micros, displacement[0]});
+  for (std::size_t i = 0; i < results.size() && i < channel_forces_.size();
+       ++i) {
     if (results[i].results.empty() ||
         results[i].results[0].measured_force.empty()) {
       continue;
     }
-    samples.push_back({std::string("most.force.") + kSiteNames[i], t_micros,
+    samples.push_back({channel_forces_[i], t_micros,
                        results[i].results[0].measured_force[0]});
   }
 
@@ -338,7 +377,7 @@ void MostExperiment::ObserveStep(
       }
     }
   }
-  if (nsds_) nsds_->Publish(samples);
+  if (active_nsds_ != nullptr) active_nsds_->Publish(samples);
 }
 
 util::Result<psd::RunReport> MostExperiment::Run(psd::FaultPolicy policy,
@@ -376,11 +415,24 @@ util::Result<structural::TimeHistory> MostExperiment::ReferenceSolution()
   return newmark.Integrate(motion_);
 }
 
+std::string MostExperiment::ResolveEndpoint(std::string_view base) const {
+  const std::string qualified = Qualified(base);
+  if (active_registry_ != nullptr) {
+    if (auto entry = active_registry_->LookupEntry(qualified)) {
+      return entry->endpoint;
+    }
+  }
+  return qualified;
+}
+
 ntcp::NtcpServerStats MostExperiment::ServerStats(
     const std::string& endpoint) const {
-  if (endpoint == kNtcpUiuc && ntcp_uiuc_) return ntcp_uiuc_->stats();
-  if (endpoint == kNtcpNcsa && ntcp_ncsa_) return ntcp_ncsa_->stats();
-  if (endpoint == kNtcpCu && ntcp_cu_) return ntcp_cu_->stats();
+  const auto matches = [&](const char* base) {
+    return endpoint == base || endpoint == Qualified(base);
+  };
+  if (matches(kNtcpUiuc) && ntcp_uiuc_) return ntcp_uiuc_->stats();
+  if (matches(kNtcpNcsa) && ntcp_ncsa_) return ntcp_ncsa_->stats();
+  if (matches(kNtcpCu) && ntcp_cu_) return ntcp_cu_->stats();
   return {};
 }
 

@@ -15,12 +15,14 @@
 // (CU, rigid connection: 12EI/L^3), and the center section (NCSA).
 #pragma once
 
+#include <array>
 #include <filesystem>
 #include <memory>
 
 #include "daq/daq.h"
 #include "grid/container.h"
 #include "grid/registry.h"
+#include "grid/tenant.h"
 #include "nsds/nsds.h"
 #include "ntcp/server.h"
 #include "obs/trace.h"
@@ -71,6 +73,21 @@ struct MostOptions {
   /// clients, plugins, DAQ and NSDS at Start(). Must outlive the experiment.
   obs::Tracer* tracer = nullptr;
 
+  /// Experiment namespace (grid/tenant.h). Empty — the default — keeps the
+  /// historical canonical names ("ntcp.uiuc", "container.nees", ...), so a
+  /// standalone run is bit-identical to the pre-tenancy assembly. Non-empty
+  /// prefixes every endpoint, registry entry, and data channel with
+  /// "<ns>/", letting many experiments share one network.
+  std::string experiment_ns;
+
+  /// Shared farm fabric (all optional, must outlive the experiment). When
+  /// set, Start() hosts its services in the shared container, registers its
+  /// namespaced endpoints in the shared registry, and streams into the
+  /// shared NSDS instead of creating private instances.
+  grid::ServiceContainer* shared_container = nullptr;
+  grid::RegistryService* shared_registry = nullptr;
+  nsds::NsdsServer* shared_nsds = nullptr;
+
   MostOptions();
 };
 
@@ -91,7 +108,11 @@ StiffnessBreakdown ComputeStiffnessBreakdown(const MostOptions& options);
 
 class MostExperiment {
  public:
-  // Canonical endpoint names.
+  // Canonical *base* endpoint names; the deployed name is
+  // grid::QualifiedName(options.experiment_ns, base), which an empty
+  // namespace leaves untouched. Discovery goes through the registry:
+  // MakeCoordinatorConfig resolves each site's NTCP endpoint from its
+  // namespaced registration rather than assuming name == endpoint.
   static constexpr const char* kNtcpUiuc = "ntcp.uiuc";
   static constexpr const char* kNtcpNcsa = "ntcp.ncsa";
   static constexpr const char* kNtcpCu = "ntcp.cu";
@@ -123,19 +144,29 @@ class MostExperiment {
   const StiffnessBreakdown& stiffness() const { return stiffness_; }
   const structural::GroundMotion& motion() const { return motion_; }
 
-  nsds::NsdsServer* streaming() { return nsds_.get(); }
+  nsds::NsdsServer* streaming() { return active_nsds_; }
   repo::RepositoryFacade* repository() { return repository_.get(); }
-  grid::RegistryService* registry() { return registry_.get(); }
+  grid::RegistryService* registry() { return active_registry_; }
+  grid::ServiceContainer* container() { return active_container_; }
   daq::DaqSystem* daq() { return daq_.get(); }
   net::Network* network() { return network_; }
 
-  /// Per-site NTCP server statistics (executions, duplicates, ...).
+  /// The deployed (namespace-qualified) name for a canonical base name.
+  std::string Qualified(std::string_view base) const {
+    return grid::QualifiedName(options_.experiment_ns, base);
+  }
+
+  /// Per-site NTCP server statistics (executions, duplicates, ...); accepts
+  /// the canonical base name or the namespace-qualified endpoint.
   ntcp::NtcpServerStats ServerStats(const std::string& endpoint) const;
 
  private:
   util::Status StartSiteServices();
   void ObserveStep(std::size_t step, const structural::Vector& displacement,
                    const std::vector<ntcp::TransactionResult>& results);
+  /// Registry resolution for a site endpoint: the registered endpoint for
+  /// the qualified name, or the qualified name itself pre-registration.
+  std::string ResolveEndpoint(std::string_view base) const;
 
   net::Network* network_;
   util::Clock* clock_;
@@ -143,9 +174,18 @@ class MostExperiment {
   StiffnessBreakdown stiffness_;
   structural::GroundMotion motion_;
 
-  // Grid fabric.
+  // Data channel names, namespace-qualified once at construction (the step
+  // observer publishes them every step).
+  std::string channel_displacement_;
+  std::array<std::string, 3> channel_forces_;  // UIUC, NCSA, CU
+
+  // Grid fabric: privately owned when standalone, borrowed from the farm
+  // host when the shared_* options are set.
   std::unique_ptr<grid::ServiceContainer> container_;
   std::shared_ptr<grid::RegistryService> registry_;
+  grid::ServiceContainer* active_container_ = nullptr;
+  grid::RegistryService* active_registry_ = nullptr;
+  nsds::NsdsServer* active_nsds_ = nullptr;
 
   // UIUC.
   std::unique_ptr<testbed::ShoreWesternEmulator> shore_western_;

@@ -4,6 +4,7 @@
 #include <ostream>
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -17,6 +18,7 @@ struct EndpointTable::Impl {
   std::deque<std::string> names NEES_GUARDED_BY(mu);
   std::unordered_map<std::string_view, std::uint32_t> index
       NEES_GUARDED_BY(mu);
+  std::size_t bytes NEES_GUARDED_BY(mu) = 0;
 };
 
 EndpointTable::EndpointTable() : impl_(new Impl()) {}
@@ -32,6 +34,7 @@ std::uint32_t EndpointTable::Intern(std::string_view name) {
   auto it = impl_->index.find(name);
   if (it != impl_->index.end()) return it->second;
   impl_->names.emplace_back(name);
+  impl_->bytes += name.size();
   std::uint32_t id = static_cast<std::uint32_t>(impl_->names.size());
   impl_->index.emplace(std::string_view(impl_->names.back()), id);
   return id;
@@ -53,6 +56,25 @@ bool EndpointTable::Known(std::uint32_t id) const {
 std::size_t EndpointTable::size() const {
   util::MutexLock lock(impl_->mu);
   return impl_->names.size();
+}
+
+std::size_t EndpointTable::interned_bytes() const {
+  util::MutexLock lock(impl_->mu);
+  return impl_->bytes;
+}
+
+void EndpointTable::PublishGauges(obs::MetricsRegistry& metrics) const {
+  std::size_t count = 0;
+  std::size_t bytes = 0;
+  {
+    util::MutexLock lock(impl_->mu);
+    count = impl_->names.size();
+    bytes = impl_->bytes;
+  }
+  // Gauges are set outside the table lock: net.EndpointTable is a leaf
+  // class, and the metrics registry takes its own mutex.
+  metrics.SetGauge("net.endpoints.interned", static_cast<double>(count));
+  metrics.SetGauge("net.endpoints.interned_bytes", static_cast<double>(bytes));
 }
 
 std::ostream& operator<<(std::ostream& os, EndpointId id) {

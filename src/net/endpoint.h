@@ -14,6 +14,10 @@
 #include <string>
 #include <string_view>
 
+namespace nees::obs {
+class MetricsRegistry;
+}  // namespace nees::obs
+
 namespace nees::net {
 
 class EndpointTable {
@@ -30,7 +34,17 @@ class EndpointTable {
   /// True for id 0 ("" is always decodable) and every id handed out.
   bool Known(std::uint32_t id) const;
 
+  /// Distinct names interned so far. The table only ever grows — under a
+  /// multi-tenant farm every tenant mints its own namespaced endpoints, so
+  /// this is the observable proxy for endpoint-identity footprint.
   std::size_t size() const;
+  /// Total bytes of interned name storage (the strings themselves).
+  std::size_t interned_bytes() const;
+
+  /// Publishes the growth counters as gauges:
+  ///   net.endpoints.interned        (count)
+  ///   net.endpoints.interned_bytes  (name storage)
+  void PublishGauges(obs::MetricsRegistry& metrics) const;
 
  private:
   EndpointTable();

@@ -1,0 +1,189 @@
+// Tests for the multi-tenant experiment farm: mixed waves over one shared
+// grid host, reap-to-baseline soft-state hygiene, farm-vs-standalone
+// bit-identity for a full MOST tenant, per-tenant lint cleanliness of the
+// shared trace, and the scaled CHEF swarm over the shared NSDS stream.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "check/checker.h"
+#include "farm/farm.h"
+#include "most/most.h"
+#include "net/endpoint.h"
+#include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace nees::farm {
+namespace {
+
+TEST(FarmTest, MixedWaveCompletesAndReapsToBaseline) {
+  net::Network network(net::DeliveryMode::kImmediate);
+  FarmOptions options;
+  options.workers = 4;
+  options.mini_steps = 40;
+  options.most_steps = 60;
+  ExperimentFarm farm(&network, network.clock(), options);
+
+  constexpr std::size_t kTenants = 12;
+  for (std::size_t i = 0; i < kTenants; ++i) {
+    SessionSpec spec;
+    spec.kind = i % 10 == 8   ? SessionKind::kMost
+                : i % 10 == 9 ? SessionKind::kCentrifuge
+                              : SessionKind::kMiniMost;
+    const std::string tenant = farm.Admit(spec);
+    EXPECT_FALSE(tenant.empty());
+  }
+  EXPECT_EQ(farm.admitted(), kTenants);
+
+  const util::Result<FarmReport> run = farm.RunAll();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->admitted, kTenants);
+  EXPECT_EQ(run->completed, kTenants);
+  EXPECT_EQ(run->failed, 0u);
+  ASSERT_EQ(run->sessions.size(), kTenants);
+  for (const SessionResult& session : run->sessions) {
+    EXPECT_TRUE(session.ok) << session.tenant << ": " << session.error;
+    EXPECT_NE(session.history_digest, 0u) << session.tenant;
+  }
+
+  // Every tenant placed real services on the shared fabric...
+  EXPECT_GT(run->peak_services, farm.baseline_services());
+  EXPECT_GT(run->peak_registrations, farm.baseline_registrations());
+  // ...and the reap removed all of them, back to the host baseline.
+  EXPECT_EQ(run->services_after_reap, farm.baseline_services());
+  EXPECT_EQ(run->registrations_after_reap, farm.baseline_registrations());
+
+  // The admission queue is cleared; a second wave reuses the same host.
+  EXPECT_EQ(farm.admitted(), 0u);
+  (void)farm.Admit({SessionKind::kMiniMost, 20, 0});
+  const util::Result<FarmReport> second = farm.RunAll();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->completed, 1u);
+  EXPECT_EQ(second->services_after_reap, farm.baseline_services());
+}
+
+TEST(FarmTest, FarmHostedMostMatchesStandaloneBitIdentical) {
+  constexpr std::size_t kSteps = 60;
+  constexpr std::uint64_t kSeed = 424242;
+
+  // Standalone: the pre-tenancy assembly on its own network, trimmed the
+  // same way the farm trims its tenants (no repository, no DAQ cadence) so
+  // the comparison isolates the tenancy plumbing.
+  structural::TimeHistory standalone;
+  {
+    net::Network network(net::DeliveryMode::kImmediate);
+    most::MostOptions options;
+    options.steps = kSteps;
+    options.seed = kSeed;
+    options.step_engine = psd::StepEngine::kSequential;
+    options.with_repository = false;
+    options.daq_flush_every_steps = 0;
+    most::MostExperiment experiment(&network, network.clock(),
+                                    std::move(options));
+    const util::Result<psd::RunReport> report =
+        experiment.Run(psd::FaultPolicy::kFaultTolerant, "standalone-run");
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    ASSERT_TRUE(report->completed) << report->failure.ToString();
+    standalone = report->history;
+  }
+
+  // Farm-hosted: same steps/seed/engine, but namespaced endpoints on the
+  // shared container/registry and streaming into the shared NSDS.
+  net::Network network(net::DeliveryMode::kImmediate);
+  FarmOptions options;
+  options.workers = 2;
+  options.keep_histories = true;
+  ExperimentFarm farm(&network, network.clock(), options);
+  (void)farm.Admit({SessionKind::kMost, kSteps, kSeed});
+  const util::Result<FarmReport> run = farm.RunAll();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(run->sessions.size(), 1u);
+  const SessionResult& hosted = run->sessions[0];
+  ASSERT_TRUE(hosted.ok) << hosted.error;
+
+  EXPECT_EQ(hosted.history.dt_seconds, standalone.dt_seconds);
+  ASSERT_EQ(hosted.history.displacement.size(),
+            standalone.displacement.size());
+  for (std::size_t step = 0; step < standalone.displacement.size(); ++step) {
+    ASSERT_EQ(hosted.history.displacement[step].size(),
+              standalone.displacement[step].size());
+    for (std::size_t dof = 0; dof < standalone.displacement[step].size();
+         ++dof) {
+      // Bit-identical, not approximately equal: the namespace layer must
+      // not perturb a single arithmetic step.
+      EXPECT_EQ(hosted.history.displacement[step][dof],
+                standalone.displacement[step][dof])
+          << "step " << step << " dof " << dof;
+    }
+  }
+}
+
+TEST(FarmTest, ConcurrentTenantsStayLintCleanOnSharedTrace) {
+  net::Network network(net::DeliveryMode::kImmediate);
+  obs::Tracer tracer(network.clock());
+  FarmOptions options;
+  options.workers = 3;
+  options.mini_steps = 30;
+  options.tracer = &tracer;
+  ExperimentFarm farm(&network, network.clock(), options);
+  for (std::size_t i = 0; i < 5; ++i) {
+    (void)farm.Admit({SessionKind::kMiniMost, 0, 0});
+  }
+  (void)farm.Admit({SessionKind::kCentrifuge, 1, 0});
+  const util::Result<FarmReport> run = farm.RunAll();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->failed, 0u);
+
+  // One shared tracer carries every tenant's NTCP spans; namespaced
+  // transaction ids keep the at-most-once-per-transaction rule satisfiable
+  // across tenants.
+  const check::LintReport lint = check::LintSpans(tracer.Snapshot());
+  EXPECT_TRUE(lint.ok()) << lint.violations.size() << " violations, first: "
+                         << (lint.violations.empty()
+                                 ? std::string()
+                                 : lint.violations[0].message);
+}
+
+TEST(FarmTest, ScaledSwarmOverSharedStreamReportsNoFailures) {
+  net::Network network(net::DeliveryMode::kImmediate);
+  FarmOptions options;
+  options.workers = 4;
+  options.mini_steps = 30;
+  ExperimentFarm farm(&network, network.clock(), options);
+  for (std::size_t i = 0; i < 3; ++i) {
+    (void)farm.Admit({SessionKind::kMiniMost, 0, 0});
+  }
+  const util::Result<FarmReport> run = farm.RunAll();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(run->failed, 0u);
+
+  SwarmOptions swarm_options;
+  swarm_options.participants = 300;
+  swarm_options.shards = 4;
+  const chef::SwarmReport swarm =
+      RunScaledSwarm(&network, ExperimentFarm::kChef, swarm_options);
+  EXPECT_EQ(swarm.participants, 300);
+  EXPECT_EQ(swarm.failures, 0);
+  EXPECT_GT(swarm.chat_posts, 0);
+  EXPECT_GT(swarm.viewer_reads, 0);
+}
+
+TEST(FarmTest, ReportsEndpointFootprintMatchingTheInternTable) {
+  net::Network network(net::DeliveryMode::kImmediate);
+  ExperimentFarm farm(&network, network.clock(), {});
+  (void)farm.Admit({SessionKind::kMiniMost, 20, 0});
+  const util::Result<FarmReport> run = farm.RunAll();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  net::EndpointTable& table = net::EndpointTable::Instance();
+  EXPECT_EQ(run->endpoints_interned, table.size());
+  obs::MetricsRegistry metrics;
+  table.PublishGauges(metrics);
+  EXPECT_EQ(metrics.GaugeValue("net.endpoints.interned"),
+            static_cast<double>(table.size()));
+  EXPECT_GT(metrics.GaugeValue("net.endpoints.interned_bytes"), 0.0);
+}
+
+}  // namespace
+}  // namespace nees::farm

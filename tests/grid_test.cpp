@@ -311,5 +311,118 @@ TEST_F(RegistryTest, LookupEntryRespectsExpiry) {
   EXPECT_FALSE(registry_->LookupEntry("x").has_value());
 }
 
+// Full round trip of one lease: register -> visible (table and lazily
+// refreshed SDE mirror) -> expire -> swept from both -> re-register ->
+// visible again with the renewed expiry.
+TEST_F(RegistryTest, LeaseExpiryReRegistrationRoundTrip) {
+  ContainerClient ogsi(&network_, "inspector");
+  ASSERT_TRUE(
+      client_->Register(MakeReg("t0007/ntcp.uiuc", "ntcp", "UIUC"), 10'000)
+          .ok());
+  EXPECT_TRUE(registry_->LookupEntry("t0007/ntcp.uiuc").has_value());
+  auto sdes = ogsi.FindServiceData("index", "registry", "reg.");
+  ASSERT_TRUE(sdes.ok());
+  ASSERT_EQ(sdes->size(), 1u);
+  EXPECT_EQ((*sdes)[0].first, "reg.t0007/ntcp.uiuc");
+  EXPECT_EQ((*sdes)[0].second.Get("expires"), "10000");
+
+  clock_.Advance(20'000);
+  EXPECT_FALSE(registry_->LookupEntry("t0007/ntcp.uiuc").has_value());
+  EXPECT_EQ(registry_->SweepExpired(), 1);
+  EXPECT_EQ(registry_->entry_count(), 0u);
+  sdes = ogsi.FindServiceData("index", "registry", "reg.");
+  ASSERT_TRUE(sdes.ok());
+  EXPECT_TRUE(sdes->empty());
+
+  ASSERT_TRUE(
+      client_->Register(MakeReg("t0007/ntcp.uiuc", "ntcp", "UIUC"), 10'000)
+          .ok());
+  auto entry = registry_->LookupEntry("t0007/ntcp.uiuc");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->expires_micros, 30'000);
+  sdes = ogsi.FindServiceData("index", "registry", "reg.");
+  ASSERT_TRUE(sdes.ok());
+  ASSERT_EQ(sdes->size(), 1u);
+  EXPECT_EQ((*sdes)[0].second.Get("expires"), "30000");
+}
+
+TEST_F(RegistryTest, UnregisterTenantReapsOnlyThatNamespace) {
+  ASSERT_TRUE(
+      client_->Register(MakeReg("t0001/ntcp.uiuc", "ntcp", "UIUC"), 0).ok());
+  ASSERT_TRUE(
+      client_->Register(MakeReg("t0001/nsds", "nsds", "NCSA"), 0).ok());
+  ASSERT_TRUE(
+      client_->Register(MakeReg("t0002/ntcp.uiuc", "ntcp", "UIUC"), 0).ok());
+  EXPECT_EQ(registry_->UnregisterTenant("t0001"), 2);
+  EXPECT_EQ(registry_->entry_count(), 1u);
+  EXPECT_FALSE(registry_->LookupEntry("t0001/ntcp.uiuc").has_value());
+  EXPECT_TRUE(registry_->LookupEntry("t0002/ntcp.uiuc").has_value());
+  EXPECT_EQ(registry_->UnregisterTenant("t0001"), 0);
+}
+
+// --- Multi-tenant container under virtual time -------------------------------
+
+// Many tenants' soft state on one container, on a DeliveryMode::kVirtual
+// network: per-tenant sweeps only touch their namespace, the global sweep
+// reaps every expired lease, and subscription churn across the surviving
+// tenants keeps notifying after their neighbors are destroyed.
+TEST(MultiTenantContainerTest, VirtualTimeSweepAndSubscriptionChurn) {
+  net::Network network(net::DeliveryMode::kVirtual, 7);
+  ServiceContainer container(&network, "container.farm", network.clock());
+  ASSERT_TRUE(container.Start().ok());
+
+  constexpr int kTenants = 24;
+  std::vector<std::shared_ptr<GridService>> services;
+  std::vector<std::unique_ptr<ContainerClient>> viewers;
+  std::vector<int> notified(kTenants, 0);
+  for (int t = 0; t < kTenants; ++t) {
+    char ns[8];
+    std::snprintf(ns, sizeof ns, "t%04d", t);
+    auto service =
+        std::make_shared<GridService>(std::string(ns) + "/ntcp.minimost");
+    ASSERT_TRUE(container.AddService(service).ok());
+    // Odd tenants hold a 10ms lease; even tenants never expire.
+    if (t % 2 == 1) service->SetTerminationTimeMicros(10'000);
+    auto viewer = std::make_unique<ContainerClient>(
+        &network, std::string("viewer-") + ns);
+    ASSERT_TRUE(viewer
+                    ->Subscribe("container.farm",
+                                std::string(ns) + "/ntcp.minimost", "txn.",
+                                [&notified, t](const std::string&,
+                                               const std::string&,
+                                               const SdeValue&) {
+                                  ++notified[t];
+                                })
+                    .ok());
+    service->SetServiceData("txn.0", MakeSde({{"state", "proposed"}}));
+    services.push_back(std::move(service));
+    viewers.push_back(std::move(viewer));
+  }
+  network.RunUntilQuiescent();
+  EXPECT_EQ(container.service_count(), static_cast<std::size_t>(kTenants));
+  for (int t = 0; t < kTenants; ++t) EXPECT_EQ(notified[t], 1);
+
+  network.AdvanceTo(20'000);
+  // A tenant-scoped sweep reaps only its own expired lease...
+  EXPECT_EQ(container.SweepExpired("t0001"), 1);
+  EXPECT_EQ(container.SweepExpired("t0001"), 0);
+  // ...leaving every other tenant (expired or not) alone.
+  EXPECT_EQ(container.ListServices("t0003").size(), 1u);
+  EXPECT_EQ(container.ListServices("t0002").size(), 1u);
+  // The global sweep reaps the remaining expired (odd) tenants.
+  EXPECT_EQ(container.SweepExpired(), kTenants / 2 - 1);
+  EXPECT_EQ(container.service_count(), static_cast<std::size_t>(kTenants / 2));
+
+  // Churn: destroy one live tenant outright; the others keep notifying.
+  EXPECT_EQ(container.DestroyTenant("t0000"), 1);
+  EXPECT_TRUE(container.ListServices("t0000").empty());
+  services[2]->SetServiceData("txn.1", MakeSde({{"state", "executing"}}));
+  network.RunUntilQuiescent();
+  EXPECT_EQ(notified[2], 2);
+  EXPECT_EQ(notified[1], 1);  // swept tenants saw no further events
+  EXPECT_EQ(container.service_count(),
+            static_cast<std::size_t>(kTenants / 2 - 1));
+}
+
 }  // namespace
 }  // namespace nees::grid

@@ -9,6 +9,7 @@
 #include "net/message.h"
 #include "net/network.h"
 #include "net/rpc.h"
+#include "obs/metrics.h"
 #include "util/bytes.h"
 #include "util/clock.h"
 #include "util/crc32.h"
@@ -75,6 +76,31 @@ TEST(EndpointTableTest, IdTypesCarryLazyNameViews) {
   EXPECT_EQ(EndpointId("etbl.test.site"), endpoint);
   const MethodId method("etbl.test.method");
   EXPECT_EQ(method.name(), "etbl.test.method");
+}
+
+TEST(EndpointTableTest, GrowthCountersTrackDistinctNames) {
+  EndpointTable& table = EndpointTable::Instance();
+  const std::size_t count_before = table.size();
+  const std::size_t bytes_before = table.interned_bytes();
+  const std::string fresh = "etbl.test.growth.tenant/ntcp.uiuc";
+  (void)table.Intern(fresh);
+  EXPECT_EQ(table.size(), count_before + 1);
+  EXPECT_EQ(table.interned_bytes(), bytes_before + fresh.size());
+  // Re-interning is free: the counters only track distinct names.
+  (void)table.Intern(fresh);
+  EXPECT_EQ(table.size(), count_before + 1);
+  EXPECT_EQ(table.interned_bytes(), bytes_before + fresh.size());
+}
+
+TEST(EndpointTableTest, PublishGaugesExportsInternedFootprint) {
+  EndpointTable& table = EndpointTable::Instance();
+  (void)table.Intern("etbl.test.gauge");
+  obs::MetricsRegistry metrics;
+  table.PublishGauges(metrics);
+  EXPECT_EQ(metrics.GaugeValue("net.endpoints.interned"),
+            static_cast<double>(table.size()));
+  EXPECT_EQ(metrics.GaugeValue("net.endpoints.interned_bytes"),
+            static_cast<double>(table.interned_bytes()));
 }
 
 // --- wire frame layout -------------------------------------------------------
